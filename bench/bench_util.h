@@ -1,0 +1,100 @@
+#ifndef GREATER_BENCH_BENCH_UTIL_H_
+#define GREATER_BENCH_BENCH_UTIL_H_
+
+// Shared harness code for the figure-reproduction benches. Each bench
+// regenerates the series/rows of one table or figure of the paper; see
+// EXPERIMENTS.md for the paper-vs-measured record.
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "crosstable/pipeline.h"
+#include "datagen/digix.h"
+#include "eval/fidelity.h"
+#include "stats/descriptive.h"
+#include "stats/histogram.h"
+
+namespace greater {
+namespace bench {
+
+/// Number of independent trials (the paper's eight task-ID subgroups).
+inline constexpr size_t kNumTrials = 8;
+
+/// Shared synthesizer configuration for the n-gram-backed sweeps: the
+/// fixed training budget stands in for the paper's constrained
+/// fine-tuning compute (Sec. 4.1.4), and free-value decoding matches
+/// GReaT's reject-and-retry behaviour.
+inline GreatSynthesizer::Options SweepSynthOptions() {
+  GreatSynthesizer::Options options;
+  options.encoder.permutations_per_row = 2;
+  options.max_training_sequences = 700;
+  options.constrain_values_to_column = false;
+  return options;
+}
+
+/// Generates the eight evaluation trials.
+inline std::vector<DigixDataset> MakeTrials(uint64_t seed = 2026) {
+  Rng rng(seed);
+  DigixGenerator gen;
+  auto trials = gen.GenerateTrials(kNumTrials, &rng);
+  if (!trials.ok()) {
+    std::fprintf(stderr, "trial generation failed: %s\n",
+                 trials.status().ToString().c_str());
+    std::exit(1);
+  }
+  return std::move(trials).ValueOrDie();
+}
+
+/// Runs one pipeline configuration on one trial and returns its fidelity
+/// report against the subject-balanced real view.
+inline FidelityReport RunTrial(const PipelineOptions& options,
+                               const DigixDataset& trial, uint64_t seed) {
+  MultiTablePipeline pipeline(options);
+  auto real = pipeline.BuildRealFlatView(trial.ads, trial.feeds,
+                                         DigixGenerator::KeyColumn());
+  if (!real.ok()) {
+    std::fprintf(stderr, "real view failed: %s\n",
+                 real.status().ToString().c_str());
+    std::exit(1);
+  }
+  Rng rng(seed);
+  auto result =
+      pipeline.Run(trial.ads, trial.feeds, DigixGenerator::KeyColumn(), &rng);
+  if (!result.ok()) {
+    std::fprintf(stderr, "pipeline failed: %s\n",
+                 result.status().ToString().c_str());
+    std::exit(1);
+  }
+  auto report = EvaluateFidelity(real->UniqueRows(), result->synthetic_flat);
+  if (!report.ok()) {
+    std::fprintf(stderr, "fidelity failed: %s\n",
+                 report.status().ToString().c_str());
+    std::exit(1);
+  }
+  return std::move(report).ValueOrDie();
+}
+
+/// Pools a metric across trials and prints the figure-style density
+/// series plus an ASCII sketch.
+inline void PrintDistribution(const std::string& label,
+                              const std::vector<double>& values,
+                              double lo = 0.0, double hi = 1.0) {
+  auto hist = Histogram::Make(lo, hi, 10).ValueOrDie();
+  hist.AddAll(values);
+  std::printf("\n%s (n=%zu)\n", label.c_str(), values.size());
+  std::printf("  bin-centers:");
+  for (size_t b = 0; b < hist.num_bins(); ++b) {
+    std::printf(" %.3f", hist.BinCenter(b));
+  }
+  std::printf("\n  density:    ");
+  for (double d : hist.Density()) std::printf(" %.3f", d);
+  std::printf("\n  mass >= 0.5: %.3f   mean: %.3f   median: %.3f\n",
+              hist.MassAbove(0.5), Mean(values), Median(values));
+  std::printf("%s", hist.ToAscii(40).c_str());
+}
+
+}  // namespace bench
+}  // namespace greater
+
+#endif  // GREATER_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,64 @@
+// Reproduces Fig. 2: identical tokenization of repeated numeric category
+// labels, at both the word level (the synthesis encoder) and the BPE
+// subword level (the GPT-2-style mechanism), and shows how the Data
+// Semantic Enhancement System removes the ambiguity.
+
+#include <cstdio>
+
+#include "semantic/enhancement.h"
+#include "semantic/name_generator.h"
+#include "synth/textual_encoder.h"
+#include "text/bpe_tokenizer.h"
+
+using namespace greater;
+
+int main() {
+  Schema schema({Field("Name", ValueType::kString),
+                 Field("Lunch", ValueType::kInt),
+                 Field("Dinner", ValueType::kInt),
+                 Field("Access_Device", ValueType::kInt),
+                 Field("Genre", ValueType::kInt)});
+  Table t(schema);
+  (void)t.AppendRow({Value("Grace"), Value(1), Value(2), Value(1), Value(1)});
+  (void)t.AppendRow({Value("Yin"), Value(2), Value(2), Value(2), Value(1)});
+
+  std::printf("== Fig. 2: the repeated-'1' tokenization ambiguity ==\n\n");
+  auto encoder = TextualEncoder::Build(t).ValueOrDie();
+  std::vector<size_t> order = {0, 1, 2, 3, 4};
+  std::string sentence = encoder.RenderSentence(t.GetRow(0), order);
+  std::printf("encoded row : %s\n", sentence.c_str());
+
+  TokenSequence tokens = encoder.EncodeRow(t.GetRow(0), order);
+  std::printf("token ids   :");
+  for (TokenId id : tokens) std::printf(" %d", id);
+  std::printf("\n");
+  TokenId one = encoder.vocab().IdOf("1");
+  int count = 0;
+  for (TokenId id : tokens) count += (id == one);
+  std::printf("the string \"1\" maps to ONE id (%d), appearing %d times in "
+              "this row\nacross Lunch, Access_Device and Genre — the false "
+              "co-occurrence channel.\n",
+              one, count);
+
+  std::printf("\n-- BPE view (GPT-2-style subwords) --\n");
+  auto bpe = BpeTokenizer::Train({sentence, sentence, sentence}).ValueOrDie();
+  auto units1 = bpe.EncodeWord("1");
+  std::printf("BPE units of \"1\": ");
+  for (const auto& u : units1) std::printf("[%s] ", u.c_str());
+  std::printf("(identical wherever \"1\" appears)\n");
+
+  std::printf("\n== After the differentiability-based transformation ==\n\n");
+  NameGenerator names(2024);
+  auto mapping = BuildDifferentiabilityMapping(
+                     t, {"Lunch", "Dinner", "Access_Device", "Genre"}, &names)
+                     .ValueOrDie();
+  Table mapped = mapping.Apply(t).ValueOrDie();
+  auto mapped_encoder = TextualEncoder::Build(mapped).ValueOrDie();
+  std::printf("encoded row : %s\n",
+              mapped_encoder.RenderSentence(mapped.GetRow(0), order).c_str());
+  std::printf("every category is now a globally unique representation; the\n"
+              "inverse mapping restores the original labels after synthesis.\n");
+  Table restored = mapping.Invert(mapped).ValueOrDie();
+  std::printf("inverse OK  : %s\n", restored == t ? "yes" : "NO");
+  return 0;
+}

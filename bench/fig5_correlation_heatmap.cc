@@ -1,0 +1,105 @@
+// Reproduces Fig. 5 (and the Sec. 4.1.2 preprocessing finding): the
+// Cramér's-V correlation heatmap of the flattened child features BEFORE
+// and AFTER removing the identifier-like columns (e_et, i_docid,
+// i_entities), whose coefficients "do not have explainable meaning".
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "crosstable/contextual.h"
+#include "crosstable/flatten.h"
+#include "crosstable/independence.h"
+
+using namespace greater;
+
+namespace {
+
+void PrintHeatmap(const AssociationMatrix& m) {
+  std::printf("%16s", "");
+  for (const auto& name : m.names) std::printf(" %6.6s", name.c_str());
+  std::printf("\n");
+  for (size_t i = 0; i < m.names.size(); ++i) {
+    std::printf("%16s", m.names[i].c_str());
+    for (size_t j = 0; j < m.names.size(); ++j) {
+      std::printf(" %6.2f", m.values(i, j));
+    }
+    std::printf("\n");
+  }
+}
+
+AssociationMatrix FlatAssociations(const DigixDataset& trial,
+                                   bool drop_identifiers) {
+  Table ads = trial.ads;
+  Table feeds = trial.feeds;
+  if (drop_identifiers) {
+    ads = ads.DropColumns({"e_et"}).ValueOrDie();
+    feeds = feeds.DropColumns({"i_docid", "i_entities"}).ValueOrDie();
+  } else {
+    // Treat the identifier columns as plain categoricals, as a naive
+    // first-pass correlation analysis would.
+    std::vector<Field> patched;
+    for (Table* table : {&ads, &feeds}) {
+      Table rebuilt(Schema{});
+      for (size_t c = 0; c < table->num_columns(); ++c) {
+        Field f = table->schema().field(c);
+        if (f.semantic == SemanticType::kIdentifier) {
+          f.semantic = SemanticType::kCategorical;
+        }
+        std::vector<Value> column(table->column(c));
+        (void)rebuilt.AddColumn(f, std::move(column));
+      }
+      *table = rebuilt;
+    }
+  }
+  auto s1 = SplitByContextualVariables(ads, "user_id").ValueOrDie();
+  auto s2 = SplitByContextualVariables(feeds, "user_id").ValueOrDie();
+  Table flat = DirectFlatten(s1.child, s2.child, "user_id").ValueOrDie();
+  Table features = flat.DropColumns({"user_id"}).ValueOrDie();
+  return ComputeAssociationMatrix(features).ValueOrDie();
+}
+
+}  // namespace
+
+int main() {
+  auto trials = bench::MakeTrials();
+  const DigixDataset& trial = trials[0];
+
+  std::printf("== Fig. 5 (left): correlation heatmap BEFORE column removal ==\n");
+  std::printf("(identifier columns e_et / i_docid / i_entities included)\n\n");
+  auto before = FlatAssociations(trial, /*drop_identifiers=*/false);
+  PrintHeatmap(before);
+  std::printf("\nmean off-diagonal: %.3f   median: %.3f\n",
+              MeanAssociation(before), MedianAssociation(before));
+  {
+    auto sep = ThresholdSeparation(before, MedianAssociation(before))
+                   .ValueOrDie();
+    std::printf("independent features found: %zu  ", sep.independent.size());
+    std::printf("(the flattened table is %s)\n",
+                sep.independent.empty() ? "irreducible, as Sec. 4.1.2 reports"
+                                        : "reducible");
+  }
+
+  std::printf("\n== Fig. 5 (right): heatmap AFTER removing e_et, i_docid, "
+              "i_entities ==\n\n");
+  auto after = FlatAssociations(trial, /*drop_identifiers=*/true);
+  PrintHeatmap(after);
+  std::printf("\nmean off-diagonal: %.3f   median: %.3f\n",
+              MeanAssociation(after), MedianAssociation(after));
+  auto mean_sep =
+      ThresholdSeparation(after, MeanAssociation(after)).ValueOrDie();
+  auto median_sep =
+      ThresholdSeparation(after, MedianAssociation(after)).ValueOrDie();
+  auto hier = HierarchicalSeparation(after).ValueOrDie();
+  auto print_names = [](const char* label,
+                        const std::vector<std::string>& names) {
+    std::printf("%s:", label);
+    for (const auto& n : names) std::printf(" %s", n.c_str());
+    std::printf("\n");
+  };
+  print_names("independent (mean threshold)  ", mean_sep.independent);
+  print_names("independent (median threshold)", median_sep.independent);
+  print_names("independent (hierarchical)    ", hier.independent);
+  std::printf("\nseparable subgroups emerge once the misleading identifier "
+              "correlations are gone.\n");
+  return 0;
+}

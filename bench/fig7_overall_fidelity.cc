@@ -1,0 +1,67 @@
+// Reproduces Fig. 7: overall synthetic-fidelity comparison of GReaTER
+// against the two baselines (DEREC-style independent child modelling and
+// direct flattening), as the distribution of per-column-pair KS p-values
+// pooled over the eight trials. The paper's claim: GReaTER's distribution
+// has the heaviest right tail.
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+
+using namespace greater;
+
+int main() {
+  auto trials = bench::MakeTrials();
+
+  struct Setup {
+    const char* label;
+    FusionMethod fusion;
+  };
+  const Setup setups[] = {
+      {"Direct Flattening (baseline 1)", FusionMethod::kDirectFlatten},
+      {"DEREC independent children (baseline 2)",
+       FusionMethod::kDerecIndependent},
+      {"GReaTER (median-threshold cross-table connecting)",
+       FusionMethod::kGreaterMedianThreshold},
+  };
+
+  std::printf("== Fig. 7: distribution of pairwise-conditional KS p-values "
+              "==\n(pooled over %zu trials; higher / right-heavier = better "
+              "fidelity)\n",
+              bench::kNumTrials);
+
+  double summary[3][3] = {};
+  int idx = 0;
+  for (const Setup& setup : setups) {
+    PipelineOptions options;
+    options.fusion = setup.fusion;
+    options.semantic = SemanticMode::kNone;
+    options.synth = bench::SweepSynthOptions();
+
+    std::vector<double> p_values;
+    std::vector<double> w_distances;
+    for (size_t t = 0; t < trials.size(); ++t) {
+      FidelityReport report =
+          bench::RunTrial(options, trials[t], 1000 + t);
+      auto p = report.PValues();
+      auto w = report.WDistances();
+      p_values.insert(p_values.end(), p.begin(), p.end());
+      w_distances.insert(w_distances.end(), w.begin(), w.end());
+    }
+    bench::PrintDistribution(setup.label, p_values);
+    summary[idx][0] = Mean(p_values);
+    summary[idx][1] = Median(p_values);
+    summary[idx][2] = Mean(w_distances);
+    ++idx;
+  }
+
+  std::printf("\n== summary ==\n%-52s %8s %8s %8s\n", "setup", "mean-p",
+              "med-p", "mean-W");
+  for (int i = 0; i < 3; ++i) {
+    std::printf("%-52s %8.3f %8.3f %8.3f\n", setups[i].label, summary[i][0],
+                summary[i][1], summary[i][2]);
+  }
+  std::printf("\npaper shape: GReaTER right-heaviest; both baselines "
+              "degraded.\n");
+  return 0;
+}

@@ -1,0 +1,81 @@
+// Reproduces Fig. 8: the Data Semantic Enhancement study — no mapping vs
+// the differentiability-based transformation vs the understandability-
+// based transformation, as p-value distributions.
+//
+// This bench runs the NEURAL backbone (the closer GPT-2 analogue): its
+// per-token embeddings are shared across columns exactly like GPT-2's,
+// which is the mechanism the paper's argument rests on (a count-based
+// n-gram is invariant under bijective label renaming, so the effect is
+// only observable with shared representations). Trials are scaled down to
+// keep the neural training loop tractable.
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+
+using namespace greater;
+
+int main() {
+  // Smaller trials for the neural backbone.
+  Rng seed_rng(2026);
+  DigixOptions data_options;
+  data_options.num_users = 60;
+  DigixGenerator gen(data_options);
+  auto trials = gen.GenerateTrials(bench::kNumTrials, &seed_rng).ValueOrDie();
+
+  struct Setup {
+    const char* label;
+    SemanticMode semantic;
+  };
+  const Setup setups[] = {
+      {"No mapping (raw numeric labels)", SemanticMode::kNone},
+      {"Differentiability-based transformation (unique names)",
+       SemanticMode::kDifferentiability},
+      {"Understandability-based transformation (meaningful labels)",
+       SemanticMode::kUnderstandability},
+  };
+
+  std::printf("== Fig. 8: semantic-enhancement setups, neural backbone ==\n"
+              "(pooled KS p-values over %zu trials)\n",
+              trials.size());
+
+  double summary[3][2] = {};
+  int idx = 0;
+  for (const Setup& setup : setups) {
+    PipelineOptions options;
+    options.fusion = FusionMethod::kGreaterMedianThreshold;
+    options.semantic = setup.semantic;
+    options.synth.backbone = GreatSynthesizer::Backbone::kNeural;
+    options.synth.encoder.permutations_per_row = 1;
+    options.synth.max_training_sequences = 500;
+    options.synth.neural.epochs = 8;
+    options.synth.neural.context_window = 6;
+    options.synth.neural.embed_dim = 12;
+    options.synth.neural.hidden_dim = 32;
+
+    std::vector<double> p_values;
+    std::vector<double> w_distances;
+    for (size_t t = 0; t < trials.size(); ++t) {
+      FidelityReport report =
+          bench::RunTrial(options, trials[t], 2000 + t);
+      auto p = report.PValues();
+      auto w = report.WDistances();
+      p_values.insert(p_values.end(), p.begin(), p.end());
+      w_distances.insert(w_distances.end(), w.begin(), w.end());
+    }
+    bench::PrintDistribution(setup.label, p_values);
+    summary[idx][0] = Mean(p_values);
+    summary[idx][1] = Mean(w_distances);
+    ++idx;
+  }
+
+  std::printf("\n== summary ==\n%-60s %8s %8s\n", "setup", "mean-p",
+              "mean-W");
+  for (int i = 0; i < 3; ++i) {
+    std::printf("%-60s %8.3f %8.3f\n", setups[i].label, summary[i][0],
+                summary[i][1]);
+  }
+  std::printf("\npaper shape: both transformations above no-mapping, with "
+              "understandability slightly ahead of differentiability.\n");
+  return 0;
+}

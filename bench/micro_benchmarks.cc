@@ -1,0 +1,119 @@
+// Engineering microbenchmarks (google-benchmark): throughput of the
+// substrate operations the figure harnesses lean on. Not a paper figure —
+// these guard against performance regressions in the hot paths.
+
+#include <benchmark/benchmark.h>
+
+#include "crosstable/flatten.h"
+#include "crosstable/independence.h"
+#include "crosstable/reduce.h"
+#include "datagen/digix.h"
+#include "lm/ngram_lm.h"
+#include "stats/correlation.h"
+#include "stats/hypothesis.h"
+#include "synth/great_synthesizer.h"
+#include "text/bpe_tokenizer.h"
+#include "text/word_tokenizer.h"
+
+namespace greater {
+namespace {
+
+DigixDataset MakeTrial() {
+  Rng rng(77);
+  DigixGenerator gen;
+  return gen.Generate(&rng).ValueOrDie();
+}
+
+void BM_WordTokenize(benchmark::State& state) {
+  WordTokenizer tokenizer;
+  std::string text =
+      "gender is Male, age is From 20 to 29, residence is Chicago, "
+      "his_cat_seq is 20^35^42^15^5";
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tokenizer.Tokenize(text));
+  }
+}
+BENCHMARK(BM_WordTokenize);
+
+void BM_BpeEncodeWord(benchmark::State& state) {
+  std::vector<std::string> corpus;
+  for (int i = 0; i < 40; ++i) {
+    corpus.push_back("gender is Male, residence is Chicago");
+  }
+  auto bpe = BpeTokenizer::Train(corpus).ValueOrDie();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(bpe.EncodeWord("Chicago"));
+  }
+}
+BENCHMARK(BM_BpeEncodeWord);
+
+void BM_NGramFit(benchmark::State& state) {
+  DigixDataset trial = MakeTrial();
+  GreatSynthesizer::Options options;
+  options.encoder.permutations_per_row = 2;
+  for (auto _ : state) {
+    GreatSynthesizer synth(options);
+    Rng rng(1);
+    benchmark::DoNotOptimize(synth.Fit(trial.ads, &rng));
+  }
+}
+BENCHMARK(BM_NGramFit);
+
+void BM_NGramSampleRow(benchmark::State& state) {
+  DigixDataset trial = MakeTrial();
+  GreatSynthesizer synth;
+  Rng rng(1);
+  if (!synth.Fit(trial.ads, &rng).ok()) state.SkipWithError("fit failed");
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(synth.SampleRow(&rng));
+  }
+}
+BENCHMARK(BM_NGramSampleRow);
+
+void BM_DirectFlatten(benchmark::State& state) {
+  DigixDataset trial = MakeTrial();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        DirectFlatten(trial.ads, trial.feeds, "user_id"));
+  }
+}
+BENCHMARK(BM_DirectFlatten);
+
+void BM_AssociationMatrix(benchmark::State& state) {
+  DigixDataset trial = MakeTrial();
+  Table flat = DirectFlatten(trial.ads, trial.feeds, "user_id").ValueOrDie();
+  Table features =
+      flat.DropColumns({"user_id", "e_et", "i_docid", "i_entities"})
+          .ValueOrDie();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ComputeAssociationMatrix(features));
+  }
+}
+BENCHMARK(BM_AssociationMatrix);
+
+void BM_UniqueRows(benchmark::State& state) {
+  DigixDataset trial = MakeTrial();
+  Table flat = DirectFlatten(trial.ads, trial.feeds, "user_id").ValueOrDie();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(flat.UniqueRows());
+  }
+}
+BENCHMARK(BM_UniqueRows);
+
+void BM_KsTest(benchmark::State& state) {
+  Rng rng(5);
+  std::vector<double> a, b;
+  for (int i = 0; i < 1000; ++i) {
+    a.push_back(rng.Normal());
+    b.push_back(rng.Normal());
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(KolmogorovSmirnovTest(a, b));
+  }
+}
+BENCHMARK(BM_KsTest);
+
+}  // namespace
+}  // namespace greater
+
+BENCHMARK_MAIN();

@@ -1,0 +1,82 @@
+// End-to-end GReaTER on a DIGIX-like multi-table CTR dataset: generate
+// the advertisement + feeds tables, run the full pipeline (parent
+// extraction -> semantic enhancement -> cross-table connecting ->
+// parent-child synthesis -> inverse mapping), and score fidelity against
+// the two baselines of the paper's Sec. 4.2.
+
+#include <cstdio>
+
+#include "crosstable/pipeline.h"
+#include "datagen/digix.h"
+#include "eval/fidelity.h"
+
+using namespace greater;
+
+namespace {
+
+void RunSetup(const char* label, FusionMethod fusion,
+              const DigixDataset& data) {
+  PipelineOptions options;
+  options.fusion = fusion;
+  options.semantic = SemanticMode::kUnderstandability;
+  options.synth.encoder.permutations_per_row = 2;
+  options.synth.max_training_sequences = 700;
+  MultiTablePipeline pipeline(options);
+
+  Rng rng(7);
+  auto real = pipeline.BuildRealFlatView(data.ads, data.feeds, "user_id");
+  auto result = pipeline.Run(data.ads, data.feeds, "user_id", &rng);
+  if (!real.ok() || !result.ok()) {
+    std::fprintf(stderr, "%s failed\n", label);
+    return;
+  }
+  auto fid = EvaluateFidelity(real->UniqueRows(), result->synthetic_flat);
+  if (!fid.ok()) return;
+  std::printf("%-34s synthetic rows %5zu | mean p-value %.3f | mean "
+              "W-distance %.3f\n",
+              label, result->synthetic_flat.num_rows(), fid->MeanPValue(),
+              fid->MeanWDistance());
+  if (fusion == FusionMethod::kGreaterMedianThreshold) {
+    std::printf("   contextual (parent) columns :");
+    for (const auto& name : result->contextual_columns) {
+      std::printf(" %s", name.c_str());
+    }
+    std::printf("\n   identifiers dropped         :");
+    for (const auto& name : result->identifier_columns_dropped) {
+      std::printf(" %s", name.c_str());
+    }
+    std::printf("\n   independent columns         :");
+    for (const auto& name : result->independence.independent) {
+      std::printf(" %s", name.c_str());
+    }
+    std::printf("\n   semantically mapped columns : %zu\n",
+                result->semantically_mapped_columns.size());
+    std::printf("   dimension reduction         : %zu -> %zu rows (-%.0f%%)\n",
+                result->reduction.rows_before, result->reduction.rows_after,
+                100.0 * result->reduction.RowReductionRatio());
+  }
+}
+
+}  // namespace
+
+int main() {
+  std::printf("generating a DIGIX-like multi-table CTR trial...\n");
+  Rng rng(2026);
+  DigixGenerator gen;
+  auto data = gen.Generate(&rng);
+  if (!data.ok()) {
+    std::fprintf(stderr, "generation failed: %s\n",
+                 data.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("  ads   table: %zu rows x %zu cols\n", data->ads.num_rows(),
+              data->ads.num_columns());
+  std::printf("  feeds table: %zu rows x %zu cols\n\n",
+              data->feeds.num_rows(), data->feeds.num_columns());
+
+  RunSetup("GReaTER (median threshold)", FusionMethod::kGreaterMedianThreshold,
+           *data);
+  RunSetup("DEREC baseline", FusionMethod::kDerecIndependent, *data);
+  RunSetup("Direct flattening baseline", FusionMethod::kDirectFlatten, *data);
+  return 0;
+}

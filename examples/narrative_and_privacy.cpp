@@ -1,0 +1,67 @@
+// Two library extras in one walkthrough:
+//  (1) NarrativeTemplate — the paper's future-work sentence-template
+//      encoding (Sec. 5, item 2): rows rendered as flowing sentences and
+//      parsed back.
+//  (2) EvaluatePrivacy — the data-copying audit motivated by the privacy
+//      discussion of Sec. 3.2.3.
+
+#include <cstdio>
+
+#include "eval/privacy.h"
+#include "synth/great_synthesizer.h"
+#include "synth/narrative.h"
+
+using namespace greater;
+
+int main() {
+  Schema schema({Field("name", ValueType::kString),
+                 Field("gender", ValueType::kString),
+                 Field("lunch", ValueType::kString),
+                 Field("dinner", ValueType::kString),
+                 Field("genre", ValueType::kString)});
+  Table train(schema);
+  const char* names[] = {"Grace", "Yin", "Anson", "Mia"};
+  const char* genders[] = {"female", "male"};
+  const char* foods[] = {"rice", "steak", "noodles", "salad"};
+  const char* genres[] = {"action", "comedy", "drama"};
+  Rng rng(5);
+  for (int i = 0; i < 60; ++i) {
+    (void)train.AppendRow({Value(names[i % 4]), Value(genders[i % 2]),
+                           Value(foods[rng.Index(4)]),
+                           Value(foods[rng.Index(4)]),
+                           Value(genres[rng.Index(3)])});
+  }
+
+  std::printf("== narrative sentence encoding (paper Sec. 5 future work) ==\n");
+  auto tmpl = NarrativeTemplate::Compile(
+                  "A {gender} named {name} had {lunch} for lunch and "
+                  "{dinner} for dinner while watching {genre}-related video.",
+                  schema)
+                  .ValueOrDie();
+  std::string sentence = tmpl.Render(train.GetRow(0));
+  std::printf("rendered : %s\n", sentence.c_str());
+  Row parsed = tmpl.Parse(sentence).ValueOrDie();
+  std::printf("parsed   : name=%s gender=%s lunch=%s dinner=%s genre=%s\n",
+              parsed[0].as_string().c_str(), parsed[1].as_string().c_str(),
+              parsed[2].as_string().c_str(), parsed[3].as_string().c_str(),
+              parsed[4].as_string().c_str());
+  std::printf("round-trips: %s\n\n",
+              parsed == train.GetRow(0) ? "yes" : "NO");
+
+  std::printf("== privacy audit of synthetic output ==\n");
+  GreatSynthesizer synth;
+  if (!synth.Fit(train, &rng).ok()) return 1;
+  Table sample = synth.Sample(100, &rng).ValueOrDie();
+  auto report = EvaluatePrivacy(train, sample).ValueOrDie();
+  std::printf("synthetic rows      : %zu\n", sample.num_rows());
+  std::printf("exact-copy rate     : %.2f\n", report.exact_copy_rate);
+  std::printf("mean DCR            : %.3f (fraction of columns differing "
+              "from the closest training row)\n",
+              report.mean_dcr);
+  std::printf("5th-percentile DCR  : %.3f\n", report.p5_dcr);
+  std::printf("\nnote: with a tiny joint category space some exact "
+              "collisions are inevitable;\nthe data-copying signal is an "
+              "exact-copy rate far above what two independent\nreal samples "
+              "would show.\n");
+  return 0;
+}

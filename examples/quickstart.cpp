@@ -1,0 +1,70 @@
+// Quickstart: single-table GReaT-style synthesis in a dozen lines.
+//
+// Builds the paper's Fig. 2 toy table, fits the synthesizer (textual
+// encoder + autoregressive language model), samples synthetic rows, and
+// prints both tables side by side.
+
+#include <cstdio>
+
+#include "synth/great_synthesizer.h"
+
+using namespace greater;
+
+int main() {
+  // 1. A small multi-modal table: strings and numeric category labels.
+  Schema schema({Field("name", ValueType::kString),
+                 Field("lunch", ValueType::kInt),
+                 Field("dinner", ValueType::kInt),
+                 Field("genre", ValueType::kInt)});
+  Table train(schema);
+  const char* names[] = {"Grace", "Yin", "Anson", "Mia", "Leo"};
+  Rng data_rng(1);
+  for (int i = 0; i < 80; ++i) {
+    int64_t lunch = data_rng.UniformInt(1, 2);
+    int64_t dinner = data_rng.Bernoulli(0.8) ? lunch : data_rng.UniformInt(1, 2);
+    int64_t genre = data_rng.UniformInt(1, 3);
+    if (!train.AppendRow({Value(names[i % 5]), Value(lunch), Value(dinner),
+                          Value(genre)})
+             .ok()) {
+      return 1;
+    }
+  }
+
+  // 2. Fit the GReaT pipeline: every row becomes a sentence like
+  //    "name is Grace, lunch is 1, dinner is 1, genre is 2"
+  //    and an autoregressive LM learns the sentence distribution.
+  GreatSynthesizer synth;
+  Rng rng(42);
+  if (Status st = synth.Fit(train, &rng); !st.ok()) {
+    std::fprintf(stderr, "fit failed: %s\n", st.ToString().c_str());
+    return 1;
+  }
+
+  // 3. Sample synthetic rows back out.
+  auto sample = synth.Sample(10, &rng);
+  if (!sample.ok()) {
+    std::fprintf(stderr, "sample failed: %s\n",
+                 sample.status().ToString().c_str());
+    return 1;
+  }
+
+  std::printf("=== training data (first rows) ===\n%s\n",
+              train.ToString(5).c_str());
+  std::printf("=== synthetic data ===\n%s\n", sample->ToString(10).c_str());
+  std::printf("sampler stats: %zu rows, %zu attempts, %zu rejected\n",
+              synth.stats().rows_emitted, synth.stats().attempts,
+              synth.stats().rejected);
+
+  // 4. Conditional generation: force a column and let the model fill in
+  //    the rest.
+  std::map<std::string, Value> forced = {{"name", Value("Grace")}};
+  auto row = synth.SampleRow(&rng, &forced);
+  if (row.ok()) {
+    std::printf("\nconditional row for Grace: lunch=%lld dinner=%lld "
+                "genre=%lld\n",
+                static_cast<long long>((*row)[1].as_int()),
+                static_cast<long long>((*row)[2].as_int()),
+                static_cast<long long>((*row)[3].as_int()));
+  }
+  return 0;
+}

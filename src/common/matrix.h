@@ -1,0 +1,56 @@
+#ifndef GREATER_COMMON_MATRIX_H_
+#define GREATER_COMMON_MATRIX_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace greater {
+
+/// Minimal dense row-major matrix of doubles. Used for correlation /
+/// association matrices and as the parameter storage of the neural language
+/// model. Deliberately small: only the operations the library needs.
+class Matrix {
+ public:
+  Matrix() = default;
+  Matrix(size_t rows, size_t cols, double fill = 0.0)
+      : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+
+  size_t rows() const { return rows_; }
+  size_t cols() const { return cols_; }
+
+  double& operator()(size_t r, size_t c) { return data_[r * cols_ + c]; }
+  double operator()(size_t r, size_t c) const { return data_[r * cols_ + c]; }
+
+  double* RowPtr(size_t r) { return data_.data() + r * cols_; }
+  const double* RowPtr(size_t r) const { return data_.data() + r * cols_; }
+
+  std::vector<double>& data() { return data_; }
+  const std::vector<double>& data() const { return data_; }
+
+  void Fill(double value) { data_.assign(data_.size(), value); }
+
+  /// this * other; dimensions must agree.
+  Matrix MatMul(const Matrix& other) const;
+
+  /// Transposed copy.
+  Matrix Transposed() const;
+
+  /// Elementwise in-place: this += scale * other (same shape).
+  void AddScaled(const Matrix& other, double scale);
+
+  /// Frobenius norm.
+  double FrobeniusNorm() const;
+
+  /// Debug rendering with fixed precision.
+  std::string ToString(int precision = 3) const;
+
+ private:
+  size_t rows_ = 0;
+  size_t cols_ = 0;
+  std::vector<double> data_;
+};
+
+}  // namespace greater
+
+#endif  // GREATER_COMMON_MATRIX_H_

@@ -1,0 +1,43 @@
+#include "common/rng.h"
+
+#include <numeric>
+
+namespace greater {
+
+size_t Rng::Categorical(const std::vector<double>& weights) {
+  if (weights.empty()) return 0;
+  double total = std::accumulate(weights.begin(), weights.end(), 0.0);
+  if (total <= 0.0) return Index(weights.size());
+  double target = Uniform() * total;
+  double cum = 0.0;
+  for (size_t i = 0; i < weights.size(); ++i) {
+    cum += weights[i];
+    if (target < cum) return i;
+  }
+  return weights.size() - 1;  // numerical slack on the last bucket
+}
+
+std::vector<size_t> Rng::Permutation(size_t n) {
+  std::vector<size_t> perm(n);
+  std::iota(perm.begin(), perm.end(), 0);
+  Shuffle(&perm);
+  return perm;
+}
+
+std::vector<size_t> Rng::BootstrapIndices(size_t n, size_t count) {
+  std::vector<size_t> out;
+  if (n == 0) return out;
+  out.reserve(count);
+  for (size_t i = 0; i < count; ++i) out.push_back(Index(n));
+  return out;
+}
+
+Rng Rng::Fork() {
+  // Draw two words from this stream to seed the child; keeps parent and
+  // child streams decorrelated for mt19937_64's practical purposes.
+  uint64_t a = engine_();
+  uint64_t b = engine_();
+  return Rng(a ^ (b * 0x2545F4914F6CDD1DULL + 0x9e3779b97f4a7c15ULL));
+}
+
+}  // namespace greater

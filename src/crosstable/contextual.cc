@@ -1,0 +1,94 @@
+#include "crosstable/contextual.h"
+
+#include <map>
+
+namespace greater {
+
+Result<std::vector<std::string>> FindContextualColumns(
+    const Table& table, const std::string& key_column,
+    double min_consistency) {
+  GREATER_ASSIGN_OR_RETURN(auto groups, table.GroupByColumn(key_column));
+  if (groups.empty()) {
+    return Status::Invalid("table has no rows to analyze");
+  }
+  std::vector<std::string> contextual;
+  for (size_t c = 0; c < table.num_columns(); ++c) {
+    const std::string& name = table.schema().field(c).name;
+    if (name == key_column) continue;
+    size_t consistent_subjects = 0;
+    for (const auto& [key, rows] : groups) {
+      bool consistent = true;
+      for (size_t k = 1; k < rows.size(); ++k) {
+        if (table.at(rows[k], c) != table.at(rows[0], c)) {
+          consistent = false;
+          break;
+        }
+      }
+      if (consistent) ++consistent_subjects;
+    }
+    double fraction = static_cast<double>(consistent_subjects) /
+                      static_cast<double>(groups.size());
+    if (fraction >= min_consistency) contextual.push_back(name);
+  }
+  return contextual;
+}
+
+Result<ParentChildSplit> ExtractParent(
+    const Table& table, const std::string& key_column,
+    const std::vector<std::string>& contextual_columns) {
+  GREATER_ASSIGN_OR_RETURN(size_t key_idx,
+                           table.schema().FieldIndex(key_column));
+  std::vector<size_t> ctx_indices;
+  for (const auto& name : contextual_columns) {
+    if (name == key_column) {
+      return Status::Invalid("key column cannot be contextual");
+    }
+    GREATER_ASSIGN_OR_RETURN(size_t idx, table.schema().FieldIndex(name));
+    ctx_indices.push_back(idx);
+  }
+
+  // Parent schema: key first, then contextual columns.
+  std::vector<Field> parent_fields;
+  parent_fields.push_back(table.schema().field(key_idx));
+  for (size_t idx : ctx_indices) parent_fields.push_back(table.schema().field(idx));
+  GREATER_ASSIGN_OR_RETURN(Schema parent_schema,
+                           Schema::Make(std::move(parent_fields)));
+  Table parent(std::move(parent_schema));
+
+  GREATER_ASSIGN_OR_RETURN(auto groups, table.GroupByColumn(key_column));
+  for (const auto& [key, rows] : groups) {
+    Row parent_row;
+    parent_row.push_back(key);
+    for (size_t idx : ctx_indices) {
+      // Modal value over the subject's observations (robust to the < 100%
+      // consistency tolerance).
+      std::map<Value, size_t> counts;
+      for (size_t r : rows) ++counts[table.at(r, idx)];
+      const Value* best = nullptr;
+      size_t best_count = 0;
+      for (const auto& [value, count] : counts) {
+        if (count > best_count) {
+          best = &value;
+          best_count = count;
+        }
+      }
+      parent_row.push_back(*best);
+    }
+    GREATER_RETURN_NOT_OK(parent.AppendRow(std::move(parent_row)));
+  }
+
+  GREATER_ASSIGN_OR_RETURN(Table child,
+                           table.DropColumns(contextual_columns));
+  return ParentChildSplit{std::move(parent), std::move(child)};
+}
+
+Result<ParentChildSplit> SplitByContextualVariables(
+    const Table& table, const std::string& key_column,
+    double min_consistency) {
+  GREATER_ASSIGN_OR_RETURN(
+      std::vector<std::string> contextual,
+      FindContextualColumns(table, key_column, min_consistency));
+  return ExtractParent(table, key_column, contextual);
+}
+
+}  // namespace greater

@@ -1,0 +1,41 @@
+#ifndef GREATER_CROSSTABLE_CONTEXTUAL_H_
+#define GREATER_CROSSTABLE_CONTEXTUAL_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "tabular/table.h"
+
+namespace greater {
+
+/// Parent table + residual child table produced by contextual extraction.
+struct ParentChildSplit {
+  Table parent;  ///< key + contextual columns, one row per subject
+  Table child;   ///< key + remaining columns, original row count
+};
+
+/// Finds contextual columns (paper Appendix A.2): a column is contextual
+/// when, for at least `min_consistency` of the subjects keyed by
+/// `key_column`, every observation of that subject carries the same value
+/// (m < 100% tolerates "realistic exceptional cases and measurement
+/// error"). The key column itself is excluded.
+Result<std::vector<std::string>> FindContextualColumns(
+    const Table& table, const std::string& key_column,
+    double min_consistency = 1.0);
+
+/// Extracts the DEREC-style parent table: one row per subject holding the
+/// key and each contextual column's modal (most frequent) value for that
+/// subject; the residual child keeps the key plus all other columns.
+Result<ParentChildSplit> ExtractParent(
+    const Table& table, const std::string& key_column,
+    const std::vector<std::string>& contextual_columns);
+
+/// Convenience: FindContextualColumns + ExtractParent in one call.
+Result<ParentChildSplit> SplitByContextualVariables(
+    const Table& table, const std::string& key_column,
+    double min_consistency = 1.0);
+
+}  // namespace greater
+
+#endif  // GREATER_CROSSTABLE_CONTEXTUAL_H_

@@ -1,0 +1,284 @@
+#include "crosstable/independence.h"
+
+#include <algorithm>
+#include <cmath>
+#include <functional>
+#include <limits>
+
+#include "stats/descriptive.h"
+#include "stats/hypothesis.h"
+
+namespace greater {
+
+Result<IndependenceResult> ThresholdSeparation(const AssociationMatrix& matrix,
+                                               double threshold) {
+  size_t k = matrix.values.rows();
+  if (k == 0) return Status::Invalid("empty association matrix");
+  IndependenceResult result;
+  result.threshold = threshold;
+  for (size_t i = 0; i < k; ++i) {
+    bool independent = true;
+    for (size_t j = 0; j < k; ++j) {
+      if (j == i) continue;
+      if (matrix.values(i, j) >= threshold) {
+        independent = false;
+        break;
+      }
+    }
+    (independent ? result.independent : result.dependent)
+        .push_back(matrix.names[i]);
+  }
+  return result;
+}
+
+double MeanAssociation(const AssociationMatrix& matrix) {
+  return Mean(OffDiagonal(matrix));
+}
+
+double MedianAssociation(const AssociationMatrix& matrix) {
+  return Median(OffDiagonal(matrix));
+}
+
+namespace {
+
+double EuclideanDistance(const std::vector<double>& a,
+                         const std::vector<double>& b) {
+  double sum = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    double d = a[i] - b[i];
+    sum += d * d;
+  }
+  return std::sqrt(sum);
+}
+
+}  // namespace
+
+Result<HierarchicalClustering> HierarchicalClustering::Fit(
+    const std::vector<std::vector<double>>& points) {
+  size_t n = points.size();
+  if (n == 0) return Status::Invalid("clustering needs at least one point");
+  for (const auto& p : points) {
+    if (p.size() != points[0].size()) {
+      return Status::Invalid("clustering points have mixed dimensions");
+    }
+  }
+  std::vector<std::vector<double>> leaf_dist(n, std::vector<double>(n, 0.0));
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = i + 1; j < n; ++j) {
+      double d = EuclideanDistance(points[i], points[j]);
+      leaf_dist[i][j] = d;
+      leaf_dist[j][i] = d;
+    }
+  }
+  return FitFromDistances(leaf_dist);
+}
+
+Result<HierarchicalClustering> HierarchicalClustering::FitFromDistances(
+    const std::vector<std::vector<double>>& leaf_dist) {
+  size_t n = leaf_dist.size();
+  if (n == 0) return Status::Invalid("clustering needs at least one point");
+  for (const auto& row : leaf_dist) {
+    if (row.size() != n) {
+      return Status::Invalid("distance matrix must be square");
+    }
+  }
+  HierarchicalClustering model;
+  model.num_points_ = n;
+  if (n == 1) return model;
+
+  // Active clusters: id -> member leaf indices. Average linkage computed
+  // as the mean pairwise distance between members (unweighted average
+  // linkage / UPGMA over the precomputed leaf distance matrix).
+  struct Cluster {
+    size_t id;
+    std::vector<size_t> members;
+  };
+  std::vector<Cluster> active;
+  for (size_t i = 0; i < n; ++i) active.push_back({i, {i}});
+
+  auto linkage = [&](const Cluster& a, const Cluster& b) {
+    double sum = 0.0;
+    for (size_t i : a.members) {
+      for (size_t j : b.members) sum += leaf_dist[i][j];
+    }
+    return sum / static_cast<double>(a.members.size() * b.members.size());
+  };
+
+  size_t next_id = n;
+  while (active.size() > 1) {
+    size_t best_a = 0, best_b = 1;
+    double best_d = std::numeric_limits<double>::infinity();
+    for (size_t a = 0; a < active.size(); ++a) {
+      for (size_t b = a + 1; b < active.size(); ++b) {
+        double d = linkage(active[a], active[b]);
+        if (d < best_d) {
+          best_d = d;
+          best_a = a;
+          best_b = b;
+        }
+      }
+    }
+    model.merges_.push_back(
+        {active[best_a].id, active[best_b].id, best_d});
+    Cluster merged;
+    merged.id = next_id++;
+    merged.members = active[best_a].members;
+    merged.members.insert(merged.members.end(),
+                          active[best_b].members.begin(),
+                          active[best_b].members.end());
+    // Erase higher index first.
+    active.erase(active.begin() + static_cast<ptrdiff_t>(best_b));
+    active.erase(active.begin() + static_cast<ptrdiff_t>(best_a));
+    active.push_back(std::move(merged));
+  }
+  return model;
+}
+
+std::vector<size_t> HierarchicalClustering::CutAtDistance(
+    double cut_distance) const {
+  // Union-find over leaves; apply merges with distance <= cut.
+  std::vector<size_t> parent(num_points_ + merges_.size());
+  for (size_t i = 0; i < parent.size(); ++i) parent[i] = i;
+  std::function<size_t(size_t)> find = [&](size_t x) {
+    while (parent[x] != x) {
+      parent[x] = parent[parent[x]];
+      x = parent[x];
+    }
+    return x;
+  };
+  for (size_t k = 0; k < merges_.size(); ++k) {
+    const Merge& m = merges_[k];
+    size_t merged_id = num_points_ + k;
+    if (m.distance <= cut_distance) {
+      parent[find(m.cluster_a)] = merged_id;
+      parent[find(m.cluster_b)] = merged_id;
+    } else {
+      // The merged node still needs to exist as its own root so later
+      // merges referencing it resolve; leave it a singleton root.
+      parent[merged_id] = merged_id;
+    }
+  }
+  // Label leaves by root, compacted to 0..k-1.
+  std::vector<size_t> labels(num_points_);
+  std::vector<size_t> roots;
+  for (size_t i = 0; i < num_points_; ++i) {
+    size_t root = find(i);
+    size_t label = roots.size();
+    for (size_t r = 0; r < roots.size(); ++r) {
+      if (roots[r] == root) {
+        label = r;
+        break;
+      }
+    }
+    if (label == roots.size()) roots.push_back(root);
+    labels[i] = label;
+  }
+  return labels;
+}
+
+std::vector<size_t> HierarchicalClustering::CutIntoK(size_t k) const {
+  k = std::max<size_t>(1, std::min(k, num_points_));
+  // Applying the first (num_points - k) merges leaves exactly k clusters.
+  size_t apply = num_points_ - k;
+  double cut = apply == 0 ? -1.0 : merges_[apply - 1].distance;
+  return CutAtDistance(cut);
+}
+
+Result<IndependenceResult> HierarchicalSeparation(
+    const AssociationMatrix& matrix, double cut_distance) {
+  size_t k = matrix.values.rows();
+  if (k == 0) return Status::Invalid("empty association matrix");
+  // Feature dissimilarity: d(i, j) = 1 - association(i, j). Correlated
+  // features sit close together and merge early; a feature independent of
+  // everything sits near distance 1 from every cluster and stays a
+  // singleton until the very last merges.
+  std::vector<std::vector<double>> distances(k, std::vector<double>(k, 0.0));
+  for (size_t i = 0; i < k; ++i) {
+    for (size_t j = 0; j < k; ++j) {
+      distances[i][j] = i == j ? 0.0 : 1.0 - matrix.values(i, j);
+    }
+  }
+  GREATER_ASSIGN_OR_RETURN(HierarchicalClustering model,
+                           HierarchicalClustering::FitFromDistances(distances));
+  double cut = cut_distance;
+  if (cut <= 0.0) {
+    std::vector<double> distances;
+    for (const auto& merge : model.merges()) distances.push_back(merge.distance);
+    cut = Mean(distances);
+  }
+  std::vector<size_t> labels = model.CutAtDistance(cut);
+  std::vector<size_t> cluster_sizes;
+  for (size_t label : labels) {
+    if (label >= cluster_sizes.size()) cluster_sizes.resize(label + 1, 0);
+    ++cluster_sizes[label];
+  }
+  IndependenceResult result;
+  result.threshold = cut;
+  for (size_t i = 0; i < k; ++i) {
+    bool singleton = cluster_sizes[labels[i]] == 1;
+    (singleton ? result.independent : result.dependent)
+        .push_back(matrix.names[i]);
+  }
+  return result;
+}
+
+
+Result<IndependenceResult> TestBasedSeparation(const Table& features,
+                                               double alpha) {
+  size_t k = features.num_columns();
+  if (k < 2) {
+    return Status::Invalid("test-based separation needs >= 2 features");
+  }
+  if (alpha <= 0.0 || alpha >= 1.0) {
+    return Status::Invalid("alpha must be in (0, 1)");
+  }
+  // Pairwise p-values (unordered pairs).
+  struct PairP {
+    size_t i, j;
+    double p;
+  };
+  std::vector<PairP> pairs;
+  for (size_t i = 0; i < k; ++i) {
+    for (size_t j = i + 1; j < k; ++j) {
+      auto ct =
+          ContingencyTable::FromColumns(features.column(i), features.column(j));
+      double p = 1.0;
+      if (ct.ok()) {
+        if (ct->num_rows() == 2 && ct->num_cols() == 2) {
+          auto fisher = FisherExactTest2x2(ct->count(0, 0), ct->count(0, 1),
+                                           ct->count(1, 0), ct->count(1, 1));
+          if (fisher.ok()) p = fisher->p_value;
+        } else {
+          auto chi2 = ChiSquareIndependenceTest(*ct);
+          if (chi2.ok()) p = chi2->p_value;
+        }
+      }
+      pairs.push_back({i, j, p});
+    }
+  }
+  // Benjamini-Hochberg: reject the pairs with p <= (rank/m) * alpha up to
+  // the largest rank satisfying the bound.
+  std::vector<size_t> order(pairs.size());
+  for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::sort(order.begin(), order.end(),
+            [&](size_t a, size_t b) { return pairs[a].p < pairs[b].p; });
+  double m = static_cast<double>(pairs.size());
+  size_t cutoff = 0;  // number of rejected (dependent) pairs
+  for (size_t r = 0; r < order.size(); ++r) {
+    double bound = (static_cast<double>(r + 1) / m) * alpha;
+    if (pairs[order[r]].p <= bound) cutoff = r + 1;
+  }
+  std::vector<bool> has_dependence(k, false);
+  for (size_t r = 0; r < cutoff; ++r) {
+    has_dependence[pairs[order[r]].i] = true;
+    has_dependence[pairs[order[r]].j] = true;
+  }
+  IndependenceResult result;
+  result.threshold = alpha;
+  for (size_t i = 0; i < k; ++i) {
+    (has_dependence[i] ? result.dependent : result.independent)
+        .push_back(features.schema().field(i).name);
+  }
+  return result;
+}
+}  // namespace greater

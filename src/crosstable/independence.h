@@ -1,0 +1,89 @@
+#ifndef GREATER_CROSSTABLE_INDEPENDENCE_H_
+#define GREATER_CROSSTABLE_INDEPENDENCE_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "stats/correlation.h"
+#include "tabular/table.h"
+
+namespace greater {
+
+/// Outcome of an independence determination (paper Sec. 3.3.1): which
+/// features are independent of all the rest (to be removed before
+/// flattening and appended back by sampling), which stay.
+struct IndependenceResult {
+  std::vector<std::string> independent;
+  std::vector<std::string> dependent;
+  /// The threshold / cut distance actually used.
+  double threshold = 0.0;
+};
+
+/// The 'up-and-stay' Threshold Separation method: a feature is independent
+/// when ALL of its pairwise association coefficients with other features
+/// fall below `threshold`.
+Result<IndependenceResult> ThresholdSeparation(const AssociationMatrix& matrix,
+                                               double threshold);
+
+/// Thresholds the paper tunes with (Sec. 4.1.6): mean / median of the
+/// off-diagonal association coefficients.
+double MeanAssociation(const AssociationMatrix& matrix);
+double MedianAssociation(const AssociationMatrix& matrix);
+
+/// Agglomerative hierarchical clustering (average linkage) over feature
+/// profiles — each feature is embedded as its vector of associations with
+/// every feature, and distance is Euclidean, matching the paper's
+/// "average pairwise Euclidean distance" formulation.
+class HierarchicalClustering {
+ public:
+  /// One merge step of the dendrogram.
+  struct Merge {
+    size_t cluster_a;  ///< ids: 0..n-1 are leaves, n+k is the k-th merge
+    size_t cluster_b;
+    double distance;   ///< average-linkage distance at which they merged
+  };
+
+  /// Builds the dendrogram for `points` (row-major observations) under
+  /// Euclidean distance.
+  static Result<HierarchicalClustering> Fit(
+      const std::vector<std::vector<double>>& points);
+
+  /// Builds the dendrogram from a precomputed symmetric distance matrix.
+  static Result<HierarchicalClustering> FitFromDistances(
+      const std::vector<std::vector<double>>& distances);
+
+  size_t num_points() const { return num_points_; }
+  const std::vector<Merge>& merges() const { return merges_; }
+
+  /// Cluster label per point after cutting all merges with
+  /// distance > `cut_distance`.
+  std::vector<size_t> CutAtDistance(double cut_distance) const;
+
+  /// Cluster label per point when exactly `k` clusters remain (k >= 1).
+  std::vector<size_t> CutIntoK(size_t k) const;
+
+ private:
+  size_t num_points_ = 0;
+  std::vector<Merge> merges_;
+};
+
+/// Independence via hierarchical clustering: features whose profile lands
+/// in a singleton cluster after cutting the dendrogram are declared
+/// independent. `cut_distance` <= 0 auto-tunes to the mean merge distance.
+Result<IndependenceResult> HierarchicalSeparation(
+    const AssociationMatrix& matrix, double cut_distance = 0.0);
+
+/// Hypothesis-test-based determination, the paper's stated alternative
+/// ("the determination of independent columns can also be done with other
+/// tests such as the chi-square test and Fisher's Exact Test",
+/// Sec. 3.3.1): a feature is independent when NO pairwise test against
+/// another feature rejects independence at level `alpha` after a
+/// Benjamini–Hochberg correction across all pairs. 2x2 pairs use Fisher's
+/// exact test; larger tables use the chi-square test.
+Result<IndependenceResult> TestBasedSeparation(const Table& features,
+                                               double alpha = 0.05);
+
+}  // namespace greater
+
+#endif  // GREATER_CROSSTABLE_INDEPENDENCE_H_

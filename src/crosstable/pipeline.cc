@@ -1,0 +1,491 @@
+#include "crosstable/pipeline.h"
+
+#include <algorithm>
+#include <set>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "crosstable/contextual.h"
+#include "crosstable/flatten.h"
+#include "semantic/text_transform.h"
+
+namespace greater {
+
+const char* FusionMethodToString(FusionMethod method) {
+  switch (method) {
+    case FusionMethod::kDirectFlatten: return "direct-flatten";
+    case FusionMethod::kDerecIndependent: return "derec-independent";
+    case FusionMethod::kGreaterMeanThreshold: return "greater-mean-threshold";
+    case FusionMethod::kGreaterMedianThreshold:
+      return "greater-median-threshold";
+    case FusionMethod::kGreaterHierarchical: return "greater-hierarchical";
+  }
+  return "unknown";
+}
+
+const char* SemanticModeToString(SemanticMode mode) {
+  switch (mode) {
+    case SemanticMode::kNone: return "none";
+    case SemanticMode::kDifferentiability: return "differentiability";
+    case SemanticMode::kUnderstandability: return "understandability";
+  }
+  return "unknown";
+}
+
+MultiTablePipeline::MultiTablePipeline(PipelineOptions options)
+    : options_(std::move(options)) {}
+
+namespace {
+
+// Columns declared kIdentifier in a table's schema.
+std::vector<std::string> IdentifierColumns(const Table& table,
+                                           const std::string& key_column) {
+  std::vector<std::string> out;
+  for (const auto& field : table.schema().fields()) {
+    if (field.name != key_column &&
+        field.semantic == SemanticType::kIdentifier) {
+      out.push_back(field.name);
+    }
+  }
+  return out;
+}
+
+// String columns with at least one '^'-bearing cell.
+std::vector<std::string> DetectCaretColumns(const Table& table) {
+  std::vector<std::string> out;
+  for (size_t c = 0; c < table.num_columns(); ++c) {
+    if (table.schema().field(c).type != ValueType::kString) continue;
+    for (size_t r = 0; r < table.num_rows(); ++r) {
+      const Value& v = table.at(r, c);
+      if (!v.is_null() && v.as_string().find('^') != std::string::npos) {
+        out.push_back(table.schema().field(c).name);
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+// Restricts a table to rows whose key value is in `keys`.
+Result<Table> FilterToKeys(const Table& table, const std::string& key_column,
+                           const std::set<Value>& keys) {
+  GREATER_ASSIGN_OR_RETURN(size_t key_idx,
+                           table.schema().FieldIndex(key_column));
+  return table.FilterRows(
+      [&](size_t r) { return keys.count(table.at(r, key_idx)) > 0; });
+}
+
+// Categorical columns (across several tables) whose display values collide
+// with another selected column — the enhancement candidates.
+std::vector<std::pair<const Table*, std::string>> AmbiguousColumnsAcross(
+    const std::vector<const Table*>& tables, const std::string& key_column) {
+  struct ColumnRef {
+    const Table* table;
+    size_t index;
+  };
+  std::vector<ColumnRef> candidates;
+  std::unordered_map<std::string, std::set<size_t>> occurrence;
+  for (const Table* table : tables) {
+    for (size_t c = 0; c < table->num_columns(); ++c) {
+      const Field& field = table->schema().field(c);
+      if (field.name == key_column) continue;
+      if (field.semantic != SemanticType::kCategorical) continue;
+      size_t candidate_id = candidates.size();
+      candidates.push_back({table, c});
+      for (size_t r = 0; r < table->num_rows(); ++r) {
+        const Value& v = table->at(r, c);
+        if (v.is_null()) continue;
+        occurrence[v.ToDisplayString()].insert(candidate_id);
+      }
+    }
+  }
+  std::set<size_t> ambiguous;
+  for (const auto& [text, cols] : occurrence) {
+    if (cols.size() > 1) ambiguous.insert(cols.begin(), cols.end());
+  }
+  std::vector<std::pair<const Table*, std::string>> out;
+  for (size_t id : ambiguous) {
+    out.emplace_back(candidates[id].table,
+                     candidates[id].table->schema().field(candidates[id].index).name);
+  }
+  return out;
+}
+
+// Joins parent features onto a flattened child view by key; output drops
+// the key column (synthetic keys are surrogates with no real counterpart).
+Result<Table> JoinParentFeatures(const Table& parent, const Table& flat,
+                                 const std::string& key_column) {
+  GREATER_ASSIGN_OR_RETURN(size_t parent_key,
+                           parent.schema().FieldIndex(key_column));
+  GREATER_ASSIGN_OR_RETURN(size_t flat_key,
+                           flat.schema().FieldIndex(key_column));
+  std::vector<Field> fields;
+  std::vector<size_t> parent_features, flat_features;
+  for (size_t c = 0; c < parent.num_columns(); ++c) {
+    if (c == parent_key) continue;
+    fields.push_back(parent.schema().field(c));
+    parent_features.push_back(c);
+  }
+  for (size_t c = 0; c < flat.num_columns(); ++c) {
+    if (c == flat_key) continue;
+    fields.push_back(flat.schema().field(c));
+    flat_features.push_back(c);
+  }
+  GREATER_ASSIGN_OR_RETURN(Schema schema, Schema::Make(std::move(fields)));
+  Table out(std::move(schema));
+
+  std::map<Value, size_t> parent_rows;
+  for (size_t r = 0; r < parent.num_rows(); ++r) {
+    parent_rows[parent.at(r, parent_key)] = r;
+  }
+  for (size_t r = 0; r < flat.num_rows(); ++r) {
+    auto it = parent_rows.find(flat.at(r, flat_key));
+    if (it == parent_rows.end()) {
+      return Status::NotFound("flat row key '" +
+                              flat.at(r, flat_key).ToDisplayString() +
+                              "' missing from parent");
+    }
+    Row row;
+    row.reserve(out.num_columns());
+    for (size_t c : parent_features) row.push_back(parent.at(it->second, c));
+    for (size_t c : flat_features) row.push_back(flat.at(r, c));
+    GREATER_RETURN_NOT_OK(out.AppendRow(std::move(row)));
+  }
+  return out;
+}
+
+// Merges the two contextual halves into one parent table: key + child1's
+// contextual columns + child2's, aligned by key (both halves must cover
+// the same subjects).
+Result<Table> MergeParents(const Table& parent1, const Table& parent2,
+                           const std::string& key_column) {
+  Table parent = parent1;
+  GREATER_ASSIGN_OR_RETURN(size_t key1, parent.schema().FieldIndex(key_column));
+  GREATER_ASSIGN_OR_RETURN(size_t key2,
+                           parent2.schema().FieldIndex(key_column));
+  std::map<Value, size_t> rows2;
+  for (size_t r = 0; r < parent2.num_rows(); ++r) {
+    rows2[parent2.at(r, key2)] = r;
+  }
+  for (size_t c = 0; c < parent2.num_columns(); ++c) {
+    if (c == key2) continue;
+    std::vector<Value> column;
+    column.reserve(parent.num_rows());
+    for (size_t r = 0; r < parent.num_rows(); ++r) {
+      auto it = rows2.find(parent.at(r, key1));
+      if (it == rows2.end()) {
+        return Status::Internal("subject missing from second parent half");
+      }
+      column.push_back(parent2.at(it->second, c));
+    }
+    GREATER_RETURN_NOT_OK(
+        parent.AddColumn(parent2.schema().field(c), std::move(column)));
+  }
+  return parent;
+}
+
+}  // namespace
+
+Result<Table> MultiTablePipeline::BuildRealFlatView(
+    const Table& child1_in, const Table& child2_in,
+    const std::string& key_column) const {
+  Table child1 = child1_in;
+  Table child2 = child2_in;
+  if (options_.drop_identifier_columns) {
+    GREATER_ASSIGN_OR_RETURN(
+        child1, child1.DropColumns(IdentifierColumns(child1, key_column)));
+    GREATER_ASSIGN_OR_RETURN(
+        child2, child2.DropColumns(IdentifierColumns(child2, key_column)));
+  }
+  // Common subjects only (inner-join semantics throughout).
+  GREATER_ASSIGN_OR_RETURN(auto g1, child1.GroupByColumn(key_column));
+  GREATER_ASSIGN_OR_RETURN(auto g2, child2.GroupByColumn(key_column));
+  std::set<Value> common;
+  for (const auto& [key, rows] : g1) {
+    if (g2.count(key) > 0) common.insert(key);
+  }
+  GREATER_ASSIGN_OR_RETURN(child1, FilterToKeys(child1, key_column, common));
+  GREATER_ASSIGN_OR_RETURN(child2, FilterToKeys(child2, key_column, common));
+
+  GREATER_ASSIGN_OR_RETURN(
+      ParentChildSplit split1,
+      SplitByContextualVariables(child1, key_column,
+                                 options_.contextual_min_consistency));
+  GREATER_ASSIGN_OR_RETURN(
+      ParentChildSplit split2,
+      SplitByContextualVariables(child2, key_column,
+                                 options_.contextual_min_consistency));
+  GREATER_ASSIGN_OR_RETURN(
+      Table flat, DirectFlatten(split1.child, split2.child, key_column));
+  GREATER_ASSIGN_OR_RETURN(
+      Table parent, MergeParents(split1.parent, split2.parent, key_column));
+  return JoinParentFeatures(parent, flat, key_column);
+}
+
+Result<PipelineResult> MultiTablePipeline::Run(
+    const Table& child1_in, const Table& child2_in,
+    const std::string& key_column, Rng* rng) const {
+  PipelineResult result;
+  Table child1 = child1_in;
+  Table child2 = child2_in;
+
+  // ---- Step 0: identifier-column removal (Sec. 4.1.2). ----
+  if (options_.drop_identifier_columns) {
+    std::vector<std::string> ids1 = IdentifierColumns(child1, key_column);
+    std::vector<std::string> ids2 = IdentifierColumns(child2, key_column);
+    GREATER_ASSIGN_OR_RETURN(child1, child1.DropColumns(ids1));
+    GREATER_ASSIGN_OR_RETURN(child2, child2.DropColumns(ids2));
+    result.identifier_columns_dropped = std::move(ids1);
+    result.identifier_columns_dropped.insert(
+        result.identifier_columns_dropped.end(), ids2.begin(), ids2.end());
+  }
+
+  // Restrict to subjects present in both tables.
+  {
+    GREATER_ASSIGN_OR_RETURN(auto g1, child1.GroupByColumn(key_column));
+    GREATER_ASSIGN_OR_RETURN(auto g2, child2.GroupByColumn(key_column));
+    std::set<Value> common;
+    for (const auto& [key, rows] : g1) {
+      if (g2.count(key) > 0) common.insert(key);
+    }
+    if (common.empty()) {
+      return Status::Invalid("the two child tables share no subjects");
+    }
+    GREATER_ASSIGN_OR_RETURN(child1, FilterToKeys(child1, key_column, common));
+    GREATER_ASSIGN_OR_RETURN(child2, FilterToKeys(child2, key_column, common));
+  }
+
+  // ---- Step 0.5: data-specific '^' transform (Sec. 4.4.2). ----
+  std::vector<std::string> caret1, caret2;
+  if (options_.apply_caret_transform) {
+    auto in_selection = [this](const std::string& name) {
+      return options_.caret_columns.empty() ||
+             std::find(options_.caret_columns.begin(),
+                       options_.caret_columns.end(),
+                       name) != options_.caret_columns.end();
+    };
+    for (const auto& name : DetectCaretColumns(child1)) {
+      if (in_selection(name)) caret1.push_back(name);
+    }
+    for (const auto& name : DetectCaretColumns(child2)) {
+      if (in_selection(name)) caret2.push_back(name);
+    }
+    if (!caret1.empty()) {
+      GREATER_ASSIGN_OR_RETURN(child1,
+                               TextSubstitution::CaretToAnd(caret1).Apply(child1));
+    }
+    if (!caret2.empty()) {
+      GREATER_ASSIGN_OR_RETURN(child2,
+                               TextSubstitution::CaretToAnd(caret2).Apply(child2));
+    }
+  }
+
+  // ---- Step 1: parent extraction from contextual variables. ----
+  GREATER_ASSIGN_OR_RETURN(
+      ParentChildSplit split1,
+      SplitByContextualVariables(child1, key_column,
+                                 options_.contextual_min_consistency));
+  GREATER_ASSIGN_OR_RETURN(
+      ParentChildSplit split2,
+      SplitByContextualVariables(child2, key_column,
+                                 options_.contextual_min_consistency));
+  GREATER_ASSIGN_OR_RETURN(
+      Table parent, MergeParents(split1.parent, split2.parent, key_column));
+  for (const auto& field : parent.schema().fields()) {
+    if (field.name != key_column) {
+      result.contextual_columns.push_back(field.name);
+    }
+  }
+  Table c1 = split1.child;
+  Table c2 = split2.child;
+
+  // ---- Step 2: Data Semantic Enhancement. ----
+  MappingSystem mapping;
+  if (options_.semantic != SemanticMode::kNone) {
+    auto targets = AmbiguousColumnsAcross({&parent, &c1, &c2}, key_column);
+    std::vector<ColumnMapping> mappings;
+    NameGenerator names;
+    for (const auto& [table, column] : targets) {
+      MappingSystem column_system;
+      if (options_.semantic == SemanticMode::kDifferentiability) {
+        GREATER_ASSIGN_OR_RETURN(
+            column_system,
+            BuildDifferentiabilityMapping(*table, {column}, &names));
+      } else {
+        MappingSpec spec;
+        auto it = options_.understandability_spec.find(column);
+        if (it != options_.understandability_spec.end()) {
+          spec[column] = it->second;
+        } else {
+          GREATER_ASSIGN_OR_RETURN(spec,
+                                   SuggestMappingSpec(*table, {column}));
+        }
+        GREATER_ASSIGN_OR_RETURN(column_system,
+                                 BuildUnderstandabilityMapping(*table, spec));
+      }
+      for (const auto& m : column_system.mappings()) mappings.push_back(m);
+      result.semantically_mapped_columns.push_back(column);
+    }
+    // Global replacement dedup: suggestions are generated per column, so
+    // two columns hitting the same knowledge-base entry (e.g. 'residence'
+    // and 'city_rank' both matching the city keyword) can collide. Suffix
+    // later occurrences to preserve global distinctness.
+    {
+      std::set<std::string> used;
+      for (auto& mapping : mappings) {
+        for (auto& [original, replacement] : mapping.forward) {
+          std::string text = replacement.ToDisplayString();
+          if (used.insert(text).second) continue;
+          for (int k = 2;; ++k) {
+            std::string alt = text + " " + std::to_string(k);
+            if (used.insert(alt).second) {
+              replacement = Value(alt);
+              break;
+            }
+          }
+        }
+      }
+    }
+    if (!mappings.empty()) {
+      GREATER_ASSIGN_OR_RETURN(mapping,
+                               MappingSystem::Make(std::move(mappings)));
+      GREATER_ASSIGN_OR_RETURN(parent, mapping.ApplyPartial(parent));
+      GREATER_ASSIGN_OR_RETURN(c1, mapping.ApplyPartial(c1));
+      GREATER_ASSIGN_OR_RETURN(c2, mapping.ApplyPartial(c2));
+    }
+  }
+
+  // ---- Steps 3+4: fusion and synthesis. ----
+  size_t num_parents = options_.num_synthetic_parents > 0
+                           ? options_.num_synthetic_parents
+                           : parent.num_rows();
+  Table synthetic_parent;
+  Table synthetic_flat;
+
+  if (options_.fusion == FusionMethod::kDerecIndependent) {
+    RelationalSynthesizer::Options rs_options;
+    rs_options.parent = options_.synth;
+    rs_options.child = options_.synth;
+    RelationalSynthesizer rs1(rs_options);
+    RelationalSynthesizer rs2(rs_options);
+    GREATER_RETURN_NOT_OK(rs1.Fit(parent, c1, key_column, rng));
+    GREATER_RETURN_NOT_OK(rs2.Fit(parent, c2, key_column, rng));
+    GREATER_ASSIGN_OR_RETURN(RelationalSample sample1,
+                             rs1.Sample(num_parents, rng));
+    GREATER_ASSIGN_OR_RETURN(Table child2_rows,
+                             rs2.SampleChildren(sample1.parent, rng));
+    GREATER_ASSIGN_OR_RETURN(
+        Table flat, DirectFlatten(sample1.child, child2_rows, key_column));
+    GREATER_ASSIGN_OR_RETURN(
+        synthetic_flat, JoinParentFeatures(sample1.parent, flat, key_column));
+    synthetic_parent = std::move(sample1.parent);
+    result.fused_training_rows = c1.num_rows() + c2.num_rows();
+  } else {
+    GREATER_ASSIGN_OR_RETURN(Table flat, DirectFlatten(c1, c2, key_column));
+    result.flattened_rows = flat.num_rows();
+    Table fused = flat;
+    if (options_.fusion != FusionMethod::kDirectFlatten) {
+      GREATER_ASSIGN_OR_RETURN(Table features,
+                               flat.DropColumns({key_column}));
+      GREATER_ASSIGN_OR_RETURN(AssociationMatrix assoc,
+                               ComputeAssociationMatrix(features));
+      switch (options_.fusion) {
+        case FusionMethod::kGreaterMeanThreshold: {
+          GREATER_ASSIGN_OR_RETURN(
+              result.independence,
+              ThresholdSeparation(assoc, MeanAssociation(assoc)));
+          break;
+        }
+        case FusionMethod::kGreaterMedianThreshold: {
+          GREATER_ASSIGN_OR_RETURN(
+              result.independence,
+              ThresholdSeparation(assoc, MedianAssociation(assoc)));
+          break;
+        }
+        default: {
+          GREATER_ASSIGN_OR_RETURN(result.independence,
+                                   HierarchicalSeparation(assoc));
+        }
+      }
+      if (!result.independence.independent.empty()) {
+        GREATER_ASSIGN_OR_RETURN(
+            Table reduced,
+            RemoveAndReduce(flat, result.independence.independent,
+                            &result.reduction));
+        GREATER_ASSIGN_OR_RETURN(
+            fused, AppendBySampling(reduced, flat, key_column,
+                                    result.independence.independent, rng));
+      } else {
+        result.reduction.rows_before = flat.num_rows();
+        result.reduction.rows_after = flat.num_rows();
+      }
+    }
+    result.fused_training_rows = fused.num_rows();
+
+    RelationalSynthesizer::Options rs_options;
+    rs_options.parent = options_.synth;
+    rs_options.child = options_.synth;
+    RelationalSynthesizer rs(rs_options);
+    GREATER_RETURN_NOT_OK(rs.Fit(parent, fused, key_column, rng));
+    GREATER_ASSIGN_OR_RETURN(RelationalSample sample,
+                             rs.Sample(num_parents, rng));
+    GREATER_ASSIGN_OR_RETURN(
+        synthetic_flat,
+        JoinParentFeatures(sample.parent, sample.child, key_column));
+    synthetic_parent = std::move(sample.parent);
+  }
+
+  // ---- Step 5: inverse transformations (Sec. 3.2.3). ----
+  if (!mapping.empty()) {
+    GREATER_ASSIGN_OR_RETURN(synthetic_parent,
+                             mapping.InvertPartial(synthetic_parent));
+    GREATER_ASSIGN_OR_RETURN(synthetic_flat,
+                             mapping.InvertPartial(synthetic_flat));
+  }
+  if (options_.apply_caret_transform) {
+    for (const auto& columns : {caret1, caret2}) {
+      if (columns.empty()) continue;
+      // Invert only the columns present in each output table.
+      std::vector<std::string> in_flat, in_parent;
+      for (const auto& name : columns) {
+        if (synthetic_flat.schema().HasField(name)) in_flat.push_back(name);
+        if (synthetic_parent.schema().HasField(name)) in_parent.push_back(name);
+      }
+      if (!in_flat.empty()) {
+        GREATER_ASSIGN_OR_RETURN(
+            synthetic_flat,
+            TextSubstitution::CaretToAnd(in_flat).Invert(synthetic_flat));
+      }
+      if (!in_parent.empty()) {
+        GREATER_ASSIGN_OR_RETURN(
+            synthetic_parent,
+            TextSubstitution::CaretToAnd(in_parent).Invert(synthetic_parent));
+      }
+    }
+  }
+  if (options_.erase_mapping_after_run) mapping.Erase();
+
+  // Canonicalize the flat-view column order (parent features, then child1
+  // features, then child2 features) so every fusion method — including
+  // bootstrap-append, which re-adds independent columns at the end —
+  // produces a view schema-identical to BuildRealFlatView's.
+  {
+    std::vector<std::string> canonical;
+    for (const auto& field : parent.schema().fields()) {
+      if (field.name != key_column) canonical.push_back(field.name);
+    }
+    for (const Table* residual : {&c1, &c2}) {
+      for (const auto& field : residual->schema().fields()) {
+        if (field.name != key_column) canonical.push_back(field.name);
+      }
+    }
+    GREATER_ASSIGN_OR_RETURN(synthetic_flat,
+                             synthetic_flat.Select(canonical));
+  }
+
+  result.synthetic_parent = std::move(synthetic_parent);
+  result.synthetic_flat = std::move(synthetic_flat);
+  return result;
+}
+
+}  // namespace greater

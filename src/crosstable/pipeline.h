@@ -1,0 +1,116 @@
+#ifndef GREATER_CROSSTABLE_PIPELINE_H_
+#define GREATER_CROSSTABLE_PIPELINE_H_
+
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/status.h"
+#include "crosstable/independence.h"
+#include "crosstable/reduce.h"
+#include "semantic/enhancement.h"
+#include "synth/relational_synthesizer.h"
+#include "tabular/table.h"
+
+namespace greater {
+
+/// How the two child tables are fused before synthesis.
+enum class FusionMethod {
+  /// Baseline 1 (Sec. 4.2): cartesian flattening, no reduction.
+  kDirectFlatten,
+  /// Baseline 2 (DEREC): the children are never fused — each is modelled
+  /// in its own parent-child round, conditioned on a shared parent.
+  kDerecIndependent,
+  /// GReaTER with up-and-stay threshold = mean off-diagonal association.
+  kGreaterMeanThreshold,
+  /// GReaTER with threshold = median off-diagonal association.
+  kGreaterMedianThreshold,
+  /// GReaTER with hierarchical-clustering independence determination.
+  kGreaterHierarchical,
+};
+
+const char* FusionMethodToString(FusionMethod method);
+
+/// Which Data Semantic Enhancement transformation runs before encoding.
+enum class SemanticMode {
+  kNone,
+  kDifferentiability,   ///< unique names (Sec. 3.2.1)
+  kUnderstandability,   ///< curated / suggested meaningful labels (3.2.2)
+};
+
+const char* SemanticModeToString(SemanticMode mode);
+
+struct PipelineOptions {
+  FusionMethod fusion = FusionMethod::kGreaterMedianThreshold;
+  SemanticMode semantic = SemanticMode::kNone;
+  /// Curated understandability spec; empty -> SuggestMappingSpec runs.
+  MappingSpec understandability_spec;
+  /// Columns receiving the '^' -> ' and ' transform (Sec. 4.4.2); empty
+  /// with apply_caret_transform=true -> auto-detect cells containing '^'.
+  bool apply_caret_transform = false;
+  std::vector<std::string> caret_columns;
+  /// Drop identifier-typed columns before correlation / synthesis, as the
+  /// paper does with e_et / i_docid / i_entities (Sec. 4.1.2).
+  bool drop_identifier_columns = true;
+  /// Contextual-variable consistency tolerance m (Appendix A.2).
+  double contextual_min_consistency = 1.0;
+  /// Synthesizer configuration shared by parent and child models.
+  GreatSynthesizer::Options synth;
+  /// Synthetic subject count; 0 -> match the training subject count.
+  size_t num_synthetic_parents = 0;
+  /// Erase the mapping system after synthesis (privacy, Sec. 3.2.3).
+  bool erase_mapping_after_run = true;
+};
+
+/// Everything a pipeline run produces, including the intermediates the
+/// ablation study reads.
+struct PipelineResult {
+  /// Synthetic parent (key + contextual features), original value format.
+  Table synthetic_parent;
+  /// Synthetic combined feature view (parent + child1 + child2 features,
+  /// no key), original value format — what fidelity metrics consume.
+  Table synthetic_flat;
+
+  // --- diagnostics ---
+  std::vector<std::string> contextual_columns;
+  std::vector<std::string> identifier_columns_dropped;
+  std::vector<std::string> semantically_mapped_columns;
+  IndependenceResult independence;  // GReaTER fusions only
+  ReductionStats reduction;         // GReaTER fusions only
+  size_t flattened_rows = 0;        // rows before reduction
+  size_t fused_training_rows = 0;   // child-model training rows
+};
+
+/// End-to-end multi-table synthesis pipeline implementing GReaTER and the
+/// paper's two baselines behind one configuration surface (Fig. 1):
+///   (1) extract the parent table from contextual variables,
+///   (2) semantically enhance categorical labels (and invert afterwards),
+///   (3) fuse the child tables (flatten / reduce / bootstrap-append), then
+///       run parent-child synthesis over the result.
+class MultiTablePipeline {
+ public:
+  MultiTablePipeline() : MultiTablePipeline(PipelineOptions()) {}
+  explicit MultiTablePipeline(PipelineOptions options);
+
+  /// Runs the configured pipeline over two child tables sharing
+  /// `key_column`.
+  Result<PipelineResult> Run(const Table& child1, const Table& child2,
+                             const std::string& key_column, Rng* rng) const;
+
+  /// The real-data combined view the synthetic_flat is evaluated against:
+  /// parent features + direct flatten of both residual child tables, with
+  /// identifier columns dropped the same way the pipeline drops them.
+  /// (Flattening the *real* data for evaluation is fine — the bias problem
+  /// is about training a synthesizer on it, not about describing it.)
+  Result<Table> BuildRealFlatView(const Table& child1, const Table& child2,
+                                  const std::string& key_column) const;
+
+  const PipelineOptions& options() const { return options_; }
+
+ private:
+  PipelineOptions options_;
+};
+
+}  // namespace greater
+
+#endif  // GREATER_CROSSTABLE_PIPELINE_H_

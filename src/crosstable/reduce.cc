@@ -1,0 +1,56 @@
+#include "crosstable/reduce.h"
+
+#include <map>
+
+namespace greater {
+
+Result<Table> RemoveAndReduce(const Table& flattened,
+                              const std::vector<std::string>& independent,
+                              ReductionStats* stats) {
+  GREATER_ASSIGN_OR_RETURN(Table dropped, flattened.DropColumns(independent));
+  Table reduced = dropped.UniqueRows();
+  if (stats != nullptr) {
+    stats->rows_before = flattened.num_rows();
+    stats->rows_after = reduced.num_rows();
+    stats->columns_removed = independent.size();
+  }
+  return reduced;
+}
+
+Result<Table> AppendBySampling(const Table& reduced, const Table& source,
+                               const std::string& key_column,
+                               const std::vector<std::string>& independent,
+                               Rng* rng) {
+  GREATER_ASSIGN_OR_RETURN(size_t reduced_key,
+                           reduced.schema().FieldIndex(key_column));
+  // Per-subject pools of observed values for every independent column.
+  std::vector<size_t> source_indices;
+  for (const auto& name : independent) {
+    GREATER_ASSIGN_OR_RETURN(size_t idx, source.schema().FieldIndex(name));
+    source_indices.push_back(idx);
+  }
+  GREATER_ASSIGN_OR_RETURN(auto source_groups,
+                           source.GroupByColumn(key_column));
+
+  Table out = reduced;
+  for (size_t k = 0; k < independent.size(); ++k) {
+    size_t src_col = source_indices[k];
+    std::vector<Value> column;
+    column.reserve(reduced.num_rows());
+    for (size_t r = 0; r < reduced.num_rows(); ++r) {
+      const Value& key = reduced.at(r, reduced_key);
+      auto it = source_groups.find(key);
+      if (it == source_groups.end() || it->second.empty()) {
+        return Status::NotFound("subject '" + key.ToDisplayString() +
+                                "' has no pool in the source table");
+      }
+      const std::vector<size_t>& pool = it->second;
+      column.push_back(source.at(pool[rng->Index(pool.size())], src_col));
+    }
+    GREATER_RETURN_NOT_OK(
+        out.AddColumn(source.schema().field(src_col), std::move(column)));
+  }
+  return out;
+}
+
+}  // namespace greater

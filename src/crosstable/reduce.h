@@ -1,0 +1,51 @@
+#ifndef GREATER_CROSSTABLE_REDUCE_H_
+#define GREATER_CROSSTABLE_REDUCE_H_
+
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/status.h"
+#include "tabular/table.h"
+
+namespace greater {
+
+/// Dimension-reduction bookkeeping (paper Sec. 3.3.2).
+struct ReductionStats {
+  size_t rows_before = 0;
+  size_t rows_after = 0;
+  size_t columns_removed = 0;
+
+  double RowReductionRatio() const {
+    return rows_before == 0
+               ? 0.0
+               : 1.0 - static_cast<double>(rows_after) /
+                           static_cast<double>(rows_before);
+  }
+};
+
+/// Removes the independent columns from a flattened table and deduplicates
+/// the resulting rows — the paper's observation is that dropping a column
+/// (e.g. 'Genre' in Fig. 4) exposes duplicate rows whose removal shrinks
+/// the table and trims engaged-subject noise.
+Result<Table> RemoveAndReduce(const Table& flattened,
+                              const std::vector<std::string>& independent,
+                              ReductionStats* stats = nullptr);
+
+/// Appends the independent columns back onto the reduced table via
+/// bootstrap sampling with per-subject pools (paper Sec. 3.3.3): for each
+/// output row, each independent column's value is drawn uniformly from the
+/// values that row's subject actually exhibited in `source` — so no
+/// feature combination that never existed for that subject can appear
+/// (Fig. 4's Anson only ever maps to 'Anime').
+///
+/// `reduced` must retain the key column; `source` is the table the
+/// independent columns were removed from.
+Result<Table> AppendBySampling(const Table& reduced, const Table& source,
+                               const std::string& key_column,
+                               const std::vector<std::string>& independent,
+                               Rng* rng);
+
+}  // namespace greater
+
+#endif  // GREATER_CROSSTABLE_REDUCE_H_

@@ -1,0 +1,109 @@
+#include "eval/ablation.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <map>
+
+#include "stats/descriptive.h"
+
+namespace greater {
+
+StepwiseCounts CompareReports(const FidelityReport& benchmark,
+                              const FidelityReport& candidate,
+                              double epsilon) {
+  std::map<std::pair<std::string, std::string>, double> benchmark_p;
+  for (const auto& pair : benchmark.pairs) {
+    benchmark_p[{pair.conditioning_column, pair.target_column}] =
+        pair.ks_p_value;
+  }
+  StepwiseCounts counts;
+  for (const auto& pair : candidate.pairs) {
+    auto it = benchmark_p.find({pair.conditioning_column, pair.target_column});
+    if (it == benchmark_p.end()) continue;
+    double delta = pair.ks_p_value - it->second;
+    if (delta > epsilon) {
+      ++counts.improved;
+    } else if (delta < -epsilon) {
+      ++counts.worsened;
+    } else {
+      ++counts.no_change;
+    }
+  }
+  return counts;
+}
+
+MinMeanMax Summarize(const std::vector<double>& values) {
+  MinMeanMax out;
+  if (values.empty()) return out;
+  out.min = Min(values);
+  out.mean = Mean(values);
+  out.max = Max(values);
+  return out;
+}
+
+AblationRow AggregateTrials(const std::string& setup,
+                            const std::vector<StepwiseCounts>& trials) {
+  std::vector<double> improved, no_change, worsened, net;
+  for (const auto& trial : trials) {
+    improved.push_back(static_cast<double>(trial.improved));
+    no_change.push_back(static_cast<double>(trial.no_change));
+    worsened.push_back(static_cast<double>(trial.worsened));
+    net.push_back(static_cast<double>(trial.Net()));
+  }
+  AblationRow row;
+  row.setup = setup;
+  row.improved = Summarize(improved);
+  row.no_change = Summarize(no_change);
+  row.worsened = Summarize(worsened);
+  row.net = Summarize(net);
+  return row;
+}
+
+namespace {
+
+// Fig. 10 renders negatives in parentheses: -13 -> "(13)".
+std::string PaperNumber(double value) {
+  char buf[32];
+  long rounded = std::lround(value);
+  if (rounded < 0) {
+    std::snprintf(buf, sizeof(buf), "(%ld)", -rounded);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%ld", rounded);
+  }
+  return buf;
+}
+
+}  // namespace
+
+std::string RenderAblationTable(const std::vector<AblationRow>& rows) {
+  std::string out;
+  char line[512];
+  std::snprintf(line, sizeof(line), "%-32s | %-17s | %-17s | %-17s | %-17s\n",
+                "Stepwise Setup", "Improved", "No Change", "Worsened", "Net");
+  out += line;
+  std::snprintf(line, sizeof(line), "%-32s | %5s %5s %5s | %5s %5s %5s | %5s %5s %5s | %5s %5s %5s\n",
+                "", "Min", "Mean", "Max", "Min", "Mean", "Max", "Min", "Mean",
+                "Max", "Min", "Mean", "Max");
+  out += line;
+  for (const auto& row : rows) {
+    std::snprintf(
+        line, sizeof(line),
+        "%-32s | %5s %5s %5s | %5s %5s %5s | %5s %5s %5s | %5s %5s %5s\n",
+        row.setup.c_str(), PaperNumber(row.improved.min).c_str(),
+        PaperNumber(row.improved.mean).c_str(),
+        PaperNumber(row.improved.max).c_str(),
+        PaperNumber(row.no_change.min).c_str(),
+        PaperNumber(row.no_change.mean).c_str(),
+        PaperNumber(row.no_change.max).c_str(),
+        PaperNumber(row.worsened.min).c_str(),
+        PaperNumber(row.worsened.mean).c_str(),
+        PaperNumber(row.worsened.max).c_str(),
+        PaperNumber(row.net.min).c_str(), PaperNumber(row.net.mean).c_str(),
+        PaperNumber(row.net.max).c_str());
+    out += line;
+  }
+  return out;
+}
+
+}  // namespace greater

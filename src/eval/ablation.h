@@ -1,0 +1,59 @@
+#ifndef GREATER_EVAL_ABLATION_H_
+#define GREATER_EVAL_ABLATION_H_
+
+#include <string>
+#include <vector>
+
+#include "eval/fidelity.h"
+
+namespace greater {
+
+/// Per-trial stepwise comparison of a candidate setup against a benchmark
+/// (the paper's Fig. 10 bookkeeping): a column pair counts as Improved
+/// when its KS p-value rises by more than `epsilon` over the benchmark's,
+/// Worsened when it falls by more, No Change otherwise.
+struct StepwiseCounts {
+  size_t improved = 0;
+  size_t no_change = 0;
+  size_t worsened = 0;
+
+  int64_t Net() const {
+    return static_cast<int64_t>(improved) - static_cast<int64_t>(worsened);
+  }
+};
+
+/// Compares two fidelity reports pair-by-pair (matched on conditioning and
+/// target column names; unmatched pairs are ignored).
+StepwiseCounts CompareReports(const FidelityReport& benchmark,
+                              const FidelityReport& candidate,
+                              double epsilon = 0.05);
+
+/// min / mean / max over trials, as the Fig. 10 table reports.
+struct MinMeanMax {
+  double min = 0.0;
+  double mean = 0.0;
+  double max = 0.0;
+};
+
+MinMeanMax Summarize(const std::vector<double>& values);
+
+/// One row of the ablation table.
+struct AblationRow {
+  std::string setup;
+  MinMeanMax improved;
+  MinMeanMax no_change;
+  MinMeanMax worsened;
+  MinMeanMax net;
+};
+
+/// Aggregates the per-trial counts of one setup into a table row.
+AblationRow AggregateTrials(const std::string& setup,
+                            const std::vector<StepwiseCounts>& trials);
+
+/// Renders rows in the layout of Fig. 10 (Improved / No Change / Worsened
+/// / Net, each min|mean|max; negatives parenthesized as in the paper).
+std::string RenderAblationTable(const std::vector<AblationRow>& rows);
+
+}  // namespace greater
+
+#endif  // GREATER_EVAL_ABLATION_H_

@@ -1,0 +1,213 @@
+#include "eval/fidelity.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+#include "stats/descriptive.h"
+#include "stats/distance.h"
+#include "stats/hypothesis.h"
+
+namespace greater {
+namespace {
+
+// Numeric position of every value in the merged support of a target
+// column: numeric columns keep their magnitudes, others get rank order.
+std::map<Value, double> SupportPositions(const std::vector<Value>& a,
+                                         const std::vector<Value>& b) {
+  std::map<Value, double> positions;
+  bool all_numeric = true;
+  for (const auto* column : {&a, &b}) {
+    for (const Value& v : *column) {
+      if (v.is_null()) continue;
+      positions.emplace(v, 0.0);
+      all_numeric = all_numeric && v.is_numeric();
+    }
+  }
+  double rank = 0.0;
+  for (auto& [value, pos] : positions) {
+    pos = all_numeric ? value.AsNumeric() : rank;
+    rank += 1.0;
+  }
+  return positions;
+}
+
+}  // namespace
+
+Result<PairFidelity> EvaluatePair(const Table& original,
+                                  const Table& synthetic,
+                                  const std::string& conditioning_column,
+                                  const std::string& target_column,
+                                  const FidelityOptions& options) {
+  GREATER_ASSIGN_OR_RETURN(size_t orig_cond,
+                           original.schema().FieldIndex(conditioning_column));
+  GREATER_ASSIGN_OR_RETURN(size_t orig_target,
+                           original.schema().FieldIndex(target_column));
+  GREATER_ASSIGN_OR_RETURN(size_t syn_cond,
+                           synthetic.schema().FieldIndex(conditioning_column));
+  GREATER_ASSIGN_OR_RETURN(size_t syn_target,
+                           synthetic.schema().FieldIndex(target_column));
+
+  GREATER_ASSIGN_OR_RETURN(auto orig_groups,
+                           original.GroupByColumn(conditioning_column));
+  GREATER_ASSIGN_OR_RETURN(auto syn_groups,
+                           synthetic.GroupByColumn(conditioning_column));
+  (void)orig_cond;
+  (void)syn_cond;
+
+  // Shared geometry for the target column across both tables.
+  std::map<Value, double> positions =
+      SupportPositions(original.column(orig_target),
+                       synthetic.column(syn_target));
+  double span = 0.0;
+  if (!positions.empty()) {
+    double lo = positions.begin()->second;
+    double hi = lo;
+    for (const auto& [value, pos] : positions) {
+      lo = std::min(lo, pos);
+      hi = std::max(hi, pos);
+    }
+    span = hi - lo;
+  }
+
+  PairFidelity result;
+  result.conditioning_column = conditioning_column;
+  result.target_column = target_column;
+
+  double total_weight = 0.0;
+  double weighted_p = 0.0;
+  double weighted_w = 0.0;
+
+  for (const auto& [value, orig_rows] : orig_groups) {
+    if (orig_rows.size() < options.min_group_size) continue;
+    double weight = static_cast<double>(orig_rows.size());
+
+    auto syn_it = syn_groups.find(value);
+    if (syn_it == syn_groups.end() || syn_it->second.empty()) {
+      if (options.penalize_missing_groups) {
+        total_weight += weight;
+        // weighted_p += 0; weighted_w += weight * 1.0
+        weighted_w += weight;
+        ++result.groups_evaluated;
+      }
+      continue;
+    }
+
+    // Conditional samples on the shared numeric geometry.
+    std::vector<double> orig_sample, syn_sample;
+    std::map<Value, size_t> orig_counts, syn_counts;
+    orig_sample.reserve(orig_rows.size());
+    for (size_t r : orig_rows) {
+      const Value& t = original.at(r, orig_target);
+      if (t.is_null()) continue;
+      orig_sample.push_back(positions.at(t));
+      ++orig_counts[t];
+    }
+    syn_sample.reserve(syn_it->second.size());
+    for (size_t r : syn_it->second) {
+      const Value& t = synthetic.at(r, syn_target);
+      if (t.is_null()) continue;
+      syn_sample.push_back(positions.at(t));
+      ++syn_counts[t];
+    }
+    if (orig_sample.empty() || syn_sample.empty()) continue;
+
+    GREATER_ASSIGN_OR_RETURN(TestResult ks,
+                             KolmogorovSmirnovTest(orig_sample, syn_sample));
+
+    // Span-normalized discrete W-distance over the shared support.
+    double w = 0.0;
+    if (span > 0.0) {
+      GREATER_ASSIGN_OR_RETURN(DiscreteDistribution p,
+                               NormalizeCounts(orig_counts));
+      GREATER_ASSIGN_OR_RETURN(DiscreteDistribution q,
+                               NormalizeCounts(syn_counts));
+      // Wasserstein over explicit positions: integrate |F_p - F_q| along
+      // the support, where the CDF difference is the signed cumulative
+      // mass difference up to the previous support point.
+      double cum = 0.0;
+      double prev_pos = 0.0;
+      bool first = true;
+      for (const auto& [support_value, pos] : positions) {
+        if (!first) w += std::fabs(cum) * (pos - prev_pos);
+        auto pi = p.find(support_value);
+        auto qi = q.find(support_value);
+        double pp = pi == p.end() ? 0.0 : pi->second;
+        double qq = qi == q.end() ? 0.0 : qi->second;
+        cum += pp - qq;
+        prev_pos = pos;
+        first = false;
+      }
+      w /= span;
+    }
+
+    total_weight += weight;
+    weighted_p += weight * ks.p_value;
+    weighted_w += weight * std::clamp(w, 0.0, 1.0);
+    ++result.groups_evaluated;
+  }
+
+  if (total_weight <= 0.0) {
+    // No conditioning value was testable; report neutral worst-case.
+    result.ks_p_value = 0.0;
+    result.w_distance = 1.0;
+    return result;
+  }
+  result.ks_p_value = weighted_p / total_weight;
+  result.w_distance = weighted_w / total_weight;
+  return result;
+}
+
+Result<FidelityReport> EvaluateFidelity(const Table& original,
+                                        const Table& synthetic,
+                                        const FidelityOptions& options) {
+  if (!(original.schema() == synthetic.schema())) {
+    return Status::Invalid(
+        "fidelity evaluation requires identical schemas for original and "
+        "synthetic tables");
+  }
+  if (original.num_columns() < 2) {
+    return Status::Invalid("need at least two columns for pairwise fidelity");
+  }
+  FidelityReport report;
+  for (size_t i = 0; i < original.num_columns(); ++i) {
+    for (size_t j = 0; j < original.num_columns(); ++j) {
+      if (i == j) continue;
+      GREATER_ASSIGN_OR_RETURN(
+          PairFidelity pair,
+          EvaluatePair(original, synthetic, original.schema().field(i).name,
+                       original.schema().field(j).name, options));
+      report.pairs.push_back(std::move(pair));
+    }
+  }
+  return report;
+}
+
+std::vector<double> FidelityReport::PValues() const {
+  std::vector<double> out;
+  out.reserve(pairs.size());
+  for (const auto& pair : pairs) out.push_back(pair.ks_p_value);
+  return out;
+}
+
+std::vector<double> FidelityReport::WDistances() const {
+  std::vector<double> out;
+  out.reserve(pairs.size());
+  for (const auto& pair : pairs) out.push_back(pair.w_distance);
+  return out;
+}
+
+double FidelityReport::MeanPValue() const { return Mean(PValues()); }
+double FidelityReport::MedianPValue() const { return Median(PValues()); }
+double FidelityReport::MeanWDistance() const { return Mean(WDistances()); }
+
+double FidelityReport::FractionAbove(double p_threshold) const {
+  if (pairs.empty()) return 0.0;
+  size_t count = 0;
+  for (const auto& pair : pairs) {
+    if (pair.ks_p_value >= p_threshold) ++count;
+  }
+  return static_cast<double>(count) / static_cast<double>(pairs.size());
+}
+
+}  // namespace greater

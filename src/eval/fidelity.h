@@ -1,0 +1,72 @@
+#ifndef GREATER_EVAL_FIDELITY_H_
+#define GREATER_EVAL_FIDELITY_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "tabular/table.h"
+
+namespace greater {
+
+/// Similarity of one ordered column pair (x1 conditions x2), per the
+/// paper's Algorithm 1 (Appendix B): for every observed value v of x1, the
+/// conditional distribution of x2 | x1=v in the original data is compared
+/// with the same conditional in the synthetic data, and the per-value
+/// similarity indicators are averaged weighted by P(x1=v) in the original.
+struct PairFidelity {
+  std::string conditioning_column;  ///< x1
+  std::string target_column;        ///< x2
+  /// Weighted Kolmogorov–Smirnov p-value — the "p-value" metric of
+  /// Sec. 4.1.3; larger = more similar.
+  double ks_p_value = 0.0;
+  /// Weighted, span-normalized Wasserstein-1 distance in [0, 1] — the
+  /// "W-distance" metric; smaller = more similar.
+  double w_distance = 1.0;
+  /// Number of conditioning values that contributed.
+  size_t groups_evaluated = 0;
+};
+
+struct FidelityOptions {
+  /// Conditioning values with fewer original rows than this are skipped
+  /// (their conditionals are too noisy to test).
+  size_t min_group_size = 5;
+  /// Penalty applied when the synthetic data contains no rows at all for a
+  /// conditioning value present in the original: p-value 0, W-distance 1.
+  bool penalize_missing_groups = true;
+};
+
+/// Fidelity of a synthetic table against the original over every ordered
+/// column pair — the "distribution of distribution similarity" of
+/// Sec. 4.1.3. Both tables must share a schema.
+struct FidelityReport {
+  std::vector<PairFidelity> pairs;
+
+  std::vector<double> PValues() const;
+  std::vector<double> WDistances() const;
+  double MeanPValue() const;
+  double MedianPValue() const;
+  double MeanWDistance() const;
+  /// Fraction of pairs with p-value >= threshold (the "heavy right tail"
+  /// read off Figs. 7–9).
+  double FractionAbove(double p_threshold) const;
+};
+
+Result<FidelityReport> EvaluateFidelity(const Table& original,
+                                        const Table& synthetic,
+                                        const FidelityOptions& options);
+inline Result<FidelityReport> EvaluateFidelity(const Table& original,
+                                               const Table& synthetic) {
+  return EvaluateFidelity(original, synthetic, FidelityOptions());
+}
+
+/// Single-pair evaluation (exposed for tests and fine-grained studies).
+Result<PairFidelity> EvaluatePair(const Table& original,
+                                  const Table& synthetic,
+                                  const std::string& conditioning_column,
+                                  const std::string& target_column,
+                                  const FidelityOptions& options);
+
+}  // namespace greater
+
+#endif  // GREATER_EVAL_FIDELITY_H_

@@ -1,0 +1,42 @@
+#include "eval/privacy.h"
+
+#include <algorithm>
+
+#include "stats/descriptive.h"
+
+namespace greater {
+
+Result<PrivacyReport> EvaluatePrivacy(const Table& train,
+                                      const Table& synthetic) {
+  if (!(train.schema() == synthetic.schema())) {
+    return Status::Invalid("privacy audit requires identical schemas");
+  }
+  if (train.num_rows() == 0 || synthetic.num_rows() == 0) {
+    return Status::Invalid("privacy audit requires non-empty tables");
+  }
+  size_t cols = train.num_columns();
+  PrivacyReport report;
+  size_t exact = 0;
+  report.distance_to_closest.reserve(synthetic.num_rows());
+  for (size_t s = 0; s < synthetic.num_rows(); ++s) {
+    size_t best_mismatches = cols + 1;
+    for (size_t t = 0; t < train.num_rows(); ++t) {
+      size_t mismatches = 0;
+      for (size_t c = 0; c < cols && mismatches < best_mismatches; ++c) {
+        if (!(synthetic.at(s, c) == train.at(t, c))) ++mismatches;
+      }
+      best_mismatches = std::min(best_mismatches, mismatches);
+      if (best_mismatches == 0) break;
+    }
+    if (best_mismatches == 0) ++exact;
+    report.distance_to_closest.push_back(
+        static_cast<double>(best_mismatches) / static_cast<double>(cols));
+  }
+  report.exact_copy_rate = static_cast<double>(exact) /
+                           static_cast<double>(synthetic.num_rows());
+  report.mean_dcr = Mean(report.distance_to_closest);
+  report.p5_dcr = Quantile(report.distance_to_closest, 0.05);
+  return report;
+}
+
+}  // namespace greater

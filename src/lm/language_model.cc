@@ -1,0 +1,109 @@
+#include "lm/language_model.h"
+
+#include <cmath>
+
+namespace greater {
+
+double LanguageModel::SequenceLogProb(const TokenSequence& sequence) const {
+  TokenSequence context;
+  double logprob = 0.0;
+  auto account = [&](TokenId token) {
+    std::vector<double> dist = NextTokenDistribution(context);
+    double p = (token >= 0 && static_cast<size_t>(token) < dist.size())
+                   ? dist[static_cast<size_t>(token)]
+                   : 0.0;
+    logprob += std::log(std::max(p, 1e-300));
+    context.push_back(token);
+  };
+  for (TokenId token : sequence) account(token);
+  account(Vocabulary::kEosId);
+  return logprob;
+}
+
+double LanguageModel::Perplexity(
+    const std::vector<TokenSequence>& sequences) const {
+  double total_logprob = 0.0;
+  double total_tokens = 0.0;
+  for (const auto& seq : sequences) {
+    total_logprob += SequenceLogProb(seq);
+    total_tokens += static_cast<double>(seq.size() + 1);  // + eos
+  }
+  if (total_tokens == 0.0) return 1.0;
+  return std::exp(-total_logprob / total_tokens);
+}
+
+namespace {
+
+// Applies temperature and an optional allow-list to a distribution,
+// returning unnormalized weights.
+std::vector<double> ShapeDistribution(std::vector<double> dist,
+                                      double temperature,
+                                      const std::vector<TokenId>* allowed) {
+  if (allowed != nullptr) {
+    std::vector<double> masked(dist.size(), 0.0);
+    for (TokenId id : *allowed) {
+      if (id >= 0 && static_cast<size_t>(id) < dist.size()) {
+        masked[static_cast<size_t>(id)] = dist[static_cast<size_t>(id)];
+      }
+    }
+    dist = std::move(masked);
+  }
+  if (temperature > 0.0 && temperature != 1.0) {
+    for (double& p : dist) {
+      p = p > 0.0 ? std::pow(p, 1.0 / temperature) : 0.0;
+    }
+  }
+  return dist;
+}
+
+}  // namespace
+
+TokenId LanguageModel::SampleNext(const TokenSequence& context, Rng* rng,
+                                  double temperature,
+                                  const std::vector<TokenId>* allowed) const {
+  std::vector<double> weights =
+      ShapeDistribution(NextTokenDistribution(context), temperature, allowed);
+  double total = 0.0;
+  for (double w : weights) total += w;
+  if (total <= 0.0) {
+    // Constrained decoding with an allow-list the model assigns zero mass
+    // to: fall back to uniform over the allow-list rather than dying.
+    if (allowed != nullptr && !allowed->empty()) {
+      return (*allowed)[rng->Index(allowed->size())];
+    }
+    return Vocabulary::kEosId;
+  }
+  return static_cast<TokenId>(rng->Categorical(weights));
+}
+
+TokenId LanguageModel::ArgmaxNext(const TokenSequence& context,
+                                  const std::vector<TokenId>* allowed) const {
+  std::vector<double> weights =
+      ShapeDistribution(NextTokenDistribution(context), 1.0, allowed);
+  TokenId best = Vocabulary::kEosId;
+  double best_weight = -1.0;
+  for (size_t i = 0; i < weights.size(); ++i) {
+    if (weights[i] > best_weight) {
+      best_weight = weights[i];
+      best = static_cast<TokenId>(i);
+    }
+  }
+  if (best_weight <= 0.0 && allowed != nullptr && !allowed->empty()) {
+    return (*allowed)[0];
+  }
+  return best;
+}
+
+TokenSequence LanguageModel::SampleSequence(const TokenSequence& prompt,
+                                            size_t max_length, Rng* rng,
+                                            double temperature) const {
+  TokenSequence out = prompt;
+  while (out.size() < max_length) {
+    TokenId next = SampleNext(out, rng, temperature);
+    if (next == Vocabulary::kEosId) break;
+    out.push_back(next);
+  }
+  return out;
+}
+
+}  // namespace greater

@@ -1,0 +1,66 @@
+#ifndef GREATER_LM_LANGUAGE_MODEL_H_
+#define GREATER_LM_LANGUAGE_MODEL_H_
+
+#include <vector>
+
+#include "common/rng.h"
+#include "common/status.h"
+#include "text/vocabulary.h"
+
+namespace greater {
+
+/// Token sequence (already vocabulary-encoded, WITHOUT bos/eos — models add
+/// those internally).
+using TokenSequence = std::vector<TokenId>;
+
+/// Abstract autoregressive language model over a fixed vocabulary.
+///
+/// This is the repository's stand-in for the paper's GPT-2 backbone (see
+/// DESIGN.md, substitutions): both concrete models key all statistics by
+/// token id, so two categories that share a surface string share parameters
+/// — the property the Data Semantic Enhancement System exists to exploit.
+class LanguageModel {
+ public:
+  virtual ~LanguageModel() = default;
+
+  /// Trains on encoded sentences. May be called once per model instance.
+  virtual Status Fit(const std::vector<TokenSequence>& sequences) = 0;
+
+  /// P(next token | context) over the full vocabulary. `context` is the
+  /// generated prefix (bos is implied before it). Must sum to ~1.
+  virtual std::vector<double> NextTokenDistribution(
+      const TokenSequence& context) const = 0;
+
+  /// Vocabulary size this model was built for.
+  virtual size_t vocab_size() const = 0;
+
+  /// True once Fit succeeded.
+  virtual bool fitted() const = 0;
+
+  /// Log probability (natural log) of a sequence incl. the implicit eos.
+  double SequenceLogProb(const TokenSequence& sequence) const;
+
+  /// Perplexity over a corpus: exp(-total logprob / total tokens).
+  double Perplexity(const std::vector<TokenSequence>& sequences) const;
+
+  /// Samples the next token. `temperature` > 0 flattens (>1) or sharpens
+  /// (<1) the distribution; `allowed`, when non-null, restricts sampling to
+  /// those ids (constrained decoding — the synthesizer's validity grammar).
+  /// Returns kEosId if the (possibly constrained) distribution is all-zero.
+  TokenId SampleNext(const TokenSequence& context, Rng* rng,
+                     double temperature = 1.0,
+                     const std::vector<TokenId>* allowed = nullptr) const;
+
+  /// Greedy argmax next token under the same constraints.
+  TokenId ArgmaxNext(const TokenSequence& context,
+                     const std::vector<TokenId>* allowed = nullptr) const;
+
+  /// Samples a full sequence starting from `prompt` until eos or
+  /// `max_length` tokens total. The prompt is included in the result.
+  TokenSequence SampleSequence(const TokenSequence& prompt, size_t max_length,
+                               Rng* rng, double temperature = 1.0) const;
+};
+
+}  // namespace greater
+
+#endif  // GREATER_LM_LANGUAGE_MODEL_H_

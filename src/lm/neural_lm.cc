@@ -1,0 +1,267 @@
+#include "lm/neural_lm.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace greater {
+namespace {
+
+constexpr double kBeta1 = 0.9;
+constexpr double kBeta2 = 0.999;
+constexpr double kAdamEps = 1e-8;
+
+void Softmax(std::vector<double>* logits) {
+  double max_logit = *std::max_element(logits->begin(), logits->end());
+  double sum = 0.0;
+  for (double& z : *logits) {
+    z = std::exp(z - max_logit);
+    sum += z;
+  }
+  for (double& z : *logits) z /= sum;
+}
+
+}  // namespace
+
+NeuralLm::NeuralLm(size_t vocab_size, const Options& options)
+    : vocab_size_(vocab_size), options_(options), rng_(options.seed) {
+  options_.context_window = std::max<size_t>(1, options_.context_window);
+  options_.embed_dim = std::max<size_t>(2, options_.embed_dim);
+  options_.hidden_dim = std::max<size_t>(2, options_.hidden_dim);
+  options_.batch_size = std::max<size_t>(1, options_.batch_size);
+  InitParameters();
+}
+
+void NeuralLm::InitParameters() {
+  size_t c = options_.context_window;
+  size_t e = options_.embed_dim;
+  size_t h = options_.hidden_dim;
+  embed_ = Matrix(vocab_size_, e);
+  w1_ = Matrix(c * e, h);
+  b1_ = Matrix(1, h, 0.0);
+  w2_ = Matrix(h, vocab_size_);
+  b2_ = Matrix(1, vocab_size_, 0.0);
+  auto init = [&](Matrix* m, double scale) {
+    for (double& v : m->data()) v = rng_.Uniform(-scale, scale);
+  };
+  init(&embed_, 0.1);
+  init(&w1_, std::sqrt(1.0 / static_cast<double>(c * e)));
+  init(&w2_, std::sqrt(1.0 / static_cast<double>(h)));
+}
+
+Status NeuralLm::SetPriorCorpus(const std::vector<TokenSequence>& sequences) {
+  if (fitted_) {
+    return Status::FailedPrecondition("SetPriorCorpus must precede Fit");
+  }
+  prior_ = sequences;
+  return Status::OK();
+}
+
+std::vector<NeuralLm::Example> NeuralLm::BuildExamples(
+    const std::vector<TokenSequence>& sequences) const {
+  size_t c = options_.context_window;
+  std::vector<Example> examples;
+  for (const auto& seq : sequences) {
+    TokenSequence padded;
+    padded.reserve(seq.size() + 2);
+    padded.push_back(Vocabulary::kBosId);
+    padded.insert(padded.end(), seq.begin(), seq.end());
+    padded.push_back(Vocabulary::kEosId);
+    for (size_t pos = 1; pos < padded.size(); ++pos) {
+      Example ex;
+      ex.context.assign(c, Vocabulary::kPadId);
+      size_t take = std::min(pos, c);
+      for (size_t k = 0; k < take; ++k) {
+        ex.context[c - 1 - k] = padded[pos - 1 - k];
+      }
+      ex.target = padded[pos];
+      examples.push_back(std::move(ex));
+    }
+  }
+  return examples;
+}
+
+void NeuralLm::Forward(const std::vector<TokenId>& context,
+                       std::vector<double>* hidden,
+                       std::vector<double>* probs) const {
+  size_t c = options_.context_window;
+  size_t e = options_.embed_dim;
+  size_t h = options_.hidden_dim;
+  // x = concat embeddings; hidden = tanh(x W1 + b1)
+  hidden->assign(h, 0.0);
+  for (size_t slot = 0; slot < c; ++slot) {
+    const double* emb = embed_.RowPtr(static_cast<size_t>(context[slot]));
+    for (size_t d = 0; d < e; ++d) {
+      const double* w_row = w1_.RowPtr(slot * e + d);
+      double x = emb[d];
+      if (x == 0.0) continue;
+      for (size_t j = 0; j < h; ++j) (*hidden)[j] += x * w_row[j];
+    }
+  }
+  for (size_t j = 0; j < h; ++j) {
+    (*hidden)[j] = std::tanh((*hidden)[j] + b1_(0, j));
+  }
+  // logits = hidden W2 + b2
+  probs->assign(vocab_size_, 0.0);
+  for (size_t j = 0; j < h; ++j) {
+    double a = (*hidden)[j];
+    if (a == 0.0) continue;
+    const double* w_row = w2_.RowPtr(j);
+    for (size_t t = 0; t < vocab_size_; ++t) (*probs)[t] += a * w_row[t];
+  }
+  for (size_t t = 0; t < vocab_size_; ++t) (*probs)[t] += b2_(0, t);
+  Softmax(probs);
+}
+
+void NeuralLm::AdamStep(Matrix* param, Matrix* grad, Adam* state) {
+  double bc1 = 1.0 - std::pow(kBeta1, static_cast<double>(adam_t_));
+  double bc2 = 1.0 - std::pow(kBeta2, static_cast<double>(adam_t_));
+  auto& p = param->data();
+  auto& g = grad->data();
+  auto& m = state->m.data();
+  auto& v = state->v.data();
+  for (size_t i = 0; i < p.size(); ++i) {
+    m[i] = kBeta1 * m[i] + (1.0 - kBeta1) * g[i];
+    v[i] = kBeta2 * v[i] + (1.0 - kBeta2) * g[i] * g[i];
+    double mhat = m[i] / bc1;
+    double vhat = v[i] / bc2;
+    p[i] -= options_.learning_rate * mhat / (std::sqrt(vhat) + kAdamEps);
+    g[i] = 0.0;
+  }
+}
+
+double NeuralLm::RunEpochs(const std::vector<Example>& examples,
+                           size_t epochs) {
+  size_t c = options_.context_window;
+  size_t e = options_.embed_dim;
+  size_t h = options_.hidden_dim;
+
+  Matrix g_embed(vocab_size_, e), g_w1(c * e, h), g_b1(1, h),
+      g_w2(h, vocab_size_), g_b2(1, vocab_size_);
+  Adam a_embed(g_embed), a_w1(g_w1), a_b1(g_b1), a_w2(g_w2), a_b2(g_b2);
+
+  std::vector<size_t> order(examples.size());
+  std::vector<double> hidden, probs, dhidden;
+  double epoch_loss = 0.0;
+
+  for (size_t epoch = 0; epoch < epochs; ++epoch) {
+    order = rng_.Permutation(examples.size());
+    epoch_loss = 0.0;
+    size_t in_batch = 0;
+    for (size_t n = 0; n < order.size(); ++n) {
+      const Example& ex = examples[order[n]];
+      Forward(ex.context, &hidden, &probs);
+      epoch_loss += -std::log(
+          std::max(probs[static_cast<size_t>(ex.target)], 1e-300));
+
+      // dlogits = probs - onehot(target)
+      probs[static_cast<size_t>(ex.target)] -= 1.0;
+      // Grad for W2/b2 and hidden.
+      dhidden.assign(h, 0.0);
+      for (size_t j = 0; j < h; ++j) {
+        double a = hidden[j];
+        double* gw_row = g_w2.RowPtr(j);
+        const double* w_row = w2_.RowPtr(j);
+        double dh = 0.0;
+        for (size_t t = 0; t < vocab_size_; ++t) {
+          gw_row[t] += a * probs[t];
+          dh += w_row[t] * probs[t];
+        }
+        dhidden[j] = dh * (1.0 - a * a);  // through tanh
+      }
+      for (size_t t = 0; t < vocab_size_; ++t) g_b2(0, t) += probs[t];
+      for (size_t j = 0; j < h; ++j) g_b1(0, j) += dhidden[j];
+      // Grad for W1 and embeddings.
+      for (size_t slot = 0; slot < c; ++slot) {
+        size_t row = static_cast<size_t>(ex.context[slot]);
+        const double* emb = embed_.RowPtr(row);
+        double* g_emb = g_embed.RowPtr(row);
+        for (size_t d = 0; d < e; ++d) {
+          double* gw_row = g_w1.RowPtr(slot * e + d);
+          const double* w_row = w1_.RowPtr(slot * e + d);
+          double x = emb[d];
+          double dx = 0.0;
+          for (size_t j = 0; j < h; ++j) {
+            gw_row[j] += x * dhidden[j];
+            dx += w_row[j] * dhidden[j];
+          }
+          g_emb[d] += dx;
+        }
+      }
+
+      if (++in_batch == options_.batch_size || n + 1 == order.size()) {
+        ++adam_t_;
+        double scale = 1.0 / static_cast<double>(in_batch);
+        for (Matrix* g : {&g_embed, &g_w1, &g_b1, &g_w2, &g_b2}) {
+          for (double& v : g->data()) v *= scale;
+        }
+        AdamStep(&embed_, &g_embed, &a_embed);
+        AdamStep(&w1_, &g_w1, &a_w1);
+        AdamStep(&b1_, &g_b1, &a_b1);
+        AdamStep(&w2_, &g_w2, &a_w2);
+        AdamStep(&b2_, &g_b2, &a_b2);
+        in_batch = 0;
+      }
+    }
+  }
+  return examples.empty() ? 0.0
+                          : epoch_loss / static_cast<double>(examples.size());
+}
+
+Status NeuralLm::Fit(const std::vector<TokenSequence>& sequences) {
+  if (fitted_) {
+    return Status::FailedPrecondition("NeuralLm already fitted");
+  }
+  if (sequences.empty()) {
+    return Status::Invalid("NeuralLm::Fit requires at least one sequence");
+  }
+  for (const auto& seq : sequences) {
+    for (TokenId id : seq) {
+      if (id < 0 || static_cast<size_t>(id) >= vocab_size_) {
+        return Status::OutOfRange("token id " + std::to_string(id) +
+                                  " outside vocab of size " +
+                                  std::to_string(vocab_size_));
+      }
+    }
+  }
+  if (!prior_.empty() && options_.pretrain_epochs > 0) {
+    std::vector<Example> prior_examples = BuildExamples(prior_);
+    RunEpochs(prior_examples, options_.pretrain_epochs);
+  }
+  std::vector<Example> examples = BuildExamples(sequences);
+  last_epoch_loss_ = RunEpochs(examples, options_.epochs);
+  fitted_ = true;
+  return Status::OK();
+}
+
+std::vector<double> NeuralLm::NextTokenDistribution(
+    const TokenSequence& context) const {
+  size_t c = options_.context_window;
+  std::vector<TokenId> window(c, Vocabulary::kPadId);
+  // Effective prefix = bos + context; take its last `c` entries.
+  TokenSequence padded;
+  padded.reserve(context.size() + 1);
+  padded.push_back(Vocabulary::kBosId);
+  padded.insert(padded.end(), context.begin(), context.end());
+  size_t take = std::min(padded.size(), c);
+  for (size_t k = 0; k < take; ++k) {
+    window[c - 1 - k] = padded[padded.size() - 1 - k];
+  }
+  for (TokenId& id : window) {
+    if (id < 0 || static_cast<size_t>(id) >= vocab_size_) {
+      id = Vocabulary::kUnkId;
+    }
+  }
+  std::vector<double> hidden, probs;
+  Forward(window, &hidden, &probs);
+  return probs;
+}
+
+std::vector<double> NeuralLm::EmbeddingOf(TokenId id) const {
+  std::vector<double> out(options_.embed_dim, 0.0);
+  if (id < 0 || static_cast<size_t>(id) >= vocab_size_) return out;
+  const double* row = embed_.RowPtr(static_cast<size_t>(id));
+  out.assign(row, row + options_.embed_dim);
+  return out;
+}
+
+}  // namespace greater

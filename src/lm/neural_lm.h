@@ -1,0 +1,97 @@
+#ifndef GREATER_LM_NEURAL_LM_H_
+#define GREATER_LM_NEURAL_LM_H_
+
+#include <vector>
+
+#include "common/matrix.h"
+#include "common/rng.h"
+#include "lm/language_model.h"
+
+namespace greater {
+
+/// From-scratch neural language model: learned token embeddings, a fixed
+/// context window, one tanh hidden layer, softmax output, trained with
+/// mini-batch Adam (a Bengio-2003-style NPLM).
+///
+/// This is the closer analogue of the paper's fine-tuned GPT-2: parameters
+/// live in per-token *embedding rows*, so every occurrence of the surface
+/// string "1" — whatever column it came from — trains the same embedding.
+/// The false cross-feature relationships of the paper's Challenge I are
+/// literally visible here as one shared vector. Supports the same optional
+/// prior corpus ("pre-training") as NGramLm: when set, training first runs
+/// `pretrain_epochs` over the prior corpus before fine-tuning, giving
+/// semantically meaningful replacement tokens a warm start.
+class NeuralLm : public LanguageModel {
+ public:
+  struct Options {
+    size_t context_window = 8;
+    size_t embed_dim = 16;
+    size_t hidden_dim = 48;
+    size_t epochs = 10;       ///< paper Sec. 4.1.4 uses 10 epochs
+    size_t batch_size = 32;
+    double learning_rate = 2e-3;  ///< Adam step size
+    size_t pretrain_epochs = 2;
+    uint64_t seed = 17;
+  };
+
+  NeuralLm(size_t vocab_size, const Options& options);
+  explicit NeuralLm(size_t vocab_size) : NeuralLm(vocab_size, Options()) {}
+
+  /// Registers pre-training sequences; must precede Fit.
+  Status SetPriorCorpus(const std::vector<TokenSequence>& sequences);
+
+  Status Fit(const std::vector<TokenSequence>& sequences) override;
+
+  std::vector<double> NextTokenDistribution(
+      const TokenSequence& context) const override;
+
+  size_t vocab_size() const override { return vocab_size_; }
+  bool fitted() const override { return fitted_; }
+
+  /// Average training cross-entropy of the last completed epoch (nats).
+  double last_epoch_loss() const { return last_epoch_loss_; }
+
+  /// Read access to a token's embedding row (tests inspect sharing).
+  std::vector<double> EmbeddingOf(TokenId id) const;
+
+ private:
+  struct Example {
+    std::vector<TokenId> context;  // exactly context_window ids (pad-filled)
+    TokenId target;
+  };
+
+  struct Adam {
+    Matrix m, v;
+    explicit Adam(const Matrix& shape)
+        : m(shape.rows(), shape.cols(), 0.0),
+          v(shape.rows(), shape.cols(), 0.0) {}
+  };
+
+  void InitParameters();
+  std::vector<Example> BuildExamples(
+      const std::vector<TokenSequence>& sequences) const;
+  double RunEpochs(const std::vector<Example>& examples, size_t epochs);
+  // Forward pass; fills hidden activations and output probabilities.
+  void Forward(const std::vector<TokenId>& context, std::vector<double>* hidden,
+               std::vector<double>* probs) const;
+  void AdamStep(Matrix* param, Matrix* grad, Adam* state);
+
+  size_t vocab_size_;
+  Options options_;
+  bool fitted_ = false;
+  double last_epoch_loss_ = 0.0;
+  size_t adam_t_ = 0;
+  Rng rng_;
+
+  Matrix embed_;   // V x E
+  Matrix w1_;      // (C*E) x H
+  Matrix b1_;      // 1 x H
+  Matrix w2_;      // H x V
+  Matrix b2_;      // 1 x V
+
+  std::vector<TokenSequence> prior_;
+};
+
+}  // namespace greater
+
+#endif  // GREATER_LM_NEURAL_LM_H_

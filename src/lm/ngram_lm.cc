@@ -1,0 +1,108 @@
+#include "lm/ngram_lm.h"
+
+#include <algorithm>
+#include <cstring>
+
+namespace greater {
+
+NGramLm::NGramLm(size_t vocab_size, const Options& options)
+    : vocab_size_(vocab_size), options_(options) {
+  options_.order = std::clamp<size_t>(options_.order, 2, 8);
+  levels_.resize(options_.order);  // context lengths 0 .. order-1
+}
+
+std::string NGramLm::PackContext(const TokenId* begin, size_t len) {
+  std::string key(len * sizeof(TokenId), '\0');
+  if (len > 0) std::memcpy(key.data(), begin, len * sizeof(TokenId));
+  return key;
+}
+
+Status NGramLm::SetPriorCorpus(const std::vector<TokenSequence>& sequences) {
+  if (fitted_) {
+    return Status::FailedPrecondition("SetPriorCorpus must precede Fit");
+  }
+  prior_ = sequences;
+  return Status::OK();
+}
+
+void NGramLm::AccumulateSequence(const TokenSequence& sequence,
+                                 double weight) {
+  // Work on [bos, ...sequence, eos].
+  TokenSequence padded;
+  padded.reserve(sequence.size() + 2);
+  padded.push_back(Vocabulary::kBosId);
+  padded.insert(padded.end(), sequence.begin(), sequence.end());
+  padded.push_back(Vocabulary::kEosId);
+
+  for (size_t pos = 1; pos < padded.size(); ++pos) {
+    TokenId target = padded[pos];
+    size_t max_ctx = std::min(pos, options_.order - 1);
+    for (size_t ctx_len = 0; ctx_len <= max_ctx; ++ctx_len) {
+      std::string key =
+          PackContext(padded.data() + (pos - ctx_len), ctx_len);
+      ContextStats& stats = levels_[ctx_len][key];
+      stats.total += weight;
+      stats.counts[target] += weight;
+    }
+  }
+}
+
+Status NGramLm::Fit(const std::vector<TokenSequence>& sequences) {
+  if (fitted_) {
+    return Status::FailedPrecondition("NGramLm already fitted");
+  }
+  if (sequences.empty()) {
+    return Status::Invalid("NGramLm::Fit requires at least one sequence");
+  }
+  for (const auto& seq : sequences) {
+    for (TokenId id : seq) {
+      if (id < 0 || static_cast<size_t>(id) >= vocab_size_) {
+        return Status::OutOfRange("token id " + std::to_string(id) +
+                                  " outside vocab of size " +
+                                  std::to_string(vocab_size_));
+      }
+    }
+  }
+  if (options_.prior_weight > 0.0) {
+    for (const auto& seq : prior_) {
+      AccumulateSequence(seq, options_.prior_weight);
+    }
+  }
+  for (const auto& seq : sequences) AccumulateSequence(seq, 1.0);
+  fitted_ = true;
+  return Status::OK();
+}
+
+std::vector<double> NGramLm::NextTokenDistribution(
+    const TokenSequence& context) const {
+  // Base distribution: uniform over the vocabulary.
+  std::vector<double> dist(vocab_size_, 1.0 / static_cast<double>(vocab_size_));
+  if (!fitted_) return dist;
+
+  // Effective context: implicit bos followed by the generated prefix.
+  TokenSequence padded;
+  padded.reserve(context.size() + 1);
+  padded.push_back(Vocabulary::kBosId);
+  padded.insert(padded.end(), context.begin(), context.end());
+
+  // Interpolate from short to long contexts (Witten–Bell): at each level,
+  // dist <- lambda * ML(level) + (1 - lambda) * dist.
+  for (size_t ctx_len = 0; ctx_len < options_.order; ++ctx_len) {
+    if (ctx_len > padded.size()) break;
+    std::string key = PackContext(
+        padded.data() + (padded.size() - ctx_len), ctx_len);
+    auto it = levels_[ctx_len].find(key);
+    if (it == levels_[ctx_len].end()) break;  // longer contexts unseen too
+    const ContextStats& stats = it->second;
+    double distinct = static_cast<double>(stats.counts.size());
+    double lambda = stats.total / (stats.total + distinct);
+    double keep = 1.0 - lambda;
+    for (double& p : dist) p *= keep;
+    for (const auto& [token, count] : stats.counts) {
+      dist[static_cast<size_t>(token)] += lambda * count / stats.total;
+    }
+  }
+  return dist;
+}
+
+}  // namespace greater

@@ -1,0 +1,219 @@
+#include "semantic/enhancement.h"
+
+#include <set>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "common/strings.h"
+
+namespace greater {
+namespace {
+
+// All display strings appearing anywhere in the table; replacements must
+// avoid these.
+std::unordered_set<std::string> AllDisplayStrings(const Table& table) {
+  std::unordered_set<std::string> out;
+  for (size_t c = 0; c < table.num_columns(); ++c) {
+    for (size_t r = 0; r < table.num_rows(); ++r) {
+      out.insert(table.at(r, c).ToDisplayString());
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+Result<MappingSystem> BuildDifferentiabilityMapping(
+    const Table& table, const std::vector<std::string>& columns,
+    NameGenerator* names) {
+  if (columns.empty()) {
+    return Status::Invalid("no columns selected for transformation");
+  }
+  std::unordered_set<std::string> reserved = AllDisplayStrings(table);
+  std::vector<ColumnMapping> mappings;
+  for (const auto& name : columns) {
+    GREATER_ASSIGN_OR_RETURN(size_t idx, table.schema().FieldIndex(name));
+    GREATER_ASSIGN_OR_RETURN(std::vector<Value> categories,
+                             table.DistinctValues(name));
+    ColumnMapping mapping;
+    mapping.column = name;
+    mapping.original_type = table.schema().field(idx).type;
+    for (const Value& category : categories) {
+      if (category.is_null()) continue;
+      std::string replacement = names->Unique(reserved);
+      reserved.insert(replacement);
+      mapping.forward[category] = Value(replacement);
+    }
+    if (mapping.forward.empty()) {
+      return Status::Invalid("column '" + name + "' has no categories");
+    }
+    mappings.push_back(std::move(mapping));
+  }
+  return MappingSystem::Make(std::move(mappings));
+}
+
+Result<MappingSystem> BuildUnderstandabilityMapping(const Table& table,
+                                                    const MappingSpec& spec) {
+  if (spec.empty()) {
+    return Status::Invalid("empty understandability spec");
+  }
+  std::vector<ColumnMapping> mappings;
+  for (const auto& [column, entries] : spec) {
+    GREATER_ASSIGN_OR_RETURN(size_t idx, table.schema().FieldIndex(column));
+    GREATER_ASSIGN_OR_RETURN(std::vector<Value> categories,
+                             table.DistinctValues(column));
+    ColumnMapping mapping;
+    mapping.column = column;
+    mapping.original_type = table.schema().field(idx).type;
+    for (const Value& category : categories) {
+      if (category.is_null()) continue;
+      auto it = entries.find(category.ToDisplayString());
+      if (it == entries.end()) {
+        return Status::NotFound("spec for column '" + column +
+                                "' does not cover observed category '" +
+                                category.ToDisplayString() + "'");
+      }
+      mapping.forward[category] = Value(it->second);
+    }
+    mappings.push_back(std::move(mapping));
+  }
+  return MappingSystem::Make(std::move(mappings));
+}
+
+const std::vector<std::string>& UsCityNames() {
+  static const std::vector<std::string> kCities = {
+      "New York City", "Los Angeles",   "San Francisco", "Houston",
+      "Phoenix",       "Philadelphia",  "San Antonio",   "San Diego",
+      "Dallas",        "San Jose",      "Austin",        "Jacksonville",
+      "Fort Worth",    "Columbus",      "Charlotte",     "Indianapolis",
+      "Seattle",       "Denver",        "Washington",    "Nashville",
+      "Oklahoma City", "El Paso",       "Portland",      "Las Vegas",
+      "Memphis",       "Detroit",       "Baltimore",     "Milwaukee",
+      "Albuquerque",   "Tucson",        "Fresno",        "Sacramento",
+      "Kansas City",   "Mesa",          "Atlanta",       "Omaha",
+      "Colorado Springs", "Raleigh",    "Long Beach",    "Virginia Beach",
+      "Oakland",       "Minneapolis",   "Tulsa",         "Tampa",
+      "Arlington",     "New Orleans",   "Wichita",       "Bakersfield",
+      "Cleveland",     "Aurora",        "Anaheim",       "Honolulu",
+      "Santa Ana",     "Riverside",     "Corpus Christi", "Lexington",
+      "Henderson",     "Stockton",      "Saint Paul",    "Cincinnati",
+      "Saint Louis",   "Pittsburgh",    "Greensboro",    "Lincoln",
+      "Anchorage",     "Plano",         "Orlando",       "Irvine",
+      "Boston",        "Chicago",       "Miami",
+  };
+  return kCities;
+}
+
+namespace {
+
+bool NameContains(const std::string& column, const char* keyword) {
+  return ToLower(column).find(keyword) != std::string::npos;
+}
+
+}  // namespace
+
+Result<MappingSpec> SuggestMappingSpec(
+    const Table& table, const std::vector<std::string>& columns) {
+  MappingSpec spec;
+  std::set<std::string> used;  // keep suggestions globally distinct
+  auto claim = [&used](std::string candidate) {
+    if (used.count(candidate) == 0) {
+      used.insert(candidate);
+      return candidate;
+    }
+    for (int k = 2;; ++k) {
+      std::string alt = candidate + " " + std::to_string(k);
+      if (used.count(alt) == 0) {
+        used.insert(alt);
+        return alt;
+      }
+    }
+  };
+
+  for (const auto& column : columns) {
+    GREATER_ASSIGN_OR_RETURN(std::vector<Value> categories,
+                             table.DistinctValues(column));
+    std::map<std::string, std::string> entries;
+    size_t rank = 0;
+    for (const Value& category : categories) {
+      if (category.is_null()) continue;
+      std::string key = category.ToDisplayString();
+      std::string suggestion;
+      if (NameContains(column, "gender") || NameContains(column, "sex")) {
+        static const char* kGenders[] = {"Male", "Female", "Others"};
+        suggestion = rank < 3 ? kGenders[rank]
+                              : "Gender Group " + std::to_string(rank + 1);
+      } else if (NameContains(column, "age")) {
+        // Band categories into decades starting at 20, like Fig. 6.
+        size_t decade = 20 + 10 * rank;
+        suggestion = "From " + std::to_string(decade) + " to " +
+                     std::to_string(decade + 9);
+      } else if (NameContains(column, "residence") ||
+                 NameContains(column, "city") ||
+                 NameContains(column, "province") ||
+                 NameContains(column, "region")) {
+        const auto& cities = UsCityNames();
+        suggestion = rank < cities.size()
+                         ? cities[rank]
+                         : "City " + std::to_string(rank + 1);
+      } else if (NameContains(column, "device")) {
+        static const char* kDevices[] = {"Desktop", "Mobile", "Tablet",
+                                         "Smart TV", "Console"};
+        suggestion = rank < 5 ? kDevices[rank]
+                              : "Device Type " + std::to_string(rank + 1);
+      } else {
+        // Fallback: "<Column> Class A" style labels.
+        std::string title = column;
+        if (!title.empty()) {
+          title[0] = static_cast<char>(
+              std::toupper(static_cast<unsigned char>(title[0])));
+        }
+        std::string letter;
+        size_t v = rank;
+        do {
+          letter.insert(letter.begin(),
+                        static_cast<char>('A' + static_cast<char>(v % 26)));
+          v = v / 26;
+        } while (v > 0);
+        suggestion = title + " Class " + letter;
+      }
+      entries[key] = claim(std::move(suggestion));
+      ++rank;
+    }
+    if (!entries.empty()) spec[column] = std::move(entries);
+  }
+  return spec;
+}
+
+std::vector<std::string> FindAmbiguousCategoricalColumns(const Table& table) {
+  // Count, for every display string, the set of categorical columns it
+  // appears in; a column is ambiguous if it shares at least one value
+  // string with another categorical column.
+  std::unordered_map<std::string, std::set<size_t>> occurrence;
+  std::vector<size_t> candidates;
+  for (size_t c = 0; c < table.num_columns(); ++c) {
+    const Field& field = table.schema().field(c);
+    if (field.semantic != SemanticType::kCategorical) continue;
+    candidates.push_back(c);
+    for (size_t r = 0; r < table.num_rows(); ++r) {
+      const Value& v = table.at(r, c);
+      if (v.is_null()) continue;
+      occurrence[v.ToDisplayString()].insert(c);
+    }
+  }
+  std::set<size_t> ambiguous;
+  for (const auto& [text, columns] : occurrence) {
+    if (columns.size() > 1) {
+      ambiguous.insert(columns.begin(), columns.end());
+    }
+  }
+  std::vector<std::string> out;
+  for (size_t c : candidates) {
+    if (ambiguous.count(c) > 0) {
+      out.push_back(table.schema().field(c).name);
+    }
+  }
+  return out;
+}
+
+}  // namespace greater

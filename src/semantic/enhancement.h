@@ -1,0 +1,62 @@
+#ifndef GREATER_SEMANTIC_ENHANCEMENT_H_
+#define GREATER_SEMANTIC_ENHANCEMENT_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "semantic/mapping.h"
+#include "semantic/name_generator.h"
+#include "tabular/table.h"
+
+namespace greater {
+
+/// ---- Differentiability-based transformation (paper Sec. 3.2.1) ----
+///
+/// Counts the categories across the selected columns
+/// (n = n_column1 + n_column2 + ...) and assigns each one a unique
+/// representation drawn from `names` — "minimal but automated
+/// differentiability": no repeated categories remain anywhere in the
+/// transformed table, though the names carry no real-world meaning.
+Result<MappingSystem> BuildDifferentiabilityMapping(
+    const Table& table, const std::vector<std::string>& columns,
+    NameGenerator* names);
+
+/// ---- Understandability-based transformation (paper Sec. 3.2.2) ----
+///
+/// Spec format: column -> (original category display string -> replacement
+/// text). The paper has data scientists curate this by studying every
+/// column (Fig. 6: gender 2/3/4 -> Male/Female/Others, age bands, 71
+/// provinces -> 71 US cities).
+using MappingSpec = std::map<std::string, std::map<std::string, std::string>>;
+
+/// Builds a mapping system from a curated spec, validating that every
+/// category observed in the table is covered and that replacements stay
+/// globally distinct (understandability also guarantees
+/// differentiability).
+Result<MappingSystem> BuildUnderstandabilityMapping(const Table& table,
+                                                    const MappingSpec& spec);
+
+/// ---- Automated spec suggestion (the paper's future-work item, Sec. 5:
+/// "automating the understandability-based transformation module") ----
+///
+/// Generates a plausible spec from column names and observed categories
+/// using a small built-in knowledge base (gender / age / residence /
+/// device keywords; "<Column> Class X" fallback). This substitutes the
+/// LLM-prompt automation the paper defers: the mechanism downstream is
+/// identical — semantically flavored, globally distinct category names.
+Result<MappingSpec> SuggestMappingSpec(const Table& table,
+                                       const std::vector<std::string>& columns);
+
+/// The 71-entry city list used by the paper's residence mapping (Fig. 6).
+const std::vector<std::string>& UsCityNames();
+
+/// Columns whose repeated numeric labels make them candidates for semantic
+/// enhancement: categorical columns whose display values collide with
+/// another selected column's values. Returns names in schema order.
+std::vector<std::string> FindAmbiguousCategoricalColumns(const Table& table);
+
+}  // namespace greater
+
+#endif  // GREATER_SEMANTIC_ENHANCEMENT_H_

@@ -1,0 +1,80 @@
+#ifndef GREATER_SEMANTIC_MAPPING_H_
+#define GREATER_SEMANTIC_MAPPING_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "tabular/table.h"
+
+namespace greater {
+
+/// Forward mapping for one column: original category -> replacement.
+struct ColumnMapping {
+  std::string column;
+  /// Physical type of the column before transformation (restored by the
+  /// inverse mapping system).
+  ValueType original_type = ValueType::kInt;
+  std::map<Value, Value> forward;
+};
+
+/// The mapping system at the heart of the Data Semantic Enhancement System
+/// (paper Sec. 3.2): applies category replacements before textual encoding
+/// and inverts them after synthesis so "the model always returns synthetic
+/// data in the same format as the original data" (Sec. 3.2.3).
+///
+/// Invariants enforced at construction:
+///  * within a column, the forward map is injective (invertible), and
+///  * across ALL mapped columns, replacement values are globally distinct —
+///    the differentiability guarantee that removes the co-occurring-label
+///    ambiguity of Fig. 2.
+class MappingSystem {
+ public:
+  MappingSystem() = default;
+
+  /// Validates and assembles a system from per-column mappings.
+  static Result<MappingSystem> Make(std::vector<ColumnMapping> mappings);
+
+  const std::vector<ColumnMapping>& mappings() const { return mappings_; }
+  bool empty() const { return mappings_.empty(); }
+
+  /// Transforms `table`: mapped columns become string/categorical columns
+  /// holding the replacement values. Fails if a non-null cell of a mapped
+  /// column has no mapping entry.
+  Result<Table> Apply(const Table& table) const;
+
+  /// Inverse transform: maps replacement values back to the original
+  /// categories and restores the original column type. Fails on values
+  /// outside the mapping's image (DataLoss).
+  Result<Table> Invert(const Table& table) const;
+
+  /// Like Apply/Invert, but silently skips mapped columns absent from
+  /// `table` — used by the multi-table pipeline, where one global mapping
+  /// (global distinctness!) is applied to parent and child tables that
+  /// each hold a subset of the mapped columns.
+  Result<Table> ApplyPartial(const Table& table) const;
+  Result<Table> InvertPartial(const Table& table) const;
+
+  /// Serializes to CSV-like text (column,original,replacement per line) so
+  /// a mapping can be stored during a run...
+  std::string Serialize() const;
+
+  /// ...and parsed back.
+  static Result<MappingSystem> Deserialize(const std::string& text);
+
+  /// Destroys the mapping in place — the privacy step of Sec. 3.2.3 ("the
+  /// mapping system is to be deleted after the data is synthesized").
+  /// After Erase, Apply/Invert fail with FailedPrecondition.
+  void Erase();
+
+  bool erased() const { return erased_; }
+
+ private:
+  std::vector<ColumnMapping> mappings_;
+  bool erased_ = false;
+};
+
+}  // namespace greater
+
+#endif  // GREATER_SEMANTIC_MAPPING_H_

@@ -1,0 +1,80 @@
+#include "semantic/name_generator.h"
+
+namespace greater {
+namespace {
+
+// Compact embedded name database (top US census first/last names). 64 x 64
+// gives 4096 combinations before the numbered fallback.
+const char* const kFirstNames[] = {
+    "James",   "Mary",      "Robert",  "Patricia", "John",    "Jennifer",
+    "Michael", "Linda",     "David",   "Elizabeth", "William", "Barbara",
+    "Richard", "Susan",     "Joseph",  "Jessica",  "Thomas",  "Sarah",
+    "Charles", "Karen",     "Chris",   "Lisa",     "Daniel",  "Nancy",
+    "Matthew", "Betty",     "Anthony", "Sandra",   "Mark",    "Margaret",
+    "Donald",  "Ashley",    "Steven",  "Kimberly", "Andrew",  "Emily",
+    "Paul",    "Donna",     "Joshua",  "Michelle", "Kenneth", "Carol",
+    "Kevin",   "Amanda",    "Brian",   "Melissa",  "George",  "Deborah",
+    "Timothy", "Stephanie", "Ronald",  "Rebecca",  "Jason",   "Sharon",
+    "Edward",  "Laura",     "Jeffrey", "Cynthia",  "Ryan",    "Dorothy",
+    "Jacob",   "Amy",       "Gary",    "Kathleen",
+};
+
+const char* const kLastNames[] = {
+    "Smith",    "Johnson",  "Williams", "Brown",    "Jones",    "Garcia",
+    "Miller",   "Davis",    "Rodriguez", "Martinez", "Hernandez", "Lopez",
+    "Gonzalez", "Wilson",   "Anderson", "Thomas",   "Taylor",   "Moore",
+    "Jackson",  "Martin",   "Lee",      "Perez",    "Thompson", "White",
+    "Harris",   "Sanchez",  "Clark",    "Ramirez",  "Lewis",    "Robinson",
+    "Walker",   "Young",    "Allen",    "King",     "Wright",   "Scott",
+    "Torres",   "Nguyen",   "Hill",     "Flores",   "Green",    "Adams",
+    "Nelson",   "Baker",    "Hall",     "Rivera",   "Campbell", "Mitchell",
+    "Carter",   "Roberts",  "Gomez",    "Phillips", "Evans",    "Turner",
+    "Diaz",     "Parker",   "Cruz",     "Edwards",  "Collins",  "Reyes",
+    "Stewart",  "Morris",   "Morales",  "Murphy",
+};
+
+constexpr size_t kNumFirst = sizeof(kFirstNames) / sizeof(kFirstNames[0]);
+constexpr size_t kNumLast = sizeof(kLastNames) / sizeof(kLastNames[0]);
+
+}  // namespace
+
+NameGenerator::NameGenerator(uint64_t seed) : rng_(seed) {}
+
+size_t NameGenerator::CombinationSpace() { return kNumFirst * kNumLast; }
+
+std::string NameGenerator::Unique(
+    const std::unordered_set<std::string>& reserved) {
+  // Random probing over the combination space, then a numbered fallback.
+  for (int attempt = 0; attempt < 64; ++attempt) {
+    std::string name = std::string(kFirstNames[rng_.Index(kNumFirst)]) + " " +
+                       kLastNames[rng_.Index(kNumLast)];
+    if (used_.count(name) == 0 && reserved.count(name) == 0) {
+      used_.insert(name);
+      return name;
+    }
+  }
+  // Dense space: deterministic sweep with suffixes. Guaranteed to succeed
+  // since suffixes are unbounded.
+  for (uint64_t suffix = 2;; ++suffix) {
+    for (size_t f = 0; f < kNumFirst; ++f) {
+      for (size_t l = 0; l < kNumLast; ++l) {
+        std::string name = std::string(kFirstNames[f]) + " " + kLastNames[l] +
+                           " " + std::to_string(suffix);
+        if (used_.count(name) == 0 && reserved.count(name) == 0) {
+          used_.insert(name);
+          return name;
+        }
+      }
+    }
+  }
+}
+
+std::vector<std::string> NameGenerator::UniqueBatch(
+    size_t n, const std::unordered_set<std::string>& reserved) {
+  std::vector<std::string> out;
+  out.reserve(n);
+  for (size_t i = 0; i < n; ++i) out.push_back(Unique(reserved));
+  return out;
+}
+
+}  // namespace greater

@@ -1,0 +1,44 @@
+#ifndef GREATER_SEMANTIC_NAME_GENERATOR_H_
+#define GREATER_SEMANTIC_NAME_GENERATOR_H_
+
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/status.h"
+
+namespace greater {
+
+/// Source of unique, natural-language-like representations for the
+/// differentiability-based transformation (paper Sec. 3.2.1 / 4.1.5).
+///
+/// Stands in for the Python `names` package the paper uses: an embedded
+/// first/last-name database produces "Amelia Warner"-style strings, with a
+/// numbered fallback ("Amelia Warner 2") once the combination space is
+/// exhausted, so Unique() never fails.
+class NameGenerator {
+ public:
+  explicit NameGenerator(uint64_t seed = 20240327);
+
+  /// Returns a name not yet produced by this generator and not contained
+  /// in `reserved` (pass the set of strings already present in the table
+  /// so replacements never collide with real data).
+  std::string Unique(const std::unordered_set<std::string>& reserved);
+
+  /// Convenience: n distinct names at once.
+  std::vector<std::string> UniqueBatch(
+      size_t n, const std::unordered_set<std::string>& reserved);
+
+  /// Number of distinct first-last combinations before the numbered
+  /// fallback kicks in.
+  static size_t CombinationSpace();
+
+ private:
+  Rng rng_;
+  std::unordered_set<std::string> used_;
+};
+
+}  // namespace greater
+
+#endif  // GREATER_SEMANTIC_NAME_GENERATOR_H_

@@ -1,0 +1,46 @@
+#include "semantic/text_transform.h"
+
+#include "common/strings.h"
+
+namespace greater {
+
+Result<Table> TextSubstitution::Substitute(const Table& table,
+                                           const std::string& from,
+                                           const std::string& to) const {
+  Table out = table;
+  for (const auto& name : columns_) {
+    GREATER_ASSIGN_OR_RETURN(size_t idx, table.schema().FieldIndex(name));
+    if (table.schema().field(idx).type != ValueType::kString) {
+      return Status::Invalid("text substitution on non-string column '" +
+                             name + "'");
+    }
+    std::vector<Value> replaced;
+    replaced.reserve(table.num_rows());
+    for (size_t r = 0; r < table.num_rows(); ++r) {
+      const Value& v = table.at(r, idx);
+      if (v.is_null()) {
+        replaced.push_back(v);
+        continue;
+      }
+      const std::string& text = v.as_string();
+      if (text.find(to) != std::string::npos) {
+        return Status::Invalid("cell '" + text + "' in column '" + name +
+                               "' already contains '" + to +
+                               "'; substitution would not be invertible");
+      }
+      replaced.push_back(Value(ReplaceAll(text, from, to)));
+    }
+    GREATER_RETURN_NOT_OK(out.ReplaceColumn(name, std::move(replaced)));
+  }
+  return out;
+}
+
+Result<Table> TextSubstitution::Apply(const Table& table) const {
+  return Substitute(table, from_, to_);
+}
+
+Result<Table> TextSubstitution::Invert(const Table& table) const {
+  return Substitute(table, to_, from_);
+}
+
+}  // namespace greater

@@ -1,0 +1,54 @@
+#ifndef GREATER_SEMANTIC_TEXT_TRANSFORM_H_
+#define GREATER_SEMANTIC_TEXT_TRANSFORM_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "tabular/table.h"
+
+namespace greater {
+
+/// Invertible in-cell text substitution applied to selected string columns.
+///
+/// The paper's data-specific transformation (Sec. 4.4.2): interest-list
+/// cells like "20^35^42^15^5" read more like natural language as
+/// "20 and 35 and 42 and 15 and 5", which the LLM tokenizes far better.
+/// Apply replaces `from` with `to`; Invert replaces `to` with `from`.
+/// Invertibility requires that neither pattern occurs as a substring of
+/// cells on the other side — validated at Apply/Invert time.
+class TextSubstitution {
+ public:
+  TextSubstitution(std::string from, std::string to,
+                   std::vector<std::string> columns)
+      : from_(std::move(from)), to_(std::move(to)),
+        columns_(std::move(columns)) {}
+
+  /// The paper's caret transform over the given columns.
+  static TextSubstitution CaretToAnd(std::vector<std::string> columns) {
+    return TextSubstitution("^", " and ", std::move(columns));
+  }
+
+  /// Forward substitution. Fails if a cell already contains `to` (the
+  /// inverse would then be ambiguous) or a selected column is not string.
+  Result<Table> Apply(const Table& table) const;
+
+  /// Inverse substitution (to -> from), same ambiguity check on `from`.
+  Result<Table> Invert(const Table& table) const;
+
+  const std::string& from() const { return from_; }
+  const std::string& to() const { return to_; }
+  const std::vector<std::string>& columns() const { return columns_; }
+
+ private:
+  Result<Table> Substitute(const Table& table, const std::string& from,
+                           const std::string& to) const;
+
+  std::string from_;
+  std::string to_;
+  std::vector<std::string> columns_;
+};
+
+}  // namespace greater
+
+#endif  // GREATER_SEMANTIC_TEXT_TRANSFORM_H_

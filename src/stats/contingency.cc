@@ -1,0 +1,99 @@
+#include "stats/contingency.h"
+
+#include <map>
+
+namespace greater {
+
+Result<ContingencyTable> ContingencyTable::FromColumns(
+    const std::vector<Value>& a, const std::vector<Value>& b) {
+  if (a.size() != b.size()) {
+    return Status::Invalid("contingency: column length mismatch");
+  }
+  std::map<Value, size_t> row_index;
+  std::map<Value, size_t> col_index;
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (a[i].is_null() || b[i].is_null()) continue;
+    row_index.emplace(a[i], 0);
+    col_index.emplace(b[i], 0);
+  }
+  if (row_index.empty() || col_index.empty()) {
+    return Status::Invalid("contingency: no complete pairs");
+  }
+  ContingencyTable table;
+  size_t r = 0;
+  for (auto& [value, idx] : row_index) {
+    idx = r++;
+    table.row_labels_.push_back(value);
+  }
+  size_t c = 0;
+  for (auto& [value, idx] : col_index) {
+    idx = c++;
+    table.col_labels_.push_back(value);
+  }
+  table.counts_.assign(row_index.size(),
+                       std::vector<double>(col_index.size(), 0.0));
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (a[i].is_null() || b[i].is_null()) continue;
+    table.counts_[row_index[a[i]]][col_index[b[i]]] += 1.0;
+    table.total_ += 1.0;
+  }
+  return table;
+}
+
+Result<ContingencyTable> ContingencyTable::FromCounts(
+    std::vector<std::vector<double>> counts) {
+  if (counts.empty() || counts[0].empty()) {
+    return Status::Invalid("contingency: empty count matrix");
+  }
+  size_t cols = counts[0].size();
+  ContingencyTable table;
+  for (const auto& row : counts) {
+    if (row.size() != cols) {
+      return Status::Invalid("contingency: ragged count matrix");
+    }
+    for (double v : row) {
+      if (v < 0.0) return Status::Invalid("contingency: negative count");
+      table.total_ += v;
+    }
+  }
+  if (table.total_ <= 0.0) {
+    return Status::Invalid("contingency: all-zero count matrix");
+  }
+  table.counts_ = std::move(counts);
+  return table;
+}
+
+double ContingencyTable::RowTotal(size_t r) const {
+  double sum = 0.0;
+  for (double v : counts_[r]) sum += v;
+  return sum;
+}
+
+double ContingencyTable::ColTotal(size_t c) const {
+  double sum = 0.0;
+  for (const auto& row : counts_) sum += row[c];
+  return sum;
+}
+
+double ContingencyTable::ChiSquareStatistic() const {
+  std::vector<double> row_totals(num_rows());
+  std::vector<double> col_totals(num_cols());
+  for (size_t r = 0; r < num_rows(); ++r) row_totals[r] = RowTotal(r);
+  for (size_t c = 0; c < num_cols(); ++c) col_totals[c] = ColTotal(c);
+  double stat = 0.0;
+  for (size_t r = 0; r < num_rows(); ++r) {
+    for (size_t c = 0; c < num_cols(); ++c) {
+      double expected = row_totals[r] * col_totals[c] / total_;
+      if (expected <= 0.0) continue;
+      double diff = counts_[r][c] - expected;
+      stat += diff * diff / expected;
+    }
+  }
+  return stat;
+}
+
+double ContingencyTable::DegreesOfFreedom() const {
+  return static_cast<double>((num_rows() - 1) * (num_cols() - 1));
+}
+
+}  // namespace greater

@@ -1,0 +1,55 @@
+#ifndef GREATER_STATS_CONTINGENCY_H_
+#define GREATER_STATS_CONTINGENCY_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "tabular/value.h"
+
+namespace greater {
+
+/// Cross-tabulation of two categorical variables. The basis of Cramér's V,
+/// the chi-square independence test, and Fisher's exact test (Sec. 3.3.1,
+/// 4.1.2 of the paper).
+class ContingencyTable {
+ public:
+  /// Builds the r x c count table of two aligned value vectors. Null cells
+  /// are skipped pairwise. Fails if the vectors differ in length or fewer
+  /// than one complete pair remains.
+  static Result<ContingencyTable> FromColumns(const std::vector<Value>& a,
+                                              const std::vector<Value>& b);
+
+  /// Builds directly from counts (rows x cols); used by tests.
+  static Result<ContingencyTable> FromCounts(
+      std::vector<std::vector<double>> counts);
+
+  size_t num_rows() const { return counts_.size(); }
+  size_t num_cols() const { return counts_.empty() ? 0 : counts_[0].size(); }
+  double count(size_t r, size_t c) const { return counts_[r][c]; }
+  double total() const { return total_; }
+
+  /// Marginal sums.
+  double RowTotal(size_t r) const;
+  double ColTotal(size_t c) const;
+
+  /// Pearson chi-square statistic against the independence model.
+  double ChiSquareStatistic() const;
+
+  /// Degrees of freedom (r - 1)(c - 1).
+  double DegreesOfFreedom() const;
+
+  /// Row/column category labels in the order used by the count matrix
+  /// (present when built FromColumns; empty when built FromCounts).
+  const std::vector<Value>& row_labels() const { return row_labels_; }
+  const std::vector<Value>& col_labels() const { return col_labels_; }
+
+ private:
+  std::vector<std::vector<double>> counts_;
+  std::vector<Value> row_labels_;
+  std::vector<Value> col_labels_;
+  double total_ = 0.0;
+};
+
+}  // namespace greater
+
+#endif  // GREATER_STATS_CONTINGENCY_H_

@@ -1,0 +1,151 @@
+#include "stats/correlation.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+#include "stats/descriptive.h"
+
+namespace greater {
+
+double PearsonCorrelation(const std::vector<double>& x,
+                          const std::vector<double>& y) {
+  size_t n = std::min(x.size(), y.size());
+  if (n < 2) return 0.0;
+  double mx = 0.0, my = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    mx += x[i];
+    my += y[i];
+  }
+  mx /= static_cast<double>(n);
+  my /= static_cast<double>(n);
+  double sxy = 0.0, sxx = 0.0, syy = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    double dx = x[i] - mx;
+    double dy = y[i] - my;
+    sxy += dx * dy;
+    sxx += dx * dx;
+    syy += dy * dy;
+  }
+  if (sxx <= 0.0 || syy <= 0.0) return 0.0;
+  return sxy / std::sqrt(sxx * syy);
+}
+
+double CramersV(const ContingencyTable& table) {
+  size_t k = std::min(table.num_rows(), table.num_cols());
+  if (k < 2) return 0.0;
+  double chi2 = table.ChiSquareStatistic();
+  double v2 = chi2 / (table.total() * static_cast<double>(k - 1));
+  return std::sqrt(std::min(1.0, std::max(0.0, v2)));
+}
+
+double CramersVBiasCorrected(const ContingencyTable& table) {
+  double n = table.total();
+  double r = static_cast<double>(table.num_rows());
+  double c = static_cast<double>(table.num_cols());
+  if (n <= 1.0 || r < 2.0 || c < 2.0) return 0.0;
+  double phi2 = table.ChiSquareStatistic() / n;
+  double phi2_corr = std::max(0.0, phi2 - (r - 1.0) * (c - 1.0) / (n - 1.0));
+  double r_corr = r - (r - 1.0) * (r - 1.0) / (n - 1.0);
+  double c_corr = c - (c - 1.0) * (c - 1.0) / (n - 1.0);
+  double denom = std::min(r_corr - 1.0, c_corr - 1.0);
+  if (denom <= 0.0) return 0.0;
+  return std::sqrt(std::min(1.0, phi2_corr / denom));
+}
+
+double CorrelationRatio(const std::vector<Value>& categories,
+                        const std::vector<double>& outcomes) {
+  size_t n = std::min(categories.size(), outcomes.size());
+  if (n < 2) return 0.0;
+  std::map<Value, std::pair<double, double>> groups;  // sum, count
+  double total_sum = 0.0;
+  double total_count = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    if (categories[i].is_null()) continue;
+    auto& [sum, count] = groups[categories[i]];
+    sum += outcomes[i];
+    count += 1.0;
+    total_sum += outcomes[i];
+    total_count += 1.0;
+  }
+  if (total_count < 2.0 || groups.size() < 2) return 0.0;
+  double grand_mean = total_sum / total_count;
+  double ss_between = 0.0;
+  for (const auto& [value, sc] : groups) {
+    double group_mean = sc.first / sc.second;
+    ss_between += sc.second * (group_mean - grand_mean) * (group_mean - grand_mean);
+  }
+  double ss_total = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    if (categories[i].is_null()) continue;
+    ss_total += (outcomes[i] - grand_mean) * (outcomes[i] - grand_mean);
+  }
+  if (ss_total <= 0.0) return 0.0;
+  return std::sqrt(std::min(1.0, std::max(0.0, ss_between / ss_total)));
+}
+
+namespace {
+
+std::vector<double> NumericColumn(const Table& table, size_t col) {
+  std::vector<double> out;
+  out.reserve(table.num_rows());
+  for (size_t r = 0; r < table.num_rows(); ++r) {
+    out.push_back(table.at(r, col).AsNumeric());
+  }
+  return out;
+}
+
+bool IsContinuous(const Field& field) {
+  return field.semantic == SemanticType::kContinuous;
+}
+
+}  // namespace
+
+Result<AssociationMatrix> ComputeAssociationMatrix(const Table& table) {
+  size_t k = table.num_columns();
+  if (k == 0) {
+    return Status::Invalid("association matrix of an empty table");
+  }
+  AssociationMatrix out;
+  out.names = table.schema().FieldNames();
+  out.values = Matrix(k, k, 0.0);
+  for (size_t i = 0; i < k; ++i) out.values(i, i) = 1.0;
+
+  for (size_t i = 0; i < k; ++i) {
+    for (size_t j = i + 1; j < k; ++j) {
+      const Field& fi = table.schema().field(i);
+      const Field& fj = table.schema().field(j);
+      double assoc = 0.0;
+      if (IsContinuous(fi) && IsContinuous(fj)) {
+        assoc = std::fabs(PearsonCorrelation(NumericColumn(table, i),
+                                             NumericColumn(table, j)));
+      } else if (!IsContinuous(fi) && !IsContinuous(fj)) {
+        // Bias-corrected Cramér's V: the plain estimator's upward bias on
+        // modest samples with many categories would drown the independence
+        // signal the threshold-separation step needs.
+        auto ct = ContingencyTable::FromColumns(table.column(i),
+                                                table.column(j));
+        assoc = ct.ok() ? CramersVBiasCorrected(*ct) : 0.0;
+      } else {
+        // Mixed pair: grouping = the categorical side.
+        size_t cat = IsContinuous(fi) ? j : i;
+        size_t num = IsContinuous(fi) ? i : j;
+        assoc = CorrelationRatio(table.column(cat), NumericColumn(table, num));
+      }
+      out.values(i, j) = assoc;
+      out.values(j, i) = assoc;
+    }
+  }
+  return out;
+}
+
+std::vector<double> OffDiagonal(const AssociationMatrix& matrix) {
+  std::vector<double> out;
+  size_t k = matrix.values.rows();
+  for (size_t i = 0; i < k; ++i) {
+    for (size_t j = i + 1; j < k; ++j) out.push_back(matrix.values(i, j));
+  }
+  return out;
+}
+
+}  // namespace greater

@@ -1,0 +1,55 @@
+#ifndef GREATER_STATS_CORRELATION_H_
+#define GREATER_STATS_CORRELATION_H_
+
+#include <string>
+#include <vector>
+
+#include "common/matrix.h"
+#include "common/status.h"
+#include "stats/contingency.h"
+#include "tabular/table.h"
+
+namespace greater {
+
+/// Pearson correlation coefficient of two aligned numeric vectors.
+/// Returns 0 when either side has zero variance.
+double PearsonCorrelation(const std::vector<double>& x,
+                          const std::vector<double>& y);
+
+/// Cramér's V of a contingency table: sqrt(chi2 / (n * min(r-1, c-1))).
+/// The association measure the paper uses for its mostly-categorical
+/// dataset (Sec. 4.1.2). Returns 0 for degenerate (1 x c or r x 1) tables.
+double CramersV(const ContingencyTable& table);
+
+/// Bias-corrected Cramér's V (Bergsma 2013): corrects the upward bias of
+/// the plain estimator on small samples / large tables.
+double CramersVBiasCorrected(const ContingencyTable& table);
+
+/// Correlation ratio eta for a categorical grouping vs a numeric outcome:
+/// sqrt(SS_between / SS_total) in [0, 1]. Used for mixed-type column pairs.
+double CorrelationRatio(const std::vector<Value>& categories,
+                        const std::vector<double>& outcomes);
+
+/// Pairwise association matrix of a table (the correlation heatmap of
+/// Fig. 5). Entry (i, j) in [0, 1]:
+///   categorical x categorical -> Cramér's V
+///   continuous  x continuous  -> |Pearson|
+///   mixed                     -> correlation ratio
+/// Identifier columns participate (the paper's point is precisely that
+/// their coefficients are misleading); callers exclude them by dropping
+/// the columns first.
+struct AssociationMatrix {
+  std::vector<std::string> names;
+  Matrix values;  // symmetric, unit diagonal
+};
+
+Result<AssociationMatrix> ComputeAssociationMatrix(const Table& table);
+
+/// Off-diagonal entries of an association matrix, flattened (upper
+/// triangle). Convenient for computing the mean/median thresholds of the
+/// Threshold Separation method (Sec. 4.1.6).
+std::vector<double> OffDiagonal(const AssociationMatrix& matrix);
+
+}  // namespace greater
+
+#endif  // GREATER_STATS_CORRELATION_H_

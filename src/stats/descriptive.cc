@@ -1,0 +1,49 @@
+#include "stats/descriptive.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+namespace greater {
+
+double Mean(const std::vector<double>& xs) {
+  if (xs.empty()) return 0.0;
+  return std::accumulate(xs.begin(), xs.end(), 0.0) /
+         static_cast<double>(xs.size());
+}
+
+double Variance(const std::vector<double>& xs) {
+  if (xs.size() < 2) return 0.0;
+  double m = Mean(xs);
+  double sum = 0.0;
+  for (double x : xs) sum += (x - m) * (x - m);
+  return sum / static_cast<double>(xs.size() - 1);
+}
+
+double StdDev(const std::vector<double>& xs) { return std::sqrt(Variance(xs)); }
+
+double Median(std::vector<double> xs) { return Quantile(std::move(xs), 0.5); }
+
+double Quantile(std::vector<double> xs, double q) {
+  if (xs.empty()) return 0.0;
+  std::sort(xs.begin(), xs.end());
+  if (q <= 0.0) return xs.front();
+  if (q >= 1.0) return xs.back();
+  double pos = q * static_cast<double>(xs.size() - 1);
+  size_t lo = static_cast<size_t>(pos);
+  double frac = pos - static_cast<double>(lo);
+  if (lo + 1 >= xs.size()) return xs.back();
+  return xs[lo] * (1.0 - frac) + xs[lo + 1] * frac;
+}
+
+double Min(const std::vector<double>& xs) {
+  if (xs.empty()) return 0.0;
+  return *std::min_element(xs.begin(), xs.end());
+}
+
+double Max(const std::vector<double>& xs) {
+  if (xs.empty()) return 0.0;
+  return *std::max_element(xs.begin(), xs.end());
+}
+
+}  // namespace greater

@@ -1,0 +1,29 @@
+#ifndef GREATER_STATS_DESCRIPTIVE_H_
+#define GREATER_STATS_DESCRIPTIVE_H_
+
+#include <vector>
+
+namespace greater {
+
+/// Arithmetic mean; 0 for empty input.
+double Mean(const std::vector<double>& xs);
+
+/// Sample variance (n-1 denominator); 0 for n < 2.
+double Variance(const std::vector<double>& xs);
+
+/// Sample standard deviation.
+double StdDev(const std::vector<double>& xs);
+
+/// Median (average of middle two for even n); 0 for empty input.
+double Median(std::vector<double> xs);
+
+/// Linear-interpolation quantile, q in [0, 1]; 0 for empty input.
+double Quantile(std::vector<double> xs, double q);
+
+/// Minimum / maximum; 0 for empty input.
+double Min(const std::vector<double>& xs);
+double Max(const std::vector<double>& xs);
+
+}  // namespace greater
+
+#endif  // GREATER_STATS_DESCRIPTIVE_H_

@@ -1,0 +1,133 @@
+#include "stats/distance.h"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+namespace greater {
+
+Result<DiscreteDistribution> NormalizeCounts(
+    const std::map<Value, size_t>& counts) {
+  double total = 0.0;
+  for (const auto& [value, count] : counts) {
+    total += static_cast<double>(count);
+  }
+  if (total <= 0.0) {
+    return Status::Invalid("cannot normalize zero-mass counts");
+  }
+  DiscreteDistribution dist;
+  for (const auto& [value, count] : counts) {
+    dist[value] = static_cast<double>(count) / total;
+  }
+  return dist;
+}
+
+Result<double> Wasserstein1(std::vector<double> a, std::vector<double> b) {
+  if (a.empty() || b.empty()) {
+    return Status::Invalid("Wasserstein distance requires non-empty samples");
+  }
+  std::sort(a.begin(), a.end());
+  std::sort(b.begin(), b.end());
+  // Integrate |F_a(x) - F_b(x)| dx over the merged sample grid.
+  size_t i = 0, j = 0;
+  double na = static_cast<double>(a.size());
+  double nb = static_cast<double>(b.size());
+  double prev = std::min(a[0], b[0]);
+  double dist = 0.0;
+  while (i < a.size() || j < b.size()) {
+    double x;
+    if (i >= a.size()) {
+      x = b[j];
+    } else if (j >= b.size()) {
+      x = a[i];
+    } else {
+      x = std::min(a[i], b[j]);
+    }
+    double fa = static_cast<double>(i) / na;
+    double fb = static_cast<double>(j) / nb;
+    dist += std::fabs(fa - fb) * (x - prev);
+    prev = x;
+    while (i < a.size() && a[i] <= x) ++i;
+    while (j < b.size() && b[j] <= x) ++j;
+  }
+  return dist;
+}
+
+namespace {
+
+// Merged ordered support with numeric positions: numeric values keep their
+// magnitude; non-numeric values get their rank in the sorted merged support.
+std::vector<std::pair<Value, double>> MergedSupport(
+    const DiscreteDistribution& p, const DiscreteDistribution& q) {
+  std::set<Value> support;
+  bool all_numeric = true;
+  for (const auto& [v, prob] : p) {
+    support.insert(v);
+    all_numeric = all_numeric && v.is_numeric();
+  }
+  for (const auto& [v, prob] : q) {
+    support.insert(v);
+    all_numeric = all_numeric && v.is_numeric();
+  }
+  std::vector<std::pair<Value, double>> out;
+  double rank = 0.0;
+  for (const Value& v : support) {
+    out.emplace_back(v, all_numeric ? v.AsNumeric() : rank);
+    rank += 1.0;
+  }
+  return out;
+}
+
+double MassAt(const DiscreteDistribution& d, const Value& v) {
+  auto it = d.find(v);
+  return it == d.end() ? 0.0 : it->second;
+}
+
+}  // namespace
+
+Result<double> Wasserstein1Discrete(const DiscreteDistribution& p,
+                                    const DiscreteDistribution& q) {
+  if (p.empty() || q.empty()) {
+    return Status::Invalid("Wasserstein distance of an empty distribution");
+  }
+  auto support = MergedSupport(p, q);
+  double dist = 0.0;
+  double cdf_diff = 0.0;
+  for (size_t i = 0; i + 1 < support.size(); ++i) {
+    cdf_diff += MassAt(p, support[i].first) - MassAt(q, support[i].first);
+    double gap = support[i + 1].second - support[i].second;
+    dist += std::fabs(cdf_diff) * gap;
+  }
+  return dist;
+}
+
+double TotalVariation(const DiscreteDistribution& p,
+                      const DiscreteDistribution& q) {
+  std::set<Value> support;
+  for (const auto& [v, prob] : p) support.insert(v);
+  for (const auto& [v, prob] : q) support.insert(v);
+  double sum = 0.0;
+  for (const Value& v : support) sum += std::fabs(MassAt(p, v) - MassAt(q, v));
+  return 0.5 * sum;
+}
+
+double JensenShannon(const DiscreteDistribution& p,
+                     const DiscreteDistribution& q) {
+  std::set<Value> support;
+  for (const auto& [v, prob] : p) support.insert(v);
+  for (const auto& [v, prob] : q) support.insert(v);
+  auto entropy_term = [](double x, double m) {
+    if (x <= 0.0 || m <= 0.0) return 0.0;
+    return x * std::log2(x / m);
+  };
+  double js = 0.0;
+  for (const Value& v : support) {
+    double pp = MassAt(p, v);
+    double qq = MassAt(q, v);
+    double m = 0.5 * (pp + qq);
+    js += 0.5 * entropy_term(pp, m) + 0.5 * entropy_term(qq, m);
+  }
+  return std::max(0.0, std::min(1.0, js));
+}
+
+}  // namespace greater

@@ -1,0 +1,44 @@
+#ifndef GREATER_STATS_DISTANCE_H_
+#define GREATER_STATS_DISTANCE_H_
+
+#include <map>
+#include <vector>
+
+#include "common/status.h"
+#include "tabular/value.h"
+
+namespace greater {
+
+/// A discrete probability distribution over Values (ordered support).
+using DiscreteDistribution = std::map<Value, double>;
+
+/// Normalizes a count map into a probability distribution. Fails when the
+/// total mass is zero.
+Result<DiscreteDistribution> NormalizeCounts(
+    const std::map<Value, size_t>& counts);
+
+/// Wasserstein-1 (earth mover's) distance between two empirical numeric
+/// samples, computed from the merged CDF difference. The "W-distance"
+/// fidelity metric of Sec. 4.1.3.
+Result<double> Wasserstein1(std::vector<double> a, std::vector<double> b);
+
+/// Wasserstein-1 between two discrete distributions over a shared ordered
+/// support. Categorical values are placed at their rank in the merged
+/// support (unit spacing), numeric values at their numeric position — so
+/// age groups 2..8 are metrically ordered while arbitrary categories get
+/// label-encoded rank geometry, matching how the paper applies W-distance
+/// to categorical conditionals.
+Result<double> Wasserstein1Discrete(const DiscreteDistribution& p,
+                                    const DiscreteDistribution& q);
+
+/// Total variation distance: 0.5 * sum |p_i - q_i| over the merged support.
+double TotalVariation(const DiscreteDistribution& p,
+                      const DiscreteDistribution& q);
+
+/// Jensen–Shannon divergence (base-2, in [0, 1]) over the merged support.
+double JensenShannon(const DiscreteDistribution& p,
+                     const DiscreteDistribution& q);
+
+}  // namespace greater
+
+#endif  // GREATER_STATS_DISTANCE_H_

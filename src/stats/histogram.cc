@@ -1,0 +1,75 @@
+#include "stats/histogram.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+namespace greater {
+
+Result<Histogram> Histogram::Make(double lo, double hi, size_t num_bins) {
+  if (!(lo < hi)) {
+    return Status::Invalid("histogram range must satisfy lo < hi");
+  }
+  if (num_bins == 0) {
+    return Status::Invalid("histogram needs at least one bin");
+  }
+  Histogram h;
+  h.lo_ = lo;
+  h.hi_ = hi;
+  h.counts_.assign(num_bins, 0);
+  h.width_ = (hi - lo) / static_cast<double>(num_bins);
+  return h;
+}
+
+void Histogram::Add(double value) {
+  double pos = (value - lo_) / width_;
+  long bin = static_cast<long>(std::floor(pos));
+  bin = std::clamp<long>(bin, 0, static_cast<long>(counts_.size()) - 1);
+  ++counts_[static_cast<size_t>(bin)];
+  ++total_;
+}
+
+void Histogram::AddAll(const std::vector<double>& values) {
+  for (double v : values) Add(v);
+}
+
+double Histogram::BinCenter(size_t bin) const {
+  return lo_ + (static_cast<double>(bin) + 0.5) * width_;
+}
+
+std::vector<double> Histogram::Density() const {
+  std::vector<double> out(counts_.size(), 0.0);
+  if (total_ == 0) return out;
+  for (size_t i = 0; i < counts_.size(); ++i) {
+    out[i] = static_cast<double>(counts_[i]) /
+             (static_cast<double>(total_) * width_);
+  }
+  return out;
+}
+
+double Histogram::MassAbove(double threshold) const {
+  if (total_ == 0) return 0.0;
+  size_t mass = 0;
+  for (size_t i = 0; i < counts_.size(); ++i) {
+    if (BinCenter(i) >= threshold) mass += counts_[i];
+  }
+  return static_cast<double>(mass) / static_cast<double>(total_);
+}
+
+std::string Histogram::ToAscii(size_t max_width) const {
+  size_t peak = 0;
+  for (size_t c : counts_) peak = std::max(peak, c);
+  std::string out;
+  char buf[64];
+  for (size_t i = 0; i < counts_.size(); ++i) {
+    std::snprintf(buf, sizeof(buf), "%8.3f | ", BinCenter(i));
+    out += buf;
+    size_t bar = peak == 0 ? 0 : counts_[i] * max_width / peak;
+    out.append(bar, '#');
+    std::snprintf(buf, sizeof(buf), " %zu\n", counts_[i]);
+    out += buf;
+  }
+  return out;
+}
+
+}  // namespace greater

@@ -1,0 +1,51 @@
+#ifndef GREATER_STATS_HISTOGRAM_H_
+#define GREATER_STATS_HISTOGRAM_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace greater {
+
+/// Fixed-width histogram over [lo, hi]. The figure benches use this to
+/// print the density series of p-value / W-distance distributions the way
+/// the paper's Figs. 7–9 plot them.
+class Histogram {
+ public:
+  /// Builds a histogram with `num_bins` equal bins spanning [lo, hi].
+  /// Values outside the range clamp into the edge bins.
+  static Result<Histogram> Make(double lo, double hi, size_t num_bins);
+
+  void Add(double value);
+  void AddAll(const std::vector<double>& values);
+
+  size_t num_bins() const { return counts_.size(); }
+  size_t count(size_t bin) const { return counts_[bin]; }
+  size_t total() const { return total_; }
+
+  /// Center of a bin.
+  double BinCenter(size_t bin) const;
+
+  /// Normalized density per bin (counts / total / bin_width); zeros when
+  /// empty.
+  std::vector<double> Density() const;
+
+  /// Fraction of mass in bins whose center is >= threshold — the "heavier
+  /// right tail" statistic the paper reads off Figs. 7–9.
+  double MassAbove(double threshold) const;
+
+  /// ASCII rendering: one line per bin with a proportional bar.
+  std::string ToAscii(size_t max_width = 50) const;
+
+ private:
+  double lo_ = 0.0;
+  double hi_ = 1.0;
+  double width_ = 0.0;
+  std::vector<size_t> counts_;
+  size_t total_ = 0;
+};
+
+}  // namespace greater
+
+#endif  // GREATER_STATS_HISTOGRAM_H_

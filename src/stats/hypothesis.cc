@@ -1,0 +1,110 @@
+#include "stats/hypothesis.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "stats/special.h"
+
+namespace greater {
+
+Result<TestResult> ChiSquareIndependenceTest(const ContingencyTable& table) {
+  if (table.num_rows() < 2 || table.num_cols() < 2) {
+    return Status::Invalid("chi-square test needs at least a 2x2 table");
+  }
+  TestResult result;
+  result.statistic = table.ChiSquareStatistic();
+  result.p_value = ChiSquareSf(result.statistic, table.DegreesOfFreedom());
+  return result;
+}
+
+namespace {
+
+// log P[X = a] for the hypergeometric distribution of a 2x2 table with
+// fixed margins (a+b, c+d, a+c, b+d).
+double LogHypergeometricProb(int a, int b, int c, int d) {
+  return LogFactorial(a + b) + LogFactorial(c + d) + LogFactorial(a + c) +
+         LogFactorial(b + d) - LogFactorial(a) - LogFactorial(b) -
+         LogFactorial(c) - LogFactorial(d) - LogFactorial(a + b + c + d);
+}
+
+}  // namespace
+
+Result<TestResult> FisherExactTest2x2(double a_in, double b_in, double c_in,
+                                      double d_in) {
+  auto is_count = [](double v) {
+    return v >= 0.0 && v == std::floor(v) && v < 1e9;
+  };
+  if (!is_count(a_in) || !is_count(b_in) || !is_count(c_in) ||
+      !is_count(d_in)) {
+    return Status::Invalid("Fisher's exact test requires integer counts");
+  }
+  int a = static_cast<int>(a_in), b = static_cast<int>(b_in);
+  int c = static_cast<int>(c_in), d = static_cast<int>(d_in);
+  int n = a + b + c + d;
+  if (n == 0) return Status::Invalid("Fisher's exact test on empty table");
+
+  TestResult result;
+  if (b * c == 0) {
+    result.statistic = (a * d == 0) ? 1.0
+                                    : std::numeric_limits<double>::infinity();
+  } else {
+    result.statistic = (static_cast<double>(a) * d) /
+                       (static_cast<double>(b) * c);
+  }
+
+  // Two-sided: enumerate all tables with the same margins; sum the
+  // probabilities of tables at most as likely as the observed one.
+  int row1 = a + b;
+  int col1 = a + c;
+  int lo = std::max(0, col1 - (c + d));
+  int hi = std::min(row1, col1);
+  double log_obs = LogHypergeometricProb(a, b, c, d);
+  double p = 0.0;
+  for (int x = lo; x <= hi; ++x) {
+    int xb = row1 - x;
+    int xc = col1 - x;
+    int xd = (c + d) - xc;
+    double log_px = LogHypergeometricProb(x, xb, xc, xd);
+    if (log_px <= log_obs + 1e-9) p += std::exp(log_px);
+  }
+  result.p_value = std::min(1.0, p);
+  return result;
+}
+
+Result<double> KolmogorovSmirnovStatistic(std::vector<double> a,
+                                          std::vector<double> b) {
+  if (a.empty() || b.empty()) {
+    return Status::Invalid("KS test requires non-empty samples");
+  }
+  std::sort(a.begin(), a.end());
+  std::sort(b.begin(), b.end());
+  size_t i = 0, j = 0;
+  double d = 0.0;
+  double na = static_cast<double>(a.size());
+  double nb = static_cast<double>(b.size());
+  while (i < a.size() && j < b.size()) {
+    double x = std::min(a[i], b[j]);
+    while (i < a.size() && a[i] <= x) ++i;
+    while (j < b.size() && b[j] <= x) ++j;
+    double fa = static_cast<double>(i) / na;
+    double fb = static_cast<double>(j) / nb;
+    d = std::max(d, std::fabs(fa - fb));
+  }
+  return d;
+}
+
+Result<TestResult> KolmogorovSmirnovTest(std::vector<double> a,
+                                         std::vector<double> b) {
+  double na = static_cast<double>(a.size());
+  double nb = static_cast<double>(b.size());
+  GREATER_ASSIGN_OR_RETURN(double d, KolmogorovSmirnovStatistic(std::move(a),
+                                                                std::move(b)));
+  TestResult result;
+  result.statistic = d;
+  double ne = std::sqrt(na * nb / (na + nb));
+  double lambda = (ne + 0.12 + 0.11 / ne) * d;
+  result.p_value = KolmogorovQ(lambda);
+  return result;
+}
+
+}  // namespace greater

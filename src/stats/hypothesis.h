@@ -1,0 +1,40 @@
+#ifndef GREATER_STATS_HYPOTHESIS_H_
+#define GREATER_STATS_HYPOTHESIS_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "stats/contingency.h"
+
+namespace greater {
+
+/// Outcome of a hypothesis test.
+struct TestResult {
+  double statistic = 0.0;
+  double p_value = 1.0;
+};
+
+/// Pearson chi-square test of independence on a contingency table
+/// (paper Sec. 3.3.1 lists it as an alternative independence criterion).
+Result<TestResult> ChiSquareIndependenceTest(const ContingencyTable& table);
+
+/// Fisher's exact test for a 2x2 table, two-sided (sum of hypergeometric
+/// point probabilities <= that of the observed table). Statistic is the
+/// odds ratio (with 0/inf for degenerate margins).
+Result<TestResult> FisherExactTest2x2(double a, double b, double c, double d);
+
+/// Two-sample Kolmogorov–Smirnov test. Statistic is the sup-distance
+/// between empirical CDFs; p-value uses the asymptotic Kolmogorov
+/// distribution with the effective-sample-size correction
+/// lambda = (sqrt(ne) + 0.12 + 0.11/sqrt(ne)) * D.
+/// This is the "p-value" fidelity metric of Sec. 4.1.3.
+Result<TestResult> KolmogorovSmirnovTest(std::vector<double> a,
+                                         std::vector<double> b);
+
+/// KS statistic only (no p-value), for callers that need the raw distance.
+Result<double> KolmogorovSmirnovStatistic(std::vector<double> a,
+                                          std::vector<double> b);
+
+}  // namespace greater
+
+#endif  // GREATER_STATS_HYPOTHESIS_H_

@@ -1,0 +1,31 @@
+#ifndef GREATER_STATS_SPECIAL_H_
+#define GREATER_STATS_SPECIAL_H_
+
+namespace greater {
+
+/// Special functions backing the hypothesis tests of the evaluation
+/// protocol (chi-square, Fisher's exact, Kolmogorov–Smirnov).
+
+/// log(n!) via lgamma. n >= 0.
+double LogFactorial(int n);
+
+/// Regularized lower incomplete gamma P(a, x), a > 0, x >= 0.
+/// Series expansion for x < a + 1, continued fraction otherwise
+/// (Numerical Recipes scheme).
+double RegularizedGammaP(double a, double x);
+
+/// Regularized upper incomplete gamma Q(a, x) = 1 - P(a, x).
+double RegularizedGammaQ(double a, double x);
+
+/// Survival function of the chi-square distribution with `dof` degrees of
+/// freedom evaluated at `x`: P[X >= x].
+double ChiSquareSf(double x, double dof);
+
+/// Asymptotic Kolmogorov distribution complement:
+/// Q_KS(lambda) = 2 * sum_{k>=1} (-1)^{k-1} exp(-2 k^2 lambda^2).
+/// Used for the two-sample KS p-value.
+double KolmogorovQ(double lambda);
+
+}  // namespace greater
+
+#endif  // GREATER_STATS_SPECIAL_H_

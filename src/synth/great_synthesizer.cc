@@ -1,0 +1,290 @@
+#include "synth/great_synthesizer.h"
+
+#include <algorithm>
+
+namespace greater {
+namespace {
+
+/// Hard cap on tokens per generated value; guards against degenerate loops
+/// when the model keeps emitting value tokens.
+constexpr size_t kMaxValueTokens = 24;
+
+}  // namespace
+
+GreatSynthesizer::GreatSynthesizer(const Options& options)
+    : options_(options) {}
+
+Status GreatSynthesizer::Fit(const Table& train, Rng* rng) {
+  if (fitted()) {
+    return Status::FailedPrecondition("GreatSynthesizer already fitted");
+  }
+  if (train.num_rows() == 0) {
+    return Status::Invalid("cannot fit on an empty table");
+  }
+  GREATER_ASSIGN_OR_RETURN(
+      TextualEncoder encoder,
+      TextualEncoder::Build(train, options_.encoder, options_.prior_corpus));
+  encoder_ = std::make_unique<TextualEncoder>(std::move(encoder));
+
+  GREATER_ASSIGN_OR_RETURN(std::vector<TokenSequence> sequences,
+                           encoder_->EncodeTable(train, rng));
+  if (options_.max_training_sequences > 0 &&
+      sequences.size() > options_.max_training_sequences) {
+    rng->Shuffle(&sequences);
+    sequences.resize(options_.max_training_sequences);
+  }
+
+  std::vector<TokenSequence> prior_sequences;
+  bool use_prior = options_.prior_weight > 0.0 && !options_.prior_corpus.empty();
+  if (use_prior) {
+    prior_sequences.reserve(options_.prior_corpus.size());
+    for (const auto& line : options_.prior_corpus) {
+      prior_sequences.push_back(encoder_->EncodeTextLine(line));
+    }
+  }
+
+  size_t vocab_size = encoder_->vocab().size();
+  switch (options_.backbone) {
+    case Backbone::kNGram: {
+      NGramLm::Options lm_options = options_.ngram;
+      if (use_prior) lm_options.prior_weight = options_.prior_weight;
+      auto lm = std::make_unique<NGramLm>(vocab_size, lm_options);
+      if (use_prior) {
+        GREATER_RETURN_NOT_OK(lm->SetPriorCorpus(prior_sequences));
+      }
+      GREATER_RETURN_NOT_OK(lm->Fit(sequences));
+      lm_ = std::move(lm);
+      break;
+    }
+    case Backbone::kNeural: {
+      auto lm = std::make_unique<NeuralLm>(vocab_size, options_.neural);
+      if (use_prior) {
+        GREATER_RETURN_NOT_OK(lm->SetPriorCorpus(prior_sequences));
+      }
+      GREATER_RETURN_NOT_OK(lm->Fit(sequences));
+      lm_ = std::move(lm);
+      break;
+    }
+  }
+
+  observed_values_.clear();
+  observed_values_.resize(train.num_columns());
+  for (size_t c = 0; c < train.num_columns(); ++c) {
+    for (size_t r = 0; r < train.num_rows(); ++r) {
+      observed_values_[c].insert(train.at(r, c).ToDisplayString());
+    }
+  }
+  std::unordered_set<TokenId> union_tokens;
+  for (const auto& column : encoder_->columns()) {
+    union_tokens.insert(column.value_tokens.begin(),
+                        column.value_tokens.end());
+  }
+  all_value_tokens_.assign(union_tokens.begin(), union_tokens.end());
+  std::sort(all_value_tokens_.begin(), all_value_tokens_.end());
+  return Status::OK();
+}
+
+Result<Row> GreatSynthesizer::SampleRow(
+    Rng* rng, const std::map<std::string, Value>* forced) const {
+  if (!fitted()) {
+    return Status::FailedPrecondition("SampleRow before Fit");
+  }
+  const auto& columns = encoder_->columns();
+  const Schema& schema = encoder_->schema();
+
+  // Resolve forced columns once.
+  std::vector<int> forced_index(columns.size(), -1);
+  std::vector<Value> forced_values;
+  if (forced != nullptr) {
+    for (const auto& [name, value] : *forced) {
+      GREATER_ASSIGN_OR_RETURN(size_t idx, schema.FieldIndex(name));
+      forced_index[idx] = static_cast<int>(forced_values.size());
+      forced_values.push_back(value);
+    }
+  }
+
+  Status last_error = Status::OK();
+  for (size_t attempt = 0; attempt < options_.max_attempts_per_row;
+       ++attempt) {
+    ++stats_.attempts;
+    // In free-value mode the last attempt falls back to the tight grammar
+    // so the Sample call cannot die on an unlucky row.
+    bool constrain = options_.constrain_values_to_column ||
+                     (options_.fallback_to_constrained &&
+                      attempt + 1 == options_.max_attempts_per_row);
+    TokenSequence context;
+    std::vector<bool> emitted(columns.size(), false);
+    size_t remaining = columns.size();
+
+    // Forced columns are written into the context first (in schema
+    // order): they become the conditioning prefix.
+    for (size_t c = 0; c < columns.size(); ++c) {
+      if (forced_index[c] < 0) continue;
+      if (remaining != columns.size()) context.push_back(encoder_->comma_token());
+      context.push_back(columns[c].name_token);
+      context.push_back(encoder_->is_token());
+      std::string text =
+          forced_values[static_cast<size_t>(forced_index[c])].ToDisplayString();
+      for (TokenId id : encoder_->EncodeTextLine(text)) context.push_back(id);
+      emitted[c] = true;
+      --remaining;
+    }
+
+    bool failed = false;
+    while (remaining > 0 && !failed) {
+      if (!context.empty()) context.push_back(encoder_->comma_token());
+      // Choose the next column name among the remaining ones.
+      std::vector<TokenId> allowed_names;
+      allowed_names.reserve(remaining);
+      for (size_t c = 0; c < columns.size(); ++c) {
+        if (!emitted[c]) allowed_names.push_back(columns[c].name_token);
+      }
+      TokenId name_token =
+          lm_->SampleNext(context, rng, options_.temperature, &allowed_names);
+      size_t col = columns.size();
+      for (size_t c = 0; c < columns.size(); ++c) {
+        if (!emitted[c] && columns[c].name_token == name_token) {
+          col = c;
+          break;
+        }
+      }
+      if (col == columns.size()) {
+        failed = true;
+        break;
+      }
+      context.push_back(name_token);
+      context.push_back(encoder_->is_token());
+
+      // Value tokens: constrained to tokens observed in this column (or,
+      // in free-value mode, any column), with the separator admitted once
+      // at least one value token was emitted.
+      std::vector<TokenId> allowed =
+          constrain ? columns[col].value_tokens : all_value_tokens_;
+      size_t value_len = 0;
+      bool closed = (remaining == 1);  // last column ends at eos
+      while (value_len < kMaxValueTokens) {
+        std::vector<TokenId> step_allowed = allowed;
+        if (value_len > 0) {
+          step_allowed.push_back(remaining == 1 ? Vocabulary::kEosId
+                                                : encoder_->comma_token());
+        }
+        TokenId next =
+            lm_->SampleNext(context, rng, options_.temperature, &step_allowed);
+        if (value_len > 0 &&
+            (next == encoder_->comma_token() || next == Vocabulary::kEosId)) {
+          closed = true;
+          break;
+        }
+        context.push_back(next);
+        ++value_len;
+      }
+      if (value_len == 0 || (!closed && value_len >= kMaxValueTokens)) {
+        failed = true;
+        break;
+      }
+      emitted[col] = true;
+      --remaining;
+    }
+    if (failed) {
+      ++stats_.rejected;
+      last_error = Status::DataLoss("generation failed mid-row");
+      continue;
+    }
+
+    Result<Row> decoded = encoder_->DecodeTokens(context);
+    if (!decoded.ok()) {
+      ++stats_.rejected;
+      last_error = decoded.status();
+      continue;
+    }
+    Row row = std::move(decoded).ValueOrDie();
+
+    if (options_.restrict_to_observed) {
+      bool valid = true;
+      for (size_t c = 0; c < columns.size(); ++c) {
+        if (forced_index[c] >= 0) continue;
+        if (observed_values_[c].count(row[c].ToDisplayString()) == 0) {
+          if (attempt + 1 == options_.max_attempts_per_row &&
+              options_.fallback_to_constrained) {
+            // Last resort: snap the cell to a uniformly drawn observed
+            // value so one stubborn multi-token recombination cannot fail
+            // the whole Sample call.
+            const auto& pool = observed_values_[c];
+            size_t pick = rng->Index(pool.size());
+            auto it = pool.begin();
+            std::advance(it, static_cast<ptrdiff_t>(pick));
+            GREATER_ASSIGN_OR_RETURN(row[c], encoder_->ParseValue(c, *it));
+            ++stats_.snapped;
+            continue;
+          }
+          valid = false;
+          break;
+        }
+      }
+      if (!valid) {
+        ++stats_.rejected;
+        last_error = Status::DataLoss("generated value outside the observed "
+                                      "category set");
+        continue;
+      }
+    }
+    // Forced values override whatever round-tripped through tokens (they
+    // may contain words outside the vocabulary).
+    for (size_t c = 0; c < columns.size(); ++c) {
+      if (forced_index[c] >= 0) {
+        row[c] = forced_values[static_cast<size_t>(forced_index[c])];
+      }
+    }
+    ++stats_.rows_emitted;
+    return row;
+  }
+  return Status::ResourceExhausted(
+      "no valid row after " + std::to_string(options_.max_attempts_per_row) +
+      " attempts; last error: " + last_error.ToString());
+}
+
+Result<Table> GreatSynthesizer::Sample(size_t n, Rng* rng) const {
+  if (!fitted()) {
+    return Status::FailedPrecondition("Sample before Fit");
+  }
+  Table out(encoder_->schema());
+  for (size_t i = 0; i < n; ++i) {
+    GREATER_ASSIGN_OR_RETURN(Row row, SampleRow(rng));
+    GREATER_RETURN_NOT_OK(out.AppendRow(std::move(row)));
+  }
+  return out;
+}
+
+Result<Table> GreatSynthesizer::SampleConditional(const Table& conditions,
+                                                  Rng* rng) const {
+  if (!fitted()) {
+    return Status::FailedPrecondition("SampleConditional before Fit");
+  }
+  Table out(encoder_->schema());
+  for (size_t r = 0; r < conditions.num_rows(); ++r) {
+    std::map<std::string, Value> forced;
+    for (size_t c = 0; c < conditions.num_columns(); ++c) {
+      forced[conditions.schema().field(c).name] = conditions.at(r, c);
+    }
+    GREATER_ASSIGN_OR_RETURN(Row row, SampleRow(rng, &forced));
+    GREATER_RETURN_NOT_OK(out.AppendRow(std::move(row)));
+  }
+  return out;
+}
+
+Result<double> GreatSynthesizer::EvaluatePerplexity(
+    const Table& held_out) const {
+  if (!fitted()) {
+    return Status::FailedPrecondition("EvaluatePerplexity before Fit");
+  }
+  // Encode with this synthesizer's encoder in fixed schema order.
+  std::vector<TokenSequence> sequences;
+  std::vector<size_t> order(held_out.num_columns());
+  for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+  for (size_t r = 0; r < held_out.num_rows(); ++r) {
+    sequences.push_back(encoder_->EncodeRow(held_out.GetRow(r), order));
+  }
+  return lm_->Perplexity(sequences);
+}
+
+}  // namespace greater

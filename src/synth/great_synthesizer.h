@@ -1,0 +1,128 @@
+#ifndef GREATER_SYNTH_GREAT_SYNTHESIZER_H_
+#define GREATER_SYNTH_GREAT_SYNTHESIZER_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/status.h"
+#include "lm/language_model.h"
+#include "lm/neural_lm.h"
+#include "lm/ngram_lm.h"
+#include "synth/textual_encoder.h"
+#include "tabular/table.h"
+
+namespace greater {
+
+/// The GReaT pipeline (Borisov et al., ICLR 2023), as reproduced here:
+/// textual-encode every row, fit an autoregressive language model on the
+/// sentences, then sample sentences back and parse them into rows.
+///
+/// Sampling uses constrained (grammar-guided) decoding — the structural
+/// tokens of the sentence grammar are enforced while the *content* tokens
+/// are chosen by the model — which plays the role of GReaT's
+/// rejection-and-retry loop and keeps invalid-row rates low. Rows that
+/// still fail validation (multi-token values recombined into unseen
+/// categories, etc.) are rejected and resampled.
+class GreatSynthesizer {
+ public:
+  /// Which language-model substitute backs the synthesizer (see DESIGN.md).
+  enum class Backbone {
+    kNGram,   ///< fast; used by the full evaluation sweeps
+    kNeural,  ///< embedding-based; the closer GPT-2 analogue
+  };
+
+  struct Options {
+    Backbone backbone = Backbone::kNGram;
+    NGramLm::Options ngram;
+    NeuralLm::Options neural;
+    TextualEncoder::Options encoder;
+    /// Sampling temperature for content tokens.
+    double temperature = 1.0;
+    /// Reject generated categorical values never observed in training.
+    bool restrict_to_observed = true;
+    /// When true, a column's value tokens are constrained to the tokens
+    /// observed in that column (tight grammar). When false — the
+    /// GReaT-faithful mode — value tokens may come from ANY column's
+    /// observed vocabulary and validity is enforced only by rejection.
+    /// This is where Fig. 2's ambiguity bites: a confused "1" borrowed
+    /// from another column still *passes* validation whenever the label
+    /// sets collide, while semantically enhanced (globally distinct)
+    /// categories make such leakage detectable and resampled away.
+    bool constrain_values_to_column = true;
+    /// With constrain_values_to_column=false, retry budgets can exhaust on
+    /// hard rows; when set, the final attempt falls back to the tight
+    /// grammar instead of failing the whole Sample call.
+    bool fallback_to_constrained = true;
+    /// Resampling budget per output row before giving up.
+    size_t max_attempts_per_row = 25;
+    /// Optional natural-language prior corpus simulating pre-trained
+    /// knowledge (see NGramLm). Weight <= 0 disables.
+    std::vector<std::string> prior_corpus;
+    double prior_weight = 0.25;
+    /// Fixed training budget: if the encoded corpus exceeds this many
+    /// sentences, a uniform subsample is used. Models the paper's compute
+    /// constraint (Sec. 4.1.4 cut the default 1000 epochs to 10 "due to a
+    /// large dataset size"): an inflated flattened table burns the budget
+    /// on duplicated engaged-subject rows and under-trains everything
+    /// else. 0 = unlimited.
+    size_t max_training_sequences = 0;
+  };
+
+  /// Sampling diagnostics accumulated across Sample* calls.
+  struct SampleStats {
+    size_t rows_emitted = 0;
+    size_t attempts = 0;
+    size_t rejected = 0;
+    /// Cells replaced by the snap-to-observed last resort.
+    size_t snapped = 0;
+  };
+
+  GreatSynthesizer() : GreatSynthesizer(Options()) {}
+  explicit GreatSynthesizer(const Options& options);
+
+  /// Fits encoder + language model on `train`. One-shot.
+  Status Fit(const Table& train, Rng* rng);
+
+  /// Samples `n` synthetic rows.
+  Result<Table> Sample(size_t n, Rng* rng) const;
+
+  /// Samples one row per row of `conditions`, forcing the condition
+  /// columns (a subset of the training schema) to the given values and
+  /// letting the model generate the rest — conditional generation via
+  /// constrained decoding. This is how the relational synthesizer
+  /// conditions child rows on parent observations.
+  Result<Table> SampleConditional(const Table& conditions, Rng* rng) const;
+
+  /// Samples a single row, optionally with forced column values.
+  Result<Row> SampleRow(Rng* rng,
+                        const std::map<std::string, Value>* forced =
+                            nullptr) const;
+
+  bool fitted() const { return lm_ != nullptr && lm_->fitted(); }
+  const TextualEncoder& encoder() const { return *encoder_; }
+  const LanguageModel& lm() const { return *lm_; }
+  const Options& options() const { return options_; }
+  const SampleStats& stats() const { return stats_; }
+
+  /// Perplexity of the fitted model on a held-out table (encoded once,
+  /// schema order).
+  Result<double> EvaluatePerplexity(const Table& held_out) const;
+
+ private:
+  Options options_;
+  std::unique_ptr<TextualEncoder> encoder_;
+  std::unique_ptr<LanguageModel> lm_;
+  /// Observed display strings per column, for validity checking.
+  std::vector<std::unordered_set<std::string>> observed_values_;
+  /// Union of every column's value tokens (free-value decoding mode).
+  std::vector<TokenId> all_value_tokens_;
+  mutable SampleStats stats_;
+};
+
+}  // namespace greater
+
+#endif  // GREATER_SYNTH_GREAT_SYNTHESIZER_H_

@@ -1,0 +1,140 @@
+#include "synth/narrative.h"
+
+#include <set>
+
+#include "common/strings.h"
+
+namespace greater {
+
+Result<NarrativeTemplate> NarrativeTemplate::Compile(
+    const std::string& pattern, const Schema& schema) {
+  NarrativeTemplate out;
+  out.schema_ = schema;
+  std::set<std::string> used;
+  std::string literal;
+  size_t i = 0;
+  bool last_was_placeholder = false;
+  while (i < pattern.size()) {
+    if (pattern[i] == '{') {
+      size_t close = pattern.find('}', i);
+      if (close == std::string::npos) {
+        return Status::Invalid("unterminated '{' in template");
+      }
+      std::string column = pattern.substr(i + 1, close - i - 1);
+      GREATER_ASSIGN_OR_RETURN(size_t idx, schema.FieldIndex(column));
+      if (!used.insert(column).second) {
+        return Status::Invalid("column '" + column +
+                               "' appears twice in template");
+      }
+      if (last_was_placeholder && literal.empty()) {
+        return Status::Invalid(
+            "adjacent placeholders without separating text make parsing "
+            "ambiguous");
+      }
+      Segment segment;
+      segment.literal = std::move(literal);
+      segment.column = static_cast<int>(idx);
+      out.segments_.push_back(std::move(segment));
+      out.column_names_.push_back(column);
+      literal.clear();
+      last_was_placeholder = true;
+      i = close + 1;
+    } else {
+      literal += pattern[i];
+      ++i;
+    }
+  }
+  if (out.segments_.empty()) {
+    return Status::Invalid("template contains no placeholders");
+  }
+  Segment tail;
+  tail.literal = std::move(literal);
+  out.segments_.push_back(std::move(tail));
+  return out;
+}
+
+std::string NarrativeTemplate::Render(const Row& row) const {
+  std::string out;
+  for (const Segment& segment : segments_) {
+    out += segment.literal;
+    if (segment.column >= 0) {
+      out += row[static_cast<size_t>(segment.column)].ToDisplayString();
+    }
+  }
+  return out;
+}
+
+Result<std::vector<std::string>> NarrativeTemplate::RenderTable(
+    const Table& table) const {
+  if (!(table.schema() == schema_)) {
+    return Status::Invalid("table schema differs from the template's");
+  }
+  std::vector<std::string> out;
+  out.reserve(table.num_rows());
+  for (size_t r = 0; r < table.num_rows(); ++r) {
+    out.push_back(Render(table.GetRow(r)));
+  }
+  return out;
+}
+
+Result<Row> NarrativeTemplate::Parse(const std::string& sentence) const {
+  Row row(schema_.num_fields(), Value::Null());
+  size_t pos = 0;
+  for (size_t s = 0; s < segments_.size(); ++s) {
+    const Segment& segment = segments_[s];
+    // Match the literal prefix.
+    if (sentence.compare(pos, segment.literal.size(), segment.literal) != 0) {
+      return Status::DataLoss("sentence does not match template near '" +
+                              segment.literal + "'");
+    }
+    pos += segment.literal.size();
+    if (segment.column < 0) {
+      if (pos != sentence.size()) {
+        return Status::DataLoss("trailing text after template end");
+      }
+      break;
+    }
+    // Value runs until the next segment's literal (or end of sentence).
+    const std::string& next_literal = segments_[s + 1].literal;
+    size_t end;
+    if (next_literal.empty()) {
+      end = sentence.size();
+    } else {
+      end = sentence.find(next_literal, pos);
+      if (end == std::string::npos) {
+        return Status::DataLoss("missing template text '" + next_literal +
+                                "'");
+      }
+    }
+    std::string text = sentence.substr(pos, end - pos);
+    size_t idx = static_cast<size_t>(segment.column);
+    const Field& field = schema_.field(idx);
+    switch (field.type) {
+      case ValueType::kInt: {
+        auto parsed = ParseInt(text);
+        if (!parsed) {
+          return Status::DataLoss("'" + text + "' is not an int for column '" +
+                                  field.name + "'");
+        }
+        row[idx] = Value(*parsed);
+        break;
+      }
+      case ValueType::kDouble: {
+        auto parsed = ParseDouble(text);
+        if (!parsed) {
+          return Status::DataLoss("'" + text +
+                                  "' is not a real for column '" +
+                                  field.name + "'");
+        }
+        row[idx] = Value(*parsed);
+        break;
+      }
+      default:
+        row[idx] = Value(std::move(text));
+    }
+    pos = end;
+  }
+  return row;
+}
+
+}  // namespace greater

@@ -1,0 +1,63 @@
+#ifndef GREATER_SYNTH_NARRATIVE_H_
+#define GREATER_SYNTH_NARRATIVE_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "tabular/table.h"
+
+namespace greater {
+
+/// Template-based narrative textual encoding — the paper's future-work
+/// item (2) in Sec. 5: instead of "Name: Grace, Gender: Female, ...",
+/// render "A female named Grace had rice for lunch and steak for dinner
+/// while watching action-related video with laptop.", whose sentence-level
+/// semantics a stronger LLM could exploit.
+///
+/// Templates use `{column}` placeholders:
+///   "A {gender} named {name} had {lunch} for lunch and {dinner} for
+///    dinner."
+/// Render substitutes each placeholder with the cell's display string;
+/// Parse inverts a rendered sentence back into the placeholder values by
+/// matching the template's literal segments (all literal segments must be
+/// non-empty between adjacent placeholders for the parse to be
+/// unambiguous).
+class NarrativeTemplate {
+ public:
+  /// Compiles a template, validating placeholder syntax against the
+  /// schema: every `{column}` must name a schema field, no column may
+  /// appear twice, and two placeholders may not be adjacent without a
+  /// separating literal.
+  static Result<NarrativeTemplate> Compile(const std::string& pattern,
+                                           const Schema& schema);
+
+  /// Renders one row.
+  std::string Render(const Row& row) const;
+
+  /// Renders every row of a table (aligned with the compile schema).
+  Result<std::vector<std::string>> RenderTable(const Table& table) const;
+
+  /// Parses a rendered sentence back into a row. Columns not mentioned in
+  /// the template come back null. Fails (DataLoss) when the sentence does
+  /// not match the template's literal structure or a value fails to parse
+  /// into its column type.
+  Result<Row> Parse(const std::string& sentence) const;
+
+  /// Columns referenced by the template, in placeholder order.
+  const std::vector<std::string>& columns() const { return column_names_; }
+
+ private:
+  struct Segment {
+    std::string literal;  // literal text before the placeholder
+    int column = -1;      // schema index, or -1 for the trailing literal
+  };
+
+  Schema schema_;
+  std::vector<Segment> segments_;  // last segment has column == -1
+  std::vector<std::string> column_names_;
+};
+
+}  // namespace greater
+
+#endif  // GREATER_SYNTH_NARRATIVE_H_

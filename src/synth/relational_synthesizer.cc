@@ -1,0 +1,191 @@
+#include "synth/relational_synthesizer.h"
+
+#include <algorithm>
+
+namespace greater {
+
+RelationalSynthesizer::RelationalSynthesizer(const Options& options)
+    : options_(options),
+      parent_model_(options.parent),
+      child_model_(options.child) {}
+
+Status RelationalSynthesizer::Fit(const Table& parent, const Table& child,
+                                  const std::string& key_column, Rng* rng) {
+  if (fitted_) {
+    return Status::FailedPrecondition("RelationalSynthesizer already fitted");
+  }
+  if (!parent.schema().HasField(key_column) ||
+      !child.schema().HasField(key_column)) {
+    return Status::Invalid("key column '" + key_column +
+                           "' must exist in both tables");
+  }
+  key_column_ = key_column;
+  parent_schema_ = parent.schema();
+  child_schema_ = child.schema();
+
+  // Parent: one row per key.
+  GREATER_ASSIGN_OR_RETURN(auto parent_groups,
+                           parent.GroupByColumn(key_column));
+  for (const auto& [key, rows] : parent_groups) {
+    if (rows.size() != 1) {
+      return Status::Invalid("parent table has " + std::to_string(rows.size()) +
+                             " rows for key '" + key.ToDisplayString() + "'");
+    }
+  }
+  GREATER_ASSIGN_OR_RETURN(auto child_groups, child.GroupByColumn(key_column));
+  for (const auto& [key, rows] : child_groups) {
+    if (parent_groups.count(key) == 0) {
+      return Status::Invalid("child key '" + key.ToDisplayString() +
+                             "' missing from parent table");
+    }
+  }
+
+  for (const auto& field : parent_schema_.fields()) {
+    if (field.name != key_column_) {
+      parent_feature_columns_.push_back(field.name);
+    }
+  }
+  for (const auto& field : child_schema_.fields()) {
+    if (field.name != key_column_) {
+      if (parent_schema_.HasField(field.name)) {
+        return Status::Invalid("column '" + field.name +
+                               "' exists in both parent and child");
+      }
+      child_feature_columns_.push_back(field.name);
+    }
+  }
+  if (parent_feature_columns_.empty() || child_feature_columns_.empty()) {
+    return Status::Invalid("both tables need at least one non-key column");
+  }
+
+  // Fit the parent model on parent features only.
+  GREATER_ASSIGN_OR_RETURN(Table parent_features,
+                           parent.Select(parent_feature_columns_));
+  GREATER_RETURN_NOT_OK(parent_model_.Fit(parent_features, rng));
+
+  // Build the joined training table for the child model: each child row
+  // extended with its parent's features.
+  std::vector<std::string> joined_names = parent_feature_columns_;
+  joined_names.insert(joined_names.end(), child_feature_columns_.begin(),
+                      child_feature_columns_.end());
+  std::vector<Field> joined_fields;
+  for (const auto& name : joined_names) {
+    const Schema& source =
+        parent_schema_.HasField(name) ? parent_schema_ : child_schema_;
+    GREATER_ASSIGN_OR_RETURN(size_t idx, source.FieldIndex(name));
+    joined_fields.push_back(source.field(idx));
+  }
+  GREATER_ASSIGN_OR_RETURN(Schema joined_schema,
+                           Schema::Make(std::move(joined_fields)));
+  Table joined(joined_schema);
+
+  GREATER_ASSIGN_OR_RETURN(size_t child_key_idx,
+                           child_schema_.FieldIndex(key_column_));
+  // Cache parent feature rows keyed by key value.
+  std::map<Value, Row> parent_rows;
+  GREATER_ASSIGN_OR_RETURN(size_t parent_key_idx,
+                           parent_schema_.FieldIndex(key_column_));
+  for (size_t r = 0; r < parent.num_rows(); ++r) {
+    Row features;
+    for (const auto& name : parent_feature_columns_) {
+      size_t idx = parent_schema_.FieldIndex(name).ValueOrDie();
+      features.push_back(parent.at(r, idx));
+    }
+    parent_rows[parent.at(r, parent_key_idx)] = std::move(features);
+  }
+  for (size_t r = 0; r < child.num_rows(); ++r) {
+    Row row = parent_rows[child.at(r, child_key_idx)];
+    for (const auto& name : child_feature_columns_) {
+      size_t idx = child_schema_.FieldIndex(name).ValueOrDie();
+      row.push_back(child.at(r, idx));
+    }
+    GREATER_RETURN_NOT_OK(joined.AppendRow(std::move(row)));
+  }
+  GREATER_RETURN_NOT_OK(child_model_.Fit(joined, rng));
+
+  child_counts_.clear();
+  for (const auto& [key, rows] : parent_groups) {
+    auto it = child_groups.find(key);
+    child_counts_.push_back(it == child_groups.end() ? 0 : it->second.size());
+  }
+  std::sort(child_counts_.begin(), child_counts_.end());
+  fitted_ = true;
+  return Status::OK();
+}
+
+Result<RelationalSample> RelationalSynthesizer::Sample(size_t num_parents,
+                                                       Rng* rng) const {
+  if (!fitted_) {
+    return Status::FailedPrecondition("Sample before Fit");
+  }
+  // Synthetic parent features.
+  GREATER_ASSIGN_OR_RETURN(Table parent_features,
+                           parent_model_.Sample(num_parents, rng));
+
+  // Assemble output parent table (key column + features, keys synthetic).
+  GREATER_ASSIGN_OR_RETURN(size_t parent_key_idx,
+                           parent_schema_.FieldIndex(key_column_));
+  Table parent_out(parent_schema_);
+  for (size_t r = 0; r < num_parents; ++r) {
+    Value key(options_.synthetic_key_prefix + std::to_string(r));
+    if (parent_schema_.field(parent_key_idx).type == ValueType::kInt) {
+      key = Value(static_cast<int64_t>(r));
+    }
+    Row parent_row(parent_schema_.num_fields(), Value::Null());
+    parent_row[parent_key_idx] = key;
+    for (size_t c = 0; c < parent_feature_columns_.size(); ++c) {
+      size_t idx =
+          parent_schema_.FieldIndex(parent_feature_columns_[c]).ValueOrDie();
+      parent_row[idx] = parent_features.at(r, c);
+    }
+    GREATER_RETURN_NOT_OK(parent_out.AppendRow(std::move(parent_row)));
+  }
+  GREATER_ASSIGN_OR_RETURN(Table child_out, SampleChildren(parent_out, rng));
+  return RelationalSample{std::move(parent_out), std::move(child_out)};
+}
+
+Result<Table> RelationalSynthesizer::SampleChildren(const Table& parent,
+                                                    Rng* rng) const {
+  if (!fitted_) {
+    return Status::FailedPrecondition("SampleChildren before Fit");
+  }
+  if (!(parent.schema() == parent_schema_)) {
+    return Status::Invalid(
+        "SampleChildren: parent schema differs from the schema this "
+        "synthesizer was fitted on");
+  }
+  GREATER_ASSIGN_OR_RETURN(size_t parent_key_idx,
+                           parent_schema_.FieldIndex(key_column_));
+  GREATER_ASSIGN_OR_RETURN(size_t child_key_idx,
+                           child_schema_.FieldIndex(key_column_));
+  GREATER_ASSIGN_OR_RETURN(Table parent_features,
+                           parent.Select(parent_feature_columns_));
+
+  Table child_out(child_schema_);
+  for (size_t r = 0; r < parent.num_rows(); ++r) {
+    const Value& key = parent.at(r, parent_key_idx);
+    size_t count = child_counts_.empty()
+                       ? 0
+                       : child_counts_[rng->Index(child_counts_.size())];
+    if (count == 0) continue;
+    Table conditions(parent_features.schema());
+    for (size_t k = 0; k < count; ++k) {
+      GREATER_RETURN_NOT_OK(conditions.AppendRow(parent_features.GetRow(r)));
+    }
+    GREATER_ASSIGN_OR_RETURN(Table joined_rows,
+                             child_model_.SampleConditional(conditions, rng));
+    for (size_t k = 0; k < joined_rows.num_rows(); ++k) {
+      Row child_row(child_schema_.num_fields(), Value::Null());
+      child_row[child_key_idx] = key;
+      for (const auto& name : child_feature_columns_) {
+        size_t dst = child_schema_.FieldIndex(name).ValueOrDie();
+        size_t src = joined_rows.schema().FieldIndex(name).ValueOrDie();
+        child_row[dst] = joined_rows.at(k, src);
+      }
+      GREATER_RETURN_NOT_OK(child_out.AppendRow(std::move(child_row)));
+    }
+  }
+  return child_out;
+}
+
+}  // namespace greater

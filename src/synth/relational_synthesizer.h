@@ -1,0 +1,87 @@
+#ifndef GREATER_SYNTH_RELATIONAL_SYNTHESIZER_H_
+#define GREATER_SYNTH_RELATIONAL_SYNTHESIZER_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/status.h"
+#include "synth/great_synthesizer.h"
+#include "tabular/table.h"
+
+namespace greater {
+
+/// Parent/child pair of synthetic tables, linked by the key column.
+struct RelationalSample {
+  Table parent;
+  Table child;
+};
+
+/// REaLTabFormer-style relational synthesizer (Solatorio & Dupriez 2023),
+/// the multi-table engine the paper builds on ("two realtabformer objects
+/// created for parent and child tables", Sec. 4.1.4).
+///
+/// Training: one GreatSynthesizer learns the parent table (contextual
+/// attributes per subject); a second learns child rows *jointly with* their
+/// parent's attributes, so that at sampling time the parent columns can be
+/// forced as a conditioning prefix and the child columns generated
+/// conditionally (constrained decoding, see GreatSynthesizer::
+/// SampleConditional).
+///
+/// Sampling: synthesize `n` parent rows; for each, draw a child count from
+/// the empirical children-per-parent distribution and generate that many
+/// conditioned child rows. Synthetic subjects receive fresh surrogate keys
+/// — real identifiers never leak into the output.
+class RelationalSynthesizer {
+ public:
+  struct Options {
+    GreatSynthesizer::Options parent;
+    GreatSynthesizer::Options child;
+    /// Prefix for surrogate keys in synthetic output ("id_0", "id_1", ...).
+    std::string synthetic_key_prefix = "id_";
+  };
+
+  RelationalSynthesizer() : RelationalSynthesizer(Options()) {}
+  explicit RelationalSynthesizer(const Options& options);
+
+  /// Fits on a parent table and a child table sharing `key_column`.
+  /// Parent must have exactly one row per key; every child row's key must
+  /// appear in the parent.
+  Status Fit(const Table& parent, const Table& child,
+             const std::string& key_column, Rng* rng);
+
+  /// Generates `num_parents` synthetic subjects with conditioned children.
+  Result<RelationalSample> Sample(size_t num_parents, Rng* rng) const;
+
+  /// Generates children conditioned on an externally provided parent table
+  /// (schema must equal the training parent's). This is how the DEREC
+  /// baseline synthesizes both child tables against ONE shared synthetic
+  /// parent: the first model's Sample provides the parent, the second
+  /// model's SampleChildren conditions on the same rows.
+  Result<Table> SampleChildren(const Table& parent, Rng* rng) const;
+
+  bool fitted() const { return fitted_; }
+  const GreatSynthesizer& parent_model() const { return parent_model_; }
+  const GreatSynthesizer& child_model() const { return child_model_; }
+
+  /// Empirical children-per-parent counts observed at Fit (sorted).
+  const std::vector<size_t>& child_counts() const { return child_counts_; }
+
+ private:
+  Options options_;
+  bool fitted_ = false;
+  std::string key_column_;
+  std::vector<std::string> parent_feature_columns_;  // parent minus key
+  std::vector<std::string> child_feature_columns_;   // child minus key
+  Schema parent_schema_;
+  Schema child_schema_;
+  GreatSynthesizer parent_model_;
+  GreatSynthesizer child_model_;  // trained on parent-features + child rows
+  std::vector<size_t> child_counts_;
+};
+
+}  // namespace greater
+
+#endif  // GREATER_SYNTH_RELATIONAL_SYNTHESIZER_H_

@@ -1,0 +1,207 @@
+#include "synth/textual_encoder.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/strings.h"
+
+namespace greater {
+
+Result<TextualEncoder> TextualEncoder::Build(
+    const Table& table, const Options& options,
+    const std::vector<std::string>& extra_corpus) {
+  if (table.num_columns() == 0) {
+    return Status::Invalid("cannot build an encoder for a zero-column table");
+  }
+  TextualEncoder encoder;
+  encoder.options_ = options;
+  encoder.schema_ = table.schema();
+
+  encoder.is_token_ = encoder.vocab_.AddToken("is");
+  encoder.comma_token_ = encoder.vocab_.AddToken(",");
+
+  encoder.columns_.resize(table.num_columns());
+  encoder.value_token_sets_.resize(table.num_columns());
+  for (size_t c = 0; c < table.num_columns(); ++c) {
+    EncodedColumn& col = encoder.columns_[c];
+    col.name = table.schema().field(c).name;
+    // Column names must stay single tokens so decoding is unambiguous.
+    auto name_tokens = encoder.word_tokenizer_.Tokenize(col.name);
+    if (name_tokens.size() != 1) {
+      return Status::Invalid("column name '" + col.name +
+                             "' does not tokenize to a single token; use "
+                             "underscores instead of spaces");
+    }
+    col.name_token = encoder.vocab_.AddToken(name_tokens[0]);
+  }
+  // Two passes so duplicate checks above run before value tokens intern.
+  for (size_t c = 0; c < table.num_columns(); ++c) {
+    EncodedColumn& col = encoder.columns_[c];
+    auto& token_set = encoder.value_token_sets_[c];
+    for (size_t r = 0; r < table.num_rows(); ++r) {
+      std::string text = table.at(r, c).ToDisplayString();
+      for (const auto& word : encoder.word_tokenizer_.Tokenize(text)) {
+        if (word == ",") {
+          return Status::Invalid("value '" + text + "' in column '" +
+                                 col.name +
+                                 "' contains the ',' separator");
+        }
+        TokenId id = encoder.vocab_.AddToken(word);
+        if (token_set.insert(id).second) col.value_tokens.push_back(id);
+      }
+    }
+    if (col.value_tokens.empty()) {
+      return Status::Invalid("column '" + col.name +
+                             "' has no non-empty values to learn from");
+    }
+  }
+  for (const auto& line : extra_corpus) {
+    for (const auto& word : encoder.word_tokenizer_.Tokenize(line)) {
+      encoder.vocab_.AddToken(word);
+    }
+  }
+  return encoder;
+}
+
+std::string TextualEncoder::RenderSentence(
+    const Row& row, const std::vector<size_t>& order) const {
+  std::string out;
+  for (size_t k = 0; k < order.size(); ++k) {
+    size_t c = order[k];
+    if (k > 0) out += ", ";
+    out += columns_[c].name;
+    out += " is ";
+    out += row[c].ToDisplayString();
+  }
+  return out;
+}
+
+TokenSequence TextualEncoder::EncodeRow(
+    const Row& row, const std::vector<size_t>& order) const {
+  TokenSequence out;
+  for (size_t k = 0; k < order.size(); ++k) {
+    size_t c = order[k];
+    if (k > 0) out.push_back(comma_token_);
+    out.push_back(columns_[c].name_token);
+    out.push_back(is_token_);
+    std::string text = row[c].ToDisplayString();
+    for (const auto& word : word_tokenizer_.Tokenize(text)) {
+      out.push_back(vocab_.IdOf(word));
+    }
+  }
+  return out;
+}
+
+Result<std::vector<TokenSequence>> TextualEncoder::EncodeTable(
+    const Table& table, Rng* rng) const {
+  if (!(table.schema() == schema_)) {
+    return Status::Invalid("EncodeTable: table schema differs from the "
+                           "schema this encoder was built for");
+  }
+  std::vector<TokenSequence> out;
+  size_t copies = std::max<size_t>(1, options_.permutations_per_row);
+  out.reserve(table.num_rows() * copies);
+  std::vector<size_t> order(table.num_columns());
+  std::iota(order.begin(), order.end(), 0);
+  for (size_t r = 0; r < table.num_rows(); ++r) {
+    Row row = table.GetRow(r);
+    for (size_t k = 0; k < copies; ++k) {
+      if (options_.permute_features) rng->Shuffle(&order);
+      out.push_back(EncodeRow(row, order));
+    }
+  }
+  return out;
+}
+
+TokenSequence TextualEncoder::EncodeTextLine(const std::string& line) const {
+  TokenSequence out;
+  for (const auto& word : word_tokenizer_.Tokenize(line)) {
+    out.push_back(vocab_.IdOf(word));
+  }
+  return out;
+}
+
+Result<Value> TextualEncoder::ParseValue(size_t column,
+                                         const std::string& text) const {
+  const Field& field = schema_.field(column);
+  switch (field.type) {
+    case ValueType::kInt: {
+      auto parsed = ParseInt(text);
+      if (!parsed) {
+        return Status::DataLoss("'" + text + "' is not an integer (column '" +
+                                field.name + "')");
+      }
+      return Value(*parsed);
+    }
+    case ValueType::kDouble: {
+      auto parsed = ParseDouble(text);
+      if (!parsed) {
+        return Status::DataLoss("'" + text + "' is not a real (column '" +
+                                field.name + "')");
+      }
+      return Value(*parsed);
+    }
+    default:
+      return Value(text);
+  }
+}
+
+Result<Row> TextualEncoder::DecodeTokens(const TokenSequence& tokens) const {
+  Row row(schema_.num_fields(), Value::Null());
+  std::vector<bool> assigned(schema_.num_fields(), false);
+
+  // Map name tokens back to column indices.
+  auto column_of = [&](TokenId id) -> int {
+    for (size_t c = 0; c < columns_.size(); ++c) {
+      if (columns_[c].name_token == id) return static_cast<int>(c);
+    }
+    return -1;
+  };
+
+  size_t i = 0;
+  while (i < tokens.size()) {
+    int col = column_of(tokens[i]);
+    if (col < 0) {
+      return Status::DataLoss("expected a column name, got '" +
+                              vocab_.TokenOf(tokens[i]) + "'");
+    }
+    if (assigned[static_cast<size_t>(col)]) {
+      return Status::DataLoss("column '" + columns_[static_cast<size_t>(col)].name +
+                              "' assigned twice");
+    }
+    ++i;
+    if (i >= tokens.size() || tokens[i] != is_token_) {
+      return Status::DataLoss("expected 'is' after column name '" +
+                              columns_[static_cast<size_t>(col)].name + "'");
+    }
+    ++i;
+    std::vector<std::string> words;
+    while (i < tokens.size() && tokens[i] != comma_token_) {
+      words.push_back(vocab_.TokenOf(tokens[i]));
+      ++i;
+    }
+    if (words.empty()) {
+      return Status::DataLoss("empty value for column '" +
+                              columns_[static_cast<size_t>(col)].name + "'");
+    }
+    if (i < tokens.size()) ++i;  // skip the comma
+    GREATER_ASSIGN_OR_RETURN(
+        Value value,
+        ParseValue(static_cast<size_t>(col), Join(words, " ")));
+    row[static_cast<size_t>(col)] = std::move(value);
+    assigned[static_cast<size_t>(col)] = true;
+  }
+  for (size_t c = 0; c < assigned.size(); ++c) {
+    if (!assigned[c]) {
+      return Status::DataLoss("column '" + columns_[c].name +
+                              "' missing from generated row");
+    }
+  }
+  return row;
+}
+
+bool TextualEncoder::IsObservedValueToken(size_t column, TokenId token) const {
+  return value_token_sets_[column].count(token) > 0;
+}
+
+}  // namespace greater

@@ -1,0 +1,104 @@
+#ifndef GREATER_SYNTH_TEXTUAL_ENCODER_H_
+#define GREATER_SYNTH_TEXTUAL_ENCODER_H_
+
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/status.h"
+#include "lm/language_model.h"
+#include "tabular/table.h"
+#include "text/vocabulary.h"
+#include "text/word_tokenizer.h"
+
+namespace greater {
+
+/// Grammar metadata for one encoded column, used by constrained decoding.
+struct EncodedColumn {
+  std::string name;
+  TokenId name_token = Vocabulary::kUnkId;
+  /// Every token observed inside this column's values during Build.
+  std::vector<TokenId> value_tokens;
+};
+
+/// GReaT's textual layer: converts between table rows and token sequences.
+///
+/// A row encodes as the sentence
+///   "Gender is Male, Age is From 20 to 29, Residence is Chicago"
+/// with an optional random feature-order permutation per encoded copy (the
+/// GReaT training augmentation). Values are word-tokenized, so the string
+/// "1" is one token wherever it appears — the Fig. 2 ambiguity — while a
+/// semantically enhanced value like "From 20 to 29" spans several tokens.
+class TextualEncoder {
+ public:
+  struct Options {
+    /// Number of differently-permuted encodings of each row emitted by
+    /// EncodeTable (GReaT's feature-order augmentation).
+    size_t permutations_per_row = 2;
+    /// When false, every encoding uses schema order.
+    bool permute_features = true;
+  };
+
+  /// Builds the encoder (and its vocabulary) from a training table.
+  /// `extra_corpus` lines (e.g. a pre-training prior) are tokenized into
+  /// the vocabulary too, so prior text shares token ids with table text.
+  static Result<TextualEncoder> Build(const Table& table,
+                                      const Options& options,
+                                      const std::vector<std::string>&
+                                          extra_corpus = {});
+  static Result<TextualEncoder> Build(const Table& table) {
+    return Build(table, Options());
+  }
+
+  const Vocabulary& vocab() const { return vocab_; }
+  const Schema& schema() const { return schema_; }
+  const std::vector<EncodedColumn>& columns() const { return columns_; }
+
+  TokenId is_token() const { return is_token_; }
+  TokenId comma_token() const { return comma_token_; }
+
+  /// Renders the human-readable sentence for a row in the given column
+  /// order (indices into the schema).
+  std::string RenderSentence(const Row& row,
+                             const std::vector<size_t>& order) const;
+
+  /// Encodes one row in the given column order.
+  TokenSequence EncodeRow(const Row& row,
+                          const std::vector<size_t>& order) const;
+
+  /// Encodes the whole table, emitting options.permutations_per_row copies
+  /// of each row with independently drawn feature orders.
+  Result<std::vector<TokenSequence>> EncodeTable(const Table& table,
+                                                 Rng* rng) const;
+
+  /// Tokenizes an arbitrary text line against this vocabulary (for prior
+  /// corpora; unknown words become <unk>).
+  TokenSequence EncodeTextLine(const std::string& line) const;
+
+  /// Parses a generated token sequence back into a row aligned with the
+  /// schema. Fails (DataLoss) on malformed grammar, unknown column names,
+  /// duplicate or missing columns, or values that do not parse into the
+  /// column's physical type.
+  Result<Row> DecodeTokens(const TokenSequence& tokens) const;
+
+  /// True if `token` was observed among `column`'s value tokens at Build.
+  bool IsObservedValueToken(size_t column, TokenId token) const;
+
+  /// Converts a decoded value string into the column's physical type.
+  Result<Value> ParseValue(size_t column, const std::string& text) const;
+
+ private:
+  Options options_;
+  Schema schema_;
+  Vocabulary vocab_;
+  WordTokenizer word_tokenizer_;
+  std::vector<EncodedColumn> columns_;
+  std::vector<std::unordered_set<TokenId>> value_token_sets_;
+  TokenId is_token_ = Vocabulary::kUnkId;
+  TokenId comma_token_ = Vocabulary::kUnkId;
+};
+
+}  // namespace greater
+
+#endif  // GREATER_SYNTH_TEXTUAL_ENCODER_H_

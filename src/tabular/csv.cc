@@ -1,0 +1,215 @@
+#include "tabular/csv.h"
+
+#include <fstream>
+#include <sstream>
+
+#include "common/strings.h"
+
+namespace greater {
+namespace {
+
+// Splits CSV text into records of raw string fields, honoring quotes.
+Result<std::vector<std::vector<std::string>>> ParseRecords(
+    const std::string& text, char delim) {
+  std::vector<std::vector<std::string>> records;
+  std::vector<std::string> current;
+  std::string field;
+  bool in_quotes = false;
+  bool field_started = false;
+
+  auto end_field = [&]() {
+    current.push_back(std::move(field));
+    field.clear();
+    field_started = false;
+  };
+  auto end_record = [&]() {
+    end_field();
+    // Skip blank lines (a record that is a single empty field).
+    if (!(current.size() == 1 && current[0].empty())) {
+      records.push_back(std::move(current));
+    }
+    current.clear();
+  };
+
+  for (size_t i = 0; i < text.size(); ++i) {
+    char c = text[i];
+    if (in_quotes) {
+      if (c == '"') {
+        if (i + 1 < text.size() && text[i + 1] == '"') {
+          field += '"';
+          ++i;
+        } else {
+          in_quotes = false;
+        }
+      } else {
+        field += c;
+      }
+    } else if (c == '"' && !field_started) {
+      in_quotes = true;
+      field_started = true;
+    } else if (c == delim) {
+      end_field();
+    } else if (c == '\n') {
+      if (!field.empty() && field.back() == '\r') field.pop_back();
+      end_record();
+    } else {
+      field += c;
+      field_started = true;
+    }
+  }
+  if (in_quotes) {
+    return Status::DataLoss("CSV ends inside a quoted field");
+  }
+  if (!field.empty() || !current.empty()) {
+    if (!field.empty() && field.back() == '\r') field.pop_back();
+    end_record();
+  }
+  return records;
+}
+
+}  // namespace
+
+Result<Table> ReadCsvString(const std::string& text,
+                            const CsvReadOptions& options) {
+  GREATER_ASSIGN_OR_RETURN(auto records,
+                           ParseRecords(text, options.delimiter));
+  if (records.empty()) {
+    return Status::DataLoss("CSV has no header record");
+  }
+  const std::vector<std::string>& header = records[0];
+  size_t num_cols = header.size();
+  for (size_t r = 1; r < records.size(); ++r) {
+    if (records[r].size() != num_cols) {
+      return Status::DataLoss("CSV record " + std::to_string(r) + " has " +
+                              std::to_string(records[r].size()) +
+                              " fields, header has " +
+                              std::to_string(num_cols));
+    }
+  }
+
+  // Infer a type per column.
+  std::vector<ValueType> types(num_cols, ValueType::kInt);
+  if (!options.infer_types) {
+    types.assign(num_cols, ValueType::kString);
+  } else {
+    for (size_t c = 0; c < num_cols; ++c) {
+      bool all_int = true;
+      bool all_double = true;
+      bool any_value = false;
+      for (size_t r = 1; r < records.size(); ++r) {
+        const std::string& cell = records[r][c];
+        if (cell == options.null_token) continue;
+        any_value = true;
+        if (all_int && !ParseInt(cell).has_value()) all_int = false;
+        if (all_double && !ParseDouble(cell).has_value()) all_double = false;
+        if (!all_int && !all_double) break;
+      }
+      if (!any_value) {
+        types[c] = ValueType::kString;
+      } else if (all_int) {
+        types[c] = ValueType::kInt;
+      } else if (all_double) {
+        types[c] = ValueType::kDouble;
+      } else {
+        types[c] = ValueType::kString;
+      }
+    }
+  }
+
+  std::vector<Field> fields;
+  fields.reserve(num_cols);
+  for (size_t c = 0; c < num_cols; ++c) {
+    SemanticType semantic = types[c] == ValueType::kDouble
+                                ? SemanticType::kContinuous
+                                : SemanticType::kCategorical;
+    fields.emplace_back(header[c], types[c], semantic);
+  }
+  GREATER_ASSIGN_OR_RETURN(Schema schema, Schema::Make(std::move(fields)));
+  Table table(std::move(schema));
+
+  for (size_t r = 1; r < records.size(); ++r) {
+    Row row;
+    row.reserve(num_cols);
+    for (size_t c = 0; c < num_cols; ++c) {
+      const std::string& cell = records[r][c];
+      if (cell == options.null_token) {
+        row.push_back(Value::Null());
+        continue;
+      }
+      switch (types[c]) {
+        case ValueType::kInt:
+          row.push_back(Value(*ParseInt(cell)));
+          break;
+        case ValueType::kDouble:
+          row.push_back(Value(*ParseDouble(cell)));
+          break;
+        default:
+          row.push_back(Value(cell));
+      }
+    }
+    GREATER_RETURN_NOT_OK(table.AppendRow(std::move(row)));
+  }
+  return table;
+}
+
+Result<Table> ReadCsvFile(const std::string& path,
+                          const CsvReadOptions& options) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    return Status::NotFound("cannot open CSV file '" + path + "'");
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return ReadCsvString(buffer.str(), options);
+}
+
+namespace {
+
+std::string EscapeField(const std::string& field, char delim) {
+  bool needs_quotes = field.find(delim) != std::string::npos ||
+                      field.find('"') != std::string::npos ||
+                      field.find('\n') != std::string::npos ||
+                      field.find('\r') != std::string::npos;
+  if (!needs_quotes) return field;
+  std::string out = "\"";
+  for (char c : field) {
+    if (c == '"') out += '"';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
+}  // namespace
+
+std::string WriteCsvString(const Table& table, char delimiter) {
+  std::ostringstream os;
+  for (size_t c = 0; c < table.num_columns(); ++c) {
+    if (c > 0) os << delimiter;
+    os << EscapeField(table.schema().field(c).name, delimiter);
+  }
+  os << "\n";
+  for (size_t r = 0; r < table.num_rows(); ++r) {
+    for (size_t c = 0; c < table.num_columns(); ++c) {
+      if (c > 0) os << delimiter;
+      os << EscapeField(table.at(r, c).ToDisplayString(), delimiter);
+    }
+    os << "\n";
+  }
+  return os.str();
+}
+
+Status WriteCsvFile(const Table& table, const std::string& path,
+                    char delimiter) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) {
+    return Status::Invalid("cannot open '" + path + "' for writing");
+  }
+  out << WriteCsvString(table, delimiter);
+  if (!out) {
+    return Status::DataLoss("write to '" + path + "' failed");
+  }
+  return Status::OK();
+}
+
+}  // namespace greater

@@ -1,0 +1,45 @@
+#ifndef GREATER_TABULAR_CSV_H_
+#define GREATER_TABULAR_CSV_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "tabular/table.h"
+
+namespace greater {
+
+/// Options for CSV parsing.
+struct CsvReadOptions {
+  char delimiter = ',';
+  /// When true, column types are inferred (int -> double -> string). When
+  /// false, every column is read as string.
+  bool infer_types = true;
+  /// Cells equal to this string (after trimming) parse as null.
+  std::string null_token = "";
+};
+
+/// Parses RFC-4180-style CSV text (double-quote quoting, embedded
+/// delimiters/newlines/escaped quotes) into a Table. The first record is
+/// the header. Inferred types: a column is kInt if every non-null cell
+/// parses as an integer, else kDouble if every cell parses as a real,
+/// else kString. Semantic types default to kCategorical (int/string) and
+/// kContinuous (double); callers adjust via the schema afterwards.
+Result<Table> ReadCsvString(const std::string& text,
+                            const CsvReadOptions& options = {});
+
+/// Reads a CSV file from disk. See ReadCsvString.
+Result<Table> ReadCsvFile(const std::string& path,
+                          const CsvReadOptions& options = {});
+
+/// Serializes a table to CSV text (header + rows, quoting fields that
+/// contain the delimiter, quotes, or newlines). Nulls serialize as the
+/// empty field.
+std::string WriteCsvString(const Table& table, char delimiter = ',');
+
+/// Writes a table to a CSV file on disk.
+Status WriteCsvFile(const Table& table, const std::string& path,
+                    char delimiter = ',');
+
+}  // namespace greater
+
+#endif  // GREATER_TABULAR_CSV_H_

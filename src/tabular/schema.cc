@@ -1,0 +1,69 @@
+#include "tabular/schema.h"
+
+namespace greater {
+
+const char* SemanticTypeToString(SemanticType type) {
+  switch (type) {
+    case SemanticType::kCategorical: return "categorical";
+    case SemanticType::kContinuous: return "continuous";
+    case SemanticType::kIdentifier: return "identifier";
+  }
+  return "unknown";
+}
+
+Schema::Schema(std::vector<Field> fields) : fields_(std::move(fields)) {
+  RebuildIndex();
+}
+
+Result<Schema> Schema::Make(std::vector<Field> fields) {
+  Schema schema;
+  for (auto& field : fields) {
+    GREATER_RETURN_NOT_OK(schema.AddField(std::move(field)));
+  }
+  return schema;
+}
+
+Result<size_t> Schema::FieldIndex(const std::string& name) const {
+  auto it = index_.find(name);
+  if (it == index_.end()) {
+    return Status::NotFound("no field named '" + name + "'");
+  }
+  return it->second;
+}
+
+bool Schema::HasField(const std::string& name) const {
+  return index_.count(name) > 0;
+}
+
+Status Schema::AddField(Field field) {
+  if (index_.count(field.name) > 0) {
+    return Status::AlreadyExists("duplicate field name '" + field.name + "'");
+  }
+  index_[field.name] = fields_.size();
+  fields_.push_back(std::move(field));
+  return Status::OK();
+}
+
+Status Schema::RemoveField(const std::string& name) {
+  auto it = index_.find(name);
+  if (it == index_.end()) {
+    return Status::NotFound("no field named '" + name + "'");
+  }
+  fields_.erase(fields_.begin() + static_cast<ptrdiff_t>(it->second));
+  RebuildIndex();
+  return Status::OK();
+}
+
+std::vector<std::string> Schema::FieldNames() const {
+  std::vector<std::string> names;
+  names.reserve(fields_.size());
+  for (const auto& f : fields_) names.push_back(f.name);
+  return names;
+}
+
+void Schema::RebuildIndex() {
+  index_.clear();
+  for (size_t i = 0; i < fields_.size(); ++i) index_[fields_[i].name] = i;
+}
+
+}  // namespace greater

@@ -1,0 +1,85 @@
+#ifndef GREATER_TABULAR_SCHEMA_H_
+#define GREATER_TABULAR_SCHEMA_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "tabular/value.h"
+
+namespace greater {
+
+/// Statistical role of a column. The cross-table connecting method treats
+/// these differently: correlation between categorical columns uses Cramér's
+/// V, continuous columns use Pearson, and identifier-like columns (the
+/// paper's `e_et` / `i_docid` / `i_entities`, Sec. 4.1.2) are excluded from
+/// correlation analysis because their coefficients "do not have explainable
+/// meaning".
+enum class SemanticType {
+  kCategorical = 0,
+  kContinuous,
+  kIdentifier,
+};
+
+const char* SemanticTypeToString(SemanticType type);
+
+/// One column declaration: name + physical type + statistical role.
+struct Field {
+  std::string name;
+  ValueType type = ValueType::kString;
+  SemanticType semantic = SemanticType::kCategorical;
+
+  Field() = default;
+  Field(std::string name_in, ValueType type_in,
+        SemanticType semantic_in = SemanticType::kCategorical)
+      : name(std::move(name_in)), type(type_in), semantic(semantic_in) {}
+
+  bool operator==(const Field& other) const {
+    return name == other.name && type == other.type &&
+           semantic == other.semantic;
+  }
+};
+
+/// Ordered collection of uniquely named fields.
+class Schema {
+ public:
+  Schema() = default;
+  explicit Schema(std::vector<Field> fields);
+
+  /// Builds a schema, failing on duplicate column names.
+  static Result<Schema> Make(std::vector<Field> fields);
+
+  size_t num_fields() const { return fields_.size(); }
+  const Field& field(size_t i) const { return fields_[i]; }
+  const std::vector<Field>& fields() const { return fields_; }
+
+  /// Index of the field named `name`, or NotFound.
+  Result<size_t> FieldIndex(const std::string& name) const;
+
+  /// True if a field named `name` exists.
+  bool HasField(const std::string& name) const;
+
+  /// Appends a field; fails if the name already exists.
+  Status AddField(Field field);
+
+  /// Removes the field named `name`; fails if missing.
+  Status RemoveField(const std::string& name);
+
+  /// All field names, in order.
+  std::vector<std::string> FieldNames() const;
+
+  bool operator==(const Schema& other) const {
+    return fields_ == other.fields_;
+  }
+
+ private:
+  void RebuildIndex();
+
+  std::vector<Field> fields_;
+  std::unordered_map<std::string, size_t> index_;
+};
+
+}  // namespace greater
+
+#endif  // GREATER_TABULAR_SCHEMA_H_

@@ -1,0 +1,238 @@
+#include "tabular/table.h"
+
+#include <sstream>
+#include <unordered_set>
+
+namespace greater {
+namespace {
+
+// Row identity for deduplication: hash and equality over full tuples.
+struct RowRef {
+  const Table* table;
+  size_t row;
+};
+
+struct RowRefHash {
+  size_t operator()(const RowRef& r) const {
+    size_t seed = 0x51ed270b0f3e2a11ULL;
+    for (size_t c = 0; c < r.table->num_columns(); ++c) {
+      seed ^= r.table->at(r.row, c).Hash() + 0x9e3779b97f4a7c15ULL +
+              (seed << 6) + (seed >> 2);
+    }
+    return seed;
+  }
+};
+
+struct RowRefEq {
+  bool operator()(const RowRef& a, const RowRef& b) const {
+    for (size_t c = 0; c < a.table->num_columns(); ++c) {
+      if (a.table->at(a.row, c) != b.table->at(b.row, c)) return false;
+    }
+    return true;
+  }
+};
+
+}  // namespace
+
+Table::Table(Schema schema) : schema_(std::move(schema)) {
+  columns_.resize(schema_.num_fields());
+}
+
+Result<Table> Table::FromRows(Schema schema, std::vector<Row> rows) {
+  Table table(std::move(schema));
+  for (auto& row : rows) {
+    GREATER_RETURN_NOT_OK(table.AppendRow(std::move(row)));
+  }
+  return table;
+}
+
+Result<const std::vector<Value>*> Table::ColumnByName(
+    const std::string& name) const {
+  GREATER_ASSIGN_OR_RETURN(size_t idx, schema_.FieldIndex(name));
+  return &columns_[idx];
+}
+
+Row Table::GetRow(size_t row) const {
+  Row out;
+  out.reserve(num_columns());
+  for (size_t c = 0; c < num_columns(); ++c) out.push_back(columns_[c][row]);
+  return out;
+}
+
+Status Table::ValidateRow(const Row& row) const {
+  if (row.size() != num_columns()) {
+    return Status::Invalid("row has " + std::to_string(row.size()) +
+                           " cells, table has " +
+                           std::to_string(num_columns()) + " columns");
+  }
+  for (size_t c = 0; c < row.size(); ++c) {
+    const Value& v = row[c];
+    if (v.is_null()) continue;
+    const Field& f = schema_.field(c);
+    if (v.type() == f.type) continue;
+    // Int widens into double columns.
+    if (f.type == ValueType::kDouble && v.is_int()) continue;
+    return Status::Invalid("column '" + f.name + "' expects " +
+                           ValueTypeToString(f.type) + ", got " +
+                           ValueTypeToString(v.type()));
+  }
+  return Status::OK();
+}
+
+Status Table::AppendRow(Row row) {
+  GREATER_RETURN_NOT_OK(ValidateRow(row));
+  for (size_t c = 0; c < row.size(); ++c) {
+    Value v = std::move(row[c]);
+    if (!v.is_null() && schema_.field(c).type == ValueType::kDouble &&
+        v.is_int()) {
+      v = Value(static_cast<double>(v.as_int()));
+    }
+    columns_[c].push_back(std::move(v));
+  }
+  ++num_rows_;
+  return Status::OK();
+}
+
+Status Table::AppendTable(const Table& other) {
+  if (!(schema_ == other.schema_)) {
+    return Status::Invalid("AppendTable: schema mismatch");
+  }
+  for (size_t c = 0; c < columns_.size(); ++c) {
+    columns_[c].insert(columns_[c].end(), other.columns_[c].begin(),
+                       other.columns_[c].end());
+  }
+  num_rows_ += other.num_rows_;
+  return Status::OK();
+}
+
+Result<Table> Table::Select(const std::vector<std::string>& names) const {
+  std::vector<Field> fields;
+  std::vector<size_t> src;
+  for (const auto& name : names) {
+    GREATER_ASSIGN_OR_RETURN(size_t idx, schema_.FieldIndex(name));
+    fields.push_back(schema_.field(idx));
+    src.push_back(idx);
+  }
+  GREATER_ASSIGN_OR_RETURN(Schema schema, Schema::Make(std::move(fields)));
+  Table out(std::move(schema));
+  for (size_t c = 0; c < src.size(); ++c) out.columns_[c] = columns_[src[c]];
+  out.num_rows_ = num_rows_;
+  return out;
+}
+
+Result<Table> Table::DropColumns(const std::vector<std::string>& names) const {
+  std::unordered_set<std::string> drop(names.begin(), names.end());
+  for (const auto& name : names) {
+    if (!schema_.HasField(name)) {
+      return Status::NotFound("DropColumns: no field named '" + name + "'");
+    }
+  }
+  std::vector<std::string> keep;
+  for (const auto& field : schema_.fields()) {
+    if (drop.count(field.name) == 0) keep.push_back(field.name);
+  }
+  return Select(keep);
+}
+
+Table Table::TakeRows(const std::vector<size_t>& indices) const {
+  Table out(schema_);
+  for (size_t c = 0; c < columns_.size(); ++c) {
+    out.columns_[c].reserve(indices.size());
+    for (size_t idx : indices) out.columns_[c].push_back(columns_[c][idx]);
+  }
+  out.num_rows_ = indices.size();
+  return out;
+}
+
+Table Table::UniqueRows() const {
+  std::unordered_set<RowRef, RowRefHash, RowRefEq> seen;
+  std::vector<size_t> keep;
+  for (size_t r = 0; r < num_rows_; ++r) {
+    if (seen.insert(RowRef{this, r}).second) keep.push_back(r);
+  }
+  return TakeRows(keep);
+}
+
+Result<std::vector<Value>> Table::DistinctValues(
+    const std::string& name) const {
+  GREATER_ASSIGN_OR_RETURN(size_t idx, schema_.FieldIndex(name));
+  std::unordered_set<Value, ValueHash> seen;
+  std::vector<Value> out;
+  for (const Value& v : columns_[idx]) {
+    if (seen.insert(v).second) out.push_back(v);
+  }
+  return out;
+}
+
+Result<std::map<Value, size_t>> Table::ValueCounts(
+    const std::string& name) const {
+  GREATER_ASSIGN_OR_RETURN(size_t idx, schema_.FieldIndex(name));
+  std::map<Value, size_t> counts;
+  for (const Value& v : columns_[idx]) ++counts[v];
+  return counts;
+}
+
+Result<std::map<Value, std::vector<size_t>>> Table::GroupByColumn(
+    const std::string& name) const {
+  GREATER_ASSIGN_OR_RETURN(size_t idx, schema_.FieldIndex(name));
+  std::map<Value, std::vector<size_t>> groups;
+  for (size_t r = 0; r < num_rows_; ++r) groups[columns_[idx][r]].push_back(r);
+  return groups;
+}
+
+Status Table::AddColumn(Field field, std::vector<Value> values) {
+  if (num_columns() > 0 && values.size() != num_rows_) {
+    return Status::Invalid("AddColumn: column has " +
+                           std::to_string(values.size()) + " values, table has " +
+                           std::to_string(num_rows_) + " rows");
+  }
+  GREATER_RETURN_NOT_OK(schema_.AddField(std::move(field)));
+  if (columns_.empty()) num_rows_ = values.size();
+  columns_.push_back(std::move(values));
+  return Status::OK();
+}
+
+Status Table::ReplaceColumn(const std::string& name,
+                            std::vector<Value> values) {
+  GREATER_ASSIGN_OR_RETURN(size_t idx, schema_.FieldIndex(name));
+  if (values.size() != num_rows_) {
+    return Status::Invalid("ReplaceColumn: length mismatch");
+  }
+  columns_[idx] = std::move(values);
+  return Status::OK();
+}
+
+Status Table::RenameColumn(const std::string& from, const std::string& to) {
+  GREATER_ASSIGN_OR_RETURN(size_t idx, schema_.FieldIndex(from));
+  if (schema_.HasField(to)) {
+    return Status::AlreadyExists("RenameColumn: '" + to + "' already exists");
+  }
+  std::vector<Field> fields = schema_.fields();
+  fields[idx].name = to;
+  GREATER_ASSIGN_OR_RETURN(Schema schema, Schema::Make(std::move(fields)));
+  schema_ = std::move(schema);
+  return Status::OK();
+}
+
+std::string Table::ToString(size_t max_rows) const {
+  std::ostringstream os;
+  for (size_t c = 0; c < num_columns(); ++c) {
+    if (c > 0) os << " | ";
+    os << schema_.field(c).name;
+  }
+  os << "\n";
+  size_t shown = std::min(max_rows, num_rows_);
+  for (size_t r = 0; r < shown; ++r) {
+    for (size_t c = 0; c < num_columns(); ++c) {
+      if (c > 0) os << " | ";
+      os << at(r, c).ToDisplayString();
+    }
+    os << "\n";
+  }
+  if (shown < num_rows_) {
+    os << "... (" << num_rows_ - shown << " more rows)\n";
+  }
+  return os.str();
+}
+
+}  // namespace greater

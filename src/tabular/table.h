@@ -1,0 +1,122 @@
+#ifndef GREATER_TABULAR_TABLE_H_
+#define GREATER_TABULAR_TABLE_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "tabular/schema.h"
+#include "tabular/value.h"
+
+namespace greater {
+
+/// A row is an ordered tuple of cells aligned with a table's schema.
+using Row = std::vector<Value>;
+
+/// Column-oriented in-memory table. This is the substrate every pipeline
+/// stage operates on: raw input tables, the flattened child table, the
+/// semantically transformed table, and synthetic output.
+///
+/// Cells are dynamically typed (see Value); AppendRow enforces that non-null
+/// cells match the declared field type, with int silently widening into
+/// double columns.
+class Table {
+ public:
+  Table() = default;
+  explicit Table(Schema schema);
+
+  /// Builds a table from a schema and row data, validating every row.
+  static Result<Table> FromRows(Schema schema, std::vector<Row> rows);
+
+  const Schema& schema() const { return schema_; }
+  size_t num_rows() const { return num_rows_; }
+  size_t num_columns() const { return schema_.num_fields(); }
+
+  /// Cell accessor. Requires row < num_rows() and col < num_columns().
+  const Value& at(size_t row, size_t col) const {
+    return columns_[col][row];
+  }
+
+  /// Mutable cell accessor (used by in-place transformations).
+  Value& at(size_t row, size_t col) { return columns_[col][row]; }
+
+  /// Whole column, in row order.
+  const std::vector<Value>& column(size_t col) const { return columns_[col]; }
+
+  /// Column by name, or NotFound.
+  Result<const std::vector<Value>*> ColumnByName(const std::string& name) const;
+
+  /// Materializes one row.
+  Row GetRow(size_t row) const;
+
+  /// Validates and appends one row.
+  Status AppendRow(Row row);
+
+  /// Appends all rows of `other`; schemas must be equal.
+  Status AppendTable(const Table& other);
+
+  /// New table with only the named columns, in the given order.
+  Result<Table> Select(const std::vector<std::string>& names) const;
+
+  /// New table without the named columns. Missing names are an error.
+  Result<Table> DropColumns(const std::vector<std::string>& names) const;
+
+  /// New table with the rows at `indices` (duplicates allowed — this is how
+  /// bootstrap resampling materializes).
+  Table TakeRows(const std::vector<size_t>& indices) const;
+
+  /// New table with rows where `pred(row_index)` is true.
+  template <typename Pred>
+  Table FilterRows(Pred pred) const {
+    std::vector<size_t> keep;
+    for (size_t i = 0; i < num_rows_; ++i) {
+      if (pred(i)) keep.push_back(i);
+    }
+    return TakeRows(keep);
+  }
+
+  /// Deduplicates full rows, keeping first occurrences in order. This is the
+  /// dimension-reduction primitive of the cross-table connecting method
+  /// (paper Sec. 3.3.2): dropping an independent column creates duplicate
+  /// rows, and removing them shrinks the flattened table.
+  Table UniqueRows() const;
+
+  /// Distinct values of a column, in order of first appearance.
+  Result<std::vector<Value>> DistinctValues(const std::string& name) const;
+
+  /// value -> occurrence count for a column, ordered by Value::operator<.
+  Result<std::map<Value, size_t>> ValueCounts(const std::string& name) const;
+
+  /// value -> row indices holding it, for grouping by a key/subject column.
+  Result<std::map<Value, std::vector<size_t>>> GroupByColumn(
+      const std::string& name) const;
+
+  /// Adds a new column. `values` must have num_rows() entries (or the table
+  /// must be empty, in which case the column defines the row count).
+  Status AddColumn(Field field, std::vector<Value> values);
+
+  /// Replaces the contents of an existing column (same length required).
+  Status ReplaceColumn(const std::string& name, std::vector<Value> values);
+
+  /// Renames a column; fails if `from` is missing or `to` already exists.
+  Status RenameColumn(const std::string& from, const std::string& to);
+
+  /// Pretty-prints the first `max_rows` rows (README/examples use this).
+  std::string ToString(size_t max_rows = 10) const;
+
+  bool operator==(const Table& other) const {
+    return schema_ == other.schema_ && columns_ == other.columns_;
+  }
+
+ private:
+  Status ValidateRow(const Row& row) const;
+
+  Schema schema_;
+  std::vector<std::vector<Value>> columns_;  // columns_[col][row]
+  size_t num_rows_ = 0;
+};
+
+}  // namespace greater
+
+#endif  // GREATER_TABULAR_TABLE_H_

@@ -1,0 +1,68 @@
+#include "tabular/value.h"
+
+#include "common/strings.h"
+
+namespace greater {
+
+const char* ValueTypeToString(ValueType type) {
+  switch (type) {
+    case ValueType::kNull: return "null";
+    case ValueType::kInt: return "int";
+    case ValueType::kDouble: return "double";
+    case ValueType::kString: return "string";
+  }
+  return "unknown";
+}
+
+double Value::AsNumeric() const {
+  switch (type()) {
+    case ValueType::kInt: return static_cast<double>(as_int());
+    case ValueType::kDouble: return as_double();
+    default: return 0.0;
+  }
+}
+
+std::string Value::ToDisplayString() const {
+  switch (type()) {
+    case ValueType::kNull: return "";
+    case ValueType::kInt: return std::to_string(as_int());
+    case ValueType::kDouble: return FormatDouble(as_double());
+    case ValueType::kString: return as_string();
+  }
+  return "";
+}
+
+bool Value::operator<(const Value& other) const {
+  if (data_.index() != other.data_.index()) {
+    return data_.index() < other.data_.index();
+  }
+  switch (type()) {
+    case ValueType::kNull: return false;
+    case ValueType::kInt: return as_int() < other.as_int();
+    case ValueType::kDouble: return as_double() < other.as_double();
+    case ValueType::kString: return as_string() < other.as_string();
+  }
+  return false;
+}
+
+size_t Value::Hash() const {
+  // Mix the variant index so 1 (int) and 1.0 (double) hash apart even when
+  // their payload bits could collide after conversion.
+  size_t seed = data_.index() * 0x9e3779b97f4a7c15ULL;
+  switch (type()) {
+    case ValueType::kNull:
+      break;
+    case ValueType::kInt:
+      seed ^= std::hash<int64_t>{}(as_int()) + (seed << 6) + (seed >> 2);
+      break;
+    case ValueType::kDouble:
+      seed ^= std::hash<double>{}(as_double()) + (seed << 6) + (seed >> 2);
+      break;
+    case ValueType::kString:
+      seed ^= std::hash<std::string>{}(as_string()) + (seed << 6) + (seed >> 2);
+      break;
+  }
+  return seed;
+}
+
+}  // namespace greater

@@ -1,0 +1,93 @@
+#ifndef GREATER_TABULAR_VALUE_H_
+#define GREATER_TABULAR_VALUE_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <variant>
+
+namespace greater {
+
+/// Physical type of a table cell.
+enum class ValueType {
+  kNull = 0,
+  kInt,
+  kDouble,
+  kString,
+};
+
+/// Name of a ValueType ("null", "int", "double", "string").
+const char* ValueTypeToString(ValueType type);
+
+/// A single multi-modal table cell: null, integer, real, or string.
+///
+/// GReaT-style pipelines deliberately keep values close to their raw form
+/// (minimal transformation), so Value preserves the distinction between the
+/// integer 1, the real 1.0 and the string "1" — the ambiguity the paper's
+/// semantic-enhancement system exists to resolve happens at the *textual*
+/// layer, not here.
+class Value {
+ public:
+  /// Null value.
+  Value() : data_(std::monostate{}) {}
+
+  Value(int64_t v) : data_(v) {}              // NOLINT(runtime/explicit)
+  Value(int v) : data_(int64_t{v}) {}         // NOLINT(runtime/explicit)
+  Value(double v) : data_(v) {}               // NOLINT(runtime/explicit)
+  Value(std::string v) : data_(std::move(v)) {}  // NOLINT(runtime/explicit)
+  Value(const char* v) : data_(std::string(v)) {}  // NOLINT(runtime/explicit)
+
+  static Value Null() { return Value(); }
+
+  ValueType type() const {
+    switch (data_.index()) {
+      case 0: return ValueType::kNull;
+      case 1: return ValueType::kInt;
+      case 2: return ValueType::kDouble;
+      default: return ValueType::kString;
+    }
+  }
+
+  bool is_null() const { return type() == ValueType::kNull; }
+  bool is_int() const { return type() == ValueType::kInt; }
+  bool is_double() const { return type() == ValueType::kDouble; }
+  bool is_string() const { return type() == ValueType::kString; }
+  bool is_numeric() const { return is_int() || is_double(); }
+
+  /// Requires is_int().
+  int64_t as_int() const { return std::get<int64_t>(data_); }
+  /// Requires is_double().
+  double as_double() const { return std::get<double>(data_); }
+  /// Requires is_string().
+  const std::string& as_string() const { return std::get<std::string>(data_); }
+
+  /// Numeric view: int widened to double. Returns 0.0 for null/string —
+  /// callers that care must check is_numeric() first.
+  double AsNumeric() const;
+
+  /// Canonical display form used by CSV output and the textual encoder:
+  /// null -> "", int -> decimal, double -> shortest round-trip, string as-is.
+  std::string ToDisplayString() const;
+
+  /// Strict equality: type AND content must match ("1" != 1).
+  bool operator==(const Value& other) const { return data_ == other.data_; }
+  bool operator!=(const Value& other) const { return !(*this == other); }
+
+  /// Total order (by type index, then content) for use as map keys and in
+  /// deterministic unique/sort operations.
+  bool operator<(const Value& other) const;
+
+  /// Hash compatible with operator==.
+  size_t Hash() const;
+
+ private:
+  std::variant<std::monostate, int64_t, double, std::string> data_;
+};
+
+struct ValueHash {
+  size_t operator()(const Value& v) const { return v.Hash(); }
+};
+
+}  // namespace greater
+
+#endif  // GREATER_TABULAR_VALUE_H_

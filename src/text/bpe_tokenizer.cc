@@ -1,0 +1,154 @@
+#include "text/bpe_tokenizer.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "common/strings.h"
+#include "text/word_tokenizer.h"
+
+namespace greater {
+namespace {
+
+constexpr char kEndOfWord[] = "</w>";
+
+using Symbols = std::vector<std::string>;
+
+// Initial symbol sequence of a word: one symbol per byte, last one suffixed
+// with the end-of-word marker.
+Symbols WordToSymbols(const std::string& word) {
+  Symbols symbols;
+  symbols.reserve(word.size());
+  for (char c : word) symbols.emplace_back(1, c);
+  if (!symbols.empty()) symbols.back() += kEndOfWord;
+  return symbols;
+}
+
+struct PairHash {
+  size_t operator()(const std::pair<std::string, std::string>& p) const {
+    return std::hash<std::string>{}(p.first) * 31 +
+           std::hash<std::string>{}(p.second);
+  }
+};
+
+}  // namespace
+
+Result<BpeTokenizer> BpeTokenizer::Train(const std::vector<std::string>& corpus,
+                                         const Options& options) {
+  if (corpus.empty()) {
+    return Status::Invalid("BPE training corpus is empty");
+  }
+  // Word frequency table over the whole corpus.
+  WordTokenizer word_tokenizer;
+  std::unordered_map<std::string, size_t> word_counts;
+  for (const auto& line : corpus) {
+    for (const auto& word : word_tokenizer.Tokenize(line)) {
+      ++word_counts[word];
+    }
+  }
+  if (word_counts.empty()) {
+    return Status::Invalid("BPE training corpus contains no words");
+  }
+
+  // Working representation: distinct words as symbol sequences + counts.
+  std::vector<Symbols> words;
+  std::vector<size_t> counts;
+  words.reserve(word_counts.size());
+  for (const auto& [word, count] : word_counts) {
+    words.push_back(WordToSymbols(word));
+    counts.push_back(count);
+  }
+
+  BpeTokenizer tokenizer;
+  for (size_t step = 0; step < options.num_merges; ++step) {
+    // Count adjacent pairs.
+    std::unordered_map<std::pair<std::string, std::string>, size_t, PairHash>
+        pair_counts;
+    for (size_t w = 0; w < words.size(); ++w) {
+      const Symbols& symbols = words[w];
+      for (size_t i = 0; i + 1 < symbols.size(); ++i) {
+        pair_counts[{symbols[i], symbols[i + 1]}] += counts[w];
+      }
+    }
+    if (pair_counts.empty()) break;
+    // Most frequent pair; ties broken lexicographically for determinism.
+    auto best = pair_counts.begin();
+    for (auto it = pair_counts.begin(); it != pair_counts.end(); ++it) {
+      if (it->second > best->second ||
+          (it->second == best->second && it->first < best->first)) {
+        best = it;
+      }
+    }
+    if (best->second < options.min_pair_count) break;
+    const auto [left, right] = best->first;
+    tokenizer.merge_rank_[{left, right}] = tokenizer.merges_.size();
+    tokenizer.merges_.emplace_back(left, right);
+    // Apply the merge to every word.
+    std::string merged = left + right;
+    for (auto& symbols : words) {
+      Symbols next;
+      next.reserve(symbols.size());
+      for (size_t i = 0; i < symbols.size(); ++i) {
+        if (i + 1 < symbols.size() && symbols[i] == left &&
+            symbols[i + 1] == right) {
+          next.push_back(merged);
+          ++i;
+        } else {
+          next.push_back(symbols[i]);
+        }
+      }
+      symbols = std::move(next);
+    }
+  }
+  return tokenizer;
+}
+
+std::vector<std::string> BpeTokenizer::EncodeWord(
+    const std::string& word) const {
+  Symbols symbols = WordToSymbols(word);
+  while (symbols.size() > 1) {
+    // Lowest-rank applicable merge.
+    size_t best_rank = merge_rank_.size();
+    size_t best_pos = symbols.size();
+    for (size_t i = 0; i + 1 < symbols.size(); ++i) {
+      auto it = merge_rank_.find({symbols[i], symbols[i + 1]});
+      if (it != merge_rank_.end() && it->second < best_rank) {
+        best_rank = it->second;
+        best_pos = i;
+      }
+    }
+    if (best_pos == symbols.size()) break;
+    symbols[best_pos] += symbols[best_pos + 1];
+    symbols.erase(symbols.begin() + static_cast<ptrdiff_t>(best_pos) + 1);
+  }
+  return symbols;
+}
+
+std::vector<std::string> BpeTokenizer::Tokenize(const std::string& text) const {
+  WordTokenizer word_tokenizer;
+  std::vector<std::string> out;
+  for (const auto& word : word_tokenizer.Tokenize(text)) {
+    for (auto& unit : EncodeWord(word)) out.push_back(std::move(unit));
+  }
+  return out;
+}
+
+std::string BpeTokenizer::Detokenize(
+    const std::vector<std::string>& tokens) const {
+  // Reassemble words from subword units, then re-space like WordTokenizer.
+  std::vector<std::string> words;
+  std::string current;
+  for (const auto& token : tokens) {
+    if (EndsWith(token, kEndOfWord)) {
+      current += token.substr(0, token.size() - 4);
+      words.push_back(std::move(current));
+      current.clear();
+    } else {
+      current += token;
+    }
+  }
+  if (!current.empty()) words.push_back(std::move(current));
+  WordTokenizer word_tokenizer;
+  return word_tokenizer.Detokenize(words);
+}
+
+}  // namespace greater

@@ -1,0 +1,62 @@
+#ifndef GREATER_TEXT_BPE_TOKENIZER_H_
+#define GREATER_TEXT_BPE_TOKENIZER_H_
+
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+
+namespace greater {
+
+/// Byte-pair-encoding subword tokenizer — the GPT-2-style tokenization
+/// mechanism the paper's backbone uses. Trained on a corpus, it learns a
+/// ranked merge list; encoding greedily applies the lowest-rank merge.
+///
+/// It reproduces the tokenization pathology of Fig. 2 at the subword level:
+/// a frequent category label such as "1" becomes a single learned unit used
+/// identically wherever the surface string appears, while rare semantic
+/// replacements ("Male", "Chicago") decompose into multiple subwords until
+/// they are frequent enough to earn merges of their own.
+class BpeTokenizer {
+ public:
+  struct Options {
+    /// Number of merge operations to learn.
+    size_t num_merges = 512;
+    /// Pairs must occur at least this often to be merged.
+    size_t min_pair_count = 2;
+  };
+
+  /// Learns merges from whitespace-separated words of `corpus` lines.
+  static Result<BpeTokenizer> Train(const std::vector<std::string>& corpus,
+                                    const Options& options);
+  static Result<BpeTokenizer> Train(const std::vector<std::string>& corpus) {
+    return Train(corpus, Options());
+  }
+
+  /// Splits `text` into words (whitespace + punctuation, as WordTokenizer)
+  /// and encodes each word into subword units. Word-final units carry the
+  /// "</w>" marker so sequences decode unambiguously.
+  std::vector<std::string> Tokenize(const std::string& text) const;
+
+  /// Subword units of a single word.
+  std::vector<std::string> EncodeWord(const std::string& word) const;
+
+  /// Joins subword units back into text (units ending in "</w>" close a
+  /// word; punctuation re-attaches as in WordTokenizer::Detokenize).
+  std::string Detokenize(const std::vector<std::string>& tokens) const;
+
+  /// Learned merges in rank order.
+  const std::vector<std::pair<std::string, std::string>>& merges() const {
+    return merges_;
+  }
+
+ private:
+  std::vector<std::pair<std::string, std::string>> merges_;
+  std::map<std::pair<std::string, std::string>, size_t> merge_rank_;
+};
+
+}  // namespace greater
+
+#endif  // GREATER_TEXT_BPE_TOKENIZER_H_

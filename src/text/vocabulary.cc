@@ -1,0 +1,61 @@
+#include "text/vocabulary.h"
+
+namespace greater {
+
+const char* Vocabulary::kPadToken = "<pad>";
+const char* Vocabulary::kBosToken = "<bos>";
+const char* Vocabulary::kEosToken = "<eos>";
+const char* Vocabulary::kUnkToken = "<unk>";
+
+Vocabulary::Vocabulary() {
+  AddToken(kPadToken);
+  AddToken(kBosToken);
+  AddToken(kEosToken);
+  AddToken(kUnkToken);
+}
+
+TokenId Vocabulary::AddToken(const std::string& token) {
+  auto it = index_.find(token);
+  if (it != index_.end()) return it->second;
+  TokenId id = static_cast<TokenId>(tokens_.size());
+  tokens_.push_back(token);
+  index_[token] = id;
+  return id;
+}
+
+TokenId Vocabulary::IdOf(const std::string& token) const {
+  auto it = index_.find(token);
+  return it == index_.end() ? kUnkId : it->second;
+}
+
+bool Vocabulary::Contains(const std::string& token) const {
+  return index_.count(token) > 0;
+}
+
+const std::string& Vocabulary::TokenOf(TokenId id) const {
+  if (id < 0 || static_cast<size_t>(id) >= tokens_.size()) {
+    return tokens_[kUnkId];
+  }
+  return tokens_[static_cast<size_t>(id)];
+}
+
+std::vector<TokenId> Vocabulary::Encode(
+    const std::vector<std::string>& tokens) const {
+  std::vector<TokenId> out;
+  out.reserve(tokens.size());
+  for (const auto& t : tokens) out.push_back(IdOf(t));
+  return out;
+}
+
+std::vector<std::string> Vocabulary::Decode(
+    const std::vector<TokenId>& ids) const {
+  std::vector<std::string> out;
+  out.reserve(ids.size());
+  for (TokenId id : ids) {
+    if (id == kPadId || id == kBosId || id == kEosId) continue;
+    out.push_back(TokenOf(id));
+  }
+  return out;
+}
+
+}  // namespace greater

@@ -1,0 +1,67 @@
+#ifndef GREATER_TEXT_VOCABULARY_H_
+#define GREATER_TEXT_VOCABULARY_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+
+namespace greater {
+
+/// Integer id of a token in a Vocabulary.
+using TokenId = int32_t;
+
+/// Bidirectional token <-> id map shared by the tokenizers and language
+/// models.
+///
+/// The crucial property (the paper's Challenge I): ids are keyed purely by
+/// the token *string*. The "1" in the Lunch column and the "1" in the
+/// Access Device column receive the same id and therefore share all
+/// language-model statistics — exactly the ambiguity the Data Semantic
+/// Enhancement System removes by renaming categories before encoding.
+class Vocabulary {
+ public:
+  /// Reserved special tokens, always present at fixed ids.
+  static constexpr TokenId kPadId = 0;
+  static constexpr TokenId kBosId = 1;
+  static constexpr TokenId kEosId = 2;
+  static constexpr TokenId kUnkId = 3;
+
+  static const char* kPadToken;  // "<pad>"
+  static const char* kBosToken;  // "<bos>"
+  static const char* kEosToken;  // "<eos>"
+  static const char* kUnkToken;  // "<unk>"
+
+  Vocabulary();
+
+  /// Adds `token` if absent; returns its id either way.
+  TokenId AddToken(const std::string& token);
+
+  /// Id of `token`, or kUnkId when unknown.
+  TokenId IdOf(const std::string& token) const;
+
+  /// True if `token` has been added.
+  bool Contains(const std::string& token) const;
+
+  /// Token string of `id`. Out-of-range ids render as the unk token.
+  const std::string& TokenOf(TokenId id) const;
+
+  /// Number of tokens including the four specials.
+  size_t size() const { return tokens_.size(); }
+
+  /// Encodes a token sequence (unknowns -> kUnkId).
+  std::vector<TokenId> Encode(const std::vector<std::string>& tokens) const;
+
+  /// Decodes an id sequence, skipping pad/bos/eos.
+  std::vector<std::string> Decode(const std::vector<TokenId>& ids) const;
+
+ private:
+  std::vector<std::string> tokens_;
+  std::unordered_map<std::string, TokenId> index_;
+};
+
+}  // namespace greater
+
+#endif  // GREATER_TEXT_VOCABULARY_H_

@@ -1,0 +1,30 @@
+#ifndef GREATER_TEXT_WORD_TOKENIZER_H_
+#define GREATER_TEXT_WORD_TOKENIZER_H_
+
+#include <string>
+#include <vector>
+
+namespace greater {
+
+/// Word-level tokenizer used by the GReaT pipeline's textual layer.
+///
+/// Splits text into maximal runs of [A-Za-z0-9_'^] plus single punctuation
+/// tokens; whitespace separates but is not emitted. The encoded sentence
+/// "Lunch is 1, Dinner is 2" tokenizes to
+///   {"Lunch", "is", "1", ",", "Dinner", "is", "2"}
+/// — note that the digit strings survive as standalone tokens, which is how
+/// the identical-token ambiguity of the paper's Fig. 2 manifests here.
+class WordTokenizer {
+ public:
+  /// Tokenizes one string.
+  std::vector<std::string> Tokenize(const std::string& text) const;
+
+  /// Inverse of Tokenize up to whitespace normalization: joins tokens with
+  /// single spaces but attaches punctuation to the preceding token
+  /// ("2 ," -> "2,").
+  std::string Detokenize(const std::vector<std::string>& tokens) const;
+};
+
+}  // namespace greater
+
+#endif  // GREATER_TEXT_WORD_TOKENIZER_H_

@@ -1,0 +1,86 @@
+// Headline regression test: on a fixed-seed trial, the full GReaTER
+// pipeline must beat the DEREC baseline on mean pairwise-conditional
+// fidelity — the paper's central claim (Fig. 7). Everything is
+// deterministic given the seeds, so this is a stable guard, not a flaky
+// statistical assertion.
+
+#include <gtest/gtest.h>
+
+#include "crosstable/pipeline.h"
+#include "datagen/digix.h"
+#include "eval/fidelity.h"
+#include "eval/privacy.h"
+
+namespace greater {
+namespace {
+
+struct RunOutcome {
+  double mean_p = 0.0;
+  Table synthetic_flat;
+};
+
+RunOutcome RunOnce(FusionMethod fusion, const DigixDataset& data,
+                   uint64_t seed) {
+  PipelineOptions options;
+  options.fusion = fusion;
+  options.semantic = SemanticMode::kNone;
+  options.synth.encoder.permutations_per_row = 2;
+  options.synth.max_training_sequences = 700;
+  options.synth.constrain_values_to_column = false;
+  MultiTablePipeline pipeline(options);
+  Table real = pipeline.BuildRealFlatView(data.ads, data.feeds, "user_id")
+                   .ValueOrDie();
+  Rng rng(seed);
+  PipelineResult result =
+      pipeline.Run(data.ads, data.feeds, "user_id", &rng).ValueOrDie();
+  auto report =
+      EvaluateFidelity(real.UniqueRows(), result.synthetic_flat).ValueOrDie();
+  return {report.MeanPValue(), std::move(result.synthetic_flat)};
+}
+
+TEST(IntegrationTest, GreaterBeatsDerecOnTheFixedTrial) {
+  Rng rng(42);
+  DigixGenerator gen;
+  DigixDataset data = gen.Generate(&rng).ValueOrDie();
+
+  RunOutcome greater_run =
+      RunOnce(FusionMethod::kGreaterMedianThreshold, data, 1001);
+  RunOutcome derec_run = RunOnce(FusionMethod::kDerecIndependent, data, 1001);
+
+  EXPECT_GT(greater_run.mean_p, derec_run.mean_p)
+      << "GReaTER must outperform the DEREC baseline (paper Fig. 7)";
+  // And by a meaningful margin, not numerical noise.
+  EXPECT_GT(greater_run.mean_p - derec_run.mean_p, 0.01);
+}
+
+TEST(IntegrationTest, GreaterBeatsDirectFlatteningOnTheFixedTrial) {
+  Rng rng(42);
+  DigixGenerator gen;
+  DigixDataset data = gen.Generate(&rng).ValueOrDie();
+
+  RunOutcome greater_run =
+      RunOnce(FusionMethod::kGreaterMedianThreshold, data, 1001);
+  RunOutcome flatten_run = RunOnce(FusionMethod::kDirectFlatten, data, 1001);
+
+  EXPECT_GT(greater_run.mean_p, flatten_run.mean_p)
+      << "GReaTER must outperform direct flattening (paper Figs. 7/9)";
+}
+
+TEST(IntegrationTest, SyntheticOutputIsNotWholesaleCopying) {
+  Rng rng(42);
+  DigixGenerator gen;
+  DigixDataset data = gen.Generate(&rng).ValueOrDie();
+  RunOutcome run = RunOnce(FusionMethod::kGreaterMedianThreshold, data, 1001);
+
+  MultiTablePipeline pipeline;
+  Table real = pipeline.BuildRealFlatView(data.ads, data.feeds, "user_id")
+                   .ValueOrDie();
+  auto privacy = EvaluatePrivacy(real, run.synthetic_flat).ValueOrDie();
+  // Some collisions are inevitable on a categorical domain, but wholesale
+  // memorization of the 21-column joint would be a red flag.
+  EXPECT_LT(privacy.exact_copy_rate, 0.9);
+  EXPECT_GT(privacy.mean_dcr, 0.0);
+}
+
+}  // namespace
+}  // namespace greater

@@ -1,0 +1,308 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "lm/neural_lm.h"
+#include "lm/ngram_lm.h"
+#include "text/vocabulary.h"
+
+namespace greater {
+namespace {
+
+// Builds a vocabulary + deterministic sequences of "a b c a b c ...".
+struct TinyCorpus {
+  Vocabulary vocab;
+  TokenId a, b, c;
+  std::vector<TokenSequence> sequences;
+
+  TinyCorpus() {
+    a = vocab.AddToken("a");
+    b = vocab.AddToken("b");
+    c = vocab.AddToken("c");
+    for (int i = 0; i < 20; ++i) {
+      sequences.push_back({a, b, c, a, b, c});
+    }
+  }
+};
+
+// ---------- NGramLm ----------
+
+TEST(NGramLmTest, FitValidatesInput) {
+  NGramLm lm(10);
+  EXPECT_FALSE(lm.Fit({}).ok());
+  EXPECT_FALSE(lm.Fit({{100}}).ok());  // token id out of range
+  EXPECT_TRUE(lm.Fit({{1, 2, 3}}).ok());
+  EXPECT_FALSE(lm.Fit({{1}}).ok());  // double fit
+}
+
+TEST(NGramLmTest, UnfittedDistributionIsUniform) {
+  NGramLm lm(5);
+  auto dist = lm.NextTokenDistribution({});
+  for (double p : dist) EXPECT_DOUBLE_EQ(p, 0.2);
+}
+
+TEST(NGramLmTest, DistributionSumsToOne) {
+  TinyCorpus corpus;
+  NGramLm lm(corpus.vocab.size());
+  ASSERT_TRUE(lm.Fit(corpus.sequences).ok());
+  for (const TokenSequence& ctx :
+       {TokenSequence{}, TokenSequence{corpus.a},
+        TokenSequence{corpus.a, corpus.b}}) {
+    auto dist = lm.NextTokenDistribution(ctx);
+    double sum = 0.0;
+    for (double p : dist) {
+      sum += p;
+      EXPECT_GE(p, 0.0);
+    }
+    EXPECT_NEAR(sum, 1.0, 1e-9);
+  }
+}
+
+TEST(NGramLmTest, LearnsDeterministicPattern) {
+  TinyCorpus corpus;
+  NGramLm lm(corpus.vocab.size());
+  ASSERT_TRUE(lm.Fit(corpus.sequences).ok());
+  auto dist = lm.NextTokenDistribution({corpus.a});
+  EXPECT_GT(dist[static_cast<size_t>(corpus.b)], 0.8);
+  auto dist2 = lm.NextTokenDistribution({corpus.a, corpus.b});
+  EXPECT_GT(dist2[static_cast<size_t>(corpus.c)], 0.8);
+}
+
+TEST(NGramLmTest, PredictsEosAtSequenceEnd) {
+  TinyCorpus corpus;
+  NGramLm lm(corpus.vocab.size());
+  ASSERT_TRUE(lm.Fit(corpus.sequences).ok());
+  // At the default order the context "c a b c" is only ever followed by
+  // eos in the training data, so eos dominates; `a` picks up whatever the
+  // shorter-context interpolation leaks in.
+  auto dist = lm.NextTokenDistribution(
+      {corpus.a, corpus.b, corpus.c, corpus.a, corpus.b, corpus.c});
+  EXPECT_GT(dist[Vocabulary::kEosId], 0.5);
+  EXPECT_GT(dist[Vocabulary::kEosId] + dist[static_cast<size_t>(corpus.a)],
+            0.9);
+}
+
+TEST(NGramLmTest, PerplexityLowOnTrainingPattern) {
+  TinyCorpus corpus;
+  NGramLm lm(corpus.vocab.size());
+  ASSERT_TRUE(lm.Fit(corpus.sequences).ok());
+  double ppl = lm.Perplexity(corpus.sequences);
+  EXPECT_LT(ppl, 2.0);
+  EXPECT_GE(ppl, 1.0);
+}
+
+TEST(NGramLmTest, SamplingIsDeterministicGivenSeed) {
+  TinyCorpus corpus;
+  NGramLm lm(corpus.vocab.size());
+  ASSERT_TRUE(lm.Fit(corpus.sequences).ok());
+  Rng r1(42), r2(42);
+  auto s1 = lm.SampleSequence({corpus.a}, 12, &r1);
+  auto s2 = lm.SampleSequence({corpus.a}, 12, &r2);
+  EXPECT_EQ(s1, s2);
+}
+
+TEST(NGramLmTest, SampleSequenceFollowsPattern) {
+  TinyCorpus corpus;
+  NGramLm lm(corpus.vocab.size());
+  ASSERT_TRUE(lm.Fit(corpus.sequences).ok());
+  Rng rng(1);
+  auto seq = lm.SampleSequence({corpus.a}, 6, &rng);
+  ASSERT_GE(seq.size(), 3u);
+  EXPECT_EQ(seq[1], corpus.b);
+  EXPECT_EQ(seq[2], corpus.c);
+}
+
+TEST(NGramLmTest, ConstrainedSamplingRespectsAllowList) {
+  TinyCorpus corpus;
+  NGramLm lm(corpus.vocab.size());
+  ASSERT_TRUE(lm.Fit(corpus.sequences).ok());
+  Rng rng(3);
+  std::vector<TokenId> allowed = {corpus.c};
+  for (int i = 0; i < 20; ++i) {
+    EXPECT_EQ(lm.SampleNext({corpus.a}, &rng, 1.0, &allowed), corpus.c);
+  }
+}
+
+TEST(NGramLmTest, ConstrainedSamplingZeroMassFallsBackUniform) {
+  TinyCorpus corpus;
+  NGramLm lm(corpus.vocab.size());
+  ASSERT_TRUE(lm.Fit(corpus.sequences).ok());
+  Rng rng(3);
+  // Empty allow-list -> eos sentinel.
+  std::vector<TokenId> empty;
+  EXPECT_EQ(lm.SampleNext({corpus.a}, &rng, 1.0, &empty), Vocabulary::kEosId);
+}
+
+TEST(NGramLmTest, ArgmaxNext) {
+  TinyCorpus corpus;
+  NGramLm lm(corpus.vocab.size());
+  ASSERT_TRUE(lm.Fit(corpus.sequences).ok());
+  EXPECT_EQ(lm.ArgmaxNext({corpus.a}), corpus.b);
+}
+
+TEST(NGramLmTest, TemperatureSharpensDistribution) {
+  TinyCorpus corpus;
+  // Add some noise sequences so the pattern is not fully deterministic.
+  corpus.sequences.push_back({corpus.a, corpus.c});
+  NGramLm lm(corpus.vocab.size());
+  ASSERT_TRUE(lm.Fit(corpus.sequences).ok());
+  Rng cold(5);
+  int b_count_cold = 0;
+  for (int i = 0; i < 200; ++i) {
+    if (lm.SampleNext({corpus.a}, &cold, 0.1) == corpus.b) ++b_count_cold;
+  }
+  // Near-greedy at low temperature.
+  EXPECT_GT(b_count_cold, 190);
+}
+
+TEST(NGramLmTest, PriorCorpusInfluencesBackoff) {
+  TinyCorpus corpus;
+  NGramLm::Options options;
+  options.prior_weight = 1.0;
+  NGramLm with_prior(corpus.vocab.size(), options);
+  // Prior teaches a -> c, conflicting with the training a -> b.
+  std::vector<TokenSequence> prior(20, TokenSequence{corpus.a, corpus.c});
+  ASSERT_TRUE(with_prior.SetPriorCorpus(prior).ok());
+  ASSERT_TRUE(with_prior.Fit(corpus.sequences).ok());
+
+  NGramLm without_prior(corpus.vocab.size());
+  ASSERT_TRUE(without_prior.Fit(corpus.sequences).ok());
+
+  double pc_with = with_prior.NextTokenDistribution({corpus.a})[
+      static_cast<size_t>(corpus.c)];
+  double pc_without = without_prior.NextTokenDistribution({corpus.a})[
+      static_cast<size_t>(corpus.c)];
+  EXPECT_GT(pc_with, pc_without);
+}
+
+TEST(NGramLmTest, SetPriorAfterFitFails) {
+  TinyCorpus corpus;
+  NGramLm lm(corpus.vocab.size());
+  ASSERT_TRUE(lm.Fit(corpus.sequences).ok());
+  EXPECT_FALSE(lm.SetPriorCorpus({{corpus.a}}).ok());
+}
+
+// Order sweep: every order must learn the deterministic pattern.
+class NGramOrderTest : public testing::TestWithParam<size_t> {};
+
+TEST_P(NGramOrderTest, LearnsPatternAtEveryOrder) {
+  TinyCorpus corpus;
+  NGramLm::Options options;
+  options.order = GetParam();
+  NGramLm lm(corpus.vocab.size(), options);
+  ASSERT_TRUE(lm.Fit(corpus.sequences).ok());
+  auto dist = lm.NextTokenDistribution({corpus.a});
+  EXPECT_GT(dist[static_cast<size_t>(corpus.b)], 0.5)
+      << "order=" << GetParam();
+  double sum = 0.0;
+  for (double p : dist) sum += p;
+  EXPECT_NEAR(sum, 1.0, 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Orders, NGramOrderTest,
+                         testing::Values(2, 3, 4, 5, 6, 7, 8));
+
+// ---------- NeuralLm ----------
+
+TEST(NeuralLmTest, FitValidatesInput) {
+  NeuralLm lm(10);
+  EXPECT_FALSE(lm.Fit({}).ok());
+  EXPECT_FALSE(lm.Fit({{42}}).ok());
+}
+
+TEST(NeuralLmTest, DistributionSumsToOne) {
+  TinyCorpus corpus;
+  NeuralLm::Options options;
+  options.epochs = 2;
+  NeuralLm lm(corpus.vocab.size(), options);
+  ASSERT_TRUE(lm.Fit(corpus.sequences).ok());
+  auto dist = lm.NextTokenDistribution({corpus.a});
+  double sum = 0.0;
+  for (double p : dist) {
+    EXPECT_GE(p, 0.0);
+    sum += p;
+  }
+  EXPECT_NEAR(sum, 1.0, 1e-9);
+}
+
+TEST(NeuralLmTest, LearnsDeterministicPattern) {
+  TinyCorpus corpus;
+  NeuralLm::Options options;
+  options.epochs = 30;
+  options.context_window = 4;
+  options.embed_dim = 8;
+  options.hidden_dim = 16;
+  NeuralLm lm(corpus.vocab.size(), options);
+  ASSERT_TRUE(lm.Fit(corpus.sequences).ok());
+  auto dist = lm.NextTokenDistribution({corpus.a});
+  EXPECT_GT(dist[static_cast<size_t>(corpus.b)], 0.6);
+  EXPECT_LT(lm.last_epoch_loss(), 1.0);
+}
+
+TEST(NeuralLmTest, TrainingReducesLoss) {
+  TinyCorpus corpus;
+  NeuralLm::Options short_run;
+  short_run.epochs = 1;
+  NeuralLm lm1(corpus.vocab.size(), short_run);
+  ASSERT_TRUE(lm1.Fit(corpus.sequences).ok());
+
+  NeuralLm::Options long_run;
+  long_run.epochs = 20;
+  NeuralLm lm2(corpus.vocab.size(), long_run);
+  ASSERT_TRUE(lm2.Fit(corpus.sequences).ok());
+  EXPECT_LT(lm2.last_epoch_loss(), lm1.last_epoch_loss());
+}
+
+TEST(NeuralLmTest, IdenticalTokensShareOneEmbedding) {
+  // The GPT-2-analogue property the Data Semantic Enhancement System
+  // exploits: statistics for a token live in ONE embedding row, shared by
+  // every occurrence regardless of column of origin.
+  NeuralLm lm(10);
+  auto e5a = lm.EmbeddingOf(5);
+  auto e5b = lm.EmbeddingOf(5);
+  EXPECT_EQ(e5a, e5b);
+  EXPECT_NE(lm.EmbeddingOf(5), lm.EmbeddingOf(6));
+}
+
+TEST(NeuralLmTest, DeterministicGivenSeed) {
+  TinyCorpus corpus;
+  NeuralLm::Options options;
+  options.epochs = 3;
+  options.seed = 99;
+  NeuralLm lm1(corpus.vocab.size(), options);
+  NeuralLm lm2(corpus.vocab.size(), options);
+  ASSERT_TRUE(lm1.Fit(corpus.sequences).ok());
+  ASSERT_TRUE(lm2.Fit(corpus.sequences).ok());
+  EXPECT_EQ(lm1.NextTokenDistribution({corpus.a}),
+            lm2.NextTokenDistribution({corpus.a}));
+}
+
+TEST(NeuralLmTest, PretrainingWarmStartsFromPrior) {
+  TinyCorpus corpus;
+  // Prior teaches the pattern; fine-tune with very few epochs.
+  NeuralLm::Options options;
+  options.epochs = 1;
+  options.pretrain_epochs = 25;
+  NeuralLm with_prior(corpus.vocab.size(), options);
+  ASSERT_TRUE(with_prior.SetPriorCorpus(corpus.sequences).ok());
+  ASSERT_TRUE(with_prior.Fit(corpus.sequences).ok());
+
+  NeuralLm::Options no_prior = options;
+  no_prior.pretrain_epochs = 0;
+  NeuralLm without(corpus.vocab.size(), no_prior);
+  ASSERT_TRUE(without.Fit(corpus.sequences).ok());
+
+  EXPECT_LT(with_prior.last_epoch_loss(), without.last_epoch_loss());
+}
+
+TEST(NeuralLmTest, DoubleFitFails) {
+  TinyCorpus corpus;
+  NeuralLm::Options options;
+  options.epochs = 1;
+  NeuralLm lm(corpus.vocab.size(), options);
+  ASSERT_TRUE(lm.Fit(corpus.sequences).ok());
+  EXPECT_FALSE(lm.Fit(corpus.sequences).ok());
+}
+
+}  // namespace
+}  // namespace greater

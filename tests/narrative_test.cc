@@ -1,0 +1,91 @@
+#include <gtest/gtest.h>
+
+#include "synth/narrative.h"
+
+namespace greater {
+namespace {
+
+Schema PersonSchema() {
+  return Schema({Field("name", ValueType::kString),
+                 Field("gender", ValueType::kString),
+                 Field("lunch", ValueType::kString),
+                 Field("dinner", ValueType::kString),
+                 Field("age", ValueType::kInt)});
+}
+
+const char* kPattern =
+    "A {gender} named {name} had {lunch} for lunch and {dinner} for dinner "
+    "at age {age}.";
+
+TEST(NarrativeTest, RendersThePapersFutureWorkExample) {
+  auto tmpl = NarrativeTemplate::Compile(kPattern, PersonSchema())
+                  .ValueOrDie();
+  Row row = {Value("Grace"), Value("female"), Value("rice"), Value("steak"),
+             Value(27)};
+  EXPECT_EQ(tmpl.Render(row),
+            "A female named Grace had rice for lunch and steak for dinner "
+            "at age 27.");
+}
+
+TEST(NarrativeTest, ParseInvertsRender) {
+  auto tmpl = NarrativeTemplate::Compile(kPattern, PersonSchema())
+                  .ValueOrDie();
+  Row row = {Value("Yin"), Value("male"), Value("noodles"), Value("fish"),
+             Value(44)};
+  Row back = tmpl.Parse(tmpl.Render(row)).ValueOrDie();
+  EXPECT_EQ(back, row);
+}
+
+TEST(NarrativeTest, UnmentionedColumnsParseAsNull) {
+  auto tmpl =
+      NarrativeTemplate::Compile("{name} likes {lunch}.", PersonSchema())
+          .ValueOrDie();
+  Row back = tmpl.Parse("Grace likes rice.").ValueOrDie();
+  EXPECT_EQ(back[0], Value("Grace"));
+  EXPECT_EQ(back[2], Value("rice"));
+  EXPECT_TRUE(back[1].is_null());
+  EXPECT_TRUE(back[4].is_null());
+}
+
+TEST(NarrativeTest, RenderTableAlignsWithSchema) {
+  auto tmpl =
+      NarrativeTemplate::Compile("{name} is {age}", PersonSchema())
+          .ValueOrDie();
+  Table t(PersonSchema());
+  ASSERT_TRUE(t.AppendRow({Value("A"), Value("x"), Value("r"), Value("s"),
+                           Value(1)})
+                  .ok());
+  auto sentences = tmpl.RenderTable(t).ValueOrDie();
+  ASSERT_EQ(sentences.size(), 1u);
+  EXPECT_EQ(sentences[0], "A is 1");
+  Table other(Schema({Field("z", ValueType::kInt)}));
+  EXPECT_FALSE(tmpl.RenderTable(other).ok());
+}
+
+TEST(NarrativeTest, CompileValidation) {
+  Schema schema = PersonSchema();
+  EXPECT_FALSE(NarrativeTemplate::Compile("no placeholders", schema).ok());
+  EXPECT_FALSE(NarrativeTemplate::Compile("{unknown} col", schema).ok());
+  EXPECT_FALSE(NarrativeTemplate::Compile("{name} and {name}", schema).ok());
+  EXPECT_FALSE(NarrativeTemplate::Compile("{name}{age}", schema).ok());
+  EXPECT_FALSE(NarrativeTemplate::Compile("broken {name", schema).ok());
+}
+
+TEST(NarrativeTest, ParseRejectsMismatches) {
+  auto tmpl = NarrativeTemplate::Compile("{name} is {age}.", PersonSchema())
+                  .ValueOrDie();
+  EXPECT_FALSE(tmpl.Parse("completely different").ok());
+  EXPECT_FALSE(tmpl.Parse("Grace is notanumber.").ok());
+  EXPECT_FALSE(tmpl.Parse("Grace is 27. trailing").ok());
+}
+
+TEST(NarrativeTest, IntAndDoubleColumnsTyped) {
+  Schema schema({Field("x", ValueType::kDouble)});
+  auto tmpl = NarrativeTemplate::Compile("value {x} end", schema).ValueOrDie();
+  Row back = tmpl.Parse("value 2.5 end").ValueOrDie();
+  EXPECT_TRUE(back[0].is_double());
+  EXPECT_DOUBLE_EQ(back[0].as_double(), 2.5);
+}
+
+}  // namespace
+}  // namespace greater

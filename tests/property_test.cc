@@ -1,0 +1,310 @@
+// Property-style tests: invariants checked across randomized inputs via
+// parameterized seeds, plus tests for the privacy auditor and the
+// hypothesis-test-based independence determination.
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "crosstable/independence.h"
+#include "eval/privacy.h"
+#include "lm/ngram_lm.h"
+#include "semantic/enhancement.h"
+#include "stats/distance.h"
+#include "stats/hypothesis.h"
+#include "synth/great_synthesizer.h"
+#include "text/bpe_tokenizer.h"
+
+namespace greater {
+namespace {
+
+class SeededTest : public testing::TestWithParam<uint64_t> {};
+INSTANTIATE_TEST_SUITE_P(Seeds, SeededTest,
+                         testing::Values(1, 2, 3, 5, 8, 13, 21, 34));
+
+// ---------- distance invariants ----------
+
+DiscreteDistribution RandomDistribution(Rng* rng, size_t support) {
+  std::map<Value, size_t> counts;
+  for (size_t i = 0; i < support; ++i) {
+    counts[Value(static_cast<int64_t>(i))] = 1 + rng->Index(20);
+  }
+  return NormalizeCounts(counts).ValueOrDie();
+}
+
+TEST_P(SeededTest, WassersteinDiscreteIsAMetricOnRandomDistributions) {
+  Rng rng(GetParam());
+  auto p = RandomDistribution(&rng, 6);
+  auto q = RandomDistribution(&rng, 6);
+  auto r = RandomDistribution(&rng, 6);
+  double pq = Wasserstein1Discrete(p, q).ValueOrDie();
+  double qp = Wasserstein1Discrete(q, p).ValueOrDie();
+  double pp = Wasserstein1Discrete(p, p).ValueOrDie();
+  double pr = Wasserstein1Discrete(p, r).ValueOrDie();
+  double rq = Wasserstein1Discrete(r, q).ValueOrDie();
+  EXPECT_NEAR(pq, qp, 1e-12);           // symmetry
+  EXPECT_NEAR(pp, 0.0, 1e-12);          // identity
+  EXPECT_GE(pq, 0.0);                   // non-negativity
+  EXPECT_LE(pq, pr + rq + 1e-9);        // triangle inequality
+}
+
+TEST_P(SeededTest, TotalVariationBounds) {
+  Rng rng(GetParam());
+  auto p = RandomDistribution(&rng, 5);
+  auto q = RandomDistribution(&rng, 5);
+  double tv = TotalVariation(p, q);
+  EXPECT_GE(tv, 0.0);
+  EXPECT_LE(tv, 1.0);
+  EXPECT_NEAR(TotalVariation(p, p), 0.0, 1e-12);
+  EXPECT_NEAR(tv, TotalVariation(q, p), 1e-12);
+}
+
+TEST_P(SeededTest, KsTestSymmetricAndBounded) {
+  Rng rng(GetParam());
+  std::vector<double> a, b;
+  for (int i = 0; i < 100; ++i) a.push_back(rng.Normal());
+  for (int i = 0; i < 150; ++i) b.push_back(rng.Normal(0.3, 1.2));
+  auto ab = KolmogorovSmirnovTest(a, b).ValueOrDie();
+  auto ba = KolmogorovSmirnovTest(b, a).ValueOrDie();
+  EXPECT_NEAR(ab.statistic, ba.statistic, 1e-12);
+  EXPECT_NEAR(ab.p_value, ba.p_value, 1e-12);
+  EXPECT_GE(ab.p_value, 0.0);
+  EXPECT_LE(ab.p_value, 1.0);
+}
+
+// ---------- BPE round-trip property ----------
+
+TEST_P(SeededTest, BpeRoundTripsRandomText) {
+  Rng rng(GetParam());
+  std::vector<std::string> corpus;
+  auto random_word = [&rng]() {
+    std::string w;
+    size_t len = 1 + rng.Index(8);
+    for (size_t i = 0; i < len; ++i) {
+      w += static_cast<char>('a' + rng.Index(6));
+    }
+    return w;
+  };
+  for (int line = 0; line < 20; ++line) {
+    std::string text;
+    for (int w = 0; w < 5; ++w) {
+      if (w > 0) text += ' ';
+      text += random_word();
+    }
+    corpus.push_back(std::move(text));
+  }
+  auto bpe = BpeTokenizer::Train(corpus).ValueOrDie();
+  for (const auto& line : corpus) {
+    EXPECT_EQ(bpe.Detokenize(bpe.Tokenize(line)), line);
+  }
+}
+
+// ---------- language-model distribution invariant ----------
+
+TEST_P(SeededTest, NGramDistributionsAlwaysNormalized) {
+  Rng rng(GetParam());
+  size_t vocab = 12;
+  std::vector<TokenSequence> sequences;
+  for (int s = 0; s < 15; ++s) {
+    TokenSequence seq;
+    size_t len = 3 + rng.Index(8);
+    for (size_t i = 0; i < len; ++i) {
+      seq.push_back(static_cast<TokenId>(4 + rng.Index(vocab - 4)));
+    }
+    sequences.push_back(std::move(seq));
+  }
+  NGramLm lm(vocab);
+  ASSERT_TRUE(lm.Fit(sequences).ok());
+  for (int trial = 0; trial < 10; ++trial) {
+    TokenSequence ctx;
+    size_t len = rng.Index(6);
+    for (size_t i = 0; i < len; ++i) {
+      ctx.push_back(static_cast<TokenId>(4 + rng.Index(vocab - 4)));
+    }
+    auto dist = lm.NextTokenDistribution(ctx);
+    double sum = 0.0;
+    for (double p : dist) {
+      EXPECT_GE(p, 0.0);
+      sum += p;
+    }
+    EXPECT_NEAR(sum, 1.0, 1e-9);
+  }
+}
+
+// ---------- synthesizer validity property ----------
+
+TEST_P(SeededTest, SynthesizedCategoriesAlwaysObserved) {
+  Rng rng(GetParam());
+  Schema schema({Field("a", ValueType::kInt), Field("b", ValueType::kString),
+                 Field("c", ValueType::kInt)});
+  Table train(schema);
+  const char* labels[] = {"x", "y", "z"};
+  for (int r = 0; r < 50; ++r) {
+    ASSERT_TRUE(train
+                    .AppendRow({Value(rng.UniformInt(1, 3)),
+                                Value(labels[rng.Index(3)]),
+                                Value(rng.UniformInt(10, 12))})
+                    .ok());
+  }
+  GreatSynthesizer synth;
+  ASSERT_TRUE(synth.Fit(train, &rng).ok());
+  Table sample = synth.Sample(40, &rng).ValueOrDie();
+  std::set<Value> a_domain, b_domain, c_domain;
+  for (size_t r = 0; r < train.num_rows(); ++r) {
+    a_domain.insert(train.at(r, 0));
+    b_domain.insert(train.at(r, 1));
+    c_domain.insert(train.at(r, 2));
+  }
+  for (size_t r = 0; r < sample.num_rows(); ++r) {
+    EXPECT_TRUE(a_domain.count(sample.at(r, 0)) > 0);
+    EXPECT_TRUE(b_domain.count(sample.at(r, 1)) > 0);
+    EXPECT_TRUE(c_domain.count(sample.at(r, 2)) > 0);
+  }
+}
+
+// ---------- mapping round-trip property ----------
+
+TEST_P(SeededTest, DifferentiabilityMappingAlwaysRoundTrips) {
+  Rng rng(GetParam());
+  Schema schema({Field("p", ValueType::kInt), Field("q", ValueType::kInt)});
+  Table t(schema);
+  for (int r = 0; r < 30; ++r) {
+    ASSERT_TRUE(t.AppendRow({Value(rng.UniformInt(1, 5)),
+                             Value(rng.UniformInt(1, 5))})
+                    .ok());
+  }
+  NameGenerator names(GetParam());
+  auto mapping =
+      BuildDifferentiabilityMapping(t, {"p", "q"}, &names).ValueOrDie();
+  Table mapped = mapping.Apply(t).ValueOrDie();
+  EXPECT_EQ(mapping.Invert(mapped).ValueOrDie(), t);
+}
+
+// ---------- test-based independence determination ----------
+
+TEST_P(SeededTest, TestBasedSeparationFindsPlantedStructure) {
+  Rng rng(GetParam());
+  Schema schema({Field("x", ValueType::kInt), Field("y", ValueType::kInt),
+                 Field("solo", ValueType::kInt)});
+  Table t(schema);
+  for (int r = 0; r < 400; ++r) {
+    int64_t x = rng.UniformInt(1, 4);
+    int64_t y = rng.Bernoulli(0.8) ? x : rng.UniformInt(1, 4);
+    int64_t solo = rng.UniformInt(1, 4);
+    ASSERT_TRUE(t.AppendRow({Value(x), Value(y), Value(solo)}).ok());
+  }
+  auto result = TestBasedSeparation(t, 0.005).ValueOrDie();
+  std::set<std::string> independent(result.independent.begin(),
+                                    result.independent.end());
+  EXPECT_TRUE(independent.count("solo") > 0);
+  EXPECT_EQ(independent.count("x"), 0u);
+  EXPECT_EQ(independent.count("y"), 0u);
+}
+
+TEST(TestBasedSeparationTest, UsesFisherFor2x2) {
+  // Two binary dependent columns + one binary independent: exercised via
+  // the Fisher path.
+  Rng rng(7);
+  Schema schema({Field("a", ValueType::kInt), Field("b", ValueType::kInt),
+                 Field("c", ValueType::kInt)});
+  Table t(schema);
+  for (int r = 0; r < 300; ++r) {
+    int64_t a = rng.Bernoulli(0.5) ? 1 : 0;
+    int64_t b = rng.Bernoulli(0.9) ? a : 1 - a;
+    int64_t c = rng.Bernoulli(0.5) ? 1 : 0;
+    ASSERT_TRUE(t.AppendRow({Value(a), Value(b), Value(c)}).ok());
+  }
+  auto result = TestBasedSeparation(t).ValueOrDie();
+  std::set<std::string> independent(result.independent.begin(),
+                                    result.independent.end());
+  EXPECT_TRUE(independent.count("c") > 0);
+  EXPECT_EQ(independent.count("a"), 0u);
+}
+
+TEST(TestBasedSeparationTest, ValidatesArguments) {
+  Schema schema({Field("only", ValueType::kInt)});
+  Table t(schema);
+  ASSERT_TRUE(t.AppendRow({Value(1)}).ok());
+  EXPECT_FALSE(TestBasedSeparation(t).ok());
+  Schema two({Field("a", ValueType::kInt), Field("b", ValueType::kInt)});
+  Table t2(two);
+  ASSERT_TRUE(t2.AppendRow({Value(1), Value(1)}).ok());
+  EXPECT_FALSE(TestBasedSeparation(t2, 0.0).ok());
+  EXPECT_FALSE(TestBasedSeparation(t2, 1.0).ok());
+}
+
+// ---------- privacy auditor ----------
+
+TEST(PrivacyTest, IdenticalTablesAreFullCopies) {
+  Rng rng(1);
+  Schema schema({Field("a", ValueType::kInt), Field("b", ValueType::kInt)});
+  Table t(schema);
+  for (int r = 0; r < 50; ++r) {
+    ASSERT_TRUE(t.AppendRow({Value(rng.UniformInt(1, 50)),
+                             Value(rng.UniformInt(1, 50))})
+                    .ok());
+  }
+  auto report = EvaluatePrivacy(t, t).ValueOrDie();
+  EXPECT_DOUBLE_EQ(report.exact_copy_rate, 1.0);
+  EXPECT_DOUBLE_EQ(report.mean_dcr, 0.0);
+}
+
+TEST(PrivacyTest, DisjointTablesHaveNoCopies) {
+  Schema schema({Field("a", ValueType::kInt), Field("b", ValueType::kInt)});
+  Table train(schema), synthetic(schema);
+  for (int r = 0; r < 20; ++r) {
+    ASSERT_TRUE(train.AppendRow({Value(r), Value(r)}).ok());
+    ASSERT_TRUE(synthetic.AppendRow({Value(r + 100), Value(r + 100)}).ok());
+  }
+  auto report = EvaluatePrivacy(train, synthetic).ValueOrDie();
+  EXPECT_DOUBLE_EQ(report.exact_copy_rate, 0.0);
+  EXPECT_DOUBLE_EQ(report.mean_dcr, 1.0);
+}
+
+TEST(PrivacyTest, PartialOverlapMeasured) {
+  Schema schema({Field("a", ValueType::kInt), Field("b", ValueType::kInt)});
+  Table train(schema), synthetic(schema);
+  ASSERT_TRUE(train.AppendRow({Value(1), Value(2)}).ok());
+  ASSERT_TRUE(synthetic.AppendRow({Value(1), Value(2)}).ok());  // exact copy
+  ASSERT_TRUE(synthetic.AppendRow({Value(1), Value(9)}).ok());  // half match
+  auto report = EvaluatePrivacy(train, synthetic).ValueOrDie();
+  EXPECT_DOUBLE_EQ(report.exact_copy_rate, 0.5);
+  EXPECT_DOUBLE_EQ(report.distance_to_closest[0], 0.0);
+  EXPECT_DOUBLE_EQ(report.distance_to_closest[1], 0.5);
+}
+
+TEST(PrivacyTest, SchemaMismatchFails) {
+  Schema a({Field("a", ValueType::kInt)});
+  Schema b({Field("b", ValueType::kInt)});
+  Table ta(a), tb(b);
+  ASSERT_TRUE(ta.AppendRow({Value(1)}).ok());
+  ASSERT_TRUE(tb.AppendRow({Value(1)}).ok());
+  EXPECT_FALSE(EvaluatePrivacy(ta, tb).ok());
+}
+
+TEST(PrivacyTest, SynthesizerOutputIsNotAllCopies) {
+  // End-to-end: the GReaT pipeline generalizes rather than memorizing
+  // wholesale — on a table with a large joint domain, synthetic rows
+  // include novel combinations.
+  Rng rng(3);
+  Schema schema({Field("a", ValueType::kInt), Field("b", ValueType::kInt),
+                 Field("c", ValueType::kInt), Field("d", ValueType::kInt)});
+  Table train(schema);
+  for (int r = 0; r < 60; ++r) {
+    ASSERT_TRUE(train
+                    .AppendRow({Value(rng.UniformInt(1, 4)),
+                                Value(rng.UniformInt(1, 4)),
+                                Value(rng.UniformInt(1, 4)),
+                                Value(rng.UniformInt(1, 4))})
+                    .ok());
+  }
+  GreatSynthesizer synth;
+  ASSERT_TRUE(synth.Fit(train, &rng).ok());
+  Table sample = synth.Sample(100, &rng).ValueOrDie();
+  auto report = EvaluatePrivacy(train, sample).ValueOrDie();
+  EXPECT_LT(report.exact_copy_rate, 0.9);
+  EXPECT_GT(report.mean_dcr, 0.0);
+}
+
+}  // namespace
+}  // namespace greater

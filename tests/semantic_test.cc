@@ -1,0 +1,311 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "semantic/enhancement.h"
+#include "semantic/mapping.h"
+#include "semantic/name_generator.h"
+#include "semantic/text_transform.h"
+
+namespace greater {
+namespace {
+
+// A small table exhibiting the Fig. 2 ambiguity: label '1' co-occurs in
+// lunch, device and genre.
+Table AmbiguousTable() {
+  Schema schema({Field("name", ValueType::kString),
+                 Field("lunch", ValueType::kInt),
+                 Field("device", ValueType::kInt),
+                 Field("genre", ValueType::kInt)});
+  Table t(schema);
+  EXPECT_TRUE(t.AppendRow({Value("Grace"), Value(1), Value(1), Value(1)}).ok());
+  EXPECT_TRUE(t.AppendRow({Value("Yin"), Value(2), Value(1), Value(2)}).ok());
+  EXPECT_TRUE(t.AppendRow({Value("Anson"), Value(1), Value(2), Value(3)}).ok());
+  return t;
+}
+
+// ---------- NameGenerator ----------
+
+TEST(NameGeneratorTest, UniquenessAcrossManyDraws) {
+  NameGenerator gen(1);
+  std::unordered_set<std::string> reserved;
+  std::set<std::string> seen;
+  for (int i = 0; i < 500; ++i) {
+    std::string name = gen.Unique(reserved);
+    EXPECT_TRUE(seen.insert(name).second) << "duplicate: " << name;
+  }
+}
+
+TEST(NameGeneratorTest, AvoidsReservedStrings) {
+  NameGenerator probe(2);
+  std::unordered_set<std::string> none;
+  std::string taken = probe.Unique(none);
+
+  NameGenerator gen(2);  // same seed would reproduce `taken` first
+  std::unordered_set<std::string> reserved = {taken};
+  EXPECT_NE(gen.Unique(reserved), taken);
+}
+
+TEST(NameGeneratorTest, ExhaustionFallsBackToSuffixes) {
+  NameGenerator gen(3);
+  std::unordered_set<std::string> reserved;
+  size_t space = NameGenerator::CombinationSpace();
+  auto batch = gen.UniqueBatch(space + 10, reserved);
+  std::set<std::string> unique(batch.begin(), batch.end());
+  EXPECT_EQ(unique.size(), space + 10);
+}
+
+// ---------- MappingSystem ----------
+
+TEST(MappingSystemTest, MakeEnforcesGlobalDistinctness) {
+  ColumnMapping a;
+  a.column = "lunch";
+  a.forward[Value(1)] = Value("Rice");
+  ColumnMapping b;
+  b.column = "device";
+  b.forward[Value(1)] = Value("Rice");  // clashes with lunch's replacement
+  EXPECT_FALSE(MappingSystem::Make({a, b}).ok());
+}
+
+TEST(MappingSystemTest, MakeRejectsDuplicateColumnsAndEmptyMaps) {
+  ColumnMapping a;
+  a.column = "x";
+  a.forward[Value(1)] = Value("A");
+  EXPECT_FALSE(MappingSystem::Make({a, a}).ok());
+  ColumnMapping empty;
+  empty.column = "y";
+  EXPECT_FALSE(MappingSystem::Make({empty}).ok());
+}
+
+MappingSystem LunchDeviceMapping() {
+  ColumnMapping lunch;
+  lunch.column = "lunch";
+  lunch.original_type = ValueType::kInt;
+  lunch.forward[Value(1)] = Value("Rice");
+  lunch.forward[Value(2)] = Value("Noodles");
+  ColumnMapping device;
+  device.column = "device";
+  device.original_type = ValueType::kInt;
+  device.forward[Value(1)] = Value("Desktop");
+  device.forward[Value(2)] = Value("Mobile");
+  return MappingSystem::Make({lunch, device}).ValueOrDie();
+}
+
+TEST(MappingSystemTest, ApplyInvertRoundTrip) {
+  Table t = AmbiguousTable();
+  MappingSystem mapping = LunchDeviceMapping();
+  Table mapped = mapping.Apply(t).ValueOrDie();
+  EXPECT_EQ(mapped.at(0, 1).as_string(), "Rice");
+  EXPECT_EQ(mapped.at(1, 2).as_string(), "Desktop");
+  EXPECT_EQ(mapped.schema().field(1).type, ValueType::kString);
+  Table back = mapping.Invert(mapped).ValueOrDie();
+  EXPECT_EQ(back, t);
+}
+
+TEST(MappingSystemTest, ApplyFailsOnUnmappedValue) {
+  Table t = AmbiguousTable();
+  ASSERT_TRUE(t.AppendRow({Value("Zed"), Value(9), Value(1), Value(1)}).ok());
+  MappingSystem mapping = LunchDeviceMapping();
+  EXPECT_FALSE(mapping.Apply(t).ok());
+}
+
+TEST(MappingSystemTest, InvertFailsOutsideImage) {
+  Table t = AmbiguousTable();
+  MappingSystem mapping = LunchDeviceMapping();
+  Table mapped = mapping.Apply(t).ValueOrDie();
+  ASSERT_TRUE(mapped.ReplaceColumn(
+                       "lunch", {Value("Pizza"), Value("Rice"), Value("Rice")})
+                  .ok());
+  EXPECT_FALSE(mapping.Invert(mapped).ok());
+}
+
+TEST(MappingSystemTest, NullsPassThrough) {
+  Schema schema({Field("lunch", ValueType::kInt),
+                 Field("device", ValueType::kInt)});
+  Table t(schema);
+  ASSERT_TRUE(t.AppendRow({Value::Null(), Value(1)}).ok());
+  MappingSystem mapping = LunchDeviceMapping();
+  Table mapped = mapping.Apply(t).ValueOrDie();
+  EXPECT_TRUE(mapped.at(0, 0).is_null());
+  Table back = mapping.Invert(mapped).ValueOrDie();
+  EXPECT_TRUE(back.at(0, 0).is_null());
+}
+
+TEST(MappingSystemTest, ApplyPartialSkipsAbsentColumns) {
+  Schema schema({Field("lunch", ValueType::kInt)});  // no device column
+  Table t(schema);
+  ASSERT_TRUE(t.AppendRow({Value(2)}).ok());
+  MappingSystem mapping = LunchDeviceMapping();
+  Table mapped = mapping.ApplyPartial(t).ValueOrDie();
+  EXPECT_EQ(mapped.at(0, 0).as_string(), "Noodles");
+  Table back = mapping.InvertPartial(mapped).ValueOrDie();
+  EXPECT_EQ(back.at(0, 0).as_int(), 2);
+}
+
+TEST(MappingSystemTest, SerializeDeserializeRoundTrip) {
+  MappingSystem mapping = LunchDeviceMapping();
+  std::string text = mapping.Serialize();
+  MappingSystem back = MappingSystem::Deserialize(text).ValueOrDie();
+  Table t = AmbiguousTable();
+  EXPECT_EQ(mapping.Apply(t).ValueOrDie(), back.Apply(t).ValueOrDie());
+}
+
+TEST(MappingSystemTest, EraseIsThePrivacyStep) {
+  // Sec. 3.2.3: "the mapping system is to be deleted after the data is
+  // synthesized".
+  Table t = AmbiguousTable();
+  MappingSystem mapping = LunchDeviceMapping();
+  mapping.Erase();
+  EXPECT_TRUE(mapping.erased());
+  EXPECT_FALSE(mapping.Apply(t).ok());
+  EXPECT_FALSE(mapping.Invert(t).ok());
+  EXPECT_TRUE(mapping.mappings().empty());
+}
+
+// ---------- differentiability ----------
+
+TEST(DifferentiabilityTest, RemovesAllCoOccurringCategories) {
+  Table t = AmbiguousTable();
+  NameGenerator names(7);
+  auto mapping = BuildDifferentiabilityMapping(
+                     t, {"lunch", "device", "genre"}, &names)
+                     .ValueOrDie();
+  Table mapped = mapping.Apply(t).ValueOrDie();
+  // After the transformation there are no repeating categories across the
+  // selected columns (paper Sec. 3.2.1).
+  std::set<std::string> seen;
+  for (size_t c = 1; c < mapped.num_columns(); ++c) {
+    for (size_t r = 0; r < mapped.num_rows(); ++r) {
+      seen.insert(mapped.at(r, c).as_string());
+    }
+  }
+  // lunch{1,2} + device{1,2} + genre{1,2,3} = 7 distinct representations.
+  EXPECT_EQ(seen.size(), 7u);
+  // Inverse restores the original table exactly.
+  EXPECT_EQ(mapping.Invert(mapped).ValueOrDie(), t);
+}
+
+TEST(DifferentiabilityTest, ReplacementsAvoidTableContents) {
+  Table t = AmbiguousTable();
+  NameGenerator names(7);
+  auto mapping =
+      BuildDifferentiabilityMapping(t, {"lunch"}, &names).ValueOrDie();
+  for (const auto& column : mapping.mappings()) {
+    for (const auto& [original, replacement] : column.forward) {
+      EXPECT_NE(replacement.as_string(), "Grace");
+      EXPECT_NE(replacement.as_string(), "1");
+    }
+  }
+}
+
+TEST(DifferentiabilityTest, EmptySelectionFails) {
+  Table t = AmbiguousTable();
+  NameGenerator names(7);
+  EXPECT_FALSE(BuildDifferentiabilityMapping(t, {}, &names).ok());
+  EXPECT_FALSE(BuildDifferentiabilityMapping(t, {"nope"}, &names).ok());
+}
+
+// ---------- understandability ----------
+
+TEST(UnderstandabilityTest, BuildsFromCuratedSpec) {
+  Table t = AmbiguousTable();
+  MappingSpec spec;
+  spec["lunch"] = {{"1", "Rice"}, {"2", "Noodles"}};
+  auto mapping = BuildUnderstandabilityMapping(t, spec).ValueOrDie();
+  Table mapped = mapping.Apply(t).ValueOrDie();
+  EXPECT_EQ(mapped.at(0, 1).as_string(), "Rice");
+}
+
+TEST(UnderstandabilityTest, IncompleteSpecFails) {
+  Table t = AmbiguousTable();
+  MappingSpec spec;
+  spec["lunch"] = {{"1", "Rice"}};  // category 2 uncovered
+  EXPECT_FALSE(BuildUnderstandabilityMapping(t, spec).ok());
+}
+
+TEST(UnderstandabilityTest, SuggestedSpecUsesKnowledgeBase) {
+  Schema schema({Field("gender", ValueType::kInt),
+                 Field("age", ValueType::kInt),
+                 Field("residence", ValueType::kInt)});
+  Table t(schema);
+  for (int64_t g = 2; g <= 4; ++g) {
+    ASSERT_TRUE(t.AppendRow({Value(g), Value(g), Value(g)}).ok());
+  }
+  auto spec =
+      SuggestMappingSpec(t, {"gender", "age", "residence"}).ValueOrDie();
+  EXPECT_EQ(spec["gender"]["2"], "Male");
+  EXPECT_EQ(spec["gender"]["3"], "Female");
+  EXPECT_EQ(spec["gender"]["4"], "Others");
+  EXPECT_EQ(spec["age"]["2"], "From 20 to 29");
+  // Residence categories map to city names (Fig. 6).
+  EXPECT_EQ(spec["residence"]["2"], UsCityNames()[0]);
+}
+
+TEST(UnderstandabilityTest, SuggestedSpecFallbackClasses) {
+  Schema schema({Field("slot", ValueType::kInt)});
+  Table t(schema);
+  ASSERT_TRUE(t.AppendRow({Value(1)}).ok());
+  ASSERT_TRUE(t.AppendRow({Value(2)}).ok());
+  auto spec = SuggestMappingSpec(t, {"slot"}).ValueOrDie();
+  EXPECT_EQ(spec["slot"]["1"], "Slot Class A");
+  EXPECT_EQ(spec["slot"]["2"], "Slot Class B");
+}
+
+TEST(UnderstandabilityTest, UsCityListHas71Entries) {
+  // "the 71 categories in the 'Residence' column ... are mapped to 71
+  // cities in the USA" (Sec. 4.1.5).
+  EXPECT_EQ(UsCityNames().size(), 71u);
+  std::set<std::string> unique(UsCityNames().begin(), UsCityNames().end());
+  EXPECT_EQ(unique.size(), 71u);
+}
+
+// ---------- ambiguity detection ----------
+
+TEST(AmbiguityTest, FindsCollidingColumns) {
+  Table t = AmbiguousTable();
+  auto ambiguous = FindAmbiguousCategoricalColumns(t);
+  // lunch, device and genre all share label strings; 'name' does not.
+  EXPECT_EQ(ambiguous.size(), 3u);
+  EXPECT_EQ(ambiguous[0], "lunch");
+}
+
+TEST(AmbiguityTest, NoCollisionsNoColumns) {
+  Schema schema({Field("a", ValueType::kString),
+                 Field("b", ValueType::kString)});
+  Table t(schema);
+  ASSERT_TRUE(t.AppendRow({Value("x"), Value("y")}).ok());
+  EXPECT_TRUE(FindAmbiguousCategoricalColumns(t).empty());
+}
+
+// ---------- caret transform ----------
+
+TEST(CaretTransformTest, ApplyInvertRoundTrip) {
+  Schema schema({Field("his_cat_seq", ValueType::kString)});
+  Table t(schema);
+  ASSERT_TRUE(t.AppendRow({Value("20^35^42^15^5")}).ok());
+  ASSERT_TRUE(t.AppendRow({Value("7")}).ok());
+  auto transform = TextSubstitution::CaretToAnd({"his_cat_seq"});
+  Table applied = transform.Apply(t).ValueOrDie();
+  EXPECT_EQ(applied.at(0, 0).as_string(), "20 and 35 and 42 and 15 and 5");
+  EXPECT_EQ(applied.at(1, 0).as_string(), "7");
+  EXPECT_EQ(transform.Invert(applied).ValueOrDie(), t);
+}
+
+TEST(CaretTransformTest, AmbiguousCellRejected) {
+  Schema schema({Field("x", ValueType::kString)});
+  Table t(schema);
+  ASSERT_TRUE(t.AppendRow({Value("already and here^too")}).ok());
+  auto transform = TextSubstitution::CaretToAnd({"x"});
+  EXPECT_FALSE(transform.Apply(t).ok());
+}
+
+TEST(CaretTransformTest, NonStringColumnRejected) {
+  Schema schema({Field("x", ValueType::kInt)});
+  Table t(schema);
+  ASSERT_TRUE(t.AppendRow({Value(1)}).ok());
+  auto transform = TextSubstitution::CaretToAnd({"x"});
+  EXPECT_FALSE(transform.Apply(t).ok());
+}
+
+}  // namespace
+}  // namespace greater

@@ -1,0 +1,160 @@
+#include <gtest/gtest.h>
+
+#include "text/bpe_tokenizer.h"
+#include "text/vocabulary.h"
+#include "text/word_tokenizer.h"
+
+namespace greater {
+namespace {
+
+// ---------- Vocabulary ----------
+
+TEST(VocabularyTest, SpecialsPreRegistered) {
+  Vocabulary v;
+  EXPECT_EQ(v.size(), 4u);
+  EXPECT_EQ(v.IdOf("<pad>"), Vocabulary::kPadId);
+  EXPECT_EQ(v.IdOf("<bos>"), Vocabulary::kBosId);
+  EXPECT_EQ(v.IdOf("<eos>"), Vocabulary::kEosId);
+  EXPECT_EQ(v.IdOf("<unk>"), Vocabulary::kUnkId);
+}
+
+TEST(VocabularyTest, AddTokenIdempotent) {
+  Vocabulary v;
+  TokenId a = v.AddToken("hello");
+  TokenId b = v.AddToken("hello");
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(v.size(), 5u);
+}
+
+TEST(VocabularyTest, UnknownMapsToUnk) {
+  Vocabulary v;
+  EXPECT_EQ(v.IdOf("nope"), Vocabulary::kUnkId);
+  EXPECT_EQ(v.TokenOf(9999), std::string("<unk>"));
+  EXPECT_EQ(v.TokenOf(-1), std::string("<unk>"));
+}
+
+TEST(VocabularyTest, IdenticalStringsShareIds) {
+  // The crux of the paper's Challenge I: the SAME surface string gets the
+  // SAME id regardless of which column it came from.
+  Vocabulary v;
+  TokenId lunch_one = v.AddToken("1");   // '1' from the Lunch column
+  TokenId device_one = v.AddToken("1");  // '1' from the Access Device column
+  EXPECT_EQ(lunch_one, device_one);
+}
+
+TEST(VocabularyTest, EncodeDecodeSkipsSpecials) {
+  Vocabulary v;
+  v.AddToken("a");
+  v.AddToken("b");
+  auto ids = v.Encode({"a", "b", "zz"});
+  EXPECT_EQ(ids[2], Vocabulary::kUnkId);
+  auto back = v.Decode({Vocabulary::kBosId, ids[0], ids[1],
+                        Vocabulary::kEosId});
+  ASSERT_EQ(back.size(), 2u);
+  EXPECT_EQ(back[0], "a");
+}
+
+// ---------- WordTokenizer ----------
+
+TEST(WordTokenizerTest, EncodedSentenceShape) {
+  WordTokenizer t;
+  auto tokens = t.Tokenize("Lunch is 1, Dinner is 2");
+  std::vector<std::string> expected = {"Lunch", "is", "1", ",",
+                                       "Dinner", "is", "2"};
+  EXPECT_EQ(tokens, expected);
+}
+
+TEST(WordTokenizerTest, CaretAndUnderscoreAreWordChars) {
+  WordTokenizer t;
+  EXPECT_EQ(t.Tokenize("20^35^42").size(), 1u);
+  EXPECT_EQ(t.Tokenize("task_id").size(), 1u);
+  // After the caret transform the list splits into natural words.
+  EXPECT_EQ(t.Tokenize("20 and 35 and 42").size(), 5u);
+}
+
+TEST(WordTokenizerTest, DetokenizeReattachesPunctuation) {
+  WordTokenizer t;
+  EXPECT_EQ(t.Detokenize({"a", "is", "1", ",", "b", "is", "2"}),
+            "a is 1, b is 2");
+}
+
+TEST(WordTokenizerTest, RoundTripNormalizesWhitespace) {
+  WordTokenizer t;
+  std::string text = "gender  is   Male, age is From 20 to 29";
+  EXPECT_EQ(t.Detokenize(t.Tokenize(text)),
+            "gender is Male, age is From 20 to 29");
+}
+
+TEST(WordTokenizerTest, EmptyInput) {
+  WordTokenizer t;
+  EXPECT_TRUE(t.Tokenize("").empty());
+  EXPECT_TRUE(t.Tokenize("   ").empty());
+  EXPECT_EQ(t.Detokenize({}), "");
+}
+
+// ---------- BpeTokenizer ----------
+
+TEST(BpeTest, TrainRequiresCorpus) {
+  EXPECT_FALSE(BpeTokenizer::Train({}).ok());
+  EXPECT_FALSE(BpeTokenizer::Train({"   "}).ok());
+}
+
+TEST(BpeTest, FrequentWordBecomesSingleUnit) {
+  std::vector<std::string> corpus(50, "hello world");
+  auto bpe = BpeTokenizer::Train(corpus).ValueOrDie();
+  auto units = bpe.EncodeWord("hello");
+  EXPECT_EQ(units.size(), 1u);
+  EXPECT_EQ(units[0], "hello</w>");
+}
+
+TEST(BpeTest, RareWordStaysDecomposed) {
+  std::vector<std::string> corpus(50, "hello world");
+  corpus.push_back("xyzzy");
+  BpeTokenizer::Options options;
+  options.num_merges = 16;
+  auto bpe = BpeTokenizer::Train(corpus, options).ValueOrDie();
+  EXPECT_GT(bpe.EncodeWord("xyzzy").size(), 1u);
+}
+
+TEST(BpeTest, SharedLabelSharesUnits) {
+  // Fig. 2 at the subword level: the frequent label "1" is one unit
+  // wherever it appears; encoding is context-free.
+  std::vector<std::string> corpus;
+  for (int i = 0; i < 30; ++i) corpus.push_back("Lunch is 1, Device is 1");
+  auto bpe = BpeTokenizer::Train(corpus).ValueOrDie();
+  EXPECT_EQ(bpe.EncodeWord("1"), bpe.EncodeWord("1"));
+  EXPECT_EQ(bpe.EncodeWord("1").size(), 1u);
+}
+
+TEST(BpeTest, TokenizeDetokenizeRoundTrip) {
+  std::vector<std::string> corpus = {"gender is Male", "age is From 20 to 29",
+                                     "residence is Chicago"};
+  for (int i = 0; i < 10; ++i) corpus.push_back(corpus[i % 3]);
+  auto bpe = BpeTokenizer::Train(corpus).ValueOrDie();
+  std::string text = "gender is Male, residence is Chicago";
+  EXPECT_EQ(bpe.Detokenize(bpe.Tokenize(text)), text);
+}
+
+TEST(BpeTest, UnseenCharactersStillEncode) {
+  auto bpe = BpeTokenizer::Train({"aaa bbb"}).ValueOrDie();
+  auto units = bpe.EncodeWord("zzz");
+  EXPECT_EQ(units.size(), 3u);
+  EXPECT_EQ(bpe.Detokenize(bpe.Tokenize("zzz")), "zzz");
+}
+
+TEST(BpeTest, MergesAreRankedDeterministically) {
+  auto a = BpeTokenizer::Train({"abab abab abab"}).ValueOrDie();
+  auto b = BpeTokenizer::Train({"abab abab abab"}).ValueOrDie();
+  EXPECT_EQ(a.merges(), b.merges());
+  EXPECT_FALSE(a.merges().empty());
+}
+
+TEST(BpeTest, MinPairCountStopsMerging) {
+  BpeTokenizer::Options options;
+  options.min_pair_count = 1000;
+  auto bpe = BpeTokenizer::Train({"hello hello"}, options).ValueOrDie();
+  EXPECT_TRUE(bpe.merges().empty());
+}
+
+}  // namespace
+}  // namespace greater
