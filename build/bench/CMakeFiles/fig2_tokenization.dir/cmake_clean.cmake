@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2_tokenization.dir/fig2_tokenization.cc.o"
+  "CMakeFiles/fig2_tokenization.dir/fig2_tokenization.cc.o.d"
+  "fig2_tokenization"
+  "fig2_tokenization.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_tokenization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_correlation_heatmap.dir/fig5_correlation_heatmap.cc.o"
+  "CMakeFiles/fig5_correlation_heatmap.dir/fig5_correlation_heatmap.cc.o.d"
+  "fig5_correlation_heatmap"
+  "fig5_correlation_heatmap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_correlation_heatmap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_overall_fidelity.dir/fig7_overall_fidelity.cc.o"
+  "CMakeFiles/fig7_overall_fidelity.dir/fig7_overall_fidelity.cc.o.d"
+  "fig7_overall_fidelity"
+  "fig7_overall_fidelity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_overall_fidelity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8_semantic_setups.dir/fig8_semantic_setups.cc.o"
+  "CMakeFiles/fig8_semantic_setups.dir/fig8_semantic_setups.cc.o.d"
+  "fig8_semantic_setups"
+  "fig8_semantic_setups.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_semantic_setups.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig9_crosstable_setups.dir/fig9_crosstable_setups.cc.o"
+  "CMakeFiles/fig9_crosstable_setups.dir/fig9_crosstable_setups.cc.o.d"
+  "fig9_crosstable_setups"
+  "fig9_crosstable_setups.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9_crosstable_setups.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/crosstable_reduction.dir/crosstable_reduction.cpp.o"
+  "CMakeFiles/crosstable_reduction.dir/crosstable_reduction.cpp.o.d"
+  "crosstable_reduction"
+  "crosstable_reduction.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/crosstable_reduction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

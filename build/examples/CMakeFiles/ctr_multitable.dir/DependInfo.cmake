@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/ctr_multitable.cpp" "examples/CMakeFiles/ctr_multitable.dir/ctr_multitable.cpp.o" "gcc" "examples/CMakeFiles/ctr_multitable.dir/ctr_multitable.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/crosstable/CMakeFiles/greater_crosstable.dir/DependInfo.cmake"
+  "/root/repo/build/src/synth/CMakeFiles/greater_synth.dir/DependInfo.cmake"
+  "/root/repo/build/src/lm/CMakeFiles/greater_lm.dir/DependInfo.cmake"
+  "/root/repo/build/src/text/CMakeFiles/greater_text.dir/DependInfo.cmake"
+  "/root/repo/build/src/semantic/CMakeFiles/greater_semantic.dir/DependInfo.cmake"
+  "/root/repo/build/src/eval/CMakeFiles/greater_eval.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/greater_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/datagen/CMakeFiles/greater_datagen.dir/DependInfo.cmake"
+  "/root/repo/build/src/tabular/CMakeFiles/greater_tabular.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/greater_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ctr_multitable.dir/ctr_multitable.cpp.o"
+  "CMakeFiles/ctr_multitable.dir/ctr_multitable.cpp.o.d"
+  "ctr_multitable"
+  "ctr_multitable.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ctr_multitable.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

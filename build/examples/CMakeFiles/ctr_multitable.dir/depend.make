@@ -1,0 +1,2 @@
+# Empty dependencies file for ctr_multitable.
+# This may be replaced when dependencies are built.

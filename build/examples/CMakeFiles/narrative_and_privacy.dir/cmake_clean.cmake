@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/narrative_and_privacy.dir/narrative_and_privacy.cpp.o"
+  "CMakeFiles/narrative_and_privacy.dir/narrative_and_privacy.cpp.o.d"
+  "narrative_and_privacy"
+  "narrative_and_privacy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/narrative_and_privacy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

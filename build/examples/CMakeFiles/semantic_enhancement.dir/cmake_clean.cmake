@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/semantic_enhancement.dir/semantic_enhancement.cpp.o"
+  "CMakeFiles/semantic_enhancement.dir/semantic_enhancement.cpp.o.d"
+  "semantic_enhancement"
+  "semantic_enhancement.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/semantic_enhancement.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

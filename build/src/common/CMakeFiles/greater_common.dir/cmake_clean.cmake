@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/greater_common.dir/matrix.cc.o"
+  "CMakeFiles/greater_common.dir/matrix.cc.o.d"
+  "CMakeFiles/greater_common.dir/rng.cc.o"
+  "CMakeFiles/greater_common.dir/rng.cc.o.d"
+  "CMakeFiles/greater_common.dir/status.cc.o"
+  "CMakeFiles/greater_common.dir/status.cc.o.d"
+  "CMakeFiles/greater_common.dir/strings.cc.o"
+  "CMakeFiles/greater_common.dir/strings.cc.o.d"
+  "libgreater_common.a"
+  "libgreater_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/greater_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

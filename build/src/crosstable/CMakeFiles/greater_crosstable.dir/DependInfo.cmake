@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/crosstable/contextual.cc" "src/crosstable/CMakeFiles/greater_crosstable.dir/contextual.cc.o" "gcc" "src/crosstable/CMakeFiles/greater_crosstable.dir/contextual.cc.o.d"
+  "/root/repo/src/crosstable/flatten.cc" "src/crosstable/CMakeFiles/greater_crosstable.dir/flatten.cc.o" "gcc" "src/crosstable/CMakeFiles/greater_crosstable.dir/flatten.cc.o.d"
+  "/root/repo/src/crosstable/independence.cc" "src/crosstable/CMakeFiles/greater_crosstable.dir/independence.cc.o" "gcc" "src/crosstable/CMakeFiles/greater_crosstable.dir/independence.cc.o.d"
+  "/root/repo/src/crosstable/pipeline.cc" "src/crosstable/CMakeFiles/greater_crosstable.dir/pipeline.cc.o" "gcc" "src/crosstable/CMakeFiles/greater_crosstable.dir/pipeline.cc.o.d"
+  "/root/repo/src/crosstable/reduce.cc" "src/crosstable/CMakeFiles/greater_crosstable.dir/reduce.cc.o" "gcc" "src/crosstable/CMakeFiles/greater_crosstable.dir/reduce.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/greater_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/tabular/CMakeFiles/greater_tabular.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/greater_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/semantic/CMakeFiles/greater_semantic.dir/DependInfo.cmake"
+  "/root/repo/build/src/synth/CMakeFiles/greater_synth.dir/DependInfo.cmake"
+  "/root/repo/build/src/lm/CMakeFiles/greater_lm.dir/DependInfo.cmake"
+  "/root/repo/build/src/text/CMakeFiles/greater_text.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

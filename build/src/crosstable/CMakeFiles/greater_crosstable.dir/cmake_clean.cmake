@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/greater_crosstable.dir/contextual.cc.o"
+  "CMakeFiles/greater_crosstable.dir/contextual.cc.o.d"
+  "CMakeFiles/greater_crosstable.dir/flatten.cc.o"
+  "CMakeFiles/greater_crosstable.dir/flatten.cc.o.d"
+  "CMakeFiles/greater_crosstable.dir/independence.cc.o"
+  "CMakeFiles/greater_crosstable.dir/independence.cc.o.d"
+  "CMakeFiles/greater_crosstable.dir/pipeline.cc.o"
+  "CMakeFiles/greater_crosstable.dir/pipeline.cc.o.d"
+  "CMakeFiles/greater_crosstable.dir/reduce.cc.o"
+  "CMakeFiles/greater_crosstable.dir/reduce.cc.o.d"
+  "libgreater_crosstable.a"
+  "libgreater_crosstable.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/greater_crosstable.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

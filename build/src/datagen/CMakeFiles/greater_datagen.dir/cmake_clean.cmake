@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/greater_datagen.dir/digix.cc.o"
+  "CMakeFiles/greater_datagen.dir/digix.cc.o.d"
+  "libgreater_datagen.a"
+  "libgreater_datagen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/greater_datagen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/eval/ablation.cc" "src/eval/CMakeFiles/greater_eval.dir/ablation.cc.o" "gcc" "src/eval/CMakeFiles/greater_eval.dir/ablation.cc.o.d"
+  "/root/repo/src/eval/fidelity.cc" "src/eval/CMakeFiles/greater_eval.dir/fidelity.cc.o" "gcc" "src/eval/CMakeFiles/greater_eval.dir/fidelity.cc.o.d"
+  "/root/repo/src/eval/privacy.cc" "src/eval/CMakeFiles/greater_eval.dir/privacy.cc.o" "gcc" "src/eval/CMakeFiles/greater_eval.dir/privacy.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/greater_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/tabular/CMakeFiles/greater_tabular.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/greater_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

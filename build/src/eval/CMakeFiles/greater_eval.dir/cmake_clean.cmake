@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/greater_eval.dir/ablation.cc.o"
+  "CMakeFiles/greater_eval.dir/ablation.cc.o.d"
+  "CMakeFiles/greater_eval.dir/fidelity.cc.o"
+  "CMakeFiles/greater_eval.dir/fidelity.cc.o.d"
+  "CMakeFiles/greater_eval.dir/privacy.cc.o"
+  "CMakeFiles/greater_eval.dir/privacy.cc.o.d"
+  "libgreater_eval.a"
+  "libgreater_eval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/greater_eval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/greater_lm.dir/language_model.cc.o"
+  "CMakeFiles/greater_lm.dir/language_model.cc.o.d"
+  "CMakeFiles/greater_lm.dir/neural_lm.cc.o"
+  "CMakeFiles/greater_lm.dir/neural_lm.cc.o.d"
+  "CMakeFiles/greater_lm.dir/ngram_lm.cc.o"
+  "CMakeFiles/greater_lm.dir/ngram_lm.cc.o.d"
+  "libgreater_lm.a"
+  "libgreater_lm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/greater_lm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

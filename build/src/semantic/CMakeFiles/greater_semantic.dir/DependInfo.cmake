@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/semantic/enhancement.cc" "src/semantic/CMakeFiles/greater_semantic.dir/enhancement.cc.o" "gcc" "src/semantic/CMakeFiles/greater_semantic.dir/enhancement.cc.o.d"
+  "/root/repo/src/semantic/mapping.cc" "src/semantic/CMakeFiles/greater_semantic.dir/mapping.cc.o" "gcc" "src/semantic/CMakeFiles/greater_semantic.dir/mapping.cc.o.d"
+  "/root/repo/src/semantic/name_generator.cc" "src/semantic/CMakeFiles/greater_semantic.dir/name_generator.cc.o" "gcc" "src/semantic/CMakeFiles/greater_semantic.dir/name_generator.cc.o.d"
+  "/root/repo/src/semantic/text_transform.cc" "src/semantic/CMakeFiles/greater_semantic.dir/text_transform.cc.o" "gcc" "src/semantic/CMakeFiles/greater_semantic.dir/text_transform.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/greater_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/tabular/CMakeFiles/greater_tabular.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/greater_semantic.dir/enhancement.cc.o"
+  "CMakeFiles/greater_semantic.dir/enhancement.cc.o.d"
+  "CMakeFiles/greater_semantic.dir/mapping.cc.o"
+  "CMakeFiles/greater_semantic.dir/mapping.cc.o.d"
+  "CMakeFiles/greater_semantic.dir/name_generator.cc.o"
+  "CMakeFiles/greater_semantic.dir/name_generator.cc.o.d"
+  "CMakeFiles/greater_semantic.dir/text_transform.cc.o"
+  "CMakeFiles/greater_semantic.dir/text_transform.cc.o.d"
+  "libgreater_semantic.a"
+  "libgreater_semantic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/greater_semantic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/stats/contingency.cc" "src/stats/CMakeFiles/greater_stats.dir/contingency.cc.o" "gcc" "src/stats/CMakeFiles/greater_stats.dir/contingency.cc.o.d"
+  "/root/repo/src/stats/correlation.cc" "src/stats/CMakeFiles/greater_stats.dir/correlation.cc.o" "gcc" "src/stats/CMakeFiles/greater_stats.dir/correlation.cc.o.d"
+  "/root/repo/src/stats/descriptive.cc" "src/stats/CMakeFiles/greater_stats.dir/descriptive.cc.o" "gcc" "src/stats/CMakeFiles/greater_stats.dir/descriptive.cc.o.d"
+  "/root/repo/src/stats/distance.cc" "src/stats/CMakeFiles/greater_stats.dir/distance.cc.o" "gcc" "src/stats/CMakeFiles/greater_stats.dir/distance.cc.o.d"
+  "/root/repo/src/stats/histogram.cc" "src/stats/CMakeFiles/greater_stats.dir/histogram.cc.o" "gcc" "src/stats/CMakeFiles/greater_stats.dir/histogram.cc.o.d"
+  "/root/repo/src/stats/hypothesis.cc" "src/stats/CMakeFiles/greater_stats.dir/hypothesis.cc.o" "gcc" "src/stats/CMakeFiles/greater_stats.dir/hypothesis.cc.o.d"
+  "/root/repo/src/stats/special.cc" "src/stats/CMakeFiles/greater_stats.dir/special.cc.o" "gcc" "src/stats/CMakeFiles/greater_stats.dir/special.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/greater_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/tabular/CMakeFiles/greater_tabular.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/greater_stats.dir/contingency.cc.o"
+  "CMakeFiles/greater_stats.dir/contingency.cc.o.d"
+  "CMakeFiles/greater_stats.dir/correlation.cc.o"
+  "CMakeFiles/greater_stats.dir/correlation.cc.o.d"
+  "CMakeFiles/greater_stats.dir/descriptive.cc.o"
+  "CMakeFiles/greater_stats.dir/descriptive.cc.o.d"
+  "CMakeFiles/greater_stats.dir/distance.cc.o"
+  "CMakeFiles/greater_stats.dir/distance.cc.o.d"
+  "CMakeFiles/greater_stats.dir/histogram.cc.o"
+  "CMakeFiles/greater_stats.dir/histogram.cc.o.d"
+  "CMakeFiles/greater_stats.dir/hypothesis.cc.o"
+  "CMakeFiles/greater_stats.dir/hypothesis.cc.o.d"
+  "CMakeFiles/greater_stats.dir/special.cc.o"
+  "CMakeFiles/greater_stats.dir/special.cc.o.d"
+  "libgreater_stats.a"
+  "libgreater_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/greater_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/synth/great_synthesizer.cc" "src/synth/CMakeFiles/greater_synth.dir/great_synthesizer.cc.o" "gcc" "src/synth/CMakeFiles/greater_synth.dir/great_synthesizer.cc.o.d"
+  "/root/repo/src/synth/narrative.cc" "src/synth/CMakeFiles/greater_synth.dir/narrative.cc.o" "gcc" "src/synth/CMakeFiles/greater_synth.dir/narrative.cc.o.d"
+  "/root/repo/src/synth/relational_synthesizer.cc" "src/synth/CMakeFiles/greater_synth.dir/relational_synthesizer.cc.o" "gcc" "src/synth/CMakeFiles/greater_synth.dir/relational_synthesizer.cc.o.d"
+  "/root/repo/src/synth/textual_encoder.cc" "src/synth/CMakeFiles/greater_synth.dir/textual_encoder.cc.o" "gcc" "src/synth/CMakeFiles/greater_synth.dir/textual_encoder.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/greater_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/tabular/CMakeFiles/greater_tabular.dir/DependInfo.cmake"
+  "/root/repo/build/src/text/CMakeFiles/greater_text.dir/DependInfo.cmake"
+  "/root/repo/build/src/lm/CMakeFiles/greater_lm.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

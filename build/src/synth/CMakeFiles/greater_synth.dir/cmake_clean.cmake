@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/greater_synth.dir/great_synthesizer.cc.o"
+  "CMakeFiles/greater_synth.dir/great_synthesizer.cc.o.d"
+  "CMakeFiles/greater_synth.dir/narrative.cc.o"
+  "CMakeFiles/greater_synth.dir/narrative.cc.o.d"
+  "CMakeFiles/greater_synth.dir/relational_synthesizer.cc.o"
+  "CMakeFiles/greater_synth.dir/relational_synthesizer.cc.o.d"
+  "CMakeFiles/greater_synth.dir/textual_encoder.cc.o"
+  "CMakeFiles/greater_synth.dir/textual_encoder.cc.o.d"
+  "libgreater_synth.a"
+  "libgreater_synth.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/greater_synth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

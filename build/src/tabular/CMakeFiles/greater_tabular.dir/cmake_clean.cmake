@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/greater_tabular.dir/csv.cc.o"
+  "CMakeFiles/greater_tabular.dir/csv.cc.o.d"
+  "CMakeFiles/greater_tabular.dir/schema.cc.o"
+  "CMakeFiles/greater_tabular.dir/schema.cc.o.d"
+  "CMakeFiles/greater_tabular.dir/table.cc.o"
+  "CMakeFiles/greater_tabular.dir/table.cc.o.d"
+  "CMakeFiles/greater_tabular.dir/value.cc.o"
+  "CMakeFiles/greater_tabular.dir/value.cc.o.d"
+  "libgreater_tabular.a"
+  "libgreater_tabular.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/greater_tabular.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

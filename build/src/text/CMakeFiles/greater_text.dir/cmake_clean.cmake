@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/greater_text.dir/bpe_tokenizer.cc.o"
+  "CMakeFiles/greater_text.dir/bpe_tokenizer.cc.o.d"
+  "CMakeFiles/greater_text.dir/vocabulary.cc.o"
+  "CMakeFiles/greater_text.dir/vocabulary.cc.o.d"
+  "CMakeFiles/greater_text.dir/word_tokenizer.cc.o"
+  "CMakeFiles/greater_text.dir/word_tokenizer.cc.o.d"
+  "libgreater_text.a"
+  "libgreater_text.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/greater_text.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libgreater_text.a"
+)

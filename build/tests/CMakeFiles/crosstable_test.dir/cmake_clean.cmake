@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/crosstable_test.dir/crosstable_test.cc.o"
+  "CMakeFiles/crosstable_test.dir/crosstable_test.cc.o.d"
+  "crosstable_test"
+  "crosstable_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/crosstable_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lm_test.dir/lm_test.cc.o"
+  "CMakeFiles/lm_test.dir/lm_test.cc.o.d"
+  "lm_test"
+  "lm_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lm_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/narrative_test.dir/narrative_test.cc.o"
+  "CMakeFiles/narrative_test.dir/narrative_test.cc.o.d"
+  "narrative_test"
+  "narrative_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/narrative_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
