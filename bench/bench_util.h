@@ -46,10 +46,19 @@ inline std::vector<DigixDataset> MakeTrials(uint64_t seed = 2026) {
   return std::move(trials).ValueOrDie();
 }
 
+/// One trial's outcome: the fidelity report the figure consumes plus the
+/// pipeline's sampling account, so sweeps can report rejection rates
+/// alongside fidelity numbers.
+struct TrialRun {
+  FidelityReport fidelity;
+  SampleReport sample;
+};
+
 /// Runs one pipeline configuration on one trial and returns its fidelity
-/// report against the subject-balanced real view.
-inline FidelityReport RunTrial(const PipelineOptions& options,
-                               const DigixDataset& trial, uint64_t seed) {
+/// report against the subject-balanced real view, together with the
+/// sampling report of the run.
+inline TrialRun RunTrial(const PipelineOptions& options,
+                         const DigixDataset& trial, uint64_t seed) {
   MultiTablePipeline pipeline(options);
   auto real = pipeline.BuildRealFlatView(trial.ads, trial.feeds,
                                          DigixGenerator::KeyColumn());
@@ -72,7 +81,17 @@ inline FidelityReport RunTrial(const PipelineOptions& options,
                  report.status().ToString().c_str());
     std::exit(1);
   }
-  return std::move(report).ValueOrDie();
+  return TrialRun{std::move(report).ValueOrDie(),
+                  std::move(result->sample_report)};
+}
+
+/// Prints the sampling account pooled over a sweep's trials — the fidelity
+/// numbers above it are only meaningful alongside how hard the sampler had
+/// to work to produce them.
+inline void PrintSampleSummary(const std::string& label,
+                               const SampleReport& pooled) {
+  std::printf("\n%s sampling: %s\n", label.c_str(),
+              pooled.ToString().c_str());
 }
 
 /// Pools a metric across trials and prints the figure-style density

@@ -24,7 +24,7 @@ int main() {
     options.synth = bench::SweepSynthOptions();
     for (size_t t = 0; t < trials.size(); ++t) {
       benchmark_reports.push_back(
-          bench::RunTrial(options, trials[t], 4000 + t));
+          bench::RunTrial(options, trials[t], 4000 + t).fidelity);
     }
   }
 
@@ -64,11 +64,15 @@ int main() {
     options.apply_caret_transform = setup.caret;
     options.synth = bench::SweepSynthOptions();
     std::vector<StepwiseCounts> counts;
+    SampleReport pooled;
     for (size_t t = 0; t < trials.size(); ++t) {
-      FidelityReport report = bench::RunTrial(options, trials[t], 5000 + t);
-      counts.push_back(CompareReports(benchmark_reports[t], report, 0.05));
+      bench::TrialRun run = bench::RunTrial(options, trials[t], 5000 + t);
+      counts.push_back(
+          CompareReports(benchmark_reports[t], run.fidelity, 0.05));
+      pooled.Merge(run.sample);
     }
     rows.push_back(AggregateTrials(setup.label, counts));
+    bench::PrintSampleSummary(setup.label, pooled);
   }
 
   std::printf("%s", RenderAblationTable(rows).c_str());

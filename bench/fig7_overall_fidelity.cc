@@ -40,15 +40,18 @@ int main() {
 
     std::vector<double> p_values;
     std::vector<double> w_distances;
+    SampleReport pooled;
     for (size_t t = 0; t < trials.size(); ++t) {
-      FidelityReport report =
-          bench::RunTrial(options, trials[t], 1000 + t);
+      bench::TrialRun run = bench::RunTrial(options, trials[t], 1000 + t);
+      const FidelityReport& report = run.fidelity;
       auto p = report.PValues();
       auto w = report.WDistances();
       p_values.insert(p_values.end(), p.begin(), p.end());
       w_distances.insert(w_distances.end(), w.begin(), w.end());
+      pooled.Merge(run.sample);
     }
     bench::PrintDistribution(setup.label, p_values);
+    bench::PrintSampleSummary(setup.label, pooled);
     summary[idx][0] = Mean(p_values);
     summary[idx][1] = Median(p_values);
     summary[idx][2] = Mean(w_distances);

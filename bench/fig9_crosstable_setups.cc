@@ -30,18 +30,20 @@ int main() {
               bench::kNumTrials);
 
   std::vector<std::vector<double>> all_p(4), all_w(4);
+  std::vector<SampleReport> all_samples(4);
   for (size_t s = 0; s < 4; ++s) {
     PipelineOptions options;
     options.fusion = setups[s].fusion;
     options.semantic = SemanticMode::kNone;
     options.synth = bench::SweepSynthOptions();
     for (size_t t = 0; t < trials.size(); ++t) {
-      FidelityReport report =
-          bench::RunTrial(options, trials[t], 3000 + t);
+      bench::TrialRun run = bench::RunTrial(options, trials[t], 3000 + t);
+      const FidelityReport& report = run.fidelity;
       auto p = report.PValues();
       auto w = report.WDistances();
       all_p[s].insert(all_p[s].end(), p.begin(), p.end());
       all_w[s].insert(all_w[s].end(), w.begin(), w.end());
+      all_samples[s].Merge(run.sample);
     }
   }
 
@@ -54,6 +56,10 @@ int main() {
   for (size_t s = 0; s < 4; ++s) {
     bench::PrintDistribution(std::string(setups[s].label) + " [W-distance]",
                              all_w[s], 0.0, 0.5);
+  }
+  std::printf("\n---- sampling accounts ----\n");
+  for (size_t s = 0; s < 4; ++s) {
+    bench::PrintSampleSummary(setups[s].label, all_samples[s]);
   }
 
   std::printf("\n== summary ==\n%-34s %8s %8s %10s\n", "setup", "mean-p",

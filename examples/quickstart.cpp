@@ -51,9 +51,7 @@ int main() {
   std::printf("=== training data (first rows) ===\n%s\n",
               train.ToString(5).c_str());
   std::printf("=== synthetic data ===\n%s\n", sample->ToString(10).c_str());
-  std::printf("sampler stats: %zu rows, %zu attempts, %zu rejected\n",
-              synth.stats().rows_emitted, synth.stats().attempts,
-              synth.stats().rejected);
+  std::printf("sampler stats: %s\n", synth.stats().ToString().c_str());
 
   // 4. Conditional generation: force a column and let the model fill in
   //    the rest.

@@ -1,0 +1,66 @@
+#include "common/fault.h"
+
+namespace greater {
+
+std::atomic<size_t> FaultRegistry::armed_count_{0};
+
+FaultRegistry& FaultRegistry::Global() {
+  static FaultRegistry* registry = new FaultRegistry();
+  return *registry;
+}
+
+void FaultRegistry::Arm(const std::string& point, FaultSpec spec) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Entry entry;
+  entry.rng.seed(spec.seed);
+  entry.spec = std::move(spec);
+  auto [it, inserted] = entries_.insert_or_assign(point, std::move(entry));
+  (void)it;
+  if (inserted) armed_count_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void FaultRegistry::Disarm(const std::string& point) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (entries_.erase(point) > 0) {
+    armed_count_.fetch_sub(1, std::memory_order_relaxed);
+  }
+}
+
+void FaultRegistry::DisarmAll() {
+  std::lock_guard<std::mutex> lock(mu_);
+  armed_count_.fetch_sub(entries_.size(), std::memory_order_relaxed);
+  entries_.clear();
+}
+
+size_t FaultRegistry::hits(const std::string& point) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = entries_.find(point);
+  return it == entries_.end() ? 0 : it->second.hits;
+}
+
+size_t FaultRegistry::fires(const std::string& point) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = entries_.find(point);
+  return it == entries_.end() ? 0 : it->second.fires;
+}
+
+Status FaultRegistry::Check(const std::string& point) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = entries_.find(point);
+  if (it == entries_.end()) return Status::OK();
+  Entry& entry = it->second;
+  ++entry.hits;
+  if (entry.hits <= entry.spec.skip_hits) return Status::OK();
+  if (entry.fires >= entry.spec.max_fires) return Status::OK();
+  if (entry.spec.probability < 1.0) {
+    std::uniform_real_distribution<double> uniform(0.0, 1.0);
+    if (uniform(entry.rng) >= entry.spec.probability) return Status::OK();
+  }
+  ++entry.fires;
+  std::string message = entry.spec.message.empty()
+                            ? "injected fault at '" + point + "'"
+                            : entry.spec.message;
+  return Status(entry.spec.code, std::move(message));
+}
+
+}  // namespace greater

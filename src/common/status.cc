@@ -1,5 +1,8 @@
 #include "common/status.h"
 
+#include <cstdio>
+#include <cstdlib>
+
 namespace greater {
 
 const char* StatusCodeToString(StatusCode code) {
@@ -26,12 +29,34 @@ const char* StatusCodeToString(StatusCode code) {
   return "Unknown";
 }
 
+Status Status::WithContext(std::string context) const {
+  if (ok()) return *this;
+  Status annotated = *this;
+  annotated.context_.push_back(std::move(context));
+  return annotated;
+}
+
 std::string Status::ToString() const {
   if (ok()) return "OK";
   std::string out = StatusCodeToString(code_);
   out += ": ";
   out += message_;
+  for (const std::string& frame : context_) {
+    out += "; while ";
+    out += frame;
+  }
   return out;
 }
+
+namespace internal {
+
+void DieOnBadResult(const Status& status) {
+  std::fprintf(stderr, "ValueOrDie called on an error Result: %s\n",
+               status.ToString().c_str());
+  std::fflush(stderr);
+  std::abort();
+}
+
+}  // namespace internal
 
 }  // namespace greater

@@ -5,6 +5,7 @@
 #include <ostream>
 #include <string>
 #include <utility>
+#include <vector>
 
 namespace greater {
 
@@ -69,21 +70,43 @@ class Status {
   StatusCode code() const { return code_; }
   const std::string& message() const { return message_; }
 
-  /// "OK" or "<CodeName>: <message>".
+  /// Returns a copy with `context` appended to the provenance chain. Each
+  /// propagation layer adds one frame (innermost first), so a failure deep
+  /// inside a pipeline reports the whole path it bubbled through:
+  ///
+  ///   return status.WithContext("stage 'fit' (table 'fused')");
+  ///
+  /// OK statuses pass through unchanged.
+  Status WithContext(std::string context) const;
+
+  /// Provenance frames added by WithContext, innermost first.
+  const std::vector<std::string>& context() const { return context_; }
+
+  /// "OK" or "<CodeName>: <message>", followed by "; while <frame>" for
+  /// every context frame (innermost first).
   std::string ToString() const;
 
   bool operator==(const Status& other) const {
-    return code_ == other.code_ && message_ == other.message_;
+    return code_ == other.code_ && message_ == other.message_ &&
+           context_ == other.context_;
   }
 
  private:
   StatusCode code_;
   std::string message_;
+  std::vector<std::string> context_;
 };
 
 inline std::ostream& operator<<(std::ostream& os, const Status& s) {
   return os << s.ToString();
 }
+
+namespace internal {
+/// Reports `status` on stderr and aborts. Called by Result<T>::ValueOrDie
+/// on an error-holding Result, where dereferencing the empty optional
+/// would otherwise be undefined behaviour.
+[[noreturn]] void DieOnBadResult(const Status& status);
+}  // namespace internal
 
 /// Result<T> carries either a value or a non-OK Status.
 ///
@@ -109,10 +132,20 @@ class Result {
   bool ok() const { return value_.has_value(); }
   const Status& status() const { return status_; }
 
-  /// Returns the contained value. Must only be called when ok().
-  const T& ValueOrDie() const& { return *value_; }
-  T& ValueOrDie() & { return *value_; }
-  T ValueOrDie() && { return std::move(*value_); }
+  /// Returns the contained value; aborts with the carried status message
+  /// if this Result holds an error.
+  const T& ValueOrDie() const& {
+    if (!ok()) internal::DieOnBadResult(status_);
+    return *value_;
+  }
+  T& ValueOrDie() & {
+    if (!ok()) internal::DieOnBadResult(status_);
+    return *value_;
+  }
+  T ValueOrDie() && {
+    if (!ok()) internal::DieOnBadResult(status_);
+    return std::move(*value_);
+  }
 
   /// Alias matching std::expected-style spelling.
   const T& operator*() const& { return *value_; }
@@ -138,6 +171,15 @@ class Result {
     if (!_st.ok()) return _st;                       \
   } while (0)
 
+/// Like GREATER_RETURN_NOT_OK, but annotates a propagated error with a
+/// provenance frame (see Status::WithContext). `ctx` may be any expression
+/// convertible to std::string; it is only evaluated on failure.
+#define GREATER_RETURN_NOT_OK_CTX(expr, ctx)         \
+  do {                                               \
+    ::greater::Status _st = (expr);                  \
+    if (!_st.ok()) return _st.WithContext(ctx);      \
+  } while (0)
+
 /// Evaluates a Result<T> expression, propagating errors, else binds `lhs`.
 #define GREATER_ASSIGN_OR_RETURN_IMPL(tmp, lhs, expr) \
   auto tmp = (expr);                                  \
@@ -150,6 +192,16 @@ class Result {
 #define GREATER_ASSIGN_OR_RETURN(lhs, expr)          \
   GREATER_ASSIGN_OR_RETURN_IMPL(                     \
       GREATER_CONCAT(_greater_result_, __LINE__), lhs, expr)
+
+/// GREATER_ASSIGN_OR_RETURN with a provenance frame on the error path.
+#define GREATER_ASSIGN_OR_RETURN_CTX_IMPL(tmp, lhs, expr, ctx) \
+  auto tmp = (expr);                                           \
+  if (!tmp.ok()) return tmp.status().WithContext(ctx);         \
+  lhs = std::move(tmp).ValueOrDie();
+
+#define GREATER_ASSIGN_OR_RETURN_CTX(lhs, expr, ctx) \
+  GREATER_ASSIGN_OR_RETURN_CTX_IMPL(                 \
+      GREATER_CONCAT(_greater_result_, __LINE__), lhs, expr, ctx)
 
 }  // namespace greater
 

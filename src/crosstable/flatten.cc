@@ -1,9 +1,12 @@
 #include "crosstable/flatten.h"
 
+#include "common/fault.h"
+
 namespace greater {
 
 Result<Table> DirectFlatten(const Table& left, const Table& right,
                             const std::string& key_column) {
+  GREATER_FAULT_POINT("pipeline.flatten");
   GREATER_ASSIGN_OR_RETURN(size_t left_key,
                            left.schema().FieldIndex(key_column));
   GREATER_ASSIGN_OR_RETURN(size_t right_key,

@@ -8,6 +8,7 @@
 #include "crosstable/contextual.h"
 #include "crosstable/flatten.h"
 #include "semantic/text_transform.h"
+#include "tabular/validate.h"
 
 namespace greater {
 
@@ -36,6 +37,13 @@ MultiTablePipeline::MultiTablePipeline(PipelineOptions options)
     : options_(std::move(options)) {}
 
 namespace {
+
+// Provenance frame naming the pipeline stage and the table it was
+// processing; failures bubbling out of Run carry a chain of these (see
+// Status::WithContext).
+std::string StageContext(const char* stage, const char* table) {
+  return std::string("stage '") + stage + "' (table '" + table + "')";
+}
 
 // Columns declared kIdentifier in a table's schema.
 std::vector<std::string> IdentifierColumns(const Table& table,
@@ -229,12 +237,21 @@ Result<PipelineResult> MultiTablePipeline::Run(
   Table child1 = child1_in;
   Table child2 = child2_in;
 
+  // ---- Stage guard: input invariants, reported against the table that
+  // violates them before any work starts. ----
+  GREATER_RETURN_NOT_OK_CTX(ValidateStageInput(child1, key_column, "child1"),
+                            StageContext("validate-input", "child1"));
+  GREATER_RETURN_NOT_OK_CTX(ValidateStageInput(child2, key_column, "child2"),
+                            StageContext("validate-input", "child2"));
+
   // ---- Step 0: identifier-column removal (Sec. 4.1.2). ----
   if (options_.drop_identifier_columns) {
     std::vector<std::string> ids1 = IdentifierColumns(child1, key_column);
     std::vector<std::string> ids2 = IdentifierColumns(child2, key_column);
-    GREATER_ASSIGN_OR_RETURN(child1, child1.DropColumns(ids1));
-    GREATER_ASSIGN_OR_RETURN(child2, child2.DropColumns(ids2));
+    GREATER_ASSIGN_OR_RETURN_CTX(child1, child1.DropColumns(ids1),
+                                 StageContext("enhancement", "child1"));
+    GREATER_ASSIGN_OR_RETURN_CTX(child2, child2.DropColumns(ids2),
+                                 StageContext("enhancement", "child2"));
     result.identifier_columns_dropped = std::move(ids1);
     result.identifier_columns_dropped.insert(
         result.identifier_columns_dropped.end(), ids2.begin(), ids2.end());
@@ -242,17 +259,24 @@ Result<PipelineResult> MultiTablePipeline::Run(
 
   // Restrict to subjects present in both tables.
   {
-    GREATER_ASSIGN_OR_RETURN(auto g1, child1.GroupByColumn(key_column));
-    GREATER_ASSIGN_OR_RETURN(auto g2, child2.GroupByColumn(key_column));
+    GREATER_ASSIGN_OR_RETURN_CTX(auto g1, child1.GroupByColumn(key_column),
+                                 StageContext("enhancement", "child1"));
+    GREATER_ASSIGN_OR_RETURN_CTX(auto g2, child2.GroupByColumn(key_column),
+                                 StageContext("enhancement", "child2"));
     std::set<Value> common;
     for (const auto& [key, rows] : g1) {
       if (g2.count(key) > 0) common.insert(key);
     }
     if (common.empty()) {
-      return Status::Invalid("the two child tables share no subjects");
+      return Status::Invalid("the two child tables share no subjects")
+          .WithContext(StageContext("enhancement", "child1+child2"));
     }
-    GREATER_ASSIGN_OR_RETURN(child1, FilterToKeys(child1, key_column, common));
-    GREATER_ASSIGN_OR_RETURN(child2, FilterToKeys(child2, key_column, common));
+    GREATER_ASSIGN_OR_RETURN_CTX(child1,
+                                 FilterToKeys(child1, key_column, common),
+                                 StageContext("enhancement", "child1"));
+    GREATER_ASSIGN_OR_RETURN_CTX(child2,
+                                 FilterToKeys(child2, key_column, common),
+                                 StageContext("enhancement", "child2"));
   }
 
   // ---- Step 0.5: data-specific '^' transform (Sec. 4.4.2). ----
@@ -271,26 +295,31 @@ Result<PipelineResult> MultiTablePipeline::Run(
       if (in_selection(name)) caret2.push_back(name);
     }
     if (!caret1.empty()) {
-      GREATER_ASSIGN_OR_RETURN(child1,
-                               TextSubstitution::CaretToAnd(caret1).Apply(child1));
+      GREATER_ASSIGN_OR_RETURN_CTX(
+          child1, TextSubstitution::CaretToAnd(caret1).Apply(child1),
+          StageContext("enhancement", "child1"));
     }
     if (!caret2.empty()) {
-      GREATER_ASSIGN_OR_RETURN(child2,
-                               TextSubstitution::CaretToAnd(caret2).Apply(child2));
+      GREATER_ASSIGN_OR_RETURN_CTX(
+          child2, TextSubstitution::CaretToAnd(caret2).Apply(child2),
+          StageContext("enhancement", "child2"));
     }
   }
 
   // ---- Step 1: parent extraction from contextual variables. ----
-  GREATER_ASSIGN_OR_RETURN(
+  GREATER_ASSIGN_OR_RETURN_CTX(
       ParentChildSplit split1,
       SplitByContextualVariables(child1, key_column,
-                                 options_.contextual_min_consistency));
-  GREATER_ASSIGN_OR_RETURN(
+                                 options_.contextual_min_consistency),
+      StageContext("parent-extract", "child1"));
+  GREATER_ASSIGN_OR_RETURN_CTX(
       ParentChildSplit split2,
       SplitByContextualVariables(child2, key_column,
-                                 options_.contextual_min_consistency));
-  GREATER_ASSIGN_OR_RETURN(
-      Table parent, MergeParents(split1.parent, split2.parent, key_column));
+                                 options_.contextual_min_consistency),
+      StageContext("parent-extract", "child2"));
+  GREATER_ASSIGN_OR_RETURN_CTX(
+      Table parent, MergeParents(split1.parent, split2.parent, key_column),
+      StageContext("parent-extract", "child1+child2"));
   for (const auto& field : parent.schema().fields()) {
     if (field.name != key_column) {
       result.contextual_columns.push_back(field.name);
@@ -308,20 +337,23 @@ Result<PipelineResult> MultiTablePipeline::Run(
     for (const auto& [table, column] : targets) {
       MappingSystem column_system;
       if (options_.semantic == SemanticMode::kDifferentiability) {
-        GREATER_ASSIGN_OR_RETURN(
+        GREATER_ASSIGN_OR_RETURN_CTX(
             column_system,
-            BuildDifferentiabilityMapping(*table, {column}, &names));
+            BuildDifferentiabilityMapping(*table, {column}, &names),
+            StageContext("semantic-enhance", column.c_str()));
       } else {
         MappingSpec spec;
         auto it = options_.understandability_spec.find(column);
         if (it != options_.understandability_spec.end()) {
           spec[column] = it->second;
         } else {
-          GREATER_ASSIGN_OR_RETURN(spec,
-                                   SuggestMappingSpec(*table, {column}));
+          GREATER_ASSIGN_OR_RETURN_CTX(
+              spec, SuggestMappingSpec(*table, {column}),
+              StageContext("semantic-enhance", column.c_str()));
         }
-        GREATER_ASSIGN_OR_RETURN(column_system,
-                                 BuildUnderstandabilityMapping(*table, spec));
+        GREATER_ASSIGN_OR_RETURN_CTX(
+            column_system, BuildUnderstandabilityMapping(*table, spec),
+            StageContext("semantic-enhance", column.c_str()));
       }
       for (const auto& m : column_system.mappings()) mappings.push_back(m);
       result.semantically_mapped_columns.push_back(column);
@@ -347,11 +379,15 @@ Result<PipelineResult> MultiTablePipeline::Run(
       }
     }
     if (!mappings.empty()) {
-      GREATER_ASSIGN_OR_RETURN(mapping,
-                               MappingSystem::Make(std::move(mappings)));
-      GREATER_ASSIGN_OR_RETURN(parent, mapping.ApplyPartial(parent));
-      GREATER_ASSIGN_OR_RETURN(c1, mapping.ApplyPartial(c1));
-      GREATER_ASSIGN_OR_RETURN(c2, mapping.ApplyPartial(c2));
+      GREATER_ASSIGN_OR_RETURN_CTX(
+          mapping, MappingSystem::Make(std::move(mappings)),
+          StageContext("semantic-enhance", "child1+child2"));
+      GREATER_ASSIGN_OR_RETURN_CTX(parent, mapping.ApplyPartial(parent),
+                                   StageContext("semantic-enhance", "parent"));
+      GREATER_ASSIGN_OR_RETURN_CTX(c1, mapping.ApplyPartial(c1),
+                                   StageContext("semantic-enhance", "child1"));
+      GREATER_ASSIGN_OR_RETURN_CTX(c2, mapping.ApplyPartial(c2),
+                                   StageContext("semantic-enhance", "child2"));
     }
   }
 
@@ -368,53 +404,70 @@ Result<PipelineResult> MultiTablePipeline::Run(
     rs_options.child = options_.synth;
     RelationalSynthesizer rs1(rs_options);
     RelationalSynthesizer rs2(rs_options);
-    GREATER_RETURN_NOT_OK(rs1.Fit(parent, c1, key_column, rng));
-    GREATER_RETURN_NOT_OK(rs2.Fit(parent, c2, key_column, rng));
-    GREATER_ASSIGN_OR_RETURN(RelationalSample sample1,
-                             rs1.Sample(num_parents, rng));
-    GREATER_ASSIGN_OR_RETURN(Table child2_rows,
-                             rs2.SampleChildren(sample1.parent, rng));
-    GREATER_ASSIGN_OR_RETURN(
-        Table flat, DirectFlatten(sample1.child, child2_rows, key_column));
-    GREATER_ASSIGN_OR_RETURN(
-        synthetic_flat, JoinParentFeatures(sample1.parent, flat, key_column));
+    GREATER_RETURN_NOT_OK_CTX(rs1.Fit(parent, c1, key_column, rng),
+                              StageContext("fit", "child1"));
+    GREATER_RETURN_NOT_OK_CTX(rs2.Fit(parent, c2, key_column, rng),
+                              StageContext("fit", "child2"));
+    GREATER_ASSIGN_OR_RETURN_CTX(
+        RelationalSample sample1,
+        rs1.Sample(num_parents, rng, &result.sample_report),
+        StageContext("sample", "child1"));
+    GREATER_ASSIGN_OR_RETURN_CTX(
+        Table child2_rows,
+        rs2.SampleChildren(sample1.parent, rng, &result.sample_report),
+        StageContext("sample", "child2"));
+    GREATER_ASSIGN_OR_RETURN_CTX(
+        Table flat, DirectFlatten(sample1.child, child2_rows, key_column),
+        StageContext("flatten", "child1+child2"));
+    GREATER_ASSIGN_OR_RETURN_CTX(
+        synthetic_flat, JoinParentFeatures(sample1.parent, flat, key_column),
+        StageContext("flatten", "child1+child2"));
     synthetic_parent = std::move(sample1.parent);
     result.fused_training_rows = c1.num_rows() + c2.num_rows();
   } else {
-    GREATER_ASSIGN_OR_RETURN(Table flat, DirectFlatten(c1, c2, key_column));
+    GREATER_ASSIGN_OR_RETURN_CTX(Table flat,
+                                 DirectFlatten(c1, c2, key_column),
+                                 StageContext("flatten", "child1+child2"));
     result.flattened_rows = flat.num_rows();
     Table fused = flat;
     if (options_.fusion != FusionMethod::kDirectFlatten) {
-      GREATER_ASSIGN_OR_RETURN(Table features,
-                               flat.DropColumns({key_column}));
-      GREATER_ASSIGN_OR_RETURN(AssociationMatrix assoc,
-                               ComputeAssociationMatrix(features));
+      GREATER_ASSIGN_OR_RETURN_CTX(Table features,
+                                   flat.DropColumns({key_column}),
+                                   StageContext("independence", "fused"));
+      GREATER_ASSIGN_OR_RETURN_CTX(AssociationMatrix assoc,
+                                   ComputeAssociationMatrix(features),
+                                   StageContext("independence", "fused"));
       switch (options_.fusion) {
         case FusionMethod::kGreaterMeanThreshold: {
-          GREATER_ASSIGN_OR_RETURN(
+          GREATER_ASSIGN_OR_RETURN_CTX(
               result.independence,
-              ThresholdSeparation(assoc, MeanAssociation(assoc)));
+              ThresholdSeparation(assoc, MeanAssociation(assoc)),
+              StageContext("independence", "fused"));
           break;
         }
         case FusionMethod::kGreaterMedianThreshold: {
-          GREATER_ASSIGN_OR_RETURN(
+          GREATER_ASSIGN_OR_RETURN_CTX(
               result.independence,
-              ThresholdSeparation(assoc, MedianAssociation(assoc)));
+              ThresholdSeparation(assoc, MedianAssociation(assoc)),
+              StageContext("independence", "fused"));
           break;
         }
         default: {
-          GREATER_ASSIGN_OR_RETURN(result.independence,
-                                   HierarchicalSeparation(assoc));
+          GREATER_ASSIGN_OR_RETURN_CTX(result.independence,
+                                       HierarchicalSeparation(assoc),
+                                       StageContext("independence", "fused"));
         }
       }
       if (!result.independence.independent.empty()) {
-        GREATER_ASSIGN_OR_RETURN(
+        GREATER_ASSIGN_OR_RETURN_CTX(
             Table reduced,
             RemoveAndReduce(flat, result.independence.independent,
-                            &result.reduction));
-        GREATER_ASSIGN_OR_RETURN(
+                            &result.reduction),
+            StageContext("reduce", "fused"));
+        GREATER_ASSIGN_OR_RETURN_CTX(
             fused, AppendBySampling(reduced, flat, key_column,
-                                    result.independence.independent, rng));
+                                    result.independence.independent, rng),
+            StageContext("reduce", "fused"));
       } else {
         result.reduction.rows_before = flat.num_rows();
         result.reduction.rows_after = flat.num_rows();
@@ -426,21 +479,27 @@ Result<PipelineResult> MultiTablePipeline::Run(
     rs_options.parent = options_.synth;
     rs_options.child = options_.synth;
     RelationalSynthesizer rs(rs_options);
-    GREATER_RETURN_NOT_OK(rs.Fit(parent, fused, key_column, rng));
-    GREATER_ASSIGN_OR_RETURN(RelationalSample sample,
-                             rs.Sample(num_parents, rng));
-    GREATER_ASSIGN_OR_RETURN(
+    GREATER_RETURN_NOT_OK_CTX(rs.Fit(parent, fused, key_column, rng),
+                              StageContext("fit", "fused"));
+    GREATER_ASSIGN_OR_RETURN_CTX(
+        RelationalSample sample,
+        rs.Sample(num_parents, rng, &result.sample_report),
+        StageContext("sample", "fused"));
+    GREATER_ASSIGN_OR_RETURN_CTX(
         synthetic_flat,
-        JoinParentFeatures(sample.parent, sample.child, key_column));
+        JoinParentFeatures(sample.parent, sample.child, key_column),
+        StageContext("flatten", "fused"));
     synthetic_parent = std::move(sample.parent);
   }
 
   // ---- Step 5: inverse transformations (Sec. 3.2.3). ----
   if (!mapping.empty()) {
-    GREATER_ASSIGN_OR_RETURN(synthetic_parent,
-                             mapping.InvertPartial(synthetic_parent));
-    GREATER_ASSIGN_OR_RETURN(synthetic_flat,
-                             mapping.InvertPartial(synthetic_flat));
+    GREATER_ASSIGN_OR_RETURN_CTX(
+        synthetic_parent, mapping.InvertPartial(synthetic_parent),
+        StageContext("inverse-map", "synthetic_parent"));
+    GREATER_ASSIGN_OR_RETURN_CTX(
+        synthetic_flat, mapping.InvertPartial(synthetic_flat),
+        StageContext("inverse-map", "synthetic_flat"));
   }
   if (options_.apply_caret_transform) {
     for (const auto& columns : {caret1, caret2}) {
@@ -452,14 +511,16 @@ Result<PipelineResult> MultiTablePipeline::Run(
         if (synthetic_parent.schema().HasField(name)) in_parent.push_back(name);
       }
       if (!in_flat.empty()) {
-        GREATER_ASSIGN_OR_RETURN(
+        GREATER_ASSIGN_OR_RETURN_CTX(
             synthetic_flat,
-            TextSubstitution::CaretToAnd(in_flat).Invert(synthetic_flat));
+            TextSubstitution::CaretToAnd(in_flat).Invert(synthetic_flat),
+            StageContext("inverse-map", "synthetic_flat"));
       }
       if (!in_parent.empty()) {
-        GREATER_ASSIGN_OR_RETURN(
+        GREATER_ASSIGN_OR_RETURN_CTX(
             synthetic_parent,
-            TextSubstitution::CaretToAnd(in_parent).Invert(synthetic_parent));
+            TextSubstitution::CaretToAnd(in_parent).Invert(synthetic_parent),
+            StageContext("inverse-map", "synthetic_parent"));
       }
     }
   }
@@ -479,8 +540,9 @@ Result<PipelineResult> MultiTablePipeline::Run(
         if (field.name != key_column) canonical.push_back(field.name);
       }
     }
-    GREATER_ASSIGN_OR_RETURN(synthetic_flat,
-                             synthetic_flat.Select(canonical));
+    GREATER_ASSIGN_OR_RETURN_CTX(synthetic_flat,
+                                 synthetic_flat.Select(canonical),
+                                 StageContext("inverse-map", "synthetic_flat"));
   }
 
   result.synthetic_parent = std::move(synthetic_parent);

@@ -54,7 +54,12 @@ struct PipelineOptions {
   bool drop_identifier_columns = true;
   /// Contextual-variable consistency tolerance m (Appendix A.2).
   double contextual_min_consistency = 1.0;
-  /// Synthesizer configuration shared by parent and child models.
+  /// Synthesizer configuration shared by parent and child models. Its
+  /// `policy` field selects the degradation mode for the whole run:
+  /// SamplePolicy::kStrict fails the run on the first exhausted row (with
+  /// a stage/table provenance chain on the Status); kLenient keeps every
+  /// row that succeeded and accounts for the rest in
+  /// PipelineResult::sample_report.
   GreatSynthesizer::Options synth;
   /// Synthetic subject count; 0 -> match the training subject count.
   size_t num_synthetic_parents = 0;
@@ -79,6 +84,11 @@ struct PipelineResult {
   ReductionStats reduction;         // GReaTER fusions only
   size_t flattened_rows = 0;        // rows before reduction
   size_t fused_training_rows = 0;   // child-model training rows
+  /// Aggregated sampling outcome across every model the run sampled from
+  /// (parent + child, both rounds for DEREC). Row counts reconcile:
+  /// rows_emitted + rows_exhausted == rows_requested. Fidelity sweeps read
+  /// the rejection rate off this report.
+  SampleReport sample_report;
 };
 
 /// End-to-end multi-table synthesis pipeline implementing GReaTER and the

@@ -2,11 +2,14 @@
 
 #include <map>
 
+#include "common/fault.h"
+
 namespace greater {
 
 Result<Table> RemoveAndReduce(const Table& flattened,
                               const std::vector<std::string>& independent,
                               ReductionStats* stats) {
+  GREATER_FAULT_POINT("pipeline.reduce");
   GREATER_ASSIGN_OR_RETURN(Table dropped, flattened.DropColumns(independent));
   Table reduced = dropped.UniqueRows();
   if (stats != nullptr) {

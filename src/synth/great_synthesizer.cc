@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "common/fault.h"
+
 namespace greater {
 namespace {
 
@@ -21,6 +23,7 @@ Status GreatSynthesizer::Fit(const Table& train, Rng* rng) {
   if (train.num_rows() == 0) {
     return Status::Invalid("cannot fit on an empty table");
   }
+  GREATER_FAULT_POINT("lm.fit");
   GREATER_ASSIGN_OR_RETURN(
       TextualEncoder encoder,
       TextualEncoder::Build(train, options_.encoder, options_.prior_corpus));
@@ -89,6 +92,20 @@ Result<Row> GreatSynthesizer::SampleRow(
   if (!fitted()) {
     return Status::FailedPrecondition("SampleRow before Fit");
   }
+  ++stats_.rows_requested;
+  // Injected per-row failure ("synth.sample_row"): accounted like a
+  // natural exhaustion when it carries kResourceExhausted, so lenient
+  // callers degrade gracefully and the report still reconciles.
+  if (FaultRegistry::AnyArmed()) {
+    Status fault = FaultRegistry::Global().Check("synth.sample_row");
+    if (!fault.ok()) {
+      ++stats_.injected_faults;
+      if (fault.code() == StatusCode::kResourceExhausted) {
+        ++stats_.rows_exhausted;
+      }
+      return fault;
+    }
+  }
   const auto& columns = encoder_->columns();
   const Schema& schema = encoder_->schema();
 
@@ -112,6 +129,9 @@ Result<Row> GreatSynthesizer::SampleRow(
     bool constrain = options_.constrain_values_to_column ||
                      (options_.fallback_to_constrained &&
                       attempt + 1 == options_.max_attempts_per_row);
+    if (constrain && !options_.constrain_values_to_column) {
+      ++stats_.fallback_grammar_uses;
+    }
     TokenSequence context;
     std::vector<bool> emitted(columns.size(), false);
     size_t remaining = columns.size();
@@ -186,14 +206,14 @@ Result<Row> GreatSynthesizer::SampleRow(
       --remaining;
     }
     if (failed) {
-      ++stats_.rejected;
+      ++stats_.rejected_mid_row;
       last_error = Status::DataLoss("generation failed mid-row");
       continue;
     }
 
     Result<Row> decoded = encoder_->DecodeTokens(context);
     if (!decoded.ok()) {
-      ++stats_.rejected;
+      ++stats_.rejected_decode_failure;
       last_error = decoded.status();
       continue;
     }
@@ -214,7 +234,7 @@ Result<Row> GreatSynthesizer::SampleRow(
             auto it = pool.begin();
             std::advance(it, static_cast<ptrdiff_t>(pick));
             GREATER_ASSIGN_OR_RETURN(row[c], encoder_->ParseValue(c, *it));
-            ++stats_.snapped;
+            ++stats_.snapped_cells;
             continue;
           }
           valid = false;
@@ -222,7 +242,7 @@ Result<Row> GreatSynthesizer::SampleRow(
         }
       }
       if (!valid) {
-        ++stats_.rejected;
+        ++stats_.rejected_invalid_value;
         last_error = Status::DataLoss("generated value outside the observed "
                                       "category set");
         continue;
@@ -238,37 +258,63 @@ Result<Row> GreatSynthesizer::SampleRow(
     ++stats_.rows_emitted;
     return row;
   }
+  ++stats_.rows_exhausted;
   return Status::ResourceExhausted(
       "no valid row after " + std::to_string(options_.max_attempts_per_row) +
       " attempts; last error: " + last_error.ToString());
 }
 
-Result<Table> GreatSynthesizer::Sample(size_t n, Rng* rng) const {
+Result<Table> GreatSynthesizer::Sample(size_t n, Rng* rng,
+                                       SampleReport* report) const {
   if (!fitted()) {
     return Status::FailedPrecondition("Sample before Fit");
   }
+  SampleReport before = stats_;
   Table out(encoder_->schema());
   for (size_t i = 0; i < n; ++i) {
-    GREATER_ASSIGN_OR_RETURN(Row row, SampleRow(rng));
-    GREATER_RETURN_NOT_OK(out.AppendRow(std::move(row)));
+    Result<Row> row = SampleRow(rng);
+    if (!row.ok()) {
+      if (options_.policy == SamplePolicy::kLenient &&
+          row.status().code() == StatusCode::kResourceExhausted) {
+        continue;  // degrade: keep what succeeded, account for the rest
+      }
+      if (report) report->Merge(stats_.DeltaSince(before));
+      return row.status().WithContext("sampling row " + std::to_string(i + 1) +
+                                      " of " + std::to_string(n));
+    }
+    GREATER_RETURN_NOT_OK(out.AppendRow(std::move(row).ValueOrDie()));
   }
+  if (report) report->Merge(stats_.DeltaSince(before));
   return out;
 }
 
 Result<Table> GreatSynthesizer::SampleConditional(const Table& conditions,
-                                                  Rng* rng) const {
+                                                  Rng* rng,
+                                                  SampleReport* report) const {
   if (!fitted()) {
     return Status::FailedPrecondition("SampleConditional before Fit");
   }
+  SampleReport before = stats_;
   Table out(encoder_->schema());
   for (size_t r = 0; r < conditions.num_rows(); ++r) {
     std::map<std::string, Value> forced;
     for (size_t c = 0; c < conditions.num_columns(); ++c) {
       forced[conditions.schema().field(c).name] = conditions.at(r, c);
     }
-    GREATER_ASSIGN_OR_RETURN(Row row, SampleRow(rng, &forced));
-    GREATER_RETURN_NOT_OK(out.AppendRow(std::move(row)));
+    Result<Row> row = SampleRow(rng, &forced);
+    if (!row.ok()) {
+      if (options_.policy == SamplePolicy::kLenient &&
+          row.status().code() == StatusCode::kResourceExhausted) {
+        continue;
+      }
+      if (report) report->Merge(stats_.DeltaSince(before));
+      return row.status().WithContext(
+          "sampling conditioned row " + std::to_string(r + 1) + " of " +
+          std::to_string(conditions.num_rows()));
+    }
+    GREATER_RETURN_NOT_OK(out.AppendRow(std::move(row).ValueOrDie()));
   }
+  if (report) report->Merge(stats_.DeltaSince(before));
   return out;
 }
 

@@ -12,6 +12,7 @@
 #include "lm/language_model.h"
 #include "lm/neural_lm.h"
 #include "lm/ngram_lm.h"
+#include "synth/sample_report.h"
 #include "synth/textual_encoder.h"
 #include "tabular/table.h"
 
@@ -59,6 +60,10 @@ class GreatSynthesizer {
     bool fallback_to_constrained = true;
     /// Resampling budget per output row before giving up.
     size_t max_attempts_per_row = 25;
+    /// What happens when a row exhausts that budget: strict fails the
+    /// whole Sample call (with provenance context); lenient keeps the
+    /// rows that succeeded and accounts for the rest in the SampleReport.
+    SamplePolicy policy = SamplePolicy::kStrict;
     /// Optional natural-language prior corpus simulating pre-trained
     /// knowledge (see NGramLm). Weight <= 0 disables.
     std::vector<std::string> prior_corpus;
@@ -72,30 +77,27 @@ class GreatSynthesizer {
     size_t max_training_sequences = 0;
   };
 
-  /// Sampling diagnostics accumulated across Sample* calls.
-  struct SampleStats {
-    size_t rows_emitted = 0;
-    size_t attempts = 0;
-    size_t rejected = 0;
-    /// Cells replaced by the snap-to-observed last resort.
-    size_t snapped = 0;
-  };
-
   GreatSynthesizer() : GreatSynthesizer(Options()) {}
   explicit GreatSynthesizer(const Options& options);
 
   /// Fits encoder + language model on `train`. One-shot.
   Status Fit(const Table& train, Rng* rng);
 
-  /// Samples `n` synthetic rows.
-  Result<Table> Sample(size_t n, Rng* rng) const;
+  /// Samples `n` synthetic rows. Under SamplePolicy::kLenient the result
+  /// may hold fewer than `n` rows; `report` (optional) receives the
+  /// per-call counts (merged into whatever it already holds) and always
+  /// reconciles: rows_emitted + rows_exhausted == rows_requested.
+  Result<Table> Sample(size_t n, Rng* rng,
+                       SampleReport* report = nullptr) const;
 
   /// Samples one row per row of `conditions`, forcing the condition
   /// columns (a subset of the training schema) to the given values and
   /// letting the model generate the rest — conditional generation via
   /// constrained decoding. This is how the relational synthesizer
-  /// conditions child rows on parent observations.
-  Result<Table> SampleConditional(const Table& conditions, Rng* rng) const;
+  /// conditions child rows on parent observations. Lenient mode skips
+  /// condition rows whose generation exhausts the attempt budget.
+  Result<Table> SampleConditional(const Table& conditions, Rng* rng,
+                                  SampleReport* report = nullptr) const;
 
   /// Samples a single row, optionally with forced column values.
   Result<Row> SampleRow(Rng* rng,
@@ -106,7 +108,9 @@ class GreatSynthesizer {
   const TextualEncoder& encoder() const { return *encoder_; }
   const LanguageModel& lm() const { return *lm_; }
   const Options& options() const { return options_; }
-  const SampleStats& stats() const { return stats_; }
+
+  /// Cumulative sampling diagnostics across every Sample* call.
+  const SampleReport& stats() const { return stats_; }
 
   /// Perplexity of the fitted model on a held-out table (encoded once,
   /// schema order).
@@ -120,7 +124,7 @@ class GreatSynthesizer {
   std::vector<std::unordered_set<std::string>> observed_values_;
   /// Union of every column's value tokens (free-value decoding mode).
   std::vector<TokenId> all_value_tokens_;
-  mutable SampleStats stats_;
+  mutable SampleReport stats_;
 };
 
 }  // namespace greater

@@ -61,7 +61,8 @@ Status RelationalSynthesizer::Fit(const Table& parent, const Table& child,
   // Fit the parent model on parent features only.
   GREATER_ASSIGN_OR_RETURN(Table parent_features,
                            parent.Select(parent_feature_columns_));
-  GREATER_RETURN_NOT_OK(parent_model_.Fit(parent_features, rng));
+  GREATER_RETURN_NOT_OK_CTX(parent_model_.Fit(parent_features, rng),
+                            "fitting the parent model");
 
   // Build the joined training table for the child model: each child row
   // extended with its parent's features.
@@ -101,7 +102,8 @@ Status RelationalSynthesizer::Fit(const Table& parent, const Table& child,
     }
     GREATER_RETURN_NOT_OK(joined.AppendRow(std::move(row)));
   }
-  GREATER_RETURN_NOT_OK(child_model_.Fit(joined, rng));
+  GREATER_RETURN_NOT_OK_CTX(child_model_.Fit(joined, rng),
+                            "fitting the child model");
 
   child_counts_.clear();
   for (const auto& [key, rows] : parent_groups) {
@@ -113,20 +115,23 @@ Status RelationalSynthesizer::Fit(const Table& parent, const Table& child,
   return Status::OK();
 }
 
-Result<RelationalSample> RelationalSynthesizer::Sample(size_t num_parents,
-                                                       Rng* rng) const {
+Result<RelationalSample> RelationalSynthesizer::Sample(
+    size_t num_parents, Rng* rng, SampleReport* report) const {
   if (!fitted_) {
     return Status::FailedPrecondition("Sample before Fit");
   }
-  // Synthetic parent features.
-  GREATER_ASSIGN_OR_RETURN(Table parent_features,
-                           parent_model_.Sample(num_parents, rng));
+  // Synthetic parent features. Under a lenient parent-model policy this
+  // may hold fewer than num_parents rows; the survivors still get
+  // children below.
+  GREATER_ASSIGN_OR_RETURN_CTX(
+      Table parent_features, parent_model_.Sample(num_parents, rng, report),
+      "sampling parent rows");
 
   // Assemble output parent table (key column + features, keys synthetic).
   GREATER_ASSIGN_OR_RETURN(size_t parent_key_idx,
                            parent_schema_.FieldIndex(key_column_));
   Table parent_out(parent_schema_);
-  for (size_t r = 0; r < num_parents; ++r) {
+  for (size_t r = 0; r < parent_features.num_rows(); ++r) {
     Value key(options_.synthetic_key_prefix + std::to_string(r));
     if (parent_schema_.field(parent_key_idx).type == ValueType::kInt) {
       key = Value(static_cast<int64_t>(r));
@@ -140,12 +145,13 @@ Result<RelationalSample> RelationalSynthesizer::Sample(size_t num_parents,
     }
     GREATER_RETURN_NOT_OK(parent_out.AppendRow(std::move(parent_row)));
   }
-  GREATER_ASSIGN_OR_RETURN(Table child_out, SampleChildren(parent_out, rng));
+  GREATER_ASSIGN_OR_RETURN(Table child_out,
+                           SampleChildren(parent_out, rng, report));
   return RelationalSample{std::move(parent_out), std::move(child_out)};
 }
 
-Result<Table> RelationalSynthesizer::SampleChildren(const Table& parent,
-                                                    Rng* rng) const {
+Result<Table> RelationalSynthesizer::SampleChildren(
+    const Table& parent, Rng* rng, SampleReport* report) const {
   if (!fitted_) {
     return Status::FailedPrecondition("SampleChildren before Fit");
   }
@@ -172,8 +178,11 @@ Result<Table> RelationalSynthesizer::SampleChildren(const Table& parent,
     for (size_t k = 0; k < count; ++k) {
       GREATER_RETURN_NOT_OK(conditions.AppendRow(parent_features.GetRow(r)));
     }
-    GREATER_ASSIGN_OR_RETURN(Table joined_rows,
-                             child_model_.SampleConditional(conditions, rng));
+    GREATER_ASSIGN_OR_RETURN_CTX(
+        Table joined_rows,
+        child_model_.SampleConditional(conditions, rng, report),
+        "sampling children of synthetic parent '" + key.ToDisplayString() +
+            "'");
     for (size_t k = 0; k < joined_rows.num_rows(); ++k) {
       Row child_row(child_schema_.num_fields(), Value::Null());
       child_row[child_key_idx] = key;

@@ -53,14 +53,19 @@ class RelationalSynthesizer {
              const std::string& key_column, Rng* rng);
 
   /// Generates `num_parents` synthetic subjects with conditioned children.
-  Result<RelationalSample> Sample(size_t num_parents, Rng* rng) const;
+  /// When the configured GreatSynthesizer policies are lenient, exhausted
+  /// parent/child rows are dropped rather than failing the call; `report`
+  /// (optional) aggregates the parent- and child-model sampling counts.
+  Result<RelationalSample> Sample(size_t num_parents, Rng* rng,
+                                  SampleReport* report = nullptr) const;
 
   /// Generates children conditioned on an externally provided parent table
   /// (schema must equal the training parent's). This is how the DEREC
   /// baseline synthesizes both child tables against ONE shared synthetic
   /// parent: the first model's Sample provides the parent, the second
   /// model's SampleChildren conditions on the same rows.
-  Result<Table> SampleChildren(const Table& parent, Rng* rng) const;
+  Result<Table> SampleChildren(const Table& parent, Rng* rng,
+                               SampleReport* report = nullptr) const;
 
   bool fitted() const { return fitted_; }
   const GreatSynthesizer& parent_model() const { return parent_model_; }

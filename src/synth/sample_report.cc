@@ -1,0 +1,66 @@
+#include "synth/sample_report.h"
+
+#include <cstdio>
+
+namespace greater {
+
+const char* SamplePolicyToString(SamplePolicy policy) {
+  switch (policy) {
+    case SamplePolicy::kStrict: return "strict";
+    case SamplePolicy::kLenient: return "lenient";
+  }
+  return "unknown";
+}
+
+double SampleReport::RejectionRate() const {
+  if (attempts == 0) return 0.0;
+  return static_cast<double>(total_rejected() + injected_faults) /
+         static_cast<double>(attempts);
+}
+
+void SampleReport::Merge(const SampleReport& other) {
+  rows_requested += other.rows_requested;
+  rows_emitted += other.rows_emitted;
+  rows_exhausted += other.rows_exhausted;
+  attempts += other.attempts;
+  rejected_invalid_value += other.rejected_invalid_value;
+  rejected_decode_failure += other.rejected_decode_failure;
+  rejected_mid_row += other.rejected_mid_row;
+  injected_faults += other.injected_faults;
+  fallback_grammar_uses += other.fallback_grammar_uses;
+  snapped_cells += other.snapped_cells;
+}
+
+SampleReport SampleReport::DeltaSince(const SampleReport& before) const {
+  SampleReport delta;
+  delta.rows_requested = rows_requested - before.rows_requested;
+  delta.rows_emitted = rows_emitted - before.rows_emitted;
+  delta.rows_exhausted = rows_exhausted - before.rows_exhausted;
+  delta.attempts = attempts - before.attempts;
+  delta.rejected_invalid_value =
+      rejected_invalid_value - before.rejected_invalid_value;
+  delta.rejected_decode_failure =
+      rejected_decode_failure - before.rejected_decode_failure;
+  delta.rejected_mid_row = rejected_mid_row - before.rejected_mid_row;
+  delta.injected_faults = injected_faults - before.injected_faults;
+  delta.fallback_grammar_uses =
+      fallback_grammar_uses - before.fallback_grammar_uses;
+  delta.snapped_cells = snapped_cells - before.snapped_cells;
+  return delta;
+}
+
+std::string SampleReport::ToString() const {
+  char buffer[256];
+  std::snprintf(buffer, sizeof(buffer),
+                "rows %zu/%zu emitted (%zu exhausted), attempts %zu, "
+                "rejected %zu (invalid %zu, decode %zu, mid-row %zu, "
+                "faults %zu), fallback %zu, snapped %zu, rejection-rate "
+                "%.3f",
+                rows_emitted, rows_requested, rows_exhausted, attempts,
+                total_rejected(), rejected_invalid_value,
+                rejected_decode_failure, rejected_mid_row, injected_faults,
+                fallback_grammar_uses, snapped_cells, RejectionRate());
+  return std::string(buffer);
+}
+
+}  // namespace greater

@@ -2,7 +2,9 @@
 
 #include <fstream>
 #include <sstream>
+#include <string_view>
 
+#include "common/fault.h"
 #include "common/strings.h"
 
 namespace greater {
@@ -10,7 +12,7 @@ namespace {
 
 // Splits CSV text into records of raw string fields, honoring quotes.
 Result<std::vector<std::vector<std::string>>> ParseRecords(
-    const std::string& text, char delim) {
+    std::string_view text, char delim) {
   std::vector<std::vector<std::string>> records;
   std::vector<std::string> current;
   std::string field;
@@ -71,8 +73,16 @@ Result<std::vector<std::vector<std::string>>> ParseRecords(
 
 Result<Table> ReadCsvString(const std::string& text,
                             const CsvReadOptions& options) {
+  GREATER_FAULT_POINT("csv.read");
+  // Tolerate a UTF-8 byte-order mark: some exporters (notably spreadsheet
+  // tools on Windows) prepend one, and without stripping it the BOM bytes
+  // would silently become part of the first header name.
+  std::string_view body(text);
+  if (body.size() >= 3 && body.substr(0, 3) == "\xEF\xBB\xBF") {
+    body.remove_prefix(3);
+  }
   GREATER_ASSIGN_OR_RETURN(auto records,
-                           ParseRecords(text, options.delimiter));
+                           ParseRecords(body, options.delimiter));
   if (records.empty()) {
     return Status::DataLoss("CSV has no header record");
   }
@@ -80,8 +90,10 @@ Result<Table> ReadCsvString(const std::string& text,
   size_t num_cols = header.size();
   for (size_t r = 1; r < records.size(); ++r) {
     if (records[r].size() != num_cols) {
-      return Status::DataLoss("CSV record " + std::to_string(r) + " has " +
-                              std::to_string(records[r].size()) +
+      // 1-based record number counting the header as record 1, so the
+      // number matches the line users see in an editor (blank lines aside).
+      return Status::DataLoss("CSV record " + std::to_string(r + 1) +
+                              " has " + std::to_string(records[r].size()) +
                               " fields, header has " +
                               std::to_string(num_cols));
     }

@@ -1,0 +1,42 @@
+#ifndef GREATER_TABULAR_VALIDATE_H_
+#define GREATER_TABULAR_VALIDATE_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "tabular/table.h"
+
+namespace greater {
+
+/// Stage-input invariant checks. Pipeline stages call these on entry so a
+/// malformed table is reported where it enters the pipeline — with the
+/// offending table, column, and value named — instead of surfacing later
+/// as a context-free failure deep inside a synthesis loop.
+///
+/// `label` is the caller's name for the table (e.g. "child1", "fused") and
+/// prefixes every error message.
+
+/// Every column holds exactly num_rows() cells and every non-null cell
+/// matches its field's declared type (ragged or type-corrupted tables can
+/// only arise through internal bugs, hence kInternal).
+Status ValidateRectangular(const Table& table, const std::string& label);
+
+/// Every categorical-semantic column has at least one non-null value: an
+/// all-null categorical domain cannot be encoded or sampled.
+Status ValidateCategoricalDomains(const Table& table,
+                                  const std::string& label);
+
+/// `key_column` exists, holds no nulls and, when `require_unique`, no
+/// duplicate values (parent tables are one-row-per-subject).
+Status ValidateKeyColumn(const Table& table, const std::string& key_column,
+                         const std::string& label,
+                         bool require_unique = false);
+
+/// The composite pipeline entry check: non-empty + rectangular +
+/// categorical domains + key column present and null-free.
+Status ValidateStageInput(const Table& table, const std::string& key_column,
+                          const std::string& label);
+
+}  // namespace greater
+
+#endif  // GREATER_TABULAR_VALIDATE_H_

@@ -2,6 +2,7 @@
 
 #include <set>
 
+#include "common/fault.h"
 #include "common/matrix.h"
 #include "common/rng.h"
 #include "common/status.h"
@@ -35,6 +36,34 @@ TEST(StatusTest, FactoryFunctionsSetCodeAndMessage) {
 
 TEST(StatusTest, ToStringIncludesCodeName) {
   EXPECT_EQ(Status::Invalid("bad arg").ToString(), "InvalidArgument: bad arg");
+}
+
+TEST(StatusTest, WithContextBuildsInnermostFirstChain) {
+  Status s = Status::Invalid("bad cell")
+                 .WithContext("stage 'fit' (table 'fused')")
+                 .WithContext("running pipeline");
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(s.message(), "bad cell");
+  ASSERT_EQ(s.context().size(), 2u);
+  EXPECT_EQ(s.context()[0], "stage 'fit' (table 'fused')");
+  EXPECT_EQ(s.context()[1], "running pipeline");
+  EXPECT_EQ(s.ToString(),
+            "InvalidArgument: bad cell; while stage 'fit' (table 'fused')"
+            "; while running pipeline");
+}
+
+TEST(StatusTest, WithContextOnOkIsANoOp) {
+  Status s = Status::OK().WithContext("ignored");
+  EXPECT_TRUE(s.ok());
+  EXPECT_TRUE(s.context().empty());
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, EqualityIncludesContext) {
+  Status plain = Status::Invalid("x");
+  Status framed = Status::Invalid("x").WithContext("frame");
+  EXPECT_FALSE(plain == framed);
+  EXPECT_TRUE(framed == Status::Invalid("x").WithContext("frame"));
 }
 
 Result<int> Half(int x) {
@@ -72,6 +101,129 @@ TEST(ResultTest, AssignOrReturnPropagates) {
   EXPECT_EQ(Chain(8).ValueOrDie(), 2);
   EXPECT_FALSE(Chain(6).ok());  // 6/2=3 is odd
   EXPECT_FALSE(Chain(7).ok());
+}
+
+Result<int> ChainWithContext(int x) {
+  GREATER_ASSIGN_OR_RETURN_CTX(int h, Half(x), "first halving");
+  GREATER_ASSIGN_OR_RETURN_CTX(int q, Half(h), "second halving");
+  return q;
+}
+
+Status CheckedWithContext(int x) {
+  GREATER_RETURN_NOT_OK_CTX(ChainWithContext(x).status(), "checking " +
+                                                              std::to_string(x));
+  return Status::OK();
+}
+
+TEST(ResultTest, CtxMacrosAnnotateThePropagatedError) {
+  EXPECT_EQ(ChainWithContext(8).ValueOrDie(), 2);
+
+  Result<int> first = ChainWithContext(7);
+  ASSERT_FALSE(first.ok());
+  ASSERT_EQ(first.status().context().size(), 1u);
+  EXPECT_EQ(first.status().context()[0], "first halving");
+
+  Result<int> second = ChainWithContext(6);  // 6/2=3 fails in step two
+  ASSERT_FALSE(second.ok());
+  ASSERT_EQ(second.status().context().size(), 1u);
+  EXPECT_EQ(second.status().context()[0], "second halving");
+
+  Status chained = CheckedWithContext(6);
+  ASSERT_EQ(chained.context().size(), 2u);
+  EXPECT_EQ(chained.context()[0], "second halving");
+  EXPECT_EQ(chained.context()[1], "checking 6");
+}
+
+TEST(ResultDeathTest, ValueOrDieOnErrorAbortsWithMessage) {
+  Result<int> r = Half(3);
+  ASSERT_FALSE(r.ok());
+  EXPECT_DEATH({ (void)r.ValueOrDie(); }, "ValueOrDie called on an error");
+}
+
+// ---------- fault injection ----------
+
+Status GuardedOperation() {
+  GREATER_FAULT_POINT("test.op");
+  return Status::OK();
+}
+
+TEST(FaultTest, UnarmedPointPassesThrough) {
+  EXPECT_TRUE(GuardedOperation().ok());
+  EXPECT_FALSE(FaultRegistry::AnyArmed());
+  EXPECT_EQ(FaultRegistry::Global().hits("test.op"), 0u);
+}
+
+TEST(FaultTest, ArmedPointFiresWithConfiguredCodeAndMessage) {
+  FaultSpec spec;
+  spec.code = StatusCode::kDataLoss;
+  spec.message = "boom";
+  ScopedFault fault("test.op", spec);
+  EXPECT_TRUE(FaultRegistry::AnyArmed());
+  Status s = GuardedOperation();
+  EXPECT_EQ(s.code(), StatusCode::kDataLoss);
+  EXPECT_EQ(s.message(), "boom");
+  EXPECT_EQ(FaultRegistry::Global().hits("test.op"), 1u);
+  EXPECT_EQ(FaultRegistry::Global().fires("test.op"), 1u);
+}
+
+TEST(FaultTest, DefaultMessageNamesThePoint) {
+  ScopedFault fault("test.op");
+  Status s = GuardedOperation();
+  EXPECT_NE(s.message().find("test.op"), std::string::npos);
+}
+
+TEST(FaultTest, DisarmRestoresPassThrough) {
+  {
+    ScopedFault fault("test.op");
+    EXPECT_FALSE(GuardedOperation().ok());
+  }
+  EXPECT_TRUE(GuardedOperation().ok());
+  EXPECT_FALSE(FaultRegistry::AnyArmed());
+}
+
+TEST(FaultTest, SkipHitsAndMaxFiresShapeTheWindow) {
+  FaultSpec spec;
+  spec.skip_hits = 2;
+  spec.max_fires = 1;
+  ScopedFault fault("test.op", spec);
+  EXPECT_TRUE(GuardedOperation().ok());   // hit 1: skipped
+  EXPECT_TRUE(GuardedOperation().ok());   // hit 2: skipped
+  EXPECT_FALSE(GuardedOperation().ok());  // hit 3: fires
+  EXPECT_TRUE(GuardedOperation().ok());   // hit 4: fire budget spent
+  EXPECT_EQ(FaultRegistry::Global().hits("test.op"), 4u);
+  EXPECT_EQ(FaultRegistry::Global().fires("test.op"), 1u);
+}
+
+TEST(FaultTest, ProbabilityTriggerIsSeedDeterministic) {
+  auto fire_pattern = [](uint64_t seed) {
+    FaultSpec spec;
+    spec.probability = 0.5;
+    spec.seed = seed;
+    ScopedFault fault("test.op", spec);
+    std::string pattern;
+    for (int i = 0; i < 32; ++i) {
+      pattern += GuardedOperation().ok() ? '.' : 'X';
+    }
+    return pattern;
+  };
+  std::string a = fire_pattern(42);
+  EXPECT_EQ(a, fire_pattern(42));
+  EXPECT_NE(a, fire_pattern(43));
+  // A 50% trigger should neither always fire nor never fire over 32 hits.
+  EXPECT_NE(a.find('X'), std::string::npos);
+  EXPECT_NE(a.find('.'), std::string::npos);
+}
+
+TEST(FaultTest, RearmResetsCounters) {
+  FaultRegistry& registry = FaultRegistry::Global();
+  registry.Arm("test.op");
+  EXPECT_FALSE(GuardedOperation().ok());
+  EXPECT_EQ(registry.fires("test.op"), 1u);
+  registry.Arm("test.op");  // re-arm
+  EXPECT_EQ(registry.hits("test.op"), 0u);
+  EXPECT_EQ(registry.fires("test.op"), 0u);
+  registry.DisarmAll();
+  EXPECT_FALSE(FaultRegistry::AnyArmed());
 }
 
 // ---------- Rng ----------

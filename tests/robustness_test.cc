@@ -1,0 +1,337 @@
+// Fault-injection robustness suite: arms the registry's named fault points
+// and asserts (a) strict mode surfaces stage-annotated provenance chains,
+// (b) lenient mode degrades gracefully with a reconciling SampleReport.
+
+#include <gtest/gtest.h>
+
+#include "common/fault.h"
+#include "crosstable/pipeline.h"
+#include "datagen/digix.h"
+#include "synth/great_synthesizer.h"
+#include "tabular/csv.h"
+
+namespace greater {
+namespace {
+
+// Shared small dataset; generating once keeps the suite fast.
+class RobustnessTest : public testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    Rng rng(42);
+    DigixOptions options;
+    options.num_users = 60;
+    DigixGenerator gen(options);
+    data_ = new DigixDataset(gen.Generate(&rng).ValueOrDie());
+  }
+  static void TearDownTestSuite() {
+    delete data_;
+    data_ = nullptr;
+  }
+  void TearDown() override { FaultRegistry::Global().DisarmAll(); }
+
+  static PipelineOptions FastOptions(SamplePolicy policy) {
+    PipelineOptions options;
+    options.fusion = FusionMethod::kGreaterMedianThreshold;
+    options.semantic = SemanticMode::kNone;
+    options.synth.encoder.permutations_per_row = 1;
+    options.synth.policy = policy;
+    return options;
+  }
+
+  static bool ContextMentions(const Status& status, const std::string& text) {
+    for (const auto& frame : status.context()) {
+      if (frame.find(text) != std::string::npos) return true;
+    }
+    return false;
+  }
+
+  static DigixDataset* data_;
+};
+
+DigixDataset* RobustnessTest::data_ = nullptr;
+
+// A 30%-per-row kResourceExhausted fault on SampleRow, matching the
+// acceptance scenario in ISSUE tracking.
+FaultSpec ThirtyPercentExhaustion() {
+  FaultSpec spec;
+  spec.code = StatusCode::kResourceExhausted;
+  spec.message = "injected row exhaustion";
+  spec.probability = 0.3;
+  spec.seed = 2026;
+  return spec;
+}
+
+TEST_F(RobustnessTest, CsvReadFaultSurfacesInjectedStatus) {
+  FaultSpec spec;
+  spec.code = StatusCode::kDataLoss;
+  spec.message = "disk went away";
+  ScopedFault fault("csv.read", spec);
+  auto result = ReadCsvString("a,b\n1,2\n");
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kDataLoss);
+  EXPECT_EQ(result.status().message(), "disk went away");
+}
+
+TEST_F(RobustnessTest, LmFitFaultNamesTheFitStageAndTable) {
+  ScopedFault fault("lm.fit");
+  MultiTablePipeline pipeline(FastOptions(SamplePolicy::kStrict));
+  Rng rng(7);
+  auto result = pipeline.Run(data_->ads, data_->feeds, "user_id", &rng);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInternal);
+  EXPECT_TRUE(ContextMentions(result.status(), "fitting the parent model"))
+      << result.status().ToString();
+  EXPECT_TRUE(ContextMentions(result.status(), "stage 'fit'"))
+      << result.status().ToString();
+  EXPECT_TRUE(ContextMentions(result.status(), "'fused'"))
+      << result.status().ToString();
+}
+
+TEST_F(RobustnessTest, ReduceFaultNamesTheReduceStage) {
+  ScopedFault fault("pipeline.reduce");
+  MultiTablePipeline pipeline(FastOptions(SamplePolicy::kStrict));
+  Rng rng(7);
+  auto result = pipeline.Run(data_->ads, data_->feeds, "user_id", &rng);
+  ASSERT_FALSE(result.ok());
+  EXPECT_TRUE(ContextMentions(result.status(), "stage 'reduce'"))
+      << result.status().ToString();
+}
+
+TEST_F(RobustnessTest, FlattenFaultNamesTheFlattenStage) {
+  ScopedFault fault("pipeline.flatten");
+  MultiTablePipeline pipeline(FastOptions(SamplePolicy::kStrict));
+  Rng rng(7);
+  auto result = pipeline.Run(data_->ads, data_->feeds, "user_id", &rng);
+  ASSERT_FALSE(result.ok());
+  EXPECT_TRUE(ContextMentions(result.status(), "stage 'flatten'"))
+      << result.status().ToString();
+}
+
+TEST_F(RobustnessTest, StrictSamplingFaultReportsStageAndTable) {
+  // Acceptance scenario, strict half: a 30%-probability row fault makes
+  // the run fail with ResourceExhausted, and the context chain names the
+  // failing stage and table.
+  ScopedFault fault("synth.sample_row", ThirtyPercentExhaustion());
+  MultiTablePipeline pipeline(FastOptions(SamplePolicy::kStrict));
+  Rng rng(7);
+  auto result = pipeline.Run(data_->ads, data_->feeds, "user_id", &rng);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kResourceExhausted);
+  EXPECT_TRUE(ContextMentions(result.status(), "stage 'sample'"))
+      << result.status().ToString();
+  EXPECT_TRUE(ContextMentions(result.status(), "table '"))
+      << result.status().ToString();
+}
+
+TEST_F(RobustnessTest, LenientSamplingFaultDegradesAndReconciles) {
+  // Acceptance scenario, lenient half: the same fault pattern completes
+  // with partial output and an exactly-reconciling SampleReport.
+  ScopedFault fault("synth.sample_row", ThirtyPercentExhaustion());
+  MultiTablePipeline pipeline(FastOptions(SamplePolicy::kLenient));
+  Rng rng(7);
+  PipelineResult result =
+      pipeline.Run(data_->ads, data_->feeds, "user_id", &rng).ValueOrDie();
+
+  const SampleReport& report = result.sample_report;
+  EXPECT_GT(report.rows_requested, 0u);
+  EXPECT_GT(report.rows_emitted, 0u);
+  EXPECT_GT(report.rows_exhausted, 0u);  // ~30% of rows must have failed
+  EXPECT_GT(report.injected_faults, 0u);
+  EXPECT_TRUE(report.Reconciles())
+      << "emitted " << report.rows_emitted << " + exhausted "
+      << report.rows_exhausted << " != requested " << report.rows_requested;
+  EXPECT_EQ(report.rows_emitted + report.rows_exhausted,
+            report.rows_requested);
+  EXPECT_GT(result.synthetic_flat.num_rows(), 0u);
+}
+
+TEST_F(RobustnessTest, LenientDerecRunAlsoReconciles) {
+  // DEREC samples from three models (parent + both child rounds); the
+  // pipeline-level report must still account for every requested row.
+  ScopedFault fault("synth.sample_row", ThirtyPercentExhaustion());
+  PipelineOptions options = FastOptions(SamplePolicy::kLenient);
+  options.fusion = FusionMethod::kDerecIndependent;
+  MultiTablePipeline pipeline(options);
+  Rng rng(7);
+  PipelineResult result =
+      pipeline.Run(data_->ads, data_->feeds, "user_id", &rng).ValueOrDie();
+  EXPECT_GT(result.sample_report.rows_exhausted, 0u);
+  EXPECT_TRUE(result.sample_report.Reconciles());
+}
+
+TEST_F(RobustnessTest, UnarmedRunsMatchFaultFreeBehaviour) {
+  // The fault machinery must be invisible when disarmed: two identical
+  // seeded runs, one before and one after an arm/disarm cycle, agree.
+  MultiTablePipeline pipeline(FastOptions(SamplePolicy::kStrict));
+  Rng r1(11);
+  PipelineResult a =
+      pipeline.Run(data_->ads, data_->feeds, "user_id", &r1).ValueOrDie();
+  {
+    ScopedFault fault("synth.sample_row", ThirtyPercentExhaustion());
+  }
+  Rng r2(11);
+  PipelineResult b =
+      pipeline.Run(data_->ads, data_->feeds, "user_id", &r2).ValueOrDie();
+  EXPECT_TRUE(a.synthetic_flat == b.synthetic_flat);
+  EXPECT_EQ(b.sample_report.rows_exhausted, 0u);
+  EXPECT_EQ(b.sample_report.injected_faults, 0u);
+  EXPECT_TRUE(b.sample_report.Reconciles());
+}
+
+// ---------- GreatSynthesizer-level degradation ----------
+
+Table SmallTable() {
+  Schema schema({Field("name", ValueType::kString),
+                 Field("lunch", ValueType::kInt),
+                 Field("dinner", ValueType::kInt)});
+  Table t(schema);
+  const char* names[] = {"Grace", "Yin", "Anson"};
+  Rng rng(5);
+  for (int i = 0; i < 45; ++i) {
+    int64_t lunch = rng.UniformInt(1, 2);
+    int64_t dinner = rng.Bernoulli(0.8) ? lunch : rng.UniformInt(1, 2);
+    EXPECT_TRUE(
+        t.AppendRow({Value(names[i % 3]), Value(lunch), Value(dinner)}).ok());
+  }
+  return t;
+}
+
+class SynthesizerFaultTest : public testing::Test {
+ protected:
+  void TearDown() override { FaultRegistry::Global().DisarmAll(); }
+};
+
+TEST_F(SynthesizerFaultTest, LenientSampleDropsExactlyTheFiredRows) {
+  GreatSynthesizer::Options options;
+  options.policy = SamplePolicy::kLenient;
+  GreatSynthesizer synth(options);
+  Rng rng(3);
+  ASSERT_TRUE(synth.Fit(SmallTable(), &rng).ok());
+
+  FaultSpec spec;
+  spec.code = StatusCode::kResourceExhausted;
+  spec.skip_hits = 2;  // rows 1-2 pass
+  spec.max_fires = 3;  // rows 3-5 fail
+  ScopedFault fault("synth.sample_row", spec);
+
+  SampleReport report;
+  Table out = synth.Sample(10, &rng, &report).ValueOrDie();
+  EXPECT_EQ(out.num_rows(), 7u);
+  EXPECT_EQ(report.rows_requested, 10u);
+  EXPECT_EQ(report.rows_emitted, 7u);
+  EXPECT_EQ(report.rows_exhausted, 3u);
+  EXPECT_EQ(report.injected_faults, 3u);
+  EXPECT_TRUE(report.Reconciles());
+}
+
+TEST_F(SynthesizerFaultTest, StrictSampleFailsOnFirstFiredRow) {
+  GreatSynthesizer synth;  // strict by default
+  Rng rng(3);
+  ASSERT_TRUE(synth.Fit(SmallTable(), &rng).ok());
+
+  FaultSpec spec;
+  spec.code = StatusCode::kResourceExhausted;
+  spec.skip_hits = 4;
+  ScopedFault fault("synth.sample_row", spec);
+
+  SampleReport report;
+  auto result = synth.Sample(10, &rng, &report);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kResourceExhausted);
+  // The per-call row position is part of the provenance.
+  ASSERT_FALSE(result.status().context().empty());
+  EXPECT_NE(result.status().context()[0].find("row 5 of 10"),
+            std::string::npos)
+      << result.status().ToString();
+  // Even on the error path the partial account reconciles.
+  EXPECT_EQ(report.rows_requested, 5u);
+  EXPECT_EQ(report.rows_emitted, 4u);
+  EXPECT_EQ(report.rows_exhausted, 1u);
+  EXPECT_TRUE(report.Reconciles());
+}
+
+TEST_F(SynthesizerFaultTest, NonExhaustionFaultFailsEvenLenientMode) {
+  // Lenient mode only absorbs resource exhaustion; an internal fault is a
+  // real bug and must propagate.
+  GreatSynthesizer::Options options;
+  options.policy = SamplePolicy::kLenient;
+  GreatSynthesizer synth(options);
+  Rng rng(3);
+  ASSERT_TRUE(synth.Fit(SmallTable(), &rng).ok());
+
+  FaultSpec spec;
+  spec.code = StatusCode::kInternal;
+  spec.message = "corrupted model state";
+  ScopedFault fault("synth.sample_row", spec);
+
+  auto result = synth.Sample(5, &rng);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInternal);
+  EXPECT_EQ(result.status().message(), "corrupted model state");
+}
+
+TEST_F(SynthesizerFaultTest, CumulativeStatsAccumulateAcrossCalls) {
+  GreatSynthesizer::Options options;
+  options.policy = SamplePolicy::kLenient;
+  GreatSynthesizer synth(options);
+  Rng rng(3);
+  ASSERT_TRUE(synth.Fit(SmallTable(), &rng).ok());
+
+  FaultSpec spec;
+  spec.code = StatusCode::kResourceExhausted;
+  spec.max_fires = 1;
+  ScopedFault fault("synth.sample_row", spec);
+
+  SampleReport first, second;
+  ASSERT_TRUE(synth.Sample(4, &rng, &first).ok());
+  ASSERT_TRUE(synth.Sample(4, &rng, &second).ok());
+  EXPECT_EQ(first.rows_requested, 4u);
+  EXPECT_EQ(second.rows_requested, 4u);
+  EXPECT_EQ(second.rows_exhausted, 0u);  // fire budget spent in call one
+  EXPECT_EQ(synth.stats().rows_requested, 8u);
+  EXPECT_EQ(synth.stats().rows_exhausted, 1u);
+  EXPECT_TRUE(synth.stats().Reconciles());
+}
+
+// ---------- SampleReport arithmetic ----------
+
+TEST(SampleReportTest, MergeAndDeltaAreInverse) {
+  SampleReport a;
+  a.rows_requested = 10;
+  a.rows_emitted = 8;
+  a.rows_exhausted = 2;
+  a.attempts = 30;
+  a.rejected_invalid_value = 5;
+  SampleReport b = a;
+  b.Merge(a);
+  EXPECT_EQ(b.rows_requested, 20u);
+  EXPECT_EQ(b.attempts, 60u);
+  SampleReport delta = b.DeltaSince(a);
+  EXPECT_EQ(delta.rows_requested, a.rows_requested);
+  EXPECT_EQ(delta.rejected_invalid_value, a.rejected_invalid_value);
+  EXPECT_TRUE(delta.Reconciles());
+}
+
+TEST(SampleReportTest, RejectionRateAndToString) {
+  SampleReport r;
+  EXPECT_DOUBLE_EQ(r.RejectionRate(), 0.0);
+  r.rows_requested = 4;
+  r.rows_emitted = 3;
+  r.rows_exhausted = 1;
+  r.attempts = 10;
+  r.rejected_invalid_value = 2;
+  r.rejected_mid_row = 1;
+  EXPECT_EQ(r.total_rejected(), 3u);
+  EXPECT_DOUBLE_EQ(r.RejectionRate(), 0.3);
+  std::string s = r.ToString();
+  EXPECT_NE(s.find("4"), std::string::npos);
+  EXPECT_NE(s.find("3"), std::string::npos);
+}
+
+TEST(SampleReportTest, PolicyNames) {
+  EXPECT_STREQ(SamplePolicyToString(SamplePolicy::kStrict), "strict");
+  EXPECT_STREQ(SamplePolicyToString(SamplePolicy::kLenient), "lenient");
+}
+
+}  // namespace
+}  // namespace greater

@@ -2,6 +2,7 @@
 
 #include "tabular/csv.h"
 #include "tabular/table.h"
+#include "tabular/validate.h"
 
 namespace greater {
 namespace {
@@ -250,6 +251,23 @@ TEST(CsvTest, RaggedRecordFails) {
   EXPECT_FALSE(ReadCsvString("a,b\n1\n").ok());
 }
 
+TEST(CsvTest, RaggedRecordNamesOneBasedRecordNumber) {
+  // Header is record 1; the bad data record here is record 3.
+  auto result = ReadCsvString("a,b\n1,2\n3\n");
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kDataLoss);
+  EXPECT_NE(result.status().message().find("record 3"), std::string::npos)
+      << result.status().ToString();
+}
+
+TEST(CsvTest, Utf8BomIsStripped) {
+  Table t = ReadCsvString("\xEF\xBB\xBF"
+                          "a,b\n1,2\n")
+                .ValueOrDie();
+  EXPECT_EQ(t.schema().field(0).name, "a");
+  EXPECT_EQ(t.at(0, 0).as_int(), 1);
+}
+
 TEST(CsvTest, UnterminatedQuoteFails) {
   EXPECT_FALSE(ReadCsvString("a\n\"oops\n").ok());
 }
@@ -257,6 +275,16 @@ TEST(CsvTest, UnterminatedQuoteFails) {
 TEST(CsvTest, CrLfHandled) {
   Table t = ReadCsvString("a,b\r\n1,2\r\n").ValueOrDie();
   EXPECT_EQ(t.at(0, 1).as_int(), 2);
+}
+
+TEST(CsvTest, CrLfWithBomAndQuotes) {
+  Table t = ReadCsvString("\xEF\xBB\xBF"
+                          "name,score\r\n\"smith, j\",3\r\nlee,4\r\n")
+                .ValueOrDie();
+  EXPECT_EQ(t.num_rows(), 2u);
+  EXPECT_EQ(t.schema().field(0).name, "name");
+  EXPECT_EQ(t.at(0, 0).as_string(), "smith, j");
+  EXPECT_EQ(t.at(1, 1).as_int(), 4);
 }
 
 TEST(CsvTest, NoInferenceReadsStrings) {
@@ -278,6 +306,65 @@ TEST(CsvTest, FileRoundTrip) {
   ASSERT_TRUE(WriteCsvFile(t, path).ok());
   Table back = ReadCsvFile(path).ValueOrDie();
   EXPECT_EQ(back.num_rows(), 3u);
+}
+
+// ---------- Validators ----------
+
+TEST(ValidateTest, WellFormedTablePasses) {
+  Table t = MakeToyTable();
+  EXPECT_TRUE(ValidateRectangular(t, "toy").ok());
+  EXPECT_TRUE(ValidateCategoricalDomains(t, "toy").ok());
+  EXPECT_TRUE(ValidateKeyColumn(t, "name", "toy").ok());
+  EXPECT_TRUE(ValidateStageInput(t, "name", "toy").ok());
+}
+
+TEST(ValidateTest, MissingKeyColumnIsNotFound) {
+  Table t = MakeToyTable();
+  Status s = ValidateKeyColumn(t, "no_such_column", "toy");
+  EXPECT_EQ(s.code(), StatusCode::kNotFound);
+  EXPECT_NE(s.message().find("toy"), std::string::npos);
+}
+
+TEST(ValidateTest, NullKeyIsInvalid) {
+  Table t = MakeToyTable();
+  ASSERT_TRUE(t.AppendRow({Value::Null(), Value(1), Value(1)}).ok());
+  Status s = ValidateKeyColumn(t, "name", "toy");
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(s.message().find("name"), std::string::npos);
+}
+
+TEST(ValidateTest, DuplicateKeyFailsOnlyWhenUniquenessRequired) {
+  Table t = MakeToyTable();
+  ASSERT_TRUE(t.AppendRow({Value("Grace"), Value(2), Value(1)}).ok());
+  EXPECT_TRUE(ValidateKeyColumn(t, "name", "toy").ok());
+  Status s = ValidateKeyColumn(t, "name", "toy", /*require_unique=*/true);
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(s.message().find("Grace"), std::string::npos);
+}
+
+TEST(ValidateTest, AllNullCategoricalDomainIsInvalid) {
+  Schema schema({Field("k", ValueType::kString),
+                 Field("empty_cat", ValueType::kString)});
+  Table t(schema);
+  ASSERT_TRUE(t.AppendRow({Value("a"), Value::Null()}).ok());
+  ASSERT_TRUE(t.AppendRow({Value("b"), Value::Null()}).ok());
+  Status s = ValidateCategoricalDomains(t, "toy");
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(s.message().find("empty_cat"), std::string::npos);
+}
+
+TEST(ValidateTest, EmptyTableFailsStageInput) {
+  Schema schema({Field("k", ValueType::kString)});
+  Table t(schema);
+  EXPECT_FALSE(ValidateStageInput(t, "k", "toy").ok());
+}
+
+TEST(ValidateTest, IntCellsInDoubleColumnsAreWidenedAndPass) {
+  Schema schema({Field("k", ValueType::kString),
+                 Field("x", ValueType::kDouble, SemanticType::kContinuous)});
+  Table t(schema);
+  ASSERT_TRUE(t.AppendRow({Value("a"), Value(3)}).ok());
+  EXPECT_TRUE(ValidateRectangular(t, "toy").ok());
 }
 
 }  // namespace
