@@ -8,6 +8,7 @@
 #include "crosstable/independence.h"
 #include "crosstable/reduce.h"
 #include "datagen/digix.h"
+#include "lm/neural_lm.h"
 #include "lm/ngram_lm.h"
 #include "stats/correlation.h"
 #include "stats/hypothesis.h"
@@ -69,6 +70,130 @@ void BM_NGramSampleRow(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_NGramSampleRow);
+
+// Data-parallel NeuralLm training; the arg is the worker-thread count.
+// Speedup over Arg(1) requires >1 physical core (results stay
+// deterministic per thread count either way).
+void BM_NeuralFit(benchmark::State& state) {
+  size_t threads = static_cast<size_t>(state.range(0));
+  constexpr size_t kVocab = 64;
+  std::vector<TokenSequence> sequences;
+  Rng rng(9);
+  for (int i = 0; i < 200; ++i) {
+    TokenSequence seq;
+    for (int j = 0; j < 12; ++j) {
+      seq.push_back(static_cast<TokenId>(rng.UniformInt(4, kVocab - 1)));
+    }
+    sequences.push_back(std::move(seq));
+  }
+  NeuralLm::Options options;
+  options.epochs = 2;
+  options.pretrain_epochs = 0;
+  options.num_threads = threads;
+  for (auto _ : state) {
+    NeuralLm lm(kVocab, options);
+    benchmark::DoNotOptimize(lm.Fit(sequences));
+  }
+}
+BENCHMARK(BM_NeuralFit)->Arg(1)->Arg(2)->Arg(4)->Unit(benchmark::kMillisecond);
+
+// Restricted-vocabulary next-token scoring vs. the full-vocabulary walk —
+// the constrained decoder's inner loop.
+void BM_NGramNextTokenFull(benchmark::State& state) {
+  DigixDataset trial = MakeTrial();
+  GreatSynthesizer synth;
+  Rng rng(1);
+  if (!synth.Fit(trial.ads, &rng).ok()) state.SkipWithError("fit failed");
+  std::vector<size_t> order(trial.ads.num_columns());
+  for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+  TokenSequence row = synth.encoder().EncodeRow(trial.ads.GetRow(0), order);
+  TokenSequence context(row.begin(), row.begin() + 5);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(synth.lm().NextTokenDistribution(context));
+  }
+}
+BENCHMARK(BM_NGramNextTokenFull);
+
+void BM_NGramNextTokenRestricted(benchmark::State& state) {
+  DigixDataset trial = MakeTrial();
+  GreatSynthesizer synth;
+  Rng rng(1);
+  if (!synth.Fit(trial.ads, &rng).ok()) state.SkipWithError("fit failed");
+  std::vector<size_t> order(trial.ads.num_columns());
+  for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+  TokenSequence row = synth.encoder().EncodeRow(trial.ads.GetRow(0), order);
+  TokenSequence context(row.begin(), row.begin() + 5);
+  const std::vector<TokenId>& candidates =
+      synth.encoder().columns()[1].value_tokens;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        synth.lm().NextTokenDistributionRestricted(context, candidates));
+  }
+}
+BENCHMARK(BM_NGramNextTokenRestricted);
+
+void BM_NeuralNextTokenFull(benchmark::State& state) {
+  constexpr size_t kVocab = 512;
+  std::vector<TokenSequence> sequences;
+  Rng rng(9);
+  for (int i = 0; i < 50; ++i) {
+    TokenSequence seq;
+    for (int j = 0; j < 8; ++j) {
+      seq.push_back(static_cast<TokenId>(rng.UniformInt(4, kVocab - 1)));
+    }
+    sequences.push_back(std::move(seq));
+  }
+  NeuralLm::Options options;
+  options.epochs = 1;
+  options.pretrain_epochs = 0;
+  NeuralLm lm(kVocab, options);
+  if (!lm.Fit(sequences).ok()) state.SkipWithError("fit failed");
+  TokenSequence context(sequences[0].begin(), sequences[0].begin() + 3);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(lm.NextTokenDistribution(context));
+  }
+}
+BENCHMARK(BM_NeuralNextTokenFull);
+
+void BM_NeuralNextTokenRestricted(benchmark::State& state) {
+  constexpr size_t kVocab = 512;
+  std::vector<TokenSequence> sequences;
+  Rng rng(9);
+  for (int i = 0; i < 50; ++i) {
+    TokenSequence seq;
+    for (int j = 0; j < 8; ++j) {
+      seq.push_back(static_cast<TokenId>(rng.UniformInt(4, kVocab - 1)));
+    }
+    sequences.push_back(std::move(seq));
+  }
+  NeuralLm::Options options;
+  options.epochs = 1;
+  options.pretrain_epochs = 0;
+  NeuralLm lm(kVocab, options);
+  if (!lm.Fit(sequences).ok()) state.SkipWithError("fit failed");
+  TokenSequence context(sequences[0].begin(), sequences[0].begin() + 3);
+  std::vector<TokenId> candidates;
+  for (TokenId id = 4; id < 20; ++id) candidates.push_back(id);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        lm.NextTokenDistributionRestricted(context, candidates));
+  }
+}
+BENCHMARK(BM_NeuralNextTokenRestricted);
+
+// Batch row sampling; the arg is GreatSynthesizer::Options::num_threads.
+void BM_SampleRows(benchmark::State& state) {
+  DigixDataset trial = MakeTrial();
+  GreatSynthesizer::Options options;
+  options.num_threads = static_cast<size_t>(state.range(0));
+  GreatSynthesizer synth(options);
+  Rng rng(1);
+  if (!synth.Fit(trial.ads, &rng).ok()) state.SkipWithError("fit failed");
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(synth.Sample(64, &rng));
+  }
+}
+BENCHMARK(BM_SampleRows)->Arg(1)->Arg(4)->Unit(benchmark::kMillisecond);
 
 void BM_DirectFlatten(benchmark::State& state) {
   DigixDataset trial = MakeTrial();

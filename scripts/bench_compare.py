@@ -1,0 +1,92 @@
+#!/usr/bin/env python3
+"""Compare two BENCH_micro.json runs (google-benchmark JSON output).
+
+Usage:
+    scripts/bench_compare.py BASELINE.json CANDIDATE.json [--fail-above PCT]
+
+Prints a per-benchmark table of baseline vs. candidate real time and the
+relative delta (positive = candidate slower). With --fail-above, exits
+non-zero when any benchmark regressed by more than PCT percent — suitable
+for a CI perf gate. Benchmarks present in only one file are listed but
+never fail the gate.
+
+Refresh the checked-in results with:
+    cmake --build build --target bench_json
+"""
+
+import argparse
+import json
+import sys
+
+
+def load_benchmarks(path):
+    with open(path) as f:
+        doc = json.load(f)
+    out = {}
+    for bench in doc.get("benchmarks", []):
+        # Skip aggregate rows (mean/median/stddev of repeated runs).
+        if bench.get("run_type") == "aggregate":
+            continue
+        out[bench["name"]] = {
+            "real_time": float(bench["real_time"]),
+            "time_unit": bench.get("time_unit", "ns"),
+        }
+    return out
+
+
+def format_time(value, unit):
+    return f"{value:,.1f} {unit}"
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("baseline", help="baseline BENCH_micro.json")
+    parser.add_argument("candidate", help="candidate BENCH_micro.json")
+    parser.add_argument(
+        "--fail-above",
+        type=float,
+        default=None,
+        metavar="PCT",
+        help="exit 1 if any benchmark regressed by more than PCT percent",
+    )
+    args = parser.parse_args()
+
+    base = load_benchmarks(args.baseline)
+    cand = load_benchmarks(args.candidate)
+
+    names = sorted(set(base) | set(cand))
+    width = max((len(n) for n in names), default=4)
+    print(f"{'benchmark':<{width}}  {'baseline':>14}  {'candidate':>14}  {'delta':>8}")
+
+    worst = None
+    for name in names:
+        b = base.get(name)
+        c = cand.get(name)
+        if b is None or c is None:
+            status = "only in candidate" if b is None else "only in baseline"
+            print(f"{name:<{width}}  {status}")
+            continue
+        if b["time_unit"] != c["time_unit"]:
+            print(f"{name:<{width}}  unit mismatch ({b['time_unit']} vs {c['time_unit']})")
+            continue
+        delta = (c["real_time"] - b["real_time"]) / b["real_time"] * 100.0
+        if worst is None or delta > worst[1]:
+            worst = (name, delta)
+        print(
+            f"{name:<{width}}  {format_time(b['real_time'], b['time_unit']):>14}"
+            f"  {format_time(c['real_time'], c['time_unit']):>14}  {delta:>+7.1f}%"
+        )
+
+    if worst is not None:
+        print(f"\nworst delta: {worst[0]} ({worst[1]:+.1f}%)")
+        if args.fail_above is not None and worst[1] > args.fail_above:
+            print(
+                f"FAIL: regression above {args.fail_above:.1f}% threshold",
+                file=sys.stderr,
+            )
+            return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -32,6 +32,14 @@ std::vector<size_t> Rng::BootstrapIndices(size_t n, size_t count) {
   return out;
 }
 
+uint64_t Rng::DeriveStreamSeed(uint64_t base, uint64_t index) {
+  // SplitMix64 finalizer; the golden-ratio stride separates indices.
+  uint64_t z = base + (index + 1) * 0x9e3779b97f4a7c15ULL;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
 Rng Rng::Fork() {
   // Draw two words from this stream to seed the child; keeps parent and
   // child streams decorrelated for mt19937_64's practical purposes.

@@ -93,6 +93,14 @@ class Rng {
   /// eight evaluation trials its own stream.
   Rng Fork();
 
+  /// Deterministically derives the seed of parallel stream `index` from a
+  /// `base` value (SplitMix64 finalizer over base + index). Parallel
+  /// samplers draw ONE base from the caller's generator — advancing it by
+  /// the same amount regardless of worker count — and give worker `w` the
+  /// stream seeded with DeriveStreamSeed(base, w), so a fixed
+  /// (seed, num_threads) pair always reproduces the same output.
+  static uint64_t DeriveStreamSeed(uint64_t base, uint64_t index);
+
   std::mt19937_64& engine() { return engine_; }
 
  private:

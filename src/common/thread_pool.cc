@@ -1,0 +1,79 @@
+#include "common/thread_pool.h"
+
+#include <algorithm>
+#include <exception>
+#include <utility>
+
+namespace greater {
+
+ThreadPool::ThreadPool(size_t num_threads) {
+  size_t n = std::max<size_t>(1, num_threads);
+  workers_.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+}
+
+void ThreadPool::WorkerLoop() {
+  for (;;) {
+    std::packaged_task<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stop_ set and nothing left to run
+      task = std::move(queue_.front());
+      queue_.pop();
+    }
+    task();  // exceptions land in the task's future, never escape here
+  }
+}
+
+std::future<void> ThreadPool::Submit(std::function<void()> task) {
+  std::packaged_task<void()> packaged(std::move(task));
+  std::future<void> future = packaged.get_future();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    queue_.push(std::move(packaged));
+  }
+  cv_.notify_one();
+  return future;
+}
+
+void ThreadPool::ParallelFor(
+    size_t count, size_t num_shards,
+    const std::function<void(size_t, size_t, size_t)>& fn) {
+  num_shards = std::max<size_t>(1, std::min(num_shards, std::max<size_t>(count, 1)));
+  if (num_shards == 1) {
+    fn(0, 0, count);  // inline: nothing to schedule, nothing to capture
+    return;
+  }
+  std::vector<std::future<void>> futures;
+  futures.reserve(num_shards);
+  for (size_t s = 0; s < num_shards; ++s) {
+    size_t begin = ShardBegin(count, num_shards, s);
+    size_t end = ShardBegin(count, num_shards, s + 1);
+    futures.push_back(Submit([&fn, s, begin, end] { fn(s, begin, end); }));
+  }
+  // Wait for every shard before rethrowing, so no task still references
+  // caller state when the exception unwinds; keep the lowest-shard error.
+  std::exception_ptr first_error;
+  for (auto& future : futures) {
+    try {
+      future.get();
+    } catch (...) {
+      if (!first_error) first_error = std::current_exception();
+    }
+  }
+  if (first_error) std::rethrow_exception(first_error);
+}
+
+}  // namespace greater

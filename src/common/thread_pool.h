@@ -1,0 +1,75 @@
+#ifndef GREATER_COMMON_THREAD_POOL_H_
+#define GREATER_COMMON_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace greater {
+
+/// Small fixed-size worker pool — the parallel execution layer behind
+/// data-parallel NeuralLm training and GreatSynthesizer::SampleRows.
+///
+/// Design constraints (see DESIGN.md, "Parallel execution layer"):
+///  - Work is partitioned into *index-addressed* shards, never
+///    worker-addressed ones: any thread may run shard `s`, but everything
+///    shard `s` writes lives in buffers selected by `s`. Combined with a
+///    fixed-order reduce in the caller, results depend only on the shard
+///    plan, not on scheduling.
+///  - Exceptions thrown by tasks are captured and rethrown on the calling
+///    thread: Submit() via the returned future, ParallelFor() by rethrowing
+///    the lowest-index shard's exception after every shard finished.
+///  - A pool of size 1 still runs tasks on its single worker thread;
+///    callers that want a zero-overhead serial path should branch before
+///    reaching the pool (NeuralLm and GreatSynthesizer do).
+class ThreadPool {
+ public:
+  /// Spawns `num_threads` workers (clamped to >= 1).
+  explicit ThreadPool(size_t num_threads);
+
+  /// Drains the queue and joins all workers.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  size_t num_workers() const { return workers_.size(); }
+
+  /// Enqueues one task. The future rethrows any exception the task threw.
+  std::future<void> Submit(std::function<void()> task);
+
+  /// Runs fn(shard, begin, end) for `num_shards` contiguous shards
+  /// partitioning [0, count): shard s covers
+  /// [s*count/num_shards, (s+1)*count/num_shards). Blocks until every
+  /// shard finished, then rethrows the lowest-shard-index exception if any
+  /// shard threw. The partition depends only on (count, num_shards), so a
+  /// fixed shard plan yields a fixed write pattern regardless of which
+  /// worker picks up which shard.
+  void ParallelFor(size_t count, size_t num_shards,
+                   const std::function<void(size_t shard, size_t begin,
+                                            size_t end)>& fn);
+
+  /// Shard boundaries used by ParallelFor, exposed so callers can size
+  /// per-shard buffers identically.
+  static size_t ShardBegin(size_t count, size_t num_shards, size_t shard) {
+    return count * shard / num_shards;
+  }
+
+ private:
+  void WorkerLoop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::packaged_task<void()>> queue_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+};
+
+}  // namespace greater
+
+#endif  // GREATER_COMMON_THREAD_POOL_H_

@@ -398,10 +398,18 @@ Result<PipelineResult> MultiTablePipeline::Run(
   Table synthetic_parent;
   Table synthetic_flat;
 
+  RelationalSynthesizer::Options rs_options;
+  rs_options.parent = options_.synth;
+  rs_options.child = options_.synth;
+  if (options_.num_threads > 0) {
+    for (GreatSynthesizer::Options* synth :
+         {&rs_options.parent, &rs_options.child}) {
+      synth->num_threads = options_.num_threads;
+      synth->neural.num_threads = options_.num_threads;
+    }
+  }
+
   if (options_.fusion == FusionMethod::kDerecIndependent) {
-    RelationalSynthesizer::Options rs_options;
-    rs_options.parent = options_.synth;
-    rs_options.child = options_.synth;
     RelationalSynthesizer rs1(rs_options);
     RelationalSynthesizer rs2(rs_options);
     GREATER_RETURN_NOT_OK_CTX(rs1.Fit(parent, c1, key_column, rng),
@@ -475,9 +483,6 @@ Result<PipelineResult> MultiTablePipeline::Run(
     }
     result.fused_training_rows = fused.num_rows();
 
-    RelationalSynthesizer::Options rs_options;
-    rs_options.parent = options_.synth;
-    rs_options.child = options_.synth;
     RelationalSynthesizer rs(rs_options);
     GREATER_RETURN_NOT_OK_CTX(rs.Fit(parent, fused, key_column, rng),
                               StageContext("fit", "fused"));

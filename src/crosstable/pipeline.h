@@ -61,6 +61,11 @@ struct PipelineOptions {
   /// row that succeeded and accounts for the rest in
   /// PipelineResult::sample_report.
   GreatSynthesizer::Options synth;
+  /// Worker-thread override applied to every synthesizer the run builds:
+  /// 0 leaves `synth` untouched; >= 1 overrides both the sampling workers
+  /// and the neural backbone's training threads. Output stays
+  /// deterministic for a fixed (seed, num_threads) pair.
+  size_t num_threads = 0;
   /// Synthetic subject count; 0 -> match the training subject count.
   size_t num_synthetic_parents = 0;
   /// Erase the mapping system after synthesis (privacy, Sec. 3.2.3).

@@ -32,28 +32,39 @@ double LanguageModel::Perplexity(
   return std::exp(-total_logprob / total_tokens);
 }
 
+std::vector<double> LanguageModel::NextTokenDistributionRestricted(
+    const TokenSequence& context,
+    const std::vector<TokenId>& candidates) const {
+  std::vector<double> dist = NextTokenDistribution(context);
+  std::vector<double> out(candidates.size(), 0.0);
+  for (size_t i = 0; i < candidates.size(); ++i) {
+    TokenId id = candidates[i];
+    if (id >= 0 && static_cast<size_t>(id) < dist.size()) {
+      out[i] = dist[static_cast<size_t>(id)];
+    }
+  }
+  return out;
+}
+
 namespace {
 
-// Applies temperature and an optional allow-list to a distribution,
-// returning unnormalized weights.
-std::vector<double> ShapeDistribution(std::vector<double> dist,
-                                      double temperature,
-                                      const std::vector<TokenId>* allowed) {
-  if (allowed != nullptr) {
-    std::vector<double> masked(dist.size(), 0.0);
-    for (TokenId id : *allowed) {
-      if (id >= 0 && static_cast<size_t>(id) < dist.size()) {
-        masked[static_cast<size_t>(id)] = dist[static_cast<size_t>(id)];
-      }
-    }
-    dist = std::move(masked);
-  }
+// Applies temperature shaping in place (unnormalized weights).
+void ApplyTemperature(std::vector<double>* weights, double temperature) {
   if (temperature > 0.0 && temperature != 1.0) {
-    for (double& p : dist) {
+    for (double& p : *weights) {
       p = p > 0.0 ? std::pow(p, 1.0 / temperature) : 0.0;
     }
   }
-  return dist;
+}
+
+// True when the allow-list is strictly increasing — the synthesizer keeps
+// its candidate lists in that form so constrained decoding never has to
+// copy or sort them.
+bool IsStrictlySorted(const std::vector<TokenId>& ids) {
+  for (size_t i = 1; i < ids.size(); ++i) {
+    if (ids[i] <= ids[i - 1]) return false;
+  }
+  return true;
 }
 
 }  // namespace
@@ -61,34 +72,76 @@ std::vector<double> ShapeDistribution(std::vector<double> dist,
 TokenId LanguageModel::SampleNext(const TokenSequence& context, Rng* rng,
                                   double temperature,
                                   const std::vector<TokenId>* allowed) const {
+  if (allowed == nullptr) {
+    std::vector<double> weights = NextTokenDistribution(context);
+    ApplyTemperature(&weights, temperature);
+    double total = 0.0;
+    for (double w : weights) total += w;
+    if (total <= 0.0) return Vocabulary::kEosId;
+    return static_cast<TokenId>(rng->Categorical(weights));
+  }
+  // Constrained decoding: weights only over the allow-list. Candidates are
+  // evaluated in ascending-id order (matching the index-order walk the
+  // full-vocabulary path used to do), so a strictly sorted allow-list
+  // draws the same tokens from the same Rng stream as masking the full
+  // distribution — deduplicated and sorted first when it is not.
+  const std::vector<TokenId>* candidates = allowed;
+  std::vector<TokenId> sorted;
+  if (!IsStrictlySorted(*allowed)) {
+    sorted = *allowed;
+    std::sort(sorted.begin(), sorted.end());
+    sorted.erase(std::unique(sorted.begin(), sorted.end()), sorted.end());
+    candidates = &sorted;
+  }
   std::vector<double> weights =
-      ShapeDistribution(NextTokenDistribution(context), temperature, allowed);
+      NextTokenDistributionRestricted(context, *candidates);
+  ApplyTemperature(&weights, temperature);
   double total = 0.0;
   for (double w : weights) total += w;
   if (total <= 0.0) {
-    // Constrained decoding with an allow-list the model assigns zero mass
-    // to: fall back to uniform over the allow-list rather than dying.
-    if (allowed != nullptr && !allowed->empty()) {
+    // The model assigns zero mass to every candidate: fall back to uniform
+    // over the allow-list rather than dying.
+    if (!allowed->empty()) {
       return (*allowed)[rng->Index(allowed->size())];
     }
     return Vocabulary::kEosId;
   }
-  return static_cast<TokenId>(rng->Categorical(weights));
+  return (*candidates)[rng->Categorical(weights)];
 }
 
 TokenId LanguageModel::ArgmaxNext(const TokenSequence& context,
                                   const std::vector<TokenId>* allowed) const {
+  if (allowed == nullptr) {
+    std::vector<double> weights = NextTokenDistribution(context);
+    TokenId best = Vocabulary::kEosId;
+    double best_weight = -1.0;
+    for (size_t i = 0; i < weights.size(); ++i) {
+      if (weights[i] > best_weight) {
+        best_weight = weights[i];
+        best = static_cast<TokenId>(i);
+      }
+    }
+    return best;
+  }
+  const std::vector<TokenId>* candidates = allowed;
+  std::vector<TokenId> sorted;
+  if (!IsStrictlySorted(*allowed)) {
+    sorted = *allowed;
+    std::sort(sorted.begin(), sorted.end());
+    sorted.erase(std::unique(sorted.begin(), sorted.end()), sorted.end());
+    candidates = &sorted;
+  }
   std::vector<double> weights =
-      ShapeDistribution(NextTokenDistribution(context), 1.0, allowed);
+      NextTokenDistributionRestricted(context, *candidates);
   TokenId best = Vocabulary::kEosId;
   double best_weight = -1.0;
   for (size_t i = 0; i < weights.size(); ++i) {
     if (weights[i] > best_weight) {
       best_weight = weights[i];
-      best = static_cast<TokenId>(i);
+      best = (*candidates)[i];
     }
   }
-  if (best_weight <= 0.0 && allowed != nullptr && !allowed->empty()) {
+  if (best_weight <= 0.0 && !allowed->empty()) {
     return (*allowed)[0];
   }
   return best;

@@ -31,6 +31,23 @@ class LanguageModel {
   virtual std::vector<double> NextTokenDistribution(
       const TokenSequence& context) const = 0;
 
+  /// Next-token weights restricted to `candidates`: out[i] is the weight of
+  /// candidates[i], proportional to NextTokenDistribution(context) gathered
+  /// at the same ids (ids outside the vocabulary get weight 0). This is the
+  /// constrained-decoding hot path: backbones override it to skip the
+  /// full-vocabulary work — O(h*|C|) logits in the neural model, per-
+  /// candidate count lookups in the n-gram model — so the cost of sampling
+  /// a value token scales with the column's vocabulary, not the table's.
+  /// The base implementation computes the full distribution and gathers.
+  ///
+  /// Weights need not sum to 1; callers sample categorically, which
+  /// normalizes implicitly. The n-gram override is bitwise-identical to
+  /// the gather; the neural override renormalizes its softmax over the
+  /// candidate set, which is exactly proportional in real arithmetic.
+  virtual std::vector<double> NextTokenDistributionRestricted(
+      const TokenSequence& context,
+      const std::vector<TokenId>& candidates) const;
+
   /// Vocabulary size this model was built for.
   virtual size_t vocab_size() const = 0;
 

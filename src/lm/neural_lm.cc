@@ -1,7 +1,9 @@
 #include "lm/neural_lm.h"
 
 #include <algorithm>
+#include <array>
 #include <cmath>
+#include <memory>
 
 namespace greater {
 namespace {
@@ -28,6 +30,7 @@ NeuralLm::NeuralLm(size_t vocab_size, const Options& options)
   options_.embed_dim = std::max<size_t>(2, options_.embed_dim);
   options_.hidden_dim = std::max<size_t>(2, options_.hidden_dim);
   options_.batch_size = std::max<size_t>(1, options_.batch_size);
+  options_.num_threads = std::max<size_t>(1, options_.num_threads);
   InitParameters();
 }
 
@@ -56,33 +59,40 @@ Status NeuralLm::SetPriorCorpus(const std::vector<TokenSequence>& sequences) {
   return Status::OK();
 }
 
-std::vector<NeuralLm::Example> NeuralLm::BuildExamples(
+NeuralLm::ExampleSet NeuralLm::BuildExamples(
     const std::vector<TokenSequence>& sequences) const {
   size_t c = options_.context_window;
-  std::vector<Example> examples;
+  ExampleSet set;
+  set.window = c;
+  // Pre-count: each sequence yields size + 1 examples (every position plus
+  // the implicit eos), so the flat buffers can be sized exactly once.
+  size_t total = 0;
+  for (const auto& seq : sequences) total += seq.size() + 1;
+  set.contexts.reserve(total * c);
+  set.targets.reserve(total);
+  TokenSequence padded;  // reused across sequences
   for (const auto& seq : sequences) {
-    TokenSequence padded;
+    padded.clear();
     padded.reserve(seq.size() + 2);
     padded.push_back(Vocabulary::kBosId);
     padded.insert(padded.end(), seq.begin(), seq.end());
     padded.push_back(Vocabulary::kEosId);
     for (size_t pos = 1; pos < padded.size(); ++pos) {
-      Example ex;
-      ex.context.assign(c, Vocabulary::kPadId);
+      size_t base = set.contexts.size();
+      set.contexts.resize(base + c, Vocabulary::kPadId);
       size_t take = std::min(pos, c);
       for (size_t k = 0; k < take; ++k) {
-        ex.context[c - 1 - k] = padded[pos - 1 - k];
+        set.contexts[base + c - 1 - k] = padded[pos - 1 - k];
       }
-      ex.target = padded[pos];
-      examples.push_back(std::move(ex));
+      set.targets.push_back(padded[pos]);
+      ++set.count;
     }
   }
-  return examples;
+  return set;
 }
 
-void NeuralLm::Forward(const std::vector<TokenId>& context,
-                       std::vector<double>* hidden,
-                       std::vector<double>* probs) const {
+void NeuralLm::HiddenLayer(const TokenId* context,
+                           std::vector<double>* hidden) const {
   size_t c = options_.context_window;
   size_t e = options_.embed_dim;
   size_t h = options_.hidden_dim;
@@ -100,6 +110,12 @@ void NeuralLm::Forward(const std::vector<TokenId>& context,
   for (size_t j = 0; j < h; ++j) {
     (*hidden)[j] = std::tanh((*hidden)[j] + b1_(0, j));
   }
+}
+
+void NeuralLm::Forward(const TokenId* context, std::vector<double>* hidden,
+                       std::vector<double>* probs) const {
+  size_t h = options_.hidden_dim;
+  HiddenLayer(context, hidden);
   // logits = hidden W2 + b2
   probs->assign(vocab_size_, 0.0);
   for (size_t j = 0; j < h; ++j) {
@@ -110,6 +126,55 @@ void NeuralLm::Forward(const std::vector<TokenId>& context,
   }
   for (size_t t = 0; t < vocab_size_; ++t) (*probs)[t] += b2_(0, t);
   Softmax(probs);
+}
+
+void NeuralLm::TrainExample(const TokenId* context, TokenId target,
+                            Workspace* ws) const {
+  size_t c = options_.context_window;
+  size_t e = options_.embed_dim;
+  size_t h = options_.hidden_dim;
+  std::vector<double>& hidden = ws->hidden;
+  std::vector<double>& probs = ws->probs;
+  std::vector<double>& dhidden = ws->dhidden;
+
+  Forward(context, &hidden, &probs);
+  ws->loss +=
+      -std::log(std::max(probs[static_cast<size_t>(target)], 1e-300));
+
+  // dlogits = probs - onehot(target)
+  probs[static_cast<size_t>(target)] -= 1.0;
+  // Grad for W2/b2 and hidden.
+  dhidden.assign(h, 0.0);
+  for (size_t j = 0; j < h; ++j) {
+    double a = hidden[j];
+    double* gw_row = ws->g_w2.RowPtr(j);
+    const double* w_row = w2_.RowPtr(j);
+    double dh = 0.0;
+    for (size_t t = 0; t < vocab_size_; ++t) {
+      gw_row[t] += a * probs[t];
+      dh += w_row[t] * probs[t];
+    }
+    dhidden[j] = dh * (1.0 - a * a);  // through tanh
+  }
+  for (size_t t = 0; t < vocab_size_; ++t) ws->g_b2(0, t) += probs[t];
+  for (size_t j = 0; j < h; ++j) ws->g_b1(0, j) += dhidden[j];
+  // Grad for W1 and embeddings.
+  for (size_t slot = 0; slot < c; ++slot) {
+    size_t row = static_cast<size_t>(context[slot]);
+    const double* emb = embed_.RowPtr(row);
+    double* g_emb = ws->g_embed.RowPtr(row);
+    for (size_t d = 0; d < e; ++d) {
+      double* gw_row = ws->g_w1.RowPtr(slot * e + d);
+      const double* w_row = w1_.RowPtr(slot * e + d);
+      double x = emb[d];
+      double dx = 0.0;
+      for (size_t j = 0; j < h; ++j) {
+        gw_row[j] += x * dhidden[j];
+        dx += w_row[j] * dhidden[j];
+      }
+      g_emb[d] += dx;
+    }
+  }
 }
 
 void NeuralLm::AdamStep(Matrix* param, Matrix* grad, Adam* state) {
@@ -129,82 +194,89 @@ void NeuralLm::AdamStep(Matrix* param, Matrix* grad, Adam* state) {
   }
 }
 
-double NeuralLm::RunEpochs(const std::vector<Example>& examples,
-                           size_t epochs) {
+double NeuralLm::RunEpochs(const ExampleSet& examples, size_t epochs,
+                           ThreadPool* pool) {
   size_t c = options_.context_window;
   size_t e = options_.embed_dim;
   size_t h = options_.hidden_dim;
+  size_t num_shards_max =
+      pool == nullptr ? 1 : std::max<size_t>(1, options_.num_threads);
 
-  Matrix g_embed(vocab_size_, e), g_w1(c * e, h), g_b1(1, h),
-      g_w2(h, vocab_size_), g_b2(1, vocab_size_);
-  Adam a_embed(g_embed), a_w1(g_w1), a_b1(g_b1), a_w2(g_w2), a_b2(g_b2);
+  // One workspace per shard slot. Shard s of every batch writes only
+  // workspace s, whichever pool thread runs it.
+  std::vector<Workspace> shards(num_shards_max);
+  for (Workspace& ws : shards) {
+    ws.g_embed = Matrix(vocab_size_, e);
+    ws.g_w1 = Matrix(c * e, h);
+    ws.g_b1 = Matrix(1, h);
+    ws.g_w2 = Matrix(h, vocab_size_);
+    ws.g_b2 = Matrix(1, vocab_size_);
+  }
+  auto shard_grads = [](Workspace& ws) {
+    return std::array<Matrix*, 5>{&ws.g_embed, &ws.g_w1, &ws.g_b1, &ws.g_w2,
+                                  &ws.g_b2};
+  };
+  Adam a_embed(shards[0].g_embed), a_w1(shards[0].g_w1),
+      a_b1(shards[0].g_b1), a_w2(shards[0].g_w2), a_b2(shards[0].g_b2);
 
-  std::vector<size_t> order(examples.size());
-  std::vector<double> hidden, probs, dhidden;
+  std::vector<size_t> order(examples.count);
   double epoch_loss = 0.0;
 
   for (size_t epoch = 0; epoch < epochs; ++epoch) {
-    order = rng_.Permutation(examples.size());
-    epoch_loss = 0.0;
-    size_t in_batch = 0;
-    for (size_t n = 0; n < order.size(); ++n) {
-      const Example& ex = examples[order[n]];
-      Forward(ex.context, &hidden, &probs);
-      epoch_loss += -std::log(
-          std::max(probs[static_cast<size_t>(ex.target)], 1e-300));
+    order = rng_.Permutation(examples.count);
+    for (Workspace& ws : shards) ws.loss = 0.0;
+    for (size_t batch_begin = 0; batch_begin < order.size();
+         batch_begin += options_.batch_size) {
+      size_t batch_len =
+          std::min(options_.batch_size, order.size() - batch_begin);
 
-      // dlogits = probs - onehot(target)
-      probs[static_cast<size_t>(ex.target)] -= 1.0;
-      // Grad for W2/b2 and hidden.
-      dhidden.assign(h, 0.0);
-      for (size_t j = 0; j < h; ++j) {
-        double a = hidden[j];
-        double* gw_row = g_w2.RowPtr(j);
-        const double* w_row = w2_.RowPtr(j);
-        double dh = 0.0;
-        for (size_t t = 0; t < vocab_size_; ++t) {
-          gw_row[t] += a * probs[t];
-          dh += w_row[t] * probs[t];
+      // Shard the batch: contiguous slices of the permuted order, each
+      // accumulating into its own workspace.
+      auto run_shard = [&](size_t s, size_t rel_begin, size_t rel_end) {
+        Workspace& ws = shards[s];
+        for (size_t rel = rel_begin; rel < rel_end; ++rel) {
+          size_t idx = order[batch_begin + rel];
+          TrainExample(examples.ContextOf(idx), examples.targets[idx], &ws);
         }
-        dhidden[j] = dh * (1.0 - a * a);  // through tanh
-      }
-      for (size_t t = 0; t < vocab_size_; ++t) g_b2(0, t) += probs[t];
-      for (size_t j = 0; j < h; ++j) g_b1(0, j) += dhidden[j];
-      // Grad for W1 and embeddings.
-      for (size_t slot = 0; slot < c; ++slot) {
-        size_t row = static_cast<size_t>(ex.context[slot]);
-        const double* emb = embed_.RowPtr(row);
-        double* g_emb = g_embed.RowPtr(row);
-        for (size_t d = 0; d < e; ++d) {
-          double* gw_row = g_w1.RowPtr(slot * e + d);
-          const double* w_row = w1_.RowPtr(slot * e + d);
-          double x = emb[d];
-          double dx = 0.0;
-          for (size_t j = 0; j < h; ++j) {
-            gw_row[j] += x * dhidden[j];
-            dx += w_row[j] * dhidden[j];
-          }
-          g_emb[d] += dx;
-        }
+      };
+      size_t num_shards = std::min(num_shards_max, batch_len);
+      if (num_shards <= 1) {
+        run_shard(0, 0, batch_len);
+      } else {
+        pool->ParallelFor(batch_len, num_shards, run_shard);
       }
 
-      if (++in_batch == options_.batch_size || n + 1 == order.size()) {
-        ++adam_t_;
-        double scale = 1.0 / static_cast<double>(in_batch);
-        for (Matrix* g : {&g_embed, &g_w1, &g_b1, &g_w2, &g_b2}) {
-          for (double& v : g->data()) v *= scale;
+      // Reduce shards 1..S-1 into shard 0 in fixed index order, so the
+      // result depends only on (seed, num_threads) — and shard 0 alone IS
+      // the serial accumulator, keeping num_threads=1 bitwise-identical
+      // to the historical single-threaded loop.
+      ++adam_t_;
+      auto grads0 = shard_grads(shards[0]);
+      for (size_t s = 1; s < num_shards; ++s) {
+        auto grads_s = shard_grads(shards[s]);
+        for (size_t g = 0; g < grads0.size(); ++g) {
+          auto& dst = grads0[g]->data();
+          auto& src = grads_s[g]->data();
+          for (size_t i = 0; i < dst.size(); ++i) dst[i] += src[i];
+          grads_s[g]->Fill(0.0);
         }
-        AdamStep(&embed_, &g_embed, &a_embed);
-        AdamStep(&w1_, &g_w1, &a_w1);
-        AdamStep(&b1_, &g_b1, &a_b1);
-        AdamStep(&w2_, &g_w2, &a_w2);
-        AdamStep(&b2_, &g_b2, &a_b2);
-        in_batch = 0;
       }
+      double scale = 1.0 / static_cast<double>(batch_len);
+      for (Matrix* g : grads0) {
+        for (double& v : g->data()) v *= scale;
+      }
+      AdamStep(&embed_, &shards[0].g_embed, &a_embed);
+      AdamStep(&w1_, &shards[0].g_w1, &a_w1);
+      AdamStep(&b1_, &shards[0].g_b1, &a_b1);
+      AdamStep(&w2_, &shards[0].g_w2, &a_w2);
+      AdamStep(&b2_, &shards[0].g_b2, &a_b2);
     }
+    epoch_loss = 0.0;
+    for (const Workspace& ws : shards) epoch_loss += ws.loss;
   }
-  return examples.empty() ? 0.0
-                          : epoch_loss / static_cast<double>(examples.size());
+  return examples.count == 0
+             ? 0.0
+             : epoch_loss / static_cast<double>(examples.count);
 }
 
 Status NeuralLm::Fit(const std::vector<TokenSequence>& sequences) {
@@ -223,20 +295,24 @@ Status NeuralLm::Fit(const std::vector<TokenSequence>& sequences) {
       }
     }
   }
-  if (!prior_.empty() && options_.pretrain_epochs > 0) {
-    std::vector<Example> prior_examples = BuildExamples(prior_);
-    RunEpochs(prior_examples, options_.pretrain_epochs);
+  std::unique_ptr<ThreadPool> pool;
+  if (options_.num_threads > 1) {
+    pool = std::make_unique<ThreadPool>(options_.num_threads);
   }
-  std::vector<Example> examples = BuildExamples(sequences);
-  last_epoch_loss_ = RunEpochs(examples, options_.epochs);
+  if (!prior_.empty() && options_.pretrain_epochs > 0) {
+    ExampleSet prior_examples = BuildExamples(prior_);
+    RunEpochs(prior_examples, options_.pretrain_epochs, pool.get());
+  }
+  ExampleSet examples = BuildExamples(sequences);
+  last_epoch_loss_ = RunEpochs(examples, options_.epochs, pool.get());
   fitted_ = true;
   return Status::OK();
 }
 
-std::vector<double> NeuralLm::NextTokenDistribution(
-    const TokenSequence& context) const {
+void NeuralLm::FillWindow(const TokenSequence& context,
+                          std::vector<TokenId>* window) const {
   size_t c = options_.context_window;
-  std::vector<TokenId> window(c, Vocabulary::kPadId);
+  window->assign(c, Vocabulary::kPadId);
   // Effective prefix = bos + context; take its last `c` entries.
   TokenSequence padded;
   padded.reserve(context.size() + 1);
@@ -244,16 +320,65 @@ std::vector<double> NeuralLm::NextTokenDistribution(
   padded.insert(padded.end(), context.begin(), context.end());
   size_t take = std::min(padded.size(), c);
   for (size_t k = 0; k < take; ++k) {
-    window[c - 1 - k] = padded[padded.size() - 1 - k];
+    (*window)[c - 1 - k] = padded[padded.size() - 1 - k];
   }
-  for (TokenId& id : window) {
+  for (TokenId& id : *window) {
     if (id < 0 || static_cast<size_t>(id) >= vocab_size_) {
       id = Vocabulary::kUnkId;
     }
   }
+}
+
+std::vector<double> NeuralLm::NextTokenDistribution(
+    const TokenSequence& context) const {
+  std::vector<TokenId> window;
+  FillWindow(context, &window);
   std::vector<double> hidden, probs;
-  Forward(window, &hidden, &probs);
+  Forward(window.data(), &hidden, &probs);
   return probs;
+}
+
+std::vector<double> NeuralLm::NextTokenDistributionRestricted(
+    const TokenSequence& context,
+    const std::vector<TokenId>& candidates) const {
+  std::vector<TokenId> window;
+  FillWindow(context, &window);
+  size_t h = options_.hidden_dim;
+  std::vector<double> hidden;
+  HiddenLayer(window.data(), &hidden);
+
+  // Logits for the candidate set only: O(h) per candidate instead of the
+  // O(h*V) full output layer, then a softmax over the candidates. Exactly
+  // proportional to the full softmax restricted to the same ids (the
+  // normalizer cancels), so constrained sampling draws from the same
+  // distribution.
+  std::vector<double> out(candidates.size(), 0.0);
+  double max_logit = 0.0;
+  bool any = false;
+  for (size_t i = 0; i < candidates.size(); ++i) {
+    TokenId id = candidates[i];
+    if (id < 0 || static_cast<size_t>(id) >= vocab_size_) continue;
+    size_t t = static_cast<size_t>(id);
+    double z = b2_(0, t);
+    for (size_t j = 0; j < h; ++j) z += hidden[j] * w2_(j, t);
+    out[i] = z;
+    if (!any || z > max_logit) max_logit = z;
+    any = true;
+  }
+  if (!any) return out;
+  double sum = 0.0;
+  for (size_t i = 0; i < candidates.size(); ++i) {
+    TokenId id = candidates[i];
+    if (id < 0 || static_cast<size_t>(id) >= vocab_size_) continue;
+    out[i] = std::exp(out[i] - max_logit);
+    sum += out[i];
+  }
+  for (size_t i = 0; i < candidates.size(); ++i) {
+    TokenId id = candidates[i];
+    if (id < 0 || static_cast<size_t>(id) >= vocab_size_) continue;
+    out[i] /= sum;
+  }
+  return out;
 }
 
 std::vector<double> NeuralLm::EmbeddingOf(TokenId id) const {

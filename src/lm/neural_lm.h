@@ -5,6 +5,7 @@
 
 #include "common/matrix.h"
 #include "common/rng.h"
+#include "common/thread_pool.h"
 #include "lm/language_model.h"
 
 namespace greater {
@@ -21,6 +22,14 @@ namespace greater {
 /// prior corpus ("pre-training") as NGramLm: when set, training first runs
 /// `pretrain_epochs` over the prior corpus before fine-tuning, giving
 /// semantically meaningful replacement tokens a warm start.
+///
+/// Training is data-parallel when num_threads > 1: each minibatch is cut
+/// into contiguous shards, every shard accumulates gradients into its own
+/// buffers, and the shards are reduced in fixed index order before the
+/// Adam step. The result is deterministic for a given (seed, num_threads)
+/// and bitwise-identical to the serial implementation at num_threads = 1;
+/// other thread counts differ only by floating-point reassociation in the
+/// reduce (see DESIGN.md, "Parallel execution layer").
 class NeuralLm : public LanguageModel {
  public:
   struct Options {
@@ -32,6 +41,9 @@ class NeuralLm : public LanguageModel {
     double learning_rate = 2e-3;  ///< Adam step size
     size_t pretrain_epochs = 2;
     uint64_t seed = 17;
+    /// Worker threads for data-parallel training. 1 = serial (bitwise
+    /// reference behaviour); clamped to >= 1.
+    size_t num_threads = 1;
   };
 
   NeuralLm(size_t vocab_size, const Options& options);
@@ -45,6 +57,13 @@ class NeuralLm : public LanguageModel {
   std::vector<double> NextTokenDistribution(
       const TokenSequence& context) const override;
 
+  /// Restricted path: one hidden pass, then logits + softmax over the
+  /// candidate set only — O(h*|C|) instead of O(h*V) per token. Exactly
+  /// proportional to NextTokenDistribution gathered at the candidates.
+  std::vector<double> NextTokenDistributionRestricted(
+      const TokenSequence& context,
+      const std::vector<TokenId>& candidates) const override;
+
   size_t vocab_size() const override { return vocab_size_; }
   bool fitted() const override { return fitted_; }
 
@@ -55,9 +74,26 @@ class NeuralLm : public LanguageModel {
   std::vector<double> EmbeddingOf(TokenId id) const;
 
  private:
-  struct Example {
-    std::vector<TokenId> context;  // exactly context_window ids (pad-filled)
-    TokenId target;
+  /// Flat example storage: one contiguous context-id buffer instead of a
+  /// heap-allocated vector per example (cache-friendly, shardable).
+  struct ExampleSet {
+    size_t count = 0;
+    size_t window = 0;
+    std::vector<TokenId> contexts;  // count * window ids, row-major
+    std::vector<TokenId> targets;   // count ids
+
+    const TokenId* ContextOf(size_t i) const {
+      return contexts.data() + i * window;
+    }
+  };
+
+  /// Per-shard training workspace: private gradient buffers plus reusable
+  /// forward/backward activations. Shards write only their own workspace;
+  /// the reduce step combines them in fixed index order.
+  struct Workspace {
+    Matrix g_embed, g_w1, g_b1, g_w2, g_b2;
+    std::vector<double> hidden, probs, dhidden;
+    double loss = 0.0;
   };
 
   struct Adam {
@@ -68,12 +104,22 @@ class NeuralLm : public LanguageModel {
   };
 
   void InitParameters();
-  std::vector<Example> BuildExamples(
-      const std::vector<TokenSequence>& sequences) const;
-  double RunEpochs(const std::vector<Example>& examples, size_t epochs);
-  // Forward pass; fills hidden activations and output probabilities.
-  void Forward(const std::vector<TokenId>& context, std::vector<double>* hidden,
+  ExampleSet BuildExamples(const std::vector<TokenSequence>& sequences) const;
+  double RunEpochs(const ExampleSet& examples, size_t epochs,
+                   ThreadPool* pool);
+  // Hidden layer: fills `hidden` with tanh(concat-embeddings * W1 + b1).
+  void HiddenLayer(const TokenId* context, std::vector<double>* hidden) const;
+  // Full forward pass; fills hidden activations and output probabilities.
+  // `context` must hold exactly context_window ids.
+  void Forward(const TokenId* context, std::vector<double>* hidden,
                std::vector<double>* probs) const;
+  // Forward + backward for one example, accumulating into `ws`.
+  void TrainExample(const TokenId* context, TokenId target,
+                    Workspace* ws) const;
+  // Fills `window` (size context_window) with the clamped last-c ids of
+  // bos + context.
+  void FillWindow(const TokenSequence& context,
+                  std::vector<TokenId>* window) const;
   void AdamStep(Matrix* param, Matrix* grad, Adam* state);
 
   size_t vocab_size_;

@@ -1,19 +1,19 @@
 #include "lm/ngram_lm.h"
 
 #include <algorithm>
-#include <cstring>
 
 namespace greater {
 
 NGramLm::NGramLm(size_t vocab_size, const Options& options)
     : vocab_size_(vocab_size), options_(options) {
-  options_.order = std::clamp<size_t>(options_.order, 2, 8);
+  options_.order = std::clamp<size_t>(options_.order, 2, kMaxOrder);
   levels_.resize(options_.order);  // context lengths 0 .. order-1
 }
 
-std::string NGramLm::PackContext(const TokenId* begin, size_t len) {
-  std::string key(len * sizeof(TokenId), '\0');
-  if (len > 0) std::memcpy(key.data(), begin, len * sizeof(TokenId));
+NGramLm::ContextKey NGramLm::PackContext(const TokenId* begin, size_t len) {
+  ContextKey key;
+  key.len = static_cast<uint32_t>(len);
+  for (size_t i = 0; i < len; ++i) key.ids[i] = begin[i];
   return key;
 }
 
@@ -38,7 +38,7 @@ void NGramLm::AccumulateSequence(const TokenSequence& sequence,
     TokenId target = padded[pos];
     size_t max_ctx = std::min(pos, options_.order - 1);
     for (size_t ctx_len = 0; ctx_len <= max_ctx; ++ctx_len) {
-      std::string key =
+      ContextKey key =
           PackContext(padded.data() + (pos - ctx_len), ctx_len);
       ContextStats& stats = levels_[ctx_len][key];
       stats.total += weight;
@@ -89,7 +89,7 @@ std::vector<double> NGramLm::NextTokenDistribution(
   // dist <- lambda * ML(level) + (1 - lambda) * dist.
   for (size_t ctx_len = 0; ctx_len < options_.order; ++ctx_len) {
     if (ctx_len > padded.size()) break;
-    std::string key = PackContext(
+    ContextKey key = PackContext(
         padded.data() + (padded.size() - ctx_len), ctx_len);
     auto it = levels_[ctx_len].find(key);
     if (it == levels_[ctx_len].end()) break;  // longer contexts unseen too
@@ -103,6 +103,49 @@ std::vector<double> NGramLm::NextTokenDistribution(
     }
   }
   return dist;
+}
+
+std::vector<double> NGramLm::NextTokenDistributionRestricted(
+    const TokenSequence& context,
+    const std::vector<TokenId>& candidates) const {
+  // Per-candidate replay of the interpolation above, touching only the
+  // candidate counts. Each candidate's value goes through the identical
+  // multiply-then-add sequence as its slot in the full-vocabulary walk, so
+  // the result matches a gather of NextTokenDistribution bit for bit.
+  double base = 1.0 / static_cast<double>(vocab_size_);
+  std::vector<double> out(candidates.size(), 0.0);
+  for (size_t i = 0; i < candidates.size(); ++i) {
+    TokenId id = candidates[i];
+    if (id >= 0 && static_cast<size_t>(id) < vocab_size_) out[i] = base;
+  }
+  if (!fitted_) return out;
+
+  TokenSequence padded;
+  padded.reserve(context.size() + 1);
+  padded.push_back(Vocabulary::kBosId);
+  padded.insert(padded.end(), context.begin(), context.end());
+
+  for (size_t ctx_len = 0; ctx_len < options_.order; ++ctx_len) {
+    if (ctx_len > padded.size()) break;
+    ContextKey key = PackContext(
+        padded.data() + (padded.size() - ctx_len), ctx_len);
+    auto it = levels_[ctx_len].find(key);
+    if (it == levels_[ctx_len].end()) break;
+    const ContextStats& stats = it->second;
+    double distinct = static_cast<double>(stats.counts.size());
+    double lambda = stats.total / (stats.total + distinct);
+    double keep = 1.0 - lambda;
+    for (size_t i = 0; i < candidates.size(); ++i) {
+      TokenId id = candidates[i];
+      if (id < 0 || static_cast<size_t>(id) >= vocab_size_) continue;
+      out[i] *= keep;
+      auto count_it = stats.counts.find(id);
+      if (count_it != stats.counts.end()) {
+        out[i] += lambda * count_it->second / stats.total;
+      }
+    }
+  }
+  return out;
 }
 
 }  // namespace greater

@@ -1,7 +1,8 @@
 #ifndef GREATER_LM_NGRAM_LM_H_
 #define GREATER_LM_NGRAM_LM_H_
 
-#include <string>
+#include <array>
+#include <cstdint>
 #include <unordered_map>
 #include <vector>
 
@@ -51,10 +52,20 @@ class NGramLm : public LanguageModel {
   std::vector<double> NextTokenDistribution(
       const TokenSequence& context) const override;
 
+  /// Restricted path: Witten–Bell interpolation evaluated per candidate
+  /// (count lookups only for the candidate set), bitwise-identical to
+  /// gathering NextTokenDistribution at the candidate ids.
+  std::vector<double> NextTokenDistributionRestricted(
+      const TokenSequence& context,
+      const std::vector<TokenId>& candidates) const override;
+
   size_t vocab_size() const override { return vocab_size_; }
   bool fitted() const override { return fitted_; }
 
   const Options& options() const { return options_; }
+
+  /// Maximum supported n-gram order (Options::order is clamped to it).
+  static constexpr size_t kMaxOrder = 8;
 
  private:
   struct ContextStats {
@@ -62,10 +73,36 @@ class NGramLm : public LanguageModel {
     std::unordered_map<TokenId, double> counts;
   };
 
-  // One map per order level; key = packed context ids.
-  using LevelMap = std::unordered_map<std::string, ContextStats>;
+  /// Context key: up to kMaxOrder-1 token ids packed into a fixed array —
+  /// no heap allocation, no string materialization per lookup. Unused
+  /// slots stay zero so equality can compare the whole array.
+  struct ContextKey {
+    std::array<TokenId, kMaxOrder - 1> ids{};
+    uint32_t len = 0;
 
-  static std::string PackContext(const TokenId* begin, size_t len);
+    bool operator==(const ContextKey& other) const {
+      return len == other.len && ids == other.ids;
+    }
+  };
+
+  struct ContextKeyHash {
+    size_t operator()(const ContextKey& key) const {
+      // SplitMix64-style mix over the active prefix.
+      uint64_t h = 0x9e3779b97f4a7c15ULL ^ key.len;
+      for (uint32_t i = 0; i < key.len; ++i) {
+        h ^= static_cast<uint64_t>(static_cast<uint32_t>(key.ids[i]));
+        h *= 0xff51afd7ed558ccdULL;
+        h ^= h >> 33;
+      }
+      return static_cast<size_t>(h);
+    }
+  };
+
+  // One map per order level; key = packed context ids.
+  using LevelMap =
+      std::unordered_map<ContextKey, ContextStats, ContextKeyHash>;
+
+  static ContextKey PackContext(const TokenId* begin, size_t len);
   void AccumulateSequence(const TokenSequence& sequence, double weight);
 
   size_t vocab_size_;

@@ -60,7 +60,10 @@ Status GreatSynthesizer::Fit(const Table& train, Rng* rng) {
       break;
     }
     case Backbone::kNeural: {
-      auto lm = std::make_unique<NeuralLm>(vocab_size, options_.neural);
+      NeuralLm::Options lm_options = options_.neural;
+      lm_options.num_threads =
+          std::max(lm_options.num_threads, options_.num_threads);
+      auto lm = std::make_unique<NeuralLm>(vocab_size, lm_options);
       if (use_prior) {
         GREATER_RETURN_NOT_OK(lm->SetPriorCorpus(prior_sequences));
       }
@@ -92,16 +95,23 @@ Result<Row> GreatSynthesizer::SampleRow(
   if (!fitted()) {
     return Status::FailedPrecondition("SampleRow before Fit");
   }
-  ++stats_.rows_requested;
+  SamplerWorkspace ws;
+  return SampleRowImpl(rng, forced, &ws, &stats_);
+}
+
+Result<Row> GreatSynthesizer::SampleRowImpl(
+    Rng* rng, const std::map<std::string, Value>* forced,
+    SamplerWorkspace* ws, SampleReport* stats) const {
+  ++stats->rows_requested;
   // Injected per-row failure ("synth.sample_row"): accounted like a
   // natural exhaustion when it carries kResourceExhausted, so lenient
   // callers degrade gracefully and the report still reconciles.
   if (FaultRegistry::AnyArmed()) {
     Status fault = FaultRegistry::Global().Check("synth.sample_row");
     if (!fault.ok()) {
-      ++stats_.injected_faults;
+      ++stats->injected_faults;
       if (fault.code() == StatusCode::kResourceExhausted) {
-        ++stats_.rows_exhausted;
+        ++stats->rows_exhausted;
       }
       return fault;
     }
@@ -110,8 +120,10 @@ Result<Row> GreatSynthesizer::SampleRow(
   const Schema& schema = encoder_->schema();
 
   // Resolve forced columns once.
-  std::vector<int> forced_index(columns.size(), -1);
-  std::vector<Value> forced_values;
+  ws->forced_index.assign(columns.size(), -1);
+  ws->forced_values.clear();
+  std::vector<int>& forced_index = ws->forced_index;
+  std::vector<Value>& forced_values = ws->forced_values;
   if (forced != nullptr) {
     for (const auto& [name, value] : *forced) {
       GREATER_ASSIGN_OR_RETURN(size_t idx, schema.FieldIndex(name));
@@ -123,17 +135,19 @@ Result<Row> GreatSynthesizer::SampleRow(
   Status last_error = Status::OK();
   for (size_t attempt = 0; attempt < options_.max_attempts_per_row;
        ++attempt) {
-    ++stats_.attempts;
+    ++stats->attempts;
     // In free-value mode the last attempt falls back to the tight grammar
     // so the Sample call cannot die on an unlucky row.
     bool constrain = options_.constrain_values_to_column ||
                      (options_.fallback_to_constrained &&
                       attempt + 1 == options_.max_attempts_per_row);
     if (constrain && !options_.constrain_values_to_column) {
-      ++stats_.fallback_grammar_uses;
+      ++stats->fallback_grammar_uses;
     }
-    TokenSequence context;
-    std::vector<bool> emitted(columns.size(), false);
+    TokenSequence& context = ws->context;
+    context.clear();
+    ws->emitted.assign(columns.size(), 0);
+    std::vector<char>& emitted = ws->emitted;
     size_t remaining = columns.size();
 
     // Forced columns are written into the context first (in schema
@@ -146,16 +160,18 @@ Result<Row> GreatSynthesizer::SampleRow(
       std::string text =
           forced_values[static_cast<size_t>(forced_index[c])].ToDisplayString();
       for (TokenId id : encoder_->EncodeTextLine(text)) context.push_back(id);
-      emitted[c] = true;
+      emitted[c] = 1;
       --remaining;
     }
 
     bool failed = false;
     while (remaining > 0 && !failed) {
       if (!context.empty()) context.push_back(encoder_->comma_token());
-      // Choose the next column name among the remaining ones.
-      std::vector<TokenId> allowed_names;
-      allowed_names.reserve(remaining);
+      // Choose the next column name among the remaining ones. Name tokens
+      // were interned in schema order, so this list is strictly ascending
+      // and takes the constrained decoder's no-copy fast path.
+      std::vector<TokenId>& allowed_names = ws->allowed_names;
+      allowed_names.clear();
       for (size_t c = 0; c < columns.size(); ++c) {
         if (!emitted[c]) allowed_names.push_back(columns[c].name_token);
       }
@@ -177,19 +193,32 @@ Result<Row> GreatSynthesizer::SampleRow(
 
       // Value tokens: constrained to tokens observed in this column (or,
       // in free-value mode, any column), with the separator admitted once
-      // at least one value token was emitted.
-      std::vector<TokenId> allowed =
+      // at least one value token was emitted. Both candidate sources are
+      // kept sorted, so the allow-lists below stay strictly ascending and
+      // constrained decoding never copies or sorts them.
+      const std::vector<TokenId>& allowed =
           constrain ? columns[col].value_tokens : all_value_tokens_;
+      TokenId terminator =
+          remaining == 1 ? Vocabulary::kEosId : encoder_->comma_token();
+      bool terminator_admitted = false;
       size_t value_len = 0;
       bool closed = (remaining == 1);  // last column ends at eos
       while (value_len < kMaxValueTokens) {
-        std::vector<TokenId> step_allowed = allowed;
+        const std::vector<TokenId>* step_allowed = &allowed;
         if (value_len > 0) {
-          step_allowed.push_back(remaining == 1 ? Vocabulary::kEosId
-                                                : encoder_->comma_token());
+          if (!terminator_admitted) {
+            ws->step_allowed.assign(allowed.begin(), allowed.end());
+            auto pos = std::lower_bound(ws->step_allowed.begin(),
+                                        ws->step_allowed.end(), terminator);
+            if (pos == ws->step_allowed.end() || *pos != terminator) {
+              ws->step_allowed.insert(pos, terminator);
+            }
+            terminator_admitted = true;
+          }
+          step_allowed = &ws->step_allowed;
         }
         TokenId next =
-            lm_->SampleNext(context, rng, options_.temperature, &step_allowed);
+            lm_->SampleNext(context, rng, options_.temperature, step_allowed);
         if (value_len > 0 &&
             (next == encoder_->comma_token() || next == Vocabulary::kEosId)) {
           closed = true;
@@ -202,18 +231,18 @@ Result<Row> GreatSynthesizer::SampleRow(
         failed = true;
         break;
       }
-      emitted[col] = true;
+      emitted[col] = 1;
       --remaining;
     }
     if (failed) {
-      ++stats_.rejected_mid_row;
+      ++stats->rejected_mid_row;
       last_error = Status::DataLoss("generation failed mid-row");
       continue;
     }
 
     Result<Row> decoded = encoder_->DecodeTokens(context);
     if (!decoded.ok()) {
-      ++stats_.rejected_decode_failure;
+      ++stats->rejected_decode_failure;
       last_error = decoded.status();
       continue;
     }
@@ -234,7 +263,7 @@ Result<Row> GreatSynthesizer::SampleRow(
             auto it = pool.begin();
             std::advance(it, static_cast<ptrdiff_t>(pick));
             GREATER_ASSIGN_OR_RETURN(row[c], encoder_->ParseValue(c, *it));
-            ++stats_.snapped_cells;
+            ++stats->snapped_cells;
             continue;
           }
           valid = false;
@@ -242,7 +271,7 @@ Result<Row> GreatSynthesizer::SampleRow(
         }
       }
       if (!valid) {
-        ++stats_.rejected_invalid_value;
+        ++stats->rejected_invalid_value;
         last_error = Status::DataLoss("generated value outside the observed "
                                       "category set");
         continue;
@@ -255,13 +284,102 @@ Result<Row> GreatSynthesizer::SampleRow(
         row[c] = forced_values[static_cast<size_t>(forced_index[c])];
       }
     }
-    ++stats_.rows_emitted;
+    ++stats->rows_emitted;
     return row;
   }
-  ++stats_.rows_exhausted;
+  ++stats->rows_exhausted;
   return Status::ResourceExhausted(
       "no valid row after " + std::to_string(options_.max_attempts_per_row) +
       " attempts; last error: " + last_error.ToString());
+}
+
+Result<Table> GreatSynthesizer::SampleMany(size_t n, const Table* conditions,
+                                           Rng* rng, ThreadPool* pool,
+                                           SampleReport* report) const {
+  auto context_for = [&](size_t i) {
+    return std::string(conditions != nullptr ? "sampling conditioned row "
+                                             : "sampling row ") +
+           std::to_string(i + 1) + " of " + std::to_string(n);
+  };
+  auto sample_one = [&](size_t i, Rng* row_rng, SamplerWorkspace* ws,
+                        SampleReport* stats) -> Result<Row> {
+    if (conditions == nullptr) {
+      return SampleRowImpl(row_rng, nullptr, ws, stats);
+    }
+    std::map<std::string, Value> forced;
+    for (size_t c = 0; c < conditions->num_columns(); ++c) {
+      forced[conditions->schema().field(c).name] = conditions->at(i, c);
+    }
+    return SampleRowImpl(row_rng, &forced, ws, stats);
+  };
+
+  Table out(encoder_->schema());
+  size_t workers = pool != nullptr ? std::min(pool->num_workers(), n) : 1;
+  if (workers <= 1 || n <= 1) {
+    // Serial reference path: rows draw from the caller's generator
+    // directly — the exact token stream of prior releases.
+    SampleReport before = stats_;
+    SamplerWorkspace ws;
+    for (size_t i = 0; i < n; ++i) {
+      Result<Row> row = sample_one(i, rng, &ws, &stats_);
+      if (!row.ok()) {
+        if (options_.policy == SamplePolicy::kLenient &&
+            row.status().code() == StatusCode::kResourceExhausted) {
+          continue;  // degrade: keep what succeeded, account for the rest
+        }
+        if (report) report->Merge(stats_.DeltaSince(before));
+        return row.status().WithContext(context_for(i));
+      }
+      GREATER_RETURN_NOT_OK(out.AppendRow(std::move(row).ValueOrDie()));
+    }
+    if (report) report->Merge(stats_.DeltaSince(before));
+    return out;
+  }
+
+  // Parallel path: one base draw (fixed Rng advance regardless of worker
+  // count), then worker w samples its contiguous row range from a private
+  // stream — deterministic for a fixed (seed, worker count). Every row is
+  // attempted even if an earlier one fails, so under strict policy the
+  // report covers all n rows while the returned error is the one the
+  // serial path would have hit first.
+  uint64_t base_a = rng->engine()();
+  uint64_t base_b = rng->engine()();
+  uint64_t base =
+      base_a ^ (base_b * 0x2545F4914F6CDD1DULL + 0x9e3779b97f4a7c15ULL);
+  struct WorkerOutput {
+    std::vector<Result<Row>> rows;
+    SampleReport report;
+  };
+  std::vector<WorkerOutput> outputs(workers);
+  pool->ParallelFor(n, workers, [&](size_t shard, size_t begin, size_t end) {
+    Rng worker_rng(Rng::DeriveStreamSeed(base, shard));
+    SamplerWorkspace ws;
+    WorkerOutput& output = outputs[shard];
+    output.rows.reserve(end - begin);
+    for (size_t i = begin; i < end; ++i) {
+      output.rows.push_back(sample_one(i, &worker_rng, &ws, &output.report));
+    }
+  });
+
+  SampleReport delta;
+  for (const WorkerOutput& output : outputs) delta.Merge(output.report);
+  stats_.Merge(delta);
+  if (report) report->Merge(delta);
+  size_t row_index = 0;
+  for (WorkerOutput& output : outputs) {
+    for (Result<Row>& row : output.rows) {
+      size_t i = row_index++;
+      if (!row.ok()) {
+        if (options_.policy == SamplePolicy::kLenient &&
+            row.status().code() == StatusCode::kResourceExhausted) {
+          continue;
+        }
+        return row.status().WithContext(context_for(i));
+      }
+      GREATER_RETURN_NOT_OK(out.AppendRow(std::move(row).ValueOrDie()));
+    }
+  }
+  return out;
 }
 
 Result<Table> GreatSynthesizer::Sample(size_t n, Rng* rng,
@@ -269,23 +387,20 @@ Result<Table> GreatSynthesizer::Sample(size_t n, Rng* rng,
   if (!fitted()) {
     return Status::FailedPrecondition("Sample before Fit");
   }
-  SampleReport before = stats_;
-  Table out(encoder_->schema());
-  for (size_t i = 0; i < n; ++i) {
-    Result<Row> row = SampleRow(rng);
-    if (!row.ok()) {
-      if (options_.policy == SamplePolicy::kLenient &&
-          row.status().code() == StatusCode::kResourceExhausted) {
-        continue;  // degrade: keep what succeeded, account for the rest
-      }
-      if (report) report->Merge(stats_.DeltaSince(before));
-      return row.status().WithContext("sampling row " + std::to_string(i + 1) +
-                                      " of " + std::to_string(n));
-    }
-    GREATER_RETURN_NOT_OK(out.AppendRow(std::move(row).ValueOrDie()));
+  if (options_.num_threads > 1 && n > 1) {
+    ThreadPool pool(options_.num_threads);
+    return SampleMany(n, nullptr, rng, &pool, report);
   }
-  if (report) report->Merge(stats_.DeltaSince(before));
-  return out;
+  return SampleMany(n, nullptr, rng, nullptr, report);
+}
+
+Result<Table> GreatSynthesizer::SampleRows(size_t n, Rng* rng,
+                                           ThreadPool* pool,
+                                           SampleReport* report) const {
+  if (!fitted()) {
+    return Status::FailedPrecondition("SampleRows before Fit");
+  }
+  return SampleMany(n, nullptr, rng, pool, report);
 }
 
 Result<Table> GreatSynthesizer::SampleConditional(const Table& conditions,
@@ -294,28 +409,12 @@ Result<Table> GreatSynthesizer::SampleConditional(const Table& conditions,
   if (!fitted()) {
     return Status::FailedPrecondition("SampleConditional before Fit");
   }
-  SampleReport before = stats_;
-  Table out(encoder_->schema());
-  for (size_t r = 0; r < conditions.num_rows(); ++r) {
-    std::map<std::string, Value> forced;
-    for (size_t c = 0; c < conditions.num_columns(); ++c) {
-      forced[conditions.schema().field(c).name] = conditions.at(r, c);
-    }
-    Result<Row> row = SampleRow(rng, &forced);
-    if (!row.ok()) {
-      if (options_.policy == SamplePolicy::kLenient &&
-          row.status().code() == StatusCode::kResourceExhausted) {
-        continue;
-      }
-      if (report) report->Merge(stats_.DeltaSince(before));
-      return row.status().WithContext(
-          "sampling conditioned row " + std::to_string(r + 1) + " of " +
-          std::to_string(conditions.num_rows()));
-    }
-    GREATER_RETURN_NOT_OK(out.AppendRow(std::move(row).ValueOrDie()));
+  size_t n = conditions.num_rows();
+  if (options_.num_threads > 1 && n > 1) {
+    ThreadPool pool(options_.num_threads);
+    return SampleMany(n, &conditions, rng, &pool, report);
   }
-  if (report) report->Merge(stats_.DeltaSince(before));
-  return out;
+  return SampleMany(n, &conditions, rng, nullptr, report);
 }
 
 Result<double> GreatSynthesizer::EvaluatePerplexity(

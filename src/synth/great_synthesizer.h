@@ -9,6 +9,7 @@
 
 #include "common/rng.h"
 #include "common/status.h"
+#include "common/thread_pool.h"
 #include "lm/language_model.h"
 #include "lm/neural_lm.h"
 #include "lm/ngram_lm.h"
@@ -75,6 +76,12 @@ class GreatSynthesizer {
     /// on duplicated engaged-subject rows and under-trains everything
     /// else. 0 = unlimited.
     size_t max_training_sequences = 0;
+    /// Worker threads for Sample/SampleConditional row generation; also
+    /// forwarded to neural-backbone training when it exceeds the neural
+    /// options' own num_threads. 1 = serial reference behaviour, which is
+    /// bitwise-identical to prior releases; any fixed (seed, num_threads)
+    /// pair reproduces itself (see DESIGN.md, "Parallel execution layer").
+    size_t num_threads = 1;
   };
 
   GreatSynthesizer() : GreatSynthesizer(Options()) {}
@@ -104,6 +111,16 @@ class GreatSynthesizer {
                         const std::map<std::string, Value>* forced =
                             nullptr) const;
 
+  /// Samples `n` independent rows on `pool`'s workers. One base value is
+  /// drawn from `rng` (advancing it by the same amount regardless of
+  /// worker count) and worker `w` samples its contiguous row range from a
+  /// private stream seeded with Rng::DeriveStreamSeed(base, w), so output
+  /// is deterministic for a fixed (seed, worker count). With a null pool,
+  /// a single worker, or n <= 1 this is exactly Sample: rows are drawn
+  /// serially from `rng` itself.
+  Result<Table> SampleRows(size_t n, Rng* rng, ThreadPool* pool,
+                           SampleReport* report = nullptr) const;
+
   bool fitted() const { return lm_ != nullptr && lm_->fitted(); }
   const TextualEncoder& encoder() const { return *encoder_; }
   const LanguageModel& lm() const { return *lm_; }
@@ -117,6 +134,31 @@ class GreatSynthesizer {
   Result<double> EvaluatePerplexity(const Table& held_out) const;
 
  private:
+  /// Reusable per-sampler buffers: one allocation set per worker (or per
+  /// Sample call) instead of one per row attempt.
+  struct SamplerWorkspace {
+    std::vector<int> forced_index;
+    std::vector<Value> forced_values;
+    TokenSequence context;
+    std::vector<char> emitted;
+    std::vector<TokenId> allowed_names;
+    std::vector<TokenId> step_allowed;
+  };
+
+  /// SampleRow body. Assumes fitted; accumulates diagnostics into `stats`
+  /// (never the shared `stats_` directly, so parallel workers can pass
+  /// private reports).
+  Result<Row> SampleRowImpl(Rng* rng,
+                            const std::map<std::string, Value>* forced,
+                            SamplerWorkspace* ws, SampleReport* stats) const;
+
+  /// Shared core of Sample / SampleConditional / SampleRows. `conditions`
+  /// null -> unconditional; row i otherwise forces conditions row i.
+  /// Serial (drawing from `rng` directly) unless `pool` has > 1 worker
+  /// and n > 1.
+  Result<Table> SampleMany(size_t n, const Table* conditions, Rng* rng,
+                           ThreadPool* pool, SampleReport* report) const;
+
   Options options_;
   std::unique_ptr<TextualEncoder> encoder_;
   std::unique_ptr<LanguageModel> lm_;

@@ -54,6 +54,9 @@ Result<TextualEncoder> TextualEncoder::Build(
       return Status::Invalid("column '" + col.name +
                              "' has no non-empty values to learn from");
     }
+    // Kept strictly ascending: the synthesizer's constrained decoder
+    // requires sorted allow-lists for its no-copy fast path.
+    std::sort(col.value_tokens.begin(), col.value_tokens.end());
   }
   for (const auto& line : extra_corpus) {
     for (const auto& word : encoder.word_tokenizer_.Tokenize(line)) {

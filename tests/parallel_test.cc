@@ -1,0 +1,337 @@
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/thread_pool.h"
+#include "lm/neural_lm.h"
+#include "lm/ngram_lm.h"
+#include "synth/great_synthesizer.h"
+#include "text/vocabulary.h"
+
+namespace greater {
+namespace {
+
+// ---------- ThreadPool ----------
+
+TEST(ThreadPoolTest, ParallelForCoversRangeExactlyOnce) {
+  ThreadPool pool(4);
+  constexpr size_t kCount = 103;
+  std::vector<int> hits(kCount, 0);
+  pool.ParallelFor(kCount, 7, [&](size_t shard, size_t begin, size_t end) {
+    EXPECT_EQ(begin, ThreadPool::ShardBegin(kCount, 7, shard));
+    EXPECT_EQ(end, ThreadPool::ShardBegin(kCount, 7, shard + 1));
+    for (size_t i = begin; i < end; ++i) ++hits[i];
+  });
+  for (size_t i = 0; i < kCount; ++i) EXPECT_EQ(hits[i], 1) << "index " << i;
+}
+
+TEST(ThreadPoolTest, ParallelForClampsShardsToItems) {
+  ThreadPool pool(4);
+  std::vector<int> hits(3, 0);
+  pool.ParallelFor(3, 8, [&](size_t shard, size_t begin, size_t end) {
+    EXPECT_LT(shard, 3u);  // clamped to at most `count` shards
+    for (size_t i = begin; i < end; ++i) ++hits[i];
+  });
+  for (size_t i = 0; i < 3; ++i) EXPECT_EQ(hits[i], 1);
+}
+
+TEST(ThreadPoolTest, ParallelForZeroCountRunsInline) {
+  ThreadPool pool(2);
+  size_t calls = 0;
+  pool.ParallelFor(0, 4, [&](size_t shard, size_t begin, size_t end) {
+    ++calls;
+    EXPECT_EQ(shard, 0u);
+    EXPECT_EQ(begin, 0u);
+    EXPECT_EQ(end, 0u);
+  });
+  EXPECT_EQ(calls, 1u);
+}
+
+TEST(ThreadPoolTest, SubmitFuturePropagatesException) {
+  ThreadPool pool(2);
+  auto future = pool.Submit([] { throw std::runtime_error("boom"); });
+  EXPECT_THROW(future.get(), std::runtime_error);
+  // The pool survives a throwing task.
+  auto ok = pool.Submit([] {});
+  EXPECT_NO_THROW(ok.get());
+}
+
+TEST(ThreadPoolTest, ParallelForRethrowsLowestShardException) {
+  ThreadPool pool(4);
+  std::vector<int> hits(8, 0);
+  try {
+    pool.ParallelFor(8, 4, [&](size_t shard, size_t begin, size_t end) {
+      for (size_t i = begin; i < end; ++i) ++hits[i];
+      if (shard >= 1) throw std::runtime_error(std::to_string(shard));
+    });
+    FAIL() << "expected ParallelFor to rethrow";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "1");  // lowest throwing shard wins
+  }
+  // Every shard still ran to completion before the rethrow.
+  for (size_t i = 0; i < 8; ++i) EXPECT_EQ(hits[i], 1);
+}
+
+TEST(ThreadPoolTest, ZeroThreadsClampsToOne) {
+  ThreadPool pool(0);
+  EXPECT_EQ(pool.num_workers(), 1u);
+}
+
+// ---------- Rng stream splitting ----------
+
+TEST(RngStreamTest, DeriveStreamSeedIsDeterministicAndDistinct) {
+  uint64_t base = 123456789;
+  EXPECT_EQ(Rng::DeriveStreamSeed(base, 0), Rng::DeriveStreamSeed(base, 0));
+  std::vector<uint64_t> seeds;
+  for (uint64_t i = 0; i < 16; ++i) {
+    seeds.push_back(Rng::DeriveStreamSeed(base, i));
+  }
+  for (size_t i = 0; i < seeds.size(); ++i) {
+    for (size_t j = i + 1; j < seeds.size(); ++j) {
+      EXPECT_NE(seeds[i], seeds[j]) << i << " vs " << j;
+    }
+  }
+  EXPECT_NE(Rng::DeriveStreamSeed(base, 0), Rng::DeriveStreamSeed(base + 1, 0));
+}
+
+// ---------- NeuralLm data-parallel training ----------
+
+struct TinyCorpus {
+  Vocabulary vocab;
+  TokenId a, b, c;
+  std::vector<TokenSequence> sequences;
+
+  TinyCorpus() {
+    a = vocab.AddToken("a");
+    b = vocab.AddToken("b");
+    c = vocab.AddToken("c");
+    for (int i = 0; i < 20; ++i) {
+      sequences.push_back({a, b, c, a, b, c});
+    }
+  }
+};
+
+NeuralLm::Options SmallNeuralOptions(size_t num_threads) {
+  NeuralLm::Options options;
+  options.context_window = 4;
+  options.embed_dim = 6;
+  options.hidden_dim = 10;
+  options.epochs = 5;
+  options.batch_size = 16;
+  options.seed = 3;
+  options.num_threads = num_threads;
+  return options;
+}
+
+std::vector<std::vector<double>> ProbeDistributions(const NeuralLm& lm,
+                                                    const TinyCorpus& corpus) {
+  return {lm.NextTokenDistribution({}),
+          lm.NextTokenDistribution({corpus.a}),
+          lm.NextTokenDistribution({corpus.a, corpus.b, corpus.c})};
+}
+
+TEST(NeuralLmParallelTest, SingleThreadIsBitwiseReproducible) {
+  TinyCorpus corpus;
+  NeuralLm lm1(corpus.vocab.size(), SmallNeuralOptions(1));
+  NeuralLm lm2(corpus.vocab.size(), SmallNeuralOptions(1));
+  ASSERT_TRUE(lm1.Fit(corpus.sequences).ok());
+  ASSERT_TRUE(lm2.Fit(corpus.sequences).ok());
+  EXPECT_EQ(lm1.last_epoch_loss(), lm2.last_epoch_loss());
+  auto d1 = ProbeDistributions(lm1, corpus);
+  auto d2 = ProbeDistributions(lm2, corpus);
+  for (size_t k = 0; k < d1.size(); ++k) {
+    for (size_t i = 0; i < d1[k].size(); ++i) {
+      EXPECT_EQ(d1[k][i], d2[k][i]) << "probe " << k << " token " << i;
+    }
+  }
+}
+
+TEST(NeuralLmParallelTest, FourThreadsMatchSerialWithinTolerance) {
+  // Thread counts > 1 only reassociate the gradient reduce, so the models
+  // agree to floating-point noise, not bitwise.
+  TinyCorpus corpus;
+  NeuralLm serial(corpus.vocab.size(), SmallNeuralOptions(1));
+  NeuralLm parallel(corpus.vocab.size(), SmallNeuralOptions(4));
+  ASSERT_TRUE(serial.Fit(corpus.sequences).ok());
+  ASSERT_TRUE(parallel.Fit(corpus.sequences).ok());
+  EXPECT_NEAR(serial.last_epoch_loss(), parallel.last_epoch_loss(), 1e-2);
+  auto ds = ProbeDistributions(serial, corpus);
+  auto dp = ProbeDistributions(parallel, corpus);
+  for (size_t k = 0; k < ds.size(); ++k) {
+    for (size_t i = 0; i < ds[k].size(); ++i) {
+      EXPECT_NEAR(ds[k][i], dp[k][i], 1e-2) << "probe " << k << " token " << i;
+    }
+  }
+}
+
+TEST(NeuralLmParallelTest, FixedThreadCountReproducesItself) {
+  TinyCorpus corpus;
+  NeuralLm lm1(corpus.vocab.size(), SmallNeuralOptions(3));
+  NeuralLm lm2(corpus.vocab.size(), SmallNeuralOptions(3));
+  ASSERT_TRUE(lm1.Fit(corpus.sequences).ok());
+  ASSERT_TRUE(lm2.Fit(corpus.sequences).ok());
+  EXPECT_EQ(lm1.last_epoch_loss(), lm2.last_epoch_loss());
+  auto d1 = ProbeDistributions(lm1, corpus);
+  auto d2 = ProbeDistributions(lm2, corpus);
+  for (size_t k = 0; k < d1.size(); ++k) {
+    for (size_t i = 0; i < d1[k].size(); ++i) {
+      EXPECT_EQ(d1[k][i], d2[k][i]) << "probe " << k << " token " << i;
+    }
+  }
+}
+
+// ---------- Restricted next-token distributions ----------
+
+TEST(RestrictedDistributionTest, NGramMatchesFullGatherBitwise) {
+  TinyCorpus corpus;
+  NGramLm lm(corpus.vocab.size());
+  ASSERT_TRUE(lm.Fit(corpus.sequences).ok());
+  for (const TokenSequence& ctx :
+       {TokenSequence{}, TokenSequence{corpus.a},
+        TokenSequence{corpus.a, corpus.b}}) {
+    std::vector<double> full = lm.NextTokenDistribution(ctx);
+    std::vector<TokenId> candidates = {corpus.a, corpus.c, Vocabulary::kEosId};
+    std::vector<double> restricted =
+        lm.NextTokenDistributionRestricted(ctx, candidates);
+    ASSERT_EQ(restricted.size(), candidates.size());
+    for (size_t i = 0; i < candidates.size(); ++i) {
+      EXPECT_EQ(restricted[i], full[static_cast<size_t>(candidates[i])])
+          << "candidate " << candidates[i];
+    }
+  }
+}
+
+TEST(RestrictedDistributionTest, InvalidCandidatesGetZeroWeight) {
+  TinyCorpus corpus;
+  NGramLm lm(corpus.vocab.size());
+  ASSERT_TRUE(lm.Fit(corpus.sequences).ok());
+  std::vector<TokenId> candidates = {
+      corpus.b, static_cast<TokenId>(corpus.vocab.size() + 10), -1};
+  std::vector<double> restricted =
+      lm.NextTokenDistributionRestricted({corpus.a}, candidates);
+  EXPECT_GT(restricted[0], 0.0);
+  EXPECT_EQ(restricted[1], 0.0);
+  EXPECT_EQ(restricted[2], 0.0);
+}
+
+TEST(RestrictedDistributionTest, NeuralProportionalToFullDistribution) {
+  TinyCorpus corpus;
+  NeuralLm lm(corpus.vocab.size(), SmallNeuralOptions(1));
+  ASSERT_TRUE(lm.Fit(corpus.sequences).ok());
+  TokenSequence ctx = {corpus.a, corpus.b};
+  std::vector<double> full = lm.NextTokenDistribution(ctx);
+  std::vector<TokenId> candidates = {corpus.a, corpus.b, corpus.c};
+  std::vector<double> restricted =
+      lm.NextTokenDistributionRestricted(ctx, candidates);
+  double full_mass = 0.0, restricted_mass = 0.0;
+  for (TokenId id : candidates) full_mass += full[static_cast<size_t>(id)];
+  for (double w : restricted) restricted_mass += w;
+  ASSERT_GT(full_mass, 0.0);
+  ASSERT_GT(restricted_mass, 0.0);
+  for (size_t i = 0; i < candidates.size(); ++i) {
+    EXPECT_NEAR(restricted[i] / restricted_mass,
+                full[static_cast<size_t>(candidates[i])] / full_mass, 1e-9)
+        << "candidate " << candidates[i];
+  }
+}
+
+// ---------- Parallel row sampling ----------
+
+Table SmallTable() {
+  Schema schema({Field("name", ValueType::kString),
+                 Field("lunch", ValueType::kInt),
+                 Field("device", ValueType::kInt)});
+  Table t(schema);
+  const char* names[] = {"Grace", "Yin", "Anson", "Mia"};
+  Rng rng(5);
+  for (int i = 0; i < 48; ++i) {
+    EXPECT_TRUE(t.AppendRow({Value(names[i % 4]),
+                             Value(rng.UniformInt(1, 2)),
+                             Value(rng.UniformInt(1, 3))})
+                    .ok());
+  }
+  return t;
+}
+
+void ExpectTablesEqual(const Table& a, const Table& b) {
+  ASSERT_EQ(a.num_rows(), b.num_rows());
+  for (size_t r = 0; r < a.num_rows(); ++r) {
+    EXPECT_EQ(a.GetRow(r), b.GetRow(r)) << "row " << r;
+  }
+}
+
+TEST(ParallelSamplingTest, ParallelSampleIsDeterministic) {
+  GreatSynthesizer::Options options;
+  options.num_threads = 3;
+  GreatSynthesizer s1(options), s2(options);
+  Table train = SmallTable();
+  Rng fit1(7), fit2(7);
+  ASSERT_TRUE(s1.Fit(train, &fit1).ok());
+  ASSERT_TRUE(s2.Fit(train, &fit2).ok());
+
+  Rng r1(11), r2(11);
+  SampleReport report;
+  Table t1 = s1.Sample(40, &r1, &report).ValueOrDie();
+  Table t2 = s2.Sample(40, &r2).ValueOrDie();
+  ExpectTablesEqual(t1, t2);
+  EXPECT_EQ(t1.num_rows(), 40u);
+  EXPECT_TRUE(report.Reconciles());
+  EXPECT_EQ(report.rows_requested, 40u);
+}
+
+TEST(ParallelSamplingTest, SampleRowsWithoutPoolMatchesSample) {
+  GreatSynthesizer synth;
+  Table train = SmallTable();
+  Rng fit(7);
+  ASSERT_TRUE(synth.Fit(train, &fit).ok());
+
+  Rng r1(11), r2(11);
+  Table via_sample = synth.Sample(20, &r1).ValueOrDie();
+  Table via_rows = synth.SampleRows(20, &r2, nullptr).ValueOrDie();
+  ExpectTablesEqual(via_sample, via_rows);
+}
+
+TEST(ParallelSamplingTest, SampleRowsWithPoolIsDeterministic) {
+  GreatSynthesizer synth;
+  Table train = SmallTable();
+  Rng fit(7);
+  ASSERT_TRUE(synth.Fit(train, &fit).ok());
+
+  ThreadPool pool(3);
+  Rng r1(19), r2(19);
+  SampleReport report;
+  Table t1 = synth.SampleRows(30, &r1, &pool, &report).ValueOrDie();
+  Table t2 = synth.SampleRows(30, &r2, &pool).ValueOrDie();
+  ExpectTablesEqual(t1, t2);
+  EXPECT_TRUE(report.Reconciles());
+  EXPECT_EQ(report.rows_requested, 30u);
+}
+
+TEST(ParallelSamplingTest, ParallelConditionalForcesValues) {
+  GreatSynthesizer::Options options;
+  options.num_threads = 2;
+  GreatSynthesizer synth(options);
+  Table train = SmallTable();
+  Rng fit(7);
+  ASSERT_TRUE(synth.Fit(train, &fit).ok());
+
+  Schema cond_schema({Field("name", ValueType::kString)});
+  Table conditions(cond_schema);
+  const char* names[] = {"Grace", "Yin", "Anson", "Mia"};
+  for (int i = 0; i < 12; ++i) {
+    ASSERT_TRUE(conditions.AppendRow({Value(names[i % 4])}).ok());
+  }
+  Rng rng(23);
+  Table out = synth.SampleConditional(conditions, &rng).ValueOrDie();
+  ASSERT_EQ(out.num_rows(), 12u);
+  size_t name_col = out.schema().FieldIndex("name").ValueOrDie();
+  for (size_t r = 0; r < out.num_rows(); ++r) {
+    EXPECT_EQ(out.at(r, name_col).ToDisplayString(), names[r % 4]);
+  }
+}
+
+}  // namespace
+}  // namespace greater
