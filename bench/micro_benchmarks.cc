@@ -4,10 +4,17 @@
 
 #include <benchmark/benchmark.h>
 
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+
 #include "crosstable/flatten.h"
 #include "crosstable/independence.h"
+#include "crosstable/pipeline.h"
 #include "crosstable/reduce.h"
 #include "datagen/digix.h"
+#include "obs/metrics.h"
+#include "obs/span.h"
 #include "lm/neural_lm.h"
 #include "lm/ngram_lm.h"
 #include "stats/correlation.h"
@@ -225,6 +232,43 @@ void BM_UniqueRows(benchmark::State& state) {
 }
 BENCHMARK(BM_UniqueRows);
 
+// Full pipeline run with the observability spans turned into benchmark
+// user counters: each stage's mean wall time lands in the JSON output as a
+// stage_<name>_us key, which scripts/bench_compare.py diffs between runs.
+void BM_PipelineStages(benchmark::State& state) {
+  DigixOptions data_options;
+  data_options.num_users = 32;
+  DigixGenerator gen(data_options);
+  Rng data_rng(77);
+  DigixDataset trial = gen.Generate(&data_rng).ValueOrDie();
+  MetricsRegistry& registry = MetricsRegistry::Global();
+  registry.Reset();
+  MultiTablePipeline pipeline;
+  uint64_t iterations = 0;
+  for (auto _ : state) {
+    Rng rng(1);
+    auto result =
+        pipeline.Run(trial.ads, trial.feeds, DigixGenerator::KeyColumn(),
+                     &rng);
+    if (!result.ok()) {
+      state.SkipWithError("pipeline run failed");
+      break;
+    }
+    ++iterations;
+  }
+  if (iterations == 0) return;
+  MetricsSnapshot snapshot = registry.Snapshot();
+  for (const auto& [name, agg] : AggregateSpans(snapshot.spans)) {
+    if (name.rfind("stage.", 0) != 0) continue;
+    state.counters["stage_" + name.substr(6) + "_us"] = benchmark::Counter(
+        static_cast<double>(agg.total_ns) / 1000.0 /
+        static_cast<double>(iterations));
+  }
+}
+BENCHMARK(BM_PipelineStages)
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+
 void BM_KsTest(benchmark::State& state) {
   Rng rng(5);
   std::vector<double> a, b;
@@ -241,4 +285,23 @@ BENCHMARK(BM_KsTest);
 }  // namespace
 }  // namespace greater
 
-BENCHMARK_MAIN();
+// BENCHMARK_MAIN, plus an observability export: when GREATER_METRICS_OUT
+// names a file, the global metrics snapshot accumulated across every
+// benchmark is written there as one JSON document after the run.
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  if (const char* path = std::getenv("GREATER_METRICS_OUT")) {
+    std::ofstream out(path);
+    out << greater::MetricsRegistry::Global().ToJson(
+               greater::MetricsRegistry::JsonMode::kFull)
+        << "\n";
+    if (!out) {
+      std::fprintf(stderr, "failed to write metrics to '%s'\n", path);
+      return 1;
+    }
+  }
+  return 0;
+}

@@ -2,13 +2,19 @@
 """Compare two BENCH_micro.json runs (google-benchmark JSON output).
 
 Usage:
-    scripts/bench_compare.py BASELINE.json CANDIDATE.json [--fail-above PCT]
+    scripts/bench_compare.py BASELINE.json CANDIDATE.json \
+        [--fail-above PCT] [--fail-stage-above PCT]
 
 Prints a per-benchmark table of baseline vs. candidate real time and the
 relative delta (positive = candidate slower). With --fail-above, exits
 non-zero when any benchmark regressed by more than PCT percent — suitable
 for a CI perf gate. Benchmarks present in only one file are listed but
 never fail the gate.
+
+Benchmarks that export observability stage timings as user counters
+(BM_PipelineStages emits one stage_<name>_us key per pipeline stage) get a
+second per-stage table. --fail-stage-above PCT gates those the same way;
+100 means "fail on any stage slower than 2x baseline".
 
 Refresh the checked-in results with:
     cmake --build build --target bench_json
@@ -27,9 +33,18 @@ def load_benchmarks(path):
         # Skip aggregate rows (mean/median/stddev of repeated runs).
         if bench.get("run_type") == "aggregate":
             continue
+        # User counters appear as extra numeric keys on the benchmark
+        # object; stage timings follow the stage_<name>_us convention.
+        stages = {
+            key: float(value)
+            for key, value in bench.items()
+            if key.startswith("stage_") and key.endswith("_us")
+            and isinstance(value, (int, float))
+        }
         out[bench["name"]] = {
             "real_time": float(bench["real_time"]),
             "time_unit": bench.get("time_unit", "ns"),
+            "stages": stages,
         }
     return out
 
@@ -48,6 +63,14 @@ def main():
         default=None,
         metavar="PCT",
         help="exit 1 if any benchmark regressed by more than PCT percent",
+    )
+    parser.add_argument(
+        "--fail-stage-above",
+        type=float,
+        default=None,
+        metavar="PCT",
+        help="exit 1 if any pipeline stage timing regressed by more than "
+        "PCT percent (100 = fail on >2x)",
     )
     args = parser.parse_args()
 
@@ -77,6 +100,7 @@ def main():
             f"  {format_time(c['real_time'], c['time_unit']):>14}  {delta:>+7.1f}%"
         )
 
+    failed = False
     if worst is not None:
         print(f"\nworst delta: {worst[0]} ({worst[1]:+.1f}%)")
         if args.fail_above is not None and worst[1] > args.fail_above:
@@ -84,8 +108,54 @@ def main():
                 f"FAIL: regression above {args.fail_above:.1f}% threshold",
                 file=sys.stderr,
             )
-            return 1
-    return 0
+            failed = True
+
+    # Per-stage timing diffs (observability user counters).
+    stage_rows = []
+    for name in names:
+        b = base.get(name)
+        c = cand.get(name)
+        if b is None or c is None:
+            continue
+        for stage in sorted(set(b["stages"]) | set(c["stages"])):
+            bs = b["stages"].get(stage)
+            cs = c["stages"].get(stage)
+            stage_rows.append((f"{name}/{stage}", bs, cs))
+    if stage_rows:
+        width = max(len(label) for label, _, _ in stage_rows)
+        print(f"\n{'stage timing':<{width}}  {'baseline':>14}  {'candidate':>14}  {'delta':>8}")
+        worst_stage = None
+        for label, bs, cs in stage_rows:
+            if bs is None or cs is None:
+                status = "only in candidate" if bs is None else "only in baseline"
+                print(f"{label:<{width}}  {status}")
+                continue
+            if bs <= 0.0:
+                print(f"{label:<{width}}  {format_time(bs, 'us'):>14}  {format_time(cs, 'us'):>14}")
+                continue
+            delta = (cs - bs) / bs * 100.0
+            if worst_stage is None or delta > worst_stage[1]:
+                worst_stage = (label, delta)
+            print(
+                f"{label:<{width}}  {format_time(bs, 'us'):>14}"
+                f"  {format_time(cs, 'us'):>14}  {delta:>+7.1f}%"
+            )
+        if worst_stage is not None:
+            print(f"\nworst stage delta: {worst_stage[0]} ({worst_stage[1]:+.1f}%)")
+            if (
+                args.fail_stage_above is not None
+                and worst_stage[1] > args.fail_stage_above
+            ):
+                print(
+                    f"FAIL: stage regression above "
+                    f"{args.fail_stage_above:.1f}% threshold",
+                    file=sys.stderr,
+                )
+                failed = True
+    elif args.fail_stage_above is not None:
+        print("no stage timings found in either file", file=sys.stderr)
+
+    return 1 if failed else 0
 
 
 if __name__ == "__main__":

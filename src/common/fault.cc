@@ -1,5 +1,7 @@
 #include "common/fault.h"
 
+#include "obs/metrics.h"
+
 namespace greater {
 
 std::atomic<size_t> FaultRegistry::armed_count_{0};
@@ -57,6 +59,9 @@ Status FaultRegistry::Check(const std::string& point) {
     if (uniform(entry.rng) >= entry.spec.probability) return Status::OK();
   }
   ++entry.fires;
+  // Fires are rare (tests only), so the registry map lookups are fine.
+  MetricsRegistry::Global().GetCounter("fault.trips").Increment();
+  MetricsRegistry::Global().GetCounter("fault.trips." + point).Increment();
   std::string message = entry.spec.message.empty()
                             ? "injected fault at '" + point + "'"
                             : entry.spec.message;

@@ -4,7 +4,37 @@
 #include <exception>
 #include <utility>
 
+#include "obs/metrics.h"
+
 namespace greater {
+namespace {
+
+// Pool-wide dispatch accounting, published once per ParallelFor — on every
+// path, including the zero-item and inline single-shard ones, so an
+// empty-range call is still visible in the next snapshot.
+struct PoolCounters {
+  Counter* calls;
+  Counter* items;
+  Counter* shards;
+  PoolCounters() {
+    MetricsRegistry& registry = MetricsRegistry::Global();
+    calls = &registry.GetCounter("pool.parallel_for_calls");
+    items = &registry.GetCounter("pool.items_dispatched");
+    shards = &registry.GetCounter("pool.shards_dispatched");
+  }
+  void Publish(size_t count, size_t num_shards) const {
+    calls->Increment();
+    items->Increment(count);
+    shards->Increment(num_shards);
+  }
+};
+
+const PoolCounters& GetPoolCounters() {
+  static const PoolCounters counters;
+  return counters;
+}
+
+}  // namespace
 
 ThreadPool::ThreadPool(size_t num_threads) {
   size_t n = std::max<size_t>(1, num_threads);
@@ -52,6 +82,7 @@ void ThreadPool::ParallelFor(
     size_t count, size_t num_shards,
     const std::function<void(size_t, size_t, size_t)>& fn) {
   num_shards = std::max<size_t>(1, std::min(num_shards, std::max<size_t>(count, 1)));
+  GetPoolCounters().Publish(count, num_shards);
   if (num_shards == 1) {
     fn(0, 0, count);  // inline: nothing to schedule, nothing to capture
     return;

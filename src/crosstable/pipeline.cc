@@ -1,12 +1,15 @@
 #include "crosstable/pipeline.h"
 
 #include <algorithm>
+#include <optional>
 #include <set>
 #include <unordered_map>
 #include <unordered_set>
 
 #include "crosstable/contextual.h"
 #include "crosstable/flatten.h"
+#include "obs/metrics.h"
+#include "obs/span.h"
 #include "semantic/text_transform.h"
 #include "tabular/validate.h"
 
@@ -233,6 +236,15 @@ Result<Table> MultiTablePipeline::BuildRealFlatView(
 Result<PipelineResult> MultiTablePipeline::Run(
     const Table& child1_in, const Table& child2_in,
     const std::string& key_column, Rng* rng) const {
+  // Observability: one root span for the whole run, with consecutive
+  // "stage.<name>" child spans tiling it (each emplace closes the previous
+  // stage and opens the next, so stage wall-times sum to the run's). Stage
+  // names match the StageContext provenance frames.
+  Span run_span("pipeline.run");
+  MetricsRegistry::Global().GetCounter("pipeline.runs").Increment();
+  std::optional<Span> stage;
+  stage.emplace("stage.validate-input");
+
   PipelineResult result;
   Table child1 = child1_in;
   Table child2 = child2_in;
@@ -244,6 +256,7 @@ Result<PipelineResult> MultiTablePipeline::Run(
   GREATER_RETURN_NOT_OK_CTX(ValidateStageInput(child2, key_column, "child2"),
                             StageContext("validate-input", "child2"));
 
+  stage.emplace("stage.enhancement");
   // ---- Step 0: identifier-column removal (Sec. 4.1.2). ----
   if (options_.drop_identifier_columns) {
     std::vector<std::string> ids1 = IdentifierColumns(child1, key_column);
@@ -307,6 +320,7 @@ Result<PipelineResult> MultiTablePipeline::Run(
   }
 
   // ---- Step 1: parent extraction from contextual variables. ----
+  stage.emplace("stage.parent-extract");
   GREATER_ASSIGN_OR_RETURN_CTX(
       ParentChildSplit split1,
       SplitByContextualVariables(child1, key_column,
@@ -329,6 +343,7 @@ Result<PipelineResult> MultiTablePipeline::Run(
   Table c2 = split2.child;
 
   // ---- Step 2: Data Semantic Enhancement. ----
+  stage.emplace("stage.semantic-enhance");
   MappingSystem mapping;
   if (options_.semantic != SemanticMode::kNone) {
     auto targets = AmbiguousColumnsAcross({&parent, &c1, &c2}, key_column);
@@ -412,10 +427,12 @@ Result<PipelineResult> MultiTablePipeline::Run(
   if (options_.fusion == FusionMethod::kDerecIndependent) {
     RelationalSynthesizer rs1(rs_options);
     RelationalSynthesizer rs2(rs_options);
+    stage.emplace("stage.fit");
     GREATER_RETURN_NOT_OK_CTX(rs1.Fit(parent, c1, key_column, rng),
                               StageContext("fit", "child1"));
     GREATER_RETURN_NOT_OK_CTX(rs2.Fit(parent, c2, key_column, rng),
                               StageContext("fit", "child2"));
+    stage.emplace("stage.sample");
     GREATER_ASSIGN_OR_RETURN_CTX(
         RelationalSample sample1,
         rs1.Sample(num_parents, rng, &result.sample_report),
@@ -424,6 +441,7 @@ Result<PipelineResult> MultiTablePipeline::Run(
         Table child2_rows,
         rs2.SampleChildren(sample1.parent, rng, &result.sample_report),
         StageContext("sample", "child2"));
+    stage.emplace("stage.flatten");
     GREATER_ASSIGN_OR_RETURN_CTX(
         Table flat, DirectFlatten(sample1.child, child2_rows, key_column),
         StageContext("flatten", "child1+child2"));
@@ -433,12 +451,17 @@ Result<PipelineResult> MultiTablePipeline::Run(
     synthetic_parent = std::move(sample1.parent);
     result.fused_training_rows = c1.num_rows() + c2.num_rows();
   } else {
+    stage.emplace("stage.flatten");
     GREATER_ASSIGN_OR_RETURN_CTX(Table flat,
                                  DirectFlatten(c1, c2, key_column),
                                  StageContext("flatten", "child1+child2"));
     result.flattened_rows = flat.num_rows();
+    MetricsRegistry::Global()
+        .GetGauge("pipeline.flattened_rows")
+        .Set(static_cast<double>(result.flattened_rows));
     Table fused = flat;
     if (options_.fusion != FusionMethod::kDirectFlatten) {
+      stage.emplace("stage.independence");
       GREATER_ASSIGN_OR_RETURN_CTX(Table features,
                                    flat.DropColumns({key_column}),
                                    StageContext("independence", "fused"));
@@ -466,6 +489,7 @@ Result<PipelineResult> MultiTablePipeline::Run(
                                        StageContext("independence", "fused"));
         }
       }
+      stage.emplace("stage.reduce");
       if (!result.independence.independent.empty()) {
         GREATER_ASSIGN_OR_RETURN_CTX(
             Table reduced,
@@ -484,19 +508,26 @@ Result<PipelineResult> MultiTablePipeline::Run(
     result.fused_training_rows = fused.num_rows();
 
     RelationalSynthesizer rs(rs_options);
+    stage.emplace("stage.fit");
     GREATER_RETURN_NOT_OK_CTX(rs.Fit(parent, fused, key_column, rng),
                               StageContext("fit", "fused"));
+    stage.emplace("stage.sample");
     GREATER_ASSIGN_OR_RETURN_CTX(
         RelationalSample sample,
         rs.Sample(num_parents, rng, &result.sample_report),
         StageContext("sample", "fused"));
+    stage.emplace("stage.flatten");
     GREATER_ASSIGN_OR_RETURN_CTX(
         synthetic_flat,
         JoinParentFeatures(sample.parent, sample.child, key_column),
         StageContext("flatten", "fused"));
     synthetic_parent = std::move(sample.parent);
   }
+  MetricsRegistry::Global()
+      .GetGauge("pipeline.fused_training_rows")
+      .Set(static_cast<double>(result.fused_training_rows));
 
+  stage.emplace("stage.inverse-map");
   // ---- Step 5: inverse transformations (Sec. 3.2.3). ----
   if (!mapping.empty()) {
     GREATER_ASSIGN_OR_RETURN_CTX(

@@ -2,7 +2,34 @@
 
 #include <cmath>
 
+#include "obs/metrics.h"
+
 namespace greater {
+namespace {
+
+// Decode-path accounting (one increment per sampled token): which
+// next-token path served the draw, and whether the restricted path used a
+// backbone's fast override or fell back to the full-distribution gather.
+// Cached pointers keep the hot path at one relaxed atomic add.
+struct PathCounters {
+  Counter* sample_full;
+  Counter* sample_restricted;
+  Counter* fallback_gather;
+  PathCounters() {
+    MetricsRegistry& registry = MetricsRegistry::Global();
+    sample_full = &registry.GetCounter("lm.sample_next_full");
+    sample_restricted = &registry.GetCounter("lm.sample_next_restricted");
+    fallback_gather =
+        &registry.GetCounter("lm.restricted_fallback_gather");
+  }
+};
+
+const PathCounters& GetPathCounters() {
+  static const PathCounters counters;
+  return counters;
+}
+
+}  // namespace
 
 double LanguageModel::SequenceLogProb(const TokenSequence& sequence) const {
   TokenSequence context;
@@ -35,6 +62,10 @@ double LanguageModel::Perplexity(
 std::vector<double> LanguageModel::NextTokenDistributionRestricted(
     const TokenSequence& context,
     const std::vector<TokenId>& candidates) const {
+  // Slow path: backbones that score the full vocabulary and gather. The
+  // concrete models override this; seeing the counter move means a model
+  // lost its fast path.
+  GetPathCounters().fallback_gather->Increment();
   std::vector<double> dist = NextTokenDistribution(context);
   std::vector<double> out(candidates.size(), 0.0);
   for (size_t i = 0; i < candidates.size(); ++i) {
@@ -73,6 +104,7 @@ TokenId LanguageModel::SampleNext(const TokenSequence& context, Rng* rng,
                                   double temperature,
                                   const std::vector<TokenId>* allowed) const {
   if (allowed == nullptr) {
+    GetPathCounters().sample_full->Increment();
     std::vector<double> weights = NextTokenDistribution(context);
     ApplyTemperature(&weights, temperature);
     double total = 0.0;
@@ -80,6 +112,7 @@ TokenId LanguageModel::SampleNext(const TokenSequence& context, Rng* rng,
     if (total <= 0.0) return Vocabulary::kEosId;
     return static_cast<TokenId>(rng->Categorical(weights));
   }
+  GetPathCounters().sample_restricted->Increment();
   // Constrained decoding: weights only over the allow-list. Candidates are
   // evaluated in ascending-id order (matching the index-order walk the
   // full-vocabulary path used to do), so a strictly sorted allow-list

@@ -5,6 +5,9 @@
 #include <cmath>
 #include <memory>
 
+#include "obs/metrics.h"
+#include "obs/span.h"
+
 namespace greater {
 namespace {
 
@@ -222,7 +225,15 @@ double NeuralLm::RunEpochs(const ExampleSet& examples, size_t epochs,
   std::vector<size_t> order(examples.count);
   double epoch_loss = 0.0;
 
+  static Counter* epochs_run =
+      &MetricsRegistry::Global().GetCounter("lm.neural.epochs_run");
+  static Histogram* epoch_us =
+      &MetricsRegistry::Global().GetLatencyHistogram("lm.neural.epoch_us");
+
   for (size_t epoch = 0; epoch < epochs; ++epoch) {
+    Span epoch_span("neural_lm.epoch");
+    ScopedTimer epoch_timer(epoch_us);
+    epochs_run->Increment();
     order = rng_.Permutation(examples.count);
     for (Workspace& ws : shards) ws.loss = 0.0;
     for (size_t batch_begin = 0; batch_begin < order.size();
@@ -295,6 +306,7 @@ Status NeuralLm::Fit(const std::vector<TokenSequence>& sequences) {
       }
     }
   }
+  Span fit_span("neural_lm.fit");
   std::unique_ptr<ThreadPool> pool;
   if (options_.num_threads > 1) {
     pool = std::make_unique<ThreadPool>(options_.num_threads);
@@ -305,6 +317,9 @@ Status NeuralLm::Fit(const std::vector<TokenSequence>& sequences) {
   }
   ExampleSet examples = BuildExamples(sequences);
   last_epoch_loss_ = RunEpochs(examples, options_.epochs, pool.get());
+  MetricsRegistry::Global()
+      .GetGauge("lm.neural.last_epoch_loss")
+      .Set(last_epoch_loss_);
   fitted_ = true;
   return Status::OK();
 }
@@ -341,6 +356,9 @@ std::vector<double> NeuralLm::NextTokenDistribution(
 std::vector<double> NeuralLm::NextTokenDistributionRestricted(
     const TokenSequence& context,
     const std::vector<TokenId>& candidates) const {
+  static Counter* fast_path =
+      &MetricsRegistry::Global().GetCounter("lm.restricted_fast_path");
+  fast_path->Increment();
   std::vector<TokenId> window;
   FillWindow(context, &window);
   size_t h = options_.hidden_dim;

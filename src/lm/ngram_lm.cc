@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "obs/metrics.h"
+
 namespace greater {
 
 NGramLm::NGramLm(size_t vocab_size, const Options& options)
@@ -108,6 +110,9 @@ std::vector<double> NGramLm::NextTokenDistribution(
 std::vector<double> NGramLm::NextTokenDistributionRestricted(
     const TokenSequence& context,
     const std::vector<TokenId>& candidates) const {
+  static Counter* fast_path =
+      &MetricsRegistry::Global().GetCounter("lm.restricted_fast_path");
+  fast_path->Increment();
   // Per-candidate replay of the interpolation above, touching only the
   // candidate counts. Each candidate's value goes through the identical
   // multiply-then-add sequence as its slot in the full-vocabulary walk, so

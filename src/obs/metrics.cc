@@ -1,0 +1,273 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+
+namespace greater {
+namespace {
+
+uint64_t SteadyNowNs() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+// Shortest round-trippable decimal form, matching how the JSON exporter
+// writes every floating-point value.
+std::string FormatDouble(double value) {
+  char buffer[32];
+  std::snprintf(buffer, sizeof(buffer), "%.17g", value);
+  return std::string(buffer);
+}
+
+void AppendJsonString(const std::string& text, std::string* out) {
+  out->push_back('"');
+  for (char c : text) {
+    switch (c) {
+      case '"': *out += "\\\""; break;
+      case '\\': *out += "\\\\"; break;
+      case '\n': *out += "\\n"; break;
+      case '\t': *out += "\\t"; break;
+      default: out->push_back(c);
+    }
+  }
+  out->push_back('"');
+}
+
+}  // namespace
+
+size_t ThisThreadMetricShard() {
+  static std::atomic<size_t> next_thread{0};
+  thread_local size_t shard =
+      next_thread.fetch_add(1, std::memory_order_relaxed) % kMetricShards;
+  return shard;
+}
+
+// ---------- Histogram ----------
+
+Histogram::Histogram(std::vector<double> bounds)
+    : bounds_(std::move(bounds)), shards_(kMetricShards) {
+  std::sort(bounds_.begin(), bounds_.end());
+  bounds_.erase(std::unique(bounds_.begin(), bounds_.end()), bounds_.end());
+  for (Shard& shard : shards_) {
+    shard.counts =
+        std::make_unique<std::atomic<uint64_t>[]>(bounds_.size() + 1);
+    for (size_t b = 0; b <= bounds_.size(); ++b) {
+      shard.counts[b].store(0, std::memory_order_relaxed);
+    }
+  }
+}
+
+void Histogram::Observe(double value) {
+  size_t bucket = static_cast<size_t>(
+      std::lower_bound(bounds_.begin(), bounds_.end(), value) -
+      bounds_.begin());
+  Shard& shard = shards_[ThisThreadMetricShard()];
+  shard.counts[bucket].fetch_add(1, std::memory_order_relaxed);
+  shard.count.fetch_add(1, std::memory_order_relaxed);
+  double sum = shard.sum.load(std::memory_order_relaxed);
+  while (!shard.sum.compare_exchange_weak(sum, sum + value,
+                                          std::memory_order_relaxed)) {
+  }
+}
+
+std::vector<uint64_t> Histogram::BucketCounts() const {
+  std::vector<uint64_t> out(bounds_.size() + 1, 0);
+  for (const Shard& shard : shards_) {
+    for (size_t b = 0; b < out.size(); ++b) {
+      out[b] += shard.counts[b].load(std::memory_order_relaxed);
+    }
+  }
+  return out;
+}
+
+uint64_t Histogram::TotalCount() const {
+  uint64_t total = 0;
+  for (const Shard& shard : shards_) {
+    total += shard.count.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+double Histogram::Sum() const {
+  // Fixed shard order, so the floating-point reduction is reproducible.
+  double total = 0.0;
+  for (const Shard& shard : shards_) {
+    total += shard.sum.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+void Histogram::Reset() {
+  for (Shard& shard : shards_) {
+    for (size_t b = 0; b <= bounds_.size(); ++b) {
+      shard.counts[b].store(0, std::memory_order_relaxed);
+    }
+    shard.count.store(0, std::memory_order_relaxed);
+    shard.sum.store(0.0, std::memory_order_relaxed);
+  }
+}
+
+std::vector<double> Histogram::DefaultLatencyBucketsUs() {
+  std::vector<double> bounds;
+  for (double decade = 1.0; decade <= 1e6; decade *= 10.0) {
+    bounds.push_back(decade);
+    bounds.push_back(2.0 * decade);
+    bounds.push_back(5.0 * decade);
+  }
+  return bounds;  // 1us .. 5s
+}
+
+// ---------- MetricsRegistry ----------
+
+MetricsRegistry::MetricsRegistry() : epoch_ns_(SteadyNowNs()) {}
+
+MetricsRegistry& MetricsRegistry::Global() {
+  static MetricsRegistry* registry = new MetricsRegistry();
+  return *registry;
+}
+
+Counter& MetricsRegistry::GetCounter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = counters_[name];
+  if (!slot) slot = std::make_unique<Counter>();
+  return *slot;
+}
+
+Gauge& MetricsRegistry::GetGauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = gauges_[name];
+  if (!slot) slot = std::make_unique<Gauge>();
+  return *slot;
+}
+
+Histogram& MetricsRegistry::GetHistogram(const std::string& name,
+                                         std::vector<double> bounds) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = histograms_[name];
+  if (!slot) slot = std::make_unique<Histogram>(std::move(bounds));
+  return *slot;
+}
+
+Histogram& MetricsRegistry::GetLatencyHistogram(const std::string& name) {
+  return GetHistogram(name, Histogram::DefaultLatencyBucketsUs());
+}
+
+uint64_t MetricsRegistry::NowNs() const { return SteadyNowNs() - epoch_ns_; }
+
+void MetricsRegistry::RecordSpan(SpanRecord record) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (spans_.size() < max_spans_) {
+      spans_.push_back(std::move(record));
+      return;
+    }
+  }
+  GetCounter("obs.spans_dropped").Increment();
+}
+
+MetricsSnapshot MetricsRegistry::Snapshot() const {
+  MetricsSnapshot snapshot;
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& [name, counter] : counters_) {
+    snapshot.counters.emplace_back(name, counter->Value());
+  }
+  for (const auto& [name, gauge] : gauges_) {
+    snapshot.gauges.emplace_back(name, gauge->Value());
+  }
+  for (const auto& [name, histogram] : histograms_) {
+    HistogramSnapshot h;
+    h.name = name;
+    h.bounds = histogram->bounds();
+    h.counts = histogram->BucketCounts();
+    h.count = histogram->TotalCount();
+    h.sum = histogram->Sum();
+    snapshot.histograms.push_back(std::move(h));
+  }
+  snapshot.spans = spans_;
+  std::sort(snapshot.spans.begin(), snapshot.spans.end(),
+            [](const SpanRecord& a, const SpanRecord& b) {
+              return a.id < b.id;
+            });
+  return snapshot;
+}
+
+std::string MetricsRegistry::ToJson(JsonMode mode) const {
+  MetricsSnapshot snapshot = Snapshot();
+  std::string out = "{\n  \"counters\": {";
+  bool first = true;
+  for (const auto& [name, value] : snapshot.counters) {
+    out += first ? "\n" : ",\n";
+    first = false;
+    out += "    ";
+    AppendJsonString(name, &out);
+    out += ": " + std::to_string(value);
+  }
+  out += first ? "},\n" : "\n  },\n";
+  out += "  \"gauges\": {";
+  first = true;
+  for (const auto& [name, value] : snapshot.gauges) {
+    out += first ? "\n" : ",\n";
+    first = false;
+    out += "    ";
+    AppendJsonString(name, &out);
+    out += ": " + FormatDouble(value);
+  }
+  out += first ? "}" : "\n  }";
+  if (mode == JsonMode::kDeterministic) {
+    out += "\n}\n";
+    return out;
+  }
+  out += ",\n  \"histograms\": {";
+  first = true;
+  for (const HistogramSnapshot& h : snapshot.histograms) {
+    out += first ? "\n" : ",\n";
+    first = false;
+    out += "    ";
+    AppendJsonString(h.name, &out);
+    out += ": {\"bounds\": [";
+    for (size_t b = 0; b < h.bounds.size(); ++b) {
+      if (b > 0) out += ", ";
+      out += FormatDouble(h.bounds[b]);
+    }
+    out += "], \"counts\": [";
+    for (size_t b = 0; b < h.counts.size(); ++b) {
+      if (b > 0) out += ", ";
+      out += std::to_string(h.counts[b]);
+    }
+    out += "], \"count\": " + std::to_string(h.count);
+    out += ", \"sum\": " + FormatDouble(h.sum) + "}";
+  }
+  out += first ? "}" : "\n  }";
+  out += ",\n  \"spans\": [";
+  first = true;
+  for (const SpanRecord& span : snapshot.spans) {
+    out += first ? "\n" : ",\n";
+    first = false;
+    out += "    {\"id\": " + std::to_string(span.id);
+    out += ", \"parent\": " + std::to_string(span.parent_id);
+    out += ", \"name\": ";
+    AppendJsonString(span.name, &out);
+    out += ", \"start_us\": " +
+           FormatDouble(static_cast<double>(span.start_ns) / 1000.0);
+    out += ", \"duration_us\": " +
+           FormatDouble(static_cast<double>(span.duration_ns) / 1000.0);
+    out += "}";
+  }
+  out += first ? "]\n}\n" : "\n  ]\n}\n";
+  return out;
+}
+
+void MetricsRegistry::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [name, counter] : counters_) counter->Reset();
+  for (auto& [name, gauge] : gauges_) gauge->Reset();
+  for (auto& [name, histogram] : histograms_) histogram->Reset();
+  spans_.clear();
+  next_span_id_.store(0, std::memory_order_relaxed);
+  epoch_ns_ = SteadyNowNs();
+}
+
+}  // namespace greater

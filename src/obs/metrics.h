@@ -1,0 +1,218 @@
+#ifndef GREATER_OBS_METRICS_H_
+#define GREATER_OBS_METRICS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace greater {
+
+/// Observability substrate: a process-wide (or test-local) registry of
+/// named counters, gauges, and fixed-bucket histograms, cheap enough to
+/// leave armed on hot paths.
+///
+/// Design (see DESIGN.md, "Observability"):
+///  - Counters and histograms are sharded per thread: each thread writes a
+///    private cache-line-padded slot (relaxed atomics), and Snapshot()
+///    reduces the slots in fixed index order — mirroring ThreadPool's
+///    fixed-order gradient reduce, so a snapshot taken at num_threads=1 is
+///    a deterministic function of the seeded workload.
+///  - Metric objects are created once and never destroyed until the
+///    registry itself dies; Reset() zeroes values in place, so pointers
+///    cached by hot paths (static locals) stay valid across test cases.
+///  - Export is a single JSON document (ToJson). The *deterministic view*
+///    (JsonMode::kDeterministic) carries counters and gauges only; timing
+///    histograms and spans are wall-clock measurements and are excluded
+///    from the byte-identical reproducibility contract.
+
+/// Number of per-thread slots per sharded metric. Threads are assigned a
+/// slot round-robin at first use; collisions are correct (slots are
+/// atomic), just slightly contended.
+inline constexpr size_t kMetricShards = 8;
+
+/// Index of the calling thread's metric slot in [0, kMetricShards).
+size_t ThisThreadMetricShard();
+
+/// Monotonically increasing event count.
+class Counter {
+ public:
+  Counter() = default;
+  Counter(const Counter&) = delete;
+  Counter& operator=(const Counter&) = delete;
+
+  void Increment(uint64_t n = 1) {
+    shards_[ThisThreadMetricShard()].value.fetch_add(
+        n, std::memory_order_relaxed);
+  }
+
+  /// Fixed-order (slot 0..kMetricShards-1) sum over the thread slots.
+  uint64_t Value() const {
+    uint64_t total = 0;
+    for (const Shard& shard : shards_) {
+      total += shard.value.load(std::memory_order_relaxed);
+    }
+    return total;
+  }
+
+  void Reset() {
+    for (Shard& shard : shards_) {
+      shard.value.store(0, std::memory_order_relaxed);
+    }
+  }
+
+ private:
+  struct alignas(64) Shard {
+    std::atomic<uint64_t> value{0};
+  };
+  Shard shards_[kMetricShards];
+};
+
+/// Last-writer-wins instantaneous value.
+class Gauge {
+ public:
+  Gauge() = default;
+  Gauge(const Gauge&) = delete;
+  Gauge& operator=(const Gauge&) = delete;
+
+  void Set(double value) { value_.store(value, std::memory_order_relaxed); }
+
+  void Add(double delta) {
+    double current = value_.load(std::memory_order_relaxed);
+    while (!value_.compare_exchange_weak(current, current + delta,
+                                         std::memory_order_relaxed)) {
+    }
+  }
+
+  double Value() const { return value_.load(std::memory_order_relaxed); }
+  void Reset() { value_.store(0.0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+/// Fixed-bucket histogram: bucket i counts observations <= bounds[i], the
+/// implicit final bucket counts the rest. Observation counts and the
+/// running sum are sharded per thread like Counter.
+class Histogram {
+ public:
+  explicit Histogram(std::vector<double> bounds);
+  Histogram(const Histogram&) = delete;
+  Histogram& operator=(const Histogram&) = delete;
+
+  void Observe(double value);
+
+  const std::vector<double>& bounds() const { return bounds_; }
+  /// Per-bucket counts (size bounds().size() + 1), reduced in fixed order.
+  std::vector<uint64_t> BucketCounts() const;
+  uint64_t TotalCount() const;
+  double Sum() const;
+  void Reset();
+
+  /// Log-ish 1-2-5 ladder from 1 us to 5 s, for ScopedTimer histograms.
+  static std::vector<double> DefaultLatencyBucketsUs();
+
+ private:
+  struct alignas(64) Shard {
+    std::unique_ptr<std::atomic<uint64_t>[]> counts;
+    std::atomic<uint64_t> count{0};
+    std::atomic<double> sum{0.0};
+  };
+
+  std::vector<double> bounds_;
+  std::vector<Shard> shards_;
+};
+
+/// One completed span: a named wall-clock interval with a parent link.
+/// `parent_id` 0 means "root". Start times are nanoseconds relative to the
+/// registry epoch (construction or last Reset).
+struct SpanRecord {
+  uint64_t id = 0;
+  uint64_t parent_id = 0;
+  std::string name;
+  uint64_t start_ns = 0;
+  uint64_t duration_ns = 0;
+};
+
+/// Point-in-time copy of every metric in a registry.
+struct HistogramSnapshot {
+  std::string name;
+  std::vector<double> bounds;
+  std::vector<uint64_t> counts;
+  uint64_t count = 0;
+  double sum = 0.0;
+};
+
+struct MetricsSnapshot {
+  std::vector<std::pair<std::string, uint64_t>> counters;  // name-sorted
+  std::vector<std::pair<std::string, double>> gauges;      // name-sorted
+  std::vector<HistogramSnapshot> histograms;               // name-sorted
+  std::vector<SpanRecord> spans;                           // id-sorted
+};
+
+class MetricsRegistry {
+ public:
+  /// What ToJson exports. kFull is everything; kDeterministic drops spans
+  /// and histograms (wall-clock data), leaving the counters and gauges
+  /// that are byte-identical across seeded runs at num_threads=1.
+  enum class JsonMode { kFull, kDeterministic };
+
+  MetricsRegistry();
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  /// The process-wide registry library instrumentation writes to.
+  static MetricsRegistry& Global();
+
+  /// Finds or creates a metric. The returned reference stays valid (and
+  /// keeps its identity across Reset) for the registry's lifetime, so hot
+  /// paths cache the pointer in a static local.
+  Counter& GetCounter(const std::string& name);
+  Gauge& GetGauge(const std::string& name);
+  /// `bounds` is used only on first creation; later calls with the same
+  /// name return the existing histogram regardless of bounds.
+  Histogram& GetHistogram(const std::string& name,
+                          std::vector<double> bounds);
+  /// Latency histogram with DefaultLatencyBucketsUs bounds.
+  Histogram& GetLatencyHistogram(const std::string& name);
+
+  /// Consistent copy of every metric and recorded span.
+  MetricsSnapshot Snapshot() const;
+
+  /// Serializes Snapshot() as one JSON document with name-sorted keys.
+  std::string ToJson(JsonMode mode = JsonMode::kFull) const;
+
+  /// Zeroes every metric in place (objects survive; cached pointers stay
+  /// valid), clears recorded spans, and restarts span ids and the epoch.
+  void Reset();
+
+  // --- span plumbing (used by Span; tests use Span, not these) ---
+  uint64_t NextSpanId() {
+    return next_span_id_.fetch_add(1, std::memory_order_relaxed) + 1;
+  }
+  /// Appends a completed span. Beyond `max_spans` records the span is
+  /// dropped and the `obs.spans_dropped` counter incremented.
+  void RecordSpan(SpanRecord record);
+  /// Nanoseconds since the registry epoch.
+  uint64_t NowNs() const;
+
+  /// Span-store capacity; default 65536. Settable before a run for tests.
+  void set_max_spans(size_t n) { max_spans_ = n; }
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+  std::vector<SpanRecord> spans_;
+  size_t max_spans_ = 65536;
+  std::atomic<uint64_t> next_span_id_{0};
+  uint64_t epoch_ns_ = 0;  // steady_clock ns at construction / Reset
+};
+
+}  // namespace greater
+
+#endif  // GREATER_OBS_METRICS_H_

@@ -1,0 +1,54 @@
+#include "obs/span.h"
+
+#include <utility>
+
+namespace greater {
+namespace {
+
+// Innermost-open-span stack of the calling thread. A single process-wide
+// stack per thread: spans from different registries interleaving on one
+// thread would cross-link, which no current caller does.
+std::vector<uint64_t>& ThreadSpanStack() {
+  thread_local std::vector<uint64_t> stack;
+  return stack;
+}
+
+}  // namespace
+
+Span::Span(std::string name, MetricsRegistry* registry)
+    : Span(std::move(name), CurrentId(), registry) {}
+
+Span::Span(std::string name, uint64_t parent_id, MetricsRegistry* registry)
+    : registry_(registry) {
+  record_.id = registry_->NextSpanId();
+  record_.parent_id = parent_id;
+  record_.name = std::move(name);
+  record_.start_ns = registry_->NowNs();
+  ThreadSpanStack().push_back(record_.id);
+}
+
+Span::~Span() {
+  record_.duration_ns = registry_->NowNs() - record_.start_ns;
+  std::vector<uint64_t>& stack = ThreadSpanStack();
+  if (!stack.empty() && stack.back() == record_.id) stack.pop_back();
+  registry_->RecordSpan(std::move(record_));
+}
+
+uint64_t Span::CurrentId() {
+  const std::vector<uint64_t>& stack = ThreadSpanStack();
+  return stack.empty() ? kNoParent : stack.back();
+}
+
+std::map<std::string, SpanAggregate> AggregateSpans(
+    const std::vector<SpanRecord>& spans, uint64_t parent_id) {
+  std::map<std::string, SpanAggregate> out;
+  for (const SpanRecord& span : spans) {
+    if (parent_id != kAllSpans && span.parent_id != parent_id) continue;
+    SpanAggregate& agg = out[span.name];
+    ++agg.count;
+    agg.total_ns += span.duration_ns;
+  }
+  return out;
+}
+
+}  // namespace greater

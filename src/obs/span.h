@@ -1,0 +1,88 @@
+#ifndef GREATER_OBS_SPAN_H_
+#define GREATER_OBS_SPAN_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.h"
+
+namespace greater {
+
+/// RAII wall-clock span. Construction opens the span (parented to the
+/// innermost span open on this thread, unless an explicit parent id is
+/// given); destruction records a SpanRecord into the registry — including
+/// on error-path unwinds, so failed stages still appear in the trace.
+///
+/// Parent linkage uses a thread-local stack, so spans opened on ThreadPool
+/// workers would be orphaned roots by default; code fanning work out
+/// captures Span::CurrentId() before dispatch and passes it as the
+/// explicit parent (see GreatSynthesizer::SampleMany).
+class Span {
+ public:
+  /// `parent_id` of a root span (and the "no span open" CurrentId value).
+  static constexpr uint64_t kNoParent = 0;
+
+  explicit Span(std::string name,
+                MetricsRegistry* registry = &MetricsRegistry::Global());
+  Span(std::string name, uint64_t parent_id,
+       MetricsRegistry* registry = &MetricsRegistry::Global());
+  ~Span();
+
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+  uint64_t id() const { return record_.id; }
+
+  /// Id of the innermost span open on the calling thread (kNoParent when
+  /// none). Capture before handing work to another thread.
+  static uint64_t CurrentId();
+
+ private:
+  MetricsRegistry* registry_;
+  SpanRecord record_;
+};
+
+/// RAII timer observing its scope's elapsed wall time, in microseconds,
+/// into a histogram (typically MetricsRegistry::GetLatencyHistogram).
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(Histogram* histogram,
+                       MetricsRegistry* registry = &MetricsRegistry::Global())
+      : registry_(registry),
+        histogram_(histogram),
+        start_ns_(registry->NowNs()) {}
+  ~ScopedTimer() {
+    histogram_->Observe(
+        static_cast<double>(registry_->NowNs() - start_ns_) / 1000.0);
+  }
+
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+ private:
+  MetricsRegistry* registry_;
+  Histogram* histogram_;
+  uint64_t start_ns_;
+};
+
+/// Wall-time totals per span name, summed over a snapshot's records.
+struct SpanAggregate {
+  uint64_t count = 0;
+  uint64_t total_ns = 0;
+};
+
+/// No-filter sentinel for AggregateSpans.
+inline constexpr uint64_t kAllSpans = ~uint64_t{0};
+
+/// Aggregates spans by name. With `parent_id` given, only direct children
+/// of that span are counted — the per-stage breakdown of one pipeline run
+/// when passed the "pipeline.run" span's id (Span::kNoParent selects the
+/// roots themselves).
+std::map<std::string, SpanAggregate> AggregateSpans(
+    const std::vector<SpanRecord>& spans, uint64_t parent_id = kAllSpans);
+
+}  // namespace greater
+
+#endif  // GREATER_OBS_SPAN_H_

@@ -3,6 +3,8 @@
 #include <algorithm>
 
 #include "common/fault.h"
+#include "obs/metrics.h"
+#include "obs/span.h"
 
 namespace greater {
 namespace {
@@ -11,12 +13,19 @@ namespace {
 /// when the model keeps emitting value tokens.
 constexpr size_t kMaxValueTokens = 24;
 
+Histogram& RowLatencyHistogram() {
+  static Histogram* histogram =
+      &MetricsRegistry::Global().GetLatencyHistogram("synth.sample_row_us");
+  return *histogram;
+}
+
 }  // namespace
 
 GreatSynthesizer::GreatSynthesizer(const Options& options)
     : options_(options) {}
 
 Status GreatSynthesizer::Fit(const Table& train, Rng* rng) {
+  Span fit_span("synth.fit");
   if (fitted()) {
     return Status::FailedPrecondition("GreatSynthesizer already fitted");
   }
@@ -96,12 +105,19 @@ Result<Row> GreatSynthesizer::SampleRow(
     return Status::FailedPrecondition("SampleRow before Fit");
   }
   SamplerWorkspace ws;
-  return SampleRowImpl(rng, forced, &ws, &stats_);
+  SampleReport before = stats_;
+  Result<Row> row =
+      SampleRowImpl(rng, forced, &ws, &stats_, Span::CurrentId());
+  stats_.DeltaSince(before).ExportToMetrics();
+  return row;
 }
 
 Result<Row> GreatSynthesizer::SampleRowImpl(
     Rng* rng, const std::map<std::string, Value>* forced,
-    SamplerWorkspace* ws, SampleReport* stats) const {
+    SamplerWorkspace* ws, SampleReport* stats,
+    uint64_t parent_span_id) const {
+  Span row_span("synth.row", parent_span_id);
+  ScopedTimer row_timer(&RowLatencyHistogram());
   ++stats->rows_requested;
   // Injected per-row failure ("synth.sample_row"): accounted like a
   // natural exhaustion when it carries kResourceExhausted, so lenient
@@ -301,16 +317,19 @@ Result<Table> GreatSynthesizer::SampleMany(size_t n, const Table* conditions,
                                              : "sampling row ") +
            std::to_string(i + 1) + " of " + std::to_string(n);
   };
+  // Captured before any dispatch: pool workers have no view of this
+  // thread's span stack, so per-row spans take their parent explicitly.
+  const uint64_t parent_span = Span::CurrentId();
   auto sample_one = [&](size_t i, Rng* row_rng, SamplerWorkspace* ws,
                         SampleReport* stats) -> Result<Row> {
     if (conditions == nullptr) {
-      return SampleRowImpl(row_rng, nullptr, ws, stats);
+      return SampleRowImpl(row_rng, nullptr, ws, stats, parent_span);
     }
     std::map<std::string, Value> forced;
     for (size_t c = 0; c < conditions->num_columns(); ++c) {
       forced[conditions->schema().field(c).name] = conditions->at(i, c);
     }
-    return SampleRowImpl(row_rng, &forced, ws, stats);
+    return SampleRowImpl(row_rng, &forced, ws, stats, parent_span);
   };
 
   Table out(encoder_->schema());
@@ -327,12 +346,16 @@ Result<Table> GreatSynthesizer::SampleMany(size_t n, const Table* conditions,
             row.status().code() == StatusCode::kResourceExhausted) {
           continue;  // degrade: keep what succeeded, account for the rest
         }
-        if (report) report->Merge(stats_.DeltaSince(before));
+        SampleReport delta = stats_.DeltaSince(before);
+        delta.ExportToMetrics();
+        if (report) report->Merge(delta);
         return row.status().WithContext(context_for(i));
       }
       GREATER_RETURN_NOT_OK(out.AppendRow(std::move(row).ValueOrDie()));
     }
-    if (report) report->Merge(stats_.DeltaSince(before));
+    SampleReport delta = stats_.DeltaSince(before);
+    delta.ExportToMetrics();
+    if (report) report->Merge(delta);
     return out;
   }
 
@@ -364,6 +387,7 @@ Result<Table> GreatSynthesizer::SampleMany(size_t n, const Table* conditions,
   SampleReport delta;
   for (const WorkerOutput& output : outputs) delta.Merge(output.report);
   stats_.Merge(delta);
+  delta.ExportToMetrics();
   if (report) report->Merge(delta);
   size_t row_index = 0;
   for (WorkerOutput& output : outputs) {

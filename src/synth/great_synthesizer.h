@@ -1,6 +1,7 @@
 #ifndef GREATER_SYNTH_GREAT_SYNTHESIZER_H_
 #define GREATER_SYNTH_GREAT_SYNTHESIZER_H_
 
+#include <cstdint>
 #include <map>
 #include <memory>
 #include <string>
@@ -147,10 +148,13 @@ class GreatSynthesizer {
 
   /// SampleRow body. Assumes fitted; accumulates diagnostics into `stats`
   /// (never the shared `stats_` directly, so parallel workers can pass
-  /// private reports).
+  /// private reports). `parent_span_id` is the observability span this
+  /// row's "synth.row" span nests under — pool workers cannot see the
+  /// caller's thread-local span stack, so the parent travels explicitly.
   Result<Row> SampleRowImpl(Rng* rng,
                             const std::map<std::string, Value>* forced,
-                            SamplerWorkspace* ws, SampleReport* stats) const;
+                            SamplerWorkspace* ws, SampleReport* stats,
+                            uint64_t parent_span_id) const;
 
   /// Shared core of Sample / SampleConditional / SampleRows. `conditions`
   /// null -> unconditional; row i otherwise forces conditions row i.

@@ -2,7 +2,48 @@
 
 #include <cstdio>
 
+#include "obs/metrics.h"
+
 namespace greater {
+namespace {
+
+// Registry counters mirroring the SampleReport fields. Looked up once;
+// the objects stay valid across MetricsRegistry::Reset().
+struct SynthCounters {
+  Counter* rows_requested;
+  Counter* rows_emitted;
+  Counter* rows_degraded;
+  Counter* attempts;
+  Counter* rejected_invalid_value;
+  Counter* rejected_decode_failure;
+  Counter* rejected_mid_row;
+  Counter* fault_trips;
+  Counter* fallback_grammar_uses;
+  Counter* snapped_cells;
+  SynthCounters() {
+    MetricsRegistry& registry = MetricsRegistry::Global();
+    rows_requested = &registry.GetCounter("synth.rows_requested");
+    rows_emitted = &registry.GetCounter("synth.rows_emitted");
+    rows_degraded = &registry.GetCounter("synth.rows_degraded");
+    attempts = &registry.GetCounter("synth.attempts");
+    rejected_invalid_value =
+        &registry.GetCounter("synth.rejected_invalid_value");
+    rejected_decode_failure =
+        &registry.GetCounter("synth.rejected_decode_failure");
+    rejected_mid_row = &registry.GetCounter("synth.rejected_mid_row");
+    fault_trips = &registry.GetCounter("synth.fault_trips");
+    fallback_grammar_uses =
+        &registry.GetCounter("synth.fallback_grammar_uses");
+    snapped_cells = &registry.GetCounter("synth.snapped_cells");
+  }
+};
+
+const SynthCounters& GetSynthCounters() {
+  static const SynthCounters counters;
+  return counters;
+}
+
+}  // namespace
 
 const char* SamplePolicyToString(SamplePolicy policy) {
   switch (policy) {
@@ -47,6 +88,20 @@ SampleReport SampleReport::DeltaSince(const SampleReport& before) const {
       fallback_grammar_uses - before.fallback_grammar_uses;
   delta.snapped_cells = snapped_cells - before.snapped_cells;
   return delta;
+}
+
+void SampleReport::ExportToMetrics() const {
+  const SynthCounters& counters = GetSynthCounters();
+  counters.rows_requested->Increment(rows_requested);
+  counters.rows_emitted->Increment(rows_emitted);
+  counters.rows_degraded->Increment(rows_exhausted);
+  counters.attempts->Increment(attempts);
+  counters.rejected_invalid_value->Increment(rejected_invalid_value);
+  counters.rejected_decode_failure->Increment(rejected_decode_failure);
+  counters.rejected_mid_row->Increment(rejected_mid_row);
+  counters.fault_trips->Increment(injected_faults);
+  counters.fallback_grammar_uses->Increment(fallback_grammar_uses);
+  counters.snapped_cells->Increment(snapped_cells);
 }
 
 std::string SampleReport::ToString() const {

@@ -71,6 +71,14 @@ struct SampleReport {
   /// must be an earlier snapshot of the same accumulator).
   SampleReport DeltaSince(const SampleReport& before) const;
 
+  /// Adds this report's counts into the global metrics registry under the
+  /// `synth.*` names (synth.rows_requested, synth.rows_degraded,
+  /// synth.fault_trips, ...). Call with a per-call delta, never with the
+  /// lifetime accumulator, or counts double. Keeping the export next to
+  /// the report guarantees registry counters reconcile with SampleReport
+  /// by construction.
+  void ExportToMetrics() const;
+
   /// One-line human-readable summary.
   std::string ToString() const;
 };

@@ -6,9 +6,24 @@
 
 #include "common/fault.h"
 #include "common/strings.h"
+#include "obs/metrics.h"
 
 namespace greater {
 namespace {
+
+// Recovery events: inputs that parsed only because the reader repaired or
+// skipped something. Surfaced so silent data quirks show up in snapshots.
+Counter& BomStrippedCounter() {
+  static Counter* counter =
+      &MetricsRegistry::Global().GetCounter("csv.bom_stripped");
+  return *counter;
+}
+
+Counter& BlankLinesSkippedCounter() {
+  static Counter* counter =
+      &MetricsRegistry::Global().GetCounter("csv.blank_lines_skipped");
+  return *counter;
+}
 
 // Splits CSV text into records of raw string fields, honoring quotes.
 Result<std::vector<std::vector<std::string>>> ParseRecords(
@@ -29,6 +44,8 @@ Result<std::vector<std::vector<std::string>>> ParseRecords(
     // Skip blank lines (a record that is a single empty field).
     if (!(current.size() == 1 && current[0].empty())) {
       records.push_back(std::move(current));
+    } else {
+      BlankLinesSkippedCounter().Increment();
     }
     current.clear();
   };
@@ -80,6 +97,7 @@ Result<Table> ReadCsvString(const std::string& text,
   std::string_view body(text);
   if (body.size() >= 3 && body.substr(0, 3) == "\xEF\xBB\xBF") {
     body.remove_prefix(3);
+    BomStrippedCounter().Increment();
   }
   GREATER_ASSIGN_OR_RETURN(auto records,
                            ParseRecords(body, options.delimiter));

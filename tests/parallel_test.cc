@@ -8,6 +8,7 @@
 #include "common/thread_pool.h"
 #include "lm/neural_lm.h"
 #include "lm/ngram_lm.h"
+#include "obs/metrics.h"
 #include "synth/great_synthesizer.h"
 #include "text/vocabulary.h"
 
@@ -48,6 +49,24 @@ TEST(ThreadPoolTest, ParallelForZeroCountRunsInline) {
     EXPECT_EQ(end, 0u);
   });
   EXPECT_EQ(calls, 1u);
+}
+
+TEST(ThreadPoolTest, ParallelForZeroItemsStillPublishesMetrics) {
+  // Regression: the zero-item inline path used to return before the
+  // dispatch counters were published, so empty ranges were invisible in
+  // metric snapshots.
+  MetricsRegistry& registry = MetricsRegistry::Global();
+  Counter& calls = registry.GetCounter("pool.parallel_for_calls");
+  Counter& items = registry.GetCounter("pool.items_dispatched");
+  Counter& shards = registry.GetCounter("pool.shards_dispatched");
+  uint64_t calls_before = calls.Value();
+  uint64_t items_before = items.Value();
+  uint64_t shards_before = shards.Value();
+  ThreadPool pool(2);
+  pool.ParallelFor(0, 4, [](size_t, size_t, size_t) {});
+  EXPECT_EQ(calls.Value(), calls_before + 1);
+  EXPECT_EQ(items.Value(), items_before);  // zero items dispatched
+  EXPECT_EQ(shards.Value(), shards_before + 1);  // clamped inline shard
 }
 
 TEST(ThreadPoolTest, SubmitFuturePropagatesException) {
@@ -308,6 +327,34 @@ TEST(ParallelSamplingTest, SampleRowsWithPoolIsDeterministic) {
   ExpectTablesEqual(t1, t2);
   EXPECT_TRUE(report.Reconciles());
   EXPECT_EQ(report.rows_requested, 30u);
+}
+
+TEST(ParallelSamplingTest, RestrictedVocabSamplingTakesTheFastPath) {
+  // Constrained decoding must be served by the backbones' restricted
+  // fast-path overrides, never by the base-class full-distribution gather
+  // — the counters tell the two apart.
+  MetricsRegistry& registry = MetricsRegistry::Global();
+  Counter& fast = registry.GetCounter("lm.restricted_fast_path");
+  Counter& fallback = registry.GetCounter("lm.restricted_fallback_gather");
+  Counter& restricted = registry.GetCounter("lm.sample_next_restricted");
+  uint64_t fast_before = fast.Value();
+  uint64_t fallback_before = fallback.Value();
+  uint64_t restricted_before = restricted.Value();
+
+  GreatSynthesizer synth;
+  Table train = SmallTable();
+  Rng fit(7);
+  ASSERT_TRUE(synth.Fit(train, &fit).ok());
+  Rng rng(11);
+  ASSERT_TRUE(synth.Sample(10, &rng).ok());
+
+  EXPECT_GT(restricted.Value(), restricted_before);
+  EXPECT_GT(fast.Value(), fast_before);
+  // A moving fallback counter means a backbone lost its fast path.
+  EXPECT_EQ(fallback.Value(), fallback_before);
+  // Every constrained draw was served by the fast path.
+  EXPECT_EQ(fast.Value() - fast_before,
+            restricted.Value() - restricted_before);
 }
 
 TEST(ParallelSamplingTest, ParallelConditionalForcesValues) {

@@ -7,6 +7,7 @@
 #include "common/fault.h"
 #include "crosstable/pipeline.h"
 #include "datagen/digix.h"
+#include "obs/metrics.h"
 #include "synth/great_synthesizer.h"
 #include "tabular/csv.h"
 
@@ -291,6 +292,55 @@ TEST_F(SynthesizerFaultTest, CumulativeStatsAccumulateAcrossCalls) {
   EXPECT_EQ(synth.stats().rows_requested, 8u);
   EXPECT_EQ(synth.stats().rows_exhausted, 1u);
   EXPECT_TRUE(synth.stats().Reconciles());
+}
+
+TEST_F(SynthesizerFaultTest, RegistryCountersMatchSampleReport) {
+  // The observability counters are exported from the same per-call report
+  // deltas the SampleReport API returns, so the two accountings cannot
+  // drift: fault_trips mirrors injected_faults, rows_degraded mirrors
+  // rows_exhausted, and the row ledger reconciles in the registry too.
+  MetricsRegistry& registry = MetricsRegistry::Global();
+  Counter& fault_trips = registry.GetCounter("synth.fault_trips");
+  Counter& rows_degraded = registry.GetCounter("synth.rows_degraded");
+  Counter& rows_requested = registry.GetCounter("synth.rows_requested");
+  Counter& rows_emitted = registry.GetCounter("synth.rows_emitted");
+  Counter& registry_trips = registry.GetCounter("fault.trips");
+  uint64_t trips_before = fault_trips.Value();
+  uint64_t degraded_before = rows_degraded.Value();
+  uint64_t requested_before = rows_requested.Value();
+  uint64_t emitted_before = rows_emitted.Value();
+  uint64_t registry_trips_before = registry_trips.Value();
+
+  GreatSynthesizer::Options options;
+  options.policy = SamplePolicy::kLenient;
+  GreatSynthesizer synth(options);
+  Rng rng(3);
+  ASSERT_TRUE(synth.Fit(SmallTable(), &rng).ok());
+
+  FaultSpec spec;
+  spec.code = StatusCode::kResourceExhausted;
+  spec.skip_hits = 2;
+  spec.max_fires = 3;
+  ScopedFault fault("synth.sample_row", spec);
+
+  SampleReport report;
+  ASSERT_TRUE(synth.Sample(10, &rng, &report).ok());
+  ASSERT_TRUE(report.Reconciles());
+  ASSERT_GT(report.injected_faults, 0u);
+
+  EXPECT_EQ(fault_trips.Value() - trips_before, report.injected_faults);
+  EXPECT_EQ(rows_degraded.Value() - degraded_before, report.rows_exhausted);
+  EXPECT_EQ(rows_requested.Value() - requested_before,
+            report.rows_requested);
+  EXPECT_EQ(rows_emitted.Value() - emitted_before, report.rows_emitted);
+  // The row ledger reconciles inside the registry as well.
+  EXPECT_EQ((rows_emitted.Value() - emitted_before) +
+                (rows_degraded.Value() - degraded_before),
+            rows_requested.Value() - requested_before);
+  // Every injected synth fault also passed through the fault registry's
+  // own trip counter (which counts trips at every armed point).
+  EXPECT_GE(registry_trips.Value() - registry_trips_before,
+            report.injected_faults);
 }
 
 // ---------- SampleReport arithmetic ----------
