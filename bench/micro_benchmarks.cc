@@ -202,6 +202,97 @@ void BM_SampleRows(benchmark::State& state) {
 }
 BENCHMARK(BM_SampleRows)->Arg(1)->Arg(4)->Unit(benchmark::kMillisecond);
 
+// Low-cardinality categorical table in the paper's domain (demographic
+// columns, multi-token enhanced categories): decode contexts recur
+// constantly, which is the regime the decode cache is built for. The
+// id-heavy digix table is the adversarial case — its contexts rarely
+// repeat — and stays covered by BM_SampleRows above.
+Table CategoricalTable() {
+  Schema schema({Field("gender", ValueType::kString),
+                 Field("age", ValueType::kString),
+                 Field("residence", ValueType::kString),
+                 Field("device", ValueType::kInt)});
+  Table t(schema);
+  const char* genders[] = {"Male", "Female"};
+  const char* ages[] = {"From 20 to 29", "From 30 to 39", "From 40 to 49"};
+  const char* cities[] = {"Chicago", "Boston", "Austin", "Denver",
+                          "Seattle"};
+  Rng rng(5);
+  for (int i = 0; i < 240; ++i) {
+    if (!t.AppendRow({Value(genders[rng.Index(2)]),
+                      Value(ages[rng.Index(3)]),
+                      Value(cities[rng.Index(5)]),
+                      Value(rng.UniformInt(1, 4))})
+             .ok()) {
+      break;
+    }
+  }
+  return t;
+}
+
+// Decode-cache configurations, serial sampling: Arg(0) = cache off
+// (reference), Arg(1) = kExactReplay (bitwise-identical output), Arg(2) =
+// kAlias (O(1) hit draws). rows/sec lands in items_per_second for
+// scripts/bench_compare.py.
+void BM_SampleRows_Cached(benchmark::State& state) {
+  Table train = CategoricalTable();
+  GreatSynthesizer::Options options;
+  switch (state.range(0)) {
+    case 0:
+      options.decode_cache.enabled = false;
+      break;
+    case 1:
+      options.decode_cache.mode = DecodeMode::kExactReplay;
+      break;
+    default:
+      options.decode_cache.mode = DecodeMode::kAlias;
+      break;
+  }
+  GreatSynthesizer synth(options);
+  Rng rng(1);
+  if (!synth.Fit(train, &rng).ok()) state.SkipWithError("fit failed");
+  size_t rows = 0;
+  for (auto _ : state) {
+    auto table = synth.Sample(64, &rng);
+    benchmark::DoNotOptimize(table);
+    if (table.ok()) rows += table.ValueOrDie().num_rows();
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(rows));
+}
+BENCHMARK(BM_SampleRows_Cached)
+    ->Arg(0)
+    ->Arg(1)
+    ->Arg(2)
+    ->Unit(benchmark::kMillisecond);
+
+// Neural-backbone variant: here the per-draw model cost (hidden pass +
+// candidate logits) dominates row sampling, so cache hits — which skip the
+// model entirely — carry the headline speedup. Arg(0) = cache off,
+// Arg(1) = kExactReplay (output bitwise-identical to Arg(0)).
+void BM_SampleRowsNeural_Cached(benchmark::State& state) {
+  Table train = CategoricalTable();
+  GreatSynthesizer::Options options;
+  options.backbone = GreatSynthesizer::Backbone::kNeural;
+  options.neural.epochs = 2;
+  options.neural.pretrain_epochs = 0;
+  options.policy = SamplePolicy::kLenient;  // under-trained rows may exhaust
+  if (state.range(0) == 0) options.decode_cache.enabled = false;
+  GreatSynthesizer synth(options);
+  Rng rng(1);
+  if (!synth.Fit(train, &rng).ok()) state.SkipWithError("fit failed");
+  size_t rows = 0;
+  for (auto _ : state) {
+    auto table = synth.Sample(16, &rng);
+    benchmark::DoNotOptimize(table);
+    if (table.ok()) rows += table.ValueOrDie().num_rows();
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(rows));
+}
+BENCHMARK(BM_SampleRowsNeural_Cached)
+    ->Arg(0)
+    ->Arg(1)
+    ->Unit(benchmark::kMillisecond);
+
 void BM_DirectFlatten(benchmark::State& state) {
   DigixDataset trial = MakeTrial();
   for (auto _ : state) {

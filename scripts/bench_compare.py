@@ -16,6 +16,14 @@ Benchmarks that export observability stage timings as user counters
 second per-stage table. --fail-stage-above PCT gates those the same way;
 100 means "fail on any stage slower than 2x baseline".
 
+With --metrics, also reads a GREATER_METRICS_OUT JSON snapshot (written by
+the benchmark binary when that env var is set, e.g. BENCH_metrics.json) and
+reports the decode-cache hit rate from the lm.cache.hits / lm.cache.misses
+counters. --fail-hit-rate-below PCT turns that into a gate: exit non-zero
+when the hit rate drops below PCT percent, so a change that silently
+defeats the cache (key churn, broken interning) fails CI even if wall
+times happen to look fine on the runner.
+
 Refresh the checked-in results with:
     cmake --build build --target bench_json
 """
@@ -71,6 +79,21 @@ def main():
         metavar="PCT",
         help="exit 1 if any pipeline stage timing regressed by more than "
         "PCT percent (100 = fail on >2x)",
+    )
+    parser.add_argument(
+        "--metrics",
+        default=None,
+        metavar="PATH",
+        help="GREATER_METRICS_OUT JSON snapshot to read decode-cache "
+        "counters from (lm.cache.hits / lm.cache.misses)",
+    )
+    parser.add_argument(
+        "--fail-hit-rate-below",
+        type=float,
+        default=None,
+        metavar="PCT",
+        help="exit 1 if the decode-cache hit rate in --metrics is below "
+        "PCT percent (requires --metrics)",
     )
     args = parser.parse_args()
 
@@ -154,6 +177,41 @@ def main():
                 failed = True
     elif args.fail_stage_above is not None:
         print("no stage timings found in either file", file=sys.stderr)
+
+    # Decode-cache hit rate (observability counters snapshot).
+    if args.fail_hit_rate_below is not None and args.metrics is None:
+        print("--fail-hit-rate-below requires --metrics", file=sys.stderr)
+        return 2
+    if args.metrics is not None:
+        with open(args.metrics) as f:
+            counters = json.load(f).get("counters", {})
+        hits = float(counters.get("lm.cache.hits", 0))
+        misses = float(counters.get("lm.cache.misses", 0))
+        lookups = hits + misses
+        if lookups <= 0:
+            print("\ndecode cache: no lookups recorded in metrics snapshot")
+            if args.fail_hit_rate_below is not None:
+                print(
+                    "FAIL: no lm.cache.hits/misses counters to gate on",
+                    file=sys.stderr,
+                )
+                failed = True
+        else:
+            rate = hits / lookups * 100.0
+            print(
+                f"\ndecode cache: {hits:,.0f} hits / {lookups:,.0f} lookups"
+                f" = {rate:.1f}% hit rate"
+            )
+            if (
+                args.fail_hit_rate_below is not None
+                and rate < args.fail_hit_rate_below
+            ):
+                print(
+                    f"FAIL: hit rate below "
+                    f"{args.fail_hit_rate_below:.1f}% threshold",
+                    file=sys.stderr,
+                )
+                failed = True
 
     return 1 if failed else 0
 

@@ -416,9 +416,10 @@ Result<PipelineResult> MultiTablePipeline::Run(
   RelationalSynthesizer::Options rs_options;
   rs_options.parent = options_.synth;
   rs_options.child = options_.synth;
-  if (options_.num_threads > 0) {
-    for (GreatSynthesizer::Options* synth :
-         {&rs_options.parent, &rs_options.child}) {
+  for (GreatSynthesizer::Options* synth :
+       {&rs_options.parent, &rs_options.child}) {
+    synth->decode_cache = options_.decode_cache;
+    if (options_.num_threads > 0) {
       synth->num_threads = options_.num_threads;
       synth->neural.num_threads = options_.num_threads;
     }

@@ -66,6 +66,10 @@ struct PipelineOptions {
   /// and the neural backbone's training threads. Output stays
   /// deterministic for a fixed (seed, num_threads) pair.
   size_t num_threads = 0;
+  /// Decode-time distribution cache applied to every synthesizer the run
+  /// builds (parent and child). Defaults to enabled in kExactReplay mode,
+  /// which is bitwise-identical to running without a cache.
+  DecodeCacheOptions decode_cache;
   /// Synthetic subject count; 0 -> match the training subject count.
   size_t num_synthetic_parents = 0;
   /// Erase the mapping system after synthesis (privacy, Sec. 3.2.3).

@@ -1,0 +1,49 @@
+#include "lm/alias_table.h"
+
+namespace greater {
+
+void AliasTable::Build(const std::vector<double>& weights, double total) {
+  size_t n = weights.size();
+  prob_.assign(n, 1.0);
+  alias_.assign(n, 0);
+  if (n == 0 || total <= 0.0) return;
+
+  // Vose's method: scale each weight to mean 1, split buckets into small
+  // (< 1) and large (>= 1), then repeatedly pair a small bucket with a
+  // large one — the small bucket keeps its own mass and borrows the rest
+  // from the large bucket's alias.
+  std::vector<double> scaled(n);
+  double scale = static_cast<double>(n) / total;
+  for (size_t i = 0; i < n; ++i) scaled[i] = weights[i] * scale;
+
+  std::vector<uint32_t> small, large;
+  small.reserve(n);
+  large.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    if (scaled[i] < 1.0) {
+      small.push_back(static_cast<uint32_t>(i));
+    } else {
+      large.push_back(static_cast<uint32_t>(i));
+    }
+  }
+  while (!small.empty() && !large.empty()) {
+    uint32_t s = small.back();
+    small.pop_back();
+    uint32_t l = large.back();
+    large.pop_back();
+    prob_[s] = scaled[s];
+    alias_[s] = l;
+    scaled[l] = (scaled[l] + scaled[s]) - 1.0;
+    if (scaled[l] < 1.0) {
+      small.push_back(l);
+    } else {
+      large.push_back(l);
+    }
+  }
+  // Leftovers are buckets whose residual mass is 1 up to rounding; they
+  // keep probability 1 (never redirect), which is exactly correct.
+  for (uint32_t l : large) prob_[l] = 1.0;
+  for (uint32_t s : small) prob_[s] = 1.0;
+}
+
+}  // namespace greater

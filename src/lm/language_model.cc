@@ -1,7 +1,9 @@
 #include "lm/language_model.h"
 
+#include <algorithm>
 #include <cmath>
 
+#include "lm/decode_cache.h"
 #include "obs/metrics.h"
 
 namespace greater {
@@ -31,62 +33,84 @@ const PathCounters& GetPathCounters() {
 
 }  // namespace
 
-double LanguageModel::SequenceLogProb(const TokenSequence& sequence) const {
-  TokenSequence context;
-  double logprob = 0.0;
-  auto account = [&](TokenId token) {
-    std::vector<double> dist = NextTokenDistribution(context);
-    double p = (token >= 0 && static_cast<size_t>(token) < dist.size())
-                   ? dist[static_cast<size_t>(token)]
-                   : 0.0;
-    logprob += std::log(std::max(p, 1e-300));
-    context.push_back(token);
-  };
-  for (TokenId token : sequence) account(token);
-  account(Vocabulary::kEosId);
-  return logprob;
-}
-
-double LanguageModel::Perplexity(
-    const std::vector<TokenSequence>& sequences) const {
-  double total_logprob = 0.0;
-  double total_tokens = 0.0;
-  for (const auto& seq : sequences) {
-    total_logprob += SequenceLogProb(seq);
-    total_tokens += static_cast<double>(seq.size() + 1);  // + eos
-  }
-  if (total_tokens == 0.0) return 1.0;
-  return std::exp(-total_logprob / total_tokens);
-}
-
-std::vector<double> LanguageModel::NextTokenDistributionRestricted(
-    const TokenSequence& context,
-    const std::vector<TokenId>& candidates) const {
-  // Slow path: backbones that score the full vocabulary and gather. The
-  // concrete models override this; seeing the counter move means a model
-  // lost its fast path.
-  GetPathCounters().fallback_gather->Increment();
-  std::vector<double> dist = NextTokenDistribution(context);
-  std::vector<double> out(candidates.size(), 0.0);
-  for (size_t i = 0; i < candidates.size(); ++i) {
-    TokenId id = candidates[i];
-    if (id >= 0 && static_cast<size_t>(id) < dist.size()) {
-      out[i] = dist[static_cast<size_t>(id)];
-    }
-  }
-  return out;
-}
-
-namespace {
-
-// Applies temperature shaping in place (unnormalized weights).
-void ApplyTemperature(std::vector<double>* weights, double temperature) {
+void ApplyTemperatureShaping(std::vector<double>* weights,
+                             double temperature) {
   if (temperature > 0.0 && temperature != 1.0) {
     for (double& p : *weights) {
       p = p > 0.0 ? std::pow(p, 1.0 / temperature) : 0.0;
     }
   }
 }
+
+double LanguageModel::TokenLogProb(const TokenSequence& context,
+                                   TokenId token, DecodeWorkspace* ws) const {
+  (void)ws;  // the base path has no single-token shortcut to buffer
+  std::vector<double> dist = NextTokenDistribution(context);
+  double p = (token >= 0 && static_cast<size_t>(token) < dist.size())
+                 ? dist[static_cast<size_t>(token)]
+                 : 0.0;
+  return std::log(std::max(p, 1e-300));
+}
+
+double LanguageModel::SequenceLogProb(const TokenSequence& sequence,
+                                      DecodeWorkspace* ws) const {
+  TokenSequence context;
+  context.reserve(sequence.size());
+  double logprob = 0.0;
+  for (TokenId token : sequence) {
+    logprob += TokenLogProb(context, token, ws);
+    context.push_back(token);
+  }
+  logprob += TokenLogProb(context, Vocabulary::kEosId, ws);
+  return logprob;
+}
+
+double LanguageModel::SequenceLogProb(const TokenSequence& sequence) const {
+  DecodeWorkspace ws;
+  return SequenceLogProb(sequence, &ws);
+}
+
+double LanguageModel::Perplexity(
+    const std::vector<TokenSequence>& sequences) const {
+  DecodeWorkspace ws;  // one buffer set for the whole corpus
+  double total_logprob = 0.0;
+  double total_tokens = 0.0;
+  for (const auto& seq : sequences) {
+    total_logprob += SequenceLogProb(seq, &ws);
+    total_tokens += static_cast<double>(seq.size() + 1);  // + eos
+  }
+  if (total_tokens == 0.0) return 1.0;
+  return std::exp(-total_logprob / total_tokens);
+}
+
+void LanguageModel::NextTokenWeightsRestricted(
+    const TokenSequence& context, const std::vector<TokenId>& candidates,
+    DecodeWorkspace* ws, std::vector<double>* out) const {
+  // Slow path: backbones that score the full vocabulary and gather. The
+  // concrete models override this; seeing the counter move means a model
+  // lost its fast path.
+  GetPathCounters().fallback_gather->Increment();
+  std::vector<double> local;
+  std::vector<double>* dist = ws != nullptr ? &ws->probs : &local;
+  *dist = NextTokenDistribution(context);
+  out->assign(candidates.size(), 0.0);
+  for (size_t i = 0; i < candidates.size(); ++i) {
+    TokenId id = candidates[i];
+    if (id >= 0 && static_cast<size_t>(id) < dist->size()) {
+      (*out)[i] = (*dist)[static_cast<size_t>(id)];
+    }
+  }
+}
+
+std::vector<double> LanguageModel::NextTokenDistributionRestricted(
+    const TokenSequence& context,
+    const std::vector<TokenId>& candidates) const {
+  std::vector<double> out;
+  NextTokenWeightsRestricted(context, candidates, nullptr, &out);
+  return out;
+}
+
+namespace {
 
 // True when the allow-list is strictly increasing — the synthesizer keeps
 // its candidate lists in that form so constrained decoding never has to
@@ -102,11 +126,12 @@ bool IsStrictlySorted(const std::vector<TokenId>& ids) {
 
 TokenId LanguageModel::SampleNext(const TokenSequence& context, Rng* rng,
                                   double temperature,
-                                  const std::vector<TokenId>* allowed) const {
+                                  const std::vector<TokenId>* allowed,
+                                  DecodeWorkspace* ws) const {
   if (allowed == nullptr) {
     GetPathCounters().sample_full->Increment();
     std::vector<double> weights = NextTokenDistribution(context);
-    ApplyTemperature(&weights, temperature);
+    ApplyTemperatureShaping(&weights, temperature);
     double total = 0.0;
     for (double w : weights) total += w;
     if (total <= 0.0) return Vocabulary::kEosId;
@@ -126,11 +151,12 @@ TokenId LanguageModel::SampleNext(const TokenSequence& context, Rng* rng,
     sorted.erase(std::unique(sorted.begin(), sorted.end()), sorted.end());
     candidates = &sorted;
   }
-  std::vector<double> weights =
-      NextTokenDistributionRestricted(context, *candidates);
-  ApplyTemperature(&weights, temperature);
+  std::vector<double> local;
+  std::vector<double>* weights = ws != nullptr ? &ws->weights : &local;
+  NextTokenWeightsRestricted(context, *candidates, ws, weights);
+  ApplyTemperatureShaping(weights, temperature);
   double total = 0.0;
-  for (double w : weights) total += w;
+  for (double w : *weights) total += w;
   if (total <= 0.0) {
     // The model assigns zero mass to every candidate: fall back to uniform
     // over the allow-list rather than dying.
@@ -139,7 +165,13 @@ TokenId LanguageModel::SampleNext(const TokenSequence& context, Rng* rng,
     }
     return Vocabulary::kEosId;
   }
-  return (*candidates)[rng->Categorical(weights)];
+  return (*candidates)[rng->Categorical(*weights)];
+}
+
+TokenId LanguageModel::SampleNext(const TokenSequence& context, Rng* rng,
+                                  double temperature,
+                                  const std::vector<TokenId>* allowed) const {
+  return SampleNext(context, rng, temperature, allowed, nullptr);
 }
 
 TokenId LanguageModel::ArgmaxNext(const TokenSequence& context,

@@ -13,6 +13,17 @@ namespace greater {
 /// those internally).
 using TokenSequence = std::vector<TokenId>;
 
+/// Reusable decode buffers (defined in lm/decode_cache.h). Passing one to
+/// the scoring/sampling entry points below eliminates the per-token heap
+/// allocations of the vector-returning legacy paths.
+struct DecodeWorkspace;
+
+/// Temperature shaping in place on unnormalized weights: p -> p^(1/T) for
+/// T > 0, identity at T == 1 or T <= 0. Shared by the uncached sampling
+/// path and the decode cache so both shape bitwise-identically.
+void ApplyTemperatureShaping(std::vector<double>* weights,
+                             double temperature);
+
 /// Abstract autoregressive language model over a fixed vocabulary.
 ///
 /// This is the repository's stand-in for the paper's GPT-2 backbone (see
@@ -44,9 +55,33 @@ class LanguageModel {
   /// normalizes implicitly. The n-gram override is bitwise-identical to
   /// the gather; the neural override renormalizes its softmax over the
   /// candidate set, which is exactly proportional in real arithmetic.
-  virtual std::vector<double> NextTokenDistributionRestricted(
+  std::vector<double> NextTokenDistributionRestricted(
       const TokenSequence& context,
       const std::vector<TokenId>& candidates) const;
+
+  /// Allocation-aware core of NextTokenDistributionRestricted: fills
+  /// `out` (resized to candidates.size()) with the restricted weights,
+  /// reusing `ws` scratch buffers when given (nullable). This is the
+  /// virtual the backbones override; steady-state calls with a warm
+  /// workspace perform no heap allocation in the overrides.
+  virtual void NextTokenWeightsRestricted(const TokenSequence& context,
+                                          const std::vector<TokenId>& candidates,
+                                          DecodeWorkspace* ws,
+                                          std::vector<double>* out) const;
+
+  /// Natural log of P(token | context), clamped below at log(1e-300) —
+  /// the scoring primitive behind SequenceLogProb / Perplexity. The base
+  /// implementation materializes the full distribution; backbones
+  /// override it with a single-token path (n-gram: O(order) count
+  /// lookups; neural: full softmax but zero allocation via `ws`).
+  virtual double TokenLogProb(const TokenSequence& context, TokenId token,
+                              DecodeWorkspace* ws) const;
+
+  /// Number of trailing tokens of (bos + context) the next-token
+  /// distribution can depend on: the decode cache keys on exactly this
+  /// suffix. SIZE_MAX (the default) means "the whole context" — such
+  /// models are uncacheable and the cache transparently bypasses itself.
+  virtual size_t context_dependence() const { return SIZE_MAX; }
 
   /// Vocabulary size this model was built for.
   virtual size_t vocab_size() const = 0;
@@ -55,7 +90,10 @@ class LanguageModel {
   virtual bool fitted() const = 0;
 
   /// Log probability (natural log) of a sequence incl. the implicit eos.
+  /// The workspace overload reuses `ws` buffers across scored tokens.
   double SequenceLogProb(const TokenSequence& sequence) const;
+  double SequenceLogProb(const TokenSequence& sequence,
+                         DecodeWorkspace* ws) const;
 
   /// Perplexity over a corpus: exp(-total logprob / total tokens).
   double Perplexity(const std::vector<TokenSequence>& sequences) const;
@@ -64,9 +102,15 @@ class LanguageModel {
   /// (<1) the distribution; `allowed`, when non-null, restricts sampling to
   /// those ids (constrained decoding — the synthesizer's validity grammar).
   /// Returns kEosId if the (possibly constrained) distribution is all-zero.
+  /// The `ws` overload draws the same tokens from the same Rng stream but
+  /// reuses workspace buffers on the restricted path (no per-token heap
+  /// allocation once warm).
   TokenId SampleNext(const TokenSequence& context, Rng* rng,
                      double temperature = 1.0,
                      const std::vector<TokenId>* allowed = nullptr) const;
+  TokenId SampleNext(const TokenSequence& context, Rng* rng,
+                     double temperature, const std::vector<TokenId>* allowed,
+                     DecodeWorkspace* ws) const;
 
   /// Greedy argmax next token under the same constraints.
   TokenId ArgmaxNext(const TokenSequence& context,

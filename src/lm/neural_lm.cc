@@ -5,6 +5,7 @@
 #include <cmath>
 #include <memory>
 
+#include "lm/decode_cache.h"
 #include "obs/metrics.h"
 #include "obs/span.h"
 
@@ -328,14 +329,13 @@ void NeuralLm::FillWindow(const TokenSequence& context,
                           std::vector<TokenId>* window) const {
   size_t c = options_.context_window;
   window->assign(c, Vocabulary::kPadId);
-  // Effective prefix = bos + context; take its last `c` entries.
-  TokenSequence padded;
-  padded.reserve(context.size() + 1);
-  padded.push_back(Vocabulary::kBosId);
-  padded.insert(padded.end(), context.begin(), context.end());
-  size_t take = std::min(padded.size(), c);
+  // Effective prefix = bos + context; take its last `c` entries without
+  // materializing the prefix. Allocation-free once `window` has capacity.
+  size_t take = std::min(context.size() + 1, c);
   for (size_t k = 0; k < take; ++k) {
-    (*window)[c - 1 - k] = padded[padded.size() - 1 - k];
+    (*window)[c - 1 - k] = k < context.size()
+                               ? context[context.size() - 1 - k]
+                               : Vocabulary::kBosId;
   }
   for (TokenId& id : *window) {
     if (id < 0 || static_cast<size_t>(id) >= vocab_size_) {
@@ -353,24 +353,45 @@ std::vector<double> NeuralLm::NextTokenDistribution(
   return probs;
 }
 
-std::vector<double> NeuralLm::NextTokenDistributionRestricted(
-    const TokenSequence& context,
-    const std::vector<TokenId>& candidates) const {
+void NeuralLm::NextTokenWeightsRestricted(
+    const TokenSequence& context, const std::vector<TokenId>& candidates,
+    DecodeWorkspace* ws, std::vector<double>* out) const {
   static Counter* fast_path =
       &MetricsRegistry::Global().GetCounter("lm.restricted_fast_path");
   fast_path->Increment();
-  std::vector<TokenId> window;
-  FillWindow(context, &window);
+  std::vector<TokenId> local_window;
+  std::vector<TokenId>* window = ws != nullptr ? &ws->window : &local_window;
+  FillWindow(context, window);
+
+  // The hidden activation depends only on the clamped window, so the
+  // workspace's HiddenStateCache turns repeated windows (every row shares
+  // the same prompt skeleton) into a lookup instead of an O(c*e*h) pass.
+  // A cached vector is a copy of a previously computed one, so hits are
+  // bitwise-identical to recomputation.
   size_t h = options_.hidden_dim;
-  std::vector<double> hidden;
-  HiddenLayer(window.data(), &hidden);
+  std::vector<double> local_hidden;
+  const std::vector<double>* hidden;
+  if (ws != nullptr) {
+    const std::vector<double>* cached =
+        ws->hidden_cache.Find(window->data(), window->size());
+    if (cached != nullptr) {
+      hidden = cached;
+    } else {
+      HiddenLayer(window->data(), &ws->hidden);
+      ws->hidden_cache.Insert(window->data(), window->size(), ws->hidden);
+      hidden = &ws->hidden;
+    }
+  } else {
+    HiddenLayer(window->data(), &local_hidden);
+    hidden = &local_hidden;
+  }
 
   // Logits for the candidate set only: O(h) per candidate instead of the
   // O(h*V) full output layer, then a softmax over the candidates. Exactly
   // proportional to the full softmax restricted to the same ids (the
   // normalizer cancels), so constrained sampling draws from the same
   // distribution.
-  std::vector<double> out(candidates.size(), 0.0);
+  out->assign(candidates.size(), 0.0);
   double max_logit = 0.0;
   bool any = false;
   for (size_t i = 0; i < candidates.size(); ++i) {
@@ -378,25 +399,43 @@ std::vector<double> NeuralLm::NextTokenDistributionRestricted(
     if (id < 0 || static_cast<size_t>(id) >= vocab_size_) continue;
     size_t t = static_cast<size_t>(id);
     double z = b2_(0, t);
-    for (size_t j = 0; j < h; ++j) z += hidden[j] * w2_(j, t);
-    out[i] = z;
+    for (size_t j = 0; j < h; ++j) z += (*hidden)[j] * w2_(j, t);
+    (*out)[i] = z;
     if (!any || z > max_logit) max_logit = z;
     any = true;
   }
-  if (!any) return out;
+  if (!any) return;
   double sum = 0.0;
   for (size_t i = 0; i < candidates.size(); ++i) {
     TokenId id = candidates[i];
     if (id < 0 || static_cast<size_t>(id) >= vocab_size_) continue;
-    out[i] = std::exp(out[i] - max_logit);
-    sum += out[i];
+    (*out)[i] = std::exp((*out)[i] - max_logit);
+    sum += (*out)[i];
   }
   for (size_t i = 0; i < candidates.size(); ++i) {
     TokenId id = candidates[i];
     if (id < 0 || static_cast<size_t>(id) >= vocab_size_) continue;
-    out[i] /= sum;
+    (*out)[i] /= sum;
   }
-  return out;
+}
+
+double NeuralLm::TokenLogProb(const TokenSequence& context, TokenId token,
+                              DecodeWorkspace* ws) const {
+  // Same arithmetic as gathering NextTokenDistribution at `token` (the
+  // softmax normalizer needs the full output layer), but the window /
+  // hidden / probs buffers come from the workspace, so scoring a corpus
+  // allocates nothing per token after warm-up.
+  std::vector<TokenId> local_window;
+  std::vector<double> local_hidden, local_probs;
+  std::vector<TokenId>* window = ws != nullptr ? &ws->window : &local_window;
+  std::vector<double>* hidden = ws != nullptr ? &ws->hidden : &local_hidden;
+  std::vector<double>* probs = ws != nullptr ? &ws->probs : &local_probs;
+  FillWindow(context, window);
+  Forward(window->data(), hidden, probs);
+  double p = (token >= 0 && static_cast<size_t>(token) < probs->size())
+                 ? (*probs)[static_cast<size_t>(token)]
+                 : 0.0;
+  return std::log(std::max(p, 1e-300));
 }
 
 std::vector<double> NeuralLm::EmbeddingOf(TokenId id) const {

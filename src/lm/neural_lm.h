@@ -60,9 +60,25 @@ class NeuralLm : public LanguageModel {
   /// Restricted path: one hidden pass, then logits + softmax over the
   /// candidate set only — O(h*|C|) instead of O(h*V) per token. Exactly
   /// proportional to NextTokenDistribution gathered at the candidates.
-  std::vector<double> NextTokenDistributionRestricted(
-      const TokenSequence& context,
-      const std::vector<TokenId>& candidates) const override;
+  /// With a workspace, the window/hidden buffers are reused (no per-token
+  /// allocation) and the workspace's HiddenStateCache, when enabled,
+  /// memoizes the O(h*W) embedding pass per distinct context window.
+  void NextTokenWeightsRestricted(const TokenSequence& context,
+                                  const std::vector<TokenId>& candidates,
+                                  DecodeWorkspace* ws,
+                                  std::vector<double>* out) const override;
+
+  /// Scoring path reusing the workspace's window/hidden/probs buffers: the
+  /// softmax normalizer still costs O(h*V), but no V-sized vector is
+  /// allocated per scored token.
+  double TokenLogProb(const TokenSequence& context, TokenId token,
+                      DecodeWorkspace* ws) const override;
+
+  /// The model reads exactly the last context_window tokens of
+  /// bos + context.
+  size_t context_dependence() const override {
+    return options_.context_window;
+  }
 
   size_t vocab_size() const override { return vocab_size_; }
   bool fitted() const override { return fitted_; }

@@ -1,6 +1,7 @@
 #include "lm/ngram_lm.h"
 
 #include <algorithm>
+#include <cmath>
 
 #include "obs/metrics.h"
 
@@ -107,9 +108,11 @@ std::vector<double> NGramLm::NextTokenDistribution(
   return dist;
 }
 
-std::vector<double> NGramLm::NextTokenDistributionRestricted(
-    const TokenSequence& context,
-    const std::vector<TokenId>& candidates) const {
+void NGramLm::NextTokenWeightsRestricted(const TokenSequence& context,
+                                         const std::vector<TokenId>& candidates,
+                                         DecodeWorkspace* ws,
+                                         std::vector<double>* out) const {
+  (void)ws;  // the n-gram fast path needs no scratch buffers
   static Counter* fast_path =
       &MetricsRegistry::Global().GetCounter("lm.restricted_fast_path");
   fast_path->Increment();
@@ -118,22 +121,26 @@ std::vector<double> NGramLm::NextTokenDistributionRestricted(
   // multiply-then-add sequence as its slot in the full-vocabulary walk, so
   // the result matches a gather of NextTokenDistribution bit for bit.
   double base = 1.0 / static_cast<double>(vocab_size_);
-  std::vector<double> out(candidates.size(), 0.0);
+  out->assign(candidates.size(), 0.0);
   for (size_t i = 0; i < candidates.size(); ++i) {
     TokenId id = candidates[i];
-    if (id >= 0 && static_cast<size_t>(id) < vocab_size_) out[i] = base;
+    if (id >= 0 && static_cast<size_t>(id) < vocab_size_) (*out)[i] = base;
   }
-  if (!fitted_) return out;
+  if (!fitted_) return;
 
-  TokenSequence padded;
-  padded.reserve(context.size() + 1);
-  padded.push_back(Vocabulary::kBosId);
-  padded.insert(padded.end(), context.begin(), context.end());
+  // Only the last order-1 tokens of (bos + context) can be read; stage
+  // them in a fixed-size buffer instead of materializing the prefix.
+  std::array<TokenId, kMaxOrder> eff{};
+  size_t padded_size = context.size() + 1;
+  size_t eff_len = std::min(options_.order - 1, padded_size);
+  for (size_t j = 0; j < eff_len; ++j) {
+    size_t idx = padded_size - eff_len + j;
+    eff[j] = idx == 0 ? Vocabulary::kBosId : context[idx - 1];
+  }
 
   for (size_t ctx_len = 0; ctx_len < options_.order; ++ctx_len) {
-    if (ctx_len > padded.size()) break;
-    ContextKey key = PackContext(
-        padded.data() + (padded.size() - ctx_len), ctx_len);
+    if (ctx_len > eff_len) break;
+    ContextKey key = PackContext(eff.data() + (eff_len - ctx_len), ctx_len);
     auto it = levels_[ctx_len].find(key);
     if (it == levels_[ctx_len].end()) break;
     const ContextStats& stats = it->second;
@@ -143,14 +150,51 @@ std::vector<double> NGramLm::NextTokenDistributionRestricted(
     for (size_t i = 0; i < candidates.size(); ++i) {
       TokenId id = candidates[i];
       if (id < 0 || static_cast<size_t>(id) >= vocab_size_) continue;
-      out[i] *= keep;
+      (*out)[i] *= keep;
       auto count_it = stats.counts.find(id);
       if (count_it != stats.counts.end()) {
-        out[i] += lambda * count_it->second / stats.total;
+        (*out)[i] += lambda * count_it->second / stats.total;
       }
     }
   }
-  return out;
+}
+
+double NGramLm::TokenLogProb(const TokenSequence& context, TokenId token,
+                             DecodeWorkspace* ws) const {
+  (void)ws;
+  // Single-token replay of the interpolation: identical multiply-then-add
+  // sequence as the token's slot in NextTokenDistribution, so the result
+  // (and therefore Perplexity) is bitwise-unchanged — without the V-sized
+  // vector per scored token.
+  if (token < 0 || static_cast<size_t>(token) >= vocab_size_) {
+    return std::log(1e-300);
+  }
+  double p = 1.0 / static_cast<double>(vocab_size_);
+  if (!fitted_) return std::log(std::max(p, 1e-300));
+
+  std::array<TokenId, kMaxOrder> eff{};
+  size_t padded_size = context.size() + 1;
+  size_t eff_len = std::min(options_.order - 1, padded_size);
+  for (size_t j = 0; j < eff_len; ++j) {
+    size_t idx = padded_size - eff_len + j;
+    eff[j] = idx == 0 ? Vocabulary::kBosId : context[idx - 1];
+  }
+  for (size_t ctx_len = 0; ctx_len < options_.order; ++ctx_len) {
+    if (ctx_len > eff_len) break;
+    ContextKey key = PackContext(eff.data() + (eff_len - ctx_len), ctx_len);
+    auto it = levels_[ctx_len].find(key);
+    if (it == levels_[ctx_len].end()) break;
+    const ContextStats& stats = it->second;
+    double distinct = static_cast<double>(stats.counts.size());
+    double lambda = stats.total / (stats.total + distinct);
+    double keep = 1.0 - lambda;
+    p *= keep;
+    auto count_it = stats.counts.find(token);
+    if (count_it != stats.counts.end()) {
+      p += lambda * count_it->second / stats.total;
+    }
+  }
+  return std::log(std::max(p, 1e-300));
 }
 
 }  // namespace greater

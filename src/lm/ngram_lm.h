@@ -54,10 +54,21 @@ class NGramLm : public LanguageModel {
 
   /// Restricted path: Witten–Bell interpolation evaluated per candidate
   /// (count lookups only for the candidate set), bitwise-identical to
-  /// gathering NextTokenDistribution at the candidate ids.
-  std::vector<double> NextTokenDistributionRestricted(
-      const TokenSequence& context,
-      const std::vector<TokenId>& candidates) const override;
+  /// gathering NextTokenDistribution at the candidate ids. Allocation-free
+  /// once `out` has capacity.
+  void NextTokenWeightsRestricted(const TokenSequence& context,
+                                  const std::vector<TokenId>& candidates,
+                                  DecodeWorkspace* ws,
+                                  std::vector<double>* out) const override;
+
+  /// Single-token interpolation walk: O(order) count lookups instead of a
+  /// V-sized distribution per scored token, bitwise-identical to the
+  /// full-distribution gather.
+  double TokenLogProb(const TokenSequence& context, TokenId token,
+                      DecodeWorkspace* ws) const override;
+
+  /// The model reads at most order-1 trailing tokens of bos + context.
+  size_t context_dependence() const override { return options_.order - 1; }
 
   size_t vocab_size() const override { return vocab_size_; }
   bool fitted() const override { return fitted_; }

@@ -19,6 +19,14 @@ Histogram& RowLatencyHistogram() {
   return *histogram;
 }
 
+// Inserts `id` into a strictly ascending list, keeping it sorted and
+// deduplicated — the same insert-if-absent the sampler used to run per
+// decode step, now done once at Fit.
+void InsertSorted(std::vector<TokenId>* ids, TokenId id) {
+  auto pos = std::lower_bound(ids->begin(), ids->end(), id);
+  if (pos == ids->end() || *pos != id) ids->insert(pos, id);
+}
+
 }  // namespace
 
 GreatSynthesizer::GreatSynthesizer(const Options& options)
@@ -96,7 +104,54 @@ Status GreatSynthesizer::Fit(const Table& train, Rng* rng) {
   }
   all_value_tokens_.assign(union_tokens.begin(), union_tokens.end());
   std::sort(all_value_tokens_.begin(), all_value_tokens_.end());
+
+  // Intern every constrained-decoding allow-list once: per-column value
+  // lists, their terminator-admitted variants, and the free-mode union.
+  // The interner is read-only from here on, so parallel workers share the
+  // stable small-int ids without synchronization.
+  AllowListInterner& interner = encoder_->mutable_allow_lists();
+  auto build_grammar = [&](const std::vector<TokenId>& values) {
+    ValueGrammar grammar;
+    grammar.values = values;
+    grammar.with_comma = values;
+    InsertSorted(&grammar.with_comma, encoder_->comma_token());
+    grammar.with_eos = values;
+    InsertSorted(&grammar.with_eos, Vocabulary::kEosId);
+    grammar.values_id = interner.Intern(grammar.values);
+    grammar.with_comma_id = interner.Intern(grammar.with_comma);
+    grammar.with_eos_id = interner.Intern(grammar.with_eos);
+    return grammar;
+  };
+  column_grammars_.clear();
+  column_grammars_.reserve(encoder_->columns().size());
+  for (const auto& column : encoder_->columns()) {
+    column_grammars_.push_back(build_grammar(column.value_tokens));
+  }
+  free_grammar_ = build_grammar(all_value_tokens_);
   return Status::OK();
+}
+
+void GreatSynthesizer::InitWorkspace(SamplerWorkspace* ws) const {
+  if (options_.decode_cache.enabled && ws->cache == nullptr) {
+    ws->cache = std::make_unique<DecodeCache>(options_.decode_cache);
+  }
+  ws->decode.hidden_cache.set_capacity(
+      options_.decode_cache.cache_hidden_states
+          ? options_.decode_cache.hidden_capacity
+          : 0);
+}
+
+TokenId GreatSynthesizer::SampleToken(const TokenSequence& context,
+                                      const std::vector<TokenId>& allowed,
+                                      AllowListId allow_id, Rng* rng,
+                                      SamplerWorkspace* ws) const {
+  if (ws->cache != nullptr) {
+    return ws->cache->SampleRestricted(*lm_, context, allowed, allow_id,
+                                       options_.temperature, rng,
+                                       &ws->decode);
+  }
+  return lm_->SampleNext(context, rng, options_.temperature, &allowed,
+                         &ws->decode);
 }
 
 Result<Row> GreatSynthesizer::SampleRow(
@@ -104,10 +159,10 @@ Result<Row> GreatSynthesizer::SampleRow(
   if (!fitted()) {
     return Status::FailedPrecondition("SampleRow before Fit");
   }
-  SamplerWorkspace ws;
+  InitWorkspace(&serial_ws_);
   SampleReport before = stats_;
   Result<Row> row =
-      SampleRowImpl(rng, forced, &ws, &stats_, Span::CurrentId());
+      SampleRowImpl(rng, forced, &serial_ws_, &stats_, Span::CurrentId());
   stats_.DeltaSince(before).ExportToMetrics();
   return row;
 }
@@ -191,8 +246,14 @@ Result<Row> GreatSynthesizer::SampleRowImpl(
       for (size_t c = 0; c < columns.size(); ++c) {
         if (!emitted[c]) allowed_names.push_back(columns[c].name_token);
       }
+      // Name lists shrink as columns are emitted, so they are interned in
+      // the cache's transient namespace (content-addressed, stable within
+      // the worker) rather than the encoder's static registry.
+      AllowListId names_id = ws->cache != nullptr
+                                 ? ws->cache->InternTransient(allowed_names)
+                                 : kNoAllowList;
       TokenId name_token =
-          lm_->SampleNext(context, rng, options_.temperature, &allowed_names);
+          SampleToken(context, allowed_names, names_id, rng, ws);
       size_t col = columns.size();
       for (size_t c = 0; c < columns.size(); ++c) {
         if (!emitted[c] && columns[c].name_token == name_token) {
@@ -208,33 +269,25 @@ Result<Row> GreatSynthesizer::SampleRowImpl(
       context.push_back(encoder_->is_token());
 
       // Value tokens: constrained to tokens observed in this column (or,
-      // in free-value mode, any column), with the separator admitted once
-      // at least one value token was emitted. Both candidate sources are
-      // kept sorted, so the allow-lists below stay strictly ascending and
-      // constrained decoding never copies or sorts them.
-      const std::vector<TokenId>& allowed =
-          constrain ? columns[col].value_tokens : all_value_tokens_;
-      TokenId terminator =
-          remaining == 1 ? Vocabulary::kEosId : encoder_->comma_token();
-      bool terminator_admitted = false;
+      // in free-value mode, any column), with the terminator admitted once
+      // at least one value token was emitted. All three variants were
+      // interned at Fit, strictly ascending, so every step is a no-copy
+      // draw with an O(1) cache key.
+      const ValueGrammar& grammar =
+          constrain ? column_grammars_[col] : free_grammar_;
+      bool last_column = (remaining == 1);
       size_t value_len = 0;
-      bool closed = (remaining == 1);  // last column ends at eos
+      bool closed = last_column;  // last column ends at eos
       while (value_len < kMaxValueTokens) {
-        const std::vector<TokenId>* step_allowed = &allowed;
+        const std::vector<TokenId>* step_allowed = &grammar.values;
+        AllowListId step_id = grammar.values_id;
         if (value_len > 0) {
-          if (!terminator_admitted) {
-            ws->step_allowed.assign(allowed.begin(), allowed.end());
-            auto pos = std::lower_bound(ws->step_allowed.begin(),
-                                        ws->step_allowed.end(), terminator);
-            if (pos == ws->step_allowed.end() || *pos != terminator) {
-              ws->step_allowed.insert(pos, terminator);
-            }
-            terminator_admitted = true;
-          }
-          step_allowed = &ws->step_allowed;
+          step_allowed =
+              last_column ? &grammar.with_eos : &grammar.with_comma;
+          step_id =
+              last_column ? grammar.with_eos_id : grammar.with_comma_id;
         }
-        TokenId next =
-            lm_->SampleNext(context, rng, options_.temperature, step_allowed);
+        TokenId next = SampleToken(context, *step_allowed, step_id, rng, ws);
         if (value_len > 0 &&
             (next == encoder_->comma_token() || next == Vocabulary::kEosId)) {
           closed = true;
@@ -338,9 +391,9 @@ Result<Table> GreatSynthesizer::SampleMany(size_t n, const Table* conditions,
     // Serial reference path: rows draw from the caller's generator
     // directly — the exact token stream of prior releases.
     SampleReport before = stats_;
-    SamplerWorkspace ws;
+    InitWorkspace(&serial_ws_);
     for (size_t i = 0; i < n; ++i) {
-      Result<Row> row = sample_one(i, rng, &ws, &stats_);
+      Result<Row> row = sample_one(i, rng, &serial_ws_, &stats_);
       if (!row.ok()) {
         if (options_.policy == SamplePolicy::kLenient &&
             row.status().code() == StatusCode::kResourceExhausted) {
@@ -376,7 +429,8 @@ Result<Table> GreatSynthesizer::SampleMany(size_t n, const Table* conditions,
   std::vector<WorkerOutput> outputs(workers);
   pool->ParallelFor(n, workers, [&](size_t shard, size_t begin, size_t end) {
     Rng worker_rng(Rng::DeriveStreamSeed(base, shard));
-    SamplerWorkspace ws;
+    SamplerWorkspace ws;  // private decode cache per worker stream
+    InitWorkspace(&ws);
     WorkerOutput& output = outputs[shard];
     output.rows.reserve(end - begin);
     for (size_t i = begin; i < end; ++i) {

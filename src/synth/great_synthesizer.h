@@ -11,6 +11,7 @@
 #include "common/rng.h"
 #include "common/status.h"
 #include "common/thread_pool.h"
+#include "lm/decode_cache.h"
 #include "lm/language_model.h"
 #include "lm/neural_lm.h"
 #include "lm/ngram_lm.h"
@@ -83,6 +84,11 @@ class GreatSynthesizer {
     /// bitwise-identical to prior releases; any fixed (seed, num_threads)
     /// pair reproduces itself (see DESIGN.md, "Parallel execution layer").
     size_t num_threads = 1;
+    /// Decode-time distribution cache (see DESIGN.md, "Decode cache &
+    /// sampling kernels"). Each worker owns a private cache, so parallel
+    /// determinism is unchanged; the default kExactReplay mode draws the
+    /// same token stream as no cache at all, bit for bit.
+    DecodeCacheOptions decode_cache;
   };
 
   GreatSynthesizer() : GreatSynthesizer(Options()) {}
@@ -136,15 +142,44 @@ class GreatSynthesizer {
 
  private:
   /// Reusable per-sampler buffers: one allocation set per worker (or per
-  /// Sample call) instead of one per row attempt.
+  /// Sample call) instead of one per row attempt. Owns the worker's
+  /// private DecodeCache — caches are never shared across workers, so the
+  /// parallel determinism contract is untouched.
   struct SamplerWorkspace {
     std::vector<int> forced_index;
     std::vector<Value> forced_values;
     TokenSequence context;
     std::vector<char> emitted;
     std::vector<TokenId> allowed_names;
-    std::vector<TokenId> step_allowed;
+    DecodeWorkspace decode;
+    std::unique_ptr<DecodeCache> cache;
   };
+
+  /// Allow-list variants for one value grammar, interned once at Fit: the
+  /// raw observed-token list plus the terminator-admitted copies used from
+  /// the second value token onward. Prebuilding them removes the per-step
+  /// copy + sorted-insert the sampler used to do.
+  struct ValueGrammar {
+    std::vector<TokenId> values;
+    std::vector<TokenId> with_comma;
+    std::vector<TokenId> with_eos;
+    AllowListId values_id = kNoAllowList;
+    AllowListId with_comma_id = kNoAllowList;
+    AllowListId with_eos_id = kNoAllowList;
+  };
+
+  /// Prepares a sampler workspace: constructs its private DecodeCache when
+  /// enabled (idempotent — an existing cache is kept warm) and sizes the
+  /// neural hidden-state cache.
+  void InitWorkspace(SamplerWorkspace* ws) const;
+
+  /// One constrained draw, routed through the workspace's DecodeCache when
+  /// present (kExactReplay keeps the token stream bitwise-identical to the
+  /// direct SampleNext call).
+  TokenId SampleToken(const TokenSequence& context,
+                      const std::vector<TokenId>& allowed,
+                      AllowListId allow_id, Rng* rng,
+                      SamplerWorkspace* ws) const;
 
   /// SampleRow body. Assumes fitted; accumulates diagnostics into `stats`
   /// (never the shared `stats_` directly, so parallel workers can pass
@@ -170,6 +205,17 @@ class GreatSynthesizer {
   std::vector<std::unordered_set<std::string>> observed_values_;
   /// Union of every column's value tokens (free-value decoding mode).
   std::vector<TokenId> all_value_tokens_;
+  /// Per-column tight grammars plus the free-mode union grammar, interned
+  /// into the encoder's AllowListInterner at Fit.
+  std::vector<ValueGrammar> column_grammars_;
+  ValueGrammar free_grammar_;
+  /// Serial-path workspace, persistent across Sample* calls so the decode
+  /// cache stays warm between them (a repeated SampleConditional over many
+  /// parents reuses one cache). Cache contents never influence output in
+  /// either mode, so reuse cannot perturb determinism. Parallel workers
+  /// get fresh private workspaces per call instead — like stats_, this
+  /// member makes concurrent Sample* calls on one synthesizer unsupported.
+  mutable SamplerWorkspace serial_ws_;
   mutable SampleReport stats_;
 };
 

@@ -57,6 +57,7 @@ Result<TextualEncoder> TextualEncoder::Build(
     // Kept strictly ascending: the synthesizer's constrained decoder
     // requires sorted allow-lists for its no-copy fast path.
     std::sort(col.value_tokens.begin(), col.value_tokens.end());
+    col.allow_list_id = encoder.allow_lists_.Intern(col.value_tokens);
   }
   for (const auto& line : extra_corpus) {
     for (const auto& word : encoder.word_tokenizer_.Tokenize(line)) {

@@ -7,6 +7,7 @@
 
 #include "common/rng.h"
 #include "common/status.h"
+#include "lm/decode_cache.h"
 #include "lm/language_model.h"
 #include "tabular/table.h"
 #include "text/vocabulary.h"
@@ -18,8 +19,13 @@ namespace greater {
 struct EncodedColumn {
   std::string name;
   TokenId name_token = Vocabulary::kUnkId;
-  /// Every token observed inside this column's values during Build.
+  /// Every token observed inside this column's values during Build,
+  /// strictly ascending (sort-deduped once here, never per decode step).
   std::vector<TokenId> value_tokens;
+  /// Stable id of value_tokens in the encoder's AllowListInterner; decode
+  /// caches key restricted distributions on it in O(1) instead of hashing
+  /// the list per draw.
+  AllowListId allow_list_id = kNoAllowList;
 };
 
 /// GReaT's textual layer: converts between table rows and token sequences.
@@ -54,6 +60,13 @@ class TextualEncoder {
   const Vocabulary& vocab() const { return vocab_; }
   const Schema& schema() const { return schema_; }
   const std::vector<EncodedColumn>& columns() const { return columns_; }
+
+  /// Registry of canonical (sorted, deduped) constrained-decoding
+  /// allow-lists. Columns intern their value-token lists at Build; the
+  /// synthesizer interns its grammar variants at Fit. Read-only during
+  /// sampling, so workers share it without locks.
+  const AllowListInterner& allow_lists() const { return allow_lists_; }
+  AllowListInterner& mutable_allow_lists() { return allow_lists_; }
 
   TokenId is_token() const { return is_token_; }
   TokenId comma_token() const { return comma_token_; }
@@ -94,6 +107,7 @@ class TextualEncoder {
   Vocabulary vocab_;
   WordTokenizer word_tokenizer_;
   std::vector<EncodedColumn> columns_;
+  AllowListInterner allow_lists_;
   std::vector<std::unordered_set<TokenId>> value_token_sets_;
   TokenId is_token_ = Vocabulary::kUnkId;
   TokenId comma_token_ = Vocabulary::kUnkId;

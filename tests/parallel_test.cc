@@ -332,7 +332,9 @@ TEST(ParallelSamplingTest, SampleRowsWithPoolIsDeterministic) {
 TEST(ParallelSamplingTest, RestrictedVocabSamplingTakesTheFastPath) {
   // Constrained decoding must be served by the backbones' restricted
   // fast-path overrides, never by the base-class full-distribution gather
-  // — the counters tell the two apart.
+  // — the counters tell the two apart. The decode cache is disabled here
+  // so every draw evaluates the model (cache hits intentionally skip it;
+  // decode_cache_test covers the cached counter arithmetic).
   MetricsRegistry& registry = MetricsRegistry::Global();
   Counter& fast = registry.GetCounter("lm.restricted_fast_path");
   Counter& fallback = registry.GetCounter("lm.restricted_fallback_gather");
@@ -341,7 +343,9 @@ TEST(ParallelSamplingTest, RestrictedVocabSamplingTakesTheFastPath) {
   uint64_t fallback_before = fallback.Value();
   uint64_t restricted_before = restricted.Value();
 
-  GreatSynthesizer synth;
+  GreatSynthesizer::Options options;
+  options.decode_cache.enabled = false;
+  GreatSynthesizer synth(options);
   Table train = SmallTable();
   Rng fit(7);
   ASSERT_TRUE(synth.Fit(train, &fit).ok());
