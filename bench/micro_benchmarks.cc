@@ -6,7 +6,9 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <filesystem>
 #include <fstream>
+#include <system_error>
 
 #include "crosstable/flatten.h"
 #include "crosstable/independence.h"
@@ -359,6 +361,112 @@ void BM_PipelineStages(benchmark::State& state) {
 BENCHMARK(BM_PipelineStages)
     ->Iterations(1)
     ->Unit(benchmark::kMillisecond);
+
+// ---------- durability ----------
+
+// Full model-bundle persistence round trip: SerializeBinary -> atomic
+// write -> read -> DeserializeBinary. bundle_bytes reports the on-disk
+// artifact size so bloat shows up in bench diffs, not just slowdown.
+void BM_SynthesizerSaveLoad(benchmark::State& state) {
+  DigixDataset trial = MakeTrial();
+  GreatSynthesizer::Options options;
+  options.encoder.permutations_per_row = 2;
+  GreatSynthesizer synth(options);
+  Rng rng(1);
+  if (!synth.Fit(trial.ads, &rng).ok()) {
+    state.SkipWithError("fit failed");
+    return;
+  }
+  std::filesystem::path path =
+      std::filesystem::temp_directory_path() / "greater_bench_model.bin";
+  for (auto _ : state) {
+    if (!synth.Save(path.string()).ok()) {
+      state.SkipWithError("save failed");
+      break;
+    }
+    GreatSynthesizer loaded;
+    if (!loaded.Load(path.string()).ok()) {
+      state.SkipWithError("load failed");
+      break;
+    }
+    benchmark::DoNotOptimize(loaded.fitted());
+  }
+  std::error_code ec;
+  auto bytes = std::filesystem::file_size(path, ec);
+  if (!ec) state.counters["bundle_bytes"] = static_cast<double>(bytes);
+  std::filesystem::remove(path, ec);
+}
+BENCHMARK(BM_SynthesizerSaveLoad)->Unit(benchmark::kMillisecond);
+
+PipelineOptions ResumeBenchOptions(const std::string& dir) {
+  PipelineOptions options;
+  options.synth.encoder.permutations_per_row = 2;
+  options.checkpoint_dir = dir;
+  return options;
+}
+
+// Cold: every iteration wipes the checkpoint directory, so the pipeline
+// recomputes every stage (plus pays the four checkpoint stores).
+void BM_PipelineResumeCold(benchmark::State& state) {
+  DigixOptions data_options;
+  data_options.num_users = 32;
+  DigixGenerator gen(data_options);
+  Rng data_rng(77);
+  DigixDataset trial = gen.Generate(&data_rng).ValueOrDie();
+  std::filesystem::path dir =
+      std::filesystem::temp_directory_path() / "greater_bench_resume";
+  MultiTablePipeline pipeline(ResumeBenchOptions(dir.string()));
+  for (auto _ : state) {
+    std::filesystem::remove_all(dir);
+    Rng rng(1);
+    auto result = pipeline.Run(trial.ads, trial.feeds,
+                               DigixGenerator::KeyColumn(), &rng);
+    if (!result.ok()) {
+      state.SkipWithError("pipeline run failed");
+      break;
+    }
+  }
+  std::filesystem::remove_all(dir);
+}
+BENCHMARK(BM_PipelineResumeCold)
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+
+// Warm: checkpoints seeded once outside the timed region, so every
+// iteration resumes all four stages from disk. The cold/warm real-time
+// ratio is the resume speedup scripts/bench_compare.py gates with
+// --fail-resume-speedup-below.
+void BM_PipelineResumeWarm(benchmark::State& state) {
+  DigixOptions data_options;
+  data_options.num_users = 32;
+  DigixGenerator gen(data_options);
+  Rng data_rng(77);
+  DigixDataset trial = gen.Generate(&data_rng).ValueOrDie();
+  std::filesystem::path dir =
+      std::filesystem::temp_directory_path() / "greater_bench_resume";
+  std::filesystem::remove_all(dir);
+  MultiTablePipeline pipeline(ResumeBenchOptions(dir.string()));
+  {
+    Rng rng(1);
+    if (!pipeline
+             .Run(trial.ads, trial.feeds, DigixGenerator::KeyColumn(), &rng)
+             .ok()) {
+      state.SkipWithError("seeding run failed");
+      return;
+    }
+  }
+  for (auto _ : state) {
+    Rng rng(1);
+    auto result = pipeline.Run(trial.ads, trial.feeds,
+                               DigixGenerator::KeyColumn(), &rng);
+    if (!result.ok()) {
+      state.SkipWithError("pipeline run failed");
+      break;
+    }
+  }
+  std::filesystem::remove_all(dir);
+}
+BENCHMARK(BM_PipelineResumeWarm)->Unit(benchmark::kMillisecond);
 
 void BM_KsTest(benchmark::State& state) {
   Rng rng(5);

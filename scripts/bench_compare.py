@@ -16,6 +16,13 @@ Benchmarks that export observability stage timings as user counters
 second per-stage table. --fail-stage-above PCT gates those the same way;
 100 means "fail on any stage slower than 2x baseline".
 
+--fail-resume-speedup-below RATIO gates checkpoint resume: the candidate's
+BM_PipelineResumeCold / BM_PipelineResumeWarm real-time ratio is the warm
+resume speedup, and a ratio below RATIO (e.g. 2.0 = warm must be at least
+2x faster than cold) exits non-zero. A change that silently defeats stage
+checkpointing (fingerprint churn, broken store) fails this gate even when
+absolute times look fine.
+
 With --metrics, also reads a GREATER_METRICS_OUT JSON snapshot (written by
 the benchmark binary when that env var is set, e.g. BENCH_metrics.json) and
 reports the decode-cache hit rate from the lm.cache.hits / lm.cache.misses
@@ -79,6 +86,15 @@ def main():
         metavar="PCT",
         help="exit 1 if any pipeline stage timing regressed by more than "
         "PCT percent (100 = fail on >2x)",
+    )
+    parser.add_argument(
+        "--fail-resume-speedup-below",
+        type=float,
+        default=None,
+        metavar="RATIO",
+        help="exit 1 if the candidate's cold/warm pipeline-resume speedup "
+        "(BM_PipelineResumeCold real time / BM_PipelineResumeWarm real "
+        "time) is below RATIO",
     )
     parser.add_argument(
         "--metrics",
@@ -177,6 +193,52 @@ def main():
                 failed = True
     elif args.fail_stage_above is not None:
         print("no stage timings found in either file", file=sys.stderr)
+
+    # Checkpoint-resume speedup (cold vs. warm pipeline run, candidate).
+    # Registration modifiers append /key:value segments to the name
+    # (BM_PipelineResumeCold/iterations:1), so match on the base name.
+    def find_bench(benches, base):
+        for name, bench in benches.items():
+            if name == base or name.startswith(base + "/"):
+                return bench
+        return None
+
+    cold = find_bench(cand, "BM_PipelineResumeCold")
+    warm = find_bench(cand, "BM_PipelineResumeWarm")
+    if cold is not None and warm is not None:
+        if cold["time_unit"] != warm["time_unit"]:
+            print(
+                "\nresume speedup: unit mismatch between cold and warm runs",
+                file=sys.stderr,
+            )
+            if args.fail_resume_speedup_below is not None:
+                failed = True
+        elif warm["real_time"] <= 0.0:
+            print("\nresume speedup: warm run reported non-positive time")
+        else:
+            speedup = cold["real_time"] / warm["real_time"]
+            print(
+                f"\nresume speedup: cold "
+                f"{format_time(cold['real_time'], cold['time_unit'])} / warm "
+                f"{format_time(warm['real_time'], warm['time_unit'])}"
+                f" = {speedup:.2f}x"
+            )
+            if (
+                args.fail_resume_speedup_below is not None
+                and speedup < args.fail_resume_speedup_below
+            ):
+                print(
+                    f"FAIL: resume speedup below "
+                    f"{args.fail_resume_speedup_below:.2f}x threshold",
+                    file=sys.stderr,
+                )
+                failed = True
+    elif args.fail_resume_speedup_below is not None:
+        print(
+            "FAIL: candidate lacks BM_PipelineResumeCold/Warm to gate on",
+            file=sys.stderr,
+        )
+        failed = True
 
     # Decode-cache hit rate (observability counters snapshot).
     if args.fail_hit_rate_below is not None and args.metrics is None:

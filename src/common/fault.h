@@ -35,6 +35,8 @@ namespace greater {
 ///   "synth.sample_row"  GreatSynthesizer::SampleRow, once per row
 ///   "pipeline.flatten"  DirectFlatten entry
 ///   "pipeline.reduce"   RemoveAndReduce entry
+///   "ckpt.write"        AtomicWriteFile, before any filesystem mutation
+///   "ckpt.read"         ReadFileBytes entry (artifact/checkpoint loads)
 struct FaultSpec {
   static constexpr size_t kUnlimited = static_cast<size_t>(-1);
 

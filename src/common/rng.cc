@@ -1,6 +1,7 @@
 #include "common/rng.h"
 
 #include <numeric>
+#include <sstream>
 
 namespace greater {
 
@@ -38,6 +39,24 @@ uint64_t Rng::DeriveStreamSeed(uint64_t base, uint64_t index) {
   z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
   z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
   return z ^ (z >> 31);
+}
+
+std::string Rng::SaveState() const {
+  // mt19937_64 defines a textual stream form (624-ish decimal words); it is
+  // exact and portable across libstdc++ builds, which is all the resume
+  // contract needs.
+  std::ostringstream os;
+  os << engine_;
+  return os.str();
+}
+
+bool Rng::LoadState(const std::string& state) {
+  std::mt19937_64 candidate;
+  std::istringstream is(state);
+  is >> candidate;
+  if (is.fail()) return false;
+  engine_ = candidate;
+  return true;
 }
 
 Rng Rng::Fork() {

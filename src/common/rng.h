@@ -4,6 +4,7 @@
 #include <algorithm>
 #include <cstdint>
 #include <random>
+#include <string>
 #include <vector>
 
 namespace greater {
@@ -100,6 +101,14 @@ class Rng {
   /// stream seeded with DeriveStreamSeed(base, w), so a fixed
   /// (seed, num_threads) pair always reproduces the same output.
   static uint64_t DeriveStreamSeed(uint64_t base, uint64_t index);
+
+  /// Serializes the full engine state (std::mt19937_64 stream form) so a
+  /// checkpointed pipeline can resume with an identical draw sequence.
+  std::string SaveState() const;
+
+  /// Restores a state produced by SaveState. Returns false (leaving the
+  /// engine untouched) when `state` does not parse as an mt19937_64 stream.
+  bool LoadState(const std::string& state);
 
   std::mt19937_64& engine() { return engine_; }
 

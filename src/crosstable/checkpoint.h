@@ -1,0 +1,85 @@
+#ifndef GREATER_CROSSTABLE_CHECKPOINT_H_
+#define GREATER_CROSSTABLE_CHECKPOINT_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "common/artifact_io.h"
+#include "common/status.h"
+#include "tabular/table.h"
+
+namespace greater {
+
+/// Stage-level checkpoint store for the multi-table pipeline (see
+/// DESIGN.md, "Durability & recovery").
+///
+/// Each checkpointed stage persists its outputs to
+/// `<dir>/stage.<name>.<chain>.ckpt`, where `chain` is a running content
+/// hash over everything that could influence the stage: the pipeline
+/// configuration, the input tables, the RNG state at the start of the run,
+/// and the serialized outputs of every earlier stage. A re-run over the
+/// same inputs finds the same keys and skips straight to the first stage
+/// whose checkpoint is missing; any input or option change flips the chain
+/// and every downstream key with it, so stale state can never be reused.
+///
+/// The chain advances identically on the hit and miss paths — TryLoad
+/// mixes the loaded document's bytes on a hit, Store mixes the document it
+/// writes on a miss — because stage payloads serialize deterministically.
+/// That identity is what makes resume byte-exact: a run resumed from any
+/// prefix of checkpoints produces the same final tables, bit for bit, as
+/// the uninterrupted run (each payload carries the RNG state to restore).
+///
+/// Failure policy: checkpoints accelerate, never gate. A missing,
+/// truncated, corrupt, or version-skewed file — or an injected "ckpt.read"
+/// fault — is a cache miss and the stage recomputes; a failed write (torn
+/// disk, injected "ckpt.write" fault) is counted and swallowed, leaving
+/// the previous file (if any) intact thanks to the atomic writer. Exports
+/// ckpt.stage_hits / ckpt.stage_misses / ckpt.stage_corrupt /
+/// ckpt.stage_stores / ckpt.stage_store_failures.
+class StageCheckpointer {
+ public:
+  /// Artifact kind written for every stage checkpoint document.
+  static constexpr const char* kKind = "greater.stage_checkpoint";
+  static constexpr uint32_t kVersion = 1;
+
+  /// Disabled when `dir` is empty: every TryLoad misses, every Store is a
+  /// no-op, and Mix still advances the chain (so enabling checkpoints
+  /// never changes what a run computes, only what it persists).
+  explicit StageCheckpointer(std::string dir);
+
+  bool enabled() const { return !dir_.empty(); }
+
+  /// Folds raw bytes into the running fingerprint chain.
+  void Mix(std::string_view bytes);
+  /// Convenience: mixes the table's binary serialization (schema + cells).
+  void MixTable(const Table& table);
+
+  uint64_t chain() const { return chain_; }
+
+  /// Path the checkpoint for `stage` would use under the current chain.
+  std::string StagePath(const std::string& stage) const;
+
+  /// Attempts to load `stage`'s checkpoint at the current chain position.
+  /// On a hit the document's bytes are mixed into the chain and the parsed
+  /// reader returned; on any miss (absent, corrupt, injected fault)
+  /// nullopt is returned, the chain is untouched, and the caller is
+  /// expected to recompute and Store.
+  std::optional<ArtifactReader> TryLoad(const std::string& stage);
+
+  /// Serializes `doc`, mixes its bytes into the chain, and best-effort
+  /// persists it under `stage`'s key. Write failures are counted
+  /// (ckpt.stage_store_failures) and swallowed — the run continues and the
+  /// next run recomputes the stage.
+  void Store(const std::string& stage, const ArtifactWriter& doc);
+
+ private:
+  std::string dir_;
+  uint64_t chain_;
+  bool dir_ready_ = false;
+};
+
+}  // namespace greater
+
+#endif  // GREATER_CROSSTABLE_CHECKPOINT_H_

@@ -6,11 +6,13 @@
 #include <unordered_map>
 #include <unordered_set>
 
+#include "crosstable/checkpoint.h"
 #include "crosstable/contextual.h"
 #include "crosstable/flatten.h"
 #include "obs/metrics.h"
 #include "obs/span.h"
 #include "semantic/text_transform.h"
+#include "tabular/table_serde.h"
 #include "tabular/validate.h"
 
 namespace greater {
@@ -195,6 +197,233 @@ Result<Table> MergeParents(const Table& parent1, const Table& parent2,
   return parent;
 }
 
+// ---- Stage-checkpoint payload codecs (see StageCheckpointer). Every
+// codec is deterministic for equal inputs — the chain identity between the
+// hit and miss paths depends on it. ----
+
+void AppendStringList(const std::vector<std::string>& list, ByteWriter* w) {
+  w->PutU32(static_cast<uint32_t>(list.size()));
+  for (const std::string& s : list) w->PutString(s);
+}
+
+Status ReadStringList(ByteReader* r, std::vector<std::string>* out) {
+  uint32_t count = 0;
+  GREATER_RETURN_NOT_OK(r->GetU32(&count));
+  out->clear();
+  out->reserve(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    std::string s;
+    GREATER_RETURN_NOT_OK(r->GetString(&s));
+    out->push_back(std::move(s));
+  }
+  return Status::OK();
+}
+
+void AppendReport(const SampleReport& report, ByteWriter* w) {
+  w->PutU64(report.rows_requested);
+  w->PutU64(report.rows_emitted);
+  w->PutU64(report.rows_exhausted);
+  w->PutU64(report.attempts);
+  w->PutU64(report.rejected_invalid_value);
+  w->PutU64(report.rejected_decode_failure);
+  w->PutU64(report.rejected_mid_row);
+  w->PutU64(report.injected_faults);
+  w->PutU64(report.fallback_grammar_uses);
+  w->PutU64(report.snapped_cells);
+}
+
+Status ReadReport(ByteReader* r, SampleReport* out) {
+  uint64_t v = 0;
+  GREATER_RETURN_NOT_OK(r->GetU64(&v));
+  out->rows_requested = v;
+  GREATER_RETURN_NOT_OK(r->GetU64(&v));
+  out->rows_emitted = v;
+  GREATER_RETURN_NOT_OK(r->GetU64(&v));
+  out->rows_exhausted = v;
+  GREATER_RETURN_NOT_OK(r->GetU64(&v));
+  out->attempts = v;
+  GREATER_RETURN_NOT_OK(r->GetU64(&v));
+  out->rejected_invalid_value = v;
+  GREATER_RETURN_NOT_OK(r->GetU64(&v));
+  out->rejected_decode_failure = v;
+  GREATER_RETURN_NOT_OK(r->GetU64(&v));
+  out->rejected_mid_row = v;
+  GREATER_RETURN_NOT_OK(r->GetU64(&v));
+  out->injected_faults = v;
+  GREATER_RETURN_NOT_OK(r->GetU64(&v));
+  out->fallback_grammar_uses = v;
+  GREATER_RETURN_NOT_OK(r->GetU64(&v));
+  out->snapped_cells = v;
+  return Status::OK();
+}
+
+Status ReadRngChunk(const ArtifactReader& doc, Rng* rng) {
+  GREATER_ASSIGN_OR_RETURN(std::string_view payload, doc.Chunk("rng"));
+  if (!rng->LoadState(std::string(payload))) {
+    return Status::DataLoss("checkpoint holds an unparsable RNG state");
+  }
+  return Status::OK();
+}
+
+void BuildPrepareStageDoc(const Table& parent, const Table& c1,
+                          const Table& c2,
+                          const std::vector<std::string>& caret1,
+                          const std::vector<std::string>& caret2,
+                          const MappingSystem& mapping,
+                          const PipelineResult& result, const Rng& rng,
+                          ArtifactWriter* doc) {
+  ByteWriter tables;
+  AppendTable(parent, &tables);
+  AppendTable(c1, &tables);
+  AppendTable(c2, &tables);
+  doc->AddChunk("tables", std::move(tables).Take());
+  ByteWriter lists;
+  AppendStringList(result.identifier_columns_dropped, &lists);
+  AppendStringList(result.contextual_columns, &lists);
+  AppendStringList(result.semantically_mapped_columns, &lists);
+  AppendStringList(caret1, &lists);
+  AppendStringList(caret2, &lists);
+  doc->AddChunk("lists", std::move(lists).Take());
+  doc->AddChunk("mapping", mapping.Serialize());
+  doc->AddChunk("rng", rng.SaveState());
+}
+
+Status RestorePrepareStage(const ArtifactReader& doc, Table* parent,
+                           Table* c1, Table* c2,
+                           std::vector<std::string>* caret1,
+                           std::vector<std::string>* caret2,
+                           MappingSystem* mapping, PipelineResult* result,
+                           Rng* rng) {
+  {
+    GREATER_ASSIGN_OR_RETURN(std::string_view payload, doc.Chunk("tables"));
+    ByteReader r(payload);
+    GREATER_RETURN_NOT_OK(ReadTable(&r, parent));
+    GREATER_RETURN_NOT_OK(ReadTable(&r, c1));
+    GREATER_RETURN_NOT_OK(ReadTable(&r, c2));
+    GREATER_RETURN_NOT_OK(r.ExpectEnd());
+  }
+  {
+    GREATER_ASSIGN_OR_RETURN(std::string_view payload, doc.Chunk("lists"));
+    ByteReader r(payload);
+    GREATER_RETURN_NOT_OK(
+        ReadStringList(&r, &result->identifier_columns_dropped));
+    GREATER_RETURN_NOT_OK(ReadStringList(&r, &result->contextual_columns));
+    GREATER_RETURN_NOT_OK(
+        ReadStringList(&r, &result->semantically_mapped_columns));
+    GREATER_RETURN_NOT_OK(ReadStringList(&r, caret1));
+    GREATER_RETURN_NOT_OK(ReadStringList(&r, caret2));
+    GREATER_RETURN_NOT_OK(r.ExpectEnd());
+  }
+  {
+    GREATER_ASSIGN_OR_RETURN(std::string_view payload, doc.Chunk("mapping"));
+    GREATER_ASSIGN_OR_RETURN(*mapping,
+                             MappingSystem::Deserialize(std::string(payload)));
+  }
+  return ReadRngChunk(doc, rng);
+}
+
+void BuildFuseStageDoc(const Table& fused, const PipelineResult& result,
+                       const Rng& rng, ArtifactWriter* doc) {
+  ByteWriter fused_bytes;
+  AppendTable(fused, &fused_bytes);
+  doc->AddChunk("fused", std::move(fused_bytes).Take());
+  ByteWriter stats;
+  stats.PutU64(result.flattened_rows);
+  AppendStringList(result.independence.independent, &stats);
+  AppendStringList(result.independence.dependent, &stats);
+  stats.PutF64(result.independence.threshold);
+  stats.PutU64(result.reduction.rows_before);
+  stats.PutU64(result.reduction.rows_after);
+  stats.PutU64(result.reduction.columns_removed);
+  doc->AddChunk("stats", std::move(stats).Take());
+  doc->AddChunk("rng", rng.SaveState());
+}
+
+Status RestoreFuseStage(const ArtifactReader& doc, Table* fused,
+                        PipelineResult* result, Rng* rng) {
+  {
+    GREATER_ASSIGN_OR_RETURN(std::string_view payload, doc.Chunk("fused"));
+    ByteReader r(payload);
+    GREATER_RETURN_NOT_OK(ReadTable(&r, fused));
+    GREATER_RETURN_NOT_OK(r.ExpectEnd());
+  }
+  {
+    GREATER_ASSIGN_OR_RETURN(std::string_view payload, doc.Chunk("stats"));
+    ByteReader r(payload);
+    uint64_t v = 0;
+    GREATER_RETURN_NOT_OK(r.GetU64(&v));
+    result->flattened_rows = v;
+    GREATER_RETURN_NOT_OK(
+        ReadStringList(&r, &result->independence.independent));
+    GREATER_RETURN_NOT_OK(ReadStringList(&r, &result->independence.dependent));
+    GREATER_RETURN_NOT_OK(r.GetF64(&result->independence.threshold));
+    GREATER_RETURN_NOT_OK(r.GetU64(&v));
+    result->reduction.rows_before = v;
+    GREATER_RETURN_NOT_OK(r.GetU64(&v));
+    result->reduction.rows_after = v;
+    GREATER_RETURN_NOT_OK(r.GetU64(&v));
+    result->reduction.columns_removed = v;
+    GREATER_RETURN_NOT_OK(r.ExpectEnd());
+  }
+  return ReadRngChunk(doc, rng);
+}
+
+Status BuildFitStageDoc(
+    const std::vector<const RelationalSynthesizer*>& models, const Rng& rng,
+    ArtifactWriter* doc) {
+  for (size_t i = 0; i < models.size(); ++i) {
+    GREATER_ASSIGN_OR_RETURN(std::string bytes, models[i]->SerializeBinary());
+    doc->AddChunk("model" + std::to_string(i), std::move(bytes));
+  }
+  doc->AddChunk("rng", rng.SaveState());
+  return Status::OK();
+}
+
+Status RestoreFitStage(const ArtifactReader& doc,
+                       const std::vector<RelationalSynthesizer*>& models,
+                       Rng* rng) {
+  for (size_t i = 0; i < models.size(); ++i) {
+    GREATER_ASSIGN_OR_RETURN(std::string_view payload,
+                             doc.Chunk("model" + std::to_string(i)));
+    GREATER_RETURN_NOT_OK_CTX(models[i]->DeserializeBinary(payload),
+                              "checkpointed model " + std::to_string(i));
+  }
+  return ReadRngChunk(doc, rng);
+}
+
+void BuildSampleStageDoc(const std::vector<const Table*>& tables,
+                         const SampleReport& report, const Rng& rng,
+                         ArtifactWriter* doc) {
+  for (size_t i = 0; i < tables.size(); ++i) {
+    ByteWriter w;
+    AppendTable(*tables[i], &w);
+    doc->AddChunk("table" + std::to_string(i), std::move(w).Take());
+  }
+  ByteWriter w;
+  AppendReport(report, &w);
+  doc->AddChunk("report", std::move(w).Take());
+  doc->AddChunk("rng", rng.SaveState());
+}
+
+Status RestoreSampleStage(const ArtifactReader& doc,
+                          const std::vector<Table*>& tables,
+                          SampleReport* report, Rng* rng) {
+  for (size_t i = 0; i < tables.size(); ++i) {
+    GREATER_ASSIGN_OR_RETURN(std::string_view payload,
+                             doc.Chunk("table" + std::to_string(i)));
+    ByteReader r(payload);
+    GREATER_RETURN_NOT_OK(ReadTable(&r, tables[i]));
+    GREATER_RETURN_NOT_OK(r.ExpectEnd());
+  }
+  {
+    GREATER_ASSIGN_OR_RETURN(std::string_view payload, doc.Chunk("report"));
+    ByteReader r(payload);
+    GREATER_RETURN_NOT_OK(ReadReport(&r, report));
+    GREATER_RETURN_NOT_OK(r.ExpectEnd());
+  }
+  return ReadRngChunk(doc, rng);
+}
+
 }  // namespace
 
 Result<Table> MultiTablePipeline::BuildRealFlatView(
@@ -256,6 +485,58 @@ Result<PipelineResult> MultiTablePipeline::Run(
   GREATER_RETURN_NOT_OK_CTX(ValidateStageInput(child2, key_column, "child2"),
                             StageContext("validate-input", "child2"));
 
+  // ---- Durable stage checkpoints (see checkpoint.h). The chain seed
+  // fingerprints everything that can influence any stage: the full run
+  // configuration, the key column, the starting RNG state, and both input
+  // tables. A resumed run either reproduces this one bit for bit or
+  // misses every key. ----
+  StageCheckpointer ckpt(options_.checkpoint_dir);
+  {
+    ByteWriter w;
+    w.PutU8(static_cast<uint8_t>(options_.fusion));
+    w.PutU8(static_cast<uint8_t>(options_.semantic));
+    w.PutU32(static_cast<uint32_t>(options_.understandability_spec.size()));
+    for (const auto& [column, replacements] :
+         options_.understandability_spec) {
+      w.PutString(column);
+      w.PutU32(static_cast<uint32_t>(replacements.size()));
+      for (const auto& [from, to] : replacements) {
+        w.PutString(from);
+        w.PutString(to);
+      }
+    }
+    w.PutBool(options_.apply_caret_transform);
+    AppendStringList(options_.caret_columns, &w);
+    w.PutBool(options_.drop_identifier_columns);
+    w.PutF64(options_.contextual_min_consistency);
+    GreatSynthesizer::AppendOptionsTo(options_.synth, &w);
+    w.PutU64(options_.num_threads);
+    w.PutBool(options_.decode_cache.enabled);
+    w.PutU64(options_.decode_cache.capacity);
+    w.PutU8(static_cast<uint8_t>(options_.decode_cache.mode));
+    w.PutBool(options_.decode_cache.cache_hidden_states);
+    w.PutU64(options_.decode_cache.hidden_capacity);
+    w.PutU64(options_.num_synthetic_parents);
+    w.PutString(key_column);
+    w.PutString(rng->SaveState());
+    ckpt.Mix(w.bytes());
+    ckpt.MixTable(child1);
+    ckpt.MixTable(child2);
+  }
+
+  // Locals produced by the prepare stage (steps 0-2), restored wholesale
+  // on a checkpoint hit.
+  std::vector<std::string> caret1, caret2;
+  Table parent, c1, c2;
+  MappingSystem mapping;
+
+  if (auto hit = ckpt.TryLoad("prepare")) {
+    stage.emplace("stage.resume");
+    GREATER_RETURN_NOT_OK_CTX(
+        RestorePrepareStage(*hit, &parent, &c1, &c2, &caret1, &caret2,
+                            &mapping, &result, rng),
+        StageContext("prepare", "checkpoint"));
+  } else {
   stage.emplace("stage.enhancement");
   // ---- Step 0: identifier-column removal (Sec. 4.1.2). ----
   if (options_.drop_identifier_columns) {
@@ -293,7 +574,6 @@ Result<PipelineResult> MultiTablePipeline::Run(
   }
 
   // ---- Step 0.5: data-specific '^' transform (Sec. 4.4.2). ----
-  std::vector<std::string> caret1, caret2;
   if (options_.apply_caret_transform) {
     auto in_selection = [this](const std::string& name) {
       return options_.caret_columns.empty() ||
@@ -332,19 +612,18 @@ Result<PipelineResult> MultiTablePipeline::Run(
                                  options_.contextual_min_consistency),
       StageContext("parent-extract", "child2"));
   GREATER_ASSIGN_OR_RETURN_CTX(
-      Table parent, MergeParents(split1.parent, split2.parent, key_column),
+      parent, MergeParents(split1.parent, split2.parent, key_column),
       StageContext("parent-extract", "child1+child2"));
   for (const auto& field : parent.schema().fields()) {
     if (field.name != key_column) {
       result.contextual_columns.push_back(field.name);
     }
   }
-  Table c1 = split1.child;
-  Table c2 = split2.child;
+  c1 = split1.child;
+  c2 = split2.child;
 
   // ---- Step 2: Data Semantic Enhancement. ----
   stage.emplace("stage.semantic-enhance");
-  MappingSystem mapping;
   if (options_.semantic != SemanticMode::kNone) {
     auto targets = AmbiguousColumnsAcross({&parent, &c1, &c2}, key_column);
     std::vector<ColumnMapping> mappings;
@@ -406,6 +685,13 @@ Result<PipelineResult> MultiTablePipeline::Run(
     }
   }
 
+  ArtifactWriter prepare_doc(StageCheckpointer::kKind,
+                             StageCheckpointer::kVersion);
+  BuildPrepareStageDoc(parent, c1, c2, caret1, caret2, mapping, result,
+                       *rng, &prepare_doc);
+  ckpt.Store("prepare", prepare_doc);
+  }  // prepare stage (checkpoint miss path)
+
   // ---- Steps 3+4: fusion and synthesis. ----
   size_t num_parents = options_.num_synthetic_parents > 0
                            ? options_.num_synthetic_parents
@@ -428,20 +714,46 @@ Result<PipelineResult> MultiTablePipeline::Run(
   if (options_.fusion == FusionMethod::kDerecIndependent) {
     RelationalSynthesizer rs1(rs_options);
     RelationalSynthesizer rs2(rs_options);
-    stage.emplace("stage.fit");
-    GREATER_RETURN_NOT_OK_CTX(rs1.Fit(parent, c1, key_column, rng),
-                              StageContext("fit", "child1"));
-    GREATER_RETURN_NOT_OK_CTX(rs2.Fit(parent, c2, key_column, rng),
-                              StageContext("fit", "child2"));
-    stage.emplace("stage.sample");
-    GREATER_ASSIGN_OR_RETURN_CTX(
-        RelationalSample sample1,
-        rs1.Sample(num_parents, rng, &result.sample_report),
-        StageContext("sample", "child1"));
-    GREATER_ASSIGN_OR_RETURN_CTX(
-        Table child2_rows,
-        rs2.SampleChildren(sample1.parent, rng, &result.sample_report),
-        StageContext("sample", "child2"));
+    if (auto hit = ckpt.TryLoad("fit")) {
+      stage.emplace("stage.resume");
+      GREATER_RETURN_NOT_OK_CTX(RestoreFitStage(*hit, {&rs1, &rs2}, rng),
+                                StageContext("fit", "checkpoint"));
+    } else {
+      stage.emplace("stage.fit");
+      GREATER_RETURN_NOT_OK_CTX(rs1.Fit(parent, c1, key_column, rng),
+                                StageContext("fit", "child1"));
+      GREATER_RETURN_NOT_OK_CTX(rs2.Fit(parent, c2, key_column, rng),
+                                StageContext("fit", "child2"));
+      ArtifactWriter doc(StageCheckpointer::kKind,
+                         StageCheckpointer::kVersion);
+      GREATER_RETURN_NOT_OK_CTX(BuildFitStageDoc({&rs1, &rs2}, *rng, &doc),
+                                StageContext("fit", "child1+child2"));
+      ckpt.Store("fit", doc);
+    }
+    RelationalSample sample1;
+    Table child2_rows;
+    if (auto hit = ckpt.TryLoad("sample")) {
+      stage.emplace("stage.resume");
+      GREATER_RETURN_NOT_OK_CTX(
+          RestoreSampleStage(*hit,
+                             {&sample1.parent, &sample1.child, &child2_rows},
+                             &result.sample_report, rng),
+          StageContext("sample", "checkpoint"));
+    } else {
+      stage.emplace("stage.sample");
+      GREATER_ASSIGN_OR_RETURN_CTX(
+          sample1, rs1.Sample(num_parents, rng, &result.sample_report),
+          StageContext("sample", "child1"));
+      GREATER_ASSIGN_OR_RETURN_CTX(
+          child2_rows,
+          rs2.SampleChildren(sample1.parent, rng, &result.sample_report),
+          StageContext("sample", "child2"));
+      ArtifactWriter doc(StageCheckpointer::kKind,
+                         StageCheckpointer::kVersion);
+      BuildSampleStageDoc({&sample1.parent, &sample1.child, &child2_rows},
+                          result.sample_report, *rng, &doc);
+      ckpt.Store("sample", doc);
+    }
     stage.emplace("stage.flatten");
     GREATER_ASSIGN_OR_RETURN_CTX(
         Table flat, DirectFlatten(sample1.child, child2_rows, key_column),
@@ -452,6 +764,15 @@ Result<PipelineResult> MultiTablePipeline::Run(
     synthetic_parent = std::move(sample1.parent);
     result.fused_training_rows = c1.num_rows() + c2.num_rows();
   } else {
+    Table fused;
+    if (auto hit = ckpt.TryLoad("fuse")) {
+      stage.emplace("stage.resume");
+      GREATER_RETURN_NOT_OK_CTX(RestoreFuseStage(*hit, &fused, &result, rng),
+                                StageContext("fuse", "checkpoint"));
+      MetricsRegistry::Global()
+          .GetGauge("pipeline.flattened_rows")
+          .Set(static_cast<double>(result.flattened_rows));
+    } else {
     stage.emplace("stage.flatten");
     GREATER_ASSIGN_OR_RETURN_CTX(Table flat,
                                  DirectFlatten(c1, c2, key_column),
@@ -460,7 +781,7 @@ Result<PipelineResult> MultiTablePipeline::Run(
     MetricsRegistry::Global()
         .GetGauge("pipeline.flattened_rows")
         .Set(static_cast<double>(result.flattened_rows));
-    Table fused = flat;
+    fused = flat;
     if (options_.fusion != FusionMethod::kDirectFlatten) {
       stage.emplace("stage.independence");
       GREATER_ASSIGN_OR_RETURN_CTX(Table features,
@@ -506,17 +827,45 @@ Result<PipelineResult> MultiTablePipeline::Run(
         result.reduction.rows_after = flat.num_rows();
       }
     }
+    ArtifactWriter doc(StageCheckpointer::kKind, StageCheckpointer::kVersion);
+    BuildFuseStageDoc(fused, result, *rng, &doc);
+    ckpt.Store("fuse", doc);
+    }  // fuse stage (checkpoint miss path)
     result.fused_training_rows = fused.num_rows();
 
     RelationalSynthesizer rs(rs_options);
-    stage.emplace("stage.fit");
-    GREATER_RETURN_NOT_OK_CTX(rs.Fit(parent, fused, key_column, rng),
-                              StageContext("fit", "fused"));
-    stage.emplace("stage.sample");
-    GREATER_ASSIGN_OR_RETURN_CTX(
-        RelationalSample sample,
-        rs.Sample(num_parents, rng, &result.sample_report),
-        StageContext("sample", "fused"));
+    if (auto hit = ckpt.TryLoad("fit")) {
+      stage.emplace("stage.resume");
+      GREATER_RETURN_NOT_OK_CTX(RestoreFitStage(*hit, {&rs}, rng),
+                                StageContext("fit", "checkpoint"));
+    } else {
+      stage.emplace("stage.fit");
+      GREATER_RETURN_NOT_OK_CTX(rs.Fit(parent, fused, key_column, rng),
+                                StageContext("fit", "fused"));
+      ArtifactWriter fit_doc(StageCheckpointer::kKind,
+                             StageCheckpointer::kVersion);
+      GREATER_RETURN_NOT_OK_CTX(BuildFitStageDoc({&rs}, *rng, &fit_doc),
+                                StageContext("fit", "fused"));
+      ckpt.Store("fit", fit_doc);
+    }
+    RelationalSample sample;
+    if (auto hit = ckpt.TryLoad("sample")) {
+      stage.emplace("stage.resume");
+      GREATER_RETURN_NOT_OK_CTX(
+          RestoreSampleStage(*hit, {&sample.parent, &sample.child},
+                             &result.sample_report, rng),
+          StageContext("sample", "checkpoint"));
+    } else {
+      stage.emplace("stage.sample");
+      GREATER_ASSIGN_OR_RETURN_CTX(
+          sample, rs.Sample(num_parents, rng, &result.sample_report),
+          StageContext("sample", "fused"));
+      ArtifactWriter sample_doc(StageCheckpointer::kKind,
+                                StageCheckpointer::kVersion);
+      BuildSampleStageDoc({&sample.parent, &sample.child},
+                          result.sample_report, *rng, &sample_doc);
+      ckpt.Store("sample", sample_doc);
+    }
     stage.emplace("stage.flatten");
     GREATER_ASSIGN_OR_RETURN_CTX(
         synthetic_flat,

@@ -72,6 +72,17 @@ struct PipelineOptions {
   DecodeCacheOptions decode_cache;
   /// Synthetic subject count; 0 -> match the training subject count.
   size_t num_synthetic_parents = 0;
+  /// Directory for durable stage checkpoints; empty (default) disables
+  /// them. When set, each pipeline stage persists its outputs to
+  /// `<dir>/stage.<name>.<hash>.ckpt`, keyed by a content hash chained
+  /// over the run configuration, the input tables, the starting RNG
+  /// state, and every upstream stage's output. A re-run over identical
+  /// inputs loads the completed stages and resumes at the first missing
+  /// one, producing byte-identical final tables; any change upstream
+  /// flips every downstream key, so stale state is never reused. Corrupt
+  /// or torn checkpoint files degrade to recomputation, never failure
+  /// (see StageCheckpointer in crosstable/checkpoint.h).
+  std::string checkpoint_dir;
   /// Erase the mapping system after synthesis (privacy, Sec. 3.2.3).
   bool erase_mapping_after_run = true;
 };

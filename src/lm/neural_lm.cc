@@ -4,7 +4,9 @@
 #include <array>
 #include <cmath>
 #include <memory>
+#include <utility>
 
+#include "common/artifact_io.h"
 #include "lm/decode_cache.h"
 #include "obs/metrics.h"
 #include "obs/span.h"
@@ -444,6 +446,121 @@ std::vector<double> NeuralLm::EmbeddingOf(TokenId id) const {
   const double* row = embed_.RowPtr(static_cast<size_t>(id));
   out.assign(row, row + options_.embed_dim);
   return out;
+}
+
+namespace {
+
+void AppendMatrix(const Matrix& m, ByteWriter* w) {
+  w->PutU64(m.rows());
+  w->PutU64(m.cols());
+  for (double v : m.data()) w->PutF64(v);
+}
+
+Status ReadMatrix(ByteReader* r, Matrix* out) {
+  uint64_t rows = 0, cols = 0;
+  GREATER_RETURN_NOT_OK(r->GetU64(&rows));
+  GREATER_RETURN_NOT_OK(r->GetU64(&cols));
+  // Guard the allocation: a corrupt size prefix must fail typed, not OOM.
+  if (rows * cols > r->remaining() / 8) {
+    return Status::DataLoss("corrupt matrix: " + std::to_string(rows) + "x" +
+                            std::to_string(cols) +
+                            " exceeds remaining payload");
+  }
+  Matrix m(rows, cols, 0.0);
+  for (double& v : m.data()) GREATER_RETURN_NOT_OK(r->GetF64(&v));
+  *out = std::move(m);
+  return Status::OK();
+}
+
+}  // namespace
+
+std::string NeuralLm::SerializeBinary() const {
+  ByteWriter w;
+  w.PutU64(vocab_size_);
+  w.PutU64(options_.context_window);
+  w.PutU64(options_.embed_dim);
+  w.PutU64(options_.hidden_dim);
+  w.PutU64(options_.epochs);
+  w.PutU64(options_.batch_size);
+  w.PutF64(options_.learning_rate);
+  w.PutU64(options_.pretrain_epochs);
+  w.PutU64(options_.seed);
+  w.PutU64(options_.num_threads);
+  w.PutBool(fitted_);
+  w.PutF64(last_epoch_loss_);
+  w.PutU64(adam_t_);
+  AppendMatrix(embed_, &w);
+  AppendMatrix(w1_, &w);
+  AppendMatrix(b1_, &w);
+  AppendMatrix(w2_, &w);
+  AppendMatrix(b2_, &w);
+  ArtifactWriter doc("greater.neural_lm", 1);
+  doc.AddChunk("model", std::move(w).Take());
+  return doc.Finish();
+}
+
+Status NeuralLm::DeserializeBinary(std::string_view bytes) {
+  GREATER_ASSIGN_OR_RETURN(
+      ArtifactReader doc,
+      ArtifactReader::Parse(std::string(bytes), "greater.neural_lm", 1));
+  GREATER_ASSIGN_OR_RETURN(std::string_view payload, doc.Chunk("model"));
+  ByteReader r(payload);
+  uint64_t vocab_size = 0;
+  GREATER_RETURN_NOT_OK(r.GetU64(&vocab_size));
+  Options options;
+  GREATER_RETURN_NOT_OK(r.GetU64(&options.context_window));
+  GREATER_RETURN_NOT_OK(r.GetU64(&options.embed_dim));
+  GREATER_RETURN_NOT_OK(r.GetU64(&options.hidden_dim));
+  GREATER_RETURN_NOT_OK(r.GetU64(&options.epochs));
+  GREATER_RETURN_NOT_OK(r.GetU64(&options.batch_size));
+  GREATER_RETURN_NOT_OK(r.GetF64(&options.learning_rate));
+  GREATER_RETURN_NOT_OK(r.GetU64(&options.pretrain_epochs));
+  GREATER_RETURN_NOT_OK(r.GetU64(&options.seed));
+  GREATER_RETURN_NOT_OK(r.GetU64(&options.num_threads));
+  bool fitted = false;
+  double last_epoch_loss = 0.0;
+  uint64_t adam_t = 0;
+  GREATER_RETURN_NOT_OK(r.GetBool(&fitted));
+  GREATER_RETURN_NOT_OK(r.GetF64(&last_epoch_loss));
+  GREATER_RETURN_NOT_OK(r.GetU64(&adam_t));
+  Matrix embed, w1, b1, w2, b2;
+  GREATER_RETURN_NOT_OK_CTX(ReadMatrix(&r, &embed), "embedding matrix");
+  GREATER_RETURN_NOT_OK_CTX(ReadMatrix(&r, &w1), "W1");
+  GREATER_RETURN_NOT_OK_CTX(ReadMatrix(&r, &b1), "b1");
+  GREATER_RETURN_NOT_OK_CTX(ReadMatrix(&r, &w2), "W2");
+  GREATER_RETURN_NOT_OK_CTX(ReadMatrix(&r, &b2), "b2");
+  GREATER_RETURN_NOT_OK(r.ExpectEnd());
+  if (embed.rows() != vocab_size || embed.cols() != options.embed_dim ||
+      w1.rows() != options.context_window * options.embed_dim ||
+      w1.cols() != options.hidden_dim || w2.rows() != options.hidden_dim ||
+      w2.cols() != vocab_size) {
+    return Status::DataLoss(
+        "corrupt neural LM: parameter shapes disagree with options");
+  }
+  vocab_size_ = vocab_size;
+  options_ = options;
+  fitted_ = fitted;
+  last_epoch_loss_ = last_epoch_loss;
+  adam_t_ = adam_t;
+  rng_ = Rng(options_.seed);
+  embed_ = std::move(embed);
+  w1_ = std::move(w1);
+  b1_ = std::move(b1);
+  w2_ = std::move(w2);
+  b2_ = std::move(b2);
+  return Status::OK();
+}
+
+Status NeuralLm::Save(const std::string& path) const {
+  return AtomicWriteFile(path, SerializeBinary())
+      .WithContext("saving neural LM to '" + path + "'");
+}
+
+Status NeuralLm::Load(const std::string& path) {
+  GREATER_ASSIGN_OR_RETURN_CTX(std::string bytes, ReadFileBytes(path),
+                               "loading neural LM from '" + path + "'");
+  return DeserializeBinary(bytes)
+      .WithContext("loading neural LM from '" + path + "'");
 }
 
 }  // namespace greater

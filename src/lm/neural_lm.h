@@ -1,6 +1,8 @@
 #ifndef GREATER_LM_NEURAL_LM_H_
 #define GREATER_LM_NEURAL_LM_H_
 
+#include <string>
+#include <string_view>
 #include <vector>
 
 #include "common/matrix.h"
@@ -88,6 +90,17 @@ class NeuralLm : public LanguageModel {
 
   /// Read access to a token's embedding row (tests inspect sharing).
   std::vector<double> EmbeddingOf(TokenId id) const;
+
+  /// Persistence (artifact kind "greater.neural_lm"): options, Adam step
+  /// counter, and every parameter matrix with exact double bit patterns —
+  /// a loaded model's forward pass (and thus its sampled token stream) is
+  /// bitwise-identical to the saved one. The training RNG and prior corpus
+  /// are not persisted: neither influences inference, and resumed
+  /// *training* is out of scope for the durability contract.
+  std::string SerializeBinary() const;
+  Status DeserializeBinary(std::string_view bytes);
+  Status Save(const std::string& path) const;
+  Status Load(const std::string& path);
 
  private:
   /// Flat example storage: one contiguous context-id buffer instead of a

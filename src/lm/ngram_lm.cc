@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <cmath>
+#include <utility>
 
+#include "common/artifact_io.h"
 #include "obs/metrics.h"
 
 namespace greater {
@@ -157,6 +159,129 @@ void NGramLm::NextTokenWeightsRestricted(const TokenSequence& context,
       }
     }
   }
+}
+
+std::string NGramLm::SerializeBinary() const {
+  ByteWriter w;
+  w.PutU64(vocab_size_);
+  w.PutU64(options_.order);
+  w.PutF64(options_.prior_weight);
+  w.PutBool(fitted_);
+  w.PutU32(static_cast<uint32_t>(levels_.size()));
+  for (const LevelMap& level : levels_) {
+    // Sort entries by (len, ids) and counts by token id: unordered_map
+    // iteration order must never leak into the byte stream.
+    std::vector<const std::pair<const ContextKey, ContextStats>*> entries;
+    entries.reserve(level.size());
+    for (const auto& entry : level) entries.push_back(&entry);
+    std::sort(entries.begin(), entries.end(),
+              [](const auto* a, const auto* b) {
+                if (a->first.len != b->first.len) {
+                  return a->first.len < b->first.len;
+                }
+                return a->first.ids < b->first.ids;
+              });
+    w.PutU64(entries.size());
+    for (const auto* entry : entries) {
+      const ContextKey& key = entry->first;
+      const ContextStats& stats = entry->second;
+      w.PutU32(key.len);
+      for (uint32_t i = 0; i < key.len; ++i) {
+        w.PutU32(static_cast<uint32_t>(key.ids[i]));
+      }
+      w.PutF64(stats.total);
+      std::vector<std::pair<TokenId, double>> counts(stats.counts.begin(),
+                                                     stats.counts.end());
+      std::sort(counts.begin(), counts.end());
+      w.PutU32(static_cast<uint32_t>(counts.size()));
+      for (const auto& [token, count] : counts) {
+        w.PutU32(static_cast<uint32_t>(token));
+        w.PutF64(count);
+      }
+    }
+  }
+  ArtifactWriter doc("greater.ngram_lm", 1);
+  doc.AddChunk("model", std::move(w).Take());
+  return doc.Finish();
+}
+
+Status NGramLm::DeserializeBinary(std::string_view bytes) {
+  GREATER_ASSIGN_OR_RETURN(
+      ArtifactReader doc,
+      ArtifactReader::Parse(std::string(bytes), "greater.ngram_lm", 1));
+  GREATER_ASSIGN_OR_RETURN(std::string_view payload, doc.Chunk("model"));
+  ByteReader r(payload);
+  uint64_t vocab_size = 0, order = 0;
+  GREATER_RETURN_NOT_OK(r.GetU64(&vocab_size));
+  GREATER_RETURN_NOT_OK(r.GetU64(&order));
+  if (order < 2 || order > kMaxOrder) {
+    return Status::DataLoss("corrupt n-gram model: order " +
+                            std::to_string(order) + " outside [2, " +
+                            std::to_string(kMaxOrder) + "]");
+  }
+  Options options;
+  options.order = order;
+  GREATER_RETURN_NOT_OK(r.GetF64(&options.prior_weight));
+  bool fitted = false;
+  GREATER_RETURN_NOT_OK(r.GetBool(&fitted));
+  uint32_t num_levels = 0;
+  GREATER_RETURN_NOT_OK(r.GetU32(&num_levels));
+  if (num_levels != order) {
+    return Status::DataLoss("corrupt n-gram model: " +
+                            std::to_string(num_levels) +
+                            " levels for order " + std::to_string(order));
+  }
+  std::vector<LevelMap> levels(num_levels);
+  for (uint32_t l = 0; l < num_levels; ++l) {
+    uint64_t num_entries = 0;
+    GREATER_RETURN_NOT_OK(r.GetU64(&num_entries));
+    levels[l].reserve(num_entries);
+    for (uint64_t e = 0; e < num_entries; ++e) {
+      ContextKey key;
+      GREATER_RETURN_NOT_OK(r.GetU32(&key.len));
+      if (key.len >= kMaxOrder) {
+        return Status::DataLoss("corrupt n-gram model: context length " +
+                                std::to_string(key.len));
+      }
+      for (uint32_t i = 0; i < key.len; ++i) {
+        uint32_t id = 0;
+        GREATER_RETURN_NOT_OK(r.GetU32(&id));
+        key.ids[i] = static_cast<TokenId>(id);
+      }
+      ContextStats stats;
+      GREATER_RETURN_NOT_OK(r.GetF64(&stats.total));
+      uint32_t num_counts = 0;
+      GREATER_RETURN_NOT_OK(r.GetU32(&num_counts));
+      stats.counts.reserve(num_counts);
+      for (uint32_t c = 0; c < num_counts; ++c) {
+        uint32_t token = 0;
+        double count = 0.0;
+        GREATER_RETURN_NOT_OK(r.GetU32(&token));
+        GREATER_RETURN_NOT_OK(r.GetF64(&count));
+        stats.counts[static_cast<TokenId>(token)] = count;
+      }
+      levels[l].emplace(key, std::move(stats));
+    }
+  }
+  GREATER_RETURN_NOT_OK(r.ExpectEnd());
+  vocab_size_ = vocab_size;
+  options_ = options;
+  fitted_ = fitted;
+  levels_ = std::move(levels);
+  prior_.clear();
+  return Status::OK();
+}
+
+Status NGramLm::Save(const std::string& path) const {
+  return AtomicWriteFile(path, SerializeBinary())
+      .WithContext("saving n-gram LM to '" + path + "'");
+}
+
+Status NGramLm::Load(const std::string& path) {
+  GREATER_ASSIGN_OR_RETURN_CTX(std::string bytes, ReadFileBytes(path),
+                               "loading n-gram LM from '" + path + "'");
+  return DeserializeBinary(bytes)
+      .WithContext("loading n-gram LM from '" + path + "'");
 }
 
 double NGramLm::TokenLogProb(const TokenSequence& context, TokenId token,

@@ -3,6 +3,8 @@
 
 #include <array>
 #include <cstdint>
+#include <string>
+#include <string_view>
 #include <unordered_map>
 #include <vector>
 
@@ -74,6 +76,16 @@ class NGramLm : public LanguageModel {
   bool fitted() const override { return fitted_; }
 
   const Options& options() const { return options_; }
+
+  /// Persistence (artifact kind "greater.ngram_lm"). Count tables are
+  /// written in sorted (context, token) order, so equal models serialize
+  /// to equal bytes and a loaded model reproduces the saved model's
+  /// distributions bit for bit. The prior corpus is not persisted — its
+  /// fractional counts are already folded into the tables at Fit.
+  std::string SerializeBinary() const;
+  Status DeserializeBinary(std::string_view bytes);
+  Status Save(const std::string& path) const;
+  Status Load(const std::string& path);
 
   /// Maximum supported n-gram order (Options::order is clamped to it).
   static constexpr size_t kMaxOrder = 8;

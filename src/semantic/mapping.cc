@@ -2,9 +2,12 @@
 
 #include <set>
 #include <sstream>
+#include <string_view>
 
+#include "common/artifact_io.h"
 #include "common/strings.h"
 #include "tabular/csv.h"
+#include "tabular/table_serde.h"
 
 namespace greater {
 
@@ -163,28 +166,94 @@ Result<Table> MappingSystem::InvertPartial(const Table& table) const {
   return sub.Invert(table);
 }
 
+namespace {
+
+constexpr char kMappingKind[] = "greater.mapping_system";
+constexpr uint32_t kMappingVersion = 1;
+
+/// Legacy CSV text parser (column, original_type, original, replacement)
+/// kept for mappings written by earlier releases. Known hazards of the
+/// format — commas/newlines in values depend on CSV quoting, empty
+/// strings read back as nulls, doubles go through display strings — are
+/// why Serialize now emits the binary artifact instead.
+Result<MappingSystem> DeserializeLegacyCsv(const std::string& text);
+
+Result<MappingSystem> DeserializeBinary(const std::string& bytes) {
+  GREATER_ASSIGN_OR_RETURN(
+      ArtifactReader doc,
+      ArtifactReader::Parse(bytes, kMappingKind, kMappingVersion));
+  GREATER_ASSIGN_OR_RETURN(std::string_view payload, doc.Chunk("mappings"));
+  ByteReader r(payload);
+  uint32_t num_mappings = 0;
+  GREATER_RETURN_NOT_OK(r.GetU32(&num_mappings));
+  std::vector<ColumnMapping> mappings;
+  mappings.reserve(num_mappings);
+  for (uint32_t m = 0; m < num_mappings; ++m) {
+    ColumnMapping mapping;
+    GREATER_RETURN_NOT_OK(r.GetString(&mapping.column));
+    uint8_t type = 0;
+    GREATER_RETURN_NOT_OK(r.GetU8(&type));
+    if (type > static_cast<uint8_t>(ValueType::kString)) {
+      return Status::DataLoss("corrupt mapping: unknown original type " +
+                              std::to_string(type));
+    }
+    mapping.original_type = static_cast<ValueType>(type);
+    uint32_t num_entries = 0;
+    GREATER_RETURN_NOT_OK(r.GetU32(&num_entries));
+    for (uint32_t e = 0; e < num_entries; ++e) {
+      Value original, replacement;
+      GREATER_RETURN_NOT_OK(ReadValue(&r, &original));
+      GREATER_RETURN_NOT_OK(ReadValue(&r, &replacement));
+      mapping.forward[std::move(original)] = std::move(replacement);
+    }
+    mappings.push_back(std::move(mapping));
+  }
+  GREATER_RETURN_NOT_OK(r.ExpectEnd());
+  return MappingSystem::Make(std::move(mappings));
+}
+
+}  // namespace
+
 std::string MappingSystem::Serialize() const {
-  // column, original_type, original, replacement — CSV with quoting.
-  Schema schema(std::vector<Field>{
-      Field("column", ValueType::kString),
-      Field("original_type", ValueType::kString),
-      Field("original", ValueType::kString),
-      Field("replacement", ValueType::kString),
-  });
-  Table table(schema);
+  ByteWriter w;
+  w.PutU32(static_cast<uint32_t>(mappings_.size()));
   for (const auto& mapping : mappings_) {
+    w.PutString(mapping.column);
+    w.PutU8(static_cast<uint8_t>(mapping.original_type));
+    w.PutU32(static_cast<uint32_t>(mapping.forward.size()));
     for (const auto& [original, replacement] : mapping.forward) {
-      Status st = table.AppendRow({Value(mapping.column),
-                                   Value(ValueTypeToString(mapping.original_type)),
-                                   Value(original.ToDisplayString()),
-                                   Value(replacement.ToDisplayString())});
-      (void)st;  // rows built from valid strings cannot fail
+      AppendValue(original, &w);
+      AppendValue(replacement, &w);
     }
   }
-  return WriteCsvString(table);
+  ArtifactWriter doc(kMappingKind, kMappingVersion);
+  doc.AddChunk("mappings", std::move(w).Take());
+  return doc.Finish();
 }
 
 Result<MappingSystem> MappingSystem::Deserialize(const std::string& text) {
+  if (text.size() >= 8 && text.compare(0, 8, "GRTRART1") == 0) {
+    return DeserializeBinary(text);
+  }
+  return DeserializeLegacyCsv(text);
+}
+
+Status MappingSystem::Save(const std::string& path) const {
+  return AtomicWriteFile(path, Serialize())
+      .WithContext("saving mapping system to '" + path + "'");
+}
+
+Status MappingSystem::Load(const std::string& path) {
+  GREATER_ASSIGN_OR_RETURN_CTX(std::string bytes, ReadFileBytes(path),
+                               "loading mapping system from '" + path + "'");
+  GREATER_ASSIGN_OR_RETURN_CTX(*this, Deserialize(bytes),
+                               "loading mapping system from '" + path + "'");
+  return Status::OK();
+}
+
+namespace {
+
+Result<MappingSystem> DeserializeLegacyCsv(const std::string& text) {
   CsvReadOptions options;
   options.infer_types = false;
   GREATER_ASSIGN_OR_RETURN(Table table, ReadCsvString(text, options));
@@ -242,8 +311,10 @@ Result<MappingSystem> MappingSystem::Deserialize(const std::string& text) {
   for (auto& [name, mapping] : by_column) {
     mappings.push_back(std::move(mapping));
   }
-  return Make(std::move(mappings));
+  return MappingSystem::Make(std::move(mappings));
 }
+
+}  // namespace
 
 void MappingSystem::Erase() {
   mappings_.clear();

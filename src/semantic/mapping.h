@@ -56,12 +56,21 @@ class MappingSystem {
   Result<Table> ApplyPartial(const Table& table) const;
   Result<Table> InvertPartial(const Table& table) const;
 
-  /// Serializes to CSV-like text (column,original,replacement per line) so
-  /// a mapping can be stored during a run...
+  /// Serializes to the checksummed binary artifact format (kind
+  /// "greater.mapping_system"). Unlike the legacy CSV text form this
+  /// round-trips values containing commas, quotes, newlines, and empty
+  /// strings exactly, preserves the int/double/string distinction, and
+  /// keeps double bit patterns intact.
   std::string Serialize() const;
 
-  /// ...and parsed back.
+  /// Parses either format: binary artifacts by magic, anything else
+  /// through the legacy CSV text parser (back-compat with mappings saved
+  /// by earlier releases).
   static Result<MappingSystem> Deserialize(const std::string& text);
+
+  /// Serialize/Deserialize against a file, via the atomic writer.
+  Status Save(const std::string& path) const;
+  Status Load(const std::string& path);
 
   /// Destroys the mapping in place — the privacy step of Sec. 3.2.3 ("the
   /// mapping system is to be deleted after the data is synthesized").

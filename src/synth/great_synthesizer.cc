@@ -1,7 +1,9 @@
 #include "synth/great_synthesizer.h"
 
 #include <algorithm>
+#include <utility>
 
+#include "common/artifact_io.h"
 #include "common/fault.h"
 #include "obs/metrics.h"
 #include "obs/span.h"
@@ -94,9 +96,15 @@ Status GreatSynthesizer::Fit(const Table& train, Rng* rng) {
   observed_values_.resize(train.num_columns());
   for (size_t c = 0; c < train.num_columns(); ++c) {
     for (size_t r = 0; r < train.num_rows(); ++r) {
-      observed_values_[c].insert(train.at(r, c).ToDisplayString());
+      observed_values_[c].Insert(train.at(r, c).ToDisplayString());
     }
+    observed_values_[c].SortPool();
   }
+  BuildGrammars();
+  return Status::OK();
+}
+
+void GreatSynthesizer::BuildGrammars() {
   std::unordered_set<TokenId> union_tokens;
   for (const auto& column : encoder_->columns()) {
     union_tokens.insert(column.value_tokens.begin(),
@@ -128,7 +136,6 @@ Status GreatSynthesizer::Fit(const Table& train, Rng* rng) {
     column_grammars_.push_back(build_grammar(column.value_tokens));
   }
   free_grammar_ = build_grammar(all_value_tokens_);
-  return Status::OK();
 }
 
 void GreatSynthesizer::InitWorkspace(SamplerWorkspace* ws) const {
@@ -321,17 +328,17 @@ Result<Row> GreatSynthesizer::SampleRowImpl(
       bool valid = true;
       for (size_t c = 0; c < columns.size(); ++c) {
         if (forced_index[c] >= 0) continue;
-        if (observed_values_[c].count(row[c].ToDisplayString()) == 0) {
+        if (observed_values_[c].set.count(row[c].ToDisplayString()) == 0) {
           if (attempt + 1 == options_.max_attempts_per_row &&
               options_.fallback_to_constrained) {
             // Last resort: snap the cell to a uniformly drawn observed
             // value so one stubborn multi-token recombination cannot fail
-            // the whole Sample call.
-            const auto& pool = observed_values_[c];
-            size_t pick = rng->Index(pool.size());
-            auto it = pool.begin();
-            std::advance(it, static_cast<ptrdiff_t>(pick));
-            GREATER_ASSIGN_OR_RETURN(row[c], encoder_->ParseValue(c, *it));
+            // the whole Sample call. The draw indexes the sorted pool, so
+            // it maps picks to values identically after a Save/Load
+            // rebuild.
+            const auto& pool = observed_values_[c].sorted;
+            const std::string& snapped = pool[rng->Index(pool.size())];
+            GREATER_ASSIGN_OR_RETURN(row[c], encoder_->ParseValue(c, snapped));
             ++stats->snapped_cells;
             continue;
           }
@@ -364,7 +371,8 @@ Result<Row> GreatSynthesizer::SampleRowImpl(
 
 Result<Table> GreatSynthesizer::SampleMany(size_t n, const Table* conditions,
                                            Rng* rng, ThreadPool* pool,
-                                           SampleReport* report) const {
+                                           SampleReport* report,
+                                           SamplePolicy policy) const {
   auto context_for = [&](size_t i) {
     return std::string(conditions != nullptr ? "sampling conditioned row "
                                              : "sampling row ") +
@@ -395,7 +403,7 @@ Result<Table> GreatSynthesizer::SampleMany(size_t n, const Table* conditions,
     for (size_t i = 0; i < n; ++i) {
       Result<Row> row = sample_one(i, rng, &serial_ws_, &stats_);
       if (!row.ok()) {
-        if (options_.policy == SamplePolicy::kLenient &&
+        if (policy == SamplePolicy::kLenient &&
             row.status().code() == StatusCode::kResourceExhausted) {
           continue;  // degrade: keep what succeeded, account for the rest
         }
@@ -448,7 +456,7 @@ Result<Table> GreatSynthesizer::SampleMany(size_t n, const Table* conditions,
     for (Result<Row>& row : output.rows) {
       size_t i = row_index++;
       if (!row.ok()) {
-        if (options_.policy == SamplePolicy::kLenient &&
+        if (policy == SamplePolicy::kLenient &&
             row.status().code() == StatusCode::kResourceExhausted) {
           continue;
         }
@@ -462,14 +470,21 @@ Result<Table> GreatSynthesizer::SampleMany(size_t n, const Table* conditions,
 
 Result<Table> GreatSynthesizer::Sample(size_t n, Rng* rng,
                                        SampleReport* report) const {
+  return SampleWithPolicy(n, options_.policy, rng, report);
+}
+
+Result<Table> GreatSynthesizer::SampleWithPolicy(size_t n,
+                                                 SamplePolicy policy,
+                                                 Rng* rng,
+                                                 SampleReport* report) const {
   if (!fitted()) {
     return Status::FailedPrecondition("Sample before Fit");
   }
   if (options_.num_threads > 1 && n > 1) {
     ThreadPool pool(options_.num_threads);
-    return SampleMany(n, nullptr, rng, &pool, report);
+    return SampleMany(n, nullptr, rng, &pool, report, policy);
   }
-  return SampleMany(n, nullptr, rng, nullptr, report);
+  return SampleMany(n, nullptr, rng, nullptr, report, policy);
 }
 
 Result<Table> GreatSynthesizer::SampleRows(size_t n, Rng* rng,
@@ -478,21 +493,272 @@ Result<Table> GreatSynthesizer::SampleRows(size_t n, Rng* rng,
   if (!fitted()) {
     return Status::FailedPrecondition("SampleRows before Fit");
   }
-  return SampleMany(n, nullptr, rng, pool, report);
+  return SampleMany(n, nullptr, rng, pool, report, options_.policy);
 }
 
 Result<Table> GreatSynthesizer::SampleConditional(const Table& conditions,
                                                   Rng* rng,
                                                   SampleReport* report) const {
+  return SampleConditionalWithPolicy(conditions, options_.policy, rng,
+                                     report);
+}
+
+Result<Table> GreatSynthesizer::SampleConditionalWithPolicy(
+    const Table& conditions, SamplePolicy policy, Rng* rng,
+    SampleReport* report) const {
   if (!fitted()) {
     return Status::FailedPrecondition("SampleConditional before Fit");
   }
   size_t n = conditions.num_rows();
   if (options_.num_threads > 1 && n > 1) {
     ThreadPool pool(options_.num_threads);
-    return SampleMany(n, &conditions, rng, &pool, report);
+    return SampleMany(n, &conditions, rng, &pool, report, policy);
   }
-  return SampleMany(n, &conditions, rng, nullptr, report);
+  return SampleMany(n, &conditions, rng, nullptr, report, policy);
+}
+
+namespace {
+
+constexpr char kSynthesizerKind[] = "greater.great_synthesizer";
+constexpr uint32_t kSynthesizerVersion = 1;
+
+void AppendOptions(const GreatSynthesizer::Options& o, ByteWriter* w) {
+  w->PutU8(static_cast<uint8_t>(o.backbone));
+  w->PutU64(o.ngram.order);
+  w->PutF64(o.ngram.prior_weight);
+  w->PutU64(o.neural.context_window);
+  w->PutU64(o.neural.embed_dim);
+  w->PutU64(o.neural.hidden_dim);
+  w->PutU64(o.neural.epochs);
+  w->PutU64(o.neural.batch_size);
+  w->PutF64(o.neural.learning_rate);
+  w->PutU64(o.neural.pretrain_epochs);
+  w->PutU64(o.neural.seed);
+  w->PutU64(o.neural.num_threads);
+  w->PutU64(o.encoder.permutations_per_row);
+  w->PutBool(o.encoder.permute_features);
+  w->PutF64(o.temperature);
+  w->PutBool(o.restrict_to_observed);
+  w->PutBool(o.constrain_values_to_column);
+  w->PutBool(o.fallback_to_constrained);
+  w->PutU64(o.max_attempts_per_row);
+  w->PutU8(static_cast<uint8_t>(o.policy));
+  w->PutU32(static_cast<uint32_t>(o.prior_corpus.size()));
+  for (const std::string& line : o.prior_corpus) w->PutString(line);
+  w->PutF64(o.prior_weight);
+  w->PutU64(o.max_training_sequences);
+  w->PutU64(o.num_threads);
+  w->PutBool(o.decode_cache.enabled);
+  w->PutU64(o.decode_cache.capacity);
+  w->PutU8(static_cast<uint8_t>(o.decode_cache.mode));
+  w->PutBool(o.decode_cache.cache_hidden_states);
+  w->PutU64(o.decode_cache.hidden_capacity);
+}
+
+Status ReadOptions(ByteReader* r, GreatSynthesizer::Options* o) {
+  uint8_t backbone = 0;
+  GREATER_RETURN_NOT_OK(r->GetU8(&backbone));
+  if (backbone > static_cast<uint8_t>(GreatSynthesizer::Backbone::kNeural)) {
+    return Status::DataLoss("corrupt synthesizer options: unknown backbone " +
+                            std::to_string(backbone));
+  }
+  o->backbone = static_cast<GreatSynthesizer::Backbone>(backbone);
+  GREATER_RETURN_NOT_OK(r->GetU64(&o->ngram.order));
+  GREATER_RETURN_NOT_OK(r->GetF64(&o->ngram.prior_weight));
+  GREATER_RETURN_NOT_OK(r->GetU64(&o->neural.context_window));
+  GREATER_RETURN_NOT_OK(r->GetU64(&o->neural.embed_dim));
+  GREATER_RETURN_NOT_OK(r->GetU64(&o->neural.hidden_dim));
+  GREATER_RETURN_NOT_OK(r->GetU64(&o->neural.epochs));
+  GREATER_RETURN_NOT_OK(r->GetU64(&o->neural.batch_size));
+  GREATER_RETURN_NOT_OK(r->GetF64(&o->neural.learning_rate));
+  GREATER_RETURN_NOT_OK(r->GetU64(&o->neural.pretrain_epochs));
+  GREATER_RETURN_NOT_OK(r->GetU64(&o->neural.seed));
+  GREATER_RETURN_NOT_OK(r->GetU64(&o->neural.num_threads));
+  GREATER_RETURN_NOT_OK(r->GetU64(&o->encoder.permutations_per_row));
+  GREATER_RETURN_NOT_OK(r->GetBool(&o->encoder.permute_features));
+  GREATER_RETURN_NOT_OK(r->GetF64(&o->temperature));
+  GREATER_RETURN_NOT_OK(r->GetBool(&o->restrict_to_observed));
+  GREATER_RETURN_NOT_OK(r->GetBool(&o->constrain_values_to_column));
+  GREATER_RETURN_NOT_OK(r->GetBool(&o->fallback_to_constrained));
+  GREATER_RETURN_NOT_OK(r->GetU64(&o->max_attempts_per_row));
+  uint8_t policy = 0;
+  GREATER_RETURN_NOT_OK(r->GetU8(&policy));
+  if (policy > static_cast<uint8_t>(SamplePolicy::kLenient)) {
+    return Status::DataLoss("corrupt synthesizer options: unknown policy " +
+                            std::to_string(policy));
+  }
+  o->policy = static_cast<SamplePolicy>(policy);
+  uint32_t prior_lines = 0;
+  GREATER_RETURN_NOT_OK(r->GetU32(&prior_lines));
+  o->prior_corpus.clear();
+  o->prior_corpus.reserve(prior_lines);
+  for (uint32_t i = 0; i < prior_lines; ++i) {
+    std::string line;
+    GREATER_RETURN_NOT_OK(r->GetString(&line));
+    o->prior_corpus.push_back(std::move(line));
+  }
+  GREATER_RETURN_NOT_OK(r->GetF64(&o->prior_weight));
+  GREATER_RETURN_NOT_OK(r->GetU64(&o->max_training_sequences));
+  GREATER_RETURN_NOT_OK(r->GetU64(&o->num_threads));
+  GREATER_RETURN_NOT_OK(r->GetBool(&o->decode_cache.enabled));
+  GREATER_RETURN_NOT_OK(r->GetU64(&o->decode_cache.capacity));
+  uint8_t mode = 0;
+  GREATER_RETURN_NOT_OK(r->GetU8(&mode));
+  if (mode > static_cast<uint8_t>(DecodeMode::kAlias)) {
+    return Status::DataLoss(
+        "corrupt synthesizer options: unknown decode mode " +
+        std::to_string(mode));
+  }
+  o->decode_cache.mode = static_cast<DecodeMode>(mode);
+  GREATER_RETURN_NOT_OK(r->GetBool(&o->decode_cache.cache_hidden_states));
+  GREATER_RETURN_NOT_OK(r->GetU64(&o->decode_cache.hidden_capacity));
+  return Status::OK();
+}
+
+}  // namespace
+
+void GreatSynthesizer::AppendOptionsTo(const Options& options,
+                                       ByteWriter* w) {
+  AppendOptions(options, w);
+}
+
+Status GreatSynthesizer::ReadOptionsFrom(ByteReader* r, Options* options) {
+  return ReadOptions(r, options);
+}
+
+Result<std::string> GreatSynthesizer::SerializeBinary() const {
+  if (!fitted()) {
+    return Status::FailedPrecondition(
+        "cannot serialize an unfitted synthesizer");
+  }
+  ArtifactWriter doc(kSynthesizerKind, kSynthesizerVersion);
+  {
+    ByteWriter w;
+    AppendOptions(options_, &w);
+    doc.AddChunk("options", std::move(w).Take());
+  }
+  doc.AddChunk("encoder", encoder_->SerializeBinary());
+  switch (options_.backbone) {
+    case Backbone::kNGram:
+      doc.AddChunk("lm",
+                   static_cast<const NGramLm*>(lm_.get())->SerializeBinary());
+      break;
+    case Backbone::kNeural:
+      doc.AddChunk(
+          "lm", static_cast<const NeuralLm*>(lm_.get())->SerializeBinary());
+      break;
+  }
+  {
+    ByteWriter w;
+    w.PutU32(static_cast<uint32_t>(observed_values_.size()));
+    for (const ObservedColumn& column : observed_values_) {
+      w.PutU32(static_cast<uint32_t>(column.sorted.size()));
+      for (const std::string& value : column.sorted) w.PutString(value);
+    }
+    doc.AddChunk("observed", std::move(w).Take());
+  }
+  return doc.Finish();
+}
+
+Status GreatSynthesizer::DeserializeBinary(std::string_view bytes) {
+  GREATER_ASSIGN_OR_RETURN(
+      ArtifactReader doc,
+      ArtifactReader::Parse(std::string(bytes), kSynthesizerKind,
+                            kSynthesizerVersion));
+  Options options;
+  {
+    GREATER_ASSIGN_OR_RETURN(std::string_view payload, doc.Chunk("options"));
+    ByteReader r(payload);
+    GREATER_RETURN_NOT_OK_CTX(ReadOptions(&r, &options),
+                              "synthesizer options");
+    GREATER_RETURN_NOT_OK(r.ExpectEnd());
+  }
+  auto encoder = std::make_unique<TextualEncoder>();
+  {
+    GREATER_ASSIGN_OR_RETURN(std::string_view payload, doc.Chunk("encoder"));
+    GREATER_RETURN_NOT_OK_CTX(encoder->DeserializeBinary(payload),
+                              "synthesizer encoder");
+  }
+  std::unique_ptr<LanguageModel> lm;
+  {
+    GREATER_ASSIGN_OR_RETURN(std::string_view payload, doc.Chunk("lm"));
+    switch (options.backbone) {
+      case Backbone::kNGram: {
+        auto ngram = std::make_unique<NGramLm>(1);
+        GREATER_RETURN_NOT_OK_CTX(ngram->DeserializeBinary(payload),
+                                  "synthesizer n-gram LM");
+        lm = std::move(ngram);
+        break;
+      }
+      case Backbone::kNeural: {
+        // Cheap throwaway shape: DeserializeBinary overwrites everything,
+        // so the constructor's parameter init should touch as little
+        // memory as possible.
+        NeuralLm::Options tiny;
+        tiny.context_window = 1;
+        tiny.embed_dim = 1;
+        tiny.hidden_dim = 1;
+        auto neural = std::make_unique<NeuralLm>(1, tiny);
+        GREATER_RETURN_NOT_OK_CTX(neural->DeserializeBinary(payload),
+                                  "synthesizer neural LM");
+        lm = std::move(neural);
+        break;
+      }
+    }
+  }
+  std::vector<ObservedColumn> observed;
+  {
+    GREATER_ASSIGN_OR_RETURN(std::string_view payload, doc.Chunk("observed"));
+    ByteReader r(payload);
+    uint32_t num_columns = 0;
+    GREATER_RETURN_NOT_OK(r.GetU32(&num_columns));
+    if (num_columns != encoder->schema().num_fields()) {
+      return Status::DataLoss(
+          "corrupt synthesizer: observed-value pools cover " +
+          std::to_string(num_columns) + " columns, encoder has " +
+          std::to_string(encoder->schema().num_fields()));
+    }
+    observed.resize(num_columns);
+    for (uint32_t c = 0; c < num_columns; ++c) {
+      uint32_t num_values = 0;
+      GREATER_RETURN_NOT_OK(r.GetU32(&num_values));
+      for (uint32_t i = 0; i < num_values; ++i) {
+        std::string value;
+        GREATER_RETURN_NOT_OK(r.GetString(&value));
+        observed[c].Insert(value);
+      }
+      if (!std::is_sorted(observed[c].sorted.begin(),
+                          observed[c].sorted.end())) {
+        return Status::DataLoss(
+            "corrupt synthesizer: observed pool of column " +
+            std::to_string(c) + " is not sorted");
+      }
+    }
+    GREATER_RETURN_NOT_OK(r.ExpectEnd());
+  }
+
+  options_ = std::move(options);
+  encoder_ = std::move(encoder);
+  lm_ = std::move(lm);
+  observed_values_ = std::move(observed);
+  BuildGrammars();
+  serial_ws_ = SamplerWorkspace();
+  stats_ = SampleReport();
+  return Status::OK();
+}
+
+Status GreatSynthesizer::Save(const std::string& path) const {
+  GREATER_ASSIGN_OR_RETURN_CTX(std::string bytes, SerializeBinary(),
+                               "saving synthesizer to '" + path + "'");
+  return AtomicWriteFile(path, bytes)
+      .WithContext("saving synthesizer to '" + path + "'");
+}
+
+Status GreatSynthesizer::Load(const std::string& path) {
+  GREATER_ASSIGN_OR_RETURN_CTX(std::string bytes, ReadFileBytes(path),
+                               "loading synthesizer from '" + path + "'");
+  return DeserializeBinary(bytes)
+      .WithContext("loading synthesizer from '" + path + "'");
 }
 
 Result<double> GreatSynthesizer::EvaluatePerplexity(

@@ -1,10 +1,12 @@
 #ifndef GREATER_SYNTH_GREAT_SYNTHESIZER_H_
 #define GREATER_SYNTH_GREAT_SYNTHESIZER_H_
 
+#include <algorithm>
 #include <cstdint>
 #include <map>
 #include <memory>
 #include <string>
+#include <string_view>
 #include <unordered_set>
 #include <vector>
 
@@ -20,6 +22,9 @@
 #include "tabular/table.h"
 
 namespace greater {
+
+class ByteReader;
+class ByteWriter;
 
 /// The GReaT pipeline (Borisov et al., ICLR 2023), as reproduced here:
 /// textual-encode every row, fit an autoregressive language model on the
@@ -104,6 +109,13 @@ class GreatSynthesizer {
   Result<Table> Sample(size_t n, Rng* rng,
                        SampleReport* report = nullptr) const;
 
+  /// Sample with an explicit degradation policy overriding
+  /// options().policy — the recovery supervisor's circuit-open path uses
+  /// this to fall back to lenient sampling without reconfiguring the
+  /// synthesizer. Otherwise identical to Sample.
+  Result<Table> SampleWithPolicy(size_t n, SamplePolicy policy, Rng* rng,
+                                 SampleReport* report = nullptr) const;
+
   /// Samples one row per row of `conditions`, forcing the condition
   /// columns (a subset of the training schema) to the given values and
   /// letting the model generate the rest — conditional generation via
@@ -112,6 +124,12 @@ class GreatSynthesizer {
   /// condition rows whose generation exhausts the attempt budget.
   Result<Table> SampleConditional(const Table& conditions, Rng* rng,
                                   SampleReport* report = nullptr) const;
+
+  /// SampleConditional with an explicit policy override (see
+  /// SampleWithPolicy).
+  Result<Table> SampleConditionalWithPolicy(
+      const Table& conditions, SamplePolicy policy, Rng* rng,
+      SampleReport* report = nullptr) const;
 
   /// Samples a single row, optionally with forced column values.
   Result<Row> SampleRow(Rng* rng,
@@ -135,6 +153,24 @@ class GreatSynthesizer {
 
   /// Cumulative sampling diagnostics across every Sample* call.
   const SampleReport& stats() const { return stats_; }
+
+  /// Persistence of the whole trained bundle (artifact kind
+  /// "greater.great_synthesizer"): options, the encoder and language model
+  /// as nested artifacts, and the observed-value pools. Requires fitted().
+  /// A loaded synthesizer draws the exact token stream of the saved one —
+  /// Save -> Load -> Sample(seed) is bitwise-identical to Sample(seed) on
+  /// the in-memory instance, for both backbones (grammars and allow-list
+  /// ids are rebuilt in Fit order; observed pools are stored sorted).
+  Result<std::string> SerializeBinary() const;
+  Status DeserializeBinary(std::string_view bytes);
+  Status Save(const std::string& path) const;
+  Status Load(const std::string& path);
+
+  /// Binary codec for Options, shared by the synthesizer bundle and the
+  /// pipeline checkpoint fingerprint (two configurations hash equal iff
+  /// these bytes are equal).
+  static void AppendOptionsTo(const Options& options, ByteWriter* w);
+  static Status ReadOptionsFrom(ByteReader* r, Options* options);
 
   /// Perplexity of the fitted model on a held-out table (encoded once,
   /// schema order).
@@ -194,15 +230,40 @@ class GreatSynthesizer {
   /// Shared core of Sample / SampleConditional / SampleRows. `conditions`
   /// null -> unconditional; row i otherwise forces conditions row i.
   /// Serial (drawing from `rng` directly) unless `pool` has > 1 worker
-  /// and n > 1.
+  /// and n > 1. `policy` is the effective degradation policy for this
+  /// call (usually options_.policy; the supervisor may override).
   Result<Table> SampleMany(size_t n, const Table* conditions, Rng* rng,
-                           ThreadPool* pool, SampleReport* report) const;
+                           ThreadPool* pool, SampleReport* report,
+                           SamplePolicy policy) const;
+
+  /// Observed display strings of one column: a hash set for O(1) validity
+  /// checks plus the same strings sorted ascending, so the last-resort
+  /// snap draw indexes a container whose order survives a Save/Load
+  /// rebuild (unordered_set iteration order would not).
+  struct ObservedColumn {
+    std::unordered_set<std::string> set;
+    std::vector<std::string> sorted;
+
+    void Insert(const std::string& value) {
+      if (set.insert(value).second) sorted.push_back(value);
+    }
+    void SortPool() { std::sort(sorted.begin(), sorted.end()); }
+  };
+
+  /// Rebuilds the derived sampling state — the value-token union, the
+  /// per-column and free-mode grammars, and their interned allow-list ids
+  /// — from the encoder. Called at the end of Fit and of Load; the
+  /// interning order is identical in both, which is what keeps a loaded
+  /// synthesizer's decode-cache keys (and token stream) equal to the
+  /// saved one's.
+  void BuildGrammars();
 
   Options options_;
   std::unique_ptr<TextualEncoder> encoder_;
   std::unique_ptr<LanguageModel> lm_;
-  /// Observed display strings per column, for validity checking.
-  std::vector<std::unordered_set<std::string>> observed_values_;
+  /// Observed display strings per column, for validity checking and
+  /// deterministic last-resort snapping.
+  std::vector<ObservedColumn> observed_values_;
   /// Union of every column's value tokens (free-value decoding mode).
   std::vector<TokenId> all_value_tokens_;
   /// Per-column tight grammars plus the free-mode union grammar, interned

@@ -1,0 +1,182 @@
+#include "synth/recovery_supervisor.h"
+
+#include <algorithm>
+#include <chrono>
+#include <thread>
+#include <utility>
+
+#include "obs/metrics.h"
+
+namespace greater {
+
+namespace {
+
+Counter& CallsCounter() {
+  static Counter* c = &MetricsRegistry::Global().GetCounter("recovery.calls");
+  return *c;
+}
+Counter& RetriesCounter() {
+  static Counter* c =
+      &MetricsRegistry::Global().GetCounter("recovery.retries");
+  return *c;
+}
+Counter& RecoveredCounter() {
+  static Counter* c =
+      &MetricsRegistry::Global().GetCounter("recovery.recovered");
+  return *c;
+}
+Counter& FailuresCounter() {
+  static Counter* c =
+      &MetricsRegistry::Global().GetCounter("recovery.failures");
+  return *c;
+}
+Counter& DegradedCounter() {
+  static Counter* c =
+      &MetricsRegistry::Global().GetCounter("recovery.degraded_calls");
+  return *c;
+}
+Counter& TripsCounter() {
+  static Counter* c =
+      &MetricsRegistry::Global().GetCounter("recovery.circuit_trips");
+  return *c;
+}
+Counter& DeadlineCounter() {
+  static Counter* c =
+      &MetricsRegistry::Global().GetCounter("recovery.deadline_exceeded");
+  return *c;
+}
+Counter& BackoffMsCounter() {
+  static Counter* c =
+      &MetricsRegistry::Global().GetCounter("recovery.backoff_ms_total");
+  return *c;
+}
+
+uint64_t SteadyClockMs() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::milliseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+void RealSleepMs(uint64_t ms) {
+  std::this_thread::sleep_for(std::chrono::milliseconds(ms));
+}
+
+}  // namespace
+
+RecoverySupervisor::RecoverySupervisor(const GreatSynthesizer* synth,
+                                       RecoveryOptions options)
+    : synth_(synth), options_(std::move(options)) {
+  if (!options_.clock_ms) options_.clock_ms = SteadyClockMs;
+  if (!options_.sleep_ms) options_.sleep_ms = RealSleepMs;
+}
+
+bool RecoverySupervisor::IsRecoverable(const Status& status) {
+  switch (status.code()) {
+    case StatusCode::kResourceExhausted:
+    case StatusCode::kDataLoss:
+    case StatusCode::kInternal:
+      return true;
+    default:
+      return false;
+  }
+}
+
+Result<Table> RecoverySupervisor::Sample(size_t n, Rng* rng,
+                                         SampleReport* report) {
+  return Supervise(
+      n,
+      [&](SamplePolicy policy, SampleReport* attempt_report) {
+        return synth_->SampleWithPolicy(n, policy, rng, attempt_report);
+      },
+      report);
+}
+
+Result<Table> RecoverySupervisor::SampleConditional(const Table& conditions,
+                                                    Rng* rng,
+                                                    SampleReport* report) {
+  return Supervise(
+      conditions.num_rows(),
+      [&](SamplePolicy policy, SampleReport* attempt_report) {
+        return synth_->SampleConditionalWithPolicy(conditions, policy, rng,
+                                                   attempt_report);
+      },
+      report);
+}
+
+Result<Table> RecoverySupervisor::Supervise(
+    size_t n,
+    const std::function<Result<Table>(SamplePolicy, SampleReport*)>& attempt,
+    SampleReport* report) {
+  CallsCounter().Increment();
+  const bool has_deadline = options_.row_deadline_ms > 0;
+  const uint64_t deadline =
+      has_deadline ? options_.clock_ms() + n * options_.row_deadline_ms : 0;
+
+  SamplePolicy policy = circuit_open_ ? SamplePolicy::kLenient
+                                      : synth_->options().policy;
+  uint64_t backoff = options_.backoff_initial_ms;
+  Status last_status = Status::OK();
+
+  for (size_t attempt_idx = 0; attempt_idx <= options_.max_retries;
+       ++attempt_idx) {
+    SampleReport attempt_report;
+    Result<Table> result = attempt(policy, &attempt_report);
+    if (result.ok()) {
+      if (report) report->Merge(attempt_report);
+      if (attempt_idx > 0) RecoveredCounter().Increment();
+      consecutive_failures_ = 0;
+      return result;
+    }
+    last_status = result.status();
+    if (!IsRecoverable(last_status)) {
+      // Deterministic failure (bad arguments, unfitted model): retrying
+      // cannot help, and it does not count against the breaker.
+      return last_status.WithContext("recovery supervisor: unrecoverable");
+    }
+    if (attempt_idx == options_.max_retries) break;
+    if (has_deadline && options_.clock_ms() + backoff > deadline) {
+      DeadlineCounter().Increment();
+      last_status = last_status.WithContext(
+          "recovery supervisor: row deadline budget of " +
+          std::to_string(n * options_.row_deadline_ms) + "ms exceeded");
+      break;
+    }
+    RetriesCounter().Increment();
+    BackoffMsCounter().Increment(backoff);
+    options_.sleep_ms(backoff);
+    backoff = std::min(
+        static_cast<uint64_t>(static_cast<double>(backoff) *
+                              options_.backoff_multiplier),
+        options_.backoff_max_ms);
+  }
+
+  // Retry budget (or deadline) exhausted: a call-level failure.
+  ++consecutive_failures_;
+  FailuresCounter().Increment();
+  bool just_tripped = false;
+  if (!circuit_open_ &&
+      consecutive_failures_ >= options_.circuit_failure_threshold) {
+    circuit_open_ = true;
+    just_tripped = true;
+    TripsCounter().Increment();
+  }
+  // One degraded attempt when the breaker (just) opened and the failing
+  // attempts were not already lenient: salvage partial output rather than
+  // surface an error the caller cannot act on.
+  if (just_tripped && policy != SamplePolicy::kLenient) {
+    DegradedCounter().Increment();
+    SampleReport attempt_report;
+    Result<Table> degraded = attempt(SamplePolicy::kLenient, &attempt_report);
+    if (degraded.ok()) {
+      if (report) report->Merge(attempt_report);
+      return degraded;
+    }
+    last_status = degraded.status();
+  }
+  return last_status.WithContext(
+      "recovery supervisor: " + std::to_string(options_.max_retries) +
+      " retries exhausted" + (circuit_open_ ? " (circuit open)" : ""));
+}
+
+}  // namespace greater

@@ -1,0 +1,109 @@
+#ifndef GREATER_SYNTH_RECOVERY_SUPERVISOR_H_
+#define GREATER_SYNTH_RECOVERY_SUPERVISOR_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "common/rng.h"
+#include "common/status.h"
+#include "synth/great_synthesizer.h"
+#include "synth/sample_report.h"
+#include "tabular/table.h"
+
+namespace greater {
+
+/// Configuration for RecoverySupervisor. All time values are wall-clock
+/// milliseconds; `clock_ms` / `sleep_ms` are injectable so tests can run
+/// deadline and backoff scenarios without real waiting.
+struct RecoveryOptions {
+  /// Retries per supervised call after the first attempt fails with a
+  /// recoverable Status (kResourceExhausted, kDataLoss, kInternal).
+  /// Invalid-argument / failed-precondition failures never retry — they
+  /// are deterministic and would fail identically forever.
+  size_t max_retries = 3;
+  /// Wall-clock budget per requested row: a call for n rows must finish
+  /// (including backoff waits) within n * row_deadline_ms. A retry whose
+  /// backoff would cross the deadline is abandoned instead of started.
+  /// 0 disables the deadline.
+  uint64_t row_deadline_ms = 0;
+  /// Exponential backoff between retries: initial, multiplier, cap.
+  uint64_t backoff_initial_ms = 10;
+  double backoff_multiplier = 2.0;
+  uint64_t backoff_max_ms = 1000;
+  /// Consecutive supervised-call failures (retry budgets fully exhausted)
+  /// before the circuit breaker trips. Once open, every call goes
+  /// straight to SamplePolicy::kLenient — the PR-1 graceful-degradation
+  /// mode that keeps whatever rows succeed — instead of burning retries
+  /// on a persistently failing strict path.
+  size_t circuit_failure_threshold = 3;
+  /// Monotonic clock in ms; defaults to std::chrono::steady_clock.
+  std::function<uint64_t()> clock_ms;
+  /// Sleep function for backoff waits; defaults to this_thread::sleep_for.
+  std::function<void(uint64_t)> sleep_ms;
+};
+
+/// Wraps a fitted GreatSynthesizer's sampling entry points with a
+/// recovery discipline (see DESIGN.md, "Durability & recovery"):
+///
+///   1. Capped exponential-backoff retries on recoverable failures —
+///      transient fault-injection trips, retry-budget exhaustion under
+///      strict policy, torn-state kInternal errors.
+///   2. A per-row deadline budget bounding the worst case: retries stop
+///      when the next backoff would cross n * row_deadline_ms.
+///   3. A circuit breaker: after `circuit_failure_threshold` consecutive
+///      calls exhaust their retries, the breaker opens and subsequent
+///      calls run degraded (SamplePolicy::kLenient) immediately. The call
+///      that trips the breaker also makes one final degraded attempt, so
+///      callers get partial output instead of an error when possible.
+///
+/// SampleReport reconciliation: only the *successful* attempt's counts
+/// merge into the caller's report, so `Reconciles()` keeps holding (a
+/// failed strict attempt aborts mid-accounting; its partial counts are
+/// visible in the synth.* metrics but never in the caller's report).
+///
+/// Exports recovery.calls / recovery.retries / recovery.recovered /
+/// recovery.failures / recovery.degraded_calls / recovery.circuit_trips /
+/// recovery.deadline_exceeded / recovery.backoff_ms_total through the
+/// metrics registry.
+///
+/// Not thread-safe: supervise one call at a time (matching the underlying
+/// synthesizer's contract for concurrent Sample* calls).
+class RecoverySupervisor {
+ public:
+  explicit RecoverySupervisor(const GreatSynthesizer* synth,
+                              RecoveryOptions options = RecoveryOptions());
+
+  /// Supervised GreatSynthesizer::Sample.
+  Result<Table> Sample(size_t n, Rng* rng, SampleReport* report = nullptr);
+
+  /// Supervised GreatSynthesizer::SampleConditional.
+  Result<Table> SampleConditional(const Table& conditions, Rng* rng,
+                                  SampleReport* report = nullptr);
+
+  /// True once the breaker has tripped; subsequent calls run degraded.
+  bool circuit_open() const { return circuit_open_; }
+  /// Consecutive fully-failed calls since the last success.
+  size_t consecutive_failures() const { return consecutive_failures_; }
+
+  /// True for Status codes worth retrying (transient by contract).
+  static bool IsRecoverable(const Status& status);
+
+ private:
+  /// Shared retry/deadline/breaker loop. `attempt` runs one sampling call
+  /// under the given policy, accumulating into the given fresh report.
+  Result<Table> Supervise(
+      size_t n,
+      const std::function<Result<Table>(SamplePolicy, SampleReport*)>&
+          attempt,
+      SampleReport* report);
+
+  const GreatSynthesizer* synth_;
+  RecoveryOptions options_;
+  bool circuit_open_ = false;
+  size_t consecutive_failures_ = 0;
+};
+
+}  // namespace greater
+
+#endif  // GREATER_SYNTH_RECOVERY_SUPERVISOR_H_

@@ -1,8 +1,17 @@
 #include "synth/relational_synthesizer.h"
 
 #include <algorithm>
+#include <utility>
+
+#include "common/artifact_io.h"
+#include "tabular/table_serde.h"
 
 namespace greater {
+
+namespace {
+constexpr char kRelationalKind[] = "greater.relational_synthesizer";
+constexpr uint32_t kRelationalVersion = 1;
+}  // namespace
 
 RelationalSynthesizer::RelationalSynthesizer(const Options& options)
     : options_(options),
@@ -195,6 +204,127 @@ Result<Table> RelationalSynthesizer::SampleChildren(
     }
   }
   return child_out;
+}
+
+Result<std::string> RelationalSynthesizer::SerializeBinary() const {
+  if (!fitted_) {
+    return Status::FailedPrecondition(
+        "cannot serialize an unfitted relational synthesizer");
+  }
+  ArtifactWriter doc(kRelationalKind, kRelationalVersion);
+  {
+    ByteWriter w;
+    w.PutString(options_.synthetic_key_prefix);
+    w.PutString(key_column_);
+    w.PutU32(static_cast<uint32_t>(parent_feature_columns_.size()));
+    for (const std::string& name : parent_feature_columns_) w.PutString(name);
+    w.PutU32(static_cast<uint32_t>(child_feature_columns_.size()));
+    for (const std::string& name : child_feature_columns_) w.PutString(name);
+    AppendSchema(parent_schema_, &w);
+    AppendSchema(child_schema_, &w);
+    w.PutU64(child_counts_.size());
+    for (size_t count : child_counts_) w.PutU64(count);
+    doc.AddChunk("meta", std::move(w).Take());
+  }
+  GREATER_ASSIGN_OR_RETURN_CTX(std::string parent_bytes,
+                               parent_model_.SerializeBinary(),
+                               "serializing the parent model");
+  doc.AddChunk("parent_model", std::move(parent_bytes));
+  GREATER_ASSIGN_OR_RETURN_CTX(std::string child_bytes,
+                               child_model_.SerializeBinary(),
+                               "serializing the child model");
+  doc.AddChunk("child_model", std::move(child_bytes));
+  return doc.Finish();
+}
+
+Status RelationalSynthesizer::DeserializeBinary(std::string_view bytes) {
+  GREATER_ASSIGN_OR_RETURN(
+      ArtifactReader doc,
+      ArtifactReader::Parse(std::string(bytes), kRelationalKind,
+                            kRelationalVersion));
+  // Build into a fresh instance so a corrupt artifact can never leave
+  // *this half-overwritten.
+  RelationalSynthesizer loaded;
+  {
+    GREATER_ASSIGN_OR_RETURN(std::string_view payload, doc.Chunk("meta"));
+    ByteReader r(payload);
+    GREATER_RETURN_NOT_OK(r.GetString(&loaded.options_.synthetic_key_prefix));
+    GREATER_RETURN_NOT_OK(r.GetString(&loaded.key_column_));
+    uint32_t num_parent_features = 0;
+    GREATER_RETURN_NOT_OK(r.GetU32(&num_parent_features));
+    loaded.parent_feature_columns_.resize(num_parent_features);
+    for (uint32_t i = 0; i < num_parent_features; ++i) {
+      GREATER_RETURN_NOT_OK(r.GetString(&loaded.parent_feature_columns_[i]));
+    }
+    uint32_t num_child_features = 0;
+    GREATER_RETURN_NOT_OK(r.GetU32(&num_child_features));
+    loaded.child_feature_columns_.resize(num_child_features);
+    for (uint32_t i = 0; i < num_child_features; ++i) {
+      GREATER_RETURN_NOT_OK(r.GetString(&loaded.child_feature_columns_[i]));
+    }
+    GREATER_RETURN_NOT_OK_CTX(ReadSchema(&r, &loaded.parent_schema_),
+                              "relational parent schema");
+    GREATER_RETURN_NOT_OK_CTX(ReadSchema(&r, &loaded.child_schema_),
+                              "relational child schema");
+    uint64_t num_counts = 0;
+    GREATER_RETURN_NOT_OK(r.GetU64(&num_counts));
+    if (num_counts > r.remaining() / 8) {
+      return Status::DataLoss(
+          "corrupt relational synthesizer: child-count list of " +
+          std::to_string(num_counts) + " entries exceeds payload");
+    }
+    loaded.child_counts_.resize(num_counts);
+    for (uint64_t i = 0; i < num_counts; ++i) {
+      uint64_t count = 0;
+      GREATER_RETURN_NOT_OK(r.GetU64(&count));
+      loaded.child_counts_[i] = static_cast<size_t>(count);
+    }
+    if (!std::is_sorted(loaded.child_counts_.begin(),
+                        loaded.child_counts_.end())) {
+      return Status::DataLoss(
+          "corrupt relational synthesizer: child-count list is not sorted");
+    }
+    GREATER_RETURN_NOT_OK(r.ExpectEnd());
+  }
+  {
+    GREATER_ASSIGN_OR_RETURN(std::string_view payload,
+                             doc.Chunk("parent_model"));
+    GREATER_RETURN_NOT_OK_CTX(loaded.parent_model_.DeserializeBinary(payload),
+                              "relational parent model");
+  }
+  {
+    GREATER_ASSIGN_OR_RETURN(std::string_view payload,
+                             doc.Chunk("child_model"));
+    GREATER_RETURN_NOT_OK_CTX(loaded.child_model_.DeserializeBinary(payload),
+                              "relational child model");
+  }
+  loaded.options_.parent = loaded.parent_model_.options();
+  loaded.options_.child = loaded.child_model_.options();
+  if (!loaded.parent_schema_.HasField(loaded.key_column_) ||
+      !loaded.child_schema_.HasField(loaded.key_column_)) {
+    return Status::DataLoss(
+        "corrupt relational synthesizer: key column '" + loaded.key_column_ +
+        "' missing from a stored schema");
+  }
+  loaded.fitted_ = true;
+  *this = std::move(loaded);
+  return Status::OK();
+}
+
+Status RelationalSynthesizer::Save(const std::string& path) const {
+  GREATER_ASSIGN_OR_RETURN_CTX(
+      std::string bytes, SerializeBinary(),
+      "saving relational synthesizer to '" + path + "'");
+  return AtomicWriteFile(path, bytes)
+      .WithContext("saving relational synthesizer to '" + path + "'");
+}
+
+Status RelationalSynthesizer::Load(const std::string& path) {
+  GREATER_ASSIGN_OR_RETURN_CTX(
+      std::string bytes, ReadFileBytes(path),
+      "loading relational synthesizer from '" + path + "'");
+  return DeserializeBinary(bytes)
+      .WithContext("loading relational synthesizer from '" + path + "'");
 }
 
 }  // namespace greater

@@ -4,6 +4,7 @@
 #include <map>
 #include <memory>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "common/rng.h"
@@ -73,6 +74,17 @@ class RelationalSynthesizer {
 
   /// Empirical children-per-parent counts observed at Fit (sorted).
   const std::vector<size_t>& child_counts() const { return child_counts_; }
+
+  /// Persistence of the fitted pair (artifact kind
+  /// "greater.relational_synthesizer"): key metadata, both schemas, the
+  /// children-per-parent distribution, and the two GreatSynthesizer
+  /// bundles nested as chunks. The bitwise replay contract of
+  /// GreatSynthesizer extends here: Save -> Load -> Sample(seed) equals
+  /// Sample(seed) on the saved instance. Requires fitted().
+  Result<std::string> SerializeBinary() const;
+  Status DeserializeBinary(std::string_view bytes);
+  Status Save(const std::string& path) const;
+  Status Load(const std::string& path);
 
  private:
   Options options_;

@@ -2,8 +2,11 @@
 
 #include <algorithm>
 #include <numeric>
+#include <utility>
 
+#include "common/artifact_io.h"
 #include "common/strings.h"
+#include "tabular/table_serde.h"
 
 namespace greater {
 
@@ -206,6 +209,123 @@ Result<Row> TextualEncoder::DecodeTokens(const TokenSequence& tokens) const {
 
 bool TextualEncoder::IsObservedValueToken(size_t column, TokenId token) const {
   return value_token_sets_[column].count(token) > 0;
+}
+
+std::string TextualEncoder::SerializeBinary() const {
+  ArtifactWriter doc("greater.textual_encoder", 1);
+  {
+    ByteWriter w;
+    w.PutU64(options_.permutations_per_row);
+    w.PutBool(options_.permute_features);
+    w.PutU32(static_cast<uint32_t>(is_token_));
+    w.PutU32(static_cast<uint32_t>(comma_token_));
+    doc.AddChunk("options", std::move(w).Take());
+  }
+  {
+    ByteWriter w;
+    AppendSchema(schema_, &w);
+    doc.AddChunk("schema", std::move(w).Take());
+  }
+  doc.AddChunk("vocab", vocab_.SerializeBinary());
+  {
+    ByteWriter w;
+    w.PutU32(static_cast<uint32_t>(columns_.size()));
+    for (const EncodedColumn& col : columns_) {
+      w.PutString(col.name);
+      w.PutU32(static_cast<uint32_t>(col.name_token));
+      w.PutU32(static_cast<uint32_t>(col.value_tokens.size()));
+      for (TokenId id : col.value_tokens) {
+        w.PutU32(static_cast<uint32_t>(id));
+      }
+    }
+    doc.AddChunk("columns", std::move(w).Take());
+  }
+  return doc.Finish();
+}
+
+Status TextualEncoder::DeserializeBinary(std::string_view bytes) {
+  GREATER_ASSIGN_OR_RETURN(
+      ArtifactReader doc,
+      ArtifactReader::Parse(std::string(bytes), "greater.textual_encoder",
+                            1));
+  TextualEncoder enc;
+  {
+    GREATER_ASSIGN_OR_RETURN(std::string_view payload, doc.Chunk("options"));
+    ByteReader r(payload);
+    GREATER_RETURN_NOT_OK(r.GetU64(&enc.options_.permutations_per_row));
+    GREATER_RETURN_NOT_OK(r.GetBool(&enc.options_.permute_features));
+    uint32_t is_token = 0, comma_token = 0;
+    GREATER_RETURN_NOT_OK(r.GetU32(&is_token));
+    GREATER_RETURN_NOT_OK(r.GetU32(&comma_token));
+    enc.is_token_ = static_cast<TokenId>(is_token);
+    enc.comma_token_ = static_cast<TokenId>(comma_token);
+    GREATER_RETURN_NOT_OK(r.ExpectEnd());
+  }
+  {
+    GREATER_ASSIGN_OR_RETURN(std::string_view payload, doc.Chunk("schema"));
+    ByteReader r(payload);
+    GREATER_RETURN_NOT_OK_CTX(ReadSchema(&r, &enc.schema_),
+                              "encoder schema");
+    GREATER_RETURN_NOT_OK(r.ExpectEnd());
+  }
+  {
+    GREATER_ASSIGN_OR_RETURN(std::string_view payload, doc.Chunk("vocab"));
+    GREATER_RETURN_NOT_OK_CTX(enc.vocab_.DeserializeBinary(payload),
+                              "encoder vocabulary");
+  }
+  {
+    GREATER_ASSIGN_OR_RETURN(std::string_view payload, doc.Chunk("columns"));
+    ByteReader r(payload);
+    uint32_t num_columns = 0;
+    GREATER_RETURN_NOT_OK(r.GetU32(&num_columns));
+    if (num_columns != enc.schema_.num_fields()) {
+      return Status::DataLoss("corrupt encoder: " +
+                              std::to_string(num_columns) +
+                              " columns for a schema of " +
+                              std::to_string(enc.schema_.num_fields()));
+    }
+    enc.columns_.resize(num_columns);
+    enc.value_token_sets_.resize(num_columns);
+    for (uint32_t c = 0; c < num_columns; ++c) {
+      EncodedColumn& col = enc.columns_[c];
+      GREATER_RETURN_NOT_OK(r.GetString(&col.name));
+      uint32_t name_token = 0;
+      GREATER_RETURN_NOT_OK(r.GetU32(&name_token));
+      col.name_token = static_cast<TokenId>(name_token);
+      uint32_t num_tokens = 0;
+      GREATER_RETURN_NOT_OK(r.GetU32(&num_tokens));
+      col.value_tokens.reserve(num_tokens);
+      for (uint32_t i = 0; i < num_tokens; ++i) {
+        uint32_t id = 0;
+        GREATER_RETURN_NOT_OK(r.GetU32(&id));
+        col.value_tokens.push_back(static_cast<TokenId>(id));
+        enc.value_token_sets_[c].insert(static_cast<TokenId>(id));
+      }
+      if (!std::is_sorted(col.value_tokens.begin(),
+                          col.value_tokens.end())) {
+        return Status::DataLoss("corrupt encoder: value tokens of column '" +
+                                col.name + "' are not sorted");
+      }
+      // Re-intern in column order — the same order Build used — so every
+      // column's allow-list id matches the saved encoder's.
+      col.allow_list_id = enc.allow_lists_.Intern(col.value_tokens);
+    }
+    GREATER_RETURN_NOT_OK(r.ExpectEnd());
+  }
+  *this = std::move(enc);
+  return Status::OK();
+}
+
+Status TextualEncoder::Save(const std::string& path) const {
+  return AtomicWriteFile(path, SerializeBinary())
+      .WithContext("saving textual encoder to '" + path + "'");
+}
+
+Status TextualEncoder::Load(const std::string& path) {
+  GREATER_ASSIGN_OR_RETURN_CTX(std::string bytes, ReadFileBytes(path),
+                               "loading textual encoder from '" + path + "'");
+  return DeserializeBinary(bytes)
+      .WithContext("loading textual encoder from '" + path + "'");
 }
 
 }  // namespace greater

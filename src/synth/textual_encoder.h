@@ -2,6 +2,7 @@
 #define GREATER_SYNTH_TEXTUAL_ENCODER_H_
 
 #include <string>
+#include <string_view>
 #include <unordered_set>
 #include <vector>
 
@@ -100,6 +101,17 @@ class TextualEncoder {
 
   /// Converts a decoded value string into the column's physical type.
   Result<Value> ParseValue(size_t column, const std::string& text) const;
+
+  /// Persistence (artifact kind "greater.textual_encoder"): options,
+  /// schema, the full vocabulary (as a nested artifact), and every
+  /// column's grammar metadata. Load rebuilds the derived state — value
+  /// token sets and the allow-list interner, re-interned in column order
+  /// exactly as Build does — so a loaded encoder's ids match the saved
+  /// one's everywhere.
+  std::string SerializeBinary() const;
+  Status DeserializeBinary(std::string_view bytes);
+  Status Save(const std::string& path) const;
+  Status Load(const std::string& path);
 
  private:
   Options options_;

@@ -4,6 +4,7 @@
 #include <sstream>
 #include <string_view>
 
+#include "common/artifact_io.h"
 #include "common/fault.h"
 #include "common/strings.h"
 #include "obs/metrics.h"
@@ -231,15 +232,11 @@ std::string WriteCsvString(const Table& table, char delimiter) {
 
 Status WriteCsvFile(const Table& table, const std::string& path,
                     char delimiter) {
-  std::ofstream out(path, std::ios::binary);
-  if (!out) {
-    return Status::Invalid("cannot open '" + path + "' for writing");
-  }
-  out << WriteCsvString(table, delimiter);
-  if (!out) {
-    return Status::DataLoss("write to '" + path + "' failed");
-  }
-  return Status::OK();
+  // Atomic tmp-write + rename: a crash (or an injected "ckpt.write" fault)
+  // can never leave a truncated CSV — readers see the previous file or the
+  // complete new one.
+  return AtomicWriteFile(path, WriteCsvString(table, delimiter))
+      .WithContext("writing CSV '" + path + "'");
 }
 
 }  // namespace greater

@@ -1,0 +1,34 @@
+#ifndef GREATER_TABULAR_TABLE_SERDE_H_
+#define GREATER_TABULAR_TABLE_SERDE_H_
+
+#include "common/artifact_io.h"
+#include "common/status.h"
+#include "tabular/schema.h"
+#include "tabular/table.h"
+#include "tabular/value.h"
+
+namespace greater {
+
+/// Binary codecs for the tabular core, used by every persisted artifact
+/// that embeds rows (pipeline stage checkpoints, mapping tables). Unlike a
+/// CSV round-trip these preserve physical types, nulls, and exact double
+/// bit patterns — the properties the byte-identical resume contract needs.
+
+/// Value: u8 type tag + payload (int64 / double bits / length-prefixed
+/// string; null has no payload).
+void AppendValue(const Value& value, ByteWriter* w);
+Status ReadValue(ByteReader* r, Value* out);
+
+/// Field / Schema: name + physical type + semantic role per field.
+void AppendSchema(const Schema& schema, ByteWriter* w);
+Status ReadSchema(ByteReader* r, Schema* out);
+
+/// Table: schema, row count, then cells row-major. Reading re-validates
+/// every row against the schema (a corrupt artifact can fail typed, never
+/// build an inconsistent table).
+void AppendTable(const Table& table, ByteWriter* w);
+Status ReadTable(ByteReader* r, Table* out);
+
+}  // namespace greater
+
+#endif  // GREATER_TABULAR_TABLE_SERDE_H_

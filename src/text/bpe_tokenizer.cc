@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <unordered_map>
 
+#include "common/artifact_io.h"
 #include "common/strings.h"
 #include "text/word_tokenizer.h"
 
@@ -149,6 +150,55 @@ std::string BpeTokenizer::Detokenize(
   if (!current.empty()) words.push_back(std::move(current));
   WordTokenizer word_tokenizer;
   return word_tokenizer.Detokenize(words);
+}
+
+std::string BpeTokenizer::SerializeBinary() const {
+  ByteWriter w;
+  w.PutU32(static_cast<uint32_t>(merges_.size()));
+  for (const auto& [left, right] : merges_) {
+    w.PutString(left);
+    w.PutString(right);
+  }
+  ArtifactWriter doc("greater.bpe_tokenizer", 1);
+  doc.AddChunk("merges", std::move(w).Take());
+  return doc.Finish();
+}
+
+Status BpeTokenizer::DeserializeBinary(std::string_view bytes) {
+  GREATER_ASSIGN_OR_RETURN(
+      ArtifactReader doc,
+      ArtifactReader::Parse(std::string(bytes), "greater.bpe_tokenizer", 1));
+  GREATER_ASSIGN_OR_RETURN(std::string_view payload, doc.Chunk("merges"));
+  ByteReader r(payload);
+  uint32_t count = 0;
+  GREATER_RETURN_NOT_OK(r.GetU32(&count));
+  std::vector<std::pair<std::string, std::string>> merges;
+  merges.reserve(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    std::string left, right;
+    GREATER_RETURN_NOT_OK(r.GetString(&left));
+    GREATER_RETURN_NOT_OK(r.GetString(&right));
+    merges.emplace_back(std::move(left), std::move(right));
+  }
+  GREATER_RETURN_NOT_OK(r.ExpectEnd());
+  merges_ = std::move(merges);
+  merge_rank_.clear();
+  for (size_t rank = 0; rank < merges_.size(); ++rank) {
+    merge_rank_[merges_[rank]] = rank;
+  }
+  return Status::OK();
+}
+
+Status BpeTokenizer::Save(const std::string& path) const {
+  return AtomicWriteFile(path, SerializeBinary())
+      .WithContext("saving BPE tokenizer to '" + path + "'");
+}
+
+Status BpeTokenizer::Load(const std::string& path) {
+  GREATER_ASSIGN_OR_RETURN_CTX(std::string bytes, ReadFileBytes(path),
+                               "loading BPE tokenizer from '" + path + "'");
+  return DeserializeBinary(bytes)
+      .WithContext("loading BPE tokenizer from '" + path + "'");
 }
 
 }  // namespace greater

@@ -3,6 +3,7 @@
 
 #include <map>
 #include <string>
+#include <string_view>
 #include <utility>
 #include <vector>
 
@@ -51,6 +52,14 @@ class BpeTokenizer {
   const std::vector<std::pair<std::string, std::string>>& merges() const {
     return merges_;
   }
+
+  /// Persistence (artifact kind "greater.bpe_tokenizer"): the ranked merge
+  /// list is the tokenizer's entire state; the rank index is rebuilt on
+  /// load, so a round-trip encodes every word identically.
+  std::string SerializeBinary() const;
+  Status DeserializeBinary(std::string_view bytes);
+  Status Save(const std::string& path) const;
+  Status Load(const std::string& path);
 
  private:
   std::vector<std::pair<std::string, std::string>> merges_;

@@ -57,6 +57,15 @@ class Vocabulary {
   /// Decodes an id sequence, skipping pad/bos/eos.
   std::vector<std::string> Decode(const std::vector<TokenId>& ids) const;
 
+  /// Persistence (artifact kind "greater.vocabulary"; see DESIGN.md,
+  /// "Durability & recovery"). SerializeBinary emits a full artifact
+  /// document so vocabularies embed unchanged inside encoder/synthesizer
+  /// bundles; a round-trip preserves every token at its exact id.
+  std::string SerializeBinary() const;
+  Status DeserializeBinary(std::string_view bytes);
+  Status Save(const std::string& path) const;
+  Status Load(const std::string& path);
+
  private:
   std::vector<std::string> tokens_;
   std::unordered_map<std::string, TokenId> index_;

@@ -2,6 +2,8 @@
 
 #include <cctype>
 
+#include "common/artifact_io.h"
+
 namespace greater {
 namespace {
 
@@ -47,6 +49,30 @@ std::string WordTokenizer::Detokenize(
     out += token;
   }
   return out;
+}
+
+std::string WordTokenizer::SerializeBinary() const {
+  return ArtifactWriter("greater.word_tokenizer", 1).Finish();
+}
+
+Status WordTokenizer::DeserializeBinary(std::string_view bytes) {
+  GREATER_ASSIGN_OR_RETURN(
+      ArtifactReader doc,
+      ArtifactReader::Parse(std::string(bytes), "greater.word_tokenizer", 1));
+  (void)doc;
+  return Status::OK();
+}
+
+Status WordTokenizer::Save(const std::string& path) const {
+  return AtomicWriteFile(path, SerializeBinary())
+      .WithContext("saving word tokenizer to '" + path + "'");
+}
+
+Status WordTokenizer::Load(const std::string& path) {
+  GREATER_ASSIGN_OR_RETURN_CTX(std::string bytes, ReadFileBytes(path),
+                               "loading word tokenizer from '" + path + "'");
+  return DeserializeBinary(bytes)
+      .WithContext("loading word tokenizer from '" + path + "'");
 }
 
 }  // namespace greater

@@ -2,7 +2,10 @@
 #define GREATER_TEXT_WORD_TOKENIZER_H_
 
 #include <string>
+#include <string_view>
 #include <vector>
+
+#include "common/status.h"
 
 namespace greater {
 
@@ -23,6 +26,14 @@ class WordTokenizer {
   /// single spaces but attaches punctuation to the preceding token
   /// ("2 ," -> "2,").
   std::string Detokenize(const std::vector<std::string>& tokens) const;
+
+  /// Persistence for API uniformity with BpeTokenizer (artifact kind
+  /// "greater.word_tokenizer"). The tokenizer is stateless, so the
+  /// artifact is a chunkless marker document; Load only validates it.
+  std::string SerializeBinary() const;
+  Status DeserializeBinary(std::string_view bytes);
+  Status Save(const std::string& path) const;
+  Status Load(const std::string& path);
 };
 
 }  // namespace greater

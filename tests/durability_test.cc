@@ -1,0 +1,682 @@
+// Durability suite: the artifact container's typed failure taxonomy
+// (truncation sweeps, CRC flips, version skew), atomic-write crash
+// semantics under injected ckpt.* faults, bitwise Save -> Load -> Sample
+// identity for the trained stack, and stage-level pipeline resume.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "common/artifact_io.h"
+#include "common/fault.h"
+#include "common/rng.h"
+#include "crosstable/pipeline.h"
+#include "datagen/digix.h"
+#include "obs/metrics.h"
+#include "semantic/mapping.h"
+#include "synth/great_synthesizer.h"
+#include "synth/relational_synthesizer.h"
+#include "tabular/csv.h"
+#include "text/vocabulary.h"
+
+namespace greater {
+namespace {
+
+namespace fs = std::filesystem;
+
+// Fresh scratch directory per test name; wiped up front so reruns start
+// clean.
+fs::path ScratchDir(const std::string& name) {
+  fs::path dir = fs::path(testing::TempDir()) / ("greater_" + name);
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+  return dir;
+}
+
+std::string Slurp(const fs::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  return std::string(std::istreambuf_iterator<char>(in),
+                     std::istreambuf_iterator<char>());
+}
+
+void Spit(const fs::path& path, const std::string& bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+}
+
+Table SmallTable() {
+  Schema schema({Field("name", ValueType::kString),
+                 Field("lunch", ValueType::kInt),
+                 Field("dinner", ValueType::kInt)});
+  Table t(schema);
+  const char* names[] = {"Grace", "Yin", "Anson"};
+  Rng rng(5);
+  for (int i = 0; i < 45; ++i) {
+    int64_t lunch = rng.UniformInt(1, 2);
+    int64_t dinner = rng.Bernoulli(0.8) ? lunch : rng.UniformInt(1, 2);
+    EXPECT_TRUE(
+        t.AppendRow({Value(names[i % 3]), Value(lunch), Value(dinner)}).ok());
+  }
+  return t;
+}
+
+class DurabilityTest : public testing::Test {
+ protected:
+  void TearDown() override { FaultRegistry::Global().DisarmAll(); }
+};
+
+// ---------- byte codec ----------
+
+TEST(ByteCodecTest, RoundTripsEveryPrimitive) {
+  ByteWriter w;
+  w.PutU8(0xab);
+  w.PutBool(true);
+  w.PutU32(0xdeadbeef);
+  w.PutU64(0x0123456789abcdefULL);
+  w.PutI64(-42);
+  w.PutF64(-0.0);  // signed zero must survive bitwise
+  w.PutString(std::string_view("with,comma\nand newline\0byte", 27));
+  std::string payload = std::move(w).Take();
+
+  ByteReader r(payload);
+  uint8_t u8;
+  bool b;
+  uint32_t u32;
+  uint64_t u64;
+  int64_t i64;
+  double f64;
+  std::string s;
+  ASSERT_TRUE(r.GetU8(&u8).ok());
+  ASSERT_TRUE(r.GetBool(&b).ok());
+  ASSERT_TRUE(r.GetU32(&u32).ok());
+  ASSERT_TRUE(r.GetU64(&u64).ok());
+  ASSERT_TRUE(r.GetI64(&i64).ok());
+  ASSERT_TRUE(r.GetF64(&f64).ok());
+  ASSERT_TRUE(r.GetString(&s).ok());
+  EXPECT_EQ(u8, 0xab);
+  EXPECT_TRUE(b);
+  EXPECT_EQ(u32, 0xdeadbeefu);
+  EXPECT_EQ(u64, 0x0123456789abcdefULL);
+  EXPECT_EQ(i64, -42);
+  EXPECT_TRUE(std::signbit(f64));
+  EXPECT_EQ(s, std::string("with,comma\nand newline\0byte", 27u));
+  EXPECT_TRUE(r.ExpectEnd().ok());
+}
+
+TEST(ByteCodecTest, EveryTruncationFailsTyped) {
+  ByteWriter w;
+  w.PutU64(7);
+  w.PutString("abc");
+  w.PutF64(1.5);
+  std::string payload = std::move(w).Take();
+  for (size_t len = 0; len < payload.size(); ++len) {
+    ByteReader r(std::string_view(payload).substr(0, len));
+    uint64_t u64;
+    std::string s;
+    double f64;
+    Status status = r.GetU64(&u64);
+    if (status.ok()) status = r.GetString(&s);
+    if (status.ok()) status = r.GetF64(&f64);
+    ASSERT_FALSE(status.ok()) << "length " << len;
+    EXPECT_EQ(status.code(), StatusCode::kDataLoss) << "length " << len;
+  }
+}
+
+// ---------- artifact container ----------
+
+std::string SampleDoc() {
+  ArtifactWriter doc("greater.test_artifact", 3);
+  doc.AddChunk("alpha", "payload one");
+  doc.AddChunk("beta", std::string("\x00\x01\x02", 3));
+  return doc.Finish();
+}
+
+TEST(ArtifactTest, RoundTripsChunksAndMetadata) {
+  ArtifactReader doc =
+      ArtifactReader::Parse(SampleDoc(), "greater.test_artifact", 3)
+          .ValueOrDie();
+  EXPECT_EQ(doc.kind(), "greater.test_artifact");
+  EXPECT_EQ(doc.version(), 3u);
+  EXPECT_TRUE(doc.HasChunk("alpha"));
+  EXPECT_FALSE(doc.HasChunk("gamma"));
+  EXPECT_EQ(doc.Chunk("alpha").ValueOrDie(), "payload one");
+  EXPECT_EQ(doc.Chunk("beta").ValueOrDie(), std::string("\x00\x01\x02", 3));
+  EXPECT_EQ(doc.Chunk("gamma").status().code(), StatusCode::kNotFound);
+}
+
+TEST(ArtifactTest, KindAndVersionMismatchesFailPrecondition) {
+  std::string bytes = SampleDoc();
+  auto wrong_kind = ArtifactReader::Parse(bytes, "greater.other", 3);
+  ASSERT_FALSE(wrong_kind.ok());
+  EXPECT_EQ(wrong_kind.status().code(), StatusCode::kFailedPrecondition);
+  auto too_new = ArtifactReader::Parse(bytes, "greater.test_artifact", 2);
+  ASSERT_FALSE(too_new.ok());
+  EXPECT_EQ(too_new.status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(ArtifactTest, EveryTruncationFailsTypedNeverCrashes) {
+  // The crash-mid-write model: a torn write can persist any prefix.
+  // Whatever the cut point — mid-magic, mid-header, mid-chunk, mid-CRC —
+  // parsing must fail with kDataLoss, never crash or half-succeed.
+  std::string bytes = SampleDoc();
+  for (size_t len = 0; len < bytes.size(); ++len) {
+    auto result =
+        ArtifactReader::Parse(bytes.substr(0, len), "greater.test_artifact",
+                              3);
+    ASSERT_FALSE(result.ok()) << "prefix length " << len;
+    EXPECT_EQ(result.status().code(), StatusCode::kDataLoss)
+        << "prefix length " << len << ": " << result.status().ToString();
+  }
+}
+
+TEST(ArtifactTest, EverySingleBitFlipIsDetected) {
+  std::string bytes = SampleDoc();
+  for (size_t i = 0; i < bytes.size(); ++i) {
+    std::string corrupt = bytes;
+    corrupt[i] = static_cast<char>(corrupt[i] ^ 0x40);
+    auto result =
+        ArtifactReader::Parse(corrupt, "greater.test_artifact", 3);
+    EXPECT_FALSE(result.ok()) << "flipped byte " << i;
+  }
+}
+
+TEST(ArtifactTest, TrailingGarbageIsDataLoss) {
+  auto result = ArtifactReader::Parse(SampleDoc() + "x",
+                                      "greater.test_artifact", 3);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kDataLoss);
+}
+
+TEST(ArtifactTest, Crc32MatchesKnownVector) {
+  // The IEEE 802.3 check value for "123456789".
+  EXPECT_EQ(Crc32("123456789"), 0xcbf43926u);
+  // Chaining property used by incremental writers.
+  EXPECT_EQ(Crc32("6789", Crc32("12345")), Crc32("123456789"));
+}
+
+// ---------- atomic writes under injected faults ----------
+
+TEST_F(DurabilityTest, AtomicWriteReplacesOrPreservesNeverTears) {
+  fs::path dir = ScratchDir("atomic");
+  fs::path target = dir / "data.bin";
+  ASSERT_TRUE(AtomicWriteFile(target.string(), "generation one").ok());
+  EXPECT_EQ(Slurp(target), "generation one");
+
+  // A fired ckpt.write fault models a crash before any filesystem
+  // mutation: the previous generation must survive untouched.
+  {
+    FaultSpec spec;
+    spec.code = StatusCode::kResourceExhausted;
+    spec.message = "disk full";
+    ScopedFault fault("ckpt.write", spec);
+    Status status = AtomicWriteFile(target.string(), "generation two");
+    ASSERT_FALSE(status.ok());
+    EXPECT_EQ(status.code(), StatusCode::kResourceExhausted);
+  }
+  EXPECT_EQ(Slurp(target), "generation one");
+
+  ASSERT_TRUE(AtomicWriteFile(target.string(), "generation two").ok());
+  EXPECT_EQ(Slurp(target), "generation two");
+}
+
+TEST_F(DurabilityTest, CsvWriteGoesThroughAtomicWriterRegression) {
+  // Satellite regression: WriteCsvFile routes through AtomicWriteFile, so
+  // an injected write fault leaves the previous CSV intact instead of a
+  // truncated half-file.
+  fs::path dir = ScratchDir("csv_atomic");
+  fs::path target = dir / "out.csv";
+  Table t = SmallTable();
+  ASSERT_TRUE(WriteCsvFile(t, target.string()).ok());
+  std::string before = Slurp(target);
+  ASSERT_FALSE(before.empty());
+
+  FaultSpec spec;
+  spec.code = StatusCode::kDataLoss;
+  spec.message = "torn write";
+  ScopedFault fault("ckpt.write", spec);
+  Status status = WriteCsvFile(t, target.string());
+  ASSERT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kDataLoss);
+  EXPECT_EQ(Slurp(target), before);
+}
+
+TEST_F(DurabilityTest, ReadFaultSurfacesThroughLoad) {
+  fs::path dir = ScratchDir("read_fault");
+  fs::path target = dir / "model.bin";
+  GreatSynthesizer synth;
+  Rng rng(3);
+  ASSERT_TRUE(synth.Fit(SmallTable(), &rng).ok());
+  ASSERT_TRUE(synth.Save(target.string()).ok());
+
+  FaultSpec spec;
+  spec.code = StatusCode::kDataLoss;
+  spec.message = "bit rot";
+  ScopedFault fault("ckpt.read", spec);
+  GreatSynthesizer loaded;
+  Status status = loaded.Load(target.string());
+  ASSERT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kDataLoss);
+  EXPECT_FALSE(loaded.fitted());
+}
+
+// ---------- mapping system: adversarial round-trips ----------
+
+TEST(MappingSerdeTest, AdversarialValuesRoundTripExactly) {
+  // Property-style sweep over the strings the legacy CSV format mangled:
+  // separators, quotes, newlines, empties, NUL bytes, and doubles whose
+  // decimal rendering is lossy.
+  std::vector<std::string> nasty = {
+      "",        ",",          "\n",           "\r\n",     "\"quoted\"",
+      "a,b,c",   "line\nfeed", "tab\tstop",    " leading", "trailing ",
+      "=escape", "\\back",     std::string("nul\0byte", 8)};
+  std::vector<ColumnMapping> mappings;
+  ColumnMapping strings;
+  strings.column = "labels";
+  strings.original_type = ValueType::kString;
+  for (size_t i = 0; i < nasty.size(); ++i) {
+    strings.forward[Value(nasty[i])] =
+        Value("replacement " + std::to_string(i) + " " + nasty[i]);
+  }
+  mappings.push_back(strings);
+  ColumnMapping numbers;
+  numbers.column = "codes";
+  numbers.original_type = ValueType::kDouble;
+  numbers.forward[Value(0.1)] = Value("point one");
+  numbers.forward[Value(1.0 / 3.0)] = Value("a third");
+  numbers.forward[Value(-0.0)] = Value("negative zero");
+  mappings.push_back(numbers);
+  ColumnMapping ints;
+  ints.column = "ids";
+  ints.original_type = ValueType::kInt;
+  ints.forward[Value(static_cast<int64_t>(-7))] = Value("minus seven");
+  mappings.push_back(ints);
+
+  MappingSystem original = MappingSystem::Make(std::move(mappings)).ValueOrDie();
+  MappingSystem decoded =
+      MappingSystem::Deserialize(original.Serialize()).ValueOrDie();
+
+  ASSERT_EQ(decoded.mappings().size(), original.mappings().size());
+  for (size_t m = 0; m < original.mappings().size(); ++m) {
+    const ColumnMapping& a = original.mappings()[m];
+    const ColumnMapping& b = decoded.mappings()[m];
+    EXPECT_EQ(a.column, b.column);
+    EXPECT_EQ(a.original_type, b.original_type);
+    ASSERT_EQ(a.forward.size(), b.forward.size());
+    auto ita = a.forward.begin();
+    auto itb = b.forward.begin();
+    for (; ita != a.forward.end(); ++ita, ++itb) {
+      EXPECT_TRUE(ita->first == itb->first);
+      EXPECT_TRUE(ita->second == itb->second);
+    }
+  }
+  // Serialization is deterministic: equal systems, equal bytes.
+  EXPECT_EQ(original.Serialize(), decoded.Serialize());
+}
+
+TEST(MappingSerdeTest, LegacyTextFormatStillParses) {
+  // Pre-binary releases stored a CSV-ish text table; Deserialize sniffs
+  // the magic and must keep accepting the old form.
+  std::string legacy =
+      "column,original_type,original,replacement\n"
+      "genre,string,RPG,Coffee\n"
+      "genre,string,MOBA,Tea\n";
+  MappingSystem decoded = MappingSystem::Deserialize(legacy).ValueOrDie();
+  ASSERT_EQ(decoded.mappings().size(), 1u);
+  EXPECT_EQ(decoded.mappings()[0].column, "genre");
+  EXPECT_EQ(decoded.mappings()[0].forward.size(), 2u);
+}
+
+TEST_F(DurabilityTest, MappingSaveLoadFileRoundTrip) {
+  fs::path dir = ScratchDir("mapping");
+  ColumnMapping m;
+  m.column = "genre";
+  m.original_type = ValueType::kString;
+  m.forward[Value("RPG")] = Value("Coffee, black\nno sugar");
+  MappingSystem original = MappingSystem::Make({m}).ValueOrDie();
+  fs::path target = dir / "mapping.bin";
+  ASSERT_TRUE(original.Save(target.string()).ok());
+  MappingSystem loaded;
+  ASSERT_TRUE(loaded.Load(target.string()).ok());
+  EXPECT_EQ(loaded.Serialize(), original.Serialize());
+}
+
+// ---------- trained-stack round trips ----------
+
+TEST(VocabularySerdeTest, RoundTripPreservesIdsExactly) {
+  Vocabulary vocab;
+  TokenId a = vocab.AddToken("alpha");
+  TokenId b = vocab.AddToken("beta, with comma");
+  Vocabulary loaded;
+  ASSERT_TRUE(loaded.DeserializeBinary(vocab.SerializeBinary()).ok());
+  EXPECT_EQ(loaded.size(), vocab.size());
+  EXPECT_EQ(loaded.IdOf("alpha"), a);
+  EXPECT_EQ(loaded.IdOf("beta, with comma"), b);
+  EXPECT_EQ(loaded.SerializeBinary(), vocab.SerializeBinary());
+}
+
+template <typename MakeOptions>
+void ExpectBitwiseSaveLoadSample(MakeOptions make_options,
+                                 const std::string& tag) {
+  fs::path dir = ScratchDir("bundle_" + tag);
+  GreatSynthesizer::Options options = make_options();
+  GreatSynthesizer original(options);
+  Rng fit_rng(11);
+  ASSERT_TRUE(original.Fit(SmallTable(), &fit_rng).ok());
+
+  fs::path target = dir / "model.bin";
+  ASSERT_TRUE(original.Save(target.string()).ok());
+  GreatSynthesizer loaded;
+  ASSERT_TRUE(loaded.Load(target.string()).ok());
+  ASSERT_TRUE(loaded.fitted());
+
+  // The acceptance bar: the loaded synthesizer draws the exact seeded
+  // sample stream of the in-memory one.
+  Rng rng_a(99), rng_b(99);
+  Table sample_a = original.Sample(25, &rng_a).ValueOrDie();
+  Table sample_b = loaded.Sample(25, &rng_b).ValueOrDie();
+  EXPECT_TRUE(sample_a == sample_b) << tag;
+  EXPECT_EQ(WriteCsvString(sample_a), WriteCsvString(sample_b)) << tag;
+  // And re-serialization is stable: Save(Load(x)) == x.
+  EXPECT_EQ(loaded.SerializeBinary().ValueOrDie(),
+            original.SerializeBinary().ValueOrDie())
+      << tag;
+}
+
+TEST_F(DurabilityTest, NGramSynthesizerSaveLoadSampleBitwise) {
+  ExpectBitwiseSaveLoadSample(
+      [] {
+        GreatSynthesizer::Options options;
+        options.backbone = GreatSynthesizer::Backbone::kNGram;
+        options.prior_corpus = {"the lunch was type one",
+                                "dinner follows lunch"};
+        return options;
+      },
+      "ngram");
+}
+
+TEST_F(DurabilityTest, NeuralSynthesizerSaveLoadSampleBitwise) {
+  ExpectBitwiseSaveLoadSample(
+      [] {
+        GreatSynthesizer::Options options;
+        options.backbone = GreatSynthesizer::Backbone::kNeural;
+        options.neural.epochs = 2;
+        options.neural.embed_dim = 8;
+        options.neural.hidden_dim = 12;
+        return options;
+      },
+      "neural");
+}
+
+TEST_F(DurabilityTest, UnfittedSynthesizerRefusesToSerialize) {
+  GreatSynthesizer synth;
+  auto result = synth.SerializeBinary();
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST_F(DurabilityTest, SynthesizerBundleTruncationSweepFailsTyped) {
+  // Crash-mid-write against the real bundle: every prefix of the saved
+  // file must load as a typed corruption error, and the target object
+  // must stay unfitted (no partial state).
+  GreatSynthesizer synth;
+  Rng rng(3);
+  ASSERT_TRUE(synth.Fit(SmallTable(), &rng).ok());
+  std::string bytes = synth.SerializeBinary().ValueOrDie();
+  fs::path dir = ScratchDir("truncation");
+  fs::path target = dir / "torn.bin";
+  // A full byte-by-byte sweep is slow on a multi-KB bundle; cut at every
+  // boundary in the header region and then at a stride, plus the tail.
+  std::vector<size_t> cuts;
+  for (size_t i = 0; i < std::min<size_t>(bytes.size(), 64); ++i) {
+    cuts.push_back(i);
+  }
+  for (size_t i = 64; i < bytes.size(); i += 41) cuts.push_back(i);
+  cuts.push_back(bytes.size() - 1);
+  for (size_t len : cuts) {
+    Spit(target, bytes.substr(0, len));
+    GreatSynthesizer loaded;
+    Status status = loaded.Load(target.string());
+    ASSERT_FALSE(status.ok()) << "prefix length " << len;
+    EXPECT_EQ(status.code(), StatusCode::kDataLoss)
+        << "prefix length " << len << ": " << status.ToString();
+    EXPECT_FALSE(loaded.fitted()) << "prefix length " << len;
+  }
+}
+
+TEST_F(DurabilityTest, RelationalSynthesizerSaveLoadSampleBitwise) {
+  // One-row-per-key parent with a multi-visit child, as Fit requires.
+  Table parent(Schema({Field("id", ValueType::kInt),
+                       Field("gender", ValueType::kInt),
+                       Field("age", ValueType::kInt)}));
+  Table child(Schema({Field("id", ValueType::kInt),
+                      Field("item", ValueType::kInt)}));
+  Rng data_rng(53);
+  for (int64_t id = 0; id < 30; ++id) {
+    int64_t gender = data_rng.UniformInt(2, 3);
+    int64_t age = data_rng.UniformInt(2, 5);
+    ASSERT_TRUE(
+        parent.AppendRow({Value(id), Value(gender), Value(age)}).ok());
+    int64_t visits = data_rng.UniformInt(1, 4);
+    for (int64_t v = 0; v < visits; ++v) {
+      int64_t item = data_rng.Bernoulli(0.7) ? age : data_rng.UniformInt(2, 5);
+      ASSERT_TRUE(child.AppendRow({Value(id), Value(item)}).ok());
+    }
+  }
+
+  RelationalSynthesizer::Options options;
+  options.parent.encoder.permutations_per_row = 1;
+  options.child.encoder.permutations_per_row = 1;
+  RelationalSynthesizer original(options);
+  Rng fit_rng(7);
+  ASSERT_TRUE(original.Fit(parent, child, "id", &fit_rng).ok());
+
+  fs::path dir = ScratchDir("relational");
+  fs::path target = dir / "pair.bin";
+  ASSERT_TRUE(original.Save(target.string()).ok());
+  RelationalSynthesizer loaded;
+  ASSERT_TRUE(loaded.Load(target.string()).ok());
+  ASSERT_TRUE(loaded.fitted());
+  EXPECT_EQ(loaded.child_counts(), original.child_counts());
+
+  Rng rng_a(123), rng_b(123);
+  RelationalSample sample_a = original.Sample(10, &rng_a).ValueOrDie();
+  RelationalSample sample_b = loaded.Sample(10, &rng_b).ValueOrDie();
+  EXPECT_TRUE(sample_a.parent == sample_b.parent);
+  EXPECT_TRUE(sample_a.child == sample_b.child);
+}
+
+// ---------- pipeline stage resume ----------
+
+class PipelineResumeTest : public DurabilityTest {
+ protected:
+  static void SetUpTestSuite() {
+    Rng rng(42);
+    DigixOptions options;
+    options.num_users = 40;
+    DigixGenerator gen(options);
+    data_ = new DigixDataset(gen.Generate(&rng).ValueOrDie());
+  }
+  static void TearDownTestSuite() {
+    delete data_;
+    data_ = nullptr;
+  }
+
+  static PipelineOptions FastOptions(const fs::path& ckpt_dir) {
+    PipelineOptions options;
+    options.fusion = FusionMethod::kGreaterMedianThreshold;
+    options.semantic = SemanticMode::kDifferentiability;
+    options.synth.encoder.permutations_per_row = 1;
+    options.checkpoint_dir = ckpt_dir.string();
+    return options;
+  }
+
+  static PipelineResult RunOnce(const PipelineOptions& options,
+                                uint64_t seed) {
+    MultiTablePipeline pipeline(options);
+    Rng rng(seed);
+    return pipeline.Run(data_->ads, data_->feeds, "user_id", &rng)
+        .ValueOrDie();
+  }
+
+  static DigixDataset* data_;
+};
+
+DigixDataset* PipelineResumeTest::data_ = nullptr;
+
+TEST_F(PipelineResumeTest, WarmResumeIsByteIdenticalAndHitsEveryStage) {
+  fs::path dir = ScratchDir("resume_warm");
+  PipelineOptions options = FastOptions(dir);
+  Counter& hits = MetricsRegistry::Global().GetCounter("ckpt.stage_hits");
+  Counter& stores =
+      MetricsRegistry::Global().GetCounter("ckpt.stage_stores");
+
+  uint64_t stores_before = stores.Value();
+  PipelineResult cold = RunOnce(options, 7);
+  EXPECT_EQ(stores.Value() - stores_before, 4u)
+      << "prepare/fuse/fit/sample should each persist";
+
+  uint64_t hits_before = hits.Value();
+  PipelineResult warm = RunOnce(options, 7);
+  EXPECT_EQ(hits.Value() - hits_before, 4u);
+
+  EXPECT_TRUE(cold.synthetic_flat == warm.synthetic_flat);
+  EXPECT_TRUE(cold.synthetic_parent == warm.synthetic_parent);
+  EXPECT_EQ(WriteCsvString(cold.synthetic_flat),
+            WriteCsvString(warm.synthetic_flat));
+  EXPECT_EQ(cold.sample_report.rows_requested,
+            warm.sample_report.rows_requested);
+  EXPECT_EQ(cold.flattened_rows, warm.flattened_rows);
+  EXPECT_EQ(cold.independence.independent, warm.independence.independent);
+}
+
+TEST_F(PipelineResumeTest, CheckpointedRunMatchesUncheckpointedRun) {
+  // Enabling checkpointing must not perturb the output stream at all.
+  fs::path dir = ScratchDir("resume_vs_plain");
+  PipelineOptions with = FastOptions(dir);
+  PipelineOptions without = FastOptions(dir);
+  without.checkpoint_dir.clear();
+  PipelineResult a = RunOnce(without, 7);
+  PipelineResult b = RunOnce(with, 7);
+  EXPECT_TRUE(a.synthetic_flat == b.synthetic_flat);
+  EXPECT_TRUE(a.synthetic_parent == b.synthetic_parent);
+}
+
+TEST_F(PipelineResumeTest, PartialResumeAfterLostSampleStage) {
+  // Simulates a crash after fit but before the sample checkpoint landed:
+  // the re-run loads prepare/fuse/fit and recomputes sampling only,
+  // producing the identical output.
+  fs::path dir = ScratchDir("resume_partial");
+  PipelineOptions options = FastOptions(dir);
+  PipelineResult cold = RunOnce(options, 7);
+
+  bool removed = false;
+  for (const auto& entry : fs::directory_iterator(dir)) {
+    if (entry.path().filename().string().rfind("stage.sample.", 0) == 0) {
+      fs::remove(entry.path());
+      removed = true;
+    }
+  }
+  ASSERT_TRUE(removed) << "expected a stage.sample.* checkpoint in " << dir;
+
+  Counter& hits = MetricsRegistry::Global().GetCounter("ckpt.stage_hits");
+  Counter& misses =
+      MetricsRegistry::Global().GetCounter("ckpt.stage_misses");
+  uint64_t hits_before = hits.Value();
+  uint64_t misses_before = misses.Value();
+  PipelineResult resumed = RunOnce(options, 7);
+  EXPECT_EQ(hits.Value() - hits_before, 3u);
+  EXPECT_EQ(misses.Value() - misses_before, 1u);
+  EXPECT_TRUE(cold.synthetic_flat == resumed.synthetic_flat);
+}
+
+TEST_F(PipelineResumeTest, CorruptCheckpointDegradesToRecompute) {
+  fs::path dir = ScratchDir("resume_corrupt");
+  PipelineOptions options = FastOptions(dir);
+  PipelineResult cold = RunOnce(options, 7);
+
+  // Flip a byte in the middle of every checkpoint file.
+  size_t corrupted = 0;
+  for (const auto& entry : fs::directory_iterator(dir)) {
+    std::string bytes = Slurp(entry.path());
+    ASSERT_GT(bytes.size(), 32u);
+    bytes[bytes.size() / 2] =
+        static_cast<char>(bytes[bytes.size() / 2] ^ 0x20);
+    Spit(entry.path(), bytes);
+    ++corrupted;
+  }
+  ASSERT_EQ(corrupted, 4u);
+
+  Counter& corrupt =
+      MetricsRegistry::Global().GetCounter("ckpt.stage_corrupt");
+  uint64_t corrupt_before = corrupt.Value();
+  PipelineResult resumed = RunOnce(options, 7);
+  EXPECT_EQ(corrupt.Value() - corrupt_before, 4u);
+  EXPECT_TRUE(cold.synthetic_flat == resumed.synthetic_flat);
+}
+
+TEST_F(PipelineResumeTest, WriteFaultDuringRunIsNonFatal) {
+  // A crash while persisting a checkpoint must neither fail the run nor
+  // poison the next one: the armed ckpt.write fault kills the first two
+  // stage stores, the run completes, and the re-run recomputes the lost
+  // stages to the identical result.
+  fs::path dir = ScratchDir("resume_write_fault");
+  PipelineOptions options = FastOptions(dir);
+  Counter& store_failures =
+      MetricsRegistry::Global().GetCounter("ckpt.stage_store_failures");
+  uint64_t failures_before = store_failures.Value();
+  PipelineResult cold;
+  {
+    FaultSpec spec;
+    spec.code = StatusCode::kResourceExhausted;
+    spec.message = "simulated crash during checkpoint write";
+    spec.max_fires = 2;
+    ScopedFault fault("ckpt.write", spec);
+    cold = RunOnce(options, 7);
+  }
+  EXPECT_EQ(store_failures.Value() - failures_before, 2u);
+
+  PipelineResult resumed = RunOnce(options, 7);
+  EXPECT_TRUE(cold.synthetic_flat == resumed.synthetic_flat);
+}
+
+TEST_F(PipelineResumeTest, ChangedConfigurationMissesEveryKey) {
+  fs::path dir = ScratchDir("resume_config");
+  PipelineOptions options = FastOptions(dir);
+  RunOnce(options, 7);
+
+  Counter& hits = MetricsRegistry::Global().GetCounter("ckpt.stage_hits");
+  uint64_t hits_before = hits.Value();
+  // A different seed changes the starting RNG state: nothing may be
+  // reused, by construction of the fingerprint chain.
+  RunOnce(options, 8);
+  EXPECT_EQ(hits.Value() - hits_before, 0u);
+
+  hits_before = hits.Value();
+  PipelineOptions hotter = options;
+  hotter.synth.temperature = 1.25;
+  RunOnce(hotter, 7);
+  EXPECT_EQ(hits.Value() - hits_before, 0u);
+}
+
+TEST_F(PipelineResumeTest, DerecPathResumesTooAndStaysIdentical) {
+  fs::path dir = ScratchDir("resume_derec");
+  PipelineOptions options = FastOptions(dir);
+  options.fusion = FusionMethod::kDerecIndependent;
+  Counter& stores =
+      MetricsRegistry::Global().GetCounter("ckpt.stage_stores");
+  uint64_t stores_before = stores.Value();
+  PipelineResult cold = RunOnce(options, 7);
+  EXPECT_EQ(stores.Value() - stores_before, 3u)
+      << "DEREC checkpoints prepare/fit/sample (no fuse stage)";
+  PipelineResult warm = RunOnce(options, 7);
+  EXPECT_TRUE(cold.synthetic_flat == warm.synthetic_flat);
+  EXPECT_TRUE(cold.synthetic_parent == warm.synthetic_parent);
+}
+
+}  // namespace
+}  // namespace greater

@@ -1,0 +1,268 @@
+// Recovery supervisor suite: retry-on-transient-fault, deterministic
+// failures never retrying, the circuit breaker tripping into degraded
+// (lenient) sampling, backoff/deadline arithmetic under a fake clock, and
+// SampleReport reconciliation through the supervised path.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/fault.h"
+#include "common/rng.h"
+#include "obs/metrics.h"
+#include "synth/great_synthesizer.h"
+#include "synth/recovery_supervisor.h"
+
+namespace greater {
+namespace {
+
+bool ContextMentions(const Status& status, const std::string& text) {
+  return status.ToString().find(text) != std::string::npos;
+}
+
+Table SmallTable() {
+  Schema schema({Field("name", ValueType::kString),
+                 Field("lunch", ValueType::kInt),
+                 Field("dinner", ValueType::kInt)});
+  Table t(schema);
+  const char* names[] = {"Grace", "Yin", "Anson"};
+  Rng rng(5);
+  for (int i = 0; i < 45; ++i) {
+    int64_t lunch = rng.UniformInt(1, 2);
+    int64_t dinner = rng.Bernoulli(0.8) ? lunch : rng.UniformInt(1, 2);
+    EXPECT_TRUE(
+        t.AppendRow({Value(names[i % 3]), Value(lunch), Value(dinner)}).ok());
+  }
+  return t;
+}
+
+uint64_t CounterValue(const char* name) {
+  return MetricsRegistry::Global().GetCounter(name).Value();
+}
+
+class RecoveryTest : public testing::Test {
+ protected:
+  void SetUp() override {
+    GreatSynthesizer::Options options;
+    options.policy = SamplePolicy::kStrict;
+    synth_ = GreatSynthesizer(options);
+    Rng rng(3);
+    ASSERT_TRUE(synth_.Fit(SmallTable(), &rng).ok());
+  }
+  void TearDown() override { FaultRegistry::Global().DisarmAll(); }
+
+  // Options wired to a virtual clock: `now_ms_` never advances unless a
+  // test moves it, and backoff waits are recorded instead of slept.
+  RecoveryOptions FastOptions() {
+    RecoveryOptions options;
+    options.clock_ms = [this] { return now_ms_; };
+    options.sleep_ms = [this](uint64_t ms) { slept_ms_.push_back(ms); };
+    return options;
+  }
+
+  static FaultSpec ExhaustedSpec(size_t max_fires = FaultSpec::kUnlimited) {
+    FaultSpec spec;
+    spec.code = StatusCode::kResourceExhausted;
+    spec.message = "injected transient sampling failure";
+    spec.max_fires = max_fires;
+    return spec;
+  }
+
+  GreatSynthesizer synth_;
+  uint64_t now_ms_ = 0;
+  std::vector<uint64_t> slept_ms_;
+};
+
+TEST_F(RecoveryTest, RetryRecoversFromTransientFault) {
+  ScopedFault fault("synth.sample_row", ExhaustedSpec(/*max_fires=*/1));
+  RecoverySupervisor supervisor(&synth_, FastOptions());
+  uint64_t recovered_before = CounterValue("recovery.recovered");
+
+  Rng rng(17);
+  SampleReport report;
+  Table sample = supervisor.Sample(8, &rng, &report).ValueOrDie();
+  EXPECT_EQ(sample.num_rows(), 8u);
+  EXPECT_EQ(CounterValue("recovery.recovered") - recovered_before, 1u);
+  EXPECT_EQ(slept_ms_, std::vector<uint64_t>{10});
+  EXPECT_FALSE(supervisor.circuit_open());
+  EXPECT_EQ(supervisor.consecutive_failures(), 0u);
+  // Only the successful attempt's accounting reaches the caller.
+  EXPECT_TRUE(report.Reconciles());
+  EXPECT_EQ(report.rows_emitted, 8u);
+  EXPECT_EQ(report.injected_faults, 0u);
+}
+
+TEST_F(RecoveryTest, UnrecoverableFailureDoesNotRetry) {
+  GreatSynthesizer unfitted;
+  RecoverySupervisor supervisor(&unfitted, FastOptions());
+  uint64_t retries_before = CounterValue("recovery.retries");
+
+  Rng rng(17);
+  auto result = supervisor.Sample(4, &rng);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kFailedPrecondition);
+  EXPECT_TRUE(ContextMentions(result.status(), "unrecoverable"));
+  EXPECT_EQ(CounterValue("recovery.retries") - retries_before, 0u);
+  EXPECT_TRUE(slept_ms_.empty());
+  // Deterministic failures do not count against the breaker.
+  EXPECT_EQ(supervisor.consecutive_failures(), 0u);
+}
+
+TEST_F(RecoveryTest, ExhaustedRetriesSurfaceTypedFailure) {
+  ScopedFault fault("synth.sample_row", ExhaustedSpec());
+  RecoveryOptions options = FastOptions();
+  options.max_retries = 2;
+  options.circuit_failure_threshold = 100;  // keep the breaker out of play
+  RecoverySupervisor supervisor(&synth_, options);
+
+  Rng rng(17);
+  auto result = supervisor.Sample(4, &rng);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kResourceExhausted);
+  EXPECT_TRUE(ContextMentions(result.status(), "2 retries exhausted"));
+  EXPECT_EQ(slept_ms_.size(), 2u);
+  EXPECT_EQ(supervisor.consecutive_failures(), 1u);
+  EXPECT_FALSE(supervisor.circuit_open());
+}
+
+TEST_F(RecoveryTest, CircuitBreakerTripsAndSalvagesDegradedOutput) {
+  ScopedFault fault("synth.sample_row", ExhaustedSpec());
+  RecoveryOptions options = FastOptions();
+  options.max_retries = 0;
+  options.circuit_failure_threshold = 2;
+  RecoverySupervisor supervisor(&synth_, options);
+  uint64_t trips_before = CounterValue("recovery.circuit_trips");
+  uint64_t degraded_before = CounterValue("recovery.degraded_calls");
+
+  Rng rng(17);
+  // First call: strict attempt fails, breaker still closed.
+  EXPECT_FALSE(supervisor.Sample(4, &rng).ok());
+  EXPECT_EQ(supervisor.consecutive_failures(), 1u);
+  EXPECT_FALSE(supervisor.circuit_open());
+
+  // Second call trips the breaker, then makes one degraded lenient
+  // attempt. Every row still faults, but lenient absorbs the exhausted
+  // rows, so the caller gets an (empty) table instead of an error.
+  SampleReport report;
+  Table salvaged = supervisor.Sample(4, &rng, &report).ValueOrDie();
+  EXPECT_EQ(salvaged.num_rows(), 0u);
+  EXPECT_TRUE(supervisor.circuit_open());
+  EXPECT_EQ(CounterValue("recovery.circuit_trips") - trips_before, 1u);
+  EXPECT_EQ(CounterValue("recovery.degraded_calls") - degraded_before, 1u);
+  EXPECT_TRUE(report.Reconciles());
+  EXPECT_EQ(report.rows_requested, 4u);
+  EXPECT_EQ(report.rows_exhausted, 4u);
+
+  // While open, calls run lenient from the first attempt: no retries, no
+  // additional degraded-call accounting.
+  slept_ms_.clear();
+  Table open_sample = supervisor.Sample(4, &rng).ValueOrDie();
+  EXPECT_EQ(open_sample.num_rows(), 0u);
+  EXPECT_TRUE(slept_ms_.empty());
+  EXPECT_EQ(CounterValue("recovery.degraded_calls") - degraded_before, 1u);
+}
+
+TEST_F(RecoveryTest, CircuitStaysClosedWhenCallsKeepSucceeding) {
+  // A transient blip on each of two calls (first attempt fails, retry
+  // succeeds) must reset the consecutive-failure count both times.
+  RecoveryOptions options = FastOptions();
+  options.circuit_failure_threshold = 2;
+  RecoverySupervisor supervisor(&synth_, options);
+  Rng rng(17);
+  for (int call = 0; call < 2; ++call) {
+    ScopedFault fault("synth.sample_row", ExhaustedSpec(/*max_fires=*/1));
+    EXPECT_TRUE(supervisor.Sample(4, &rng).ok());
+    EXPECT_EQ(supervisor.consecutive_failures(), 0u);
+  }
+  EXPECT_FALSE(supervisor.circuit_open());
+}
+
+TEST_F(RecoveryTest, BackoffSequenceIsCappedExponential) {
+  ScopedFault fault("synth.sample_row", ExhaustedSpec());
+  RecoveryOptions options = FastOptions();
+  options.max_retries = 4;
+  options.backoff_initial_ms = 10;
+  options.backoff_multiplier = 2.0;
+  options.backoff_max_ms = 25;
+  options.circuit_failure_threshold = 100;
+  RecoverySupervisor supervisor(&synth_, options);
+  uint64_t backoff_before = CounterValue("recovery.backoff_ms_total");
+
+  Rng rng(17);
+  EXPECT_FALSE(supervisor.Sample(4, &rng).ok());
+  EXPECT_EQ(slept_ms_, (std::vector<uint64_t>{10, 20, 25, 25}));
+  EXPECT_EQ(CounterValue("recovery.backoff_ms_total") - backoff_before, 80u);
+}
+
+TEST_F(RecoveryTest, DeadlineAbandonsRetriesInsteadOfSleeping) {
+  ScopedFault fault("synth.sample_row", ExhaustedSpec());
+  RecoveryOptions options = FastOptions();
+  options.max_retries = 5;
+  options.row_deadline_ms = 1;  // 4 rows -> 4ms budget < 10ms first backoff
+  options.circuit_failure_threshold = 100;
+  RecoverySupervisor supervisor(&synth_, options);
+  uint64_t deadline_before = CounterValue("recovery.deadline_exceeded");
+
+  Rng rng(17);
+  auto result = supervisor.Sample(4, &rng);
+  ASSERT_FALSE(result.ok());
+  EXPECT_TRUE(ContextMentions(result.status(), "deadline budget of 4ms"));
+  EXPECT_TRUE(slept_ms_.empty());
+  EXPECT_EQ(CounterValue("recovery.deadline_exceeded") - deadline_before, 1u);
+}
+
+TEST_F(RecoveryTest, DeadlineScalesWithRequestedRows) {
+  // Same per-row budget, more rows: now one backoff fits under the
+  // deadline, so exactly one retry happens before abandonment.
+  ScopedFault fault("synth.sample_row", ExhaustedSpec());
+  RecoveryOptions options = FastOptions();
+  options.max_retries = 5;
+  options.row_deadline_ms = 4;  // 4 rows -> 16ms budget
+  options.circuit_failure_threshold = 100;
+
+  Rng rng(17);
+  // First backoff (10ms) fits under 16ms; the clock advances as the
+  // injected sleep runs, so the second backoff (20ms) does not.
+  options.sleep_ms = [this](uint64_t ms) {
+    slept_ms_.push_back(ms);
+    now_ms_ += ms;
+  };
+  RecoverySupervisor ticking(&synth_, options);
+  EXPECT_FALSE(ticking.Sample(4, &rng).ok());
+  EXPECT_EQ(slept_ms_, std::vector<uint64_t>{10});
+}
+
+TEST_F(RecoveryTest, SupervisedConditionalSamplingRecovers) {
+  ScopedFault fault("synth.sample_row", ExhaustedSpec(/*max_fires=*/1));
+  RecoverySupervisor supervisor(&synth_, FastOptions());
+
+  Table conditions(Schema({Field("name", ValueType::kString)}));
+  for (int i = 0; i < 6; ++i) {
+    ASSERT_TRUE(conditions.AppendRow({Value("Grace")}).ok());
+  }
+  Rng rng(17);
+  SampleReport report;
+  Table sample =
+      supervisor.SampleConditional(conditions, &rng, &report).ValueOrDie();
+  EXPECT_EQ(sample.num_rows(), 6u);
+  for (size_t r = 0; r < sample.num_rows(); ++r) {
+    EXPECT_EQ(sample.at(r, 0).as_string(), "Grace");
+  }
+  EXPECT_TRUE(report.Reconciles());
+}
+
+TEST_F(RecoveryTest, SupervisorMatchesUnsupervisedOutputWhenHealthy) {
+  // With no faults armed, the supervisor is a transparent wrapper: same
+  // seed, same rows.
+  RecoverySupervisor supervisor(&synth_, FastOptions());
+  Rng rng_a(99), rng_b(99);
+  Table direct = synth_.Sample(12, &rng_a).ValueOrDie();
+  Table supervised = supervisor.Sample(12, &rng_b).ValueOrDie();
+  EXPECT_TRUE(direct == supervised);
+  EXPECT_TRUE(slept_ms_.empty());
+}
+
+}  // namespace
+}  // namespace greater
