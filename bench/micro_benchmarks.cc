@@ -21,6 +21,8 @@
 #include "lm/ngram_lm.h"
 #include "stats/correlation.h"
 #include "stats/hypothesis.h"
+#include "stream/csv_ingest.h"
+#include "tabular/csv.h"
 #include "synth/great_synthesizer.h"
 #include "text/bpe_tokenizer.h"
 #include "text/word_tokenizer.h"
@@ -303,6 +305,38 @@ void BM_DirectFlatten(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_DirectFlatten);
+
+void BM_StreamingFlatten(benchmark::State& state) {
+  DigixDataset trial = MakeTrial();
+  StreamOptions options;
+  options.enabled = true;
+  options.chunk_rows = 64;
+  options.queue_capacity = 4;
+  options.num_workers = static_cast<size_t>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        DirectFlattenStreaming(trial.ads, trial.feeds, "user_id", options));
+  }
+}
+BENCHMARK(BM_StreamingFlatten)->Arg(1)->Arg(2)->Arg(4);
+
+void BM_StreamingCsvIngest(benchmark::State& state) {
+  DigixDataset trial = MakeTrial();
+  std::string csv = WriteCsvString(trial.ads);
+  StreamOptions options;
+  options.enabled = true;
+  options.chunk_rows = 64;
+  options.queue_capacity = 4;
+  options.io_block_bytes = size_t{1} << 14;
+  options.num_workers = static_cast<size_t>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ReadCsvStringStreaming(
+        csv, CsvReadOptions(), options, StreamPolicy::kStrict));
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(csv.size()));
+}
+BENCHMARK(BM_StreamingCsvIngest)->Arg(1)->Arg(2);
 
 void BM_AssociationMatrix(benchmark::State& state) {
   DigixDataset trial = MakeTrial();

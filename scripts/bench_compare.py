@@ -31,6 +31,12 @@ when the hit rate drops below PCT percent, so a change that silently
 defeats the cache (key churn, broken interning) fails CI even if wall
 times happen to look fine on the runner.
 
+--fail-quarantine-above N gates streaming-ingest data quality off the same
+--metrics snapshot: exit non-zero when the stream.quarantined_records
+counter exceeds N. A lenient run keeps going past malformed records by
+design, so a parser regression shows up not as a failed benchmark but as a
+quarantine spike — this turns that spike into a CI failure.
+
 Refresh the checked-in results with:
     cmake --build build --target bench_json
 """
@@ -110,6 +116,15 @@ def main():
         metavar="PCT",
         help="exit 1 if the decode-cache hit rate in --metrics is below "
         "PCT percent (requires --metrics)",
+    )
+    parser.add_argument(
+        "--fail-quarantine-above",
+        type=int,
+        default=None,
+        metavar="N",
+        help="exit 1 if the stream.quarantined_records counter in "
+        "--metrics exceeds N (requires --metrics); 0 means any "
+        "quarantined record fails the gate",
     )
     args = parser.parse_args()
 
@@ -244,6 +259,9 @@ def main():
     if args.fail_hit_rate_below is not None and args.metrics is None:
         print("--fail-hit-rate-below requires --metrics", file=sys.stderr)
         return 2
+    if args.fail_quarantine_above is not None and args.metrics is None:
+        print("--fail-quarantine-above requires --metrics", file=sys.stderr)
+        return 2
     if args.metrics is not None:
         with open(args.metrics) as f:
             counters = json.load(f).get("counters", {})
@@ -274,6 +292,21 @@ def main():
                     file=sys.stderr,
                 )
                 failed = True
+
+        # Streaming-ingest quarantine volume (lenient-policy data quality).
+        quarantined = int(counters.get("stream.quarantined_records", 0))
+        print(f"\nstreaming ingest: {quarantined:,} quarantined record(s)")
+        if (
+            args.fail_quarantine_above is not None
+            and quarantined > args.fail_quarantine_above
+        ):
+            print(
+                f"FAIL: {quarantined} quarantined records exceed the "
+                f"--fail-quarantine-above {args.fail_quarantine_above} "
+                f"threshold",
+                file=sys.stderr,
+            )
+            failed = True
 
     return 1 if failed else 0
 

@@ -329,11 +329,24 @@ Status AtomicWriteFile(const std::string& path, std::string_view bytes) {
     return st;
   }
   // Persist the rename itself: fsync the containing directory so the new
-  // directory entry survives a power cut.
+  // directory entry survives a power cut. The rename already happened, so
+  // the file IS visible — but without the directory fsync a crash could
+  // roll it back, which for a checkpoint is silent data loss. A failure
+  // here is therefore an error, not a best-effort shrug.
   int dir_fd = ::open(DirName(path).c_str(), O_RDONLY | O_DIRECTORY);
-  if (dir_fd >= 0) {
-    ::fsync(dir_fd);
+  if (dir_fd < 0) {
+    failures.Increment();
+    return Errno("open (directory fsync)", DirName(path));
+  }
+  if (::fsync(dir_fd) != 0) {
+    Status st = Errno("fsync (directory)", DirName(path));
     ::close(dir_fd);
+    failures.Increment();
+    return st;
+  }
+  if (::close(dir_fd) != 0) {
+    failures.Increment();
+    return Errno("close (directory)", DirName(path));
   }
   writes.Increment();
   bytes_written.Increment(bytes.size());

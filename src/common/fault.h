@@ -37,6 +37,12 @@ namespace greater {
 ///   "pipeline.reduce"   RemoveAndReduce entry
 ///   "ckpt.write"        AtomicWriteFile, before any filesystem mutation
 ///   "ckpt.read"         ReadFileBytes entry (artifact/checkpoint loads)
+///   "stream.queue_full"   BoundedQueue::Push while the queue is full,
+///                         before the producer blocks (backpressure path)
+///   "stream.chunk_parse"  streaming CSV ingest, once per parsed chunk
+///   "stream.worker_death" streaming stage worker: the worker stops
+///                         heartbeating and exits without reporting, so
+///                         only the watchdog can detect it
 struct FaultSpec {
   static constexpr size_t kUnlimited = static_cast<size_t>(-1);
 

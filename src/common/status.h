@@ -21,6 +21,7 @@ enum class StatusCode {
   kDataLoss,          ///< parse failure / corrupted input
   kResourceExhausted, ///< retry/sampling budget exceeded
   kInternal,          ///< invariant violation inside the library
+  kDeadlineExceeded,  ///< a bounded wait expired (hung stage, stalled worker)
 };
 
 /// Human-readable name of a StatusCode (e.g. "InvalidArgument").
@@ -64,6 +65,9 @@ class Status {
   }
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

@@ -12,6 +12,7 @@
 #include "obs/metrics.h"
 #include "obs/span.h"
 #include "semantic/text_transform.h"
+#include "stream/csv_ingest.h"
 #include "tabular/table_serde.h"
 #include "tabular/validate.h"
 
@@ -122,6 +123,18 @@ std::vector<std::pair<const Table*, std::string>> AmbiguousColumnsAcross(
                      candidates[id].table->schema().field(candidates[id].index).name);
   }
   return out;
+}
+
+// Flatten dispatch: the streaming implementation produces byte-identical
+// output (same rows, same order), so which one runs is purely an
+// execution-strategy knob — checkpoint chains are unaffected.
+Result<Table> FlattenForOptions(const PipelineOptions& options,
+                                const Table& left, const Table& right,
+                                const std::string& key_column) {
+  if (options.stream.enabled) {
+    return DirectFlattenStreaming(left, right, key_column, options.stream);
+  }
+  return DirectFlatten(left, right, key_column);
 }
 
 // Joins parent features onto a flattened child view by key; output drops
@@ -456,7 +469,8 @@ Result<Table> MultiTablePipeline::BuildRealFlatView(
       SplitByContextualVariables(child2, key_column,
                                  options_.contextual_min_consistency));
   GREATER_ASSIGN_OR_RETURN(
-      Table flat, DirectFlatten(split1.child, split2.child, key_column));
+      Table flat,
+      FlattenForOptions(options_, split1.child, split2.child, key_column));
   GREATER_ASSIGN_OR_RETURN(
       Table parent, MergeParents(split1.parent, split2.parent, key_column));
   return JoinParentFeatures(parent, flat, key_column);
@@ -756,7 +770,8 @@ Result<PipelineResult> MultiTablePipeline::Run(
     }
     stage.emplace("stage.flatten");
     GREATER_ASSIGN_OR_RETURN_CTX(
-        Table flat, DirectFlatten(sample1.child, child2_rows, key_column),
+        Table flat,
+        FlattenForOptions(options_, sample1.child, child2_rows, key_column),
         StageContext("flatten", "child1+child2"));
     GREATER_ASSIGN_OR_RETURN_CTX(
         synthetic_flat, JoinParentFeatures(sample1.parent, flat, key_column),
@@ -774,9 +789,9 @@ Result<PipelineResult> MultiTablePipeline::Run(
           .Set(static_cast<double>(result.flattened_rows));
     } else {
     stage.emplace("stage.flatten");
-    GREATER_ASSIGN_OR_RETURN_CTX(Table flat,
-                                 DirectFlatten(c1, c2, key_column),
-                                 StageContext("flatten", "child1+child2"));
+    GREATER_ASSIGN_OR_RETURN_CTX(
+        Table flat, FlattenForOptions(options_, c1, c2, key_column),
+        StageContext("flatten", "child1+child2"));
     result.flattened_rows = flat.num_rows();
     MetricsRegistry::Global()
         .GetGauge("pipeline.flattened_rows")
@@ -933,6 +948,48 @@ Result<PipelineResult> MultiTablePipeline::Run(
 
   result.synthetic_parent = std::move(synthetic_parent);
   result.synthetic_flat = std::move(synthetic_flat);
+  return result;
+}
+
+Result<PipelineResult> MultiTablePipeline::RunFromCsv(
+    const std::string& csv1_path, const std::string& csv2_path,
+    const std::string& key_column, Rng* rng,
+    const CsvReadOptions& csv_options) const {
+  // The run's degradation policy maps onto the ingest: strict runs fail
+  // on the first malformed record, lenient runs quarantine it and finish.
+  StreamPolicy policy = options_.synth.policy == SamplePolicy::kLenient
+                            ? StreamPolicy::kLenient
+                            : StreamPolicy::kStrict;
+  StreamOptions stream = options_.stream;
+  QuarantineWriter quarantine(stream.quarantine_path);
+  StreamIngestReport report1, report2;
+  Table child1, child2;
+  {
+    Span span("pipeline.ingest");
+    // Per-file chunk checkpointers: a killed ingest re-reads (cheap) but
+    // re-parses only the chunk that was in flight.
+    ChunkCheckpointer ckpt1(options_.checkpoint_dir, "ingest.child1");
+    ChunkCheckpointer ckpt2(options_.checkpoint_dir, "ingest.child2");
+    GREATER_ASSIGN_OR_RETURN_CTX(
+        child1,
+        ReadCsvFileStreaming(csv1_path, csv_options, stream, policy,
+                             &report1, &ckpt1, &quarantine),
+        StageContext("ingest", "child1"));
+    GREATER_ASSIGN_OR_RETURN_CTX(
+        child2,
+        ReadCsvFileStreaming(csv2_path, csv_options, stream, policy,
+                             &report2, &ckpt2, &quarantine),
+        StageContext("ingest", "child2"));
+  }
+  GREATER_ASSIGN_OR_RETURN(PipelineResult result,
+                           Run(child1, child2, key_column, rng));
+  result.ingest_report.rows_in = report1.rows_in + report2.rows_in;
+  result.ingest_report.rows_out = report1.rows_out + report2.rows_out;
+  result.ingest_report.quarantined =
+      report1.quarantined + report2.quarantined;
+  result.ingest_report.chunks = report1.chunks + report2.chunks;
+  result.ingest_report.chunk_checkpoint_hits =
+      report1.chunk_checkpoint_hits + report2.chunk_checkpoint_hits;
   return result;
 }
 

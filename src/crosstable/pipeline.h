@@ -9,7 +9,9 @@
 #include "crosstable/independence.h"
 #include "crosstable/reduce.h"
 #include "semantic/enhancement.h"
+#include "stream/stream_options.h"
 #include "synth/relational_synthesizer.h"
+#include "tabular/csv.h"
 #include "tabular/table.h"
 
 namespace greater {
@@ -85,6 +87,16 @@ struct PipelineOptions {
   std::string checkpoint_dir;
   /// Erase the mapping system after synthesis (privacy, Sec. 3.2.3).
   bool erase_mapping_after_run = true;
+  /// Streaming runtime knobs (src/stream). `stream.enabled` moves the
+  /// pipeline's ingest (RunFromCsv) and flatten paths onto the chunked
+  /// bounded-queue runtime: memory stays bounded by queue_capacity ×
+  /// chunk_rows rows per queue, malformed input records degrade per the
+  /// run policy instead of aborting, and — with `checkpoint_dir` set —
+  /// ingest resumes per chunk after a crash. Output is byte-identical to
+  /// the in-memory paths; stream knobs are deliberately excluded from the
+  /// checkpoint fingerprint so toggling them never invalidates stage
+  /// checkpoints.
+  StreamOptions stream;
 };
 
 /// Everything a pipeline run produces, including the intermediates the
@@ -109,6 +121,10 @@ struct PipelineResult {
   /// rows_emitted + rows_exhausted == rows_requested. Fidelity sweeps read
   /// the rejection rate off this report.
   SampleReport sample_report;
+  /// Streaming-ingest accounting, populated by RunFromCsv only: totals
+  /// across both input files, reconciling as
+  /// rows_in == rows_out + quarantined.
+  StreamIngestReport ingest_report;
 };
 
 /// End-to-end multi-table synthesis pipeline implementing GReaTER and the
@@ -126,6 +142,22 @@ class MultiTablePipeline {
   /// `key_column`.
   Result<PipelineResult> Run(const Table& child1, const Table& child2,
                              const std::string& key_column, Rng* rng) const;
+
+  /// Out-of-core entry point: streams both child CSVs through the chunked
+  /// ingest (src/stream) and then runs the configured pipeline. The run
+  /// policy maps through: SamplePolicy::kStrict fails on the first
+  /// malformed record with the same typed error the in-memory reader
+  /// gives; kLenient diverts malformed records to
+  /// `options().stream.quarantine_path` with provenance and continues.
+  /// With `checkpoint_dir` set, each file's ingest checkpoints per chunk
+  /// (labels ingest.child1 / ingest.child2), so a killed run re-reads but
+  /// does not re-parse completed chunks. Ingest accounting lands in
+  /// PipelineResult::ingest_report.
+  Result<PipelineResult> RunFromCsv(const std::string& csv1_path,
+                                    const std::string& csv2_path,
+                                    const std::string& key_column, Rng* rng,
+                                    const CsvReadOptions& csv_options =
+                                        CsvReadOptions()) const;
 
   /// The real-data combined view the synthetic_flat is evaluated against:
   /// parent features + direct flatten of both residual child tables, with

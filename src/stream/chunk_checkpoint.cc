@@ -1,0 +1,148 @@
+#include "stream/chunk_checkpoint.h"
+
+#include <sys/stat.h>
+#include <sys/types.h>
+
+#include <cerrno>
+#include <utility>
+
+#include "obs/metrics.h"
+
+namespace greater {
+namespace {
+
+// FNV-1a, 64-bit — same chain construction as StageCheckpointer (see
+// checkpoint.cc): guards stale reuse across honest input changes; CRC32
+// inside the artifact container covers on-disk corruption.
+constexpr uint64_t kFnvOffset = 0xcbf29ce484222325ull;
+constexpr uint64_t kFnvPrime = 0x00000100000001b3ull;
+
+uint64_t Fnv1a(std::string_view bytes, uint64_t seed) {
+  uint64_t h = seed;
+  for (char c : bytes) {
+    h ^= static_cast<uint8_t>(c);
+    h *= kFnvPrime;
+  }
+  return h;
+}
+
+uint64_t MixInto(uint64_t chain, std::string_view bytes) {
+  // Length-prefix each contribution so Mix("ab") + Mix("c") never collides
+  // with Mix("a") + Mix("bc").
+  uint64_t len = bytes.size();
+  char prefix[8];
+  for (int i = 0; i < 8; ++i) {
+    prefix[i] = static_cast<char>((len >> (8 * i)) & 0xff);
+  }
+  chain = Fnv1a(std::string_view(prefix, 8), chain);
+  return Fnv1a(bytes, chain);
+}
+
+std::string HexU64(uint64_t v) {
+  static const char kDigits[] = "0123456789abcdef";
+  std::string out(16, '0');
+  for (int i = 15; i >= 0; --i) {
+    out[static_cast<size_t>(i)] = kDigits[v & 0xf];
+    v >>= 4;
+  }
+  return out;
+}
+
+Counter& HitCounter() {
+  static Counter* c = &MetricsRegistry::Global().GetCounter("stream.chunk_hits");
+  return *c;
+}
+Counter& MissCounter() {
+  static Counter* c =
+      &MetricsRegistry::Global().GetCounter("stream.chunk_misses");
+  return *c;
+}
+Counter& CorruptCounter() {
+  static Counter* c =
+      &MetricsRegistry::Global().GetCounter("stream.chunk_corrupt");
+  return *c;
+}
+Counter& StoreCounter() {
+  static Counter* c =
+      &MetricsRegistry::Global().GetCounter("stream.chunk_stores");
+  return *c;
+}
+Counter& StoreFailureCounter() {
+  static Counter* c =
+      &MetricsRegistry::Global().GetCounter("stream.chunk_store_failures");
+  return *c;
+}
+
+}  // namespace
+
+ChunkCheckpointer::ChunkCheckpointer(std::string dir, std::string label)
+    : dir_(std::move(dir)), label_(std::move(label)), chain_(kFnvOffset) {}
+
+void ChunkCheckpointer::Mix(std::string_view bytes) {
+  chain_ = MixInto(chain_, bytes);
+}
+
+uint64_t ChunkCheckpointer::MixChunk(std::string_view raw_bytes) {
+  chain_ = MixInto(chain_, raw_bytes);
+  return chain_;
+}
+
+std::string ChunkCheckpointer::ChunkPath(uint64_t index, uint64_t key) const {
+  return dir_ + "/chunk." + label_ + "." + std::to_string(index) + "." +
+         HexU64(key) + ".ckpt";
+}
+
+std::optional<ArtifactReader> ChunkCheckpointer::TryLoad(uint64_t index,
+                                                         uint64_t key) {
+  if (!enabled()) return std::nullopt;
+  Result<std::string> bytes = ReadFileBytes(ChunkPath(index, key));
+  if (!bytes.ok()) {
+    MissCounter().Increment();
+    return std::nullopt;
+  }
+  Result<ArtifactReader> doc =
+      ArtifactReader::Parse(std::move(bytes).ValueOrDie(), kKind, kVersion);
+  if (!doc.ok()) {
+    CorruptCounter().Increment();
+    MissCounter().Increment();
+    return std::nullopt;
+  }
+  HitCounter().Increment();
+  return std::move(doc).ValueOrDie();
+}
+
+void ChunkCheckpointer::Store(uint64_t index, uint64_t key,
+                              const ArtifactWriter& doc) {
+  if (!enabled()) return;
+  {
+    std::lock_guard<std::mutex> lock(dir_mu_);
+    if (!dir_ready_) {
+      if (::mkdir(dir_.c_str(), 0777) != 0 && errno != EEXIST) {
+        StoreFailureCounter().Increment();
+        return;
+      }
+      dir_ready_ = true;
+    }
+  }
+  Status status = AtomicWriteFile(ChunkPath(index, key), doc.Finish());
+  if (status.ok()) {
+    StoreCounter().Increment();
+  } else {
+    StoreFailureCounter().Increment();
+  }
+}
+
+void AppendRngState(const Rng& rng, ByteWriter* writer) {
+  writer->PutString(rng.SaveState());
+}
+
+Status ReadRngState(ByteReader* reader, Rng* rng) {
+  std::string state;
+  GREATER_RETURN_NOT_OK(reader->GetString(&state));
+  if (!rng->LoadState(state)) {
+    return Status::DataLoss("chunk checkpoint holds a malformed RNG state");
+  }
+  return Status::OK();
+}
+
+}  // namespace greater

@@ -1,0 +1,93 @@
+#ifndef GREATER_STREAM_CHUNK_CHECKPOINT_H_
+#define GREATER_STREAM_CHUNK_CHECKPOINT_H_
+
+#include <cstdint>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "common/artifact_io.h"
+#include "common/rng.h"
+#include "common/status.h"
+
+namespace greater {
+
+/// Per-chunk checkpoint store: the fine-grained layer under PR 5's
+/// stage-level StageCheckpointer (DESIGN.md, "Durability & recovery").
+/// Where a stage checkpoint makes a kill -9 cost at most one stage, a
+/// chunk checkpoint makes it cost at most one chunk.
+///
+/// Each chunk persists to `<dir>/chunk.<label>.<index>.<key>.ckpt`, where
+/// `key` is a running FNV-1a chain over everything upstream of the chunk:
+/// a caller-provided prologue (options fingerprint, header) plus the RAW
+/// input bytes of every chunk up to and including this one. Advancing the
+/// chain with raw input — never with stored documents — makes the hit and
+/// miss paths chain-identical by construction, so a resumed run computes
+/// the same keys as an uninterrupted one, and any edit to the input (or
+/// the options) flips every downstream key.
+///
+/// MixChunk is called by the single reader thread in input order; TryLoad
+/// and Store take the key captured at mix time, so parse workers can load
+/// and store concurrently (Store is thread-safe).
+///
+/// Failure policy matches StageCheckpointer: absent/corrupt/unreadable
+/// checkpoint (or an injected "ckpt.read" fault) is a miss and the chunk
+/// recomputes; a failed Store (torn disk, injected "ckpt.write" fault) is
+/// counted and swallowed. Exports stream.chunk_hits / stream.chunk_misses
+/// / stream.chunk_corrupt / stream.chunk_stores /
+/// stream.chunk_store_failures.
+class ChunkCheckpointer {
+ public:
+  static constexpr const char* kKind = "greater.chunk_checkpoint";
+  static constexpr uint32_t kVersion = 1;
+
+  /// Disabled when `dir` is empty: every TryLoad misses, every Store is a
+  /// no-op; MixChunk still advances the chain.
+  explicit ChunkCheckpointer(std::string dir, std::string label);
+
+  bool enabled() const { return !dir_.empty(); }
+  const std::string& label() const { return label_; }
+
+  /// Folds prologue bytes (options fingerprint, CSV header) into the
+  /// chain before any chunk. Length-prefixed, like StageCheckpointer.
+  void Mix(std::string_view bytes);
+
+  /// Folds one chunk's raw input bytes into the chain and returns the
+  /// resulting key for that chunk. Single-threaded (reader thread), in
+  /// input order.
+  uint64_t MixChunk(std::string_view raw_bytes);
+
+  uint64_t chain() const { return chain_; }
+
+  std::string ChunkPath(uint64_t index, uint64_t key) const;
+
+  /// Loads chunk `index` at `key`; nullopt on any miss. Thread-safe.
+  std::optional<ArtifactReader> TryLoad(uint64_t index, uint64_t key);
+
+  /// Best-effort persist of chunk `index` under `key`. Thread-safe; write
+  /// failures are counted and swallowed.
+  void Store(uint64_t index, uint64_t key, const ArtifactWriter& doc);
+
+ private:
+  const std::string dir_;
+  const std::string label_;
+  uint64_t chain_;
+
+  std::mutex dir_mu_;
+  bool dir_ready_ = false;
+};
+
+/// Appends an RNG engine state to a chunk document payload so a shard's
+/// stream resumes mid-sequence: stochastic chunked stages save the
+/// per-shard Rng AFTER processing each chunk, and a resumed run restores
+/// it instead of replaying draws.
+void AppendRngState(const Rng& rng, ByteWriter* writer);
+
+/// Restores a state written by AppendRngState. kDataLoss on malformed
+/// bytes (the chunk is then treated as corrupt -> recompute).
+Status ReadRngState(ByteReader* reader, Rng* rng);
+
+}  // namespace greater
+
+#endif  // GREATER_STREAM_CHUNK_CHECKPOINT_H_

@@ -1,0 +1,495 @@
+#include "stream/csv_ingest.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdint>
+#include <fstream>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/fault.h"
+#include "common/strings.h"
+#include "obs/metrics.h"
+#include "obs/span.h"
+#include "stream/bounded_queue.h"
+#include "stream/stream_runtime.h"
+
+namespace greater {
+namespace {
+
+// Per-column type-inference accumulator: merged across chunks with
+// OR/AND/AND, reproducing ReadCsvString's whole-column scan exactly.
+struct ColumnFlags {
+  bool any_value = false;
+  bool all_int = true;
+  bool all_double = true;
+};
+
+struct ParsedChunk {
+  uint64_t seq = 0;
+  std::vector<std::vector<std::string>> rows;  // kept records' fields
+  std::vector<ColumnFlags> flags;              // one per column
+  std::vector<QuarantinedRecord> quarantined;
+  bool from_checkpoint = false;
+};
+
+// Unit of work flowing reader -> parse workers. A checkpoint hit rides
+// the same path as raw records (preloaded short-circuits the parse), so
+// chunk order stays inside the bounded queues and the sink's reorder
+// buffer can never grow past workers + queue capacity.
+struct ChunkTask {
+  uint64_t seq = 0;
+  uint64_t key = 0;
+  std::vector<CsvRecordSplitter::Record> records;
+  std::unique_ptr<ParsedChunk> preloaded;
+};
+
+void EncodeChunk(const ParsedChunk& chunk, ArtifactWriter* doc) {
+  ByteWriter flags;
+  flags.PutU32(static_cast<uint32_t>(chunk.flags.size()));
+  for (const ColumnFlags& f : chunk.flags) {
+    flags.PutBool(f.any_value);
+    flags.PutBool(f.all_int);
+    flags.PutBool(f.all_double);
+  }
+  doc->AddChunk("flags", std::move(flags).Take());
+
+  ByteWriter rows;
+  rows.PutU32(static_cast<uint32_t>(chunk.rows.size()));
+  for (const auto& row : chunk.rows) {
+    for (const std::string& cell : row) rows.PutString(cell);
+  }
+  doc->AddChunk("rows", std::move(rows).Take());
+
+  ByteWriter quar;
+  quar.PutU32(static_cast<uint32_t>(chunk.quarantined.size()));
+  for (const QuarantinedRecord& q : chunk.quarantined) {
+    quar.PutU64(q.record_number);
+    quar.PutU32(static_cast<uint32_t>(q.why.code()));
+    quar.PutString(q.why.message());
+    quar.PutString(q.raw);
+  }
+  doc->AddChunk("quarantine", std::move(quar).Take());
+}
+
+Status DecodeChunk(const ArtifactReader& doc, const std::string& source,
+                   size_t num_cols, ParsedChunk* out) {
+  GREATER_ASSIGN_OR_RETURN(std::string_view flag_bytes, doc.Chunk("flags"));
+  ByteReader flags(flag_bytes);
+  uint32_t ncols = 0;
+  GREATER_RETURN_NOT_OK(flags.GetU32(&ncols));
+  if (ncols != num_cols) {
+    return Status::DataLoss("chunk checkpoint has " + std::to_string(ncols) +
+                            " columns, header has " +
+                            std::to_string(num_cols));
+  }
+  out->flags.resize(ncols);
+  for (uint32_t c = 0; c < ncols; ++c) {
+    GREATER_RETURN_NOT_OK(flags.GetBool(&out->flags[c].any_value));
+    GREATER_RETURN_NOT_OK(flags.GetBool(&out->flags[c].all_int));
+    GREATER_RETURN_NOT_OK(flags.GetBool(&out->flags[c].all_double));
+  }
+  GREATER_RETURN_NOT_OK(flags.ExpectEnd());
+
+  GREATER_ASSIGN_OR_RETURN(std::string_view row_bytes, doc.Chunk("rows"));
+  ByteReader rows(row_bytes);
+  uint32_t nrows = 0;
+  GREATER_RETURN_NOT_OK(rows.GetU32(&nrows));
+  out->rows.resize(nrows);
+  for (uint32_t r = 0; r < nrows; ++r) {
+    out->rows[r].resize(num_cols);
+    for (size_t c = 0; c < num_cols; ++c) {
+      GREATER_RETURN_NOT_OK(rows.GetString(&out->rows[r][c]));
+    }
+  }
+  GREATER_RETURN_NOT_OK(rows.ExpectEnd());
+
+  GREATER_ASSIGN_OR_RETURN(std::string_view quar_bytes,
+                           doc.Chunk("quarantine"));
+  ByteReader quar(quar_bytes);
+  uint32_t nquar = 0;
+  GREATER_RETURN_NOT_OK(quar.GetU32(&nquar));
+  out->quarantined.resize(nquar);
+  for (uint32_t i = 0; i < nquar; ++i) {
+    QuarantinedRecord& q = out->quarantined[i];
+    q.source = source;
+    GREATER_RETURN_NOT_OK(quar.GetU64(&q.record_number));
+    uint32_t code = 0;
+    std::string message;
+    GREATER_RETURN_NOT_OK(quar.GetU32(&code));
+    GREATER_RETURN_NOT_OK(quar.GetString(&message));
+    GREATER_RETURN_NOT_OK(quar.GetString(&q.raw));
+    if (code > static_cast<uint32_t>(StatusCode::kDeadlineExceeded)) {
+      return Status::DataLoss("chunk checkpoint has an unknown status code");
+    }
+    q.why = Status(static_cast<StatusCode>(code), std::move(message));
+  }
+  return quar.ExpectEnd();
+}
+
+// Pulls input blocks; an empty string means end of input.
+using BlockSource = std::function<Result<std::string>()>;
+
+Result<Table> RunStreamingIngest(const BlockSource& next_block,
+                                 const std::string& source_label,
+                                 const CsvReadOptions& csv,
+                                 const StreamOptions& options,
+                                 StreamPolicy policy,
+                                 StreamIngestReport* report,
+                                 ChunkCheckpointer* ckpt,
+                                 QuarantineWriter* quarantine) {
+  GREATER_FAULT_POINT("csv.read");
+  Span span("stream.ingest");
+  StreamIngestReport local_report;
+  if (report == nullptr) report = &local_report;
+  *report = StreamIngestReport();
+  QuarantineWriter count_only("");
+  if (quarantine == nullptr) quarantine = &count_only;
+
+  const size_t chunk_rows = std::max<size_t>(1, options.chunk_rows);
+  const size_t num_workers = std::max<size_t>(1, options.num_workers);
+
+  // The header is consumed up front: workers validate against it and the
+  // chain must cover it before any chunk.
+  CsvRecordSplitter splitter(csv.delimiter);
+  splitter.set_max_record_bytes(options.max_record_bytes);
+  CsvRecordSplitter::Record header;
+  for (bool have_header = false; !have_header;) {
+    GREATER_ASSIGN_OR_RETURN(CsvRecordSplitter::Next next,
+                             splitter.NextRecord(&header));
+    switch (next) {
+      case CsvRecordSplitter::Next::kRecord:
+        have_header = true;
+        break;
+      case CsvRecordSplitter::Next::kNeedMoreInput: {
+        GREATER_ASSIGN_OR_RETURN(std::string block, next_block());
+        if (block.empty()) {
+          splitter.FinishInput();
+        } else {
+          splitter.Feed(block);
+        }
+        break;
+      }
+      case CsvRecordSplitter::Next::kEndOfInput:
+        return Status::DataLoss("CSV has no header record");
+    }
+  }
+  const size_t num_cols = header.fields.size();
+
+  if (ckpt != nullptr) {
+    // Options fingerprint: anything that changes what a chunk computes
+    // must flip every chunk key.
+    ByteWriter fp;
+    fp.PutU8(static_cast<uint8_t>(csv.delimiter));
+    fp.PutBool(csv.infer_types);
+    fp.PutString(csv.null_token);
+    fp.PutU64(chunk_rows);
+    fp.PutU64(options.max_record_bytes);
+    fp.PutBool(policy == StreamPolicy::kLenient);
+    ckpt->Mix(fp.bytes());
+    ckpt->Mix(header.raw);
+  }
+
+  // Queues are declared before the runtime so they outlive it: the
+  // runtime's destructor joins every worker, and workers touch the queues
+  // until they exit.
+  BoundedQueue<std::unique_ptr<ChunkTask>> raw_q("ingest.raw",
+                                                 options.queue_capacity);
+  BoundedQueue<std::unique_ptr<ParsedChunk>> parsed_q("ingest.parsed",
+                                                      options.queue_capacity);
+  StreamRuntime runtime(options);
+  runtime.RegisterQueue(&raw_q);
+  runtime.RegisterQueue(&parsed_q);
+  std::atomic<size_t> live_workers{num_workers};
+
+  // --- reader: split records, form chunks, probe the checkpoint store ---
+  Heartbeat* reader_hb = runtime.AddHeartbeat("ingest.reader");
+  runtime.Spawn(
+      "ingest.reader", reader_hb,
+      [&, reader_hb, spl = std::move(splitter)]() mutable -> Status {
+        uint64_t seq = 0;
+        auto task = std::make_unique<ChunkTask>();
+        std::string chunk_raw;  // raw bytes of this chunk, for the chain
+        auto flush_chunk = [&]() {
+          task->seq = seq;
+          task->key = ckpt != nullptr ? ckpt->MixChunk(chunk_raw) : 0;
+          if (ckpt != nullptr) {
+            std::optional<ArtifactReader> doc = ckpt->TryLoad(seq, task->key);
+            if (doc.has_value()) {
+              auto pre = std::make_unique<ParsedChunk>();
+              Status decoded =
+                  DecodeChunk(*doc, source_label, num_cols, pre.get());
+              if (decoded.ok()) {
+                pre->seq = seq;
+                pre->from_checkpoint = true;
+                task->preloaded = std::move(pre);
+                task->records.clear();
+              } else {
+                // Parsed as an artifact but not as a chunk document:
+                // corrupt -> recompute from the raw records we still hold.
+                MetricsRegistry::Global()
+                    .GetCounter("stream.chunk_corrupt")
+                    .Increment();
+              }
+            }
+          }
+          bool accepted = raw_q.Push(std::move(task));
+          ++seq;
+          task = std::make_unique<ChunkTask>();
+          chunk_raw.clear();
+          return accepted;
+        };
+        for (;;) {
+          reader_hb->Beat();
+          CsvRecordSplitter::Record record;
+          Result<CsvRecordSplitter::Next> next = spl.NextRecord(&record);
+          if (!next.ok()) {
+            return next.status().WithContext("splitting records from '" +
+                                             source_label + "'");
+          }
+          switch (*next) {
+            case CsvRecordSplitter::Next::kRecord:
+              chunk_raw += record.raw;
+              chunk_raw += '\n';
+              task->records.push_back(std::move(record));
+              if (task->records.size() >= chunk_rows && !flush_chunk()) {
+                return Status::OK();  // pipeline is shutting down
+              }
+              break;
+            case CsvRecordSplitter::Next::kNeedMoreInput: {
+              GREATER_ASSIGN_OR_RETURN(std::string block, next_block());
+              if (block.empty()) {
+                spl.FinishInput();
+              } else {
+                spl.Feed(block);
+              }
+              break;
+            }
+            case CsvRecordSplitter::Next::kEndOfInput:
+              if (!task->records.empty() && !flush_chunk()) {
+                return Status::OK();
+              }
+              raw_q.Close();
+              return Status::OK();
+          }
+        }
+      });
+
+  // --- parse workers: validate, infer flags, checkpoint ---
+  for (size_t w = 0; w < num_workers; ++w) {
+    std::string name = "ingest.parse." + std::to_string(w);
+    Heartbeat* hb = runtime.AddHeartbeat(name);
+    runtime.Spawn(name, hb, [&, hb]() -> Status {
+      for (;;) {
+        hb->Beat();
+        std::optional<std::unique_ptr<ChunkTask>> item = raw_q.Pop();
+        if (!item.has_value()) break;  // closed and drained, or poisoned
+        std::unique_ptr<ChunkTask> task = std::move(*item);
+        if (FaultRegistry::AnyArmed()) {
+          Status death = FaultRegistry::Global().Check("stream.worker_death");
+          if (!death.ok()) {
+            // Silent death: exit without reporting, without marking the
+            // heartbeat done, and without closing the downstream queue.
+            // Only the watchdog can notice.
+            hb->SimulateDeath();
+            return Status::OK();
+          }
+        }
+        std::unique_ptr<ParsedChunk> chunk;
+        if (task->preloaded != nullptr) {
+          chunk = std::move(task->preloaded);
+        } else {
+          GREATER_FAULT_POINT("stream.chunk_parse");
+          chunk = std::make_unique<ParsedChunk>();
+          chunk->seq = task->seq;
+          chunk->flags.assign(num_cols, ColumnFlags());
+          for (CsvRecordSplitter::Record& record : task->records) {
+            if (record.fields.size() != num_cols) {
+              Status why = Status::DataLoss(
+                  "CSV record " + std::to_string(record.number) + " has " +
+                  std::to_string(record.fields.size()) +
+                  " fields, header has " + std::to_string(num_cols));
+              if (policy == StreamPolicy::kStrict) return why;
+              QuarantinedRecord q;
+              q.source = source_label;
+              q.record_number = record.number;
+              q.why = std::move(why);
+              q.raw = std::move(record.raw);
+              chunk->quarantined.push_back(std::move(q));
+              continue;
+            }
+            for (size_t c = 0; c < num_cols; ++c) {
+              const std::string& cell = record.fields[c];
+              if (cell == csv.null_token) continue;
+              ColumnFlags& f = chunk->flags[c];
+              f.any_value = true;
+              if (f.all_int && !ParseInt(cell).has_value()) f.all_int = false;
+              if (f.all_double && !ParseDouble(cell).has_value()) {
+                f.all_double = false;
+              }
+            }
+            chunk->rows.push_back(std::move(record.fields));
+          }
+          if (ckpt != nullptr) {
+            ArtifactWriter doc(ChunkCheckpointer::kKind,
+                               ChunkCheckpointer::kVersion);
+            EncodeChunk(*chunk, &doc);
+            ckpt->Store(task->seq, task->key, doc);
+          }
+        }
+        if (!parsed_q.Push(std::move(chunk))) break;
+      }
+      if (live_workers.fetch_sub(1) == 1) parsed_q.Close();
+      return Status::OK();
+    });
+  }
+
+  // --- sink (caller thread): reorder by sequence, accumulate, account ---
+  std::map<uint64_t, std::unique_ptr<ParsedChunk>> pending;
+  uint64_t next_seq = 0;
+  std::vector<std::vector<std::string>> all_rows;
+  std::vector<ColumnFlags> merged(num_cols);
+  Status sink_error;
+  while (true) {
+    std::optional<std::unique_ptr<ParsedChunk>> item = parsed_q.Pop();
+    if (!item.has_value()) break;
+    pending[(*item)->seq] = std::move(*item);
+    for (auto it = pending.find(next_seq); it != pending.end();
+         it = pending.find(++next_seq)) {
+      ParsedChunk& chunk = *it->second;
+      ++report->chunks;
+      if (chunk.from_checkpoint) ++report->chunk_checkpoint_hits;
+      report->rows_in += chunk.rows.size() + chunk.quarantined.size();
+      report->rows_out += chunk.rows.size();
+      report->quarantined += chunk.quarantined.size();
+      for (size_t c = 0; c < num_cols; ++c) {
+        merged[c].any_value |= chunk.flags.empty() ? false
+                                                   : chunk.flags[c].any_value;
+        merged[c].all_int &= chunk.flags.empty() || chunk.flags[c].all_int;
+        merged[c].all_double &=
+            chunk.flags.empty() || chunk.flags[c].all_double;
+      }
+      for (auto& row : chunk.rows) all_rows.push_back(std::move(row));
+      for (const QuarantinedRecord& q : chunk.quarantined) {
+        Status wrote = quarantine->Write(q);
+        if (!wrote.ok() && sink_error.ok()) sink_error = wrote;
+      }
+      pending.erase(it);
+    }
+  }
+
+  GREATER_RETURN_NOT_OK_CTX(runtime.Finish(), "streaming CSV ingest from '" +
+                                                  source_label + "'");
+  GREATER_RETURN_NOT_OK(sink_error);
+  if (!pending.empty()) {
+    return Status::Internal("streaming ingest lost chunk " +
+                            std::to_string(next_seq) + " of '" +
+                            source_label + "'");
+  }
+
+  // --- finalize: exact ReadCsvString type-inference semantics ---
+  std::vector<ValueType> types(num_cols, ValueType::kInt);
+  if (!csv.infer_types) {
+    types.assign(num_cols, ValueType::kString);
+  } else {
+    for (size_t c = 0; c < num_cols; ++c) {
+      if (!merged[c].any_value) {
+        types[c] = ValueType::kString;
+      } else if (merged[c].all_int) {
+        types[c] = ValueType::kInt;
+      } else if (merged[c].all_double) {
+        types[c] = ValueType::kDouble;
+      } else {
+        types[c] = ValueType::kString;
+      }
+    }
+  }
+  std::vector<Field> fields;
+  fields.reserve(num_cols);
+  for (size_t c = 0; c < num_cols; ++c) {
+    SemanticType semantic = types[c] == ValueType::kDouble
+                                ? SemanticType::kContinuous
+                                : SemanticType::kCategorical;
+    fields.emplace_back(header.fields[c], types[c], semantic);
+  }
+  GREATER_ASSIGN_OR_RETURN(Schema schema, Schema::Make(std::move(fields)));
+  Table table(std::move(schema));
+  for (const auto& row_cells : all_rows) {
+    Row row;
+    row.reserve(num_cols);
+    for (size_t c = 0; c < num_cols; ++c) {
+      const std::string& cell = row_cells[c];
+      if (cell == csv.null_token) {
+        row.push_back(Value::Null());
+        continue;
+      }
+      switch (types[c]) {
+        case ValueType::kInt:
+          row.push_back(Value(*ParseInt(cell)));
+          break;
+        case ValueType::kDouble:
+          row.push_back(Value(*ParseDouble(cell)));
+          break;
+        default:
+          row.push_back(Value(cell));
+      }
+    }
+    GREATER_RETURN_NOT_OK(table.AppendRow(std::move(row)));
+  }
+  return table;
+}
+
+}  // namespace
+
+Result<Table> ReadCsvFileStreaming(const std::string& path,
+                                   const CsvReadOptions& csv_options,
+                                   const StreamOptions& options,
+                                   StreamPolicy policy,
+                                   StreamIngestReport* report,
+                                   ChunkCheckpointer* checkpointer,
+                                   QuarantineWriter* quarantine) {
+  auto in = std::make_shared<std::ifstream>(path, std::ios::binary);
+  if (!*in) {
+    return Status::NotFound("cannot open CSV file '" + path + "'");
+  }
+  size_t block_bytes = std::max<size_t>(1, options.io_block_bytes);
+  BlockSource source = [in, block_bytes, path]() -> Result<std::string> {
+    std::string block(block_bytes, '\0');
+    in->read(block.data(), static_cast<std::streamsize>(block_bytes));
+    std::streamsize got = in->gcount();
+    if (got == 0 && in->bad()) {
+      return Status::Internal("I/O error reading CSV file '" + path + "'");
+    }
+    block.resize(static_cast<size_t>(got));
+    return block;
+  };
+  return RunStreamingIngest(source, path, csv_options, options, policy,
+                            report, checkpointer, quarantine);
+}
+
+Result<Table> ReadCsvStringStreaming(const std::string& text,
+                                     const CsvReadOptions& csv_options,
+                                     const StreamOptions& options,
+                                     StreamPolicy policy,
+                                     StreamIngestReport* report,
+                                     ChunkCheckpointer* checkpointer,
+                                     QuarantineWriter* quarantine,
+                                     const std::string& source_label) {
+  size_t block_bytes = std::max<size_t>(1, options.io_block_bytes);
+  auto offset = std::make_shared<size_t>(0);
+  BlockSource source = [&text, offset, block_bytes]() -> Result<std::string> {
+    if (*offset >= text.size()) return std::string();
+    size_t n = std::min(block_bytes, text.size() - *offset);
+    std::string block = text.substr(*offset, n);
+    *offset += n;
+    return block;
+  };
+  return RunStreamingIngest(source, source_label, csv_options, options,
+                            policy, report, checkpointer, quarantine);
+}
+
+}  // namespace greater

@@ -1,0 +1,68 @@
+#ifndef GREATER_STREAM_CSV_INGEST_H_
+#define GREATER_STREAM_CSV_INGEST_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "stream/chunk_checkpoint.h"
+#include "stream/quarantine.h"
+#include "stream/stream_options.h"
+#include "tabular/csv.h"
+#include "tabular/table.h"
+
+namespace greater {
+
+/// Chunked, bounded-memory CSV ingest on the streaming runtime.
+///
+/// Topology (all queues bounded by `options.queue_capacity` chunks):
+///
+///   reader thread ──raw_q──> parse workers ──parsed_q──> caller (sink)
+///
+/// The reader splits the file into records with CsvRecordSplitter (quoted
+/// newlines may span read blocks), groups them into chunks of
+/// `options.chunk_rows`, advances the chunk-hash chain with each chunk's
+/// RAW bytes, and probes the chunk checkpoint store: a hit skips the parse
+/// workers entirely. Workers validate field counts against the header —
+/// strict policy fails the run with the same typed kDataLoss error the
+/// in-memory reader produces; lenient policy diverts the record to the
+/// quarantine channel — compute per-column type-inference flags, and
+/// persist a per-chunk checkpoint. The caller's thread is the sink: a
+/// sequence-number reorder buffer restores input order regardless of
+/// worker count, so output is byte-identical to `ReadCsvFile` for any
+/// (num_workers, io_block_bytes, chunk_rows) — same table, same inferred
+/// types, same errors in strict mode.
+///
+/// Every input record is accounted for in `report`:
+/// `rows_in == rows_out + quarantined` (StreamIngestReport::Reconciles),
+/// including on a resumed run (checkpointed chunks re-emit their
+/// quarantined records).
+///
+/// `checkpointer` (optional) must be freshly constructed per call — the
+/// ingest seeds its chain with an options fingerprint and the chain then
+/// advances with this file's bytes. `quarantine` (optional) receives
+/// diverted records under the lenient policy; without it they are still
+/// counted in the report and the `stream.quarantined_records` counter.
+Result<Table> ReadCsvFileStreaming(const std::string& path,
+                                   const CsvReadOptions& csv_options,
+                                   const StreamOptions& options,
+                                   StreamPolicy policy,
+                                   StreamIngestReport* report = nullptr,
+                                   ChunkCheckpointer* checkpointer = nullptr,
+                                   QuarantineWriter* quarantine = nullptr);
+
+/// In-memory variant (tests, embedded inputs): identical semantics, the
+/// text is consumed in `options.io_block_bytes` blocks. `source_label`
+/// names the input in quarantine provenance.
+Result<Table> ReadCsvStringStreaming(const std::string& text,
+                                     const CsvReadOptions& csv_options,
+                                     const StreamOptions& options,
+                                     StreamPolicy policy,
+                                     StreamIngestReport* report = nullptr,
+                                     ChunkCheckpointer* checkpointer = nullptr,
+                                     QuarantineWriter* quarantine = nullptr,
+                                     const std::string& source_label =
+                                         "<memory>");
+
+}  // namespace greater
+
+#endif  // GREATER_STREAM_CSV_INGEST_H_

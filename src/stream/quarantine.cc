@@ -1,0 +1,68 @@
+#include "stream/quarantine.h"
+
+#include <string>
+
+#include "obs/metrics.h"
+
+namespace greater {
+namespace {
+
+Counter& QuarantinedCounter() {
+  static Counter* counter =
+      &MetricsRegistry::Global().GetCounter("stream.quarantined_records");
+  return *counter;
+}
+
+// Minimal CSV field escaping for the quarantine file (same quoting rules
+// as WriteCsvString).
+std::string Escape(const std::string& field) {
+  bool needs_quotes = field.find_first_of(",\"\n\r") != std::string::npos;
+  if (!needs_quotes) return field;
+  std::string out = "\"";
+  for (char c : field) {
+    if (c == '"') out += '"';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
+}  // namespace
+
+QuarantineWriter::QuarantineWriter(std::string path) : path_(std::move(path)) {
+  if (path_.empty()) return;
+  out_.open(path_, std::ios::binary | std::ios::trunc);
+  if (!out_) {
+    open_failed_ = true;
+    return;
+  }
+  out_ << "source,record_number,code,message,raw\n";
+  out_.flush();
+}
+
+Status QuarantineWriter::Write(const QuarantinedRecord& record) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++count_;
+  QuarantinedCounter().Increment();
+  if (path_.empty()) return Status::OK();
+  if (open_failed_) {
+    return Status::Internal("cannot open quarantine file '" + path_ + "'");
+  }
+  out_ << Escape(record.source) << ',' << record.record_number << ','
+       << StatusCodeToString(record.why.code()) << ','
+       << Escape(record.why.message()) << ',' << Escape(record.raw) << '\n';
+  // Flush per record: quarantine evidence should survive a crash that
+  // happens moments later.
+  out_.flush();
+  if (!out_) {
+    return Status::Internal("failed writing quarantine file '" + path_ + "'");
+  }
+  return Status::OK();
+}
+
+uint64_t QuarantineWriter::count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return count_;
+}
+
+}  // namespace greater

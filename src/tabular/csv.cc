@@ -27,67 +27,160 @@ Counter& BlankLinesSkippedCounter() {
 }
 
 // Splits CSV text into records of raw string fields, honoring quotes.
+// Implemented on the incremental splitter so the whole-string and chunked
+// readers can never drift apart semantically.
 Result<std::vector<std::vector<std::string>>> ParseRecords(
     std::string_view text, char delim) {
+  CsvRecordSplitter splitter(delim);
+  splitter.set_max_record_bytes(0);  // whole-string path has no chunk budget
+  splitter.Feed(text);
+  splitter.FinishInput();
   std::vector<std::vector<std::string>> records;
-  std::vector<std::string> current;
-  std::string field;
-  bool in_quotes = false;
-  bool field_started = false;
-
-  auto end_field = [&]() {
-    current.push_back(std::move(field));
-    field.clear();
-    field_started = false;
-  };
-  auto end_record = [&]() {
-    end_field();
-    // Skip blank lines (a record that is a single empty field).
-    if (!(current.size() == 1 && current[0].empty())) {
-      records.push_back(std::move(current));
-    } else {
-      BlankLinesSkippedCounter().Increment();
-    }
-    current.clear();
-  };
-
-  for (size_t i = 0; i < text.size(); ++i) {
-    char c = text[i];
-    if (in_quotes) {
-      if (c == '"') {
-        if (i + 1 < text.size() && text[i + 1] == '"') {
-          field += '"';
-          ++i;
-        } else {
-          in_quotes = false;
-        }
-      } else {
-        field += c;
-      }
-    } else if (c == '"' && !field_started) {
-      in_quotes = true;
-      field_started = true;
-    } else if (c == delim) {
-      end_field();
-    } else if (c == '\n') {
-      if (!field.empty() && field.back() == '\r') field.pop_back();
-      end_record();
-    } else {
-      field += c;
-      field_started = true;
-    }
-  }
-  if (in_quotes) {
-    return Status::DataLoss("CSV ends inside a quoted field");
-  }
-  if (!field.empty() || !current.empty()) {
-    if (!field.empty() && field.back() == '\r') field.pop_back();
-    end_record();
+  CsvRecordSplitter::Record record;
+  for (;;) {
+    GREATER_ASSIGN_OR_RETURN(CsvRecordSplitter::Next next,
+                             splitter.NextRecord(&record));
+    if (next != CsvRecordSplitter::Next::kRecord) break;
+    records.push_back(std::move(record.fields));
   }
   return records;
 }
 
 }  // namespace
+
+CsvRecordSplitter::CsvRecordSplitter(char delimiter) : delim_(delimiter) {}
+
+void CsvRecordSplitter::Feed(std::string_view bytes) {
+  buffer_.append(bytes.data(), bytes.size());
+}
+
+void CsvRecordSplitter::FinishInput() { finished_ = true; }
+
+Status CsvRecordSplitter::Oversized() const {
+  return Status::ResourceExhausted(
+      "CSV record " + std::to_string(records_emitted_ + 1) + " exceeds the " +
+      std::to_string(max_record_bytes_) +
+      "-byte record budget (unterminated quote or pathological row?)");
+}
+
+Result<CsvRecordSplitter::Next> CsvRecordSplitter::NextRecord(Record* out) {
+  // Tolerate a UTF-8 byte-order mark at stream start: some exporters
+  // (notably spreadsheet tools on Windows) prepend one, and without
+  // stripping it the BOM bytes would silently become part of the first
+  // header name. With fewer than 3 bytes buffered the prefix may still
+  // turn into a BOM, so hold off until it is decidable.
+  if (!bom_checked_) {
+    static constexpr std::string_view kBom = "\xEF\xBB\xBF";
+    std::string_view head =
+        std::string_view(buffer_).substr(pos_, std::min<size_t>(
+                                                   buffer_.size() - pos_, 3));
+    if (head == kBom) {
+      pos_ += 3;
+      bom_checked_ = true;
+      BomStrippedCounter().Increment();
+    } else if (head.size() < 3 && kBom.substr(0, head.size()) == head &&
+               !finished_) {
+      return Next::kNeedMoreInput;
+    } else {
+      bom_checked_ = true;
+    }
+  }
+
+  // Completes the buffered record. Returns false for a skipped blank line
+  // (a record that is a single empty field), true when *out was filled.
+  auto emit = [&]() {
+    if (!field_.empty() && field_.back() == '\r') field_.pop_back();
+    if (!raw_.empty() && raw_.back() == '\r') raw_.pop_back();
+    fields_.push_back(std::move(field_));
+    field_.clear();
+    field_started_ = false;
+    if (fields_.size() == 1 && fields_[0].empty()) {
+      BlankLinesSkippedCounter().Increment();
+      fields_.clear();
+      raw_.clear();
+      return false;
+    }
+    out->number = ++records_emitted_;
+    out->fields = std::move(fields_);
+    fields_.clear();
+    out->raw = std::move(raw_);
+    raw_.clear();
+    return true;
+  };
+  // Reclaims consumed buffer prefix; called only at points where pos_ is
+  // the sole cursor into buffer_.
+  auto compact = [&]() {
+    if (pos_ >= (size_t{1} << 16)) {
+      buffer_.erase(0, pos_);
+      pos_ = 0;
+    }
+  };
+
+  while (pos_ < buffer_.size()) {
+    char c = buffer_[pos_];
+    if (in_quotes_) {
+      if (c == '"') {
+        if (pos_ + 1 < buffer_.size()) {
+          if (buffer_[pos_ + 1] == '"') {  // escaped quote
+            field_ += '"';
+            raw_ += "\"\"";
+            pos_ += 2;
+          } else {
+            in_quotes_ = false;
+            raw_ += '"';
+            pos_ += 1;
+          }
+        } else if (finished_) {
+          in_quotes_ = false;
+          raw_ += '"';
+          pos_ += 1;
+        } else {
+          // A closing quote at the buffer edge is ambiguous (the next byte
+          // may double it into an escape); wait for more input.
+          compact();
+          return Next::kNeedMoreInput;
+        }
+      } else {
+        field_ += c;
+        raw_ += c;
+        pos_ += 1;
+      }
+    } else if (c == '"' && !field_started_) {
+      in_quotes_ = true;
+      field_started_ = true;
+      raw_ += c;
+      pos_ += 1;
+    } else if (c == delim_) {
+      raw_ += c;
+      fields_.push_back(std::move(field_));
+      field_.clear();
+      field_started_ = false;
+      pos_ += 1;
+    } else if (c == '\n') {
+      pos_ += 1;
+      compact();
+      if (emit()) return Next::kRecord;
+    } else {
+      field_ += c;
+      field_started_ = true;
+      raw_ += c;
+      pos_ += 1;
+    }
+    if (max_record_bytes_ != 0 && raw_.size() > max_record_bytes_) {
+      return Oversized();
+    }
+  }
+  compact();
+  if (!finished_) return Next::kNeedMoreInput;
+  if (in_quotes_) {
+    return Status::DataLoss("CSV ends inside a quoted field");
+  }
+  // Ragged final record without a trailing newline.
+  if (!field_.empty() || !fields_.empty()) {
+    if (emit()) return Next::kRecord;
+  }
+  return Next::kEndOfInput;
+}
 
 Result<Table> ReadCsvString(const std::string& text,
                             const CsvReadOptions& options) {

@@ -1,7 +1,10 @@
 #ifndef GREATER_TABULAR_CSV_H_
 #define GREATER_TABULAR_CSV_H_
 
+#include <cstdint>
 #include <string>
+#include <string_view>
+#include <vector>
 
 #include "common/status.h"
 #include "tabular/table.h"
@@ -16,6 +19,75 @@ struct CsvReadOptions {
   bool infer_types = true;
   /// Cells equal to this string (after trimming) parse as null.
   std::string null_token = "";
+};
+
+/// Incremental RFC-4180 record splitter: the chunked-ingest primitive
+/// behind both ReadCsvString and the streaming reader in src/stream. Bytes
+/// arrive in arbitrary blocks via Feed — a quoted field containing a
+/// newline may span any number of blocks — and complete records are pulled
+/// out as they materialize. State (quote nesting, partial field, partial
+/// CR/LF pair) persists across Feed calls, so splitting is independent of
+/// how the input was blocked: splitting a file fed in 1-byte pieces yields
+/// byte-identical records to splitting it fed whole.
+///
+/// Quirks preserved from the historical whole-string parser: a UTF-8 BOM
+/// at stream start is stripped (csv.bom_stripped counter), blank lines are
+/// skipped (csv.blank_lines_skipped counter) and do not consume a record
+/// number, a trailing '\r' before '\n' is dropped (CRLF and LF mix
+/// freely), and a final record without a trailing newline is emitted at
+/// FinishInput. Input ending inside a quoted field is kDataLoss. A record
+/// whose raw text exceeds max_record_bytes (when set) is
+/// kResourceExhausted — a typed error, never unbounded buffering.
+class CsvRecordSplitter {
+ public:
+  struct Record {
+    /// 1-based ordinal among emitted records (the header is record 1);
+    /// skipped blank lines do not advance it — matching the record
+    /// numbers ReadCsvString reports in ragged-record errors.
+    uint64_t number = 0;
+    std::vector<std::string> fields;
+    /// Raw text of the record as read, without the record separator —
+    /// what a quarantine file preserves for post-mortems.
+    std::string raw;
+  };
+
+  enum class Next {
+    kRecord,         ///< *out holds the next record
+    kNeedMoreInput,  ///< buffered bytes hold no complete record yet
+    kEndOfInput,     ///< FinishInput seen and every record extracted
+  };
+
+  explicit CsvRecordSplitter(char delimiter = ',');
+
+  /// Appends a block of input bytes.
+  void Feed(std::string_view bytes);
+  /// Marks end of input: a buffered final record (no trailing newline)
+  /// becomes extractable, and NextRecord reports kEndOfInput after it.
+  void FinishInput();
+
+  /// Extracts the next complete record into *out (valid on kRecord only).
+  Result<Next> NextRecord(Record* out);
+
+  /// 0 disables the bound (default 4 MiB).
+  void set_max_record_bytes(size_t n) { max_record_bytes_ = n; }
+
+  uint64_t records_emitted() const { return records_emitted_; }
+
+ private:
+  Status Oversized() const;
+
+  char delim_;
+  size_t max_record_bytes_ = size_t{4} << 20;
+  std::string buffer_;       // unconsumed input bytes
+  size_t pos_ = 0;           // consume cursor into buffer_
+  bool finished_ = false;    // FinishInput seen
+  bool bom_checked_ = false;
+  bool in_quotes_ = false;
+  bool field_started_ = false;
+  std::string field_;
+  std::vector<std::string> fields_;
+  std::string raw_;
+  uint64_t records_emitted_ = 0;
 };
 
 /// Parses RFC-4180-style CSV text (double-quote quoting, embedded

@@ -8,6 +8,8 @@
 #include "crosstable/pipeline.h"
 #include "datagen/digix.h"
 #include "obs/metrics.h"
+#include "stream/bounded_queue.h"
+#include "stream/csv_ingest.h"
 #include "synth/great_synthesizer.h"
 #include "tabular/csv.h"
 
@@ -381,6 +383,80 @@ TEST(SampleReportTest, RejectionRateAndToString) {
 TEST(SampleReportTest, PolicyNames) {
   EXPECT_STREQ(SamplePolicyToString(SamplePolicy::kStrict), "strict");
   EXPECT_STREQ(SamplePolicyToString(SamplePolicy::kLenient), "lenient");
+}
+
+// ---------- streaming-runtime fault points ----------
+// Each injected failure must propagate as a typed Status through
+// StreamRuntime's poison-everything shutdown — the whole point is that a
+// failing stage unblocks its peers instead of deadlocking them.
+
+std::string ManyRowCsv(size_t rows) {
+  std::string text = "a,b\n";
+  for (size_t i = 0; i < rows; ++i) {
+    text += std::to_string(i) + ",x" + std::to_string(i) + "\n";
+  }
+  return text;
+}
+
+TEST_F(RobustnessTest, StreamQueueFullFaultPoisonsBlockedProducer) {
+  FaultSpec spec;
+  spec.code = StatusCode::kDeadlineExceeded;
+  spec.message = "consumer died while producer was blocked";
+  ScopedFault fault("stream.queue_full", spec);
+  // Capacity 1 and a blocking consumer: the producer finds the queue full,
+  // the fault fires, and Push reports rejection with the injected status.
+  BoundedQueue<int> q("robustness.full", 1);
+  ASSERT_TRUE(q.Push(1));
+  EXPECT_FALSE(q.Push(2));
+  EXPECT_EQ(q.error().code(), StatusCode::kDeadlineExceeded);
+  EXPECT_FALSE(q.Pop().has_value());  // poison drained the buffered item
+  EXPECT_GE(FaultRegistry::Global().fires("stream.queue_full"), 1u);
+}
+
+TEST_F(RobustnessTest, StreamChunkParseFaultFailsIngestTyped) {
+  FaultSpec spec;
+  spec.code = StatusCode::kDataLoss;
+  spec.message = "chunk parser crashed";
+  spec.skip_hits = 2;
+  ScopedFault fault("stream.chunk_parse", spec);
+  StreamOptions options;
+  options.chunk_rows = 4;
+  options.queue_capacity = 2;
+  options.num_workers = 2;
+  options.io_block_bytes = 32;
+  auto result = ReadCsvStringStreaming(ManyRowCsv(40), CsvReadOptions(),
+                                       options, StreamPolicy::kStrict);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kDataLoss);
+  EXPECT_NE(result.status().ToString().find("chunk parser crashed"),
+            std::string::npos);
+  EXPECT_TRUE(ContextMentions(result.status(), "streaming stage"));
+  EXPECT_GE(FaultRegistry::Global().fires("stream.chunk_parse"), 1u);
+}
+
+TEST_F(RobustnessTest, StreamWorkerDeathFaultIsCaughtByWatchdogOnly) {
+  FaultSpec spec;
+  spec.max_fires = 1;
+  ScopedFault fault("stream.worker_death", spec);
+  StreamOptions options;
+  options.chunk_rows = 4;
+  options.queue_capacity = 2;
+  options.num_workers = 1;
+  options.io_block_bytes = 32;
+  options.watchdog_timeout_ms = 60;
+  options.watchdog_poll_ms = 5;
+  // The lone parse worker dies silently (no status, no MarkDone): nothing
+  // downstream would ever close, so only the watchdog can convict it.
+  auto result = ReadCsvStringStreaming(ManyRowCsv(40), CsvReadOptions(),
+                                       options, StreamPolicy::kStrict);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kDeadlineExceeded);
+  EXPECT_NE(result.status().ToString().find("heartbeat"),
+            std::string::npos);
+  EXPECT_GE(FaultRegistry::Global().fires("stream.worker_death"), 1u);
+  EXPECT_GE(
+      MetricsRegistry::Global().GetCounter("stream.watchdog_trips").Value(),
+      1u);
 }
 
 }  // namespace
