@@ -23,6 +23,7 @@
 #include "stats/hypothesis.h"
 #include "stream/csv_ingest.h"
 #include "tabular/csv.h"
+#include "tabular/table_builder.h"
 #include "synth/great_synthesizer.h"
 #include "text/bpe_tokenizer.h"
 #include "text/word_tokenizer.h"
@@ -296,6 +297,129 @@ BENCHMARK(BM_SampleRowsNeural_Cached)
     ->Arg(0)
     ->Arg(1)
     ->Unit(benchmark::kMillisecond);
+
+// Lockstep batched decode (src/synth/batch_decode.*): Arg = batch_rows.
+// Output is bitwise-identical at every batch size (see DESIGN.md,
+// "Batched columnar decode"); what changes is cost — lanes sharing a
+// (context, allow-list) group pay one restricted model evaluation per
+// step instead of one per lane. The decode cache is off here so the
+// benchmark isolates that in-batch sharing: with kExactReplay enabled a
+// hit's key-pack-and-probe costs about what the batch engine's group-key
+// work does, so the cached configurations are cost-equivalent at every
+// batch size (BM_SampleRows_Cached covers them) — the batched engine's
+// win is exactly the regime the cache cannot memoize. Arg(1) is the
+// per-row baseline the bench_compare.py --fail-batch-speedup-below gate
+// divides by, and the synth.batch.model_evals_saved counter proves the
+// win comes from grouped evaluation. rows/sec lands in items_per_second.
+void BM_SampleRowsBatched(benchmark::State& state) {
+  Table train = CategoricalTable();
+  GreatSynthesizer::Options options;
+  options.decode_cache.enabled = false;
+  options.batch_rows = static_cast<size_t>(state.range(0));
+  GreatSynthesizer synth(options);
+  Rng rng(1);
+  if (!synth.Fit(train, &rng).ok()) state.SkipWithError("fit failed");
+  size_t rows = 0;
+  for (auto _ : state) {
+    auto table = synth.Sample(64, &rng);
+    benchmark::DoNotOptimize(table);
+    if (table.ok()) rows += table.ValueOrDie().num_rows();
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(rows));
+}
+BENCHMARK(BM_SampleRowsBatched)
+    ->Arg(1)
+    ->Arg(8)
+    ->Arg(64)
+    ->Unit(benchmark::kMillisecond);
+
+// Neural-backbone variant. Expect a much smaller batched win than the
+// ngram case: the neural model keys on an 8-token context window (vs.
+// order-1 for the ngram), so concurrent lanes rarely sit on identical
+// windows (~24% evals saved, mean group ≈ 1.3 at batch 64), and the
+// lanes that do share a window were already sharing the expensive hidden
+// pass through NeuralLm's per-window HiddenStateCache at batch 1. The
+// run is still worth tracking — it bounds what grouping can do when the
+// model's context dependence approaches the group-key window.
+void BM_SampleRowsBatchedNeural(benchmark::State& state) {
+  Table train = CategoricalTable();
+  GreatSynthesizer::Options options;
+  options.decode_cache.enabled = false;
+  options.backbone = GreatSynthesizer::Backbone::kNeural;
+  options.neural.epochs = 2;
+  options.neural.pretrain_epochs = 0;
+  options.policy = SamplePolicy::kLenient;  // under-trained rows may exhaust
+  options.batch_rows = static_cast<size_t>(state.range(0));
+  GreatSynthesizer synth(options);
+  Rng rng(1);
+  if (!synth.Fit(train, &rng).ok()) state.SkipWithError("fit failed");
+  size_t rows = 0;
+  for (auto _ : state) {
+    auto table = synth.Sample(16, &rng);
+    benchmark::DoNotOptimize(table);
+    if (table.ok()) rows += table.ValueOrDie().num_rows();
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(rows));
+}
+BENCHMARK(BM_SampleRowsBatchedNeural)
+    ->Arg(1)
+    ->Arg(8)
+    ->Arg(64)
+    ->Unit(benchmark::kMillisecond);
+
+// Columnar append path: Arg(0) = row-at-a-time Table::AppendRow (the
+// pre-batch materialization), Arg(1) = TableBuilder cell-wise append with
+// pre-reserve — the path batched decode lands rows on. items_per_second
+// counts rows.
+void BM_ColumnarTableBuild(benchmark::State& state) {
+  Table source = CategoricalTable();
+  const Schema& schema = source.schema();
+  const size_t kRows = source.num_rows();
+  const size_t kCols = schema.num_fields();
+  size_t rows = 0;
+  if (state.range(0) == 0) {
+    for (auto _ : state) {
+      Table t(schema);
+      for (size_t r = 0; r < kRows; ++r) {
+        Row row;
+        row.reserve(kCols);
+        for (size_t c = 0; c < kCols; ++c) row.push_back(source.at(r, c));
+        if (!t.AppendRow(std::move(row)).ok()) {
+          state.SkipWithError("append failed");
+          return;
+        }
+      }
+      benchmark::DoNotOptimize(t);
+      rows += t.num_rows();
+    }
+  } else {
+    TableBuilder builder(schema);
+    for (auto _ : state) {
+      builder.Reserve(kRows);
+      for (size_t r = 0; r < kRows; ++r) {
+        for (size_t c = 0; c < kCols; ++c) {
+          if (!builder.AppendCell(c, source.at(r, c)).ok()) {
+            state.SkipWithError("append failed");
+            return;
+          }
+        }
+        if (!builder.CommitRow().ok()) {
+          state.SkipWithError("commit failed");
+          return;
+        }
+      }
+      auto t = builder.Build();
+      if (!t.ok()) {
+        state.SkipWithError("build failed");
+        return;
+      }
+      benchmark::DoNotOptimize(t);
+      rows += t.ValueOrDie().num_rows();
+    }
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(rows));
+}
+BENCHMARK(BM_ColumnarTableBuild)->Arg(0)->Arg(1);
 
 void BM_DirectFlatten(benchmark::State& state) {
   DigixDataset trial = MakeTrial();

@@ -6,9 +6,13 @@
 
 // Pass --metrics-out=FILE (or --metrics-out FILE) to dump the full
 // observability snapshot — pipeline/stage spans, sampler counters, latency
-// histograms — as JSON after the three setups have run.
+// histograms — as JSON after the three setups have run. Pass
+// --batch-rows=N to sample through the lockstep batched decode engine
+// (N lanes per chunk; output is bitwise-identical to the default per-row
+// decoder, see DESIGN.md "Batched columnar decode").
 
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <string>
@@ -22,13 +26,14 @@ using namespace greater;
 
 namespace {
 
-void RunSetup(const char* label, FusionMethod fusion,
+void RunSetup(const char* label, FusionMethod fusion, size_t batch_rows,
               const DigixDataset& data) {
   PipelineOptions options;
   options.fusion = fusion;
   options.semantic = SemanticMode::kUnderstandability;
   options.synth.encoder.permutations_per_row = 2;
   options.synth.max_training_sequences = 700;
+  options.batch_rows = batch_rows;
   MultiTablePipeline pipeline(options);
 
   Rng rng(7);
@@ -69,15 +74,25 @@ void RunSetup(const char* label, FusionMethod fusion,
 
 int main(int argc, char** argv) {
   std::string metrics_out;
+  size_t batch_rows = 0;
   for (int i = 1; i < argc; ++i) {
     if (std::strncmp(argv[i], "--metrics-out=", 14) == 0) {
       metrics_out = argv[i] + 14;
     } else if (std::strcmp(argv[i], "--metrics-out") == 0 && i + 1 < argc) {
       metrics_out = argv[++i];
+    } else if (std::strncmp(argv[i], "--batch-rows=", 13) == 0) {
+      batch_rows = static_cast<size_t>(std::strtoull(argv[i] + 13, nullptr, 10));
+    } else if (std::strcmp(argv[i], "--batch-rows") == 0 && i + 1 < argc) {
+      batch_rows = static_cast<size_t>(std::strtoull(argv[++i], nullptr, 10));
     } else {
-      std::fprintf(stderr, "usage: %s [--metrics-out FILE]\n", argv[0]);
+      std::fprintf(stderr, "usage: %s [--metrics-out FILE] [--batch-rows N]\n",
+                   argv[0]);
       return 2;
     }
+  }
+  if (batch_rows > 1) {
+    std::printf("sampling through the batched decode engine (batch_rows=%zu)\n",
+                batch_rows);
   }
 
   std::printf("generating a DIGIX-like multi-table CTR trial...\n");
@@ -95,9 +110,11 @@ int main(int argc, char** argv) {
               data->feeds.num_rows(), data->feeds.num_columns());
 
   RunSetup("GReaTER (median threshold)", FusionMethod::kGreaterMedianThreshold,
+           batch_rows, *data);
+  RunSetup("DEREC baseline", FusionMethod::kDerecIndependent, batch_rows,
            *data);
-  RunSetup("DEREC baseline", FusionMethod::kDerecIndependent, *data);
-  RunSetup("Direct flattening baseline", FusionMethod::kDirectFlatten, *data);
+  RunSetup("Direct flattening baseline", FusionMethod::kDirectFlatten,
+           batch_rows, *data);
 
   if (!metrics_out.empty()) {
     std::ofstream out(metrics_out);

@@ -16,6 +16,14 @@ Benchmarks that export observability stage timings as user counters
 second per-stage table. --fail-stage-above PCT gates those the same way;
 100 means "fail on any stage slower than 2x baseline".
 
+--fail-batch-speedup-below RATIO gates the batched decode engine: the
+candidate's BM_SampleRowsBatched/<largest batch> rows/sec divided by
+BM_SampleRowsBatched/1 rows/sec is the in-batch grouping speedup, and a
+ratio below RATIO (e.g. 1.5 = batch-64 must sample rows at least 1.5x
+faster than batch-1) exits non-zero. A change that silently defeats lane
+grouping (hash churn, key mismatch, lanes going solo) fails this gate
+even when every absolute time still looks plausible.
+
 --fail-resume-speedup-below RATIO gates checkpoint resume: the candidate's
 BM_PipelineResumeCold / BM_PipelineResumeWarm real-time ratio is the warm
 resume speedup, and a ratio below RATIO (e.g. 2.0 = warm must be at least
@@ -62,11 +70,17 @@ def load_benchmarks(path):
             if key.startswith("stage_") and key.endswith("_us")
             and isinstance(value, (int, float))
         }
-        out[bench["name"]] = {
+        entry = {
             "real_time": float(bench["real_time"]),
             "time_unit": bench.get("time_unit", "ns"),
             "stages": stages,
         }
+        # Throughput counter (state.SetItemsProcessed); the batch-speedup
+        # gate compares rows/sec rather than wall time so batch size does
+        # not distort the ratio.
+        if isinstance(bench.get("items_per_second"), (int, float)):
+            entry["items_per_second"] = float(bench["items_per_second"])
+        out[bench["name"]] = entry
     return out
 
 
@@ -92,6 +106,15 @@ def main():
         metavar="PCT",
         help="exit 1 if any pipeline stage timing regressed by more than "
         "PCT percent (100 = fail on >2x)",
+    )
+    parser.add_argument(
+        "--fail-batch-speedup-below",
+        type=float,
+        default=None,
+        metavar="RATIO",
+        help="exit 1 if the candidate's batched-decode speedup "
+        "(BM_SampleRowsBatched/<largest batch> rows/sec over "
+        "BM_SampleRowsBatched/1 rows/sec) is below RATIO",
     )
     parser.add_argument(
         "--fail-resume-speedup-below",
@@ -251,6 +274,48 @@ def main():
     elif args.fail_resume_speedup_below is not None:
         print(
             "FAIL: candidate lacks BM_PipelineResumeCold/Warm to gate on",
+            file=sys.stderr,
+        )
+        failed = True
+
+    # Batched-decode grouping speedup (candidate, rows/sec). The benchmark
+    # registers one run per batch size as BM_SampleRowsBatched/<batch>;
+    # gate the largest batch against the batch=1 lockstep baseline.
+    batch_runs = {}
+    for name, bench in cand.items():
+        if not name.startswith("BM_SampleRowsBatched/"):
+            continue
+        arg = name.split("/")[1]
+        if arg.isdigit() and "items_per_second" in bench:
+            batch_runs[int(arg)] = bench
+    if len(batch_runs) >= 2 and 1 in batch_runs:
+        largest = max(batch_runs)
+        base_rate = batch_runs[1]["items_per_second"]
+        batch_rate = batch_runs[largest]["items_per_second"]
+        if base_rate <= 0.0:
+            print("\nbatch speedup: batch=1 run reported no throughput")
+            if args.fail_batch_speedup_below is not None:
+                failed = True
+        else:
+            speedup = batch_rate / base_rate
+            print(
+                f"\nbatch speedup: batch={largest} {batch_rate:,.0f} rows/s"
+                f" / batch=1 {base_rate:,.0f} rows/s = {speedup:.2f}x"
+            )
+            if (
+                args.fail_batch_speedup_below is not None
+                and speedup < args.fail_batch_speedup_below
+            ):
+                print(
+                    f"FAIL: batch speedup below "
+                    f"{args.fail_batch_speedup_below:.2f}x threshold",
+                    file=sys.stderr,
+                )
+                failed = True
+    elif args.fail_batch_speedup_below is not None:
+        print(
+            "FAIL: candidate lacks BM_SampleRowsBatched/1 and a larger "
+            "batch (with items_per_second) to gate on",
             file=sys.stderr,
         )
         failed = True

@@ -42,26 +42,30 @@ uint64_t Rng::DeriveStreamSeed(uint64_t base, uint64_t index) {
 }
 
 std::string Rng::SaveState() const {
-  // mt19937_64 defines a textual stream form (624-ish decimal words); it is
-  // exact and portable across libstdc++ builds, which is all the resume
-  // contract needs.
+  // Four decimal words, space-separated: the full xoshiro256++ state. The
+  // form is exact and portable, which is all the resume contract needs.
   std::ostringstream os;
-  os << engine_;
+  os << engine_.state_word(0) << ' ' << engine_.state_word(1) << ' '
+     << engine_.state_word(2) << ' ' << engine_.state_word(3);
   return os.str();
 }
 
 bool Rng::LoadState(const std::string& state) {
-  std::mt19937_64 candidate;
   std::istringstream is(state);
-  is >> candidate;
-  if (is.fail()) return false;
-  engine_ = candidate;
+  uint64_t words[4];
+  for (auto& word : words) {
+    is >> word;
+    if (is.fail()) return false;
+  }
+  if ((words[0] | words[1] | words[2] | words[3]) == 0) return false;
+  engine_.set_state(words[0], words[1], words[2], words[3]);
   return true;
 }
 
 Rng Rng::Fork() {
-  // Draw two words from this stream to seed the child; keeps parent and
-  // child streams decorrelated for mt19937_64's practical purposes.
+  // Draw two words from this stream to seed the child; the SplitMix64
+  // expansion in the constructor keeps parent and child streams
+  // decorrelated for practical purposes.
   uint64_t a = engine_();
   uint64_t b = engine_();
   return Rng(a ^ (b * 0x2545F4914F6CDD1DULL + 0x9e3779b97f4a7c15ULL));

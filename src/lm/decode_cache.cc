@@ -248,20 +248,14 @@ AllowListId DecodeCache::InternTransient(
   return id;
 }
 
-TokenId DecodeCache::SampleRestricted(const LanguageModel& lm,
-                                      const TokenSequence& context,
-                                      const std::vector<TokenId>& candidates,
-                                      AllowListId allow_id, double temperature,
-                                      Rng* rng, DecodeWorkspace* ws) {
-  if (!options_.enabled || allow_id == kNoAllowList) {
-    ++stats_.uncacheable;
-    return lm.SampleNext(context, rng, temperature, &candidates, ws);
-  }
+DecodeCache::ResolvedDist DecodeCache::ResolveRestricted(
+    const LanguageModel& lm, const TokenSequence& context,
+    const std::vector<TokenId>& candidates, AllowListId allow_id,
+    double temperature, DecodeWorkspace* ws) {
+  ResolvedDist dist;
+  if (!options_.enabled || allow_id == kNoAllowList) return dist;
   Key key;
-  if (!PackContext(context, lm.context_dependence(), &key)) {
-    ++stats_.uncacheable;
-    return lm.SampleNext(context, rng, temperature, &candidates, ws);
-  }
+  if (!PackContext(context, lm.context_dependence(), &key)) return dist;
   key.allow = allow_id;
   uint64_t temp_bits;
   static_assert(sizeof(temp_bits) == sizeof(temperature));
@@ -275,14 +269,39 @@ TokenId DecodeCache::SampleRestricted(const LanguageModel& lm,
     entry.referenced = 1;
     ++stats_.hits;
     GetCacheCounters().hits->Increment();
-    return Draw(entry, candidates, rng);
+    dist.slot = it->second;
+    dist.cacheable = true;
+    return dist;
   }
   ++stats_.misses;
   GetCacheCounters().misses->Increment();
   lm.NextTokenWeightsRestricted(context, candidates, ws, &ws->weights);
   ApplyTemperatureShaping(&ws->weights, temperature);
-  Entry& entry = Insert(key, ws->weights);
-  return Draw(entry, candidates, rng);
+  Insert(key, ws->weights);
+  dist.slot = index_.find(key)->second;
+  dist.cacheable = true;
+  return dist;
+}
+
+TokenId DecodeCache::DrawResolved(const ResolvedDist& dist,
+                                  const std::vector<TokenId>& candidates,
+                                  Rng* rng) const {
+  assert(dist.cacheable && dist.slot < slots_.size());
+  return Draw(slots_[dist.slot], candidates, rng);
+}
+
+TokenId DecodeCache::SampleRestricted(const LanguageModel& lm,
+                                      const TokenSequence& context,
+                                      const std::vector<TokenId>& candidates,
+                                      AllowListId allow_id, double temperature,
+                                      Rng* rng, DecodeWorkspace* ws) {
+  ResolvedDist dist = ResolveRestricted(lm, context, candidates, allow_id,
+                                        temperature, ws);
+  if (!dist.cacheable) {
+    ++stats_.uncacheable;
+    return lm.SampleNext(context, rng, temperature, &candidates, ws);
+  }
+  return DrawResolved(dist, candidates, rng);
 }
 
 }  // namespace greater

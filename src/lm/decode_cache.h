@@ -181,6 +181,33 @@ class DecodeCache {
   /// copies it, later calls are a find (no allocation).
   AllowListId InternTransient(const std::vector<TokenId>& candidates);
 
+  /// Handle to a resolved distribution, for the batched decode engine's
+  /// one-evaluation-per-group draws. Valid only until the next
+  /// ResolveRestricted / SampleRestricted call on this cache (resolution
+  /// may insert, which can evict or move slot storage).
+  struct ResolvedDist {
+    uint32_t slot = 0;
+    bool cacheable = false;  ///< false: fall back to per-lane sampling
+  };
+
+  /// Looks up or computes (and inserts) the restricted distribution
+  /// WITHOUT drawing, counting one hit or miss — so one resolution can
+  /// serve a draw for every lane of a batch group. Returns
+  /// cacheable=false (and counts nothing) when the cache is disabled,
+  /// `allow_id` is kNoAllowList, or the context window is unpackable.
+  ResolvedDist ResolveRestricted(const LanguageModel& lm,
+                                 const TokenSequence& context,
+                                 const std::vector<TokenId>& candidates,
+                                 AllowListId allow_id, double temperature,
+                                 DecodeWorkspace* ws);
+
+  /// One draw from a resolved distribution: bitwise-identical (tokens and
+  /// Rng advance) to the draw SampleRestricted would have made against the
+  /// same entry. `candidates` must equal the list the entry was built for.
+  TokenId DrawResolved(const ResolvedDist& dist,
+                       const std::vector<TokenId>& candidates,
+                       Rng* rng) const;
+
   const LocalStats& stats() const { return stats_; }
   size_t size() const { return index_.size(); }
   size_t bytes() const { return bytes_; }

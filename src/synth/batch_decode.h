@@ -1,0 +1,217 @@
+#ifndef GREATER_SYNTH_BATCH_DECODE_H_
+#define GREATER_SYNTH_BATCH_DECODE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/status.h"
+#include "lm/decode_cache.h"
+#include "lm/language_model.h"
+#include "synth/great_synthesizer.h"
+#include "synth/sample_report.h"
+#include "synth/textual_encoder.h"
+#include "tabular/table.h"
+
+namespace greater {
+
+/// Lockstep batched row decoder: advances a chunk of in-flight rows
+/// ("lanes") one token step at a time, grouping lanes whose next draw is
+/// governed by the same (context-window, allow-list, temperature) key so
+/// each distinct group costs exactly one restricted model evaluation —
+/// the PR 4 decode cache's memoized sharing made explicit within a batch.
+///
+/// State is structure-of-arrays: per-lane context windows live as
+/// fixed-stride slices of one token arena (sized once per chunk, reused
+/// across chunks), and cursors / attempt counters / done flags are
+/// parallel vectors indexed by lane. Each lane owns the Rng stream
+/// derived for its global row index (Rng::DeriveStreamSeed(base, row)),
+/// and every draw consumes only that lane's stream, so the batched output
+/// is bitwise-identical to running GreatSynthesizer's per-row reference
+/// decoder over the same row indices — for any chunk size, both LM
+/// backbones, cache on or off, conditional or not.
+///
+/// One engine per sampling worker (it is as thread-compatible as the
+/// DecodeCache it borrows): GreatSynthesizer keeps one in each
+/// SamplerWorkspace when Options::batch_rows > 1.
+class BatchDecodeEngine {
+ public:
+  /// Per-run aggregate of the synth.batch.* metrics, kept locally so
+  /// tests can reconcile without registry coupling. Invariant:
+  /// group_evals + model_evals_saved == lane_steps.
+  struct LocalStats {
+    uint64_t lanes = 0;        ///< lanes started (== rows attempted)
+    uint64_t steps = 0;        ///< lockstep iterations
+    uint64_t lane_steps = 0;   ///< per-lane token draws
+    uint64_t group_evals = 0;  ///< distribution resolutions (incl. solos)
+    uint64_t model_evals_saved = 0;  ///< lane_steps - group_evals
+  };
+
+  explicit BatchDecodeEngine(const GreatSynthesizer& synth);
+
+  /// Samples rows [begin, end) of the surrounding Sample/SampleConditional
+  /// call in lockstep, appending one Result<Row> per row (in row order) to
+  /// `out`. Lane i draws from Rng(Rng::DeriveStreamSeed(base, begin + i)).
+  /// `conditions`, when non-null, forces row i's condition columns exactly
+  /// as the per-row path does. `cache` may be null (uncached grouped
+  /// evaluation); `decode` provides the model scratch buffers. Per-row
+  /// accounting lands in `stats` with the same counts, row by row, as the
+  /// reference decoder.
+  void RunChunk(size_t begin, size_t end, const Table* conditions,
+                uint64_t base, DecodeCache* cache, DecodeWorkspace* decode,
+                SampleReport* stats, uint64_t parent_span,
+                std::vector<Result<Row>>* out);
+
+  const LocalStats& stats() const { return local_stats_; }
+
+  /// Test-only observation hook, invoked after every lockstep step with
+  /// (0-based step index within the chunk, groups resolved that step).
+  /// batch_decode_test's zero-allocation probe reads the operator-new
+  /// counter from inside it.
+  void (*on_step_for_testing)(size_t step, size_t groups, void* user) =
+      nullptr;
+  void* on_step_user = nullptr;
+
+ private:
+  enum class LaneState : uint8_t { kName, kValue, kDone };
+
+  /// Widest context window a draw can be grouped on — mirrors the packed
+  /// key width of DecodeCache; wider windows fall back to per-lane draws.
+  static constexpr size_t kMaxWindow = 16;
+
+  /// Memoized remaining-name allow-list, keyed by the lane's emitted-column
+  /// bitmask. Lanes at the same decode frontier share one list object (and
+  /// one interned id), which is what lets name-state draws group even with
+  /// the cache off. Entries live in a deque so the `allowed_` pointers a
+  /// step hands out stay stable while the memo grows.
+  struct NameMemoEntry {
+    uint64_t mask = 0;
+    AllowListId id = kNoAllowList;
+    std::vector<TokenId> names;
+  };
+
+  // Chunk setup -------------------------------------------------------------
+  void PrepareChunk(size_t begin, size_t end, const Table* conditions,
+                    uint64_t base);
+  /// Per-lane initialization: rows_requested/fault accounting, forced
+  /// resolution, prefix encoding, first attempt.
+  void StartLane(size_t lane, size_t row, const Table* conditions);
+
+  // Lane state machine ------------------------------------------------------
+  void BeginAttempt(size_t lane);
+  void EnterNameState(size_t lane);
+  /// Decode + validation + snap + forced overrides for a completed
+  /// attempt; success parks the row in row_scratch_[lane].
+  void FinalizeAttempt(size_t lane);
+  /// Attempt-level rejection: records last_error and either retries or
+  /// exhausts the lane.
+  void FailAttempt(size_t lane, Status error);
+  void FinishLane(size_t lane, Status status);
+  /// Applies a drawn token to the lane per the reference decoder's
+  /// transition rules.
+  void ApplyToken(size_t lane, TokenId token);
+  /// Marks the current column's value complete and moves on (next column
+  /// or attempt finalization).
+  void CompleteValue(size_t lane);
+
+  // Lockstep draw phase -----------------------------------------------------
+  /// Builds allowed_/allow_id_/hash_ for one active lane; sets solo_ when
+  /// the lane must be drawn per-lane (unpackable window, or an unkeyable
+  /// list under an active cache).
+  void PrepareDraw(size_t lane);
+  /// Exact draw-key equality for two prepared lanes: same allow-list
+  /// identity and the same context window, read straight from the arena.
+  /// Group formation probes gtable_ by hash_ and verifies with this, so a
+  /// hash collision can only split a group (costing an extra evaluation),
+  /// never merge distinct distributions.
+  bool SameKey(size_t a, size_t b) const;
+  /// Runs one lockstep step over every active lane; returns the number of
+  /// groups resolved.
+  size_t Step();
+  /// One grouped evaluation + per-lane draws over order_[first, last).
+  void DrawGroup(size_t first, size_t last);
+  void CopyContext(size_t lane);
+
+  const GreatSynthesizer& synth_;
+
+  // Borrowed for the duration of one RunChunk call.
+  DecodeCache* cache_ = nullptr;
+  DecodeWorkspace* decode_ = nullptr;
+  SampleReport* report_ = nullptr;
+
+  size_t num_lanes_ = 0;
+  size_t begin_row_ = 0;
+  size_t active_ = 0;
+  size_t num_columns_ = 0;
+
+  // --- structure-of-arrays lane state (index = lane), reused across
+  // chunks so the steady state allocates nothing ---
+  std::vector<Rng> rng_;
+  std::vector<LaneState> state_;
+  std::vector<size_t> ctx_len_;     ///< tokens in the lane's arena slice
+  std::vector<size_t> prefix_len_;  ///< forced-prefix tokens (attempt reset)
+  std::vector<size_t> attempt_;     ///< 0-based current attempt
+  std::vector<size_t> col_;         ///< column being decoded (kValue)
+  std::vector<size_t> value_len_;
+  std::vector<size_t> remaining_;
+  std::vector<uint8_t> last_column_;
+  std::vector<uint8_t> closed_;
+  std::vector<uint8_t> constrain_;
+  std::vector<uint8_t> lane_failed_;
+  std::vector<Status> last_error_;
+  std::vector<Status> final_status_;
+  std::vector<uint8_t> emitted_;       ///< lane * num_columns_ + c
+  std::vector<uint8_t> forced_has_;    ///< lane * num_columns_ + c
+  std::vector<Value> forced_value_;    ///< lane * num_columns_ + c
+  std::vector<Row> row_scratch_;       ///< decode target / final row
+  std::vector<std::vector<TokenId>> prefix_buf_;  ///< forced-prefix tokens
+
+  /// Token arena: lane contexts live at [lane * arena_stride_,
+  /// lane * arena_stride_ + ctx_len_[lane]). Sized once per chunk from
+  /// the worst-case row length; never reallocated mid-chunk, so token
+  /// appends are plain stores.
+  std::vector<TokenId> arena_;
+  size_t arena_stride_ = 0;
+
+  // --- per-step draw scratch ---
+  std::vector<std::vector<TokenId>> lane_names_;  ///< wide-schema fallback
+  std::deque<NameMemoEntry> name_memo_;  ///< per-chunk mask -> name list
+  size_t name_memo_used_ = 0;
+  size_t ctx_limit_ = 0;  ///< lm context_dependence, hoisted per chunk
+  std::vector<const std::vector<TokenId>*> allowed_;
+  std::vector<AllowListId> allow_id_;
+  std::vector<uint64_t> list_key_;  ///< tagged allow-list id or pointer
+  std::vector<uint32_t> take_;      ///< window width the draw keys on
+  std::vector<uint64_t> hash_;      ///< mixed (list_key, window) sort key
+  std::vector<uint8_t> solo_;
+  std::vector<TokenId> token_;
+
+  /// O(active) group formation: gtable_ is an open-addressed table of
+  /// group ids probed by hash_ (exact membership re-checked with SameKey),
+  /// group_rep_/group_count_/group_offset_ describe the groups found this
+  /// step, and order_ holds the active lanes scattered into contiguous
+  /// per-group runs (lane-ascending within each group, which pins the
+  /// representative and keeps draw accounting deterministic). All scratch
+  /// is reserved to the one-group-per-lane worst case in PrepareChunk so
+  /// steady-state steps allocate nothing.
+  std::vector<int32_t> gtable_;
+  std::vector<uint32_t> group_id_;      ///< lane -> group
+  std::vector<uint32_t> group_rep_;     ///< group -> first (lowest) lane
+  std::vector<uint32_t> group_count_;   ///< group -> member count
+  std::vector<uint32_t> group_offset_;  ///< group -> first slot in order_
+  std::vector<uint32_t> order_;         ///< active lanes, grouped runs
+  std::vector<uint32_t> scatter_;       ///< scatter scratch for order_
+  TokenSequence ctx_scratch_;           ///< representative context copy
+  std::vector<double> weights_;  ///< uncached group evaluation
+  std::vector<double> cdf_;
+  TextualEncoder::DecodeScratch decode_scratch_;
+  std::string display_scratch_;
+
+  LocalStats local_stats_;
+};
+
+}  // namespace greater
+
+#endif  // GREATER_SYNTH_BATCH_DECODE_H_

@@ -7,13 +7,11 @@
 #include "common/fault.h"
 #include "obs/metrics.h"
 #include "obs/span.h"
+#include "synth/batch_decode.h"
+#include "tabular/table_builder.h"
 
 namespace greater {
 namespace {
-
-/// Hard cap on tokens per generated value; guards against degenerate loops
-/// when the model keeps emitting value tokens.
-constexpr size_t kMaxValueTokens = 24;
 
 Histogram& RowLatencyHistogram() {
   static Histogram* histogram =
@@ -33,6 +31,13 @@ void InsertSorted(std::vector<TokenId>* ids, TokenId id) {
 
 GreatSynthesizer::GreatSynthesizer(const Options& options)
     : options_(options) {}
+
+// Defined here, where BatchDecodeEngine is complete (SamplerWorkspace holds
+// it behind a unique_ptr).
+GreatSynthesizer::GreatSynthesizer(GreatSynthesizer&&) noexcept = default;
+GreatSynthesizer& GreatSynthesizer::operator=(GreatSynthesizer&&) noexcept =
+    default;
+GreatSynthesizer::~GreatSynthesizer() = default;
 
 Status GreatSynthesizer::Fit(const Table& train, Rng* rng) {
   Span fit_span("synth.fit");
@@ -141,6 +146,9 @@ void GreatSynthesizer::BuildGrammars() {
 void GreatSynthesizer::InitWorkspace(SamplerWorkspace* ws) const {
   if (options_.decode_cache.enabled && ws->cache == nullptr) {
     ws->cache = std::make_unique<DecodeCache>(options_.decode_cache);
+  }
+  if (options_.batch_rows > 1 && ws->batch == nullptr) {
+    ws->batch = std::make_unique<BatchDecodeEngine>(*this);
   }
   ws->decode.hidden_cache.set_capacity(
       options_.decode_cache.cache_hidden_states
@@ -381,69 +389,107 @@ Result<Table> GreatSynthesizer::SampleMany(size_t n, const Table* conditions,
   // Captured before any dispatch: pool workers have no view of this
   // thread's span stack, so per-row spans take their parent explicitly.
   const uint64_t parent_span = Span::CurrentId();
-  auto sample_one = [&](size_t i, Rng* row_rng, SamplerWorkspace* ws,
-                        SampleReport* stats) -> Result<Row> {
-    if (conditions == nullptr) {
-      return SampleRowImpl(row_rng, nullptr, ws, stats, parent_span);
+
+  // One base draw (fixed Rng advance regardless of worker count or batch
+  // size), then row i samples from the private stream seeded with
+  // DeriveStreamSeed(base, i). Because every draw a row makes comes from
+  // its own stream, the output is invariant to how rows are scheduled —
+  // serial, pooled, per-row or lockstep-batched — which is the whole
+  // determinism contract: identical tables at any (num_threads,
+  // batch_rows) for a fixed seed.
+  uint64_t base = 0;
+  if (n > 0) {
+    uint64_t base_a = rng->engine()();
+    uint64_t base_b = rng->engine()();
+    base = base_a ^ (base_b * 0x2545F4914F6CDD1DULL + 0x9e3779b97f4a7c15ULL);
+  }
+  const size_t batch = std::max<size_t>(1, options_.batch_rows);
+
+  // Samples rows [begin, end), appending one Result<Row> per row to
+  // `rows`: lockstep chunks through the workspace's batch engine when
+  // batch_rows > 1, the per-row reference decoder otherwise.
+  auto sample_range = [&](size_t begin, size_t end, SamplerWorkspace* ws,
+                          SampleReport* stats,
+                          std::vector<Result<Row>>* rows) {
+    if (ws->batch != nullptr) {
+      for (size_t chunk = begin; chunk < end; chunk += batch) {
+        size_t chunk_end = std::min(end, chunk + batch);
+        ws->batch->RunChunk(chunk, chunk_end, conditions, base,
+                            ws->cache.get(), &ws->decode, stats, parent_span,
+                            rows);
+      }
+      return;
     }
     std::map<std::string, Value> forced;
-    for (size_t c = 0; c < conditions->num_columns(); ++c) {
-      forced[conditions->schema().field(c).name] = conditions->at(i, c);
+    for (size_t i = begin; i < end; ++i) {
+      Rng row_rng(Rng::DeriveStreamSeed(base, i));
+      const std::map<std::string, Value>* forced_ptr = nullptr;
+      if (conditions != nullptr) {
+        forced.clear();
+        for (size_t c = 0; c < conditions->num_columns(); ++c) {
+          forced[conditions->schema().field(c).name] = conditions->at(i, c);
+        }
+        forced_ptr = &forced;
+      }
+      rows->push_back(
+          SampleRowImpl(&row_rng, forced_ptr, ws, stats, parent_span));
     }
-    return SampleRowImpl(row_rng, &forced, ws, stats, parent_span);
   };
 
-  Table out(encoder_->schema());
+  // Output assembly is columnar: decoded cells append straight into
+  // per-column storage reserved once for all n rows.
+  TableBuilder builder(encoder_->schema());
+  builder.Reserve(n);
   size_t workers = pool != nullptr ? std::min(pool->num_workers(), n) : 1;
   if (workers <= 1 || n <= 1) {
-    // Serial reference path: rows draw from the caller's generator
-    // directly — the exact token stream of prior releases.
+    // Serial path: one chunk at a time, stopping at the first failure a
+    // strict policy surfaces (rows in later chunks are never attempted,
+    // exactly like the per-row loop this generalizes).
     SampleReport before = stats_;
     InitWorkspace(&serial_ws_);
-    for (size_t i = 0; i < n; ++i) {
-      Result<Row> row = sample_one(i, rng, &serial_ws_, &stats_);
-      if (!row.ok()) {
-        if (policy == SamplePolicy::kLenient &&
-            row.status().code() == StatusCode::kResourceExhausted) {
-          continue;  // degrade: keep what succeeded, account for the rest
+    std::vector<Result<Row>> rows;
+    for (size_t chunk_begin = 0; chunk_begin < n; chunk_begin += batch) {
+      size_t chunk_end = std::min(n, chunk_begin + batch);
+      rows.clear();
+      sample_range(chunk_begin, chunk_end, &serial_ws_, &stats_, &rows);
+      for (size_t k = 0; k < rows.size(); ++k) {
+        Result<Row>& row = rows[k];
+        if (!row.ok()) {
+          if (policy == SamplePolicy::kLenient &&
+              row.status().code() == StatusCode::kResourceExhausted) {
+            continue;  // degrade: keep what succeeded, account for the rest
+          }
+          SampleReport delta = stats_.DeltaSince(before);
+          delta.ExportToMetrics();
+          if (report) report->Merge(delta);
+          return row.status().WithContext(context_for(chunk_begin + k));
         }
-        SampleReport delta = stats_.DeltaSince(before);
-        delta.ExportToMetrics();
-        if (report) report->Merge(delta);
-        return row.status().WithContext(context_for(i));
+        GREATER_RETURN_NOT_OK(
+            builder.AppendRow(std::move(row).ValueOrDie()));
       }
-      GREATER_RETURN_NOT_OK(out.AppendRow(std::move(row).ValueOrDie()));
     }
     SampleReport delta = stats_.DeltaSince(before);
     delta.ExportToMetrics();
     if (report) report->Merge(delta);
-    return out;
+    return builder.Build();
   }
 
-  // Parallel path: one base draw (fixed Rng advance regardless of worker
-  // count), then worker w samples its contiguous row range from a private
-  // stream — deterministic for a fixed (seed, worker count). Every row is
-  // attempted even if an earlier one fails, so under strict policy the
-  // report covers all n rows while the returned error is the one the
-  // serial path would have hit first.
-  uint64_t base_a = rng->engine()();
-  uint64_t base_b = rng->engine()();
-  uint64_t base =
-      base_a ^ (base_b * 0x2545F4914F6CDD1DULL + 0x9e3779b97f4a7c15ULL);
+  // Parallel path: worker w samples its contiguous row range (each row
+  // still on its own derived stream). Every row is attempted even if an
+  // earlier one fails, so under strict policy the report covers all n rows
+  // while the returned error is the one the serial path would have hit
+  // first.
   struct WorkerOutput {
     std::vector<Result<Row>> rows;
     SampleReport report;
   };
   std::vector<WorkerOutput> outputs(workers);
   pool->ParallelFor(n, workers, [&](size_t shard, size_t begin, size_t end) {
-    Rng worker_rng(Rng::DeriveStreamSeed(base, shard));
-    SamplerWorkspace ws;  // private decode cache per worker stream
+    SamplerWorkspace ws;  // private decode cache + batch engine per worker
     InitWorkspace(&ws);
     WorkerOutput& output = outputs[shard];
     output.rows.reserve(end - begin);
-    for (size_t i = begin; i < end; ++i) {
-      output.rows.push_back(sample_one(i, &worker_rng, &ws, &output.report));
-    }
+    sample_range(begin, end, &ws, &output.report, &output.rows);
   });
 
   SampleReport delta;
@@ -462,10 +508,10 @@ Result<Table> GreatSynthesizer::SampleMany(size_t n, const Table* conditions,
         }
         return row.status().WithContext(context_for(i));
       }
-      GREATER_RETURN_NOT_OK(out.AppendRow(std::move(row).ValueOrDie()));
+      GREATER_RETURN_NOT_OK(builder.AppendRow(std::move(row).ValueOrDie()));
     }
   }
-  return out;
+  return builder.Build();
 }
 
 Result<Table> GreatSynthesizer::Sample(size_t n, Rng* rng,
@@ -520,7 +566,8 @@ Result<Table> GreatSynthesizer::SampleConditionalWithPolicy(
 namespace {
 
 constexpr char kSynthesizerKind[] = "greater.great_synthesizer";
-constexpr uint32_t kSynthesizerVersion = 1;
+// v2: appended batch_rows to the options codec.
+constexpr uint32_t kSynthesizerVersion = 2;
 
 void AppendOptions(const GreatSynthesizer::Options& o, ByteWriter* w) {
   w->PutU8(static_cast<uint8_t>(o.backbone));
@@ -553,6 +600,7 @@ void AppendOptions(const GreatSynthesizer::Options& o, ByteWriter* w) {
   w->PutU8(static_cast<uint8_t>(o.decode_cache.mode));
   w->PutBool(o.decode_cache.cache_hidden_states);
   w->PutU64(o.decode_cache.hidden_capacity);
+  w->PutU64(o.batch_rows);
 }
 
 Status ReadOptions(ByteReader* r, GreatSynthesizer::Options* o) {
@@ -612,6 +660,7 @@ Status ReadOptions(ByteReader* r, GreatSynthesizer::Options* o) {
   o->decode_cache.mode = static_cast<DecodeMode>(mode);
   GREATER_RETURN_NOT_OK(r->GetBool(&o->decode_cache.cache_hidden_states));
   GREATER_RETURN_NOT_OK(r->GetU64(&o->decode_cache.hidden_capacity));
+  GREATER_RETURN_NOT_OK(r->GetU64(&o->batch_rows));
   return Status::OK();
 }
 

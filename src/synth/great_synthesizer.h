@@ -23,6 +23,7 @@
 
 namespace greater {
 
+class BatchDecodeEngine;
 class ByteReader;
 class ByteWriter;
 
@@ -94,10 +95,21 @@ class GreatSynthesizer {
     /// determinism is unchanged; the default kExactReplay mode draws the
     /// same token stream as no cache at all, bit for bit.
     DecodeCacheOptions decode_cache;
+    /// Rows decoded in lockstep per batch by the batched decode engine
+    /// (see DESIGN.md, "Batched columnar decode"). 1 = the per-row
+    /// reference path. Larger batches group lanes that share a (context
+    /// window, allow-list, temperature) key so each group costs one model
+    /// evaluation per step; every row draws from its own derived Rng
+    /// stream, so Sample/SampleConditional output is bitwise-identical at
+    /// ANY batch_rows value (and any num_threads).
+    size_t batch_rows = 1;
   };
 
   GreatSynthesizer() : GreatSynthesizer(Options()) {}
   explicit GreatSynthesizer(const Options& options);
+  GreatSynthesizer(GreatSynthesizer&&) noexcept;
+  GreatSynthesizer& operator=(GreatSynthesizer&&) noexcept;
+  ~GreatSynthesizer();
 
   /// Fits encoder + language model on `train`. One-shot.
   Status Fit(const Table& train, Rng* rng);
@@ -138,11 +150,11 @@ class GreatSynthesizer {
 
   /// Samples `n` independent rows on `pool`'s workers. One base value is
   /// drawn from `rng` (advancing it by the same amount regardless of
-  /// worker count) and worker `w` samples its contiguous row range from a
-  /// private stream seeded with Rng::DeriveStreamSeed(base, w), so output
-  /// is deterministic for a fixed (seed, worker count). With a null pool,
-  /// a single worker, or n <= 1 this is exactly Sample: rows are drawn
-  /// serially from `rng` itself.
+  /// worker count or batch size) and row `i` draws from a private stream
+  /// seeded with Rng::DeriveStreamSeed(base, i), so for a fixed seed the
+  /// output is identical at every (worker count, batch_rows) combination.
+  /// With a null pool or a single worker rows are produced serially; this
+  /// is exactly Sample.
   Result<Table> SampleRows(size_t n, Rng* rng, ThreadPool* pool,
                            SampleReport* report = nullptr) const;
 
@@ -177,10 +189,19 @@ class GreatSynthesizer {
   Result<double> EvaluatePerplexity(const Table& held_out) const;
 
  private:
+  friend class BatchDecodeEngine;
+
+  /// Hard cap on tokens per generated value; guards against degenerate
+  /// loops when the model keeps emitting value tokens. Shared by the
+  /// per-row reference decoder and the batched engine, which must agree
+  /// on it bit for bit.
+  static constexpr size_t kMaxValueTokens = 24;
+
   /// Reusable per-sampler buffers: one allocation set per worker (or per
   /// Sample call) instead of one per row attempt. Owns the worker's
   /// private DecodeCache — caches are never shared across workers, so the
-  /// parallel determinism contract is untouched.
+  /// parallel determinism contract is untouched — and, when batch_rows
+  /// > 1, the worker's lockstep batch engine.
   struct SamplerWorkspace {
     std::vector<int> forced_index;
     std::vector<Value> forced_values;
@@ -189,6 +210,7 @@ class GreatSynthesizer {
     std::vector<TokenId> allowed_names;
     DecodeWorkspace decode;
     std::unique_ptr<DecodeCache> cache;
+    std::unique_ptr<BatchDecodeEngine> batch;
   };
 
   /// Allow-list variants for one value grammar, interned once at Fit: the

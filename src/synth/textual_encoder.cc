@@ -154,8 +154,18 @@ Result<Value> TextualEncoder::ParseValue(size_t column,
 }
 
 Result<Row> TextualEncoder::DecodeTokens(const TokenSequence& tokens) const {
-  Row row(schema_.num_fields(), Value::Null());
-  std::vector<bool> assigned(schema_.num_fields(), false);
+  Row row;
+  DecodeScratch scratch;
+  GREATER_RETURN_NOT_OK(
+      DecodeTokensInto(tokens.data(), tokens.size(), &row, &scratch));
+  return row;
+}
+
+Status TextualEncoder::DecodeTokensInto(const TokenId* tokens, size_t count,
+                                        Row* row,
+                                        DecodeScratch* scratch) const {
+  row->assign(schema_.num_fields(), Value::Null());
+  scratch->assigned.assign(schema_.num_fields(), 0);
 
   // Map name tokens back to column indices.
   auto column_of = [&](TokenId id) -> int {
@@ -166,45 +176,48 @@ Result<Row> TextualEncoder::DecodeTokens(const TokenSequence& tokens) const {
   };
 
   size_t i = 0;
-  while (i < tokens.size()) {
+  while (i < count) {
     int col = column_of(tokens[i]);
     if (col < 0) {
       return Status::DataLoss("expected a column name, got '" +
                               vocab_.TokenOf(tokens[i]) + "'");
     }
-    if (assigned[static_cast<size_t>(col)]) {
+    if (scratch->assigned[static_cast<size_t>(col)]) {
       return Status::DataLoss("column '" + columns_[static_cast<size_t>(col)].name +
                               "' assigned twice");
     }
     ++i;
-    if (i >= tokens.size() || tokens[i] != is_token_) {
+    if (i >= count || tokens[i] != is_token_) {
       return Status::DataLoss("expected 'is' after column name '" +
                               columns_[static_cast<size_t>(col)].name + "'");
     }
     ++i;
-    std::vector<std::string> words;
-    while (i < tokens.size() && tokens[i] != comma_token_) {
-      words.push_back(vocab_.TokenOf(tokens[i]));
+    // Words join with single spaces, exactly as Join(words, " ") renders.
+    scratch->text.clear();
+    size_t words = 0;
+    while (i < count && tokens[i] != comma_token_) {
+      if (words > 0) scratch->text += ' ';
+      scratch->text += vocab_.TokenOf(tokens[i]);
+      ++words;
       ++i;
     }
-    if (words.empty()) {
+    if (words == 0) {
       return Status::DataLoss("empty value for column '" +
                               columns_[static_cast<size_t>(col)].name + "'");
     }
-    if (i < tokens.size()) ++i;  // skip the comma
+    if (i < count) ++i;  // skip the comma
     GREATER_ASSIGN_OR_RETURN(
-        Value value,
-        ParseValue(static_cast<size_t>(col), Join(words, " ")));
-    row[static_cast<size_t>(col)] = std::move(value);
-    assigned[static_cast<size_t>(col)] = true;
+        Value value, ParseValue(static_cast<size_t>(col), scratch->text));
+    (*row)[static_cast<size_t>(col)] = std::move(value);
+    scratch->assigned[static_cast<size_t>(col)] = 1;
   }
-  for (size_t c = 0; c < assigned.size(); ++c) {
-    if (!assigned[c]) {
+  for (size_t c = 0; c < scratch->assigned.size(); ++c) {
+    if (!scratch->assigned[c]) {
       return Status::DataLoss("column '" + columns_[c].name +
                               "' missing from generated row");
     }
   }
-  return row;
+  return Status::OK();
 }
 
 bool TextualEncoder::IsObservedValueToken(size_t column, TokenId token) const {

@@ -96,6 +96,20 @@ class TextualEncoder {
   /// column's physical type.
   Result<Row> DecodeTokens(const TokenSequence& tokens) const;
 
+  /// Reusable buffers for DecodeTokensInto, so steady-state decoding does
+  /// not reallocate them per row.
+  struct DecodeScratch {
+    std::string text;
+    std::vector<uint8_t> assigned;
+  };
+
+  /// Span-based variant of DecodeTokens that writes into an existing row
+  /// (resized and overwritten) and reuses `scratch`. Identical parse
+  /// semantics and error statuses; the batched decode engine uses this to
+  /// avoid per-row buffer churn.
+  Status DecodeTokensInto(const TokenId* tokens, size_t count, Row* row,
+                          DecodeScratch* scratch) const;
+
   /// True if `token` was observed among `column`'s value tokens at Build.
   bool IsObservedValueToken(size_t column, TokenId token) const;
 

@@ -110,6 +110,8 @@ class Table {
   }
 
  private:
+  friend class TableBuilder;  // Build() moves columns in directly.
+
   Status ValidateRow(const Row& row) const;
 
   Schema schema_;

@@ -1,0 +1,69 @@
+#ifndef GREATER_TABULAR_TABLE_BUILDER_H_
+#define GREATER_TABULAR_TABLE_BUILDER_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "tabular/schema.h"
+#include "tabular/table.h"
+#include "tabular/value.h"
+
+namespace greater {
+
+/// Columnar Table assembly: values append straight into per-column storage
+/// with a one-shot capacity reservation, and Build() moves the columns into
+/// a Table without re-validating or copying rows.
+///
+/// This is the output path of the batched decode engine (decoded fields
+/// land in column storage as each row finalizes) and of any caller that
+/// knows its row count up front. Compared with repeated Table::AppendRow,
+/// the builder pre-reserves every column once (no geometric regrowth of
+/// Value vectors, whose elements are string-bearing and expensive to move)
+/// and skips the per-row cell-count re-check.
+///
+/// Typed invariants match Table::AppendRow exactly: non-null cells must
+/// match the declared field type, int widens silently into double columns,
+/// and a row becomes visible only once every column received its cell
+/// (AppendCell in schema order + CommitRow, or AppendRow which does both).
+class TableBuilder {
+ public:
+  explicit TableBuilder(Schema schema);
+
+  const Schema& schema() const { return schema_; }
+  /// Committed (fully appended) rows so far.
+  size_t num_rows() const { return num_rows_; }
+
+  /// Reserves capacity for `rows` total rows in every column.
+  void Reserve(size_t rows);
+
+  /// Appends one cell to column `col`. Cells must arrive in schema order
+  /// (col 0, 1, ..., n-1) between commits; CommitRow() seals the row.
+  /// Returns Invalid on a type mismatch or out-of-order column, leaving
+  /// the builder at the last committed row.
+  Status AppendCell(size_t col, Value value);
+
+  /// Seals the in-progress row. Returns Invalid unless every column got
+  /// exactly one cell since the last commit.
+  Status CommitRow();
+
+  /// Validates and appends a whole row (cells are moved, not copied).
+  Status AppendRow(Row row);
+
+  /// Moves the columns into a Table. The builder is left empty (schema
+  /// retained) and may be reused. Requires no row in progress.
+  Result<Table> Build();
+
+ private:
+  /// Drops any cells of a partially appended row.
+  void RollbackRow();
+
+  Schema schema_;
+  std::vector<std::vector<Value>> columns_;
+  size_t num_rows_ = 0;
+  /// Next column expected by AppendCell for the in-progress row.
+  size_t cursor_ = 0;
+};
+
+}  // namespace greater
+
+#endif  // GREATER_TABULAR_TABLE_BUILDER_H_

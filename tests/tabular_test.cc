@@ -2,6 +2,7 @@
 
 #include "tabular/csv.h"
 #include "tabular/table.h"
+#include "tabular/table_builder.h"
 #include "tabular/validate.h"
 
 namespace greater {
@@ -365,6 +366,64 @@ TEST(ValidateTest, IntCellsInDoubleColumnsAreWidenedAndPass) {
   Table t(schema);
   ASSERT_TRUE(t.AppendRow({Value("a"), Value(3)}).ok());
   EXPECT_TRUE(ValidateRectangular(t, "toy").ok());
+}
+
+TEST(TableBuilderTest, BuildMatchesAppendRowTable) {
+  Schema schema({Field("name", ValueType::kString),
+                 Field("age", ValueType::kInt),
+                 Field("score", ValueType::kDouble)});
+  Table reference(schema);
+  TableBuilder builder(schema);
+  builder.Reserve(3);
+  std::vector<Row> rows = {
+      {Value("a"), Value(1), Value(0.5)},
+      {Value("b"), Value(2), Value(3)},  // int widens into double column
+      {Value("c"), Value(3), Value::Null()},
+  };
+  for (const Row& row : rows) {
+    ASSERT_TRUE(reference.AppendRow(row).ok());
+    ASSERT_TRUE(builder.AppendRow(row).ok());
+  }
+  Table built = builder.Build().ValueOrDie();
+  ASSERT_EQ(built.num_rows(), reference.num_rows());
+  for (size_t r = 0; r < built.num_rows(); ++r) {
+    EXPECT_EQ(built.GetRow(r), reference.GetRow(r)) << "row " << r;
+  }
+  // The builder is reusable after Build: schema kept, rows cleared.
+  EXPECT_EQ(builder.num_rows(), 0u);
+  ASSERT_TRUE(builder.AppendRow(rows[0]).ok());
+  EXPECT_EQ(builder.Build().ValueOrDie().num_rows(), 1u);
+}
+
+TEST(TableBuilderTest, CellwiseAppendEnforcesSchemaOrderAndCommit) {
+  Schema schema({Field("k", ValueType::kString),
+                 Field("n", ValueType::kInt)});
+  TableBuilder builder(schema);
+  // Out-of-order appends and premature commits are rejected, and the
+  // in-progress row rolls back to the last committed one.
+  ASSERT_TRUE(builder.AppendCell(0, Value("x")).ok());
+  EXPECT_FALSE(builder.AppendCell(0, Value("dup")).ok());
+  ASSERT_TRUE(builder.AppendCell(0, Value("a")).ok());
+  EXPECT_FALSE(builder.CommitRow().ok());
+  ASSERT_TRUE(builder.AppendCell(0, Value("a")).ok());
+  ASSERT_TRUE(builder.AppendCell(1, Value(7)).ok());
+  ASSERT_TRUE(builder.CommitRow().ok());
+  Table t = builder.Build().ValueOrDie();
+  ASSERT_EQ(t.num_rows(), 1u);
+  EXPECT_EQ(t.at(0, 1), Value(7));
+}
+
+TEST(TableBuilderTest, TypeMismatchRollsBackPartialRow) {
+  Schema schema({Field("k", ValueType::kString),
+                 Field("n", ValueType::kInt)});
+  TableBuilder builder(schema);
+  ASSERT_TRUE(builder.AppendRow({Value("ok"), Value(1)}).ok());
+  Status s = builder.AppendRow({Value("bad"), Value("not-an-int")});
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  // The failed row left no partial cells behind.
+  Table t = builder.Build().ValueOrDie();
+  ASSERT_EQ(t.num_rows(), 1u);
+  EXPECT_EQ(t.at(0, 0), Value("ok"));
 }
 
 }  // namespace
