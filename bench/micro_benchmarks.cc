@@ -17,6 +17,8 @@
 #include "datagen/digix.h"
 #include "obs/metrics.h"
 #include "obs/span.h"
+#include "serve/synthesis_server.h"
+#include "serve/workload.h"
 #include "lm/neural_lm.h"
 #include "lm/ngram_lm.h"
 #include "stats/correlation.h"
@@ -626,6 +628,70 @@ void BM_PipelineResumeWarm(benchmark::State& state) {
 }
 BENCHMARK(BM_PipelineResumeWarm)->Unit(benchmark::kMillisecond);
 
+// Multi-tenant serving under a skewed request mix: four categorical-table
+// tenants behind a SynthesisServer, driven by a Zipfian workload (hot
+// tenant ~48% of requests). Each iteration submits a wave of requests and
+// waits them all; rows/sec lands in items_per_second and the serve.*
+// latency histogram lands in GREATER_METRICS_OUT for the
+// scripts/bench_compare.py latency/throughput gates.
+void BM_ServeZipfian(benchmark::State& state) {
+  std::vector<std::shared_ptr<const GreatSynthesizer>> models;
+  std::vector<TenantProfile> profiles;
+  for (int i = 0; i < 4; ++i) {
+    auto model = std::make_shared<GreatSynthesizer>();
+    Rng fit(50 + i);
+    if (!model->Fit(CategoricalTable(), &fit).ok()) {
+      state.SkipWithError("tenant fit failed");
+      return;
+    }
+    models.push_back(std::move(model));
+    profiles.push_back(TenantProfile{
+        "tenant" + std::to_string(i),
+        "residence",
+        {"Chicago", "Boston", "Austin", "Denver", "Seattle"}});
+  }
+
+  ServeOptions options;
+  options.num_workers = static_cast<size_t>(state.range(0));
+  options.max_lanes_per_batch = 32;
+  SynthesisServer server(options);
+  for (size_t i = 0; i < models.size(); ++i) {
+    if (!server.AddTenant(profiles[i].name, models[i]).ok()) {
+      state.SkipWithError("tenant registration failed");
+      return;
+    }
+  }
+  if (!server.Start().ok()) {
+    state.SkipWithError("server start failed");
+    return;
+  }
+
+  WorkloadOptions wl;
+  wl.tenant_skew.kind = SkewKind::kZipfian;
+  wl.value_skew.kind = SkewKind::kScrambledZipfian;
+  wl.conditioned_fraction = 0.3;
+  wl.min_rows = 1;
+  wl.max_rows = 8;
+  WorkloadGenerator gen(wl, profiles, /*seed=*/2026);
+
+  size_t rows = 0;
+  for (auto _ : state) {
+    std::vector<std::shared_ptr<RequestTicket>> wave;
+    for (int i = 0; i < 16; ++i) wave.push_back(server.Submit(gen.Next()));
+    for (auto& ticket : wave) {
+      const auto& result = ticket->Wait();
+      if (!result.ok()) {
+        state.SkipWithError("request failed");
+        return;
+      }
+      rows += result.ValueOrDie().num_rows();
+    }
+  }
+  if (!server.Shutdown().ok()) state.SkipWithError("shutdown failed");
+  state.SetItemsProcessed(static_cast<int64_t>(rows));
+}
+BENCHMARK(BM_ServeZipfian)->Arg(1)->Arg(2)->Unit(benchmark::kMillisecond);
+
 void BM_KsTest(benchmark::State& state) {
   Rng rng(5);
   std::vector<double> a, b;
@@ -644,8 +710,13 @@ BENCHMARK(BM_KsTest);
 
 // BENCHMARK_MAIN, plus an observability export: when GREATER_METRICS_OUT
 // names a file, the global metrics snapshot accumulated across every
-// benchmark is written there as one JSON document after the run.
+// benchmark is written there as one JSON document after the run. The
+// span store is capped low here: the gates read counters and histograms,
+// and per-bundle/per-step spans across thousands of benchmark iterations
+// would otherwise fill the default 65536-record store and bloat the
+// checked-in snapshot (drops land on obs.spans_dropped as usual).
 int main(int argc, char** argv) {
+  greater::MetricsRegistry::Global().set_max_spans(512);
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
   benchmark::RunSpecifiedBenchmarks();

@@ -45,6 +45,18 @@ counter exceeds N. A lenient run keeps going past malformed records by
 design, so a parser regression shows up not as a failed benchmark but as a
 quarantine spike — this turns that spike into a CI failure.
 
+--fail-p99-above US gates serving tail latency off the same --metrics
+snapshot: the serve.request_latency_us histogram (exported by
+BM_ServeZipfian through the SynthesisServer) is interpolated for p50/p99,
+and a p99 above US microseconds exits non-zero. A scheduler change that
+starves cold tenants under the Zipfian mix shows up here, not in mean
+throughput.
+
+--fail-serve-rows-below RATIO gates serving throughput machine-
+independently: the candidate's best BM_ServeZipfian rows/sec divided by
+the baseline's best must be at least RATIO (e.g. 0.7 = the candidate may
+not serve rows slower than 70% of the checked-in baseline).
+
 Refresh the checked-in results with:
     cmake --build build --target bench_json
 """
@@ -148,6 +160,22 @@ def main():
         help="exit 1 if the stream.quarantined_records counter in "
         "--metrics exceeds N (requires --metrics); 0 means any "
         "quarantined record fails the gate",
+    )
+    parser.add_argument(
+        "--fail-p99-above",
+        type=float,
+        default=None,
+        metavar="US",
+        help="exit 1 if the serve.request_latency_us p99 in --metrics "
+        "exceeds US microseconds (requires --metrics)",
+    )
+    parser.add_argument(
+        "--fail-serve-rows-below",
+        type=float,
+        default=None,
+        metavar="RATIO",
+        help="exit 1 if the candidate's best BM_ServeZipfian rows/sec is "
+        "below RATIO times the baseline's best",
     )
     args = parser.parse_args()
 
@@ -320,6 +348,45 @@ def main():
         )
         failed = True
 
+    # Serving throughput ratio (baseline vs candidate, machine-independent:
+    # both numbers come from the same runner or the same checked-in file's
+    # machine). Gate on the best arg variant so changing the default worker
+    # count does not silently move the goalposts.
+    def best_serve_rate(benches):
+        rates = [
+            bench["items_per_second"]
+            for name, bench in benches.items()
+            if name.startswith("BM_ServeZipfian")
+            and "items_per_second" in bench
+        ]
+        return max(rates) if rates else None
+
+    base_serve = best_serve_rate(base)
+    cand_serve = best_serve_rate(cand)
+    if base_serve is not None and cand_serve is not None:
+        ratio = cand_serve / base_serve if base_serve > 0 else 0.0
+        print(
+            f"\nserve throughput: candidate {cand_serve:,.0f} rows/s /"
+            f" baseline {base_serve:,.0f} rows/s = {ratio:.2f}x"
+        )
+        if (
+            args.fail_serve_rows_below is not None
+            and ratio < args.fail_serve_rows_below
+        ):
+            print(
+                f"FAIL: serve throughput below "
+                f"{args.fail_serve_rows_below:.2f}x of baseline",
+                file=sys.stderr,
+            )
+            failed = True
+    elif args.fail_serve_rows_below is not None:
+        print(
+            "FAIL: BM_ServeZipfian (with items_per_second) missing from "
+            "baseline or candidate",
+            file=sys.stderr,
+        )
+        failed = True
+
     # Decode-cache hit rate (observability counters snapshot).
     if args.fail_hit_rate_below is not None and args.metrics is None:
         print("--fail-hit-rate-below requires --metrics", file=sys.stderr)
@@ -327,9 +394,13 @@ def main():
     if args.fail_quarantine_above is not None and args.metrics is None:
         print("--fail-quarantine-above requires --metrics", file=sys.stderr)
         return 2
+    if args.fail_p99_above is not None and args.metrics is None:
+        print("--fail-p99-above requires --metrics", file=sys.stderr)
+        return 2
     if args.metrics is not None:
         with open(args.metrics) as f:
-            counters = json.load(f).get("counters", {})
+            metrics_doc = json.load(f)
+        counters = metrics_doc.get("counters", {})
         hits = float(counters.get("lm.cache.hits", 0))
         misses = float(counters.get("lm.cache.misses", 0))
         lookups = hits + misses
@@ -369,6 +440,59 @@ def main():
                 f"FAIL: {quarantined} quarantined records exceed the "
                 f"--fail-quarantine-above {args.fail_quarantine_above} "
                 f"threshold",
+                file=sys.stderr,
+            )
+            failed = True
+
+        # Serving latency percentiles from the request-latency histogram
+        # (linear interpolation inside the winning bucket; the overflow
+        # bucket reports the last finite bound).
+        def percentile(hist, pct):
+            bounds = hist.get("bounds", [])
+            bucket_counts = hist.get("counts", [])
+            total = sum(bucket_counts)
+            if total <= 0 or not bounds:
+                return None
+            target = total * pct / 100.0
+            seen = 0.0
+            for i, count in enumerate(bucket_counts):
+                if seen + count >= target and count > 0:
+                    lo = 0.0 if i == 0 else bounds[i - 1]
+                    hi = bounds[i] if i < len(bounds) else bounds[-1]
+                    frac = (target - seen) / count
+                    return lo + (hi - lo) * min(frac, 1.0)
+                seen += count
+            return bounds[-1]
+
+        latency = metrics_doc.get("histograms", {}).get(
+            "serve.request_latency_us"
+        )
+        if latency is not None:
+            p50 = percentile(latency, 50.0)
+            p99 = percentile(latency, 99.0)
+            if p50 is not None and p99 is not None:
+                print(
+                    f"\nserve latency: p50 {p50:,.0f} us, p99 {p99:,.0f} us"
+                    f" over {int(sum(latency.get('counts', [])))} request(s)"
+                )
+                if args.fail_p99_above is not None and p99 > args.fail_p99_above:
+                    print(
+                        f"FAIL: serve p99 {p99:,.0f} us above the "
+                        f"--fail-p99-above {args.fail_p99_above:,.0f} us "
+                        f"threshold",
+                        file=sys.stderr,
+                    )
+                    failed = True
+            elif args.fail_p99_above is not None:
+                print(
+                    "FAIL: serve.request_latency_us histogram is empty",
+                    file=sys.stderr,
+                )
+                failed = True
+        elif args.fail_p99_above is not None:
+            print(
+                "FAIL: --metrics lacks the serve.request_latency_us "
+                "histogram to gate on",
                 file=sys.stderr,
             )
             failed = True

@@ -42,7 +42,14 @@ namespace greater {
 ///   "stream.chunk_parse"  streaming CSV ingest, once per parsed chunk
 ///   "stream.worker_death" streaming stage worker: the worker stops
 ///                         heartbeating and exits without reporting, so
-///                         only the watchdog can detect it
+///                         only the watchdog can detect it (also honored
+///                         by serving-layer sampler workers)
+///   "serve.admit"         SynthesisServer::Submit, per request: a fired
+///                         fault rejects that request typed before it
+///                         enters the admission queue
+///   "serve.pack"          serving packing sweep, once per request as its
+///                         first lanes are packed: the tripped request
+///                         fails typed, co-scheduled requests proceed
 struct FaultSpec {
   static constexpr size_t kUnlimited = static_cast<size_t>(-1);
 

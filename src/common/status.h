@@ -22,6 +22,7 @@ enum class StatusCode {
   kResourceExhausted, ///< retry/sampling budget exceeded
   kInternal,          ///< invariant violation inside the library
   kDeadlineExceeded,  ///< a bounded wait expired (hung stage, stalled worker)
+  kCancelled,         ///< the caller abandoned the operation mid-flight
 };
 
 /// Human-readable name of a StatusCode (e.g. "InvalidArgument").
@@ -65,6 +66,9 @@ class Status {
   }
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status Cancelled(std::string msg) {
+    return Status(StatusCode::kCancelled, std::move(msg));
   }
   static Status DeadlineExceeded(std::string msg) {
     return Status(StatusCode::kDeadlineExceeded, std::move(msg));

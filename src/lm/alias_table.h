@@ -34,6 +34,27 @@ class AliasTable {
     return rng->Uniform() < prob_[i] ? i : static_cast<size_t>(alias_[i]);
   }
 
+  /// Vectorized draw over a group of independent lanes: out[k] receives
+  /// exactly the index Sample(rngs[k]) would return, and rngs[k] advances
+  /// identically (one Index, then one Uniform — streams are never
+  /// interleaved, so per-lane bitwise replay holds at any group size).
+  /// Splitting the draw into a bucket pass and an acceptance pass replaces
+  /// the per-draw rng/table interleave with two sequential sweeps over
+  /// prob_/alias_, which is what lets a batched lane group amortize the
+  /// table walk.
+  void SampleMany(Rng* const* rngs, size_t count, size_t* out) const {
+    const size_t size = prob_.size();
+    for (size_t k = 0; k < count; ++k) {
+      out[k] = rngs[k]->Index(size);
+    }
+    for (size_t k = 0; k < count; ++k) {
+      const size_t i = out[k];
+      if (!(rngs[k]->Uniform() < prob_[i])) {
+        out[k] = static_cast<size_t>(alias_[i]);
+      }
+    }
+  }
+
   size_t size() const { return prob_.size(); }
   bool empty() const { return prob_.empty(); }
 

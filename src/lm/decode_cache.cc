@@ -290,6 +290,44 @@ TokenId DecodeCache::DrawResolved(const ResolvedDist& dist,
   return Draw(slots_[dist.slot], candidates, rng);
 }
 
+void DecodeCache::DrawResolvedMany(const ResolvedDist& dist,
+                                   const std::vector<TokenId>& candidates,
+                                   Rng* const* rngs, size_t count,
+                                   TokenId* out,
+                                   std::vector<size_t>* scratch) const {
+  assert(dist.cacheable && dist.slot < slots_.size());
+  const Entry& entry = slots_[dist.slot];
+  if (entry.total <= 0.0 || candidates.empty()) {
+    // Zero candidate mass: Draw's uniform degradation path, per lane.
+    for (size_t k = 0; k < count; ++k) {
+      out[k] = candidates.empty()
+                   ? Vocabulary::kEosId
+                   : candidates[rngs[k]->Index(candidates.size())];
+    }
+    return;
+  }
+  if (options_.mode == DecodeMode::kExactReplay) {
+    assert(entry.cdf.size() == candidates.size());
+    // Uniform pass first (each lane's single stream advance, exactly as
+    // Draw), then the shared-cdf binary searches back to back.
+    if (scratch->size() < count) scratch->resize(count);
+    size_t* idx = scratch->data();
+    for (size_t k = 0; k < count; ++k) {
+      double target = rngs[k]->Uniform() * entry.total;
+      auto it = std::upper_bound(entry.cdf.begin(), entry.cdf.end(), target);
+      idx[k] = it == entry.cdf.end()
+                   ? entry.cdf.size() - 1  // numerical slack, as uncached
+                   : static_cast<size_t>(it - entry.cdf.begin());
+    }
+    for (size_t k = 0; k < count; ++k) out[k] = candidates[idx[k]];
+    return;
+  }
+  assert(entry.alias.size() == candidates.size());
+  if (scratch->size() < count) scratch->resize(count);
+  entry.alias.SampleMany(rngs, count, scratch->data());
+  for (size_t k = 0; k < count; ++k) out[k] = candidates[(*scratch)[k]];
+}
+
 TokenId DecodeCache::SampleRestricted(const LanguageModel& lm,
                                       const TokenSequence& context,
                                       const std::vector<TokenId>& candidates,

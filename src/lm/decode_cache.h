@@ -208,6 +208,20 @@ class DecodeCache {
                        const std::vector<TokenId>& candidates,
                        Rng* rng) const;
 
+  /// Vectorized DrawResolved over a lane group: out[k] receives exactly
+  /// the token DrawResolved(dist, candidates, rngs[k]) would return, with
+  /// each rng advancing identically — every lane draws only from its own
+  /// stream, so the grouped draw is bitwise-equal to the per-lane loop at
+  /// any group size. In kAlias mode the draws run through
+  /// AliasTable::SampleMany (one bucket sweep, one acceptance sweep);
+  /// kExactReplay splits the uniform pass from the shared-cdf search the
+  /// same way. `scratch` stages alias indices and is only grown, never
+  /// shrunk, so a reserved buffer makes the steady state allocation-free.
+  void DrawResolvedMany(const ResolvedDist& dist,
+                        const std::vector<TokenId>& candidates,
+                        Rng* const* rngs, size_t count, TokenId* out,
+                        std::vector<size_t>* scratch) const;
+
   const LocalStats& stats() const { return stats_; }
   size_t size() const { return index_.size(); }
   size_t bytes() const { return bytes_; }

@@ -1,0 +1,587 @@
+#include "serve/synthesis_server.h"
+
+#include <algorithm>
+#include <chrono>
+#include <utility>
+
+#include "common/fault.h"
+#include "common/rng.h"
+#include "obs/metrics.h"
+#include "obs/span.h"
+#include "tabular/table_builder.h"
+
+namespace greater {
+namespace {
+
+// serve.* instrumentation; pointers cached once per process so request
+// hot paths pay one relaxed atomic op per event.
+struct ServeCounters {
+  Counter* requests;
+  Counter* completed;
+  Counter* failed;
+  Counter* cancelled;
+  Counter* rejected;
+  Counter* rows;
+  Counter* batches;
+  Counter* cross_request_batches;
+  Gauge* queue_depth;
+  Gauge* open_requests;
+  Histogram* latency_us;
+  Histogram* lanes_per_batch;
+  ServeCounters() {
+    MetricsRegistry& registry = MetricsRegistry::Global();
+    requests = &registry.GetCounter("serve.requests");
+    completed = &registry.GetCounter("serve.requests_completed");
+    failed = &registry.GetCounter("serve.requests_failed");
+    cancelled = &registry.GetCounter("serve.requests_cancelled");
+    rejected = &registry.GetCounter("serve.rejected");
+    rows = &registry.GetCounter("serve.rows");
+    batches = &registry.GetCounter("serve.batches");
+    cross_request_batches =
+        &registry.GetCounter("serve.cross_request_batches");
+    queue_depth = &registry.GetGauge("serve.queue_depth");
+    open_requests = &registry.GetGauge("serve.open_requests");
+    latency_us = &registry.GetLatencyHistogram("serve.request_latency_us");
+    lanes_per_batch = &registry.GetHistogram(
+        "serve.lanes_per_batch",
+        {1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0, 256.0});
+  }
+};
+
+const ServeCounters& GetServeCounters() {
+  static const ServeCounters counters;
+  return counters;
+}
+
+uint64_t ElapsedUs(uint64_t since_ns) {
+  uint64_t now = Heartbeat::NowNs();
+  return now > since_ns ? (now - since_ns) / 1000 : 0;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// RequestTicket
+
+const Result<Table>& RequestTicket::Wait() {
+  std::unique_lock<std::mutex> lock(mu_);
+  cv_.wait(lock, [&] { return done_; });
+  return result_;
+}
+
+bool RequestTicket::WaitFor(uint64_t timeout_ms) {
+  std::unique_lock<std::mutex> lock(mu_);
+  return cv_.wait_for(lock, std::chrono::milliseconds(timeout_ms),
+                      [&] { return done_; });
+}
+
+bool RequestTicket::done() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return done_;
+}
+
+void RequestTicket::Cancel() {
+  cancelled_.store(true, std::memory_order_relaxed);
+}
+
+// ---------------------------------------------------------------------------
+// SynthesisServer
+
+SynthesisServer::SynthesisServer(const ServeOptions& options)
+    : options_(options) {}
+
+SynthesisServer::~SynthesisServer() {
+  if (started_ && !finished_) Shutdown();
+}
+
+Status SynthesisServer::AddTenant(
+    const std::string& name, std::shared_ptr<const GreatSynthesizer> model) {
+  if (started_) {
+    return Status::FailedPrecondition("AddTenant after Start");
+  }
+  if (model == nullptr || !model->fitted()) {
+    return Status::FailedPrecondition("tenant '" + name +
+                                      "' needs a fitted model");
+  }
+  if (!tenants_.emplace(name, std::move(model)).second) {
+    return Status::AlreadyExists("tenant '" + name + "' already registered");
+  }
+  return Status::OK();
+}
+
+Status SynthesisServer::LoadTenant(const std::string& name,
+                                   const std::string& path) {
+  auto model = std::make_shared<GreatSynthesizer>();
+  GREATER_RETURN_NOT_OK(
+      model->Load(path).WithContext("loading tenant '" + name + "'"));
+  return AddTenant(name, std::move(model));
+}
+
+Status SynthesisServer::Start() {
+  if (started_) return Status::FailedPrecondition("Start called twice");
+  if (tenants_.empty()) {
+    return Status::FailedPrecondition("Start with no tenants registered");
+  }
+  started_ = true;
+  admission_ = std::make_unique<BoundedQueue<std::shared_ptr<RequestTicket>>>(
+      "serve.admission", options_.admission_capacity);
+  StreamOptions stream_options;
+  stream_options.watchdog_timeout_ms = options_.watchdog_timeout_ms;
+  stream_options.watchdog_poll_ms = options_.watchdog_poll_ms;
+  runtime_ = std::make_unique<StreamRuntime>(stream_options);
+  runtime_->RegisterQueue(admission_.get());
+  Heartbeat* admit_hb = runtime_->AddHeartbeat("serve.admitter");
+  runtime_->Spawn("serve.admitter", admit_hb,
+                  [this, admit_hb] { return AdmitterLoop(admit_hb); });
+  for (size_t w = 0; w < std::max<size_t>(1, options_.num_workers); ++w) {
+    Heartbeat* hb =
+        runtime_->AddHeartbeat("serve.worker." + std::to_string(w));
+    runtime_->Spawn("serve.worker." + std::to_string(w), hb,
+                    [this, hb] { return WorkerLoop(hb); });
+  }
+  return Status::OK();
+}
+
+Status SynthesisServer::error() const {
+  return runtime_ != nullptr ? runtime_->error() : Status::OK();
+}
+
+std::shared_ptr<RequestTicket> SynthesisServer::Submit(
+    SampleRequest request) {
+  const ServeCounters& counters = GetServeCounters();
+  counters.requests->Increment();
+  std::shared_ptr<RequestTicket> ticket(new RequestTicket());
+  ticket->submit_ns_ = Heartbeat::NowNs();
+  ticket->request_ = std::move(request);
+
+  if (!started_ || finished_) {
+    counters.rejected->Increment();
+    return FailTicket(std::move(ticket),
+                      Status::FailedPrecondition("server is not running"));
+  }
+  auto tenant = tenants_.find(ticket->request_.tenant);
+  if (tenant == tenants_.end()) {
+    counters.rejected->Increment();
+    return FailTicket(std::move(ticket),
+                      Status::NotFound("unknown tenant '" +
+                                       ticket->request_.tenant + "'"));
+  }
+  ticket->model_ = tenant->second.get();
+
+  // Admission fault point: a fired fault rejects the request typed before
+  // it ever enters the queue; nothing else in flight is disturbed.
+  if (FaultRegistry::AnyArmed()) {
+    Status fault = FaultRegistry::Global().Check("serve.admit");
+    if (!fault.ok()) {
+      counters.rejected->Increment();
+      return FailTicket(std::move(ticket), std::move(fault));
+    }
+  }
+
+  // The request's stream base, derived exactly as SampleRows derives it
+  // from a fresh Rng(seed) — the root of the served-vs-direct bitwise
+  // identity. Row i of this request draws from
+  // Rng(Rng::DeriveStreamSeed(base, i)) regardless of packing.
+  Rng seed_rng(ticket->request_.seed);
+  ticket->base_ = GreatSynthesizer::DeriveSampleBase(&seed_rng);
+
+  // Conditioning prefix: one forced-column row, typed against the tenant
+  // schema, that every lane of the request forces (SampleConditional with
+  // the row replicated `rows` times).
+  if (!ticket->request_.conditioning.empty()) {
+    const Schema& schema = ticket->model_->encoder().schema();
+    std::vector<Field> fields;
+    Row row;
+    for (const auto& [column, value] : ticket->request_.conditioning) {
+      Result<size_t> idx = schema.FieldIndex(column);
+      if (!idx.ok()) {
+        counters.rejected->Increment();
+        return FailTicket(std::move(ticket),
+                          idx.status().WithContext(
+                              "resolving conditioning column '" + column +
+                              "' against tenant '" +
+                              ticket->request_.tenant + "'"));
+      }
+      fields.push_back(schema.field(std::move(idx).ValueOrDie()));
+      row.push_back(value);
+    }
+    Table conditions{Schema(std::move(fields))};
+    Status appended = conditions.AppendRow(std::move(row));
+    if (!appended.ok()) {
+      counters.rejected->Increment();
+      return FailTicket(std::move(ticket),
+                        appended.WithContext("typing conditioning values"));
+    }
+    ticket->conditions_ = std::move(conditions);
+    ticket->has_conditions_ = true;
+  }
+
+  if (ticket->request_.rows == 0) {
+    std::lock_guard<std::mutex> lock(ticket->mu_);
+    FinalizeTicketLocked(ticket.get());
+    return ticket;
+  }
+
+  {
+    std::lock_guard<std::mutex> lock(sched_mu_);
+    live_.push_back(ticket);
+  }
+  counters.queue_depth->Add(1.0);
+  if (!admission_->Push(ticket)) {
+    // Closed or poisoned while (or before) we blocked: reject typed with
+    // the runtime error when there is one.
+    counters.queue_depth->Add(-1.0);
+    counters.rejected->Increment();
+    Status cause = runtime_->error();
+    RemoveLive(ticket.get());
+    return FailTicket(std::move(ticket),
+                      cause.ok() ? Status::FailedPrecondition(
+                                       "server stopped accepting requests")
+                                 : cause);
+  }
+  return ticket;
+}
+
+Status SynthesisServer::AdmitterLoop(Heartbeat* hb) {
+  const ServeCounters& counters = GetServeCounters();
+  for (;;) {
+    hb->Beat();
+    if (!runtime_->error().ok()) break;
+    // Respect the packing window: while it is full the request stays in
+    // the bounded queue, which is what makes Submit block — admission
+    // capacity plus window size bound the buffered requests.
+    {
+      std::unique_lock<std::mutex> lock(sched_mu_);
+      if (open_.size() >= options_.max_open_requests) {
+        sched_cv_.wait_for(
+            lock, std::chrono::milliseconds(options_.idle_poll_ms), [&] {
+              return open_.size() < options_.max_open_requests;
+            });
+        continue;
+      }
+    }
+    std::shared_ptr<RequestTicket> ticket;
+    QueuePop popped = admission_->PopFor(options_.idle_poll_ms, &ticket);
+    if (popped == QueuePop::kTimeout) continue;
+    if (popped == QueuePop::kDone) break;
+    counters.queue_depth->Add(-1.0);
+    {
+      std::lock_guard<std::mutex> lock(sched_mu_);
+      open_.push_back(std::move(ticket));
+      counters.open_requests->Set(static_cast<double>(open_.size()));
+    }
+    sched_cv_.notify_all();
+  }
+  {
+    std::lock_guard<std::mutex> lock(sched_mu_);
+    admitter_done_ = true;
+  }
+  sched_cv_.notify_all();
+  return Status::OK();
+}
+
+bool SynthesisServer::HasWorkLocked() const {
+  for (const auto& ticket : open_) {
+    if (ticket->cancelled_.load(std::memory_order_relaxed)) return true;
+    if (ticket->rows_packed_ < ticket->request_.rows) return true;
+  }
+  return false;
+}
+
+bool SynthesisServer::PackBundleLocked(Bundle* bundle) {
+  const ServeCounters& counters = GetServeCounters();
+  bundle->model = nullptr;
+  bundle->slices.clear();
+  bundle->lanes = 0;
+  for (auto it = open_.begin();
+       it != open_.end() && bundle->lanes < options_.max_lanes_per_batch;) {
+    RequestTicket& ticket = **it;
+    // Cancellation sweep: unpacked rows are never decoded; the ticket
+    // goes terminal right here (rows already mid-batch are dropped on
+    // delivery against done_).
+    if (ticket.cancelled_.load(std::memory_order_relaxed)) {
+      counters.cancelled->Increment();
+      {
+        std::lock_guard<std::mutex> lock(ticket.mu_);
+        CompleteTicketLocked(
+            &ticket, Status::Cancelled("request cancelled by the caller"));
+      }
+      RemoveLiveLockedHeld(&ticket);
+      it = open_.erase(it);
+      continue;
+    }
+    size_t unpacked = ticket.request_.rows - ticket.rows_packed_;
+    if (unpacked == 0) {
+      // Fully packed; completion happens on delivery.
+      it = open_.erase(it);
+      continue;
+    }
+    if (bundle->model != nullptr && ticket.model_ != bundle->model) {
+      ++it;  // different tenant model: waits for its own batch
+      continue;
+    }
+    // Pack fault point, evaluated once per request as its first lanes
+    // are packed: the tripped request fails typed, co-packed requests
+    // proceed untouched.
+    if (ticket.rows_packed_ == 0 && FaultRegistry::AnyArmed()) {
+      Status fault = FaultRegistry::Global().Check("serve.pack");
+      if (!fault.ok()) {
+        {
+          std::lock_guard<std::mutex> lock(ticket.mu_);
+          ++ticket.report_.injected_faults;
+          CompleteTicketLocked(&ticket, std::move(fault));
+        }
+        RemoveLiveLockedHeld(&ticket);
+        it = open_.erase(it);
+        continue;
+      }
+    }
+    if (bundle->model == nullptr) bundle->model = ticket.model_;
+    size_t take =
+        std::min(unpacked, options_.max_lanes_per_batch - bundle->lanes);
+    bundle->slices.push_back(
+        Slice{*it, ticket.rows_packed_, ticket.rows_packed_ + take});
+    ticket.rows_packed_ += take;
+    bundle->lanes += take;
+    if (ticket.rows_packed_ == ticket.request_.rows) {
+      it = open_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  counters.open_requests->Set(static_cast<double>(open_.size()));
+  return bundle->lanes > 0;
+}
+
+Status SynthesisServer::WorkerLoop(Heartbeat* hb) {
+  std::unordered_map<const GreatSynthesizer*, WorkerSpace> spaces;
+  for (;;) {
+    hb->Beat();
+    Status err = runtime_->error();
+    if (!err.ok()) {
+      // First worker to notice the failure sweeps the pending tickets so
+      // waiters unblock without needing Shutdown to run first.
+      FailAllPending(err);
+      return Status::OK();
+    }
+    // Silent-death hook (watchdog conviction test): stop heartbeating and
+    // exit without reporting, exactly like the streaming stages.
+    if (FaultRegistry::AnyArmed()) {
+      Status death = FaultRegistry::Global().Check("stream.worker_death");
+      if (!death.ok()) {
+        hb->SimulateDeath();
+        return Status::OK();
+      }
+    }
+    Bundle bundle;
+    bool drained = false;
+    {
+      std::unique_lock<std::mutex> lock(sched_mu_);
+      sched_cv_.wait_for(lock,
+                         std::chrono::milliseconds(options_.idle_poll_ms),
+                         [&] { return admitter_done_ || HasWorkLocked(); });
+      if (!PackBundleLocked(&bundle)) {
+        drained = admitter_done_ && open_.empty();
+      }
+    }
+    if (bundle.lanes > 0) {
+      RunBundle(&bundle, &spaces);
+      sched_cv_.notify_all();  // window space freed; wake the admitter
+      continue;
+    }
+    if (drained) return Status::OK();
+  }
+}
+
+void SynthesisServer::RunBundle(
+    Bundle* bundle,
+    std::unordered_map<const GreatSynthesizer*, WorkerSpace>* spaces) {
+  const ServeCounters& counters = GetServeCounters();
+  const GreatSynthesizer& model = *bundle->model;
+  WorkerSpace& ws = (*spaces)[bundle->model];
+  if (ws.engine == nullptr) {
+    // The serving twin of GreatSynthesizer::InitWorkspace: a private
+    // engine and decode cache per (worker, model), kept warm across
+    // batches exactly like the serial workspace across Sample calls.
+    ws.engine = std::make_unique<BatchDecodeEngine>(model);
+    const DecodeCacheOptions& cache_options = model.options().decode_cache;
+    if (cache_options.enabled) {
+      ws.cache = std::make_unique<DecodeCache>(cache_options);
+    }
+    ws.decode.hidden_cache.set_capacity(
+        cache_options.cache_hidden_states ? cache_options.hidden_capacity
+                                          : 0);
+  }
+
+  // One LaneRequest per row, each tagged with its slice's report: lanes of
+  // different requests advance in lockstep and share grouped model
+  // evaluations, but accounting and streams stay per-request.
+  std::vector<BatchDecodeEngine::LaneRequest> lanes;
+  lanes.reserve(bundle->lanes);
+  std::vector<SampleReport> slice_reports(bundle->slices.size());
+  for (size_t s = 0; s < bundle->slices.size(); ++s) {
+    const Slice& slice = bundle->slices[s];
+    const RequestTicket& ticket = *slice.ticket;
+    for (size_t row = slice.begin; row < slice.end; ++row) {
+      lanes.push_back(BatchDecodeEngine::LaneRequest{
+          row, ticket.base_,
+          ticket.has_conditions_ ? &ticket.conditions_ : nullptr,
+          /*cond_row=*/0, &slice_reports[s]});
+    }
+  }
+
+  counters.batches->Increment();
+  counters.lanes_per_batch->Observe(static_cast<double>(lanes.size()));
+  if (bundle->slices.size() > 1) {
+    counters.cross_request_batches->Increment();
+  }
+
+  std::vector<Result<Row>> rows;
+  rows.reserve(lanes.size());
+  {
+    Span span("serve.batch");
+    ws.engine->RunLanes(lanes.data(), lanes.size(), ws.cache.get(),
+                        &ws.decode, span.id(), &rows);
+  }
+
+  size_t offset = 0;
+  for (size_t s = 0; s < bundle->slices.size(); ++s) {
+    const Slice& slice = bundle->slices[s];
+    DeliverSlice(slice, slice_reports[s], &rows, offset);
+    offset += slice.end - slice.begin;
+  }
+}
+
+void SynthesisServer::DeliverSlice(const Slice& slice,
+                                   const SampleReport& slice_report,
+                                   std::vector<Result<Row>>* rows,
+                                   size_t offset) {
+  RequestTicket& ticket = *slice.ticket;
+  bool completed = false;
+  {
+    std::lock_guard<std::mutex> lock(ticket.mu_);
+    if (ticket.done_) return;  // cancelled or failed mid-flight: discard
+    ticket.report_.Merge(slice_report);
+    const size_t count = slice.end - slice.begin;
+    for (size_t i = 0; i < count; ++i) {
+      ticket.row_results_.emplace_back(slice.begin + i,
+                                       std::move((*rows)[offset + i]));
+    }
+    ticket.rows_done_ += count;
+    if (ticket.rows_done_ == ticket.request_.rows) {
+      FinalizeTicketLocked(&ticket);
+      completed = true;
+    }
+  }
+  if (completed) RemoveLive(&ticket);
+}
+
+void SynthesisServer::FinalizeTicketLocked(RequestTicket* ticket) {
+  // Rows arrive batch by batch, possibly out of order when a request spans
+  // bundles; the table is assembled in request-row order, honoring the
+  // tenant model's degradation policy exactly as SampleMany does.
+  std::sort(ticket->row_results_.begin(), ticket->row_results_.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  const SamplePolicy policy = ticket->model_->options().policy;
+  TableBuilder builder(ticket->model_->encoder().schema());
+  builder.Reserve(ticket->row_results_.size());
+  Status failure = Status::OK();
+  for (auto& [index, row] : ticket->row_results_) {
+    if (!row.ok()) {
+      if (policy == SamplePolicy::kLenient &&
+          row.status().code() == StatusCode::kResourceExhausted) {
+        continue;
+      }
+      failure = row.status().WithContext(
+          "sampling row " + std::to_string(index + 1) + " of " +
+          std::to_string(ticket->request_.rows));
+      break;
+    }
+    failure = builder.AppendRow(std::move(row).ValueOrDie());
+    if (!failure.ok()) break;
+  }
+  if (failure.ok()) {
+    CompleteTicketLocked(ticket, Status::OK());
+    ticket->result_ = builder.Build();
+    if (!ticket->result_.ok()) {
+      GetServeCounters().failed->Increment();
+    }
+  } else {
+    CompleteTicketLocked(ticket, std::move(failure));
+  }
+}
+
+void SynthesisServer::CompleteTicketLocked(RequestTicket* ticket,
+                                           Status status) {
+  const ServeCounters& counters = GetServeCounters();
+  ticket->latency_us_ = ElapsedUs(ticket->submit_ns_);
+  counters.latency_us->Observe(static_cast<double>(ticket->latency_us_));
+  if (status.ok()) {
+    counters.completed->Increment();
+    counters.rows->Increment(ticket->report_.rows_emitted);
+  } else {
+    counters.failed->Increment();
+    ticket->result_ = std::move(status);
+  }
+  ticket->report_.ExportToMetrics();
+  ticket->done_ = true;
+  ticket->cv_.notify_all();
+}
+
+std::shared_ptr<RequestTicket> SynthesisServer::FailTicket(
+    std::shared_ptr<RequestTicket> ticket, Status status) {
+  std::lock_guard<std::mutex> lock(ticket->mu_);
+  if (!ticket->done_) CompleteTicketLocked(ticket.get(), std::move(status));
+  return ticket;
+}
+
+void SynthesisServer::RemoveLive(const RequestTicket* ticket) {
+  std::lock_guard<std::mutex> lock(sched_mu_);
+  RemoveLiveLockedHeld(ticket);
+}
+
+void SynthesisServer::RemoveLiveLockedHeld(const RequestTicket* ticket) {
+  for (auto it = live_.begin(); it != live_.end(); ++it) {
+    if (it->get() == ticket) {
+      live_.erase(it);
+      return;
+    }
+  }
+}
+
+void SynthesisServer::FailAllPending(const Status& error) {
+  std::vector<std::shared_ptr<RequestTicket>> pending;
+  {
+    std::lock_guard<std::mutex> lock(sched_mu_);
+    pending.swap(live_);
+    open_.clear();
+    GetServeCounters().open_requests->Set(0.0);
+  }
+  for (const auto& ticket : pending) {
+    std::lock_guard<std::mutex> lock(ticket->mu_);
+    if (ticket->done_) continue;
+    CompleteTicketLocked(
+        ticket.get(),
+        error.ok() ? Status::FailedPrecondition(
+                         "server shut down before the request completed")
+                   : error);
+  }
+}
+
+Status SynthesisServer::Shutdown() {
+  if (!started_) {
+    return Status::FailedPrecondition("Shutdown before Start");
+  }
+  if (finished_) return final_status_;
+  admission_->Close();
+  sched_cv_.notify_all();
+  final_status_ = runtime_->Finish();
+  // A clean drain leaves nothing behind; a failed one (or a convicted
+  // worker holding a bundle) leaves tickets that must not hang their
+  // waiters.
+  FailAllPending(final_status_);
+  finished_ = true;
+  return final_status_;
+}
+
+}  // namespace greater

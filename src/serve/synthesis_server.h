@@ -1,0 +1,266 @@
+#ifndef GREATER_SERVE_SYNTHESIS_SERVER_H_
+#define GREATER_SERVE_SYNTHESIS_SERVER_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+#include "lm/decode_cache.h"
+#include "stream/bounded_queue.h"
+#include "stream/stream_runtime.h"
+#include "synth/batch_decode.h"
+#include "synth/great_synthesizer.h"
+#include "synth/sample_report.h"
+#include "tabular/table.h"
+#include "tabular/value.h"
+
+namespace greater {
+
+/// One synthesis request against a named tenant model: sample `rows` rows,
+/// seeding the request's private stream family from `seed`. `conditioning`
+/// (optional) forces the named columns to the given values on every
+/// generated row — the serving form of SampleConditional with one
+/// condition row replicated `rows` times.
+///
+/// Determinism contract: for a fixed (tenant model, seed, rows,
+/// conditioning), the served table is bitwise-identical to
+///   Rng rng(seed);
+///   model.SampleRows(rows, &rng, /*pool=*/nullptr);
+/// (or SampleConditional over `rows` copies of the conditioning row, with
+/// the same fresh Rng) — no matter what else the server is doing, how its
+/// lanes were packed, or which worker ran them. The server derives the
+/// request's stream base exactly as SampleRows does and every row draws
+/// only from its own derived stream.
+struct SampleRequest {
+  std::string tenant;
+  size_t rows = 0;
+  uint64_t seed = 0;
+  std::map<std::string, Value> conditioning;
+};
+
+/// SynthesisServer tuning knobs (see DESIGN.md, "Serving layer").
+struct ServeOptions {
+  /// Sampler worker threads draining the packing window.
+  size_t num_workers = 2;
+  /// Admission queue capacity — the backpressure surface: Submit blocks
+  /// once this many requests are queued but not yet admitted.
+  size_t admission_capacity = 64;
+  /// Cross-request packing window: requests admitted (eligible for lane
+  /// packing) at once. Queue capacity + window bounds buffered requests.
+  size_t max_open_requests = 8;
+  /// Decode lanes one packed batch may carry; a request with more rows is
+  /// split across consecutive batches (packing order is deterministic but
+  /// irrelevant to output — every row owns its stream).
+  size_t max_lanes_per_batch = 64;
+  /// Watchdog conviction deadline for a worker stalled inside one batch.
+  uint64_t watchdog_timeout_ms = 30000;
+  uint64_t watchdog_poll_ms = 10;
+  /// Idle wake period: parked workers re-beat their heartbeat and re-scan
+  /// for work (new requests, cancellations) this often.
+  uint64_t idle_poll_ms = 5;
+};
+
+class SynthesisServer;
+
+/// Completion handle for one submitted request. Created by
+/// SynthesisServer::Submit and shared with the server; safe to Wait/Cancel
+/// from any thread, and valid after the server shuts down.
+class RequestTicket {
+ public:
+  /// Blocks until the request is terminal; returns the result (a reference
+  /// that stays valid while the ticket lives). On success the table holds
+  /// the sampled rows in request-row order.
+  const Result<Table>& Wait();
+
+  /// Bounded wait: false if the request is still in flight afterwards.
+  bool WaitFor(uint64_t timeout_ms);
+
+  bool done() const;
+
+  /// Abandons the request: rows not yet packed into a batch are never
+  /// decoded, and the ticket completes with StatusCode::kCancelled at the
+  /// scheduler's next sweep (rows already mid-batch are discarded on
+  /// delivery). Cancelling a terminal request is a no-op.
+  void Cancel();
+
+  /// Per-request sampling accounting (merged from every batch that carried
+  /// this request's lanes). Reconciles for every non-cancelled terminal
+  /// request. Read only after done().
+  const SampleReport& report() const { return report_; }
+
+  /// Submit-to-terminal latency. Read only after done().
+  uint64_t latency_us() const { return latency_us_; }
+
+ private:
+  friend class SynthesisServer;
+
+  RequestTicket() : result_(Status::Internal("request still in flight")) {}
+
+  // Immutable after Submit ---------------------------------------------------
+  SampleRequest request_;
+  const GreatSynthesizer* model_ = nullptr;
+  uint64_t base_ = 0;        ///< stream base derived from request_.seed
+  Table conditions_;         ///< one-row forced-column table
+  bool has_conditions_ = false;
+  uint64_t submit_ns_ = 0;
+
+  std::atomic<bool> cancelled_{false};
+
+  /// Rows handed to packed batches so far. Guarded by the server's
+  /// scheduler mutex, not mu_ (only the packing sweep touches it).
+  size_t rows_packed_ = 0;
+
+  // Guarded by mu_ -----------------------------------------------------------
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  bool done_ = false;
+  size_t rows_done_ = 0;
+  std::vector<std::pair<size_t, Result<Row>>> row_results_;
+  SampleReport report_;
+  Result<Table> result_;
+  uint64_t latency_us_ = 0;
+};
+
+/// Multi-tenant synthesis service: N named GreatSynthesizer bundles served
+/// as immutable shared models, a bounded admission queue in front of a
+/// cross-request packing window, and sampler workers that pack lanes from
+/// every same-tenant open request into shared BatchDecodeEngine batches —
+/// one grouped model evaluation per (context, allow-list) key per step
+/// across ALL packed requests, not per request.
+///
+/// Threading: Submit is safe from any number of threads (it blocks on the
+/// admission queue when full — backpressure, never unbounded buffering).
+/// Tenant registration happens before Start. Worker liveness runs on the
+/// streaming watchdog: a worker stalled inside a batch past
+/// watchdog_timeout_ms fails the server with kDeadlineExceeded, every
+/// queue is poisoned, and all pending tickets complete with that error.
+///
+/// Fault points: "serve.admit" fires per Submit (the request is rejected
+/// typed before entering the queue); "serve.pack" fires once per request
+/// as its first lanes are packed (the request fails typed; co-scheduled
+/// requests are untouched). See common/fault.h.
+class SynthesisServer {
+ public:
+  explicit SynthesisServer(const ServeOptions& options);
+  ~SynthesisServer();
+
+  /// Registers a fitted model under `name`. Models are immutable while
+  /// served and may be shared between tenants. Before Start() only.
+  Status AddTenant(const std::string& name,
+                   std::shared_ptr<const GreatSynthesizer> model);
+
+  /// Loads a saved synthesizer bundle (GreatSynthesizer::Save format) and
+  /// registers it under `name`. Before Start() only.
+  Status LoadTenant(const std::string& name, const std::string& path);
+
+  /// Spawns the admitter, sampler workers, and watchdog. Requires at
+  /// least one tenant.
+  Status Start();
+
+  /// Submits a request. Never blocks on decoding — only on admission-queue
+  /// backpressure. The returned ticket is terminal-typed on every failure
+  /// path (unknown tenant, injected admission fault, server stopped), so
+  /// callers can always Wait on it.
+  std::shared_ptr<RequestTicket> Submit(SampleRequest request);
+
+  /// Drains: closes admission, lets workers finish every admitted request,
+  /// joins everything, and fails any ticket the pipeline abandoned (typed
+  /// with the runtime error, or kFailedPrecondition on a clean drain that
+  /// still left tickets — which a clean drain never does). Idempotent.
+  /// Returns the first runtime error (OK on a clean drain).
+  Status Shutdown();
+
+  /// First runtime failure so far (OK while healthy). Usable live.
+  Status error() const;
+
+  size_t num_tenants() const { return tenants_.size(); }
+  const ServeOptions& options() const { return options_; }
+
+ private:
+  /// One slice of a packed batch: rows [begin, end) of one ticket.
+  struct Slice {
+    std::shared_ptr<RequestTicket> ticket;
+    size_t begin = 0;
+    size_t end = 0;
+  };
+  /// A packed batch: same-model lanes from one or more requests.
+  struct Bundle {
+    const GreatSynthesizer* model = nullptr;
+    std::vector<Slice> slices;
+    size_t lanes = 0;
+  };
+  /// Per-(worker, model) decode state — the serving twin of
+  /// GreatSynthesizer's SamplerWorkspace: private cache and engine, never
+  /// shared across workers, so the parallel determinism contract holds.
+  struct WorkerSpace {
+    std::unique_ptr<DecodeCache> cache;
+    DecodeWorkspace decode;
+    std::unique_ptr<BatchDecodeEngine> engine;
+  };
+
+  Status AdmitterLoop(Heartbeat* hb);
+  Status WorkerLoop(Heartbeat* hb);
+
+  /// Scheduler-locked packing sweep: finalizes cancellations and
+  /// pack-fault trips, picks the oldest open request's model, and fills
+  /// `bundle` with up to max_lanes_per_batch lanes from every open request
+  /// of that model, oldest first. True when the bundle has lanes.
+  bool PackBundleLocked(Bundle* bundle);
+  /// True when the packing sweep would find anything to do.
+  bool HasWorkLocked() const;
+
+  void RunBundle(
+      Bundle* bundle,
+      std::unordered_map<const GreatSynthesizer*, WorkerSpace>* spaces);
+  void DeliverSlice(const Slice& slice, const SampleReport& slice_report,
+                    std::vector<Result<Row>>* rows, size_t offset);
+
+  /// Builds the final table (honoring the model's SamplePolicy) and marks
+  /// the ticket terminal. Caller holds ticket->mu_.
+  void FinalizeTicketLocked(RequestTicket* ticket);
+  /// Marks a ticket terminal with `status`. Caller holds ticket->mu_.
+  void CompleteTicketLocked(RequestTicket* ticket, Status status);
+  /// Completes a never-admitted or swept ticket with `status` (takes the
+  /// ticket lock itself; must not hold it).
+  std::shared_ptr<RequestTicket> FailTicket(
+      std::shared_ptr<RequestTicket> ticket, Status status);
+  /// Fails every in-flight ticket with `error` — the runtime-failure and
+  /// shutdown sweep. Idempotent; skips terminal tickets.
+  void FailAllPending(const Status& error);
+  void RemoveLive(const RequestTicket* ticket);
+  /// RemoveLive body for callers already holding sched_mu_.
+  void RemoveLiveLockedHeld(const RequestTicket* ticket);
+
+  const ServeOptions options_;
+  std::map<std::string, std::shared_ptr<const GreatSynthesizer>> tenants_;
+  bool started_ = false;
+  bool finished_ = false;
+  Status final_status_;
+
+  std::unique_ptr<BoundedQueue<std::shared_ptr<RequestTicket>>> admission_;
+  std::unique_ptr<StreamRuntime> runtime_;
+
+  /// Scheduler state: the packing window (admission-ordered), the set of
+  /// every non-terminal ticket (for the failure sweep), and the admitter's
+  /// drain flag. sched_mu_ may be taken before a ticket's mu_, never
+  /// after.
+  mutable std::mutex sched_mu_;
+  std::condition_variable sched_cv_;
+  std::deque<std::shared_ptr<RequestTicket>> open_;
+  std::vector<std::shared_ptr<RequestTicket>> live_;
+  bool admitter_done_ = false;
+};
+
+}  // namespace greater
+
+#endif  // GREATER_SERVE_SYNTHESIS_SERVER_H_

@@ -1,0 +1,111 @@
+#include "serve/workload.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace greater {
+namespace {
+
+double Zeta(size_t n, double theta) {
+  double sum = 0.0;
+  for (size_t i = 1; i <= n; ++i) {
+    sum += 1.0 / std::pow(static_cast<double>(i), theta);
+  }
+  return sum;
+}
+
+// 64-bit finalizer (splitmix64 tail): scatters zipfian rank popularity
+// across the key space for the scrambled variant.
+uint64_t Mix64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+SkewedKeys::SkewedKeys(const Options& options, size_t n)
+    : options_(options), n_(n == 0 ? 1 : n) {
+  theta_ = options_.zipf_theta;
+  zetan_ = Zeta(n_, theta_);
+  alpha_ = 1.0 / (1.0 - theta_);
+  eta_ = (1.0 - std::pow(2.0 / static_cast<double>(n_), 1.0 - theta_)) /
+         (1.0 - Zeta(2, theta_) / zetan_);
+}
+
+size_t SkewedKeys::Zipfian(Rng* rng) const {
+  // Standard YCSB incremental zipfian draw: rank 0 is the hottest key.
+  double u = rng->Uniform();
+  double uz = u * zetan_;
+  if (uz < 1.0) return 0;
+  if (uz < 1.0 + std::pow(0.5, theta_)) return 1 % n_;
+  size_t key = static_cast<size_t>(
+      static_cast<double>(n_) * std::pow(eta_ * u - eta_ + 1.0, alpha_));
+  return key >= n_ ? n_ - 1 : key;
+}
+
+size_t SkewedKeys::Next(Rng* rng) const {
+  if (n_ == 1) {
+    rng->Uniform();  // keep stream consumption shape-independent of n
+    return 0;
+  }
+  switch (options_.kind) {
+    case SkewKind::kUniform:
+      return rng->Index(n_);
+    case SkewKind::kZipfian:
+      return Zipfian(rng);
+    case SkewKind::kScrambledZipfian:
+      return static_cast<size_t>(Mix64(Zipfian(rng)) % n_);
+    case SkewKind::kHotSet: {
+      size_t hot = static_cast<size_t>(static_cast<double>(n_) *
+                                       options_.hot_fraction);
+      if (hot == 0) hot = 1;
+      if (hot >= n_) hot = n_ - 1;
+      if (rng->Uniform() < options_.hot_op_fraction) return rng->Index(hot);
+      return hot + rng->Index(n_ - hot);
+    }
+    case SkewKind::kLatest:
+      // Zipfian over recency: the most recently added key (rank n-1) is
+      // the hottest.
+      return n_ - 1 - Zipfian(rng);
+  }
+  return 0;
+}
+
+WorkloadGenerator::WorkloadGenerator(const WorkloadOptions& options,
+                                     std::vector<TenantProfile> tenants,
+                                     uint64_t seed)
+    : options_(options),
+      tenants_(std::move(tenants)),
+      tenant_keys_(options.tenant_skew, tenants_.size()),
+      rng_(seed) {
+  value_keys_.reserve(tenants_.size());
+  for (const TenantProfile& tenant : tenants_) {
+    value_keys_.emplace_back(options.value_skew, tenant.cond_values.size());
+  }
+}
+
+SampleRequest WorkloadGenerator::Next() {
+  const size_t which = tenant_keys_.Next(&rng_);
+  const TenantProfile& tenant = tenants_[which];
+  SampleRequest request;
+  request.tenant = tenant.name;
+  request.rows = static_cast<size_t>(rng_.UniformInt(
+      static_cast<int64_t>(options_.min_rows),
+      static_cast<int64_t>(
+          std::max(options_.min_rows, options_.max_rows))));
+  // Conditioning decision and value draw happen unconditionally so the rng
+  // stream shape does not depend on the tenant drawn.
+  const bool conditioned = rng_.Uniform() < options_.conditioned_fraction;
+  const size_t value = value_keys_[which].Next(&rng_);
+  if (conditioned && !tenant.cond_column.empty() &&
+      !tenant.cond_values.empty()) {
+    request.conditioning[tenant.cond_column] =
+        Value(tenant.cond_values[value]);
+  }
+  request.seed = rng_.engine()();
+  return request;
+}
+
+}  // namespace greater

@@ -1,0 +1,105 @@
+#ifndef GREATER_SERVE_WORKLOAD_H_
+#define GREATER_SERVE_WORKLOAD_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "serve/synthesis_server.h"
+
+namespace greater {
+
+/// Key-popularity skews for synthetic serving workloads, after the YCSB
+/// family of request generators: which tenant (and which conditioning
+/// value) the next request hits.
+enum class SkewKind {
+  kUniform,           ///< every key equally likely
+  kZipfian,           ///< Zipfian(theta) over key rank: key 0 hottest
+  kScrambledZipfian,  ///< Zipfian popularity, hash-scattered over the keys
+  kHotSet,            ///< hot_op_fraction of draws land in the hot set
+  kLatest,            ///< Zipfian over recency: newest keys hottest
+};
+
+/// Draws keys in [0, n) under one SkewKind. Deterministic given (options,
+/// n, the caller's Rng stream). Zipfian constants follow the standard
+/// incremental YCSB derivation (zeta/alpha/eta) with theta 0.99 by
+/// default, so ~85% of draws hit the top 10% of keys.
+class SkewedKeys {
+ public:
+  struct Options {
+    SkewKind kind = SkewKind::kZipfian;
+    double zipf_theta = 0.99;
+    /// kHotSet: fraction of the key space that is hot, and fraction of
+    /// draws sent there.
+    double hot_fraction = 0.2;
+    double hot_op_fraction = 0.8;
+  };
+
+  SkewedKeys(const Options& options, size_t n);
+
+  /// Next key in [0, n), consuming draws from `rng`.
+  size_t Next(Rng* rng) const;
+
+  size_t n() const { return n_; }
+
+ private:
+  size_t Zipfian(Rng* rng) const;
+
+  Options options_;
+  size_t n_;
+  // Precomputed YCSB zipfian constants.
+  double zetan_ = 0.0;
+  double theta_ = 0.0;
+  double alpha_ = 0.0;
+  double eta_ = 0.0;
+};
+
+/// One serveable tenant as the workload generator sees it: the registered
+/// name plus an optional categorical column (with its observed values) a
+/// conditioned request may force.
+struct TenantProfile {
+  std::string name;
+  std::string cond_column;               ///< empty = never conditioned
+  std::vector<std::string> cond_values;  ///< categories to force
+};
+
+/// Shape of a generated request mix.
+struct WorkloadOptions {
+  /// Which tenant each request hits.
+  SkewedKeys::Options tenant_skew;  // default Zipfian(0.99)
+  /// Which conditioning value a conditioned request forces.
+  SkewedKeys::Options value_skew;
+  /// Fraction of requests that carry a conditioning prefix (tenants with
+  /// no cond_column are never conditioned regardless).
+  double conditioned_fraction = 0.5;
+  /// Per-request row count, uniform in [min_rows, max_rows].
+  size_t min_rows = 1;
+  size_t max_rows = 16;
+};
+
+/// Deterministic stream of SampleRequests over a fixed tenant set: tenant
+/// choice, conditioning, row count, and the per-request sampling seed all
+/// derive from the generator seed, so a workload replays exactly — the
+/// serving determinism tests depend on that.
+class WorkloadGenerator {
+ public:
+  WorkloadGenerator(const WorkloadOptions& options,
+                    std::vector<TenantProfile> tenants, uint64_t seed);
+
+  SampleRequest Next();
+
+  const std::vector<TenantProfile>& tenants() const { return tenants_; }
+
+ private:
+  WorkloadOptions options_;
+  std::vector<TenantProfile> tenants_;
+  SkewedKeys tenant_keys_;
+  std::vector<SkewedKeys> value_keys_;  // one per tenant
+  Rng rng_;
+};
+
+}  // namespace greater
+
+#endif  // GREATER_SERVE_WORKLOAD_H_

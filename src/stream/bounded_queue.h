@@ -1,6 +1,7 @@
 #ifndef GREATER_STREAM_BOUNDED_QUEUE_H_
 #define GREATER_STREAM_BOUNDED_QUEUE_H_
 
+#include <chrono>
 #include <condition_variable>
 #include <cstddef>
 #include <deque>
@@ -14,6 +15,13 @@
 #include "obs/metrics.h"
 
 namespace greater {
+
+/// Outcome of a bounded-duration Pop (BoundedQueue::PopFor).
+enum class QueuePop {
+  kItem,     ///< an item was dequeued into `out`
+  kTimeout,  ///< the wait expired with the queue still empty and open
+  kDone,     ///< closed-and-drained or poisoned: no item will ever arrive
+};
 
 /// Type-erased control surface of a BoundedQueue, so the stream runtime
 /// can poison every queue in a pipeline without knowing element types.
@@ -104,6 +112,26 @@ class BoundedQueue final : public QueueControl {
     lock.unlock();
     not_full_.notify_one();
     return item;
+  }
+
+  /// Pop with a bounded wait, for consumers that must keep signalling
+  /// liveness while idle: a serving-layer worker parked on an empty
+  /// admission queue wakes every `timeout_ms` to beat its heartbeat, so
+  /// the watchdog convicts only workers stalled *inside* a unit of work,
+  /// never merely idle ones. kItem stores the item into `*out`.
+  QueuePop PopFor(uint64_t timeout_ms, T* out) {
+    std::unique_lock<std::mutex> lock(mu_);
+    not_empty_.wait_for(lock, std::chrono::milliseconds(timeout_ms), [&] {
+      return poisoned_ || closed_ || !items_.empty();
+    });
+    if (poisoned_) return QueuePop::kDone;
+    if (items_.empty()) return closed_ ? QueuePop::kDone : QueuePop::kTimeout;
+    *out = std::move(items_.front());
+    items_.pop_front();
+    depth_gauge_.Set(static_cast<int64_t>(items_.size()));
+    lock.unlock();
+    not_full_.notify_one();
+    return QueuePop::kItem;
   }
 
   void Close() override {

@@ -49,10 +49,8 @@ const BatchCounters& GetBatchCounters() {
 BatchDecodeEngine::BatchDecodeEngine(const GreatSynthesizer& synth)
     : synth_(synth) {}
 
-void BatchDecodeEngine::PrepareChunk(size_t begin, size_t end,
-                                     const Table* conditions, uint64_t base) {
-  num_lanes_ = end - begin;
-  begin_row_ = begin;
+void BatchDecodeEngine::PrepareLanes() {
+  num_lanes_ = lane_specs_.size();
   num_columns_ = synth_.encoder_->columns().size();
   const size_t lanes = num_lanes_;
   const size_t cells = lanes * num_columns_;
@@ -60,7 +58,8 @@ void BatchDecodeEngine::PrepareChunk(size_t begin, size_t end,
   rng_.clear();
   rng_.reserve(lanes);
   for (size_t i = 0; i < lanes; ++i) {
-    rng_.emplace_back(Rng::DeriveStreamSeed(base, begin + i));
+    rng_.emplace_back(
+        Rng::DeriveStreamSeed(lane_specs_[i].base, lane_specs_[i].row));
   }
   state_.assign(lanes, LaneState::kName);
   ctx_len_.assign(lanes, 0);
@@ -103,6 +102,9 @@ void BatchDecodeEngine::PrepareChunk(size_t begin, size_t end,
   group_offset_.reserve(lanes + 1);
   order_.reserve(lanes);
   scatter_.reserve(lanes);
+  group_rngs_.reserve(lanes);
+  group_tokens_.reserve(lanes);
+  draw_scratch_.reserve(lanes);
 
   active_ = lanes;
   local_stats_.lanes += lanes;
@@ -112,7 +114,7 @@ void BatchDecodeEngine::PrepareChunk(size_t begin, size_t end,
   // Lanes that fail here (injected fault, unknown condition column) finish
   // before the lockstep loop ever sees them.
   for (size_t lane = 0; lane < lanes; ++lane) {
-    StartLane(lane, begin + lane, conditions);
+    StartLane(lane);
   }
 
   // Phase B: one arena sized for the worst-case attempt — the longest
@@ -141,18 +143,18 @@ void BatchDecodeEngine::PrepareChunk(size_t begin, size_t end,
   }
 }
 
-void BatchDecodeEngine::StartLane(size_t lane, size_t row,
-                                  const Table* conditions) {
-  ++report_->rows_requested;
+void BatchDecodeEngine::StartLane(size_t lane) {
+  const Table* conditions = lane_specs_[lane].conditions;
+  ++rep(lane).rows_requested;
   // Injected per-row failure, accounted exactly like the per-row decoder:
   // kResourceExhausted counts as a natural exhaustion so lenient callers
   // degrade gracefully and the report still reconciles.
   if (FaultRegistry::AnyArmed()) {
     Status fault = FaultRegistry::Global().Check("synth.sample_row");
     if (!fault.ok()) {
-      ++report_->injected_faults;
+      ++rep(lane).injected_faults;
       if (fault.code() == StatusCode::kResourceExhausted) {
-        ++report_->rows_exhausted;
+        ++rep(lane).rows_exhausted;
       }
       FinishLane(lane, std::move(fault));
       return;
@@ -162,6 +164,7 @@ void BatchDecodeEngine::StartLane(size_t lane, size_t row,
   const TextualEncoder& encoder = *synth_.encoder_;
   const auto& columns = encoder.columns();
   if (conditions != nullptr) {
+    const size_t cond_row = lane_specs_[lane].cond_row;
     const Schema& schema = encoder.schema();
     for (size_t c = 0; c < conditions->num_columns(); ++c) {
       Result<size_t> idx =
@@ -172,7 +175,7 @@ void BatchDecodeEngine::StartLane(size_t lane, size_t row,
       }
       size_t field = std::move(idx).ValueOrDie();
       forced_has_[lane * num_columns_ + field] = 1;
-      forced_value_[lane * num_columns_ + field] = conditions->at(row, c);
+      forced_value_[lane * num_columns_ + field] = conditions->at(cond_row, c);
     }
   }
 
@@ -195,14 +198,14 @@ void BatchDecodeEngine::StartLane(size_t lane, size_t row,
 
 void BatchDecodeEngine::BeginAttempt(size_t lane) {
   const GreatSynthesizer::Options& options = synth_.options_;
-  ++report_->attempts;
+  ++rep(lane).attempts;
   // In free-value mode the last attempt falls back to the tight grammar so
   // the surrounding Sample call cannot die on an unlucky row.
   bool constrain = options.constrain_values_to_column ||
                    (options.fallback_to_constrained &&
                     attempt_[lane] + 1 == options.max_attempts_per_row);
   if (constrain && !options.constrain_values_to_column) {
-    ++report_->fallback_grammar_uses;
+    ++rep(lane).fallback_grammar_uses;
   }
   constrain_[lane] = constrain ? 1 : 0;
   ctx_len_[lane] = prefix_len_[lane];
@@ -237,7 +240,7 @@ void BatchDecodeEngine::FinalizeAttempt(size_t lane) {
       arena_.data() + lane * arena_stride_, ctx_len_[lane],
       &row_scratch_[lane], &decode_scratch_);
   if (!decoded.ok()) {
-    ++report_->rejected_decode_failure;
+    ++rep(lane).rejected_decode_failure;
     FailAttempt(lane, std::move(decoded));
     return;
   }
@@ -263,7 +266,7 @@ void BatchDecodeEngine::FinalizeAttempt(size_t lane) {
             return;
           }
           row[c] = std::move(parsed).ValueOrDie();
-          ++report_->snapped_cells;
+          ++rep(lane).snapped_cells;
           continue;
         }
         valid = false;
@@ -271,7 +274,7 @@ void BatchDecodeEngine::FinalizeAttempt(size_t lane) {
       }
     }
     if (!valid) {
-      ++report_->rejected_invalid_value;
+      ++rep(lane).rejected_invalid_value;
       FailAttempt(lane, Status::DataLoss(
                             "generated value outside the observed "
                             "category set"));
@@ -285,7 +288,7 @@ void BatchDecodeEngine::FinalizeAttempt(size_t lane) {
       row[c] = forced_value_[lane * num_columns_ + c];
     }
   }
-  ++report_->rows_emitted;
+  ++rep(lane).rows_emitted;
   lane_failed_[lane] = 0;
   state_[lane] = LaneState::kDone;
   --active_;
@@ -295,7 +298,7 @@ void BatchDecodeEngine::FailAttempt(size_t lane, Status error) {
   last_error_[lane] = std::move(error);
   const GreatSynthesizer::Options& options = synth_.options_;
   if (attempt_[lane] + 1 >= options.max_attempts_per_row) {
-    ++report_->rows_exhausted;
+    ++rep(lane).rows_exhausted;
     FinishLane(lane,
                Status::ResourceExhausted(
                    "no valid row after " +
@@ -337,7 +340,7 @@ void BatchDecodeEngine::ApplyToken(size_t lane, TokenId token) {
       }
     }
     if (col == num_columns_) {
-      ++report_->rejected_mid_row;
+      ++rep(lane).rejected_mid_row;
       FailAttempt(lane, Status::DataLoss("generation failed mid-row"));
       return;
     }
@@ -367,7 +370,7 @@ void BatchDecodeEngine::ApplyToken(size_t lane, TokenId token) {
       // closed-by-eos, so the batched engine must as well.
       CompleteValue(lane);
     } else {
-      ++report_->rejected_mid_row;
+      ++rep(lane).rejected_mid_row;
       FailAttempt(lane, Status::DataLoss("generation failed mid-row"));
     }
   }
@@ -531,10 +534,22 @@ void BatchDecodeEngine::DrawGroup(size_t first, size_t last) {
         lm, ctx_scratch_, *allowed_[rep], allow_id_[rep], temperature,
         decode_);
     if (dist.cacheable) {
+      // Vectorized group draw: gather the group's lane streams, draw them
+      // all against the one resolved entry (alias draws become two table
+      // sweeps instead of an interleaved per-lane walk), then scatter the
+      // tokens back. Lanes of one group share an allow-list identity, so
+      // the representative's candidate list serves every member; each lane
+      // still consumes only its own stream, bitwise as DrawResolved.
+      const size_t count = last - first;
+      group_rngs_.clear();
       for (size_t k = first; k < last; ++k) {
-        size_t lane = order_[k];
-        token_[lane] =
-            cache_->DrawResolved(dist, *allowed_[lane], &rng_[lane]);
+        group_rngs_.push_back(&rng_[order_[k]]);
+      }
+      group_tokens_.resize(count);
+      cache_->DrawResolvedMany(dist, *allowed_[rep], group_rngs_.data(),
+                               count, group_tokens_.data(), &draw_scratch_);
+      for (size_t k = first; k < last; ++k) {
+        token_[order_[k]] = group_tokens_[k - first];
       }
       return;
     }
@@ -668,20 +683,18 @@ size_t BatchDecodeEngine::Step() {
   return groups;
 }
 
-void BatchDecodeEngine::RunChunk(size_t begin, size_t end,
-                                 const Table* conditions, uint64_t base,
+void BatchDecodeEngine::RunLanes(const LaneRequest* lanes, size_t count,
                                  DecodeCache* cache, DecodeWorkspace* decode,
-                                 SampleReport* stats, uint64_t parent_span,
+                                 uint64_t parent_span,
                                  std::vector<Result<Row>>* out) {
-  assert(end >= begin);
-  if (end == begin) return;
+  if (count == 0) return;
   cache_ = cache;
   decode_ = decode;
-  report_ = stats;
+  lane_specs_.assign(lanes, lanes + count);
   Span span("synth.batch", parent_span);
   const LocalStats before = local_stats_;
 
-  PrepareChunk(begin, end, conditions, base);
+  PrepareLanes();
   size_t step = 0;
   while (active_ > 0) {
     size_t groups = Step();
@@ -709,7 +722,23 @@ void BatchDecodeEngine::RunChunk(size_t begin, size_t end,
   }
   cache_ = nullptr;
   decode_ = nullptr;
-  report_ = nullptr;
+}
+
+void BatchDecodeEngine::RunChunk(size_t begin, size_t end,
+                                 const Table* conditions, uint64_t base,
+                                 DecodeCache* cache, DecodeWorkspace* decode,
+                                 SampleReport* stats, uint64_t parent_span,
+                                 std::vector<Result<Row>>* out) {
+  assert(end >= begin);
+  if (end == begin) return;
+  chunk_scratch_.clear();
+  chunk_scratch_.reserve(end - begin);
+  for (size_t row = begin; row < end; ++row) {
+    chunk_scratch_.push_back(
+        LaneRequest{row, base, conditions, row, stats});
+  }
+  RunLanes(chunk_scratch_.data(), chunk_scratch_.size(), cache, decode,
+           parent_span, out);
 }
 
 }  // namespace greater

@@ -51,14 +51,37 @@ class BatchDecodeEngine {
 
   explicit BatchDecodeEngine(const GreatSynthesizer& synth);
 
+  /// One decode lane donated by an external scheduler — the serving
+  /// layer's cross-request packing unit. `row` is the row index within the
+  /// owning request, `base` that request's stream base, `conditions` /
+  /// `cond_row` the optional forced-column source, and `report` the
+  /// request's accounting sink. Lanes from different requests may share
+  /// one RunLanes call: every draw a lane makes consumes only the stream
+  /// seeded with Rng::DeriveStreamSeed(base, row), so each request's rows
+  /// are bitwise-independent of how (or with whom) they were packed.
+  struct LaneRequest {
+    size_t row = 0;
+    uint64_t base = 0;
+    const Table* conditions = nullptr;
+    size_t cond_row = 0;
+    SampleReport* report = nullptr;
+  };
+
+  /// Lockstep-decodes an arbitrary lane set, appending one Result<Row> per
+  /// lane (in lane order) to `out`. `cache` may be null (uncached grouped
+  /// evaluation); `decode` provides the model scratch buffers. Per-lane
+  /// accounting lands in each lane's own report with the same counts, row
+  /// by row, as the reference decoder.
+  void RunLanes(const LaneRequest* lanes, size_t count, DecodeCache* cache,
+                DecodeWorkspace* decode, uint64_t parent_span,
+                std::vector<Result<Row>>* out);
+
   /// Samples rows [begin, end) of the surrounding Sample/SampleConditional
   /// call in lockstep, appending one Result<Row> per row (in row order) to
   /// `out`. Lane i draws from Rng(Rng::DeriveStreamSeed(base, begin + i)).
   /// `conditions`, when non-null, forces row i's condition columns exactly
-  /// as the per-row path does. `cache` may be null (uncached grouped
-  /// evaluation); `decode` provides the model scratch buffers. Per-row
-  /// accounting lands in `stats` with the same counts, row by row, as the
-  /// reference decoder.
+  /// as the per-row path does. Thin wrapper over RunLanes: one lane per
+  /// row, all lanes sharing the call's base, conditions, and report.
   void RunChunk(size_t begin, size_t end, const Table* conditions,
                 uint64_t base, DecodeCache* cache, DecodeWorkspace* decode,
                 SampleReport* stats, uint64_t parent_span,
@@ -93,11 +116,10 @@ class BatchDecodeEngine {
   };
 
   // Chunk setup -------------------------------------------------------------
-  void PrepareChunk(size_t begin, size_t end, const Table* conditions,
-                    uint64_t base);
+  void PrepareLanes();
   /// Per-lane initialization: rows_requested/fault accounting, forced
   /// resolution, prefix encoding, first attempt.
-  void StartLane(size_t lane, size_t row, const Table* conditions);
+  void StartLane(size_t lane);
 
   // Lane state machine ------------------------------------------------------
   void BeginAttempt(size_t lane);
@@ -134,17 +156,25 @@ class BatchDecodeEngine {
   void DrawGroup(size_t first, size_t last);
   void CopyContext(size_t lane);
 
+  /// The lane's accounting sink (per-lane since RunLanes: packed lanes may
+  /// belong to different requests, each with its own report).
+  SampleReport& rep(size_t lane) { return *lane_specs_[lane].report; }
+
   const GreatSynthesizer& synth_;
 
-  // Borrowed for the duration of one RunChunk call.
+  // Borrowed for the duration of one RunLanes call.
   DecodeCache* cache_ = nullptr;
   DecodeWorkspace* decode_ = nullptr;
-  SampleReport* report_ = nullptr;
 
   size_t num_lanes_ = 0;
-  size_t begin_row_ = 0;
   size_t active_ = 0;
   size_t num_columns_ = 0;
+
+  /// Lane specifications of the current RunLanes call (copied in; the
+  /// spans they point at must outlive the call). chunk_scratch_ is
+  /// RunChunk's reusable staging buffer.
+  std::vector<LaneRequest> lane_specs_;
+  std::vector<LaneRequest> chunk_scratch_;
 
   // --- structure-of-arrays lane state (index = lane), reused across
   // chunks so the steady state allocates nothing ---
@@ -206,6 +236,13 @@ class BatchDecodeEngine {
   TokenSequence ctx_scratch_;           ///< representative context copy
   std::vector<double> weights_;  ///< uncached group evaluation
   std::vector<double> cdf_;
+  /// Vectorized cached-group draw scratch (DrawResolvedMany): the group's
+  /// lane streams gathered contiguously, the tokens drawn for them, and
+  /// the alias-index staging buffer. Reserved to the whole-batch worst
+  /// case in PrepareLanes, so steady-state steps allocate nothing.
+  std::vector<Rng*> group_rngs_;
+  std::vector<TokenId> group_tokens_;
+  std::vector<size_t> draw_scratch_;
   TextualEncoder::DecodeScratch decode_scratch_;
   std::string display_scratch_;
 

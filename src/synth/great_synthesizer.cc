@@ -377,6 +377,12 @@ Result<Row> GreatSynthesizer::SampleRowImpl(
       " attempts; last error: " + last_error.ToString());
 }
 
+uint64_t GreatSynthesizer::DeriveSampleBase(Rng* rng) {
+  uint64_t base_a = rng->engine()();
+  uint64_t base_b = rng->engine()();
+  return base_a ^ (base_b * 0x2545F4914F6CDD1DULL + 0x9e3779b97f4a7c15ULL);
+}
+
 Result<Table> GreatSynthesizer::SampleMany(size_t n, const Table* conditions,
                                            Rng* rng, ThreadPool* pool,
                                            SampleReport* report,
@@ -399,9 +405,7 @@ Result<Table> GreatSynthesizer::SampleMany(size_t n, const Table* conditions,
   // batch_rows) for a fixed seed.
   uint64_t base = 0;
   if (n > 0) {
-    uint64_t base_a = rng->engine()();
-    uint64_t base_b = rng->engine()();
-    base = base_a ^ (base_b * 0x2545F4914F6CDD1DULL + 0x9e3779b97f4a7c15ULL);
+    base = DeriveSampleBase(rng);
   }
   const size_t batch = std::max<size_t>(1, options_.batch_rows);
 

@@ -158,6 +158,15 @@ class GreatSynthesizer {
   Result<Table> SampleRows(size_t n, Rng* rng, ThreadPool* pool,
                            SampleReport* report = nullptr) const;
 
+  /// The stream-base derivation every Sample* call makes exactly once
+  /// (advancing `rng` by two engine draws): row i of that call then
+  /// samples from Rng(Rng::DeriveStreamSeed(base, i)). Exposed so an
+  /// external scheduler — the serving layer packing rows of many requests
+  /// into shared decode batches — can reproduce a request's rows
+  /// bitwise-identically to `Rng r(seed); SampleRows(n, &r, ...)` without
+  /// going through SampleRows itself.
+  static uint64_t DeriveSampleBase(Rng* rng);
+
   bool fitted() const { return lm_ != nullptr && lm_->fitted(); }
   const TextualEncoder& encoder() const { return *encoder_; }
   const LanguageModel& lm() const { return *lm_; }

@@ -8,6 +8,7 @@
 #include "crosstable/pipeline.h"
 #include "datagen/digix.h"
 #include "obs/metrics.h"
+#include "serve/synthesis_server.h"
 #include "stream/bounded_queue.h"
 #include "stream/csv_ingest.h"
 #include "synth/great_synthesizer.h"
@@ -457,6 +458,108 @@ TEST_F(RobustnessTest, StreamWorkerDeathFaultIsCaughtByWatchdogOnly) {
   EXPECT_GE(
       MetricsRegistry::Global().GetCounter("stream.watchdog_trips").Value(),
       1u);
+}
+
+// ---------- serving-layer fault points ----------
+
+// Shared two-tenant server fixtures for the serve.* fault points.
+Table ServeTrainTable(uint64_t seed) {
+  Schema schema({Field("name", ValueType::kString),
+                 Field("lunch", ValueType::kInt)});
+  Table t(schema);
+  const char* names[] = {"Grace", "Yin", "Anson", "Mia"};
+  Rng rng(seed);
+  for (int i = 0; i < 40; ++i) {
+    EXPECT_TRUE(
+        t.AppendRow({Value(names[rng.Index(4)]), Value(rng.UniformInt(1, 2))})
+            .ok());
+  }
+  return t;
+}
+
+std::shared_ptr<const GreatSynthesizer> ServeFitTenant(uint64_t seed) {
+  auto model = std::make_shared<GreatSynthesizer>();
+  Rng fit(seed);
+  EXPECT_TRUE(model->Fit(ServeTrainTable(seed), &fit).ok());
+  return model;
+}
+
+TEST_F(RobustnessTest, ServeAdmitFaultRejectsTypedWhileOthersComplete) {
+  SynthesisServer server(ServeOptions{});
+  ASSERT_TRUE(server.AddTenant("alpha", ServeFitTenant(11)).ok());
+  ASSERT_TRUE(server.AddTenant("beta", ServeFitTenant(23)).ok());
+  ASSERT_TRUE(server.Start().ok());
+
+  Counter& rejected =
+      MetricsRegistry::Global().GetCounter("serve.rejected");
+  uint64_t rejected_before = rejected.Value();
+
+  FaultSpec spec;
+  spec.code = StatusCode::kResourceExhausted;
+  spec.message = "admission shed";
+  spec.max_fires = 1;
+  std::shared_ptr<RequestTicket> doomed;
+  {
+    ScopedFault fault("serve.admit", spec);
+    doomed = server.Submit({"alpha", 6, 5});
+  }
+  // The tripped request is terminal before it ever entered the queue.
+  ASSERT_TRUE(doomed->done());
+  EXPECT_EQ(doomed->Wait().status().code(), StatusCode::kResourceExhausted);
+  EXPECT_NE(doomed->Wait().status().ToString().find("admission shed"),
+            std::string::npos);
+  EXPECT_EQ(rejected.Value() - rejected_before, 1u);
+
+  // Other tenants' (and the same tenant's) requests are untouched.
+  std::vector<std::shared_ptr<RequestTicket>> fine;
+  for (uint64_t i = 0; i < 4; ++i) {
+    fine.push_back(server.Submit({i % 2 == 0 ? "beta" : "alpha", 4, 60 + i}));
+  }
+  for (auto& ticket : fine) {
+    ASSERT_TRUE(ticket->Wait().ok()) << ticket->Wait().status();
+    EXPECT_TRUE(ticket->report().Reconciles());
+    EXPECT_EQ(ticket->report().rows_emitted, 4u);
+  }
+  EXPECT_TRUE(server.Shutdown().ok());
+}
+
+TEST_F(RobustnessTest, ServePackFaultFailsOneRequestOthersComplete) {
+  ServeOptions options;
+  options.num_workers = 1;  // serial pack sweeps: the oldest open request
+                            // is deterministically the one that trips
+  SynthesisServer server(options);
+  ASSERT_TRUE(server.AddTenant("alpha", ServeFitTenant(11)).ok());
+  ASSERT_TRUE(server.AddTenant("beta", ServeFitTenant(23)).ok());
+  ASSERT_TRUE(server.Start().ok());
+
+  FaultSpec spec;
+  spec.code = StatusCode::kDataLoss;
+  spec.message = "bundle assembly corrupted";
+  spec.max_fires = 1;
+  ScopedFault fault("serve.pack", spec);
+
+  auto doomed = server.Submit({"alpha", 8, 5});
+  std::vector<std::shared_ptr<RequestTicket>> others;
+  for (uint64_t i = 0; i < 3; ++i) {
+    others.push_back(server.Submit({"beta", 5, 80 + i}));
+  }
+
+  const Result<Table>& failed = doomed->Wait();
+  ASSERT_FALSE(failed.ok());
+  EXPECT_EQ(failed.status().code(), StatusCode::kDataLoss);
+  EXPECT_NE(failed.status().ToString().find("bundle assembly corrupted"),
+            std::string::npos);
+  EXPECT_GE(doomed->report().injected_faults, 1u);
+
+  // Concurrent other-tenant requests complete and their reports reconcile
+  // — a mid-pack trip never takes co-scheduled work down with it.
+  for (auto& ticket : others) {
+    ASSERT_TRUE(ticket->Wait().ok()) << ticket->Wait().status();
+    EXPECT_TRUE(ticket->report().Reconciles());
+    EXPECT_EQ(ticket->report().rows_emitted, 5u);
+  }
+  EXPECT_EQ(FaultRegistry::Global().fires("serve.pack"), 1u);
+  EXPECT_TRUE(server.Shutdown().ok());
 }
 
 }  // namespace

@@ -1,0 +1,530 @@
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <map>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/fault.h"
+#include "common/rng.h"
+#include "obs/metrics.h"
+#include "serve/synthesis_server.h"
+#include "serve/workload.h"
+#include "synth/great_synthesizer.h"
+#include "tabular/table.h"
+
+namespace greater {
+namespace {
+
+// Per-tenant training tables differ by seed so the four models are
+// genuinely distinct — a lane packed against the wrong model would show.
+Table TrainTable(uint64_t seed) {
+  Schema schema({Field("name", ValueType::kString),
+                 Field("lunch", ValueType::kInt),
+                 Field("device", ValueType::kInt)});
+  Table t(schema);
+  const char* names[] = {"Grace", "Yin", "Anson", "Mia"};
+  Rng rng(seed);
+  for (int i = 0; i < 48; ++i) {
+    EXPECT_TRUE(t.AppendRow({Value(names[rng.Index(4)]),
+                             Value(rng.UniformInt(1, 2)),
+                             Value(rng.UniformInt(1, 3))})
+                    .ok());
+  }
+  return t;
+}
+
+std::shared_ptr<const GreatSynthesizer> FitTenant(uint64_t seed) {
+  GreatSynthesizer::Options options;
+  auto model = std::make_shared<GreatSynthesizer>(options);
+  Rng fit(seed);
+  EXPECT_TRUE(model->Fit(TrainTable(seed), &fit).ok());
+  return model;
+}
+
+void ExpectTablesEqual(const Table& a, const Table& b) {
+  ASSERT_EQ(a.num_rows(), b.num_rows());
+  ASSERT_EQ(a.num_columns(), b.num_columns());
+  for (size_t r = 0; r < a.num_rows(); ++r) {
+    EXPECT_EQ(a.GetRow(r), b.GetRow(r)) << "row " << r;
+  }
+}
+
+struct TenantSet {
+  std::vector<std::string> names;
+  std::vector<std::shared_ptr<const GreatSynthesizer>> models;
+};
+
+TenantSet MakeTenants(size_t n) {
+  TenantSet set;
+  for (size_t i = 0; i < n; ++i) {
+    set.names.push_back("tenant" + std::to_string(i));
+    set.models.push_back(FitTenant(100 + i * 13));
+  }
+  return set;
+}
+
+void AddAll(SynthesisServer* server, const TenantSet& set) {
+  for (size_t i = 0; i < set.names.size(); ++i) {
+    ASSERT_TRUE(server->AddTenant(set.names[i], set.models[i]).ok());
+  }
+}
+
+// ---------- Registration / submission edge cases ----------
+
+TEST(SynthesisServerTest, RegistrationAndSubmitErrorsAreTyped) {
+  ServeOptions options;
+  SynthesisServer empty(options);
+  EXPECT_EQ(empty.Start().code(), StatusCode::kFailedPrecondition);
+
+  TenantSet set = MakeTenants(1);
+  SynthesisServer server(options);
+  AddAll(&server, set);
+  EXPECT_EQ(server.AddTenant(set.names[0], set.models[0]).code(),
+            StatusCode::kAlreadyExists);
+
+  // Submit before Start: terminal immediately, typed.
+  auto early = server.Submit({set.names[0], 3, 1});
+  ASSERT_TRUE(early->done());
+  EXPECT_EQ(early->Wait().status().code(), StatusCode::kFailedPrecondition);
+
+  ASSERT_TRUE(server.Start().ok());
+  EXPECT_EQ(server.AddTenant("late", set.models[0]).code(),
+            StatusCode::kFailedPrecondition);
+
+  auto unknown = server.Submit({"nobody", 3, 1});
+  ASSERT_TRUE(unknown->done());
+  EXPECT_EQ(unknown->Wait().status().code(), StatusCode::kNotFound);
+
+  auto bad_column = server.Submit(
+      {set.names[0], 2, 1, {{"no_such_column", Value("x")}}});
+  ASSERT_TRUE(bad_column->done());
+  EXPECT_EQ(bad_column->Wait().status().code(), StatusCode::kNotFound);
+
+  auto empty_req = server.Submit({set.names[0], 0, 1});
+  ASSERT_TRUE(empty_req->done());
+  ASSERT_TRUE(empty_req->Wait().ok());
+  EXPECT_EQ(empty_req->Wait().ValueOrDie().num_rows(), 0u);
+
+  EXPECT_TRUE(server.Shutdown().ok());
+  auto late = server.Submit({set.names[0], 3, 1});
+  ASSERT_TRUE(late->done());
+  EXPECT_EQ(late->Wait().status().code(), StatusCode::kFailedPrecondition);
+}
+
+// ---------- Determinism: served vs direct ----------
+
+TEST(SynthesisServerTest, ServedMatchesDirectSampleBitwise) {
+  TenantSet set = MakeTenants(2);
+  ServeOptions options;
+  options.num_workers = 2;
+  SynthesisServer server(options);
+  AddAll(&server, set);
+  ASSERT_TRUE(server.Start().ok());
+
+  auto ticket = server.Submit({set.names[1], 17, 42});
+  const Result<Table>& served = ticket->Wait();
+  ASSERT_TRUE(served.ok()) << served.status();
+
+  Rng direct_rng(42);
+  Table direct = set.models[1]->Sample(17, &direct_rng).ValueOrDie();
+  ExpectTablesEqual(direct, served.ValueOrDie());
+  EXPECT_TRUE(ticket->report().Reconciles());
+  EXPECT_EQ(ticket->report().rows_emitted, 17u);
+  EXPECT_TRUE(server.Shutdown().ok());
+}
+
+TEST(SynthesisServerTest, ServedConditionalMatchesDirectBitwise) {
+  TenantSet set = MakeTenants(1);
+  ServeOptions options;
+  SynthesisServer server(options);
+  AddAll(&server, set);
+  ASSERT_TRUE(server.Start().ok());
+
+  const size_t rows = 9;
+  auto ticket =
+      server.Submit({set.names[0], rows, 7, {{"name", Value("Grace")}}});
+  const Result<Table>& served = ticket->Wait();
+  ASSERT_TRUE(served.ok()) << served.status();
+
+  // Direct reference: SampleConditional over `rows` copies of the same
+  // condition row, from the same fresh seed.
+  Schema cond_schema({Field("name", ValueType::kString)});
+  Table conditions(cond_schema);
+  for (size_t i = 0; i < rows; ++i) {
+    ASSERT_TRUE(conditions.AppendRow({Value("Grace")}).ok());
+  }
+  Rng direct_rng(7);
+  Table direct =
+      set.models[0]->SampleConditional(conditions, &direct_rng).ValueOrDie();
+  ExpectTablesEqual(direct, served.ValueOrDie());
+
+  const Table& out = served.ValueOrDie();
+  size_t name_col = out.schema().FieldIndex("name").ValueOrDie();
+  for (size_t r = 0; r < out.num_rows(); ++r) {
+    EXPECT_EQ(out.at(r, name_col), Value("Grace")) << "row " << r;
+  }
+  EXPECT_TRUE(server.Shutdown().ok());
+}
+
+// The tentpole property: a request's output is bitwise-identical served
+// alone, served under a skewed concurrent mix (where its lanes share
+// batches with other tenants' requests), and computed directly against the
+// model — for every probe, at different worker counts.
+TEST(SynthesisServerTest, ZipfianMixPreservesPerRequestDeterminism) {
+  TenantSet set = MakeTenants(4);
+  std::vector<SampleRequest> probes;
+  for (size_t i = 0; i < set.names.size(); ++i) {
+    SampleRequest probe;
+    probe.tenant = set.names[i];
+    probe.rows = 5 + i;
+    probe.seed = 900 + i * 7;
+    if (i % 2 == 1) probe.conditioning["name"] = Value("Yin");
+    probes.push_back(probe);
+  }
+
+  // Pass 1: each probe served alone on a single-worker server.
+  std::vector<Table> alone;
+  {
+    ServeOptions options;
+    options.num_workers = 1;
+    SynthesisServer server(options);
+    AddAll(&server, set);
+    ASSERT_TRUE(server.Start().ok());
+    for (const SampleRequest& probe : probes) {
+      auto ticket = server.Submit(probe);
+      const Result<Table>& r = ticket->Wait();
+      ASSERT_TRUE(r.ok()) << r.status();
+      alone.push_back(r.ValueOrDie());
+    }
+    ASSERT_TRUE(server.Shutdown().ok());
+  }
+
+  // Pass 2: the same probes interleaved into a Zipfian multi-tenant mix on
+  // a multi-worker server with a tight packing budget, so probe lanes get
+  // packed into shared batches mid-mix.
+  std::vector<Table> mixed;
+  std::vector<std::shared_ptr<RequestTicket>> background;
+  {
+    ServeOptions options;
+    options.num_workers = 3;
+    options.max_lanes_per_batch = 8;
+    options.max_open_requests = 6;
+    SynthesisServer server(options);
+    AddAll(&server, set);
+    ASSERT_TRUE(server.Start().ok());
+
+    std::vector<TenantProfile> profiles;
+    for (const std::string& name : set.names) {
+      profiles.push_back(
+          TenantProfile{name, "name", {"Grace", "Yin", "Anson", "Mia"}});
+    }
+    WorkloadOptions wl;
+    wl.tenant_skew.kind = SkewKind::kZipfian;
+    wl.value_skew.kind = SkewKind::kScrambledZipfian;
+    wl.conditioned_fraction = 0.4;
+    wl.max_rows = 6;
+    WorkloadGenerator gen(wl, profiles, /*seed=*/2026);
+
+    std::vector<std::shared_ptr<RequestTicket>> probe_tickets;
+    for (size_t i = 0; i < probes.size(); ++i) {
+      for (int k = 0; k < 8; ++k) background.push_back(server.Submit(gen.Next()));
+      probe_tickets.push_back(server.Submit(probes[i]));
+    }
+    for (int k = 0; k < 8; ++k) background.push_back(server.Submit(gen.Next()));
+
+    for (auto& ticket : probe_tickets) {
+      const Result<Table>& r = ticket->Wait();
+      ASSERT_TRUE(r.ok()) << r.status();
+      mixed.push_back(r.ValueOrDie());
+      EXPECT_TRUE(ticket->report().Reconciles());
+    }
+    for (auto& ticket : background) {
+      const Result<Table>& r = ticket->Wait();
+      ASSERT_TRUE(r.ok()) << r.status();
+      EXPECT_TRUE(ticket->report().Reconciles());
+    }
+    ASSERT_TRUE(server.Shutdown().ok());
+  }
+
+  // Pass 3: direct model calls, no server at all.
+  for (size_t i = 0; i < probes.size(); ++i) {
+    SCOPED_TRACE("probe " + std::to_string(i));
+    Table direct;
+    Rng rng(probes[i].seed);
+    size_t model_idx = i;
+    if (probes[i].conditioning.empty()) {
+      direct =
+          set.models[model_idx]->Sample(probes[i].rows, &rng).ValueOrDie();
+    } else {
+      Schema cond_schema({Field("name", ValueType::kString)});
+      Table conditions(cond_schema);
+      for (size_t r = 0; r < probes[i].rows; ++r) {
+        ASSERT_TRUE(conditions.AppendRow({Value("Yin")}).ok());
+      }
+      direct = set.models[model_idx]
+                   ->SampleConditional(conditions, &rng)
+                   .ValueOrDie();
+    }
+    ExpectTablesEqual(direct, alone[i]);
+    ExpectTablesEqual(direct, mixed[i]);
+  }
+}
+
+// ---------- Packing and metrics ----------
+
+TEST(SynthesisServerTest, CrossRequestPackingAndMetrics) {
+  MetricsRegistry& registry = MetricsRegistry::Global();
+  Counter& batches = registry.GetCounter("serve.batches");
+  Counter& cross = registry.GetCounter("serve.cross_request_batches");
+  Counter& rows = registry.GetCounter("serve.rows");
+  Histogram& lanes = registry.GetHistogram(
+      "serve.lanes_per_batch",
+      {1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0, 256.0});
+  Histogram& latency = registry.GetLatencyHistogram("serve.request_latency_us");
+  uint64_t batches_before = batches.Value();
+  uint64_t cross_before = cross.Value();
+  uint64_t rows_before = rows.Value();
+  uint64_t lanes_before = lanes.TotalCount();
+  uint64_t latency_before = latency.TotalCount();
+
+  TenantSet set = MakeTenants(1);
+  ServeOptions options;
+  options.num_workers = 1;
+  options.max_lanes_per_batch = 16;
+  SynthesisServer server(options);
+  AddAll(&server, set);
+  ASSERT_TRUE(server.Start().ok());
+
+  // One big request keeps the single worker busy across several bundles
+  // while the small ones are admitted behind it — the packing sweep then
+  // has multiple open requests to fill bundles from.
+  std::vector<std::shared_ptr<RequestTicket>> tickets;
+  tickets.push_back(server.Submit({set.names[0], 60, 5}));
+  size_t expected_rows = 60;
+  for (uint64_t i = 0; i < 12; ++i) {
+    tickets.push_back(server.Submit({set.names[0], 3, 100 + i}));
+    expected_rows += 3;
+  }
+  for (auto& ticket : tickets) {
+    ASSERT_TRUE(ticket->Wait().ok()) << ticket->Wait().status();
+    EXPECT_TRUE(ticket->report().Reconciles());
+    EXPECT_GT(ticket->latency_us(), 0u);
+  }
+  ASSERT_TRUE(server.Shutdown().ok());
+
+  EXPECT_GT(batches.Value() - batches_before, 1u);
+  EXPECT_GE(cross.Value() - cross_before, 1u);
+  EXPECT_EQ(rows.Value() - rows_before, expected_rows);
+  EXPECT_EQ(lanes.TotalCount() - lanes_before,
+            batches.Value() - batches_before);
+  EXPECT_EQ(latency.TotalCount() - latency_before, tickets.size());
+}
+
+// ---------- Cancellation ----------
+
+TEST(SynthesisServerTest, CancelMidFlightCompletesTyped) {
+  MetricsRegistry& registry = MetricsRegistry::Global();
+  Counter& cancelled = registry.GetCounter("serve.requests_cancelled");
+  uint64_t cancelled_before = cancelled.Value();
+
+  TenantSet set = MakeTenants(1);
+  ServeOptions options;
+  options.num_workers = 1;
+  options.max_lanes_per_batch = 8;
+  SynthesisServer server(options);
+  AddAll(&server, set);
+  ASSERT_TRUE(server.Start().ok());
+
+  // The big request occupies the worker; the victims are cancelled before
+  // the packing sweep can reach them.
+  auto big = server.Submit({set.names[0], 80, 5});
+  std::vector<std::shared_ptr<RequestTicket>> victims;
+  for (uint64_t i = 0; i < 10; ++i) {
+    victims.push_back(server.Submit({set.names[0], 4, 200 + i}));
+  }
+  for (auto& victim : victims) victim->Cancel();
+
+  ASSERT_TRUE(big->Wait().ok()) << big->Wait().status();
+  size_t cancelled_count = 0;
+  for (auto& victim : victims) {
+    const Result<Table>& r = victim->Wait();
+    if (r.ok()) continue;  // raced past the cancel — must be a clean result
+    EXPECT_EQ(r.status().code(), StatusCode::kCancelled) << r.status();
+    ++cancelled_count;
+  }
+  EXPECT_GE(cancelled_count, 1u);
+  EXPECT_EQ(cancelled.Value() - cancelled_before, cancelled_count);
+  ASSERT_TRUE(server.Shutdown().ok());
+
+  // Cancelling a terminal ticket is a no-op.
+  big->Cancel();
+  EXPECT_TRUE(big->Wait().ok());
+}
+
+// ---------- Concurrency stress (the TSan battery) ----------
+
+TEST(SynthesisServerTest, ConcurrentSubmittersUnderTinyQueueAllComplete) {
+  TenantSet set = MakeTenants(4);
+  ServeOptions options;
+  options.num_workers = 2;
+  options.admission_capacity = 2;  // constant backpressure churn
+  options.max_open_requests = 2;
+  options.max_lanes_per_batch = 8;
+  SynthesisServer server(options);
+  AddAll(&server, set);
+  ASSERT_TRUE(server.Start().ok());
+
+  constexpr size_t kSubmitters = 4;
+  constexpr size_t kPerThread = 12;
+  std::vector<std::thread> threads;
+  std::vector<Status> failures(kSubmitters, Status::OK());
+  for (size_t t = 0; t < kSubmitters; ++t) {
+    threads.emplace_back([&, t] {
+      Rng rng(7000 + t);
+      std::vector<std::shared_ptr<RequestTicket>> mine;
+      for (size_t i = 0; i < kPerThread; ++i) {
+        SampleRequest request;
+        request.tenant = set.names[rng.Index(set.names.size())];
+        request.rows = 1 + rng.Index(3);
+        request.seed = rng.engine()();
+        if (rng.Bernoulli(0.3)) request.conditioning["name"] = Value("Mia");
+        mine.push_back(server.Submit(request));
+        if (i % 3 == 0) mine.back()->Cancel();  // churn mid-flight
+      }
+      for (auto& ticket : mine) {
+        const Result<Table>& r = ticket->Wait();
+        if (!r.ok() && r.status().code() != StatusCode::kCancelled) {
+          failures[t] = r.status();
+        }
+        if (r.ok() && !ticket->report().Reconciles()) {
+          failures[t] = Status::Internal("report does not reconcile");
+        }
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  for (const Status& failure : failures) EXPECT_TRUE(failure.ok()) << failure;
+  ASSERT_TRUE(server.Shutdown().ok());
+
+  // Backpressure held: the admission queue never buffered past capacity.
+  EXPECT_LE(MetricsRegistry::Global()
+                .GetGauge("stream.queue_peak.serve.admission")
+                .Value(),
+            static_cast<double>(options.admission_capacity));
+}
+
+TEST(SynthesisServerTest, WatchdogConvictsSilentlyDeadWorker) {
+  MetricsRegistry& registry = MetricsRegistry::Global();
+  Counter& trips = registry.GetCounter("stream.watchdog_trips");
+  uint64_t trips_before = trips.Value();
+
+  TenantSet set = MakeTenants(2);
+  ServeOptions options;
+  options.num_workers = 2;
+  options.watchdog_timeout_ms = 100;
+  options.watchdog_poll_ms = 5;
+  SynthesisServer server(options);
+  AddAll(&server, set);
+
+  FaultSpec death;
+  death.code = StatusCode::kInternal;
+  death.max_fires = 1;  // exactly one worker dies silently
+  ScopedFault fault("stream.worker_death", death);
+
+  ASSERT_TRUE(server.Start().ok());
+  std::vector<std::shared_ptr<RequestTicket>> tickets;
+  for (uint64_t i = 0; i < 4; ++i) {
+    tickets.push_back(
+        server.Submit({set.names[i % set.names.size()], 3, 400 + i}));
+  }
+  // Only the watchdog can detect the silent death: the dead worker's
+  // thread exited cleanly, so nothing blocks — wait for the conviction
+  // (un-done heartbeat past its deadline) before draining.
+  for (int i = 0; i < 400 && server.error().ok(); ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  EXPECT_FALSE(server.error().ok());
+  Status err = server.Shutdown();
+  EXPECT_EQ(err.code(), StatusCode::kDeadlineExceeded) << err;
+  EXPECT_GE(trips.Value() - trips_before, 1u);
+  for (auto& ticket : tickets) {
+    ASSERT_TRUE(ticket->done());
+    const Result<Table>& r = ticket->Wait();
+    if (!r.ok()) {
+      EXPECT_EQ(r.status().code(), StatusCode::kDeadlineExceeded)
+          << r.status();
+    }
+  }
+}
+
+// ---------- Workload generator ----------
+
+TEST(WorkloadGeneratorTest, DeterministicAndSkewed) {
+  std::vector<TenantProfile> profiles;
+  for (int i = 0; i < 4; ++i) {
+    profiles.push_back(TenantProfile{"t" + std::to_string(i),
+                                     "name",
+                                     {"Grace", "Yin", "Anson", "Mia"}});
+  }
+  WorkloadOptions wl;
+  wl.tenant_skew.kind = SkewKind::kZipfian;
+  wl.conditioned_fraction = 0.5;
+
+  WorkloadGenerator a(wl, profiles, 99);
+  WorkloadGenerator b(wl, profiles, 99);
+  std::map<std::string, int> hits;
+  constexpr int kDraws = 2000;
+  int conditioned = 0;
+  for (int i = 0; i < kDraws; ++i) {
+    SampleRequest ra = a.Next();
+    SampleRequest rb = b.Next();
+    EXPECT_EQ(ra.tenant, rb.tenant);
+    EXPECT_EQ(ra.rows, rb.rows);
+    EXPECT_EQ(ra.seed, rb.seed);
+    EXPECT_EQ(ra.conditioning.size(), rb.conditioning.size());
+    EXPECT_GE(ra.rows, wl.min_rows);
+    EXPECT_LE(ra.rows, wl.max_rows);
+    ++hits[ra.tenant];
+    if (!ra.conditioning.empty()) ++conditioned;
+  }
+  // Zipfian(0.99) over 4 keys gives the hot key a ~1/zeta(4,0.99) ~ 48%
+  // share — roughly double its 25% uniform share.
+  EXPECT_GT(hits["t0"], 2 * kDraws / 5);
+  EXPECT_GT(hits["t3"], 0);
+  EXPECT_GT(conditioned, kDraws / 5);
+  EXPECT_LT(conditioned, 4 * kDraws / 5);
+}
+
+TEST(WorkloadGeneratorTest, SkewKindsCoverTheKeySpace) {
+  Rng rng(5);
+  for (SkewKind kind :
+       {SkewKind::kUniform, SkewKind::kZipfian, SkewKind::kScrambledZipfian,
+        SkewKind::kHotSet, SkewKind::kLatest}) {
+    SkewedKeys::Options options;
+    options.kind = kind;
+    SkewedKeys keys(options, 10);
+    std::vector<int> counts(10, 0);
+    for (int i = 0; i < 5000; ++i) {
+      size_t key = keys.Next(&rng);
+      ASSERT_LT(key, 10u);
+      ++counts[key];
+    }
+    int covered = 0;
+    for (int c : counts) covered += c > 0 ? 1 : 0;
+    EXPECT_GE(covered, 5) << "kind " << static_cast<int>(kind);
+  }
+  // HotSet: the hot 20% gets ~80% of draws.
+  SkewedKeys::Options hot;
+  hot.kind = SkewKind::kHotSet;
+  SkewedKeys keys(hot, 10);
+  int in_hot = 0;
+  for (int i = 0; i < 4000; ++i) in_hot += keys.Next(&rng) < 2 ? 1 : 0;
+  EXPECT_GT(in_hot, 2800);
+  EXPECT_LT(in_hot, 3800);
+}
+
+}  // namespace
+}  // namespace greater
