@@ -24,6 +24,8 @@
 #include "stats/correlation.h"
 #include "stats/hypothesis.h"
 #include "stream/csv_ingest.h"
+#include "stream/fit_stage.h"
+#include "stream/sample_emit.h"
 #include "tabular/csv.h"
 #include "tabular/table_builder.h"
 #include "synth/great_synthesizer.h"
@@ -691,6 +693,85 @@ void BM_ServeZipfian(benchmark::State& state) {
   state.SetItemsProcessed(static_cast<int64_t>(rows));
 }
 BENCHMARK(BM_ServeZipfian)->Arg(1)->Arg(2)->Unit(benchmark::kMillisecond);
+
+// ---------- out-of-core fit + emission ----------
+
+// Out-of-core fit over an on-disk CSV: schema pass, then the streaming
+// chunk passes through FitStage into shard-parallel n-gram counting. The
+// arg is num_fit_shards — output is bitwise-identical at every value (the
+// oocore_test suite holds that line); this run tracks the throughput of
+// the counting fan-out. items_per_second counts input rows fitted, the
+// number scripts/bench_compare.py gates with --fail-fit-rows-below.
+void BM_StreamingFit(benchmark::State& state) {
+  DigixDataset trial = MakeTrial();
+  std::filesystem::path csv_path =
+      std::filesystem::temp_directory_path() / "greater_bench_fit.csv";
+  {
+    std::ofstream out(csv_path, std::ios::binary | std::ios::trunc);
+    out << WriteCsvString(trial.ads);
+  }
+  FitStage::Options stage_options;
+  stage_options.stream.enabled = true;
+  stage_options.stream.chunk_rows = 64;
+  stage_options.stream.queue_capacity = 4;
+  stage_options.stream.num_workers = 1;
+  size_t rows = 0;
+  for (auto _ : state) {
+    auto opened = FitStage::Open(csv_path.string(), stage_options);
+    if (!opened.ok()) {
+      state.SkipWithError("fit stage open failed");
+      break;
+    }
+    FitStage stage = std::move(opened).ValueOrDie();
+    GreatSynthesizer::Options options;
+    options.encoder.permutations_per_row = 2;
+    options.num_fit_shards = static_cast<size_t>(state.range(0));
+    GreatSynthesizer synth(options);
+    Rng rng(1);
+    if (!synth.FitStreaming(stage.ChunkSource(), &rng).ok()) {
+      state.SkipWithError("streaming fit failed");
+      break;
+    }
+    rows += trial.ads.num_rows();
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(rows));
+  std::error_code ec;
+  std::filesystem::remove(csv_path, ec);
+}
+BENCHMARK(BM_StreamingFit)->Arg(1)->Arg(4)->Unit(benchmark::kMillisecond);
+
+// Chunked sample emission into an on-disk CSV (batch decode -> columnar
+// build -> incremental render -> flush, one chunk at a time). The arg is
+// chunk_rows; the output bytes are identical at every value, so the run
+// tracks what the chunking itself costs. items_per_second counts rows
+// emitted.
+void BM_StreamingEmit(benchmark::State& state) {
+  Table train = CategoricalTable();
+  GreatSynthesizer synth;
+  Rng rng(1);
+  if (!synth.Fit(train, &rng).ok()) {
+    state.SkipWithError("fit failed");
+    return;
+  }
+  std::filesystem::path out_path =
+      std::filesystem::temp_directory_path() / "greater_bench_emit.csv";
+  SampleEmitOptions emit;
+  emit.chunk_rows = static_cast<size_t>(state.range(0));
+  size_t rows = 0;
+  for (auto _ : state) {
+    auto report =
+        SampleRowsToCsvStreaming(synth, 256, 7, out_path.string(), emit);
+    if (!report.ok()) {
+      state.SkipWithError("emission failed");
+      break;
+    }
+    rows += report.ValueOrDie().rows_emitted;
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(rows));
+  std::error_code ec;
+  std::filesystem::remove(out_path, ec);
+}
+BENCHMARK(BM_StreamingEmit)->Arg(32)->Arg(256)->Unit(benchmark::kMillisecond);
 
 void BM_KsTest(benchmark::State& state) {
   Rng rng(5);

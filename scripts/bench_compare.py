@@ -57,6 +57,13 @@ independently: the candidate's best BM_ServeZipfian rows/sec divided by
 the baseline's best must be at least RATIO (e.g. 0.7 = the candidate may
 not serve rows slower than 70% of the checked-in baseline).
 
+--fail-fit-rows-below RATIO gates out-of-core fit throughput the same
+way: the candidate's best BM_StreamingFit rows/sec divided by the
+baseline's best must be at least RATIO. A change that silently slows the
+shard fan-out or the chunk passes (extra copies, lost parse-free replay,
+serialized merging) fails this gate even when absolute times still look
+plausible on the runner.
+
 Refresh the checked-in results with:
     cmake --build build --target bench_json
 """
@@ -175,6 +182,14 @@ def main():
         default=None,
         metavar="RATIO",
         help="exit 1 if the candidate's best BM_ServeZipfian rows/sec is "
+        "below RATIO times the baseline's best",
+    )
+    parser.add_argument(
+        "--fail-fit-rows-below",
+        type=float,
+        default=None,
+        metavar="RATIO",
+        help="exit 1 if the candidate's best BM_StreamingFit rows/sec is "
         "below RATIO times the baseline's best",
     )
     args = parser.parse_args()
@@ -352,17 +367,16 @@ def main():
     # both numbers come from the same runner or the same checked-in file's
     # machine). Gate on the best arg variant so changing the default worker
     # count does not silently move the goalposts.
-    def best_serve_rate(benches):
+    def best_rate(benches, prefix):
         rates = [
             bench["items_per_second"]
             for name, bench in benches.items()
-            if name.startswith("BM_ServeZipfian")
-            and "items_per_second" in bench
+            if name.startswith(prefix) and "items_per_second" in bench
         ]
         return max(rates) if rates else None
 
-    base_serve = best_serve_rate(base)
-    cand_serve = best_serve_rate(cand)
+    base_serve = best_rate(base, "BM_ServeZipfian")
+    cand_serve = best_rate(cand, "BM_ServeZipfian")
     if base_serve is not None and cand_serve is not None:
         ratio = cand_serve / base_serve if base_serve > 0 else 0.0
         print(
@@ -382,6 +396,36 @@ def main():
     elif args.fail_serve_rows_below is not None:
         print(
             "FAIL: BM_ServeZipfian (with items_per_second) missing from "
+            "baseline or candidate",
+            file=sys.stderr,
+        )
+        failed = True
+
+    # Out-of-core fit throughput ratio, gated the same machine-independent
+    # way as serving: best BM_StreamingFit arg variant (shard count) on
+    # each side, so changing the default shard count does not move the
+    # goalposts.
+    base_fit = best_rate(base, "BM_StreamingFit")
+    cand_fit = best_rate(cand, "BM_StreamingFit")
+    if base_fit is not None and cand_fit is not None:
+        ratio = cand_fit / base_fit if base_fit > 0 else 0.0
+        print(
+            f"\nstreaming fit throughput: candidate {cand_fit:,.0f} rows/s /"
+            f" baseline {base_fit:,.0f} rows/s = {ratio:.2f}x"
+        )
+        if (
+            args.fail_fit_rows_below is not None
+            and ratio < args.fail_fit_rows_below
+        ):
+            print(
+                f"FAIL: streaming fit throughput below "
+                f"{args.fail_fit_rows_below:.2f}x of baseline",
+                file=sys.stderr,
+            )
+            failed = True
+    elif args.fail_fit_rows_below is not None:
+        print(
+            "FAIL: BM_StreamingFit (with items_per_second) missing from "
             "baseline or candidate",
             file=sys.stderr,
         )

@@ -1,0 +1,101 @@
+#include "lm/count_shard.h"
+
+#include <algorithm>
+#include <string>
+#include <utility>
+
+namespace greater {
+
+CountShard::CountShard(size_t order) : order_(order) {
+  order_ = std::clamp<size_t>(order_, 2, kNGramMaxOrder);
+  levels_.resize(order_);
+}
+
+std::array<uint64_t, kNGramMaxOrder> CountShard::PositionBounds(
+    const std::vector<CountTokenSequence>& sequences, size_t order) {
+  std::array<uint64_t, kNGramMaxOrder> bounds{};
+  for (const CountTokenSequence& seq : sequences) {
+    // Padded length L = |seq| + 2 (bos, eos). Positions run 1..L-1; level
+    // k is touched at every position >= max(1, k).
+    uint64_t padded = seq.size() + 2;
+    for (size_t k = 0; k < order; ++k) {
+      uint64_t first = std::max<uint64_t>(1, k);
+      if (padded > first) bounds[k] += padded - first;
+    }
+  }
+  return bounds;
+}
+
+void CountShard::Reserve(
+    const std::array<uint64_t, kNGramMaxOrder>& additional) {
+  for (size_t k = 0; k < levels_.size(); ++k) {
+    if (additional[k] == 0) continue;
+    levels_[k].reserve(levels_[k].size() + additional[k]);
+  }
+}
+
+void CountShard::Accumulate(const CountTokenSequence& sequence) {
+  padded_.clear();
+  padded_.reserve(sequence.size() + 2);
+  padded_.push_back(Vocabulary::kBosId);
+  padded_.insert(padded_.end(), sequence.begin(), sequence.end());
+  padded_.push_back(Vocabulary::kEosId);
+
+  for (size_t pos = 1; pos < padded_.size(); ++pos) {
+    TokenId target = padded_[pos];
+    size_t max_ctx = std::min(pos, order_ - 1);
+    for (size_t ctx_len = 0; ctx_len <= max_ctx; ++ctx_len) {
+      NGramContextKey key;
+      key.len = static_cast<uint32_t>(ctx_len);
+      const TokenId* begin = padded_.data() + (pos - ctx_len);
+      for (size_t i = 0; i < ctx_len; ++i) key.ids[i] = begin[i];
+      ContextCounts& cell = levels_[ctx_len][key];
+      ++cell.total;
+      ++cell.counts[target];
+    }
+  }
+  ++sequences_;
+}
+
+Status CountShard::AccumulateChunk(
+    const std::vector<CountTokenSequence>& sequences, size_t vocab_size) {
+  for (const CountTokenSequence& seq : sequences) {
+    for (TokenId id : seq) {
+      if (id < 0 || static_cast<size_t>(id) >= vocab_size) {
+        return Status::OutOfRange("token id " + std::to_string(id) +
+                                  " outside vocab of size " +
+                                  std::to_string(vocab_size));
+      }
+    }
+  }
+  Reserve(PositionBounds(sequences, order_));
+  for (const CountTokenSequence& seq : sequences) Accumulate(seq);
+  return Status::OK();
+}
+
+void CountShard::Merge(CountShard&& other) {
+  for (size_t k = 0; k < levels_.size() && k < other.levels_.size(); ++k) {
+    LevelCounts& dst = levels_[k];
+    LevelCounts& src = other.levels_[k];
+    if (dst.empty()) {
+      dst = std::move(src);
+      continue;
+    }
+    dst.reserve(dst.size() + src.size());
+    for (auto& [key, cell] : src) {
+      ContextCounts& into = dst[key];
+      into.total += cell.total;
+      if (into.counts.empty()) {
+        into.counts = std::move(cell.counts);
+      } else {
+        into.counts.reserve(into.counts.size() + cell.counts.size());
+        for (const auto& [token, n] : cell.counts) into.counts[token] += n;
+      }
+    }
+    src.clear();
+  }
+  sequences_ += other.sequences_;
+  other.sequences_ = 0;
+}
+
+}  // namespace greater

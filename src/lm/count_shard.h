@@ -1,0 +1,110 @@
+#ifndef GREATER_LM_COUNT_SHARD_H_
+#define GREATER_LM_COUNT_SHARD_H_
+
+#include <array>
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "text/vocabulary.h"
+
+namespace greater {
+
+/// Token sequence alias mirrored from lm/language_model.h (kept local so
+/// the count layer does not pull in the full model interface).
+using CountTokenSequence = std::vector<TokenId>;
+
+/// Maximum n-gram order shared by the count shards and NGramLm
+/// (NGramLm::kMaxOrder aliases this).
+inline constexpr size_t kNGramMaxOrder = 8;
+
+/// Context key: up to kNGramMaxOrder-1 token ids packed into a fixed
+/// array — no heap allocation, no string materialization per lookup.
+/// Unused slots stay zero so equality can compare the whole array.
+struct NGramContextKey {
+  std::array<TokenId, kNGramMaxOrder - 1> ids{};
+  uint32_t len = 0;
+
+  bool operator==(const NGramContextKey& other) const {
+    return len == other.len && ids == other.ids;
+  }
+};
+
+struct NGramContextKeyHash {
+  size_t operator()(const NGramContextKey& key) const {
+    // SplitMix64-style mix over the active prefix.
+    uint64_t h = 0x9e3779b97f4a7c15ULL ^ key.len;
+    for (uint32_t i = 0; i < key.len; ++i) {
+      h ^= static_cast<uint64_t>(static_cast<uint32_t>(key.ids[i]));
+      h *= 0xff51afd7ed558ccdULL;
+      h ^= h >> 33;
+    }
+    return static_cast<size_t>(h);
+  }
+};
+
+/// One shard's n-gram count tables: packed-context-key -> integer counts,
+/// one map per context length. Counts are unsigned integers, so merging
+/// shards is exact regardless of merge order — the foundation of
+/// NGramLm::FitStreaming's "bitwise-identical at any shard count"
+/// contract (floating-point accumulation happens once, at finalize, in a
+/// fixed serial order).
+///
+/// A shard is also the per-worker arena for streaming fit: the padded
+/// scratch sequence is a member reused across every accumulated sequence,
+/// so steady-state accumulation performs no per-sequence heap allocation
+/// once the maps are warm.
+class CountShard {
+ public:
+  struct ContextCounts {
+    uint64_t total = 0;
+    std::unordered_map<TokenId, uint64_t> counts;
+  };
+  using LevelCounts =
+      std::unordered_map<NGramContextKey, ContextCounts, NGramContextKeyHash>;
+
+  /// `order` is the n-gram order (context lengths 0 .. order-1), already
+  /// clamped by the caller to [2, kNGramMaxOrder].
+  explicit CountShard(size_t order);
+
+  size_t order() const { return order_; }
+  uint64_t sequences() const { return sequences_; }
+  const std::vector<LevelCounts>& levels() const { return levels_; }
+
+  /// Upper bound on per-level map insertions for `sequences` (the number
+  /// of n-gram positions each level sees). Distinct contexts can only be
+  /// fewer, so reserving these bounds guarantees no rehash during growth.
+  static std::array<uint64_t, kNGramMaxOrder> PositionBounds(
+      const std::vector<CountTokenSequence>& sequences, size_t order);
+
+  /// Grows each level's bucket table to hold `additional` more entries
+  /// beyond the current size (no-op per level when already large enough).
+  void Reserve(const std::array<uint64_t, kNGramMaxOrder>& additional);
+
+  /// Counts every n-gram of [bos, ...sequence, eos] with unit weight.
+  void Accumulate(const CountTokenSequence& sequence);
+
+  /// Validates every token id in `sequences` against `vocab_size` (same
+  /// error contract as NGramLm::Fit), then pre-reserves from
+  /// PositionBounds and accumulates each sequence. Validation completes
+  /// before any accumulation, so a failed chunk leaves the shard with no
+  /// partial contribution from it.
+  Status AccumulateChunk(const std::vector<CountTokenSequence>& sequences,
+                         size_t vocab_size);
+
+  /// Folds `other`'s counts into this shard. Integer addition is exact,
+  /// so any fold order yields identical tables; callers still fold in
+  /// fixed shard-index order to keep the plan auditable.
+  void Merge(CountShard&& other);
+
+ private:
+  size_t order_;
+  uint64_t sequences_ = 0;
+  std::vector<LevelCounts> levels_;  // levels_[k] holds contexts of length k
+  CountTokenSequence padded_;        // reusable [bos, seq..., eos] scratch
+};
+
+}  // namespace greater
+
+#endif  // GREATER_LM_COUNT_SHARD_H_

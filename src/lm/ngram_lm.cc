@@ -2,12 +2,31 @@
 
 #include <algorithm>
 #include <cmath>
+#include <memory>
 #include <utility>
 
 #include "common/artifact_io.h"
+#include "common/thread_pool.h"
 #include "obs/metrics.h"
 
 namespace greater {
+namespace {
+
+// Applies `count` unit-weight observations to a slot exactly as `count`
+// serial `+= 1.0` increments would. When the slot is empty the result is
+// the integer itself (bitwise-equal to the stepwise sum for counts below
+// 2^53); when fractional prior mass is already present, replay the
+// increments so merged-count finalization matches the historical
+// one-observation-at-a-time accumulation bit for bit.
+void AddUnitCounts(double* slot, uint64_t count) {
+  if (*slot == 0.0) {
+    *slot = static_cast<double>(count);
+    return;
+  }
+  for (uint64_t i = 0; i < count; ++i) *slot += 1.0;
+}
+
+}  // namespace
 
 NGramLm::NGramLm(size_t vocab_size, const Options& options)
     : vocab_size_(vocab_size), options_(options) {
@@ -52,6 +71,32 @@ void NGramLm::AccumulateSequence(const TokenSequence& sequence,
   }
 }
 
+void NGramLm::FinalizeFromCounts(const CountShard& counts) {
+  // Prior corpus first, exactly as Fit has always ordered it: fractional
+  // weights accumulate serially, so their rounding history is independent
+  // of the shard plan.
+  if (options_.prior_weight > 0.0) {
+    for (const auto& seq : prior_) {
+      AccumulateSequence(seq, options_.prior_weight);
+    }
+  }
+  for (size_t k = 0; k < levels_.size() && k < counts.levels().size(); ++k) {
+    const CountShard::LevelCounts& src = counts.levels()[k];
+    LevelMap& dst = levels_[k];
+    dst.reserve(dst.size() + src.size());
+    for (const auto& [key, cell] : src) {
+      ContextStats& stats = dst[key];
+      if (stats.counts.empty()) {
+        stats.counts.reserve(cell.counts.size());
+      }
+      AddUnitCounts(&stats.total, cell.total);
+      for (const auto& [token, n] : cell.counts) {
+        AddUnitCounts(&stats.counts[token], n);
+      }
+    }
+  }
+}
+
 Status NGramLm::Fit(const std::vector<TokenSequence>& sequences) {
   if (fitted_) {
     return Status::FailedPrecondition("NGramLm already fitted");
@@ -59,21 +104,86 @@ Status NGramLm::Fit(const std::vector<TokenSequence>& sequences) {
   if (sequences.empty()) {
     return Status::Invalid("NGramLm::Fit requires at least one sequence");
   }
-  for (const auto& seq : sequences) {
-    for (TokenId id : seq) {
-      if (id < 0 || static_cast<size_t>(id) >= vocab_size_) {
-        return Status::OutOfRange("token id " + std::to_string(id) +
-                                  " outside vocab of size " +
-                                  std::to_string(vocab_size_));
+  // Count into integer tables first (pre-reserved from a counting pass —
+  // no rehash during growth), then finalize into the double tables with
+  // exact reserves. Bitwise-identical to the historical accumulate-in-
+  // place path; see AddUnitCounts.
+  CountShard shard(options_.order);
+  GREATER_RETURN_NOT_OK(shard.AccumulateChunk(sequences, vocab_size_));
+  FinalizeFromCounts(shard);
+  fitted_ = true;
+  return Status::OK();
+}
+
+Status NGramLm::FitStreaming(const SequenceChunkIterator& next_chunk,
+                             size_t num_shards) {
+  if (fitted_) {
+    return Status::FailedPrecondition("NGramLm already fitted");
+  }
+  num_shards = std::max<size_t>(1, num_shards);
+  MetricsRegistry& metrics = MetricsRegistry::Global();
+  metrics.GetGauge("lm.fit.shards").Set(static_cast<double>(num_shards));
+  Counter& chunk_counter = metrics.GetCounter("lm.fit.shard_chunks");
+  Counter& seq_counter = metrics.GetCounter("lm.fit.shard_sequences");
+
+  std::vector<CountShard> shards;
+  shards.reserve(num_shards);
+  for (size_t s = 0; s < num_shards; ++s) shards.emplace_back(options_.order);
+  std::unique_ptr<ThreadPool> pool;
+  if (num_shards > 1) pool = std::make_unique<ThreadPool>(num_shards);
+
+  // Wave dispatch: buffer up to num_shards chunks, then run wave position
+  // j on shard j (so global chunk i always lands on shard i % num_shards
+  // — a fixed plan independent of scheduling). Peak in-flight data is one
+  // wave of chunks.
+  uint64_t total_sequences = 0;
+  bool done = false;
+  while (!done) {
+    std::vector<std::vector<TokenSequence>> wave;
+    while (wave.size() < num_shards) {
+      GREATER_ASSIGN_OR_RETURN(std::optional<std::vector<TokenSequence>> chunk,
+                               next_chunk());
+      if (!chunk.has_value()) {
+        done = true;
+        break;
       }
+      if (chunk->empty()) continue;
+      wave.push_back(std::move(*chunk));
     }
-  }
-  if (options_.prior_weight > 0.0) {
-    for (const auto& seq : prior_) {
-      AccumulateSequence(seq, options_.prior_weight);
+    if (wave.empty()) continue;
+    std::vector<Status> wave_status(wave.size());
+    auto accumulate = [&](size_t shard, size_t begin, size_t end) {
+      for (size_t i = begin; i < end; ++i) {
+        wave_status[i] = shards[shard].AccumulateChunk(wave[i], vocab_size_);
+      }
+    };
+    if (pool != nullptr) {
+      // count == num_shards == wave.size() partitions to [j, j+1) per
+      // shard: wave position j accumulates into shards[j].
+      pool->ParallelFor(wave.size(), wave.size(), accumulate);
+    } else {
+      accumulate(0, 0, wave.size());
     }
+    for (size_t i = 0; i < wave.size(); ++i) {
+      GREATER_RETURN_NOT_OK(wave_status[i]);
+      total_sequences += wave[i].size();
+      seq_counter.Increment(wave[i].size());
+    }
+    chunk_counter.Increment(wave.size());
   }
-  for (const auto& seq : sequences) AccumulateSequence(seq, 1.0);
+  if (total_sequences == 0) {
+    return Status::Invalid(
+        "NGramLm::FitStreaming requires at least one sequence");
+  }
+
+  // Fixed-order fold: shard 0 absorbs 1, then 2, ... Integer counts make
+  // any order exact; the fixed order keeps the plan auditable.
+  Counter& merge_counter = metrics.GetCounter("lm.fit.shard_merges");
+  for (size_t s = 1; s < shards.size(); ++s) {
+    shards[0].Merge(std::move(shards[s]));
+    merge_counter.Increment();
+  }
+  FinalizeFromCounts(shards[0]);
   fitted_ = true;
   return Status::OK();
 }

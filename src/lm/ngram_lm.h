@@ -3,11 +3,14 @@
 
 #include <array>
 #include <cstdint>
+#include <functional>
+#include <optional>
 #include <string>
 #include <string_view>
 #include <unordered_map>
 #include <vector>
 
+#include "lm/count_shard.h"
 #include "lm/language_model.h"
 
 namespace greater {
@@ -51,6 +54,23 @@ class NGramLm : public LanguageModel {
 
   Status Fit(const std::vector<TokenSequence>& sequences) override;
 
+  /// Pull iterator for out-of-core fitting: each call returns the next
+  /// chunk of flattened sequences, std::nullopt at end of input, or an
+  /// error. Called from the caller's thread only.
+  using SequenceChunkIterator =
+      std::function<Result<std::optional<std::vector<TokenSequence>>>()>;
+
+  /// Out-of-core Fit: drains `next_chunk`, fanning chunks over an internal
+  /// ThreadPool onto `num_shards` CountShard accumulators (chunk i goes to
+  /// shard i % num_shards), then folds shards in fixed shard-index order
+  /// and finalizes. Shard counts are integers, so the resulting model is
+  /// bitwise-identical to serial Fit on the concatenated chunks at ANY
+  /// shard count — same contract PR 2 established for NeuralLm gradients.
+  /// Peak memory is the count tables plus one in-flight wave of chunks.
+  /// Emits lm.fit.shard_* metrics.
+  Status FitStreaming(const SequenceChunkIterator& next_chunk,
+                      size_t num_shards);
+
   std::vector<double> NextTokenDistribution(
       const TokenSequence& context) const override;
 
@@ -88,7 +108,7 @@ class NGramLm : public LanguageModel {
   Status Load(const std::string& path);
 
   /// Maximum supported n-gram order (Options::order is clamped to it).
-  static constexpr size_t kMaxOrder = 8;
+  static constexpr size_t kMaxOrder = kNGramMaxOrder;
 
  private:
   struct ContextStats {
@@ -96,30 +116,11 @@ class NGramLm : public LanguageModel {
     std::unordered_map<TokenId, double> counts;
   };
 
-  /// Context key: up to kMaxOrder-1 token ids packed into a fixed array —
-  /// no heap allocation, no string materialization per lookup. Unused
-  /// slots stay zero so equality can compare the whole array.
-  struct ContextKey {
-    std::array<TokenId, kMaxOrder - 1> ids{};
-    uint32_t len = 0;
-
-    bool operator==(const ContextKey& other) const {
-      return len == other.len && ids == other.ids;
-    }
-  };
-
-  struct ContextKeyHash {
-    size_t operator()(const ContextKey& key) const {
-      // SplitMix64-style mix over the active prefix.
-      uint64_t h = 0x9e3779b97f4a7c15ULL ^ key.len;
-      for (uint32_t i = 0; i < key.len; ++i) {
-        h ^= static_cast<uint64_t>(static_cast<uint32_t>(key.ids[i]));
-        h *= 0xff51afd7ed558ccdULL;
-        h ^= h >> 33;
-      }
-      return static_cast<size_t>(h);
-    }
-  };
+  /// Packed context key + hash shared with the CountShard accumulators
+  /// (lm/count_shard.h) so integer shard tables and the final double
+  /// tables agree on identity.
+  using ContextKey = NGramContextKey;
+  using ContextKeyHash = NGramContextKeyHash;
 
   // One map per order level; key = packed context ids.
   using LevelMap =
@@ -127,6 +128,12 @@ class NGramLm : public LanguageModel {
 
   static ContextKey PackContext(const TokenId* begin, size_t len);
   void AccumulateSequence(const TokenSequence& sequence, double weight);
+
+  /// Builds the final double tables from merged integer counts: prior
+  /// corpus first (serial, fractional weights — identical order to the
+  /// historical Fit), then each cell's integer count applied as unit
+  /// increments. Reserves every map exactly from the merged table sizes.
+  void FinalizeFromCounts(const CountShard& counts);
 
   size_t vocab_size_;
   Options options_;

@@ -20,6 +20,7 @@ struct ServeCounters {
   Counter* completed;
   Counter* failed;
   Counter* cancelled;
+  Counter* deadline_exceeded;
   Counter* rejected;
   Counter* rows;
   Counter* batches;
@@ -34,6 +35,7 @@ struct ServeCounters {
     completed = &registry.GetCounter("serve.requests_completed");
     failed = &registry.GetCounter("serve.requests_failed");
     cancelled = &registry.GetCounter("serve.requests_cancelled");
+    deadline_exceeded = &registry.GetCounter("serve.deadline_exceeded");
     rejected = &registry.GetCounter("serve.rejected");
     rows = &registry.GetCounter("serve.rows");
     batches = &registry.GetCounter("serve.batches");
@@ -153,6 +155,10 @@ std::shared_ptr<RequestTicket> SynthesisServer::Submit(
   std::shared_ptr<RequestTicket> ticket(new RequestTicket());
   ticket->submit_ns_ = Heartbeat::NowNs();
   ticket->request_ = std::move(request);
+  if (ticket->request_.deadline_ms > 0) {
+    ticket->deadline_ns_ =
+        ticket->submit_ns_ + ticket->request_.deadline_ms * 1000000ull;
+  }
 
   if (!started_ || finished_) {
     counters.rejected->Increment();
@@ -281,8 +287,12 @@ Status SynthesisServer::AdmitterLoop(Heartbeat* hb) {
 }
 
 bool SynthesisServer::HasWorkLocked() const {
+  const uint64_t now_ns = Heartbeat::NowNs();
   for (const auto& ticket : open_) {
     if (ticket->cancelled_.load(std::memory_order_relaxed)) return true;
+    if (ticket->deadline_ns_ != 0 && now_ns >= ticket->deadline_ns_) {
+      return true;  // overdue: the sweep has a conviction to finalize
+    }
     if (ticket->rows_packed_ < ticket->request_.rows) return true;
   }
   return false;
@@ -293,6 +303,7 @@ bool SynthesisServer::PackBundleLocked(Bundle* bundle) {
   bundle->model = nullptr;
   bundle->slices.clear();
   bundle->lanes = 0;
+  const uint64_t now_ns = Heartbeat::NowNs();
   for (auto it = open_.begin();
        it != open_.end() && bundle->lanes < options_.max_lanes_per_batch;) {
     RequestTicket& ticket = **it;
@@ -305,6 +316,28 @@ bool SynthesisServer::PackBundleLocked(Bundle* bundle) {
         std::lock_guard<std::mutex> lock(ticket.mu_);
         CompleteTicketLocked(
             &ticket, Status::Cancelled("request cancelled by the caller"));
+      }
+      RemoveLiveLockedHeld(&ticket);
+      it = open_.erase(it);
+      continue;
+    }
+    // Deadline sweep, the cancellation sweep's timed twin: an overdue
+    // request is convicted here, before any more of its rows are packed.
+    // Rows already mid-batch are discarded on delivery against done_, so
+    // the report still reconciles.
+    if (ticket.deadline_ns_ != 0 && now_ns >= ticket.deadline_ns_) {
+      counters.deadline_exceeded->Increment();
+      {
+        std::lock_guard<std::mutex> lock(ticket.mu_);
+        CompleteTicketLocked(
+            &ticket,
+            Status::DeadlineExceeded(
+                "request deadline of " +
+                std::to_string(ticket.request_.deadline_ms) +
+                " ms exceeded with " +
+                std::to_string(ticket.request_.rows - ticket.rows_packed_) +
+                " of " + std::to_string(ticket.request_.rows) +
+                " rows not yet packed"));
       }
       RemoveLiveLockedHeld(&ticket);
       it = open_.erase(it);

@@ -46,6 +46,13 @@ struct SampleRequest {
   size_t rows = 0;
   uint64_t seed = 0;
   std::map<std::string, Value> conditioning;
+  /// Per-request deadline, measured from Submit; 0 disables it. A request
+  /// still holding unpacked rows past its deadline is convicted at the
+  /// scheduler's next packing sweep: the ticket completes typed with
+  /// StatusCode::kDeadlineExceeded and its remaining rows are never
+  /// decoded (rows already mid-batch are discarded on delivery). The
+  /// report still reconciles — it only ever counts decoded rows.
+  uint64_t deadline_ms = 0;
 };
 
 /// SynthesisServer tuning knobs (see DESIGN.md, "Serving layer").
@@ -113,6 +120,7 @@ class RequestTicket {
   Table conditions_;         ///< one-row forced-column table
   bool has_conditions_ = false;
   uint64_t submit_ns_ = 0;
+  uint64_t deadline_ns_ = 0;  ///< absolute conviction time; 0 = no deadline
 
   std::atomic<bool> cancelled_{false};
 

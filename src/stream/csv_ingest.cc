@@ -21,22 +21,6 @@
 namespace greater {
 namespace {
 
-// Per-column type-inference accumulator: merged across chunks with
-// OR/AND/AND, reproducing ReadCsvString's whole-column scan exactly.
-struct ColumnFlags {
-  bool any_value = false;
-  bool all_int = true;
-  bool all_double = true;
-};
-
-struct ParsedChunk {
-  uint64_t seq = 0;
-  std::vector<std::vector<std::string>> rows;  // kept records' fields
-  std::vector<ColumnFlags> flags;              // one per column
-  std::vector<QuarantinedRecord> quarantined;
-  bool from_checkpoint = false;
-};
-
 // Unit of work flowing reader -> parse workers. A checkpoint hit rides
 // the same path as raw records (preloaded short-circuits the parse), so
 // chunk order stays inside the bounded queues and the sink's reorder
@@ -45,13 +29,13 @@ struct ChunkTask {
   uint64_t seq = 0;
   uint64_t key = 0;
   std::vector<CsvRecordSplitter::Record> records;
-  std::unique_ptr<ParsedChunk> preloaded;
+  std::unique_ptr<CsvChunk> preloaded;
 };
 
-void EncodeChunk(const ParsedChunk& chunk, ArtifactWriter* doc) {
+void EncodeChunk(const CsvChunk& chunk, ArtifactWriter* doc) {
   ByteWriter flags;
   flags.PutU32(static_cast<uint32_t>(chunk.flags.size()));
-  for (const ColumnFlags& f : chunk.flags) {
+  for (const CsvColumnFlags& f : chunk.flags) {
     flags.PutBool(f.any_value);
     flags.PutBool(f.all_int);
     flags.PutBool(f.all_double);
@@ -77,7 +61,7 @@ void EncodeChunk(const ParsedChunk& chunk, ArtifactWriter* doc) {
 }
 
 Status DecodeChunk(const ArtifactReader& doc, const std::string& source,
-                   size_t num_cols, ParsedChunk* out) {
+                   size_t num_cols, CsvChunk* out) {
   GREATER_ASSIGN_OR_RETURN(std::string_view flag_bytes, doc.Chunk("flags"));
   ByteReader flags(flag_bytes);
   uint32_t ncols = 0;
@@ -134,29 +118,61 @@ Status DecodeChunk(const ArtifactReader& doc, const std::string& source,
 // Pulls input blocks; an empty string means end of input.
 using BlockSource = std::function<Result<std::string>()>;
 
-Result<Table> RunStreamingIngest(const BlockSource& next_block,
-                                 const std::string& source_label,
-                                 const CsvReadOptions& csv,
-                                 const StreamOptions& options,
-                                 StreamPolicy policy,
-                                 StreamIngestReport* report,
-                                 ChunkCheckpointer* ckpt,
-                                 QuarantineWriter* quarantine) {
-  GREATER_FAULT_POINT("csv.read");
-  Span span("stream.ingest");
+}  // namespace
+
+// Owns the running pipeline. Queues are declared before the runtime so
+// they outlive it: the runtime's destructor joins every worker, and
+// workers touch the queues until they exit.
+struct CsvChunkReader::Impl {
+  Impl(const CsvReadOptions& csv_in, const StreamOptions& stream_in,
+       StreamPolicy policy_in, std::string label)
+      : csv(csv_in),
+        stream(stream_in),
+        policy(policy_in),
+        source_label(std::move(label)),
+        chunk_rows(std::max<size_t>(1, stream_in.chunk_rows)),
+        num_workers(std::max<size_t>(1, stream_in.num_workers)),
+        raw_q("ingest.raw", stream_in.queue_capacity),
+        parsed_q("ingest.parsed", stream_in.queue_capacity),
+        runtime(stream_in),
+        live_workers(num_workers) {}
+
+  CsvReadOptions csv;
+  StreamOptions stream;
+  StreamPolicy policy;
+  std::string source_label;
+  size_t chunk_rows;
+  size_t num_workers;
+  size_t num_cols = 0;
+  std::vector<std::string> header_fields;
+
   StreamIngestReport local_report;
-  if (report == nullptr) report = &local_report;
-  *report = StreamIngestReport();
-  QuarantineWriter count_only("");
-  if (quarantine == nullptr) quarantine = &count_only;
+  StreamIngestReport* report = nullptr;
+  QuarantineWriter count_only{""};
+  QuarantineWriter* quarantine = nullptr;
+  ChunkCheckpointer* ckpt = nullptr;
 
-  const size_t chunk_rows = std::max<size_t>(1, options.chunk_rows);
-  const size_t num_workers = std::max<size_t>(1, options.num_workers);
+  BoundedQueue<std::unique_ptr<ChunkTask>> raw_q;
+  BoundedQueue<std::unique_ptr<CsvChunk>> parsed_q;
+  StreamRuntime runtime;
+  std::atomic<size_t> live_workers;
 
+  // --- sink state (caller thread only) ---
+  std::map<uint64_t, std::unique_ptr<CsvChunk>> pending;
+  uint64_t next_seq = 0;
+  Status sink_error;      // first quarantine-write failure
+  bool finished = false;  // pipeline joined
+  Status final_status;    // runtime.Finish() outcome
+
+  Status Start(BlockSource next_block);
+  Status FinishPipeline();
+};
+
+Status CsvChunkReader::Impl::Start(BlockSource next_block) {
   // The header is consumed up front: workers validate against it and the
   // chain must cover it before any chunk.
   CsvRecordSplitter splitter(csv.delimiter);
-  splitter.set_max_record_bytes(options.max_record_bytes);
+  splitter.set_max_record_bytes(stream.max_record_bytes);
   CsvRecordSplitter::Record header;
   for (bool have_header = false; !have_header;) {
     GREATER_ASSIGN_OR_RETURN(CsvRecordSplitter::Next next,
@@ -178,7 +194,8 @@ Result<Table> RunStreamingIngest(const BlockSource& next_block,
         return Status::DataLoss("CSV has no header record");
     }
   }
-  const size_t num_cols = header.fields.size();
+  num_cols = header.fields.size();
+  header_fields = header.fields;
 
   if (ckpt != nullptr) {
     // Options fingerprint: anything that changes what a chunk computes
@@ -188,29 +205,21 @@ Result<Table> RunStreamingIngest(const BlockSource& next_block,
     fp.PutBool(csv.infer_types);
     fp.PutString(csv.null_token);
     fp.PutU64(chunk_rows);
-    fp.PutU64(options.max_record_bytes);
+    fp.PutU64(stream.max_record_bytes);
     fp.PutBool(policy == StreamPolicy::kLenient);
     ckpt->Mix(fp.bytes());
     ckpt->Mix(header.raw);
   }
 
-  // Queues are declared before the runtime so they outlive it: the
-  // runtime's destructor joins every worker, and workers touch the queues
-  // until they exit.
-  BoundedQueue<std::unique_ptr<ChunkTask>> raw_q("ingest.raw",
-                                                 options.queue_capacity);
-  BoundedQueue<std::unique_ptr<ParsedChunk>> parsed_q("ingest.parsed",
-                                                      options.queue_capacity);
-  StreamRuntime runtime(options);
   runtime.RegisterQueue(&raw_q);
   runtime.RegisterQueue(&parsed_q);
-  std::atomic<size_t> live_workers{num_workers};
 
   // --- reader: split records, form chunks, probe the checkpoint store ---
   Heartbeat* reader_hb = runtime.AddHeartbeat("ingest.reader");
   runtime.Spawn(
       "ingest.reader", reader_hb,
-      [&, reader_hb, spl = std::move(splitter)]() mutable -> Status {
+      [this, reader_hb, next_block = std::move(next_block),
+       spl = std::move(splitter)]() mutable -> Status {
         uint64_t seq = 0;
         auto task = std::make_unique<ChunkTask>();
         std::string chunk_raw;  // raw bytes of this chunk, for the chain
@@ -220,7 +229,7 @@ Result<Table> RunStreamingIngest(const BlockSource& next_block,
           if (ckpt != nullptr) {
             std::optional<ArtifactReader> doc = ckpt->TryLoad(seq, task->key);
             if (doc.has_value()) {
-              auto pre = std::make_unique<ParsedChunk>();
+              auto pre = std::make_unique<CsvChunk>();
               Status decoded =
                   DecodeChunk(*doc, source_label, num_cols, pre.get());
               if (decoded.ok()) {
@@ -283,7 +292,7 @@ Result<Table> RunStreamingIngest(const BlockSource& next_block,
   for (size_t w = 0; w < num_workers; ++w) {
     std::string name = "ingest.parse." + std::to_string(w);
     Heartbeat* hb = runtime.AddHeartbeat(name);
-    runtime.Spawn(name, hb, [&, hb]() -> Status {
+    runtime.Spawn(name, hb, [this, hb]() -> Status {
       for (;;) {
         hb->Beat();
         std::optional<std::unique_ptr<ChunkTask>> item = raw_q.Pop();
@@ -299,14 +308,14 @@ Result<Table> RunStreamingIngest(const BlockSource& next_block,
             return Status::OK();
           }
         }
-        std::unique_ptr<ParsedChunk> chunk;
+        std::unique_ptr<CsvChunk> chunk;
         if (task->preloaded != nullptr) {
           chunk = std::move(task->preloaded);
         } else {
           GREATER_FAULT_POINT("stream.chunk_parse");
-          chunk = std::make_unique<ParsedChunk>();
+          chunk = std::make_unique<CsvChunk>();
           chunk->seq = task->seq;
-          chunk->flags.assign(num_cols, ColumnFlags());
+          chunk->flags.assign(num_cols, CsvColumnFlags());
           for (CsvRecordSplitter::Record& record : task->records) {
             if (record.fields.size() != num_cols) {
               Status why = Status::DataLoss(
@@ -325,7 +334,7 @@ Result<Table> RunStreamingIngest(const BlockSource& next_block,
             for (size_t c = 0; c < num_cols; ++c) {
               const std::string& cell = record.fields[c];
               if (cell == csv.null_token) continue;
-              ColumnFlags& f = chunk->flags[c];
+              CsvColumnFlags& f = chunk->flags[c];
               f.any_value = true;
               if (f.all_int && !ParseInt(cell).has_value()) f.all_int = false;
               if (f.all_double && !ParseDouble(cell).has_value()) {
@@ -347,53 +356,145 @@ Result<Table> RunStreamingIngest(const BlockSource& next_block,
       return Status::OK();
     });
   }
+  return Status::OK();
+}
 
-  // --- sink (caller thread): reorder by sequence, accumulate, account ---
-  std::map<uint64_t, std::unique_ptr<ParsedChunk>> pending;
-  uint64_t next_seq = 0;
-  std::vector<std::vector<std::string>> all_rows;
-  std::vector<ColumnFlags> merged(num_cols);
-  Status sink_error;
-  while (true) {
-    std::optional<std::unique_ptr<ParsedChunk>> item = parsed_q.Pop();
-    if (!item.has_value()) break;
-    pending[(*item)->seq] = std::move(*item);
-    for (auto it = pending.find(next_seq); it != pending.end();
-         it = pending.find(++next_seq)) {
-      ParsedChunk& chunk = *it->second;
-      ++report->chunks;
-      if (chunk.from_checkpoint) ++report->chunk_checkpoint_hits;
-      report->rows_in += chunk.rows.size() + chunk.quarantined.size();
-      report->rows_out += chunk.rows.size();
-      report->quarantined += chunk.quarantined.size();
-      for (size_t c = 0; c < num_cols; ++c) {
-        merged[c].any_value |= chunk.flags.empty() ? false
-                                                   : chunk.flags[c].any_value;
-        merged[c].all_int &= chunk.flags.empty() || chunk.flags[c].all_int;
-        merged[c].all_double &=
-            chunk.flags.empty() || chunk.flags[c].all_double;
-      }
-      for (auto& row : chunk.rows) all_rows.push_back(std::move(row));
-      for (const QuarantinedRecord& q : chunk.quarantined) {
-        Status wrote = quarantine->Write(q);
-        if (!wrote.ok() && sink_error.ok()) sink_error = wrote;
-      }
-      pending.erase(it);
+Status CsvChunkReader::Impl::FinishPipeline() {
+  if (finished) return final_status;
+  finished = true;
+  final_status = runtime.Finish().WithContext("streaming CSV ingest from '" +
+                                              source_label + "'");
+  return final_status;
+}
+
+CsvChunkReader::CsvChunkReader(std::unique_ptr<Impl> impl)
+    : impl_(std::move(impl)) {}
+
+CsvChunkReader::~CsvChunkReader() {
+  if (impl_ != nullptr) {
+    Status closed = Close();
+    (void)closed;
+  }
+}
+
+const std::vector<std::string>& CsvChunkReader::header() const {
+  return impl_->header_fields;
+}
+
+Result<std::optional<CsvChunk>> CsvChunkReader::Next() {
+  Impl& im = *impl_;
+  for (;;) {
+    if (im.finished) {
+      GREATER_RETURN_NOT_OK(im.final_status);
+      GREATER_RETURN_NOT_OK(im.sink_error);
+      return std::optional<CsvChunk>();
     }
+    auto ready = im.pending.find(im.next_seq);
+    if (ready != im.pending.end()) {
+      CsvChunk chunk = std::move(*ready->second);
+      im.pending.erase(ready);
+      ++im.next_seq;
+      StreamIngestReport& report = *im.report;
+      ++report.chunks;
+      if (chunk.from_checkpoint) ++report.chunk_checkpoint_hits;
+      report.rows_in += chunk.rows.size() + chunk.quarantined.size();
+      report.rows_out += chunk.rows.size();
+      report.quarantined += chunk.quarantined.size();
+      for (const QuarantinedRecord& q : chunk.quarantined) {
+        Status wrote = im.quarantine->Write(q);
+        if (!wrote.ok() && im.sink_error.ok()) im.sink_error = wrote;
+      }
+      return std::optional<CsvChunk>(std::move(chunk));
+    }
+    std::optional<std::unique_ptr<CsvChunk>> item = im.parsed_q.Pop();
+    if (!item.has_value()) {
+      // End of stream, or a poisoned pipeline: join and report with the
+      // same precedence as the materializing reader — pipeline error,
+      // then quarantine sink error, then lost-chunk accounting.
+      GREATER_RETURN_NOT_OK(im.FinishPipeline());
+      GREATER_RETURN_NOT_OK(im.sink_error);
+      if (!im.pending.empty()) {
+        return Status::Internal("streaming ingest lost chunk " +
+                                std::to_string(im.next_seq) + " of '" +
+                                im.source_label + "'");
+      }
+      return std::optional<CsvChunk>();
+    }
+    im.pending[(*item)->seq] = std::move(*item);
   }
+}
 
-  GREATER_RETURN_NOT_OK_CTX(runtime.Finish(), "streaming CSV ingest from '" +
-                                                  source_label + "'");
-  GREATER_RETURN_NOT_OK(sink_error);
-  if (!pending.empty()) {
-    return Status::Internal("streaming ingest lost chunk " +
-                            std::to_string(next_seq) + " of '" +
-                            source_label + "'");
+Status CsvChunkReader::Close() {
+  Impl& im = *impl_;
+  if (im.finished) return im.final_status;
+  // Early shutdown: closing both queues unblocks every producer (Push
+  // returns false) and consumer, so workers drain and exit; the join then
+  // proceeds without deadlock.
+  im.raw_q.Close();
+  im.parsed_q.Close();
+  return im.FinishPipeline();
+}
+
+Result<std::unique_ptr<CsvChunkReader>> CsvChunkReader::OpenFile(
+    const std::string& path, const CsvReadOptions& csv_options,
+    const StreamOptions& options, StreamPolicy policy,
+    StreamIngestReport* report, ChunkCheckpointer* checkpointer,
+    QuarantineWriter* quarantine) {
+  auto in = std::make_shared<std::ifstream>(path, std::ios::binary);
+  if (!*in) {
+    return Status::NotFound("cannot open CSV file '" + path + "'");
   }
+  size_t block_bytes = std::max<size_t>(1, options.io_block_bytes);
+  BlockSource source = [in, block_bytes, path]() -> Result<std::string> {
+    std::string block(block_bytes, '\0');
+    in->read(block.data(), static_cast<std::streamsize>(block_bytes));
+    std::streamsize got = in->gcount();
+    if (got == 0 && in->bad()) {
+      return Status::Internal("I/O error reading CSV file '" + path + "'");
+    }
+    block.resize(static_cast<size_t>(got));
+    return block;
+  };
+  auto impl = std::make_unique<Impl>(csv_options, options, policy, path);
+  impl->report = report != nullptr ? report : &impl->local_report;
+  *impl->report = StreamIngestReport();
+  impl->quarantine = quarantine != nullptr ? quarantine : &impl->count_only;
+  impl->ckpt = checkpointer;
+  GREATER_RETURN_NOT_OK(impl->Start(std::move(source)));
+  return std::unique_ptr<CsvChunkReader>(new CsvChunkReader(std::move(impl)));
+}
 
-  // --- finalize: exact ReadCsvString type-inference semantics ---
+Result<std::unique_ptr<CsvChunkReader>> CsvChunkReader::OpenString(
+    const std::string& text, const CsvReadOptions& csv_options,
+    const StreamOptions& options, StreamPolicy policy,
+    StreamIngestReport* report, ChunkCheckpointer* checkpointer,
+    QuarantineWriter* quarantine, const std::string& source_label) {
+  size_t block_bytes = std::max<size_t>(1, options.io_block_bytes);
+  auto copy = std::make_shared<std::string>(text);
+  auto offset = std::make_shared<size_t>(0);
+  BlockSource source = [copy, offset, block_bytes]() -> Result<std::string> {
+    if (*offset >= copy->size()) return std::string();
+    size_t n = std::min(block_bytes, copy->size() - *offset);
+    std::string block = copy->substr(*offset, n);
+    *offset += n;
+    return block;
+  };
+  auto impl =
+      std::make_unique<Impl>(csv_options, options, policy, source_label);
+  impl->report = report != nullptr ? report : &impl->local_report;
+  *impl->report = StreamIngestReport();
+  impl->quarantine = quarantine != nullptr ? quarantine : &impl->count_only;
+  impl->ckpt = checkpointer;
+  GREATER_RETURN_NOT_OK(impl->Start(std::move(source)));
+  return std::unique_ptr<CsvChunkReader>(new CsvChunkReader(std::move(impl)));
+}
+
+Result<Schema> SchemaFromCsvFlags(const std::vector<std::string>& header,
+                                  const std::vector<CsvColumnFlags>& merged,
+                                  bool infer_types) {
+  const size_t num_cols = header.size();
   std::vector<ValueType> types(num_cols, ValueType::kInt);
-  if (!csv.infer_types) {
+  if (!infer_types) {
     types.assign(num_cols, ValueType::kString);
   } else {
     for (size_t c = 0; c < num_cols; ++c) {
@@ -414,26 +515,46 @@ Result<Table> RunStreamingIngest(const BlockSource& next_block,
     SemanticType semantic = types[c] == ValueType::kDouble
                                 ? SemanticType::kContinuous
                                 : SemanticType::kCategorical;
-    fields.emplace_back(header.fields[c], types[c], semantic);
+    fields.emplace_back(header[c], types[c], semantic);
   }
-  GREATER_ASSIGN_OR_RETURN(Schema schema, Schema::Make(std::move(fields)));
-  Table table(std::move(schema));
-  for (const auto& row_cells : all_rows) {
+  return Schema::Make(std::move(fields));
+}
+
+Result<Table> CsvRowsToTable(
+    const Schema& schema, const std::vector<std::vector<std::string>>& rows,
+    const std::string& null_token) {
+  const size_t num_cols = schema.num_fields();
+  Table table(schema);
+  for (const auto& row_cells : rows) {
     Row row;
     row.reserve(num_cols);
     for (size_t c = 0; c < num_cols; ++c) {
       const std::string& cell = row_cells[c];
-      if (cell == csv.null_token) {
+      if (cell == null_token) {
         row.push_back(Value::Null());
         continue;
       }
-      switch (types[c]) {
-        case ValueType::kInt:
-          row.push_back(Value(*ParseInt(cell)));
+      switch (schema.field(c).type) {
+        case ValueType::kInt: {
+          std::optional<int64_t> parsed = ParseInt(cell);
+          if (!parsed.has_value()) {
+            return Status::DataLoss("cell '" + cell +
+                                    "' does not parse as int in column '" +
+                                    schema.field(c).name + "'");
+          }
+          row.push_back(Value(*parsed));
           break;
-        case ValueType::kDouble:
-          row.push_back(Value(*ParseDouble(cell)));
+        }
+        case ValueType::kDouble: {
+          std::optional<double> parsed = ParseDouble(cell);
+          if (!parsed.has_value()) {
+            return Status::DataLoss("cell '" + cell +
+                                    "' does not parse as double in column '" +
+                                    schema.field(c).name + "'");
+          }
+          row.push_back(Value(*parsed));
           break;
+        }
         default:
           row.push_back(Value(cell));
       }
@@ -441,6 +562,40 @@ Result<Table> RunStreamingIngest(const BlockSource& next_block,
     GREATER_RETURN_NOT_OK(table.AppendRow(std::move(row)));
   }
   return table;
+}
+
+namespace {
+
+void MergeChunkFlags(const CsvChunk& chunk,
+                     std::vector<CsvColumnFlags>* merged) {
+  for (size_t c = 0; c < merged->size(); ++c) {
+    (*merged)[c].any_value |=
+        chunk.flags.empty() ? false : chunk.flags[c].any_value;
+    (*merged)[c].all_int &= chunk.flags.empty() || chunk.flags[c].all_int;
+    (*merged)[c].all_double &=
+        chunk.flags.empty() || chunk.flags[c].all_double;
+  }
+}
+
+// Shared drain for the materializing entry points: pull every chunk in
+// order, merge flags, collect rows, then finalize with the exact
+// ReadCsvString type-inference semantics.
+Result<Table> DrainToTable(CsvChunkReader* reader,
+                           const CsvReadOptions& csv) {
+  const size_t num_cols = reader->header().size();
+  std::vector<CsvColumnFlags> merged(num_cols);
+  std::vector<std::vector<std::string>> all_rows;
+  for (;;) {
+    GREATER_ASSIGN_OR_RETURN(std::optional<CsvChunk> chunk, reader->Next());
+    if (!chunk.has_value()) break;
+    MergeChunkFlags(*chunk, &merged);
+    for (auto& row : chunk->rows) all_rows.push_back(std::move(row));
+  }
+  GREATER_RETURN_NOT_OK(reader->Close());
+  GREATER_ASSIGN_OR_RETURN(
+      Schema schema,
+      SchemaFromCsvFlags(reader->header(), merged, csv.infer_types));
+  return CsvRowsToTable(schema, all_rows, csv.null_token);
 }
 
 }  // namespace
@@ -452,23 +607,13 @@ Result<Table> ReadCsvFileStreaming(const std::string& path,
                                    StreamIngestReport* report,
                                    ChunkCheckpointer* checkpointer,
                                    QuarantineWriter* quarantine) {
-  auto in = std::make_shared<std::ifstream>(path, std::ios::binary);
-  if (!*in) {
-    return Status::NotFound("cannot open CSV file '" + path + "'");
-  }
-  size_t block_bytes = std::max<size_t>(1, options.io_block_bytes);
-  BlockSource source = [in, block_bytes, path]() -> Result<std::string> {
-    std::string block(block_bytes, '\0');
-    in->read(block.data(), static_cast<std::streamsize>(block_bytes));
-    std::streamsize got = in->gcount();
-    if (got == 0 && in->bad()) {
-      return Status::Internal("I/O error reading CSV file '" + path + "'");
-    }
-    block.resize(static_cast<size_t>(got));
-    return block;
-  };
-  return RunStreamingIngest(source, path, csv_options, options, policy,
-                            report, checkpointer, quarantine);
+  GREATER_FAULT_POINT("csv.read");
+  Span span("stream.ingest");
+  GREATER_ASSIGN_OR_RETURN(
+      std::unique_ptr<CsvChunkReader> reader,
+      CsvChunkReader::OpenFile(path, csv_options, options, policy, report,
+                               checkpointer, quarantine));
+  return DrainToTable(reader.get(), csv_options);
 }
 
 Result<Table> ReadCsvStringStreaming(const std::string& text,
@@ -479,17 +624,37 @@ Result<Table> ReadCsvStringStreaming(const std::string& text,
                                      ChunkCheckpointer* checkpointer,
                                      QuarantineWriter* quarantine,
                                      const std::string& source_label) {
-  size_t block_bytes = std::max<size_t>(1, options.io_block_bytes);
-  auto offset = std::make_shared<size_t>(0);
-  BlockSource source = [&text, offset, block_bytes]() -> Result<std::string> {
-    if (*offset >= text.size()) return std::string();
-    size_t n = std::min(block_bytes, text.size() - *offset);
-    std::string block = text.substr(*offset, n);
-    *offset += n;
-    return block;
-  };
-  return RunStreamingIngest(source, source_label, csv_options, options,
-                            policy, report, checkpointer, quarantine);
+  GREATER_FAULT_POINT("csv.read");
+  Span span("stream.ingest");
+  GREATER_ASSIGN_OR_RETURN(
+      std::unique_ptr<CsvChunkReader> reader,
+      CsvChunkReader::OpenString(text, csv_options, options, policy, report,
+                                 checkpointer, quarantine, source_label));
+  return DrainToTable(reader.get(), csv_options);
+}
+
+Result<Schema> InferCsvSchemaStreaming(const std::string& path,
+                                       const CsvReadOptions& csv_options,
+                                       const StreamOptions& options,
+                                       StreamPolicy policy,
+                                       StreamIngestReport* report,
+                                       ChunkCheckpointer* checkpointer,
+                                       QuarantineWriter* quarantine) {
+  Span span("stream.schema");
+  GREATER_ASSIGN_OR_RETURN(
+      std::unique_ptr<CsvChunkReader> reader,
+      CsvChunkReader::OpenFile(path, csv_options, options, policy, report,
+                               checkpointer, quarantine));
+  const size_t num_cols = reader->header().size();
+  std::vector<CsvColumnFlags> merged(num_cols);
+  for (;;) {
+    GREATER_ASSIGN_OR_RETURN(std::optional<CsvChunk> chunk, reader->Next());
+    if (!chunk.has_value()) break;
+    MergeChunkFlags(*chunk, &merged);
+  }
+  GREATER_RETURN_NOT_OK(reader->Close());
+  return SchemaFromCsvFlags(reader->header(), merged,
+                            csv_options.infer_types);
 }
 
 }  // namespace greater

@@ -1,13 +1,19 @@
 #ifndef GREATER_STREAM_CSV_INGEST_H_
 #define GREATER_STREAM_CSV_INGEST_H_
 
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <optional>
 #include <string>
+#include <vector>
 
 #include "common/status.h"
 #include "stream/chunk_checkpoint.h"
 #include "stream/quarantine.h"
 #include "stream/stream_options.h"
 #include "tabular/csv.h"
+#include "tabular/schema.h"
 #include "tabular/table.h"
 
 namespace greater {
@@ -62,6 +68,116 @@ Result<Table> ReadCsvStringStreaming(const std::string& text,
                                      QuarantineWriter* quarantine = nullptr,
                                      const std::string& source_label =
                                          "<memory>");
+
+/// Per-column type-inference accumulator: merged across chunks with
+/// OR/AND/AND, reproducing ReadCsvString's whole-column scan exactly.
+struct CsvColumnFlags {
+  bool any_value = false;
+  bool all_int = true;
+  bool all_double = true;
+};
+
+/// One in-order chunk of a streaming CSV pass: the kept records' raw
+/// fields plus this chunk's type flags. Quarantined records were already
+/// counted (and written, when a quarantine file is configured) by the
+/// reader before the chunk was delivered.
+struct CsvChunk {
+  uint64_t seq = 0;
+  std::vector<std::vector<std::string>> rows;
+  std::vector<CsvColumnFlags> flags;
+  std::vector<QuarantinedRecord> quarantined;
+  bool from_checkpoint = false;
+};
+
+/// Pull-based chunked CSV reader — the same bounded-queue topology as
+/// ReadCsvFileStreaming (reader thread ──raw_q──> parse workers
+/// ──parsed_q──> caller), but the caller drains it one chunk at a time
+/// through Next() instead of receiving a materialized Table. Backpressure
+/// flows all the way to the file read: a slow consumer fills parsed_q,
+/// which blocks the parse workers, which fills raw_q, which blocks the
+/// reader — so peak memory is bounded by queue capacity times chunk size
+/// no matter how large the file is. This is the primitive out-of-core fit
+/// pulls typed chunks through.
+///
+/// Chunks arrive in input order (an internal sequence-number reorder
+/// buffer absorbs worker reordering). Next() returns std::nullopt at
+/// clean end of input and the pipeline's first error otherwise; the
+/// report passed at open accumulates as chunks are delivered and
+/// reconciles on a clean drain. Close() (also run by the destructor)
+/// shuts the pipeline down early without waiting for the remaining
+/// chunks.
+class CsvChunkReader {
+ public:
+  /// Opens the file variant. Consumes the header before returning;
+  /// `checkpointer` must be freshly constructed, as with
+  /// ReadCsvFileStreaming.
+  static Result<std::unique_ptr<CsvChunkReader>> OpenFile(
+      const std::string& path, const CsvReadOptions& csv_options,
+      const StreamOptions& options, StreamPolicy policy,
+      StreamIngestReport* report = nullptr,
+      ChunkCheckpointer* checkpointer = nullptr,
+      QuarantineWriter* quarantine = nullptr);
+
+  /// In-memory variant (tests, embedded inputs).
+  static Result<std::unique_ptr<CsvChunkReader>> OpenString(
+      const std::string& text, const CsvReadOptions& csv_options,
+      const StreamOptions& options, StreamPolicy policy,
+      StreamIngestReport* report = nullptr,
+      ChunkCheckpointer* checkpointer = nullptr,
+      QuarantineWriter* quarantine = nullptr,
+      const std::string& source_label = "<memory>");
+
+  ~CsvChunkReader();
+  CsvChunkReader(const CsvChunkReader&) = delete;
+  CsvChunkReader& operator=(const CsvChunkReader&) = delete;
+
+  /// Header field names (consumed at open).
+  const std::vector<std::string>& header() const;
+
+  /// Next chunk in input order; std::nullopt at clean end of input.
+  /// Returns the pipeline's first error (worker failure, watchdog
+  /// conviction, strict-policy parse error) once the queues drain.
+  Result<std::optional<CsvChunk>> Next();
+
+  /// Stops the pipeline (early or after a drain), joins every worker, and
+  /// returns the pipeline's terminal status. Idempotent.
+  Status Close();
+
+ private:
+  struct Impl;
+  explicit CsvChunkReader(std::unique_ptr<Impl> impl);
+  std::unique_ptr<Impl> impl_;
+};
+
+/// Builds the inferred schema from the header and the flags merged across
+/// every chunk — the exact ReadCsvString type-inference semantics
+/// (int -> double -> string; value-less columns are string; continuous
+/// semantic type for doubles, categorical otherwise).
+Result<Schema> SchemaFromCsvFlags(const std::vector<std::string>& header,
+                                  const std::vector<CsvColumnFlags>& merged,
+                                  bool infer_types);
+
+/// Schema-only streaming pass: runs the chunked topology, merges each
+/// chunk's type flags, and drops the rows — peak memory is one queue's
+/// worth of chunks. With a checkpointer, every chunk parsed here is
+/// stored, so later passes over the same file (out-of-core fit's vocab
+/// and count passes) are parse-free checkpoint hits.
+Result<Schema> InferCsvSchemaStreaming(const std::string& path,
+                                       const CsvReadOptions& csv_options,
+                                       const StreamOptions& options,
+                                       StreamPolicy policy,
+                                       StreamIngestReport* report = nullptr,
+                                       ChunkCheckpointer* checkpointer =
+                                           nullptr,
+                                       QuarantineWriter* quarantine = nullptr);
+
+/// Converts one chunk's raw string rows into a typed Table under a fixed
+/// schema (null_token cells become nulls). kDataLoss when a cell fails to
+/// parse as its column's declared type — impossible when the schema was
+/// inferred from the same input.
+Result<Table> CsvRowsToTable(const Schema& schema,
+                             const std::vector<std::vector<std::string>>& rows,
+                             const std::string& null_token);
 
 }  // namespace greater
 

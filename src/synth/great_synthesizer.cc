@@ -109,6 +109,149 @@ Status GreatSynthesizer::Fit(const Table& train, Rng* rng) {
   return Status::OK();
 }
 
+Status GreatSynthesizer::FitStreaming(const TableChunkSource& chunks,
+                                      Rng* rng) {
+  Span fit_span("synth.fit_streaming");
+  if (fitted()) {
+    return Status::FailedPrecondition("GreatSynthesizer already fitted");
+  }
+  if (options_.backbone != Backbone::kNGram) {
+    return Status::Invalid(
+        "FitStreaming requires the n-gram backbone (neural training needs "
+        "the whole corpus in memory)");
+  }
+  if (options_.max_training_sequences > 0) {
+    return Status::Invalid(
+        "FitStreaming does not support max_training_sequences (a uniform "
+        "subsample needs the whole corpus)");
+  }
+  GREATER_FAULT_POINT("lm.fit");
+
+  // Pass A: one streaming scan collecting each column's distinct values in
+  // first-seen order (deduplicated on display string, exactly how both the
+  // encoder's vocabulary and the observed-value pools key values).
+  struct DistinctColumn {
+    std::vector<Value> values;  // first occurrence of each display string
+    std::unordered_set<std::string> seen;
+  };
+  std::vector<DistinctColumn> distinct;
+  std::optional<Schema> schema;
+  uint64_t total_rows = 0;
+  {
+    GREATER_ASSIGN_OR_RETURN(TableChunkStream next_chunk, chunks());
+    for (;;) {
+      GREATER_ASSIGN_OR_RETURN(std::optional<Table> chunk, next_chunk());
+      if (!chunk.has_value()) break;
+      if (!schema.has_value()) {
+        schema = chunk->schema();
+        distinct.resize(chunk->num_columns());
+      } else if (!(chunk->schema() == *schema)) {
+        return Status::Invalid(
+            "FitStreaming chunk source changed schema mid-stream");
+      }
+      for (size_t c = 0; c < chunk->num_columns(); ++c) {
+        DistinctColumn& column = distinct[c];
+        for (size_t r = 0; r < chunk->num_rows(); ++r) {
+          const Value& value = chunk->at(r, c);
+          auto [it, inserted] = column.seen.insert(value.ToDisplayString());
+          (void)it;
+          if (inserted) column.values.push_back(value);
+        }
+      }
+      total_rows += chunk->num_rows();
+    }
+  }
+  if (total_rows == 0) {
+    return Status::Invalid("cannot fit on an empty table");
+  }
+
+  // The encoder's vocabulary, value-token lists, and error checks depend
+  // only on the SET of distinct display strings per column and the order
+  // in which they are first seen (TextualEncoder::Build scans
+  // column-major with idempotent token insertion). A compact table whose
+  // column c lists exactly those distinct values in first-seen order —
+  // short columns padded by repeating their last value — therefore builds
+  // a bitwise-identical encoder without materializing the input.
+  size_t max_distinct = 0;
+  for (const DistinctColumn& column : distinct) {
+    max_distinct = std::max(max_distinct, column.values.size());
+  }
+  Table distinct_table(*schema);
+  for (size_t r = 0; r < max_distinct; ++r) {
+    Row row;
+    row.reserve(distinct.size());
+    for (const DistinctColumn& column : distinct) {
+      if (column.values.empty()) {
+        row.push_back(Value::Null());
+      } else {
+        row.push_back(column.values[std::min(r, column.values.size() - 1)]);
+      }
+    }
+    GREATER_RETURN_NOT_OK(distinct_table.AppendRow(std::move(row)));
+  }
+  GREATER_ASSIGN_OR_RETURN(
+      TextualEncoder encoder,
+      TextualEncoder::Build(distinct_table, options_.encoder,
+                            options_.prior_corpus));
+  encoder_ = std::make_unique<TextualEncoder>(std::move(encoder));
+
+  std::vector<TokenSequence> prior_sequences;
+  bool use_prior =
+      options_.prior_weight > 0.0 && !options_.prior_corpus.empty();
+  if (use_prior) {
+    prior_sequences.reserve(options_.prior_corpus.size());
+    for (const auto& line : options_.prior_corpus) {
+      prior_sequences.push_back(encoder_->EncodeTextLine(line));
+    }
+  }
+
+  size_t vocab_size = encoder_->vocab().size();
+  NGramLm::Options lm_options = options_.ngram;
+  if (use_prior) lm_options.prior_weight = options_.prior_weight;
+  auto lm = std::make_unique<NGramLm>(vocab_size, lm_options);
+  if (use_prior) {
+    GREATER_RETURN_NOT_OK(lm->SetPriorCorpus(prior_sequences));
+  }
+
+  // Pass B: re-open the source and encode chunk by chunk into the model's
+  // sharded counting. One shared rng AND one shared permutation state,
+  // both advanced in chunk order, make the feature-permutation stream
+  // identical to whole-table EncodeTable (the shuffle mutates the order
+  // vector in place across rows, so it must persist across chunks too).
+  {
+    GREATER_ASSIGN_OR_RETURN(TableChunkStream next_chunk, chunks());
+    auto order = std::make_shared<std::vector<size_t>>();
+    NGramLm::SequenceChunkIterator encode_next =
+        [this, &next_chunk, rng,
+         order]() -> Result<std::optional<std::vector<TokenSequence>>> {
+      GREATER_ASSIGN_OR_RETURN(std::optional<Table> chunk, next_chunk());
+      if (!chunk.has_value()) {
+        return std::optional<std::vector<TokenSequence>>();
+      }
+      GREATER_ASSIGN_OR_RETURN(
+          std::vector<TokenSequence> sequences,
+          encoder_->EncodeTableWithOrderState(*chunk, rng, order.get()));
+      return std::optional<std::vector<TokenSequence>>(std::move(sequences));
+    };
+    size_t shards = std::max<size_t>(1, options_.num_fit_shards);
+    GREATER_RETURN_NOT_OK(lm->FitStreaming(encode_next, shards));
+  }
+  lm_ = std::move(lm);
+
+  // The observed-value pools dedupe on display string and sort afterwards,
+  // so feeding each column's distinct list reproduces the full-table scan.
+  observed_values_.clear();
+  observed_values_.resize(distinct.size());
+  for (size_t c = 0; c < distinct.size(); ++c) {
+    for (const Value& value : distinct[c].values) {
+      observed_values_[c].Insert(value.ToDisplayString());
+    }
+    observed_values_[c].SortPool();
+  }
+  BuildGrammars();
+  return Status::OK();
+}
+
 void GreatSynthesizer::BuildGrammars() {
   std::unordered_set<TokenId> union_tokens;
   for (const auto& column : encoder_->columns()) {

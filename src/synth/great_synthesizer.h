@@ -20,6 +20,7 @@
 #include "synth/sample_report.h"
 #include "synth/textual_encoder.h"
 #include "tabular/table.h"
+#include "tabular/table_stream.h"
 
 namespace greater {
 
@@ -103,6 +104,13 @@ class GreatSynthesizer {
     /// stream, so Sample/SampleConditional output is bitwise-identical at
     /// ANY batch_rows value (and any num_threads).
     size_t batch_rows = 1;
+    /// Count shards for out-of-core fitting (FitStreaming): chunks fan out
+    /// over an internal thread pool onto this many integer-count
+    /// accumulators, folded in fixed shard order — the fitted model is
+    /// bitwise-identical at ANY value, so this is a pure throughput knob.
+    /// Excluded from the serialized options codec for that reason (two
+    /// runs differing only here produce identical artifacts).
+    size_t num_fit_shards = 1;
   };
 
   GreatSynthesizer() : GreatSynthesizer(Options()) {}
@@ -113,6 +121,20 @@ class GreatSynthesizer {
 
   /// Fits encoder + language model on `train`. One-shot.
   Status Fit(const Table& train, Rng* rng);
+
+  /// Out-of-core Fit: consumes `chunks` (a restartable typed-chunk source,
+  /// e.g. FitStage::ChunkSource over a CSV on disk) in two streaming
+  /// passes — first collecting each column's distinct values to build the
+  /// encoder and observed-value pools, then encoding chunk by chunk into
+  /// NGramLm::FitStreaming with options().num_fit_shards accumulators.
+  /// Peak memory is bounded by the chunk size plus the model's count
+  /// tables; the whole table is never materialized. The fitted synthesizer
+  /// is bitwise-identical to Fit on the concatenated chunks (same
+  /// encoder, same counts, same samples at a fixed seed), because the
+  /// encoder's vocabulary depends only on first-seen distinct values and
+  /// the shard counts are exact integers. Requires the n-gram backbone
+  /// and max_training_sequences == 0 (a subsample needs the whole corpus).
+  Status FitStreaming(const TableChunkSource& chunks, Rng* rng);
 
   /// Samples `n` synthetic rows. Under SamplePolicy::kLenient the result
   /// may hold fewer than `n` rows; `report` (optional) receives the

@@ -1,0 +1,66 @@
+#ifndef GREATER_SYNTH_STREAMING_SYNTHESIS_H_
+#define GREATER_SYNTH_STREAMING_SYNTHESIS_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/status.h"
+#include "stream/fit_stage.h"
+#include "stream/sample_emit.h"
+#include "stream/stream_options.h"
+#include "synth/great_synthesizer.h"
+#include "synth/sample_report.h"
+#include "tabular/csv.h"
+#include "tabular/schema.h"
+
+namespace greater {
+
+/// Configuration for the end-to-end out-of-core run (RunFromCsvStreaming).
+struct StreamingSynthesisOptions {
+  GreatSynthesizer::Options synthesizer;
+  /// CSV dialect of the input file.
+  CsvReadOptions csv;
+  /// Ingest-side streaming knobs: chunk_rows bounds fit-side memory.
+  StreamOptions stream;
+  StreamPolicy ingest_policy = StreamPolicy::kStrict;
+  /// Seed of the fit-side Rng (feature-permutation draws).
+  uint64_t fit_seed = 17;
+  /// Seed of the emission-side draw streams.
+  uint64_t sample_seed = 41;
+  /// Rows per emission chunk: the emission-side memory bound.
+  size_t emit_chunk_rows = 1024;
+  /// Root directory for ALL durability state (ingest chunk store, fitted
+  /// model stage checkpoint, emission chunk store). Empty disables
+  /// checkpointing; set, a kill -9 at ANY point reruns byte-identically,
+  /// paying only for the work after the last completed chunk.
+  std::string checkpoint_dir;
+};
+
+/// Outcome of an out-of-core run.
+struct StreamingSynthesisResult {
+  Schema schema;              ///< inferred input schema
+  StreamIngestReport ingest;  ///< last ingest pass (reconciles)
+  SampleReport sample;        ///< emission accounting (reconciles)
+  bool model_from_checkpoint = false;  ///< fit skipped via stage checkpoint
+  uint64_t input_rows = 0;             ///< rows ingested per pass
+};
+
+/// End-to-end out-of-core synthesis: infer the input CSV's schema in one
+/// bounded-memory pass, fit a GreatSynthesizer through streaming chunk
+/// passes (GreatSynthesizer::FitStreaming over FitStage::ChunkSource, with
+/// options.synthesizer.num_fit_shards count shards), then stream
+/// `sample_rows` synthetic rows into `output_csv` chunk by chunk
+/// (SampleRowsToCsvStreaming). The input table and the output table are
+/// never materialized: peak memory is bounded by the chunk sizes plus the
+/// model, independent of either row count.
+///
+/// With a checkpoint directory, the run is durable at three grains —
+/// parsed input chunks, the fitted model, rendered output chunks — and a
+/// rerun after a kill anywhere produces a byte-identical output file.
+Result<StreamingSynthesisResult> RunFromCsvStreaming(
+    const std::string& input_csv, const std::string& output_csv,
+    size_t sample_rows, const StreamingSynthesisOptions& options);
+
+}  // namespace greater
+
+#endif  // GREATER_SYNTH_STREAMING_SYNTHESIS_H_

@@ -101,6 +101,12 @@ TokenSequence TextualEncoder::EncodeRow(
 
 Result<std::vector<TokenSequence>> TextualEncoder::EncodeTable(
     const Table& table, Rng* rng) const {
+  std::vector<size_t> order;
+  return EncodeTableWithOrderState(table, rng, &order);
+}
+
+Result<std::vector<TokenSequence>> TextualEncoder::EncodeTableWithOrderState(
+    const Table& table, Rng* rng, std::vector<size_t>* order) const {
   if (!(table.schema() == schema_)) {
     return Status::Invalid("EncodeTable: table schema differs from the "
                            "schema this encoder was built for");
@@ -108,13 +114,15 @@ Result<std::vector<TokenSequence>> TextualEncoder::EncodeTable(
   std::vector<TokenSequence> out;
   size_t copies = std::max<size_t>(1, options_.permutations_per_row);
   out.reserve(table.num_rows() * copies);
-  std::vector<size_t> order(table.num_columns());
-  std::iota(order.begin(), order.end(), 0);
+  if (order->size() != table.num_columns()) {
+    order->resize(table.num_columns());
+    std::iota(order->begin(), order->end(), 0);
+  }
   for (size_t r = 0; r < table.num_rows(); ++r) {
     Row row = table.GetRow(r);
     for (size_t k = 0; k < copies; ++k) {
-      if (options_.permute_features) rng->Shuffle(&order);
-      out.push_back(EncodeRow(row, order));
+      if (options_.permute_features) rng->Shuffle(order);
+      out.push_back(EncodeRow(row, *order));
     }
   }
   return out;

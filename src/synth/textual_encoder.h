@@ -86,6 +86,15 @@ class TextualEncoder {
   Result<std::vector<TokenSequence>> EncodeTable(const Table& table,
                                                  Rng* rng) const;
 
+  /// EncodeTable with the feature-permutation state threaded explicitly.
+  /// The shuffle mutates `order` in place across rows, so encoding a table
+  /// chunk by chunk is bitwise-identical to one whole-table call only when
+  /// the SAME `order` vector (and rng) persists across the chunk calls —
+  /// the streaming fit path's contract. Pass an empty vector to start from
+  /// the identity order, exactly as EncodeTable does.
+  Result<std::vector<TokenSequence>> EncodeTableWithOrderState(
+      const Table& table, Rng* rng, std::vector<size_t>* order) const;
+
   /// Tokenizes an arbitrary text line against this vocabulary (for prior
   /// corpora; unknown words become <unk>).
   TokenSequence EncodeTextLine(const std::string& line) const;

@@ -306,21 +306,30 @@ std::string EscapeField(const std::string& field, char delim) {
 
 }  // namespace
 
-std::string WriteCsvString(const Table& table, char delimiter) {
-  std::ostringstream os;
-  for (size_t c = 0; c < table.num_columns(); ++c) {
-    if (c > 0) os << delimiter;
-    os << EscapeField(table.schema().field(c).name, delimiter);
+void AppendCsvHeader(const Schema& schema, char delimiter,
+                     std::string* out) {
+  for (size_t c = 0; c < schema.num_fields(); ++c) {
+    if (c > 0) out->push_back(delimiter);
+    *out += EscapeField(schema.field(c).name, delimiter);
   }
-  os << "\n";
+  out->push_back('\n');
+}
+
+void AppendCsvRows(const Table& table, char delimiter, std::string* out) {
   for (size_t r = 0; r < table.num_rows(); ++r) {
     for (size_t c = 0; c < table.num_columns(); ++c) {
-      if (c > 0) os << delimiter;
-      os << EscapeField(table.at(r, c).ToDisplayString(), delimiter);
+      if (c > 0) out->push_back(delimiter);
+      *out += EscapeField(table.at(r, c).ToDisplayString(), delimiter);
     }
-    os << "\n";
+    out->push_back('\n');
   }
-  return os.str();
+}
+
+std::string WriteCsvString(const Table& table, char delimiter) {
+  std::string out;
+  AppendCsvHeader(table.schema(), delimiter, &out);
+  AppendCsvRows(table, delimiter, &out);
+  return out;
 }
 
 Status WriteCsvFile(const Table& table, const std::string& path,

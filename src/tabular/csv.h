@@ -103,6 +103,17 @@ Result<Table> ReadCsvString(const std::string& text,
 Result<Table> ReadCsvFile(const std::string& path,
                           const CsvReadOptions& options = {});
 
+/// Appends the escaped header line for `schema` to *out — the exact bytes
+/// WriteCsvString starts with. Factored out so chunked emitters (streaming
+/// sample emission) can render incrementally yet byte-identically to a
+/// whole-table write.
+void AppendCsvHeader(const Schema& schema, char delimiter, std::string* out);
+
+/// Appends `table`'s rows (no header) as escaped CSV lines to *out.
+/// WriteCsvString(t) == header + rows, so emitting a table chunk-by-chunk
+/// through this produces the same bytes as one whole-table write.
+void AppendCsvRows(const Table& table, char delimiter, std::string* out);
+
 /// Serializes a table to CSV text (header + rows, quoting fields that
 /// contain the delimiter, quotes, or newlines). Nulls serialize as the
 /// empty field.

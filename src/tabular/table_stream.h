@@ -1,0 +1,29 @@
+#ifndef GREATER_TABULAR_TABLE_STREAM_H_
+#define GREATER_TABULAR_TABLE_STREAM_H_
+
+#include <functional>
+#include <optional>
+
+#include "common/status.h"
+#include "tabular/table.h"
+
+namespace greater {
+
+/// Pull iterator over typed table chunks: each call yields the next chunk,
+/// std::nullopt at end of input, or an error. Single-threaded — called
+/// from the consumer's thread only. This is the seam between the streaming
+/// ingest layer (which produces chunks from CSV under backpressure) and
+/// out-of-core fitting (which consumes them without ever materializing the
+/// whole table); it lives in tabular so neither layer needs the other's
+/// headers.
+using TableChunkStream = std::function<Result<std::optional<Table>>()>;
+
+/// Factory for a fresh TableChunkStream over the same underlying input.
+/// Out-of-core fit makes multiple passes (vocabulary/observed values, then
+/// encoding); each pass opens its own stream. A restartable source must
+/// yield identical chunk sequences on every open.
+using TableChunkSource = std::function<Result<TableChunkStream>()>;
+
+}  // namespace greater
+
+#endif  // GREATER_TABULAR_TABLE_STREAM_H_

@@ -1,0 +1,342 @@
+// Out-of-core suite (`ctest -L oocore`): shard-parallel streaming fit
+// that must land bitwise-identical to the serial Fit at every shard
+// count, chunked sample emission that must render the same bytes as a
+// direct Sample call at any chunk size, per-chunk crash resume on the
+// emission store, and a fork + SIGKILL sweep over the end-to-end
+// RunFromCsvStreaming driver that must produce a byte-identical output
+// file after resuming from the same checkpoint directory.
+
+#include <signal.h>
+#include <sys/types.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <memory>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/fault.h"
+#include "common/rng.h"
+#include "obs/metrics.h"
+#include "stream/sample_emit.h"
+#include "synth/great_synthesizer.h"
+#include "synth/streaming_synthesis.h"
+#include "tabular/csv.h"
+#include "tabular/table.h"
+
+namespace greater {
+namespace {
+
+namespace fs = std::filesystem;
+
+fs::path ScratchDir(const std::string& name) {
+  fs::path dir = fs::temp_directory_path() / ("greater_" + name);
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+  return dir;
+}
+
+std::string Slurp(const fs::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
+void Spit(const fs::path& path, const std::string& bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out << bytes;
+}
+
+// Mixed-type training table with enough rows to span several chunks.
+Table TrainTable(size_t rows) {
+  Schema schema({Field("name", ValueType::kString),
+                 Field("lunch", ValueType::kInt),
+                 Field("score", ValueType::kDouble)});
+  Table t(schema);
+  const char* names[] = {"Grace", "Yin", "Anson", "Mia", "Noor"};
+  Rng rng(31);
+  for (size_t i = 0; i < rows; ++i) {
+    EXPECT_TRUE(t.AppendRow({Value(names[rng.Index(5)]),
+                             Value(rng.UniformInt(1, 4)),
+                             Value(static_cast<double>(rng.UniformInt(0, 9)) /
+                                   2.0)})
+                    .ok());
+  }
+  return t;
+}
+
+// Chunk source over an in-memory table: each opened stream replays the
+// table in `chunk_rows` slices. The table must outlive the source.
+TableChunkSource ChunkedSource(const Table& table, size_t chunk_rows) {
+  return [&table, chunk_rows]() -> Result<TableChunkStream> {
+    auto next_row = std::make_shared<size_t>(0);
+    return TableChunkStream(
+        [&table, chunk_rows, next_row]() -> Result<std::optional<Table>> {
+          if (*next_row >= table.num_rows()) return std::optional<Table>();
+          size_t end = std::min(table.num_rows(), *next_row + chunk_rows);
+          Table slice(table.schema());
+          for (size_t r = *next_row; r < end; ++r) {
+            GREATER_RETURN_NOT_OK(slice.AppendRow(table.GetRow(r)));
+          }
+          *next_row = end;
+          return std::optional<Table>(std::move(slice));
+        });
+  };
+}
+
+void ExpectTablesEqual(const Table& a, const Table& b) {
+  ASSERT_EQ(a.num_rows(), b.num_rows());
+  ASSERT_EQ(a.num_columns(), b.num_columns());
+  for (size_t r = 0; r < a.num_rows(); ++r) {
+    EXPECT_EQ(a.GetRow(r), b.GetRow(r)) << "row " << r;
+  }
+}
+
+// Numeric CSV for the end-to-end driver sweeps.
+std::string NumericCsv(size_t rows) {
+  std::string text = "a,b,c\n";
+  for (size_t i = 0; i < rows; ++i) {
+    text += std::to_string(i % 13) + "," + std::to_string((i * 2) % 9) +
+            ",v" + std::to_string(i % 7) + "\n";
+  }
+  return text;
+}
+
+class OocoreTest : public testing::Test {
+ protected:
+  void SetUp() override { MetricsRegistry::Global().Reset(); }
+  void TearDown() override { FaultRegistry::Global().DisarmAll(); }
+};
+
+// ---------- streaming fit: bitwise identity vs the serial path ----------
+
+TEST_F(OocoreTest, FitStreamingMatchesSerialFitBitwiseAtEveryShardCount) {
+  Table train = TrainTable(90);
+
+  GreatSynthesizer::Options options;
+  GreatSynthesizer serial(options);
+  Rng serial_rng(17);
+  ASSERT_TRUE(serial.Fit(train, &serial_rng).ok());
+  Result<std::string> serial_bytes = serial.SerializeBinary();
+  ASSERT_TRUE(serial_bytes.ok());
+
+  Rng sample_rng(99);
+  Result<Table> serial_sample = serial.SampleRows(25, &sample_rng, nullptr);
+  ASSERT_TRUE(serial_sample.ok()) << serial_sample.status();
+
+  // The cross product that must collapse to one artifact: shard counts
+  // 1/2/8 against several chunk sizes (including one chunk holding the
+  // whole table and a chunk size that leaves a ragged tail).
+  for (size_t shards : {1u, 2u, 8u}) {
+    for (size_t chunk_rows : {7u, 32u, 200u}) {
+      GreatSynthesizer::Options streamed_options;
+      streamed_options.num_fit_shards = shards;
+      GreatSynthesizer streamed(streamed_options);
+      Rng streamed_rng(17);
+      Status fit =
+          streamed.FitStreaming(ChunkedSource(train, chunk_rows),
+                                &streamed_rng);
+      ASSERT_TRUE(fit.ok()) << fit << " shards=" << shards
+                            << " chunk_rows=" << chunk_rows;
+      Result<std::string> streamed_bytes = streamed.SerializeBinary();
+      ASSERT_TRUE(streamed_bytes.ok());
+      EXPECT_EQ(*streamed_bytes, *serial_bytes)
+          << "serialized model differs at shards=" << shards
+          << " chunk_rows=" << chunk_rows;
+
+      Rng streamed_sample_rng(99);
+      Result<Table> streamed_sample =
+          streamed.SampleRows(25, &streamed_sample_rng, nullptr);
+      ASSERT_TRUE(streamed_sample.ok()) << streamed_sample.status();
+      ExpectTablesEqual(*streamed_sample, *serial_sample);
+    }
+  }
+  EXPECT_EQ(MetricsRegistry::Global().GetGauge("lm.fit.shards").Value(),
+            8.0);
+  EXPECT_GT(
+      MetricsRegistry::Global().GetCounter("lm.fit.shard_merges").Value(),
+      0u);
+}
+
+TEST_F(OocoreTest, FitStreamingErrorsAreTyped) {
+  Table train = TrainTable(20);
+  Rng rng(1);
+
+  GreatSynthesizer::Options neural;
+  neural.backbone = GreatSynthesizer::Backbone::kNeural;
+  GreatSynthesizer neural_model(neural);
+  EXPECT_EQ(neural_model.FitStreaming(ChunkedSource(train, 8), &rng).code(),
+            StatusCode::kInvalidArgument);
+
+  GreatSynthesizer::Options subsampled;
+  subsampled.max_training_sequences = 4;
+  GreatSynthesizer subsampled_model(subsampled);
+  EXPECT_EQ(
+      subsampled_model.FitStreaming(ChunkedSource(train, 8), &rng).code(),
+      StatusCode::kInvalidArgument);
+
+  Table empty(train.schema());
+  GreatSynthesizer empty_model{GreatSynthesizer::Options()};
+  Status empty_fit = empty_model.FitStreaming(ChunkedSource(empty, 8), &rng);
+  EXPECT_EQ(empty_fit.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(empty_fit.message().find("empty"), std::string::npos)
+      << empty_fit;
+
+  GreatSynthesizer fitted{GreatSynthesizer::Options()};
+  ASSERT_TRUE(fitted.Fit(train, &rng).ok());
+  EXPECT_EQ(fitted.FitStreaming(ChunkedSource(train, 8), &rng).code(),
+            StatusCode::kFailedPrecondition);
+}
+
+// ---------- chunked emission: bytes vs the direct sampler ----------
+
+TEST_F(OocoreTest, ChunkedEmissionMatchesDirectSampleBytes) {
+  Table train = TrainTable(60);
+  GreatSynthesizer model{GreatSynthesizer::Options()};
+  Rng fit_rng(17);
+  ASSERT_TRUE(model.Fit(train, &fit_rng).ok());
+
+  const size_t n = 41;
+  const uint64_t seed = 7;
+  Rng direct_rng(seed);
+  Result<Table> direct = model.SampleRows(n, &direct_rng, nullptr);
+  ASSERT_TRUE(direct.ok()) << direct.status();
+  const std::string direct_csv = WriteCsvString(*direct);
+
+  fs::path dir = ScratchDir("oocore_emit");
+  // Any chunk size — including one that leaves a ragged tail and one
+  // bigger than n — must render the same bytes as the direct call.
+  for (size_t chunk_rows : {7u, 16u, 64u}) {
+    fs::path out = dir / ("out_" + std::to_string(chunk_rows) + ".csv");
+    SampleEmitOptions emit;
+    emit.chunk_rows = chunk_rows;
+    Result<SampleReport> report =
+        SampleRowsToCsvStreaming(model, n, seed, out.string(), emit);
+    ASSERT_TRUE(report.ok()) << report.status();
+    EXPECT_TRUE(report->Reconciles());
+    EXPECT_EQ(report->rows_emitted, n);
+    EXPECT_EQ(Slurp(out), direct_csv) << "chunk_rows=" << chunk_rows;
+  }
+
+  GreatSynthesizer unfitted{GreatSynthesizer::Options()};
+  fs::path out = dir / "unfitted.csv";
+  EXPECT_EQ(SampleRowsToCsvStreaming(unfitted, 4, seed, out.string(),
+                                     SampleEmitOptions())
+                .status()
+                .code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST_F(OocoreTest, EmissionResumesFromChunkStoreAfterInjectedCrash) {
+  Table train = TrainTable(60);
+  GreatSynthesizer model{GreatSynthesizer::Options()};
+  Rng fit_rng(17);
+  ASSERT_TRUE(model.Fit(train, &fit_rng).ok());
+
+  fs::path dir = ScratchDir("oocore_emit_resume");
+  fs::path out = dir / "out.csv";
+  SampleEmitOptions emit;
+  emit.chunk_rows = 8;
+  emit.checkpoint_dir = (dir / "ckpt").string();
+
+  // Uninterrupted reference bytes, from a checkpoint-free run.
+  fs::path ref = dir / "ref.csv";
+  SampleEmitOptions no_ckpt;
+  no_ckpt.chunk_rows = 8;
+  ASSERT_TRUE(
+      SampleRowsToCsvStreaming(model, 30, 7, ref.string(), no_ckpt).ok());
+
+  // First attempt dies after two chunks: the fault point sits on the
+  // compute path, so exactly those chunks reach the store.
+  {
+    FaultSpec spec;
+    spec.skip_hits = 2;
+    spec.max_fires = 1;
+    ScopedFault fault("stream.emit_chunk", spec);
+    Result<SampleReport> failed =
+        SampleRowsToCsvStreaming(model, 30, 7, out.string(), emit);
+    ASSERT_FALSE(failed.ok());
+    EXPECT_EQ(failed.status().code(), StatusCode::kInternal);
+  }
+
+  // The rerun replays the stored chunks and recomputes the rest; the
+  // file must be byte-identical to the uninterrupted run.
+  Counter& hits =
+      MetricsRegistry::Global().GetCounter("stream.emit.checkpoint_hits");
+  uint64_t hits_before = hits.Value();
+  Result<SampleReport> resumed =
+      SampleRowsToCsvStreaming(model, 30, 7, out.string(), emit);
+  ASSERT_TRUE(resumed.ok()) << resumed.status();
+  EXPECT_TRUE(resumed->Reconciles());
+  EXPECT_EQ(hits.Value() - hits_before, 2u);
+  EXPECT_EQ(Slurp(out), Slurp(ref));
+}
+
+// ---------- end-to-end driver: kill -9 anywhere, resume byte-identical --
+
+TEST_F(OocoreTest, RunFromCsvStreamingSigkillAnywhereThenResume) {
+  fs::path dir = ScratchDir("oocore_kill9");
+  fs::path csv = dir / "input.csv";
+  Spit(csv, NumericCsv(200));
+
+  StreamingSynthesisOptions options;
+  options.synthesizer.num_fit_shards = 3;
+  options.stream.chunk_rows = 16;
+  options.stream.queue_capacity = 2;
+  options.stream.num_workers = 1;
+  options.emit_chunk_rows = 9;
+
+  // Reference run without any durability state.
+  fs::path ref_out = dir / "ref.csv";
+  Result<StreamingSynthesisResult> reference =
+      RunFromCsvStreaming(csv.string(), ref_out.string(), 35, options);
+  ASSERT_TRUE(reference.ok()) << reference.status();
+  ASSERT_TRUE(reference->sample.Reconciles());
+
+  // Kill -9 the run at several points; every phase — schema pass, fit
+  // passes, emission — sits behind a checkpoint grain, so whatever state
+  // survived is reused and the rest is recomputed.
+  options.checkpoint_dir = (dir / "ckpt").string();
+  fs::path out = dir / "out.csv";
+  for (int attempt = 0; attempt < 3; ++attempt) {
+    pid_t pid = fork();
+    ASSERT_GE(pid, 0);
+    if (pid == 0) {
+      Result<StreamingSynthesisResult> run =
+          RunFromCsvStreaming(csv.string(), out.string(), 35, options);
+      _exit(run.ok() ? 0 : 1);
+    }
+    ::usleep(400 * (attempt + 1) * (attempt + 1));
+    ::kill(pid, SIGKILL);
+    int wait_status = 0;
+    ::waitpid(pid, &wait_status, 0);
+  }
+
+  Result<StreamingSynthesisResult> resumed =
+      RunFromCsvStreaming(csv.string(), out.string(), 35, options);
+  ASSERT_TRUE(resumed.ok()) << resumed.status();
+  EXPECT_TRUE(resumed->sample.Reconciles());
+  EXPECT_EQ(resumed->input_rows, 200u);
+  EXPECT_EQ(Slurp(out), Slurp(ref_out));
+
+  // One more run over the now-complete store: the fit is skipped via the
+  // model stage checkpoint and the bytes still match.
+  Result<StreamingSynthesisResult> warm =
+      RunFromCsvStreaming(csv.string(), out.string(), 35, options);
+  ASSERT_TRUE(warm.ok()) << warm.status();
+  EXPECT_TRUE(warm->model_from_checkpoint);
+  EXPECT_EQ(Slurp(out), Slurp(ref_out));
+}
+
+}  // namespace
+}  // namespace greater

@@ -364,6 +364,58 @@ TEST(SynthesisServerTest, CancelMidFlightCompletesTyped) {
   EXPECT_TRUE(big->Wait().ok());
 }
 
+// ---------- Deadlines ----------
+
+TEST(SynthesisServerTest, OverdueRequestConvictedTyped) {
+  MetricsRegistry& registry = MetricsRegistry::Global();
+  Counter& overdue = registry.GetCounter("serve.deadline_exceeded");
+  uint64_t overdue_before = overdue.Value();
+
+  TenantSet set = MakeTenants(1);
+  ServeOptions options;
+  options.num_workers = 1;
+  options.max_lanes_per_batch = 8;
+  SynthesisServer server(options);
+  AddAll(&server, set);
+  ASSERT_TRUE(server.Start().ok());
+
+  // The big request monopolizes the single worker's bundles (oldest-first
+  // packing fills every 8-lane batch from it alone, so the sweep only
+  // reaches the victim ~2500 bundles later), and the victim's 1 ms
+  // deadline expires long before that.
+  auto big = server.Submit({set.names[0], 20000, 5});
+  SampleRequest victim_request;
+  victim_request.tenant = set.names[0];
+  victim_request.rows = 4;
+  victim_request.seed = 77;
+  victim_request.deadline_ms = 1;
+  auto victim = server.Submit(victim_request);
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+
+  const Result<Table>& verdict = victim->Wait();
+  ASSERT_FALSE(verdict.ok());
+  EXPECT_EQ(verdict.status().code(), StatusCode::kDeadlineExceeded)
+      << verdict.status();
+  // The conviction message accounts for the rows that were never decoded;
+  // the report reconciles because it only ever counts decoded rows.
+  EXPECT_NE(verdict.status().message().find("deadline"), std::string::npos)
+      << verdict.status();
+  EXPECT_TRUE(victim->report().Reconciles());
+  EXPECT_EQ(overdue.Value() - overdue_before, 1u);
+
+  // A generous deadline is not a conviction: the request completes clean.
+  SampleRequest relaxed_request;
+  relaxed_request.tenant = set.names[0];
+  relaxed_request.rows = 4;
+  relaxed_request.seed = 78;
+  relaxed_request.deadline_ms = 60000;
+  auto relaxed = server.Submit(relaxed_request);
+  ASSERT_TRUE(big->Wait().ok()) << big->Wait().status();
+  ASSERT_TRUE(relaxed->Wait().ok()) << relaxed->Wait().status();
+  EXPECT_EQ(relaxed->Wait().ValueOrDie().num_rows(), 4u);
+  ASSERT_TRUE(server.Shutdown().ok());
+}
+
 // ---------- Concurrency stress (the TSan battery) ----------
 
 TEST(SynthesisServerTest, ConcurrentSubmittersUnderTinyQueueAllComplete) {
