@@ -694,6 +694,81 @@ void BM_ServeZipfian(benchmark::State& state) {
 }
 BENCHMARK(BM_ServeZipfian)->Arg(1)->Arg(2)->Unit(benchmark::kMillisecond);
 
+// Overload control: the same server deliberately driven past capacity
+// with a mixed-priority workload (half background, a fifth batch) through
+// a tiny bounded-wait admission queue. Background work is expected to
+// shed typed; interactive work is expected to complete and stay fast.
+// items_per_second counts only rows that completed. The serve.shed /
+// serve.admitted counters and the serve.interactive_latency_us histogram
+// land in GREATER_METRICS_OUT, where scripts/bench_compare.py gates them
+// with --fail-shed-rate-above and --fail-high-pri-p99-above.
+void BM_ServeOverload(benchmark::State& state) {
+  std::vector<std::shared_ptr<const GreatSynthesizer>> models;
+  std::vector<TenantProfile> profiles;
+  for (int i = 0; i < 2; ++i) {
+    auto model = std::make_shared<GreatSynthesizer>();
+    Rng fit(70 + i);
+    if (!model->Fit(CategoricalTable(), &fit).ok()) {
+      state.SkipWithError("tenant fit failed");
+      return;
+    }
+    models.push_back(std::move(model));
+    profiles.push_back(TenantProfile{
+        "tenant" + std::to_string(i),
+        "residence",
+        {"Chicago", "Boston", "Austin", "Denver", "Seattle"}});
+  }
+
+  ServeOptions options;
+  options.num_workers = static_cast<size_t>(state.range(0));
+  options.max_lanes_per_batch = 16;
+  options.admission_capacity = 4;
+  options.admission_wait_ms = 1;  // bounded-wait admission: sheds when full
+  options.shed_queue_depth = 8;
+  SynthesisServer server(options);
+  for (size_t i = 0; i < models.size(); ++i) {
+    if (!server.AddTenant(profiles[i].name, models[i]).ok()) {
+      state.SkipWithError("tenant registration failed");
+      return;
+    }
+  }
+  if (!server.Start().ok()) {
+    state.SkipWithError("server start failed");
+    return;
+  }
+
+  WorkloadOptions wl;
+  wl.tenant_skew.kind = SkewKind::kUniform;
+  wl.conditioned_fraction = 0.2;
+  wl.min_rows = 1;
+  wl.max_rows = 8;
+  wl.batch_fraction = 0.2;
+  wl.background_fraction = 0.5;
+  WorkloadGenerator gen(wl, profiles, /*seed=*/4071);
+
+  size_t rows = 0;
+  for (auto _ : state) {
+    std::vector<std::shared_ptr<RequestTicket>> wave;
+    for (int i = 0; i < 32; ++i) wave.push_back(server.Submit(gen.Next()));
+    for (auto& ticket : wave) {
+      const auto& result = ticket->Wait();
+      if (result.ok()) {
+        rows += result.ValueOrDie().num_rows();
+        continue;
+      }
+      // Typed sheds ARE the overload behavior under test; anything else
+      // is a real failure.
+      if (result.status().code() != StatusCode::kResourceExhausted) {
+        state.SkipWithError("request failed with a non-shed error");
+        return;
+      }
+    }
+  }
+  if (!server.Shutdown().ok()) state.SkipWithError("shutdown failed");
+  state.SetItemsProcessed(static_cast<int64_t>(rows));
+}
+BENCHMARK(BM_ServeOverload)->Arg(1)->Unit(benchmark::kMillisecond);
+
 // ---------- out-of-core fit + emission ----------
 
 // Out-of-core fit over an on-disk CSV: schema pass, then the streaming

@@ -64,6 +64,21 @@ shard fan-out or the chunk passes (extra copies, lost parse-free replay,
 serialized merging) fails this gate even when absolute times still look
 plausible on the runner.
 
+--fail-shed-rate-above PCT gates overload shedding off the same --metrics
+snapshot: the shed rate is serve.shed / (serve.admitted + serve.shed +
+serve.quota_rejected), the fraction of quota-passing traffic the server
+turned away under the BM_ServeOverload storm. A scheduler change that
+sheds more than PCT percent — shedding work the packing window could have
+absorbed — exits non-zero.
+
+--fail-high-pri-p99-above US gates priority isolation: the
+serve.interactive_latency_us histogram records completion latency for
+interactive-class requests only, and an interpolated p99 above US
+microseconds exits non-zero. Under the BM_ServeOverload background flood
+this is the number that catches a broken weighted scheduler: background
+backlog leaking ahead of interactive work shows up here long before mean
+throughput moves.
+
 Refresh the checked-in results with:
     cmake --build build --target bench_json
 """
@@ -174,6 +189,23 @@ def main():
         default=None,
         metavar="US",
         help="exit 1 if the serve.request_latency_us p99 in --metrics "
+        "exceeds US microseconds (requires --metrics)",
+    )
+    parser.add_argument(
+        "--fail-shed-rate-above",
+        type=float,
+        default=None,
+        metavar="PCT",
+        help="exit 1 if serve.shed / (serve.admitted + serve.shed + "
+        "serve.quota_rejected) in --metrics exceeds PCT percent "
+        "(requires --metrics)",
+    )
+    parser.add_argument(
+        "--fail-high-pri-p99-above",
+        type=float,
+        default=None,
+        metavar="US",
+        help="exit 1 if the serve.interactive_latency_us p99 in --metrics "
         "exceeds US microseconds (requires --metrics)",
     )
     parser.add_argument(
@@ -441,6 +473,14 @@ def main():
     if args.fail_p99_above is not None and args.metrics is None:
         print("--fail-p99-above requires --metrics", file=sys.stderr)
         return 2
+    if args.fail_shed_rate_above is not None and args.metrics is None:
+        print("--fail-shed-rate-above requires --metrics", file=sys.stderr)
+        return 2
+    if args.fail_high_pri_p99_above is not None and args.metrics is None:
+        print(
+            "--fail-high-pri-p99-above requires --metrics", file=sys.stderr
+        )
+        return 2
     if args.metrics is not None:
         with open(args.metrics) as f:
             metrics_doc = json.load(f)
@@ -536,6 +576,79 @@ def main():
         elif args.fail_p99_above is not None:
             print(
                 "FAIL: --metrics lacks the serve.request_latency_us "
+                "histogram to gate on",
+                file=sys.stderr,
+            )
+            failed = True
+
+        # Overload shed rate: of the traffic that passed quota, how much
+        # did admission control turn away? Quota rejections are excluded
+        # from the numerator (they are per-tenant policy, not pressure)
+        # but kept in the denominator so a quota-heavy run cannot hide a
+        # shedding spike behind a shrunken base.
+        shed = float(counters.get("serve.shed", 0))
+        admitted = float(counters.get("serve.admitted", 0))
+        quota_rejected = float(counters.get("serve.quota_rejected", 0))
+        offered = admitted + shed + quota_rejected
+        if offered > 0:
+            shed_rate = shed / offered * 100.0
+            print(
+                f"\noverload shedding: {shed:,.0f} shed / {offered:,.0f} "
+                f"offered = {shed_rate:.1f}% shed rate"
+            )
+            if (
+                args.fail_shed_rate_above is not None
+                and shed_rate > args.fail_shed_rate_above
+            ):
+                print(
+                    f"FAIL: shed rate {shed_rate:.1f}% above the "
+                    f"--fail-shed-rate-above "
+                    f"{args.fail_shed_rate_above:.1f}% threshold",
+                    file=sys.stderr,
+                )
+                failed = True
+        elif args.fail_shed_rate_above is not None:
+            print(
+                "FAIL: no serve.admitted/serve.shed counters to gate on",
+                file=sys.stderr,
+            )
+            failed = True
+
+        # Interactive-class tail latency under overload: the priority
+        # scheduler's isolation guarantee, measured on completed
+        # interactive requests only.
+        interactive = metrics_doc.get("histograms", {}).get(
+            "serve.interactive_latency_us"
+        )
+        if interactive is not None:
+            hp50 = percentile(interactive, 50.0)
+            hp99 = percentile(interactive, 99.0)
+            if hp50 is not None and hp99 is not None:
+                print(
+                    f"\ninteractive latency: p50 {hp50:,.0f} us, p99 "
+                    f"{hp99:,.0f} us over "
+                    f"{int(sum(interactive.get('counts', [])))} request(s)"
+                )
+                if (
+                    args.fail_high_pri_p99_above is not None
+                    and hp99 > args.fail_high_pri_p99_above
+                ):
+                    print(
+                        f"FAIL: interactive p99 {hp99:,.0f} us above the "
+                        f"--fail-high-pri-p99-above "
+                        f"{args.fail_high_pri_p99_above:,.0f} us threshold",
+                        file=sys.stderr,
+                    )
+                    failed = True
+            elif args.fail_high_pri_p99_above is not None:
+                print(
+                    "FAIL: serve.interactive_latency_us histogram is empty",
+                    file=sys.stderr,
+                )
+                failed = True
+        elif args.fail_high_pri_p99_above is not None:
+            print(
+                "FAIL: --metrics lacks the serve.interactive_latency_us "
                 "histogram to gate on",
                 file=sys.stderr,
             )

@@ -65,7 +65,11 @@ Status FaultRegistry::Check(const std::string& point) {
   std::string message = entry.spec.message.empty()
                             ? "injected fault at '" + point + "'"
                             : entry.spec.message;
-  return Status(entry.spec.code, std::move(message));
+  Status injected(entry.spec.code, std::move(message));
+  if (entry.spec.retry_after_ms > 0) {
+    injected = injected.WithRetryAfter(entry.spec.retry_after_ms);
+  }
+  return injected;
 }
 
 }  // namespace greater

@@ -50,6 +50,13 @@ namespace greater {
 ///   "serve.pack"          serving packing sweep, once per request as its
 ///                         first lanes are packed: the tripped request
 ///                         fails typed, co-scheduled requests proceed
+///   "serve.evict"         memory-pressure eviction sweep, once per
+///                         eviction candidate: a fired fault aborts the
+///                         sweep, leaving the bundle resident (models a
+///                         pinned or unevictable bundle)
+///   "serve.reload"        evicted-bundle reload on the tenant's next
+///                         request: the submit that needed the reload
+///                         fails typed; the bundle stays evicted
 struct FaultSpec {
   static constexpr size_t kUnlimited = static_cast<size_t>(-1);
 
@@ -57,6 +64,10 @@ struct FaultSpec {
   StatusCode code = StatusCode::kInternal;
   /// Error message; empty -> "injected fault at '<point>'".
   std::string message;
+  /// When > 0, the injected Status carries this retry-after hint
+  /// (Status::WithRetryAfter) — lets tests exercise hint-honoring backoff
+  /// paths without a real overloaded server.
+  uint64_t retry_after_ms = 0;
   /// Number of hits that pass through before the point becomes eligible.
   size_t skip_hits = 0;
   /// Maximum number of times the point fires; further hits pass through.

@@ -40,11 +40,21 @@ Status Status::WithContext(std::string context) const {
   return annotated;
 }
 
+Status Status::WithRetryAfter(uint64_t retry_after_ms) const {
+  if (ok()) return *this;
+  Status hinted = *this;
+  hinted.retry_after_ms_ = retry_after_ms;
+  return hinted;
+}
+
 std::string Status::ToString() const {
   if (ok()) return "OK";
   std::string out = StatusCodeToString(code_);
   out += ": ";
   out += message_;
+  if (retry_after_ms_.has_value()) {
+    out += " (retry after " + std::to_string(*retry_after_ms_) + " ms)";
+  }
   for (const std::string& frame : context_) {
     out += "; while ";
     out += frame;

@@ -78,6 +78,18 @@ class Status {
   StatusCode code() const { return code_; }
   const std::string& message() const { return message_; }
 
+  /// Returns a copy carrying a retry-after hint: the producer's estimate of
+  /// how long the caller should back off before resubmitting. Attached by
+  /// admission-control rejections (per-tenant quota, load shedding) so
+  /// clients can pace themselves instead of hammering an overloaded
+  /// server; honored by RecoverySupervisor in place of its own backoff
+  /// schedule. OK statuses pass through unchanged. The hint survives
+  /// WithContext (provenance frames copy the whole payload).
+  Status WithRetryAfter(uint64_t retry_after_ms) const;
+
+  /// The retry-after hint, if the producer attached one.
+  std::optional<uint64_t> retry_after_ms() const { return retry_after_ms_; }
+
   /// Returns a copy with `context` appended to the provenance chain. Each
   /// propagation layer adds one frame (innermost first), so a failure deep
   /// inside a pipeline reports the whole path it bubbled through:
@@ -96,13 +108,15 @@ class Status {
 
   bool operator==(const Status& other) const {
     return code_ == other.code_ && message_ == other.message_ &&
-           context_ == other.context_;
+           context_ == other.context_ &&
+           retry_after_ms_ == other.retry_after_ms_;
   }
 
  private:
   StatusCode code_;
   std::string message_;
   std::vector<std::string> context_;
+  std::optional<uint64_t> retry_after_ms_;
 };
 
 inline std::ostream& operator<<(std::ostream& os, const Status& s) {

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cmath>
+#include <filesystem>
 #include <utility>
 
 #include "common/fault.h"
@@ -17,33 +19,55 @@ namespace {
 // hot paths pay one relaxed atomic op per event.
 struct ServeCounters {
   Counter* requests;
+  Counter* admitted;
   Counter* completed;
   Counter* failed;
   Counter* cancelled;
+  Counter* shed;
+  Counter* quota_rejected;
   Counter* deadline_exceeded;
   Counter* rejected;
   Counter* rows;
   Counter* batches;
   Counter* cross_request_batches;
+  Counter* brownout_entered;
+  Counter* brownout_exited;
+  Counter* evictions;
+  Counter* reloads;
   Gauge* queue_depth;
   Gauge* open_requests;
+  Gauge* brownout;
+  Gauge* resident_bundle_bytes;
   Histogram* latency_us;
+  Histogram* interactive_latency_us;
   Histogram* lanes_per_batch;
   ServeCounters() {
     MetricsRegistry& registry = MetricsRegistry::Global();
     requests = &registry.GetCounter("serve.requests");
+    admitted = &registry.GetCounter("serve.admitted");
     completed = &registry.GetCounter("serve.requests_completed");
     failed = &registry.GetCounter("serve.requests_failed");
     cancelled = &registry.GetCounter("serve.requests_cancelled");
+    shed = &registry.GetCounter("serve.shed");
+    quota_rejected = &registry.GetCounter("serve.quota_rejected");
     deadline_exceeded = &registry.GetCounter("serve.deadline_exceeded");
     rejected = &registry.GetCounter("serve.rejected");
     rows = &registry.GetCounter("serve.rows");
     batches = &registry.GetCounter("serve.batches");
     cross_request_batches =
         &registry.GetCounter("serve.cross_request_batches");
+    brownout_entered = &registry.GetCounter("serve.brownout_entered");
+    brownout_exited = &registry.GetCounter("serve.brownout_exited");
+    evictions = &registry.GetCounter("serve.evictions");
+    reloads = &registry.GetCounter("serve.reloads");
     queue_depth = &registry.GetGauge("serve.queue_depth");
     open_requests = &registry.GetGauge("serve.open_requests");
+    brownout = &registry.GetGauge("serve.brownout");
+    resident_bundle_bytes =
+        &registry.GetGauge("serve.resident_bundle_bytes");
     latency_us = &registry.GetLatencyHistogram("serve.request_latency_us");
+    interactive_latency_us =
+        &registry.GetLatencyHistogram("serve.interactive_latency_us");
     lanes_per_batch = &registry.GetHistogram(
         "serve.lanes_per_batch",
         {1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0, 256.0});
@@ -55,10 +79,8 @@ const ServeCounters& GetServeCounters() {
   return counters;
 }
 
-uint64_t ElapsedUs(uint64_t since_ns) {
-  uint64_t now = Heartbeat::NowNs();
-  return now > since_ns ? (now - since_ns) / 1000 : 0;
-}
+constexpr const char* kClassNames[kNumRequestPriorities] = {
+    "interactive", "batch", "background"};
 
 }  // namespace
 
@@ -96,6 +118,10 @@ SynthesisServer::~SynthesisServer() {
   if (started_ && !finished_) Shutdown();
 }
 
+uint64_t SynthesisServer::NowNs() const {
+  return options_.clock_ns ? options_.clock_ns() : Heartbeat::NowNs();
+}
+
 Status SynthesisServer::AddTenant(
     const std::string& name, std::shared_ptr<const GreatSynthesizer> model) {
   if (started_) {
@@ -105,7 +131,12 @@ Status SynthesisServer::AddTenant(
     return Status::FailedPrecondition("tenant '" + name +
                                       "' needs a fitted model");
   }
-  if (!tenants_.emplace(name, std::move(model)).second) {
+  TenantState state;
+  state.model = std::move(model);
+  state.generation = ++generation_counter_;
+  state.quota = options_.default_quota;
+  state.last_used = ++lru_clock_;  // registration order seeds the LRU
+  if (!tenants_.emplace(name, std::move(state)).second) {
     return Status::AlreadyExists("tenant '" + name + "' already registered");
   }
   return Status::OK();
@@ -113,10 +144,51 @@ Status SynthesisServer::AddTenant(
 
 Status SynthesisServer::LoadTenant(const std::string& name,
                                    const std::string& path) {
+  if (started_) {
+    return Status::FailedPrecondition("LoadTenant after Start");
+  }
   auto model = std::make_shared<GreatSynthesizer>();
   GREATER_RETURN_NOT_OK(
       model->Load(path).WithContext("loading tenant '" + name + "'"));
-  return AddTenant(name, std::move(model));
+  if (!model->fitted()) {
+    return Status::FailedPrecondition("tenant '" + name +
+                                      "' needs a fitted model");
+  }
+  TenantState state;
+  state.model = std::move(model);
+  state.artifact_path = path;
+  std::error_code ec;
+  const auto size = std::filesystem::file_size(path, ec);
+  state.bytes = ec ? 0 : static_cast<uint64_t>(size);
+  state.generation = ++generation_counter_;
+  state.quota = options_.default_quota;
+  state.last_used = ++lru_clock_;  // registration order seeds the LRU
+  const uint64_t bytes = state.bytes;
+  if (!tenants_.emplace(name, std::move(state)).second) {
+    return Status::AlreadyExists("tenant '" + name + "' already registered");
+  }
+  resident_bytes_ += bytes;
+  GetServeCounters().resident_bundle_bytes->Set(
+      static_cast<double>(resident_bytes_));
+  // Registration itself respects the byte budget (single-threaded before
+  // Start, so the Locked discipline is trivially satisfied). The tenant
+  // just registered is the warmest; earlier registrations are the
+  // eviction candidates.
+  MaybeEvictLocked(&tenants_.find(name)->second);
+  return Status::OK();
+}
+
+Status SynthesisServer::SetTenantQuota(const std::string& name,
+                                       TenantQuota quota) {
+  if (started_) {
+    return Status::FailedPrecondition("SetTenantQuota after Start");
+  }
+  auto it = tenants_.find(name);
+  if (it == tenants_.end()) {
+    return Status::NotFound("unknown tenant '" + name + "'");
+  }
+  it->second.quota = quota;
+  return Status::OK();
 }
 
 Status SynthesisServer::Start() {
@@ -125,13 +197,17 @@ Status SynthesisServer::Start() {
     return Status::FailedPrecondition("Start with no tenants registered");
   }
   started_ = true;
-  admission_ = std::make_unique<BoundedQueue<std::shared_ptr<RequestTicket>>>(
-      "serve.admission", options_.admission_capacity);
   StreamOptions stream_options;
   stream_options.watchdog_timeout_ms = options_.watchdog_timeout_ms;
   stream_options.watchdog_poll_ms = options_.watchdog_poll_ms;
   runtime_ = std::make_unique<StreamRuntime>(stream_options);
-  runtime_->RegisterQueue(admission_.get());
+  for (size_t cls = 0; cls < kNumRequestPriorities; ++cls) {
+    admission_[cls] =
+        std::make_unique<BoundedQueue<std::shared_ptr<RequestTicket>>>(
+            std::string("serve.admission.") + kClassNames[cls],
+            options_.admission_capacity);
+    runtime_->RegisterQueue(admission_[cls].get());
+  }
   Heartbeat* admit_hb = runtime_->AddHeartbeat("serve.admitter");
   runtime_->Spawn("serve.admitter", admit_hb,
                   [this, admit_hb] { return AdmitterLoop(admit_hb); });
@@ -148,12 +224,190 @@ Status SynthesisServer::error() const {
   return runtime_ != nullptr ? runtime_->error() : Status::OK();
 }
 
+// ---------------------------------------------------------------------------
+// Quota, eviction, brownout
+
+Status SynthesisServer::AdmitQuotaLocked(TenantState* tenant,
+                                         const std::string& name, size_t rows,
+                                         uint64_t now_ns) {
+  const TenantQuota& quota = tenant->quota;
+  if (quota.max_open_lanes > 0 &&
+      tenant->open_lanes + rows > quota.max_open_lanes) {
+    return Status::ResourceExhausted(
+               "tenant '" + name + "' open-lane quota exceeded: " +
+               std::to_string(tenant->open_lanes) + " lanes in flight + " +
+               std::to_string(rows) + " requested > cap of " +
+               std::to_string(quota.max_open_lanes))
+        .WithRetryAfter(options_.quota_retry_after_ms);
+  }
+  if (quota.rows_per_sec > 0.0) {
+    const double burst =
+        quota.burst_rows > 0.0 ? quota.burst_rows : quota.rows_per_sec;
+    if (!tenant->bucket_primed) {
+      tenant->tokens = burst;
+      tenant->bucket_primed = true;
+    } else if (now_ns > tenant->last_refill_ns) {
+      const double elapsed_s =
+          static_cast<double>(now_ns - tenant->last_refill_ns) * 1e-9;
+      tenant->tokens =
+          std::min(burst, tenant->tokens + elapsed_s * quota.rows_per_sec);
+    }
+    tenant->last_refill_ns = now_ns;
+    const double need = static_cast<double>(rows);
+    if (tenant->tokens + 1e-9 < need) {
+      const double deficit = need - tenant->tokens;
+      const uint64_t refill_ms = static_cast<uint64_t>(
+          std::ceil(deficit / quota.rows_per_sec * 1000.0));
+      return Status::ResourceExhausted(
+                 "tenant '" + name + "' rows/sec quota exhausted: " +
+                 std::to_string(rows) + " rows requested with " +
+                 std::to_string(tenant->tokens) + " tokens in the bucket")
+          .WithRetryAfter(std::max<uint64_t>(1, refill_ms));
+    }
+    tenant->tokens -= need;
+  }
+  return Status::OK();
+}
+
+Status SynthesisServer::ReloadTenantLocked(TenantState* tenant,
+                                           const std::string& name) {
+  const ServeCounters& counters = GetServeCounters();
+  if (FaultRegistry::AnyArmed()) {
+    Status fault = FaultRegistry::Global().Check("serve.reload");
+    if (!fault.ok()) {
+      return fault.WithContext("reloading evicted tenant '" + name +
+                               "' from '" + tenant->artifact_path + "'");
+    }
+  }
+  auto model = std::make_shared<GreatSynthesizer>();
+  GREATER_RETURN_NOT_OK(model->Load(tenant->artifact_path)
+                            .WithContext("reloading evicted tenant '" + name +
+                                         "' from '" + tenant->artifact_path +
+                                         "'"));
+  tenant->model = std::move(model);
+  tenant->generation = ++generation_counter_;
+  tenant->last_used = ++lru_clock_;
+  resident_bytes_ += tenant->bytes;
+  counters.reloads->Increment();
+  counters.resident_bundle_bytes->Set(static_cast<double>(resident_bytes_));
+  // Reloading one bundle can push another cold tenant out — but never the
+  // one just reloaded: the triggering request pins it next.
+  MaybeEvictLocked(tenant);
+  return Status::OK();
+}
+
+void SynthesisServer::MaybeEvictLocked(const TenantState* keep) {
+  if (options_.max_resident_bundle_bytes == 0) return;
+  const ServeCounters& counters = GetServeCounters();
+  while (resident_bytes_ > options_.max_resident_bundle_bytes) {
+    // Coldest resident path-backed tenant with no open lanes. A bundle
+    // with admitted work is NEVER evicted — in-flight rows keep sampling
+    // against the exact snapshot they were admitted under.
+    TenantState* coldest = nullptr;
+    for (auto& [name, tenant] : tenants_) {
+      if (&tenant == keep) continue;
+      if (tenant.model == nullptr) continue;
+      if (tenant.artifact_path.empty()) continue;  // pinned
+      if (tenant.inflight > 0) continue;
+      if (coldest == nullptr || tenant.last_used < coldest->last_used) {
+        coldest = &tenant;
+      }
+    }
+    if (coldest == nullptr) return;  // nothing evictable; stay over budget
+    if (FaultRegistry::AnyArmed()) {
+      Status fault = FaultRegistry::Global().Check("serve.evict");
+      if (!fault.ok()) return;  // injected pin: abort this sweep
+    }
+    coldest->model.reset();
+    resident_bytes_ -= std::min(resident_bytes_, coldest->bytes);
+    counters.evictions->Increment();
+    counters.resident_bundle_bytes->Set(static_cast<double>(resident_bytes_));
+  }
+}
+
+void SynthesisServer::PruneWorkerSpaces(
+    std::unordered_map<uint64_t, WorkerSpace>* spaces) {
+  std::vector<uint64_t> resident;
+  {
+    std::lock_guard<std::mutex> lock(sched_mu_);
+    for (const auto& [name, tenant] : tenants_) {
+      if (tenant.model != nullptr) resident.push_back(tenant.generation);
+    }
+  }
+  for (auto it = spaces->begin(); it != spaces->end();) {
+    if (std::find(resident.begin(), resident.end(), it->first) ==
+        resident.end()) {
+      it = spaces->erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+size_t SynthesisServer::QueuedDepth() const {
+  size_t depth = 0;
+  for (const auto& queue : admission_) {
+    if (queue != nullptr) depth += queue->depth();
+  }
+  return depth;
+}
+
+void SynthesisServer::UpdatePressureLocked(uint64_t now_ns) {
+  const bool queue_cfg = options_.brownout_queue_high > 0;
+  const bool lanes_cfg = options_.brownout_lanes_high > 0;
+  if (!queue_cfg && !lanes_cfg) return;
+  const ServeCounters& counters = GetServeCounters();
+  const size_t queued = QueuedDepth();
+  size_t lanes = 0;
+  for (const auto& ticket : open_) {
+    lanes += ticket->request_.rows - ticket->rows_packed_;
+  }
+  if (!brownout_) {
+    const bool high =
+        (queue_cfg && queued >= options_.brownout_queue_high) ||
+        (lanes_cfg && lanes >= options_.brownout_lanes_high);
+    if (high) {
+      brownout_ = true;
+      brownout_since_ns_ = now_ns;
+      counters.brownout_entered->Increment();
+      counters.brownout->Set(1.0);
+    }
+    return;
+  }
+  // Hysteresis: exit only when every configured signal is at/below its low
+  // watermark AND the mode has been held for the minimum dwell — repeated
+  // high crossings inside one episode never re-enter (no flapping).
+  const size_t queue_low = options_.brownout_queue_low > 0
+                               ? options_.brownout_queue_low
+                               : options_.brownout_queue_high / 2;
+  const size_t lanes_low = options_.brownout_lanes_low > 0
+                               ? options_.brownout_lanes_low
+                               : options_.brownout_lanes_high / 2;
+  const bool low = (!queue_cfg || queued <= queue_low) &&
+                   (!lanes_cfg || lanes <= lanes_low);
+  if (low &&
+      now_ns >= brownout_since_ns_ + options_.brownout_min_dwell_ms * 1000000ull) {
+    brownout_ = false;
+    counters.brownout_exited->Increment();
+    counters.brownout->Set(0.0);
+  }
+}
+
+size_t SynthesisServer::EffectiveLaneBudgetLocked() const {
+  if (!brownout_) return options_.max_lanes_per_batch;
+  const size_t divisor = std::max<size_t>(1, options_.brownout_lanes_divisor);
+  return std::max<size_t>(1, options_.max_lanes_per_batch / divisor);
+}
+
+// ---------------------------------------------------------------------------
+// Submission
+
 std::shared_ptr<RequestTicket> SynthesisServer::Submit(
     SampleRequest request) {
   const ServeCounters& counters = GetServeCounters();
   counters.requests->Increment();
   std::shared_ptr<RequestTicket> ticket(new RequestTicket());
-  ticket->submit_ns_ = Heartbeat::NowNs();
+  ticket->submit_ns_ = NowNs();
   ticket->request_ = std::move(request);
   if (ticket->request_.deadline_ms > 0) {
     ticket->deadline_ns_ =
@@ -161,26 +415,46 @@ std::shared_ptr<RequestTicket> SynthesisServer::Submit(
   }
 
   if (!started_ || finished_) {
-    counters.rejected->Increment();
     return FailTicket(std::move(ticket),
-                      Status::FailedPrecondition("server is not running"));
+                      Status::FailedPrecondition("server is not running"),
+                      TerminalClass::kRejected);
   }
-  auto tenant = tenants_.find(ticket->request_.tenant);
-  if (tenant == tenants_.end()) {
-    counters.rejected->Increment();
+  // Resolve the tenant and (transparently) reload its bundle if a
+  // memory-pressure sweep evicted it. The ticket holds the model
+  // shared_ptr from here on, so a later eviction cannot free a bundle
+  // this request samples against.
+  TenantState* tenant = nullptr;
+  {
+    std::lock_guard<std::mutex> lock(sched_mu_);
+    auto it = tenants_.find(ticket->request_.tenant);
+    if (it != tenants_.end()) {
+      tenant = &it->second;
+      if (tenant->model == nullptr) {
+        Status reloaded = ReloadTenantLocked(tenant, it->first);
+        if (!reloaded.ok()) {
+          return FailTicket(std::move(ticket), std::move(reloaded),
+                            TerminalClass::kRejected);
+        }
+      }
+      tenant->last_used = ++lru_clock_;
+      ticket->model_ = tenant->model;
+      ticket->generation_ = tenant->generation;
+    }
+  }
+  if (tenant == nullptr) {
     return FailTicket(std::move(ticket),
                       Status::NotFound("unknown tenant '" +
-                                       ticket->request_.tenant + "'"));
+                                       ticket->request_.tenant + "'"),
+                      TerminalClass::kRejected);
   }
-  ticket->model_ = tenant->second.get();
 
   // Admission fault point: a fired fault rejects the request typed before
   // it ever enters the queue; nothing else in flight is disturbed.
   if (FaultRegistry::AnyArmed()) {
     Status fault = FaultRegistry::Global().Check("serve.admit");
     if (!fault.ok()) {
-      counters.rejected->Increment();
-      return FailTicket(std::move(ticket), std::move(fault));
+      return FailTicket(std::move(ticket), std::move(fault),
+                        TerminalClass::kRejected);
     }
   }
 
@@ -201,12 +475,12 @@ std::shared_ptr<RequestTicket> SynthesisServer::Submit(
     for (const auto& [column, value] : ticket->request_.conditioning) {
       Result<size_t> idx = schema.FieldIndex(column);
       if (!idx.ok()) {
-        counters.rejected->Increment();
         return FailTicket(std::move(ticket),
                           idx.status().WithContext(
                               "resolving conditioning column '" + column +
                               "' against tenant '" +
-                              ticket->request_.tenant + "'"));
+                              ticket->request_.tenant + "'"),
+                          TerminalClass::kRejected);
       }
       fields.push_back(schema.field(std::move(idx).ValueOrDie()));
       row.push_back(value);
@@ -214,50 +488,140 @@ std::shared_ptr<RequestTicket> SynthesisServer::Submit(
     Table conditions{Schema(std::move(fields))};
     Status appended = conditions.AppendRow(std::move(row));
     if (!appended.ok()) {
-      counters.rejected->Increment();
       return FailTicket(std::move(ticket),
-                        appended.WithContext("typing conditioning values"));
+                        appended.WithContext("typing conditioning values"),
+                        TerminalClass::kRejected);
     }
     ticket->conditions_ = std::move(conditions);
     ticket->has_conditions_ = true;
   }
 
   if (ticket->request_.rows == 0) {
+    counters.admitted->Increment();
     std::lock_guard<std::mutex> lock(ticket->mu_);
     FinalizeTicketLocked(ticket.get());
     return ticket;
   }
 
+  // Quota gate + admission accounting, atomically under the scheduler
+  // lock: charge the token bucket, reserve the open lanes, and join the
+  // live set.
   {
     std::lock_guard<std::mutex> lock(sched_mu_);
+    const uint64_t now_ns = NowNs();
+    Status quota = AdmitQuotaLocked(tenant, ticket->request_.tenant,
+                                    ticket->request_.rows, now_ns);
+    if (!quota.ok()) {
+      return FailTicket(std::move(ticket), std::move(quota),
+                        TerminalClass::kQuotaRejected);
+    }
+    tenant->inflight += 1;
+    tenant->open_lanes += ticket->request_.rows;
     live_.push_back(ticket);
+    counters.admitted->Increment();
+    UpdatePressureLocked(now_ns);
   }
+
+  const size_t cls = std::min<size_t>(
+      static_cast<size_t>(ticket->request_.priority),
+      kNumRequestPriorities - 1);
+  BoundedQueue<std::shared_ptr<RequestTicket>>& queue = *admission_[cls];
   counters.queue_depth->Add(1.0);
-  if (!admission_->Push(ticket)) {
-    // Closed or poisoned while (or before) we blocked: reject typed with
-    // the runtime error when there is one.
-    counters.queue_depth->Add(-1.0);
-    counters.rejected->Increment();
-    Status cause = runtime_->error();
-    RemoveLive(ticket.get());
-    return FailTicket(std::move(ticket),
-                      cause.ok() ? Status::FailedPrecondition(
-                                       "server stopped accepting requests")
-                                 : cause);
+  QueuePush pushed;
+  {
+    std::shared_ptr<RequestTicket> copy = ticket;
+    if (options_.admission_wait_ms == 0) {
+      // Legacy blocking backpressure: park until the class queue frees up.
+      pushed = queue.Push(std::move(copy)) ? QueuePush::kAccepted
+                                           : QueuePush::kDone;
+    } else {
+      pushed = queue.PushFor(options_.admission_wait_ms, &copy);
+    }
   }
-  return ticket;
+  if (pushed == QueuePush::kAccepted) return ticket;
+  counters.queue_depth->Add(-1.0);
+  RemoveLive(ticket.get());
+  if (pushed == QueuePush::kFull) {
+    // Bounded-wait admission timed out: shed this request typed, with a
+    // hint for when to come back.
+    return FailTicket(
+        std::move(ticket),
+        Status::ResourceExhausted(
+            "request shed: admission queue '" + queue.name() +
+            "' still full after " +
+            std::to_string(options_.admission_wait_ms) + " ms")
+            .WithRetryAfter(options_.shed_retry_after_ms),
+        TerminalClass::kShed);
+  }
+  // Closed or poisoned while (or before) we blocked: fail typed with the
+  // runtime error when there is one.
+  Status cause = runtime_->error();
+  return FailTicket(std::move(ticket),
+                    cause.ok() ? Status::FailedPrecondition(
+                                     "server stopped accepting requests")
+                               : cause,
+                    TerminalClass::kFailed);
+}
+
+// ---------------------------------------------------------------------------
+// Admission (admitter thread)
+
+void SynthesisServer::ShedQueuedOverflow() {
+  if (options_.shed_queue_depth == 0) return;
+  const ServeCounters& counters = GetServeCounters();
+  while (QueuedDepth() > options_.shed_queue_depth) {
+    // Lowest class first: background, then batch. Interactive work is
+    // never shed from the queue — if only interactive remains above the
+    // watermark, it stays queued (bounded by the class queue capacity).
+    std::shared_ptr<RequestTicket> victim;
+    bool popped_one = false;
+    for (size_t cls = kNumRequestPriorities; cls-- > 1;) {
+      if (admission_[cls]->PopFor(0, &victim) == QueuePop::kItem) {
+        popped_one = true;
+        break;
+      }
+    }
+    if (!popped_one) return;
+    counters.queue_depth->Add(-1.0);
+    RemoveLive(victim.get());
+    FailTicket(std::move(victim),
+               Status::ResourceExhausted(
+                   "request shed: admission backlog exceeds shed watermark "
+                   "of " +
+                   std::to_string(options_.shed_queue_depth))
+                   .WithRetryAfter(options_.shed_retry_after_ms),
+               TerminalClass::kShed);
+  }
+}
+
+void SynthesisServer::InsertOpenLocked(std::shared_ptr<RequestTicket> ticket) {
+  // Keep the packing window ordered by (priority class, admission order):
+  // the pack sweep walks front to back, so interactive lanes always pack
+  // before batch/background ones already waiting in the window.
+  const auto cls = static_cast<uint8_t>(ticket->request_.priority);
+  auto it = open_.begin();
+  while (it != open_.end() &&
+         static_cast<uint8_t>((*it)->request_.priority) <= cls) {
+    ++it;
+  }
+  open_.insert(it, std::move(ticket));
 }
 
 Status SynthesisServer::AdmitterLoop(Heartbeat* hb) {
   const ServeCounters& counters = GetServeCounters();
+  std::array<bool, kNumRequestPriorities> drained{};
+  size_t rr_class = 0;
+  uint32_t rr_budget = options_.priority_weights[0];
   for (;;) {
     hb->Beat();
     if (!runtime_->error().ok()) break;
+    ShedQueuedOverflow();
     // Respect the packing window: while it is full the request stays in
-    // the bounded queue, which is what makes Submit block — admission
-    // capacity plus window size bound the buffered requests.
+    // its bounded class queue, which is what makes Submit block —
+    // admission capacity plus window size bound the buffered requests.
     {
       std::unique_lock<std::mutex> lock(sched_mu_);
+      UpdatePressureLocked(NowNs());
       if (open_.size() >= options_.max_open_requests) {
         sched_cv_.wait_for(
             lock, std::chrono::milliseconds(options_.idle_poll_ms), [&] {
@@ -266,14 +630,47 @@ Status SynthesisServer::AdmitterLoop(Heartbeat* hb) {
         continue;
       }
     }
+    // Weighted round-robin over the class queues: class c is offered up
+    // to priority_weights[c] admissions per cycle while it has queued
+    // work; empty (or zero-weight) classes forfeit their share, so no
+    // bandwidth is wasted on idle classes.
     std::shared_ptr<RequestTicket> ticket;
-    QueuePop popped = admission_->PopFor(options_.idle_poll_ms, &ticket);
-    if (popped == QueuePop::kTimeout) continue;
-    if (popped == QueuePop::kDone) break;
+    bool got = false;
+    for (size_t scanned = 0; scanned < kNumRequestPriorities && !got;) {
+      if (rr_budget == 0) {
+        rr_class = (rr_class + 1) % kNumRequestPriorities;
+        rr_budget = options_.priority_weights[rr_class];
+        ++scanned;
+        continue;
+      }
+      QueuePop popped = admission_[rr_class]->PopFor(0, &ticket);
+      if (popped == QueuePop::kItem) {
+        got = true;
+        --rr_budget;
+        break;
+      }
+      if (popped == QueuePop::kDone) drained[rr_class] = true;
+      rr_budget = 0;  // empty: forfeit the rest of this class's share
+    }
+    if (!got) {
+      if (drained[0] && drained[1] && drained[2]) break;
+      // Idle: park on the highest-priority still-open queue so new work
+      // wakes us promptly; other classes are picked up within
+      // idle_poll_ms.
+      size_t park = 0;
+      while (park < kNumRequestPriorities && drained[park]) ++park;
+      QueuePop popped = admission_[park]->PopFor(options_.idle_poll_ms,
+                                                 &ticket);
+      if (popped == QueuePop::kDone) {
+        drained[park] = true;
+        continue;
+      }
+      if (popped != QueuePop::kItem) continue;
+    }
     counters.queue_depth->Add(-1.0);
     {
       std::lock_guard<std::mutex> lock(sched_mu_);
-      open_.push_back(std::move(ticket));
+      InsertOpenLocked(std::move(ticket));
       counters.open_requests->Set(static_cast<double>(open_.size()));
     }
     sched_cv_.notify_all();
@@ -286,8 +683,11 @@ Status SynthesisServer::AdmitterLoop(Heartbeat* hb) {
   return Status::OK();
 }
 
+// ---------------------------------------------------------------------------
+// Packing and decoding (worker threads)
+
 bool SynthesisServer::HasWorkLocked() const {
-  const uint64_t now_ns = Heartbeat::NowNs();
+  const uint64_t now_ns = NowNs();
   for (const auto& ticket : open_) {
     if (ticket->cancelled_.load(std::memory_order_relaxed)) return true;
     if (ticket->deadline_ns_ != 0 && now_ns >= ticket->deadline_ns_) {
@@ -301,21 +701,24 @@ bool SynthesisServer::HasWorkLocked() const {
 bool SynthesisServer::PackBundleLocked(Bundle* bundle) {
   const ServeCounters& counters = GetServeCounters();
   bundle->model = nullptr;
+  bundle->generation = 0;
   bundle->slices.clear();
   bundle->lanes = 0;
-  const uint64_t now_ns = Heartbeat::NowNs();
+  const uint64_t now_ns = NowNs();
+  UpdatePressureLocked(now_ns);
+  const size_t lane_budget = EffectiveLaneBudgetLocked();
   for (auto it = open_.begin();
-       it != open_.end() && bundle->lanes < options_.max_lanes_per_batch;) {
+       it != open_.end() && bundle->lanes < lane_budget;) {
     RequestTicket& ticket = **it;
     // Cancellation sweep: unpacked rows are never decoded; the ticket
     // goes terminal right here (rows already mid-batch are dropped on
     // delivery against done_).
     if (ticket.cancelled_.load(std::memory_order_relaxed)) {
-      counters.cancelled->Increment();
       {
         std::lock_guard<std::mutex> lock(ticket.mu_);
         CompleteTicketLocked(
-            &ticket, Status::Cancelled("request cancelled by the caller"));
+            &ticket, Status::Cancelled("request cancelled by the caller"),
+            TerminalClass::kCancelled);
       }
       RemoveLiveLockedHeld(&ticket);
       it = open_.erase(it);
@@ -337,7 +740,8 @@ bool SynthesisServer::PackBundleLocked(Bundle* bundle) {
                 " ms exceeded with " +
                 std::to_string(ticket.request_.rows - ticket.rows_packed_) +
                 " of " + std::to_string(ticket.request_.rows) +
-                " rows not yet packed"));
+                " rows not yet packed"),
+            TerminalClass::kFailed);
       }
       RemoveLiveLockedHeld(&ticket);
       it = open_.erase(it);
@@ -349,8 +753,9 @@ bool SynthesisServer::PackBundleLocked(Bundle* bundle) {
       it = open_.erase(it);
       continue;
     }
-    if (bundle->model != nullptr && ticket.model_ != bundle->model) {
-      ++it;  // different tenant model: waits for its own batch
+    if (bundle->model != nullptr &&
+        ticket.model_.get() != bundle->model.get()) {
+      ++it;  // different model snapshot: waits for its own batch
       continue;
     }
     // Pack fault point, evaluated once per request as its first lanes
@@ -362,16 +767,19 @@ bool SynthesisServer::PackBundleLocked(Bundle* bundle) {
         {
           std::lock_guard<std::mutex> lock(ticket.mu_);
           ++ticket.report_.injected_faults;
-          CompleteTicketLocked(&ticket, std::move(fault));
+          CompleteTicketLocked(&ticket, std::move(fault),
+                               TerminalClass::kFailed);
         }
         RemoveLiveLockedHeld(&ticket);
         it = open_.erase(it);
         continue;
       }
     }
-    if (bundle->model == nullptr) bundle->model = ticket.model_;
-    size_t take =
-        std::min(unpacked, options_.max_lanes_per_batch - bundle->lanes);
+    if (bundle->model == nullptr) {
+      bundle->model = ticket.model_;
+      bundle->generation = ticket.generation_;
+    }
+    size_t take = std::min(unpacked, lane_budget - bundle->lanes);
     bundle->slices.push_back(
         Slice{*it, ticket.rows_packed_, ticket.rows_packed_ + take});
     ticket.rows_packed_ += take;
@@ -387,7 +795,7 @@ bool SynthesisServer::PackBundleLocked(Bundle* bundle) {
 }
 
 Status SynthesisServer::WorkerLoop(Heartbeat* hb) {
-  std::unordered_map<const GreatSynthesizer*, WorkerSpace> spaces;
+  std::unordered_map<uint64_t, WorkerSpace> spaces;
   for (;;) {
     hb->Beat();
     Status err = runtime_->error();
@@ -419,6 +827,9 @@ Status SynthesisServer::WorkerLoop(Heartbeat* hb) {
     }
     if (bundle.lanes > 0) {
       RunBundle(&bundle, &spaces);
+      if (options_.max_resident_bundle_bytes > 0) {
+        PruneWorkerSpaces(&spaces);
+      }
       sched_cv_.notify_all();  // window space freed; wake the admitter
       continue;
     }
@@ -427,15 +838,17 @@ Status SynthesisServer::WorkerLoop(Heartbeat* hb) {
 }
 
 void SynthesisServer::RunBundle(
-    Bundle* bundle,
-    std::unordered_map<const GreatSynthesizer*, WorkerSpace>* spaces) {
+    Bundle* bundle, std::unordered_map<uint64_t, WorkerSpace>* spaces) {
   const ServeCounters& counters = GetServeCounters();
   const GreatSynthesizer& model = *bundle->model;
-  WorkerSpace& ws = (*spaces)[bundle->model];
+  WorkerSpace& ws = (*spaces)[bundle->generation];
   if (ws.engine == nullptr) {
     // The serving twin of GreatSynthesizer::InitWorkspace: a private
-    // engine and decode cache per (worker, model), kept warm across
-    // batches exactly like the serial workspace across Sample calls.
+    // engine and decode cache per (worker, bundle generation), kept warm
+    // across batches exactly like the serial workspace across Sample
+    // calls. The space pins the model so an eviction cannot free it under
+    // the engine.
+    ws.model = bundle->model;
     ws.engine = std::make_unique<BatchDecodeEngine>(model);
     const DecodeCacheOptions& cache_options = model.options().decode_cache;
     if (cache_options.enabled) {
@@ -501,13 +914,25 @@ void SynthesisServer::DeliverSlice(const Slice& slice,
                                        std::move((*rows)[offset + i]));
     }
     ticket.rows_done_ += count;
-    if (ticket.rows_done_ == ticket.request_.rows) {
-      FinalizeTicketLocked(&ticket);
-      completed = true;
-    }
+    completed = ticket.rows_done_ == ticket.request_.rows;
   }
-  if (completed) RemoveLive(&ticket);
+  if (!completed) return;
+  // Release the tenant's lanes and quota BEFORE the ticket goes terminal:
+  // a waiter that saw Wait() return must be able to admit a follow-up
+  // request into the freed capacity immediately. (Lock order forbids
+  // taking sched_mu_ while holding the ticket's mu_, hence two sections.)
+  RemoveLive(&ticket);
+  {
+    std::lock_guard<std::mutex> lock(ticket.mu_);
+    // A concurrent failure sweep (FailAllPending) may have gone terminal
+    // between the sections; its verdict stands.
+    if (ticket.done_) return;
+    FinalizeTicketLocked(&ticket);
+  }
 }
+
+// ---------------------------------------------------------------------------
+// Completion
 
 void SynthesisServer::FinalizeTicketLocked(RequestTicket* ticket) {
   // Rows arrive batch by batch, possibly out of order when a request spans
@@ -534,37 +959,66 @@ void SynthesisServer::FinalizeTicketLocked(RequestTicket* ticket) {
     if (!failure.ok()) break;
   }
   if (failure.ok()) {
-    CompleteTicketLocked(ticket, Status::OK());
-    ticket->result_ = builder.Build();
-    if (!ticket->result_.ok()) {
-      GetServeCounters().failed->Increment();
+    Result<Table> built = builder.Build();
+    if (built.ok()) {
+      ticket->result_ = std::move(built);
+      CompleteTicketLocked(ticket, Status::OK(), TerminalClass::kCompleted);
+    } else {
+      CompleteTicketLocked(ticket, built.status(), TerminalClass::kFailed);
     }
   } else {
-    CompleteTicketLocked(ticket, std::move(failure));
+    CompleteTicketLocked(ticket, std::move(failure), TerminalClass::kFailed);
   }
 }
 
 void SynthesisServer::CompleteTicketLocked(RequestTicket* ticket,
-                                           Status status) {
+                                           Status status, TerminalClass cls) {
   const ServeCounters& counters = GetServeCounters();
-  ticket->latency_us_ = ElapsedUs(ticket->submit_ns_);
-  counters.latency_us->Observe(static_cast<double>(ticket->latency_us_));
-  if (status.ok()) {
-    counters.completed->Increment();
-    counters.rows->Increment(ticket->report_.rows_emitted);
-  } else {
-    counters.failed->Increment();
-    ticket->result_ = std::move(status);
+  const uint64_t now_ns = NowNs();
+  ticket->latency_us_ = now_ns > ticket->submit_ns_
+                            ? (now_ns - ticket->submit_ns_) / 1000
+                            : 0;
+  const double latency = static_cast<double>(ticket->latency_us_);
+  counters.latency_us->Observe(latency);
+  switch (cls) {
+    case TerminalClass::kCompleted:
+      counters.completed->Increment();
+      counters.rows->Increment(ticket->report_.rows_emitted);
+      if (ticket->request_.priority == RequestPriority::kInteractive) {
+        counters.interactive_latency_us->Observe(latency);
+      }
+      break;
+    case TerminalClass::kFailed:
+      counters.failed->Increment();
+      break;
+    case TerminalClass::kCancelled:
+      counters.cancelled->Increment();
+      break;
+    case TerminalClass::kShed:
+      counters.shed->Increment();
+      break;
+    case TerminalClass::kRejected:
+      counters.rejected->Increment();
+      break;
+    case TerminalClass::kQuotaRejected:
+      counters.quota_rejected->Increment();
+      break;
   }
+  if (!status.ok()) ticket->result_ = std::move(status);
   ticket->report_.ExportToMetrics();
   ticket->done_ = true;
+  // Release the bundle reference: terminal tickets never pin an evicted
+  // model in memory.
+  ticket->model_.reset();
   ticket->cv_.notify_all();
 }
 
 std::shared_ptr<RequestTicket> SynthesisServer::FailTicket(
-    std::shared_ptr<RequestTicket> ticket, Status status) {
+    std::shared_ptr<RequestTicket> ticket, Status status, TerminalClass cls) {
   std::lock_guard<std::mutex> lock(ticket->mu_);
-  if (!ticket->done_) CompleteTicketLocked(ticket.get(), std::move(status));
+  if (!ticket->done_) {
+    CompleteTicketLocked(ticket.get(), std::move(status), cls);
+  }
   return ticket;
 }
 
@@ -577,6 +1031,17 @@ void SynthesisServer::RemoveLiveLockedHeld(const RequestTicket* ticket) {
   for (auto it = live_.begin(); it != live_.end(); ++it) {
     if (it->get() == ticket) {
       live_.erase(it);
+      auto tenant = tenants_.find(ticket->request_.tenant);
+      if (tenant != tenants_.end()) {
+        TenantState& state = tenant->second;
+        if (state.inflight > 0) --state.inflight;
+        state.open_lanes -=
+            std::min(state.open_lanes, ticket->request_.rows);
+      }
+      // Pressure may have dropped (brownout exit) and a now-idle tenant
+      // may be evictable.
+      MaybeEvictLocked();
+      UpdatePressureLocked(NowNs());
       return;
     }
   }
@@ -586,6 +1051,15 @@ void SynthesisServer::FailAllPending(const Status& error) {
   std::vector<std::shared_ptr<RequestTicket>> pending;
   {
     std::lock_guard<std::mutex> lock(sched_mu_);
+    for (const auto& ticket : live_) {
+      auto tenant = tenants_.find(ticket->request_.tenant);
+      if (tenant != tenants_.end()) {
+        TenantState& state = tenant->second;
+        if (state.inflight > 0) --state.inflight;
+        state.open_lanes -=
+            std::min(state.open_lanes, ticket->request_.rows);
+      }
+    }
     pending.swap(live_);
     open_.clear();
     GetServeCounters().open_requests->Set(0.0);
@@ -597,7 +1071,8 @@ void SynthesisServer::FailAllPending(const Status& error) {
         ticket.get(),
         error.ok() ? Status::FailedPrecondition(
                          "server shut down before the request completed")
-                   : error);
+                   : error,
+        TerminalClass::kFailed);
   }
 }
 
@@ -606,7 +1081,9 @@ Status SynthesisServer::Shutdown() {
     return Status::FailedPrecondition("Shutdown before Start");
   }
   if (finished_) return final_status_;
-  admission_->Close();
+  for (const auto& queue : admission_) {
+    if (queue != nullptr) queue->Close();
+  }
   sched_cv_.notify_all();
   final_status_ = runtime_->Finish();
   // A clean drain leaves nothing behind; a failed one (or a convicted

@@ -1,11 +1,13 @@
 #ifndef GREATER_SERVE_SYNTHESIS_SERVER_H_
 #define GREATER_SERVE_SYNTHESIS_SERVER_H_
 
+#include <array>
 #include <atomic>
 #include <condition_variable>
 #include <cstddef>
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -26,6 +28,36 @@
 
 namespace greater {
 
+/// Request service classes, in strictly decreasing scheduling preference.
+/// Interactive work is never load-shed from the queue; background work is
+/// shed first. Admission bandwidth between the classes follows
+/// ServeOptions::priority_weights, so lower classes still make progress
+/// under sustained interactive load (weighted, not strict, priority).
+enum class RequestPriority : uint8_t {
+  kInteractive = 0,  ///< latency-sensitive; never queue-shed
+  kBatch = 1,        ///< throughput work; shed after background
+  kBackground = 2,   ///< best-effort; first to shed under overload
+};
+inline constexpr size_t kNumRequestPriorities = 3;
+
+/// Per-tenant admission quota. Zero disables each dimension. Over-quota
+/// submissions complete typed kResourceExhausted carrying a retry-after
+/// hint (Status::retry_after_ms): the rows/sec rejection computes the
+/// token-bucket refill time, the open-lane rejection uses
+/// ServeOptions::quota_retry_after_ms.
+struct TenantQuota {
+  /// Sustained admission rate in rows/sec, enforced by a token bucket
+  /// refilled from the server clock. 0 = unlimited.
+  double rows_per_sec = 0.0;
+  /// Bucket capacity in rows (the tolerated burst). <= 0 defaults to one
+  /// second of refill (rows_per_sec).
+  double burst_rows = 0.0;
+  /// Cap on this tenant's admitted-but-not-terminal rows (its open lanes
+  /// across the queue, the packing window, and in-flight batches). 0 =
+  /// unlimited.
+  size_t max_open_lanes = 0;
+};
+
 /// One synthesis request against a named tenant model: sample `rows` rows,
 /// seeding the request's private stream family from `seed`. `conditioning`
 /// (optional) forces the named columns to the given values on every
@@ -38,9 +70,10 @@ namespace greater {
 ///   model.SampleRows(rows, &rng, /*pool=*/nullptr);
 /// (or SampleConditional over `rows` copies of the conditioning row, with
 /// the same fresh Rng) — no matter what else the server is doing, how its
-/// lanes were packed, or which worker ran them. The server derives the
-/// request's stream base exactly as SampleRows does and every row draws
-/// only from its own derived stream.
+/// lanes were packed, which worker ran them, what the request's priority
+/// was, or whether the tenant's bundle was evicted and reloaded in
+/// between. The server derives the request's stream base exactly as
+/// SampleRows does and every row draws only from its own derived stream.
 struct SampleRequest {
   std::string tenant;
   size_t rows = 0;
@@ -53,21 +86,27 @@ struct SampleRequest {
   /// decoded (rows already mid-batch are discarded on delivery). The
   /// report still reconciles — it only ever counts decoded rows.
   uint64_t deadline_ms = 0;
+  /// Service class; affects scheduling and shedding only, never output.
+  RequestPriority priority = RequestPriority::kInteractive;
 };
 
-/// SynthesisServer tuning knobs (see DESIGN.md, "Serving layer").
+/// SynthesisServer tuning knobs (see DESIGN.md, "Serving layer" and
+/// "Overload control & graceful degradation").
 struct ServeOptions {
   /// Sampler worker threads draining the packing window.
   size_t num_workers = 2;
-  /// Admission queue capacity — the backpressure surface: Submit blocks
-  /// once this many requests are queued but not yet admitted.
+  /// Per-priority-class admission queue capacity — the backpressure
+  /// surface: Submit blocks (or sheds, see admission_wait_ms) once this
+  /// many requests of one class are queued but not yet admitted.
   size_t admission_capacity = 64;
   /// Cross-request packing window: requests admitted (eligible for lane
   /// packing) at once. Queue capacity + window bounds buffered requests.
   size_t max_open_requests = 8;
   /// Decode lanes one packed batch may carry; a request with more rows is
   /// split across consecutive batches (packing order is deterministic but
-  /// irrelevant to output — every row owns its stream).
+  /// irrelevant to output — every row owns its stream). During brownout
+  /// the effective budget shrinks to
+  /// max(1, max_lanes_per_batch / brownout_lanes_divisor).
   size_t max_lanes_per_batch = 64;
   /// Watchdog conviction deadline for a worker stalled inside one batch.
   uint64_t watchdog_timeout_ms = 30000;
@@ -75,6 +114,68 @@ struct ServeOptions {
   /// Idle wake period: parked workers re-beat their heartbeat and re-scan
   /// for work (new requests, cancellations) this often.
   uint64_t idle_poll_ms = 5;
+
+  // Overload control ---------------------------------------------------------
+
+  /// How long Submit waits for admission-queue space before shedding the
+  /// request typed (kResourceExhausted + retry-after). 0 = legacy blocking
+  /// backpressure: Submit parks until space frees up.
+  uint64_t admission_wait_ms = 0;
+  /// Weighted round-robin admission shares for
+  /// {interactive, batch, background}. Per cycle, class c is offered up to
+  /// priority_weights[c] admissions while its queue has work; empty
+  /// classes forfeit their share. Guarantees progress for every class
+  /// with a nonzero weight (weight 0 starves that class deliberately).
+  std::array<uint32_t, kNumRequestPriorities> priority_weights = {8, 2, 1};
+  /// Queue-depth shed watermark: while the total queued (not yet admitted)
+  /// requests across all classes exceed this, the admitter sheds queued
+  /// work lowest-class-first — background, then batch, NEVER interactive.
+  /// 0 disables shedding.
+  size_t shed_queue_depth = 0;
+  /// Retry-after hint attached to shed rejections.
+  uint64_t shed_retry_after_ms = 50;
+  /// Retry-after hint attached to open-lane quota rejections (the rows/sec
+  /// rejection computes its own hint from the bucket deficit).
+  uint64_t quota_retry_after_ms = 100;
+  /// Quota applied to tenants without an explicit SetTenantQuota. Default
+  /// (all zero) = unlimited.
+  TenantQuota default_quota;
+
+  // Brownout -----------------------------------------------------------------
+  // Degraded mode with hysteresis: entered when total queued requests
+  // reach brownout_queue_high OR open unpacked lanes reach
+  // brownout_lanes_high; exited only when every configured signal is back
+  // at/below its low watermark AND the mode has been held for
+  // brownout_min_dwell_ms (no flapping at the boundary). While browned
+  // out, packed batches shrink (see max_lanes_per_batch) so admitted
+  // interactive work keeps flowing through smaller, lower-latency batches
+  // instead of queueing behind giant ones.
+
+  /// High/low queued-request watermarks. high 0 disables the queue signal;
+  /// low 0 defaults to high / 2.
+  size_t brownout_queue_high = 0;
+  size_t brownout_queue_low = 0;
+  /// High/low open-unpacked-lane watermarks. Same conventions.
+  size_t brownout_lanes_high = 0;
+  size_t brownout_lanes_low = 0;
+  /// Minimum time in brownout before an exit is considered.
+  uint64_t brownout_min_dwell_ms = 100;
+  /// Brownout lane-budget divisor (see max_lanes_per_batch).
+  size_t brownout_lanes_divisor = 4;
+
+  // Bundle eviction ----------------------------------------------------------
+
+  /// Resident-bundle byte budget across path-backed tenants (artifact file
+  /// size as the estimate). While over budget, the coldest idle
+  /// path-backed tenant's bundle is dropped and transparently reloaded
+  /// from its artifact on the tenant's next request. Pinned tenants
+  /// (AddTenant, no artifact path) and tenants with open lanes are never
+  /// evicted. 0 = unlimited (no eviction).
+  uint64_t max_resident_bundle_bytes = 0;
+
+  /// Injectable monotonic clock (ns) driving quotas, deadlines, brownout
+  /// dwell, and latency accounting. Defaults to Heartbeat::NowNs.
+  std::function<uint64_t()> clock_ns;
 };
 
 class SynthesisServer;
@@ -108,6 +209,8 @@ class RequestTicket {
   /// Submit-to-terminal latency. Read only after done().
   uint64_t latency_us() const { return latency_us_; }
 
+  RequestPriority priority() const { return request_.priority; }
+
  private:
   friend class SynthesisServer;
 
@@ -115,7 +218,12 @@ class RequestTicket {
 
   // Immutable after Submit ---------------------------------------------------
   SampleRequest request_;
-  const GreatSynthesizer* model_ = nullptr;
+  /// The model snapshot this request samples against. Holding the
+  /// shared_ptr keeps the bundle alive across an eviction of its tenant
+  /// mid-request; released on completion so terminal tickets never pin
+  /// memory.
+  std::shared_ptr<const GreatSynthesizer> model_;
+  uint64_t generation_ = 0;  ///< resident-bundle generation of model_
   uint64_t base_ = 0;        ///< stream base derived from request_.seed
   Table conditions_;         ///< one-row forced-column table
   bool has_conditions_ = false;
@@ -140,45 +248,71 @@ class RequestTicket {
 };
 
 /// Multi-tenant synthesis service: N named GreatSynthesizer bundles served
-/// as immutable shared models, a bounded admission queue in front of a
-/// cross-request packing window, and sampler workers that pack lanes from
-/// every same-tenant open request into shared BatchDecodeEngine batches —
-/// one grouped model evaluation per (context, allow-list) key per step
-/// across ALL packed requests, not per request.
+/// as immutable shared models, per-priority bounded admission queues in
+/// front of a cross-request packing window, and sampler workers that pack
+/// lanes from every same-model open request into shared BatchDecodeEngine
+/// batches — one grouped model evaluation per (context, allow-list) key
+/// per step across ALL packed requests, not per request.
+///
+/// Overload control (DESIGN.md, "Overload control & graceful
+/// degradation"): admission is priority-aware (weighted round-robin over
+/// the class queues, priority-ordered packing window), per-tenant
+/// token-bucket quotas reject over-quota work typed with a retry-after
+/// hint, a queue-depth watermark sheds queued background/batch work (never
+/// interactive), a brownout mode with hysteresis shrinks batch sizes under
+/// pressure, and a resident-byte budget evicts cold path-backed tenant
+/// bundles, transparently reloading them from the artifact store on the
+/// next request. None of this changes served bytes: an admitted request's
+/// output stays bitwise-identical to a direct Sample call.
 ///
 /// Threading: Submit is safe from any number of threads (it blocks on the
-/// admission queue when full — backpressure, never unbounded buffering).
-/// Tenant registration happens before Start. Worker liveness runs on the
-/// streaming watchdog: a worker stalled inside a batch past
-/// watchdog_timeout_ms fails the server with kDeadlineExceeded, every
-/// queue is poisoned, and all pending tickets complete with that error.
+/// admission queue when full — backpressure, never unbounded buffering —
+/// or sheds after admission_wait_ms when configured). Tenant registration
+/// happens before Start. Worker liveness runs on the streaming watchdog: a
+/// worker stalled inside a batch past watchdog_timeout_ms fails the server
+/// with kDeadlineExceeded, every queue is poisoned, and all pending
+/// tickets complete with that error.
 ///
 /// Fault points: "serve.admit" fires per Submit (the request is rejected
 /// typed before entering the queue); "serve.pack" fires once per request
 /// as its first lanes are packed (the request fails typed; co-scheduled
-/// requests are untouched). See common/fault.h.
+/// requests are untouched); "serve.evict" fires per eviction candidate
+/// (a fired fault aborts that eviction sweep — the bundle stays resident);
+/// "serve.reload" fires per evicted-bundle reload (the submit that needed
+/// the reload fails typed). See common/fault.h.
 class SynthesisServer {
  public:
   explicit SynthesisServer(const ServeOptions& options);
   ~SynthesisServer();
 
-  /// Registers a fitted model under `name`. Models are immutable while
-  /// served and may be shared between tenants. Before Start() only.
+  /// Registers a fitted model under `name`, pinned in memory (never
+  /// evicted — there is no artifact to reload it from). Models are
+  /// immutable while served and may be shared between tenants. Before
+  /// Start() only.
   Status AddTenant(const std::string& name,
                    std::shared_ptr<const GreatSynthesizer> model);
 
   /// Loads a saved synthesizer bundle (GreatSynthesizer::Save format) and
-  /// registers it under `name`. Before Start() only.
+  /// registers it under `name`. Path-backed tenants participate in
+  /// memory-pressure eviction: the bundle may be dropped while idle and is
+  /// reloaded from `path` on the tenant's next request. Before Start()
+  /// only.
   Status LoadTenant(const std::string& name, const std::string& path);
+
+  /// Overrides ServeOptions::default_quota for one registered tenant.
+  /// Before Start() only.
+  Status SetTenantQuota(const std::string& name, TenantQuota quota);
 
   /// Spawns the admitter, sampler workers, and watchdog. Requires at
   /// least one tenant.
   Status Start();
 
   /// Submits a request. Never blocks on decoding — only on admission-queue
-  /// backpressure. The returned ticket is terminal-typed on every failure
-  /// path (unknown tenant, injected admission fault, server stopped), so
-  /// callers can always Wait on it.
+  /// backpressure (bounded by admission_wait_ms when set). The returned
+  /// ticket is terminal-typed on every failure path (unknown tenant,
+  /// injected admission fault, over-quota, shed, server stopped), so
+  /// callers can always Wait on it. Quota and shed rejections carry a
+  /// retry-after hint (Status::retry_after_ms).
   std::shared_ptr<RequestTicket> Submit(SampleRequest request);
 
   /// Drains: closes admission, lets workers finish every admitted request,
@@ -195,78 +329,171 @@ class SynthesisServer {
   const ServeOptions& options() const { return options_; }
 
  private:
+  /// Everything the server tracks about one registered tenant: the
+  /// resident bundle (null while evicted), its artifact backing and byte
+  /// estimate, LRU/eviction state, and quota accounting. Guarded by
+  /// sched_mu_ after Start.
+  struct TenantState {
+    std::shared_ptr<const GreatSynthesizer> model;
+    std::string artifact_path;  ///< empty = pinned (AddTenant)
+    uint64_t bytes = 0;         ///< artifact size; 0 for pinned tenants
+    uint64_t generation = 0;    ///< bumped on every (re)load
+    uint64_t last_used = 0;     ///< LRU clock tick of the last submit
+    size_t inflight = 0;        ///< admitted, non-terminal requests
+    size_t open_lanes = 0;      ///< admitted, non-terminal rows
+    TenantQuota quota;
+    // Token bucket (rows/sec quota).
+    double tokens = 0.0;
+    uint64_t last_refill_ns = 0;
+    bool bucket_primed = false;
+  };
+
   /// One slice of a packed batch: rows [begin, end) of one ticket.
   struct Slice {
     std::shared_ptr<RequestTicket> ticket;
     size_t begin = 0;
     size_t end = 0;
   };
-  /// A packed batch: same-model lanes from one or more requests.
+  /// A packed batch: same-model lanes from one or more requests. Owns a
+  /// reference to the model so an eviction mid-batch cannot free it.
   struct Bundle {
-    const GreatSynthesizer* model = nullptr;
+    std::shared_ptr<const GreatSynthesizer> model;
+    uint64_t generation = 0;
     std::vector<Slice> slices;
     size_t lanes = 0;
   };
-  /// Per-(worker, model) decode state — the serving twin of
+  /// Per-(worker, bundle-generation) decode state — the serving twin of
   /// GreatSynthesizer's SamplerWorkspace: private cache and engine, never
   /// shared across workers, so the parallel determinism contract holds.
+  /// Keyed by generation (not model address) so a reload after eviction
+  /// can never alias a stale space through address reuse; holds the model
+  /// alive for the engine's lifetime.
   struct WorkerSpace {
+    std::shared_ptr<const GreatSynthesizer> model;
     std::unique_ptr<DecodeCache> cache;
     DecodeWorkspace decode;
     std::unique_ptr<BatchDecodeEngine> engine;
   };
 
+  /// How a ticket went terminal. Classes are disjoint, so the serve.*
+  /// terminal counters reconcile:
+  ///   requests == admitted + rejected + quota_rejected
+  ///   admitted == completed + failed + cancelled + shed
+  enum class TerminalClass {
+    kCompleted,      ///< served OK (serve.requests_completed)
+    kFailed,         ///< admitted, then failed typed (serve.requests_failed)
+    kCancelled,      ///< caller cancelled (serve.requests_cancelled)
+    kShed,           ///< load-shed under overload (serve.shed)
+    kRejected,       ///< never admitted: validation/fault (serve.rejected)
+    kQuotaRejected,  ///< never admitted: over quota (serve.quota_rejected)
+  };
+
+  uint64_t NowNs() const;
+
   Status AdmitterLoop(Heartbeat* hb);
   Status WorkerLoop(Heartbeat* hb);
 
+  /// Total requests queued (not yet admitted) across the class queues.
+  size_t QueuedDepth() const;
+  /// Sheds queued work lowest-class-first while QueuedDepth() exceeds the
+  /// shed watermark. Never sheds interactive requests. Admitter-only.
+  void ShedQueuedOverflow();
+  /// Inserts an admitted ticket into the packing window, keeping the
+  /// window ordered by (priority class, admission order).
+  void InsertOpenLocked(std::shared_ptr<RequestTicket> ticket);
+
+  /// Re-evaluates the brownout signals against the watermarks (with
+  /// hysteresis + minimum dwell) and flips the mode when warranted.
+  void UpdatePressureLocked(uint64_t now_ns);
+  /// max_lanes_per_batch, shrunk while browned out.
+  size_t EffectiveLaneBudgetLocked() const;
+
+  /// Token-bucket + open-lane quota admission check; charges the bucket
+  /// and returns OK, or returns the typed rejection with its retry-after
+  /// hint.
+  Status AdmitQuotaLocked(TenantState* tenant, const std::string& name,
+                          size_t rows, uint64_t now_ns);
+
+  /// Reloads an evicted tenant's bundle from its artifact (fault point
+  /// "serve.reload"), bumping the generation and the resident-byte
+  /// accounting.
+  Status ReloadTenantLocked(TenantState* tenant, const std::string& name);
+  /// Evicts coldest idle path-backed bundles while over the resident-byte
+  /// budget (fault point "serve.evict" aborts the sweep). `keep` exempts
+  /// the tenant a caller is actively (re)loading a bundle for: without it
+  /// a reload sweep could evict the very bundle the in-hand request is
+  /// about to pin, handing that request a null model.
+  void MaybeEvictLocked(const TenantState* keep = nullptr);
+  /// Drops per-worker decode state whose bundle generation is no longer
+  /// resident (evicted or superseded by a reload).
+  void PruneWorkerSpaces(std::unordered_map<uint64_t, WorkerSpace>* spaces);
+
   /// Scheduler-locked packing sweep: finalizes cancellations and
-  /// pack-fault trips, picks the oldest open request's model, and fills
-  /// `bundle` with up to max_lanes_per_batch lanes from every open request
-  /// of that model, oldest first. True when the bundle has lanes.
+  /// pack-fault trips, picks the highest-priority open request's model,
+  /// and fills `bundle` with up to the effective lane budget from every
+  /// open request of that model, window order first. True when the bundle
+  /// has lanes.
   bool PackBundleLocked(Bundle* bundle);
   /// True when the packing sweep would find anything to do.
   bool HasWorkLocked() const;
 
-  void RunBundle(
-      Bundle* bundle,
-      std::unordered_map<const GreatSynthesizer*, WorkerSpace>* spaces);
+  void RunBundle(Bundle* bundle,
+                 std::unordered_map<uint64_t, WorkerSpace>* spaces);
   void DeliverSlice(const Slice& slice, const SampleReport& slice_report,
                     std::vector<Result<Row>>* rows, size_t offset);
 
   /// Builds the final table (honoring the model's SamplePolicy) and marks
   /// the ticket terminal. Caller holds ticket->mu_.
   void FinalizeTicketLocked(RequestTicket* ticket);
-  /// Marks a ticket terminal with `status`. Caller holds ticket->mu_.
-  void CompleteTicketLocked(RequestTicket* ticket, Status status);
+  /// Marks a ticket terminal with `status`, counted under `cls`. Caller
+  /// holds ticket->mu_.
+  void CompleteTicketLocked(RequestTicket* ticket, Status status,
+                            TerminalClass cls);
   /// Completes a never-admitted or swept ticket with `status` (takes the
   /// ticket lock itself; must not hold it).
   std::shared_ptr<RequestTicket> FailTicket(
-      std::shared_ptr<RequestTicket> ticket, Status status);
+      std::shared_ptr<RequestTicket> ticket, Status status,
+      TerminalClass cls);
   /// Fails every in-flight ticket with `error` — the runtime-failure and
   /// shutdown sweep. Idempotent; skips terminal tickets.
   void FailAllPending(const Status& error);
   void RemoveLive(const RequestTicket* ticket);
-  /// RemoveLive body for callers already holding sched_mu_.
+  /// RemoveLive body for callers already holding sched_mu_: erases the
+  /// ticket from the live set and releases its tenant admission
+  /// accounting (inflight, open lanes), then re-checks eviction pressure.
   void RemoveLiveLockedHeld(const RequestTicket* ticket);
 
   const ServeOptions options_;
-  std::map<std::string, std::shared_ptr<const GreatSynthesizer>> tenants_;
+  /// Tenant registry. Insert-only before Start; after Start the map shape
+  /// is frozen but TenantState contents are guarded by sched_mu_
+  /// (std::map nodes are address-stable, so TenantState* stay valid).
+  std::map<std::string, TenantState> tenants_;
   bool started_ = false;
   bool finished_ = false;
   Status final_status_;
+  uint64_t generation_counter_ = 0;
 
-  std::unique_ptr<BoundedQueue<std::shared_ptr<RequestTicket>>> admission_;
+  /// One bounded admission queue per priority class.
+  std::array<std::unique_ptr<BoundedQueue<std::shared_ptr<RequestTicket>>>,
+             kNumRequestPriorities>
+      admission_;
   std::unique_ptr<StreamRuntime> runtime_;
 
-  /// Scheduler state: the packing window (admission-ordered), the set of
-  /// every non-terminal ticket (for the failure sweep), and the admitter's
-  /// drain flag. sched_mu_ may be taken before a ticket's mu_, never
-  /// after.
+  /// Scheduler state: the packing window (priority-then-admission
+  /// ordered), the set of every non-terminal admitted ticket (for the
+  /// failure sweep and quota accounting), the admitter's drain flag, and
+  /// the overload-control state (brownout, LRU clock, resident bytes).
+  /// sched_mu_ may be taken before a ticket's mu_ and before a queue's
+  /// internal lock (depth()), never after either.
   mutable std::mutex sched_mu_;
   std::condition_variable sched_cv_;
   std::deque<std::shared_ptr<RequestTicket>> open_;
   std::vector<std::shared_ptr<RequestTicket>> live_;
   bool admitter_done_ = false;
+  bool brownout_ = false;
+  uint64_t brownout_since_ns_ = 0;
+  uint64_t lru_clock_ = 0;
+  uint64_t resident_bytes_ = 0;
 };
 
 }  // namespace greater

@@ -104,6 +104,16 @@ SampleRequest WorkloadGenerator::Next() {
     request.conditioning[tenant.cond_column] =
         Value(tenant.cond_values[value]);
   }
+  if (options_.batch_fraction > 0.0 || options_.background_fraction > 0.0) {
+    // One extra draw, taken only when a priority mix is configured, so
+    // legacy (all-interactive) workloads replay bit-for-bit.
+    const double u = rng_.Uniform();
+    if (u < options_.background_fraction) {
+      request.priority = RequestPriority::kBackground;
+    } else if (u < options_.background_fraction + options_.batch_fraction) {
+      request.priority = RequestPriority::kBatch;
+    }
+  }
   request.seed = rng_.engine()();
   return request;
 }

@@ -77,6 +77,11 @@ struct WorkloadOptions {
   /// Per-request row count, uniform in [min_rows, max_rows].
   size_t min_rows = 1;
   size_t max_rows = 16;
+  /// Priority mix: probability the next request is tagged kBatch /
+  /// kBackground (the remainder is kInteractive). Both zero (default)
+  /// consumes no extra rng draw, so legacy workloads replay unchanged.
+  double batch_fraction = 0.0;
+  double background_fraction = 0.0;
 };
 
 /// Deterministic stream of SampleRequests over a fixed tenant set: tenant

@@ -23,6 +23,14 @@ enum class QueuePop {
   kDone,     ///< closed-and-drained or poisoned: no item will ever arrive
 };
 
+/// Outcome of a non-blocking or bounded-duration Push
+/// (BoundedQueue::TryPush / PushFor).
+enum class QueuePush {
+  kAccepted,  ///< the item entered the queue
+  kFull,      ///< capacity held for the whole wait; the item was NOT taken
+  kDone,      ///< closed or poisoned: the item was NOT taken and never will be
+};
+
 /// Type-erased control surface of a BoundedQueue, so the stream runtime
 /// can poison every queue in a pipeline without knowing element types.
 class QueueControl {
@@ -86,16 +94,60 @@ class BoundedQueue final : public QueueControl {
       full_waits_.Increment();
       not_full_.wait(lock);
     }
-    items_.push_back(std::move(item));
-    size_t depth = items_.size();
-    depth_gauge_.Set(static_cast<int64_t>(depth));
-    if (static_cast<int64_t>(depth) > peak_) {
-      peak_ = static_cast<int64_t>(depth);
-      peak_gauge_.Set(peak_);
-    }
-    lock.unlock();
-    not_empty_.notify_one();
+    AppendLocked(std::move(item), lock);
     return true;
+  }
+
+  /// Non-blocking Push: admission paths that must never stall a submitter
+  /// use this (and PushFor) instead of Push. `*item` is moved from ONLY on
+  /// kAccepted — on kFull/kDone the caller still owns it and can shed,
+  /// retry, or fail it typed. FIFO order is identical to Push (same tail
+  /// append under the same lock).
+  QueuePush TryPush(T* item) {
+    std::unique_lock<std::mutex> lock(mu_);
+    if (poisoned_ || closed_) return QueuePush::kDone;
+    if (items_.size() >= capacity_) return QueuePush::kFull;
+    AppendLocked(std::move(*item), lock);
+    return QueuePush::kAccepted;
+  }
+
+  /// Push with a bounded wait: blocks up to `timeout_ms` for capacity,
+  /// then gives up with kFull instead of waiting forever — the overload
+  /// contract of serving admission (a submitter behind a stuffed queue is
+  /// shed with a retry-after hint, never parked indefinitely). Shares
+  /// Push's semantics otherwise, including the `stream.queue_full` fault
+  /// point and the `stream.queue_full_waits` counter on each blocked wait.
+  QueuePush PushFor(uint64_t timeout_ms, T* item) {
+    std::unique_lock<std::mutex> lock(mu_);
+    const auto deadline = std::chrono::steady_clock::now() +
+                          std::chrono::milliseconds(timeout_ms);
+    while (true) {
+      if (poisoned_ || closed_) return QueuePush::kDone;
+      if (items_.size() < capacity_) break;
+      if (FaultRegistry::AnyArmed()) {
+        Status injected = FaultRegistry::Global().Check("stream.queue_full");
+        if (!injected.ok()) {
+          PoisonLocked(std::move(injected), lock);
+          return QueuePush::kDone;
+        }
+      }
+      if (std::chrono::steady_clock::now() >= deadline) {
+        return QueuePush::kFull;
+      }
+      full_waits_.Increment();
+      not_full_.wait_until(lock, deadline);
+    }
+    AppendLocked(std::move(*item), lock);
+    return QueuePush::kAccepted;
+  }
+
+  /// Items currently buffered. A watermark hook for overload controllers
+  /// (queue-depth shedding and brownout entry read this), not a
+  /// synchronization primitive — the value is stale the moment the lock
+  /// drops.
+  size_t depth() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return items_.size();
   }
 
   /// Blocks until an item, end-of-stream, or poison. nullopt means "no
@@ -161,6 +213,22 @@ class BoundedQueue final : public QueueControl {
   BoundedQueue& operator=(const BoundedQueue&) = delete;
 
  private:
+  /// Shared tail of every accepting push: append, refresh the depth/peak
+  /// gauges, release the lock, and wake one consumer.
+  void AppendLocked(T item, std::unique_lock<std::mutex>& lock) {
+    items_.push_back(std::move(item));
+    size_t depth = items_.size();
+    depth_gauge_.Set(static_cast<int64_t>(depth));
+    if (static_cast<int64_t>(depth) > peak_) {
+      peak_ = static_cast<int64_t>(depth);
+      peak_gauge_.Set(peak_);
+    }
+    // Callers return right after; the unique_lock is left released (its
+    // destructor tolerates that), so the woken consumer can run at once.
+    lock.unlock();
+    not_empty_.notify_one();
+  }
+
   void PoisonLocked(Status error, std::unique_lock<std::mutex>& lock) {
     if (!poisoned_) {
       poisoned_ = true;

@@ -50,6 +50,11 @@ Counter& BackoffMsCounter() {
       &MetricsRegistry::Global().GetCounter("recovery.backoff_ms_total");
   return *c;
 }
+Counter& RetryAfterHonoredCounter() {
+  static Counter* c =
+      &MetricsRegistry::Global().GetCounter("recovery.retry_after_honored");
+  return *c;
+}
 
 uint64_t SteadyClockMs() {
   return static_cast<uint64_t>(
@@ -135,7 +140,14 @@ Result<Table> RecoverySupervisor::Supervise(
       return last_status.WithContext("recovery supervisor: unrecoverable");
     }
     if (attempt_idx == options_.max_retries) break;
-    if (has_deadline && options_.clock_ms() + backoff > deadline) {
+    // A failure carrying a retry-after hint (an overloaded server pacing
+    // its clients) overrides the local exponential schedule for this wait:
+    // the producer knows when capacity frees up better than our guess.
+    // The exponential schedule still advances underneath, so a later
+    // hint-less failure backs off from where it would have been.
+    const std::optional<uint64_t> hint = last_status.retry_after_ms();
+    const uint64_t wait = hint.has_value() ? *hint : backoff;
+    if (has_deadline && options_.clock_ms() + wait > deadline) {
       DeadlineCounter().Increment();
       last_status = last_status.WithContext(
           "recovery supervisor: row deadline budget of " +
@@ -143,8 +155,9 @@ Result<Table> RecoverySupervisor::Supervise(
       break;
     }
     RetriesCounter().Increment();
-    BackoffMsCounter().Increment(backoff);
-    options_.sleep_ms(backoff);
+    if (hint.has_value()) RetryAfterHonoredCounter().Increment();
+    BackoffMsCounter().Increment(wait);
+    options_.sleep_ms(wait);
     backoff = std::min(
         static_cast<uint64_t>(static_cast<double>(backoff) *
                               options_.backoff_multiplier),

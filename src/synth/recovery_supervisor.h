@@ -51,6 +51,12 @@ struct RecoveryOptions {
 ///      strict policy, torn-state kInternal errors.
 ///   2. A per-row deadline budget bounding the worst case: retries stop
 ///      when the next backoff would cross n * row_deadline_ms.
+///      When a failure carries a retry-after hint (Status::retry_after_ms,
+///      attached by serving-layer quota/shed rejections), the hint
+///      replaces the local exponential wait for that retry — the overload
+///      source paces the client (counted in
+///      recovery.retry_after_honored); the exponential schedule still
+///      advances for later hint-less failures.
 ///   3. A circuit breaker: after `circuit_failure_threshold` consecutive
 ///      calls exhaust their retries, the breaker opens and subsequent
 ///      calls run degraded (SamplePolicy::kLenient) immediately. The call

@@ -66,6 +66,32 @@ TEST(StatusTest, EqualityIncludesContext) {
   EXPECT_TRUE(framed == Status::Invalid("x").WithContext("frame"));
 }
 
+TEST(StatusTest, RetryAfterHintRoundTripsThroughContext) {
+  Status bare = Status::ResourceExhausted("over quota");
+  EXPECT_FALSE(bare.retry_after_ms().has_value());
+
+  Status hinted = bare.WithRetryAfter(250);
+  ASSERT_TRUE(hinted.retry_after_ms().has_value());
+  EXPECT_EQ(*hinted.retry_after_ms(), 250u);
+  // The original is untouched; WithRetryAfter is a value builder.
+  EXPECT_FALSE(bare.retry_after_ms().has_value());
+
+  // Context frames added above the hint preserve it — callers deep in a
+  // call chain still see the producer's pacing advice.
+  Status framed = hinted.WithContext("submitting to tenant 'alpha'");
+  ASSERT_TRUE(framed.retry_after_ms().has_value());
+  EXPECT_EQ(*framed.retry_after_ms(), 250u);
+  EXPECT_NE(framed.ToString().find("(retry after 250 ms)"),
+            std::string::npos);
+
+  // OK statuses never carry a hint, and the hint participates in equality.
+  EXPECT_FALSE(Status::OK().WithRetryAfter(10).retry_after_ms().has_value());
+  EXPECT_FALSE(hinted == bare);
+  EXPECT_TRUE(hinted == Status::ResourceExhausted("over quota").WithRetryAfter(250));
+  EXPECT_FALSE(hinted ==
+               Status::ResourceExhausted("over quota").WithRetryAfter(251));
+}
+
 Result<int> Half(int x) {
   if (x % 2 != 0) return Status::Invalid("odd");
   return x / 2;

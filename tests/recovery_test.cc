@@ -196,6 +196,53 @@ TEST_F(RecoveryTest, BackoffSequenceIsCappedExponential) {
   EXPECT_EQ(CounterValue("recovery.backoff_ms_total") - backoff_before, 80u);
 }
 
+TEST_F(RecoveryTest, RetryAfterHintOverridesBackoffSchedule) {
+  // A transient failure carrying a retry-after hint (as an overloaded
+  // server's quota/shed rejection does) replaces the exponential wait
+  // with the server-provided one; the exponential schedule still
+  // advances underneath so un-hinted failures resume where it left off.
+  FaultSpec spec = ExhaustedSpec(/*max_fires=*/3);
+  spec.retry_after_ms = 37;
+  ScopedFault fault("synth.sample_row", spec);
+  RecoveryOptions options = FastOptions();
+  options.max_retries = 4;
+  options.backoff_initial_ms = 10;
+  options.backoff_multiplier = 2.0;
+  options.backoff_max_ms = 1000;
+  options.circuit_failure_threshold = 100;
+  RecoverySupervisor supervisor(&synth_, options);
+  uint64_t honored_before = CounterValue("recovery.retry_after_honored");
+  uint64_t backoff_before = CounterValue("recovery.backoff_ms_total");
+
+  Rng rng(17);
+  Table sample = supervisor.Sample(4, &rng).ValueOrDie();
+  EXPECT_EQ(sample.num_rows(), 4u);
+  // Three hinted failures wait 37ms each — never 10/20/40.
+  EXPECT_EQ(slept_ms_, (std::vector<uint64_t>{37, 37, 37}));
+  EXPECT_EQ(CounterValue("recovery.retry_after_honored") - honored_before,
+            3u);
+  EXPECT_EQ(CounterValue("recovery.backoff_ms_total") - backoff_before,
+            111u);
+}
+
+TEST_F(RecoveryTest, RetryAfterHintCountsAgainstDeadline) {
+  FaultSpec spec = ExhaustedSpec();
+  spec.retry_after_ms = 500;  // hint far beyond the row budget
+  ScopedFault fault("synth.sample_row", spec);
+  RecoveryOptions options = FastOptions();
+  options.max_retries = 5;
+  options.row_deadline_ms = 1;  // 4 rows -> 4ms budget < 500ms hint
+  options.circuit_failure_threshold = 100;
+  RecoverySupervisor supervisor(&synth_, options);
+
+  Rng rng(17);
+  auto result = supervisor.Sample(4, &rng);
+  ASSERT_FALSE(result.ok());
+  EXPECT_TRUE(ContextMentions(result.status(), "deadline"));
+  // The supervisor refuses to sleep past the deadline even when hinted.
+  EXPECT_TRUE(slept_ms_.empty());
+}
+
 TEST_F(RecoveryTest, DeadlineAbandonsRetriesInsteadOfSleeping) {
   ScopedFault fault("synth.sample_row", ExhaustedSpec());
   RecoveryOptions options = FastOptions();

@@ -1,6 +1,8 @@
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <chrono>
+#include <filesystem>
 #include <map>
 #include <memory>
 #include <string>
@@ -461,9 +463,10 @@ TEST(SynthesisServerTest, ConcurrentSubmittersUnderTinyQueueAllComplete) {
   for (const Status& failure : failures) EXPECT_TRUE(failure.ok()) << failure;
   ASSERT_TRUE(server.Shutdown().ok());
 
-  // Backpressure held: the admission queue never buffered past capacity.
+  // Backpressure held: no class queue ever buffered past capacity (the
+  // default-priority requests all went through the interactive queue).
   EXPECT_LE(MetricsRegistry::Global()
-                .GetGauge("stream.queue_peak.serve.admission")
+                .GetGauge("stream.queue_peak.serve.admission.interactive")
                 .Value(),
             static_cast<double>(options.admission_capacity));
 }
@@ -512,6 +515,401 @@ TEST(SynthesisServerTest, WatchdogConvictsSilentlyDeadWorker) {
   }
 }
 
+// ---------- Overload control ----------
+
+// Snapshot of every serve.* counter the terminal-class reconciliation
+// invariant touches.
+struct ServeSnapshot {
+  uint64_t requests, admitted, completed, failed, cancelled, shed,
+      quota_rejected, rejected;
+  static ServeSnapshot Take() {
+    MetricsRegistry& r = MetricsRegistry::Global();
+    return ServeSnapshot{r.GetCounter("serve.requests").Value(),
+                         r.GetCounter("serve.admitted").Value(),
+                         r.GetCounter("serve.requests_completed").Value(),
+                         r.GetCounter("serve.requests_failed").Value(),
+                         r.GetCounter("serve.requests_cancelled").Value(),
+                         r.GetCounter("serve.shed").Value(),
+                         r.GetCounter("serve.quota_rejected").Value(),
+                         r.GetCounter("serve.rejected").Value()};
+  }
+};
+
+// Asserts the disjoint terminal-class accounting over a test window:
+//   requests == admitted + rejected + quota_rejected
+//   admitted == completed + failed + cancelled + shed
+void ExpectCountersReconcile(const ServeSnapshot& before) {
+  ServeSnapshot now = ServeSnapshot::Take();
+  EXPECT_EQ(now.requests - before.requests,
+            (now.admitted - before.admitted) +
+                (now.rejected - before.rejected) +
+                (now.quota_rejected - before.quota_rejected));
+  EXPECT_EQ(now.admitted - before.admitted,
+            (now.completed - before.completed) +
+                (now.failed - before.failed) +
+                (now.cancelled - before.cancelled) +
+                (now.shed - before.shed));
+}
+
+// Burst storm: a low-priority flood against a tiny admission surface plus
+// an interactive trickle. Only background work is ever shed (typed, with a
+// retry-after hint); every interactive request completes clean, and the
+// terminal counters reconcile exactly.
+TEST(SynthesisServerTest, BurstStormShedsOnlyBackground) {
+  MetricsRegistry& registry = MetricsRegistry::Global();
+  ServeSnapshot before = ServeSnapshot::Take();
+  Histogram& interactive_latency =
+      registry.GetLatencyHistogram("serve.interactive_latency_us");
+  uint64_t interactive_before = interactive_latency.TotalCount();
+
+  TenantSet set = MakeTenants(2);
+  ServeOptions options;
+  options.num_workers = 1;
+  options.max_open_requests = 2;
+  options.max_lanes_per_batch = 8;
+  options.admission_capacity = 4;    // tiny queue per class
+  options.admission_wait_ms = 1;     // shed instead of blocking Submit
+  options.shed_queue_depth = 3;      // admitter sheds queued overflow too
+  SynthesisServer server(options);
+  AddAll(&server, set);
+  ASSERT_TRUE(server.Start().ok());
+
+  // One long-running background request pins the worker so the flood
+  // genuinely queues.
+  SampleRequest pin;
+  pin.tenant = set.names[0];
+  pin.rows = 120;
+  pin.seed = 1;
+  pin.priority = RequestPriority::kBackground;
+  auto pin_ticket = server.Submit(pin);
+
+  std::vector<std::shared_ptr<RequestTicket>> flood;
+  std::vector<std::shared_ptr<RequestTicket>> interactive;
+  for (uint64_t i = 0; i < 40; ++i) {
+    SampleRequest low;
+    low.tenant = set.names[i % 2];
+    low.rows = 6;
+    low.seed = 1000 + i;
+    low.priority = RequestPriority::kBackground;
+    flood.push_back(server.Submit(low));
+    if (i % 8 == 0) {
+      SampleRequest high;
+      high.tenant = set.names[0];
+      high.rows = 3;
+      high.seed = 5000 + i;
+      high.priority = RequestPriority::kInteractive;
+      auto ticket = server.Submit(high);
+      // The trickle is paced: each interactive request finishes before the
+      // next arrives, exactly the latency-sensitive client the priority
+      // lane protects.
+      const Result<Table>& r = ticket->Wait();
+      ASSERT_TRUE(r.ok()) << r.status();
+      EXPECT_TRUE(ticket->report().Reconciles());
+      interactive.push_back(std::move(ticket));
+    }
+  }
+
+  size_t shed_count = 0;
+  for (auto& ticket : flood) {
+    const Result<Table>& r = ticket->Wait();
+    if (r.ok()) continue;
+    ASSERT_EQ(r.status().code(), StatusCode::kResourceExhausted)
+        << r.status();
+    // Every shed rejection tells the client when to come back.
+    ASSERT_TRUE(r.status().retry_after_ms().has_value()) << r.status();
+    EXPECT_EQ(*r.status().retry_after_ms(), options.shed_retry_after_ms);
+    ++shed_count;
+  }
+  ASSERT_TRUE(pin_ticket->Wait().ok()) << pin_ticket->Wait().status();
+  ASSERT_TRUE(server.Shutdown().ok());
+
+  // The storm actually shed background work, never interactive work.
+  EXPECT_GE(shed_count, 1u);
+  EXPECT_EQ(registry.GetCounter("serve.shed").Value() - before.shed,
+            shed_count);
+  EXPECT_EQ(interactive_latency.TotalCount() - interactive_before,
+            interactive.size());
+  ExpectCountersReconcile(before);
+}
+
+// Per-tenant token-bucket quotas under an injected clock: over-rate
+// submissions reject typed with the bucket's computed refill hint, lane
+// caps reject with the configured hint, and refilled buckets admit again.
+TEST(SynthesisServerTest, TenantQuotasRejectTypedWithRetryAfter) {
+  MetricsRegistry& registry = MetricsRegistry::Global();
+  ServeSnapshot before = ServeSnapshot::Take();
+  uint64_t quota_before = registry.GetCounter("serve.quota_rejected").Value();
+
+  std::atomic<uint64_t> now_ns{1};
+  TenantSet set = MakeTenants(2);
+  ServeOptions options;
+  options.num_workers = 1;
+  options.clock_ns = [&now_ns] { return now_ns.load(); };
+  SynthesisServer server(options);
+  AddAll(&server, set);
+  TenantQuota quota;
+  quota.rows_per_sec = 1000.0;
+  quota.burst_rows = 10.0;
+  ASSERT_TRUE(server.SetTenantQuota(set.names[0], quota).ok());
+  EXPECT_EQ(server.SetTenantQuota("nobody", quota).code(),
+            StatusCode::kNotFound);
+  ASSERT_TRUE(server.Start().ok());
+
+  // Drain the whole burst allowance in one request.
+  auto burst = server.Submit({set.names[0], 10, 7});
+  ASSERT_TRUE(burst->Wait().ok()) << burst->Wait().status();
+
+  // The bucket is empty: a 5-row request needs 5 tokens = 5 ms of refill.
+  auto rejected = server.Submit({set.names[0], 5, 8});
+  ASSERT_TRUE(rejected->done());  // quota rejections are terminal at Submit
+  const Status& verdict = rejected->Wait().status();
+  EXPECT_EQ(verdict.code(), StatusCode::kResourceExhausted) << verdict;
+  ASSERT_TRUE(verdict.retry_after_ms().has_value()) << verdict;
+  EXPECT_EQ(*verdict.retry_after_ms(), 5u);
+  EXPECT_NE(verdict.message().find("rows/sec quota"), std::string::npos);
+
+  // The unlimited tenant is untouched by its neighbor's quota.
+  auto neighbor = server.Submit({set.names[1], 5, 9});
+  ASSERT_TRUE(neighbor->Wait().ok()) << neighbor->Wait().status();
+
+  // Honoring the hint admits the request: advance the clock 5 ms.
+  now_ns.fetch_add(5ull * 1000000ull);
+  auto retried = server.Submit({set.names[0], 5, 8});
+  ASSERT_TRUE(retried->Wait().ok()) << retried->Wait().status();
+
+  ASSERT_TRUE(server.Shutdown().ok());
+  EXPECT_EQ(registry.GetCounter("serve.quota_rejected").Value() - quota_before,
+            1u);
+  ExpectCountersReconcile(before);
+}
+
+TEST(SynthesisServerTest, OpenLaneQuotaCapsInFlightRows) {
+  TenantSet set = MakeTenants(1);
+  ServeOptions options;
+  options.num_workers = 1;
+  options.quota_retry_after_ms = 123;
+  SynthesisServer server(options);
+  AddAll(&server, set);
+  TenantQuota quota;
+  quota.max_open_lanes = 8;
+  ASSERT_TRUE(server.SetTenantQuota(set.names[0], quota).ok());
+  ASSERT_TRUE(server.Start().ok());
+
+  // A request bigger than the cap can never be admitted.
+  auto too_big = server.Submit({set.names[0], 9, 5});
+  ASSERT_TRUE(too_big->done());
+  const Status& verdict = too_big->Wait().status();
+  EXPECT_EQ(verdict.code(), StatusCode::kResourceExhausted) << verdict;
+  ASSERT_TRUE(verdict.retry_after_ms().has_value()) << verdict;
+  EXPECT_EQ(*verdict.retry_after_ms(), 123u);
+  EXPECT_NE(verdict.message().find("open-lane quota"), std::string::npos);
+
+  // Lanes free as requests go terminal: a within-cap request admits.
+  auto fits = server.Submit({set.names[0], 8, 6});
+  ASSERT_TRUE(fits->Wait().ok()) << fits->Wait().status();
+  auto after = server.Submit({set.names[0], 8, 7});
+  ASSERT_TRUE(after->Wait().ok()) << after->Wait().status();
+  ASSERT_TRUE(server.Shutdown().ok());
+}
+
+// Memory-pressure eviction: with a budget that fits one bundle, serving
+// two path-backed tenants ping-pongs their bundles through the artifact
+// store — and every served table stays bitwise-identical to a direct
+// Sample against a freshly loaded model.
+TEST(SynthesisServerTest, EvictionAndReloadPreserveBitwiseOutput) {
+  namespace fs = std::filesystem;
+  MetricsRegistry& registry = MetricsRegistry::Global();
+  uint64_t evictions_before = registry.GetCounter("serve.evictions").Value();
+  uint64_t reloads_before = registry.GetCounter("serve.reloads").Value();
+
+  fs::path dir = fs::path(testing::TempDir()) / "greater_serve_evict";
+  fs::create_directories(dir);
+  std::vector<std::string> paths;
+  TenantSet set = MakeTenants(2);
+  for (size_t i = 0; i < set.models.size(); ++i) {
+    std::string path = (dir / ("tenant" + std::to_string(i) + ".gsb")).string();
+    ASSERT_TRUE(set.models[i]->Save(path).ok());
+    paths.push_back(std::move(path));
+  }
+  std::error_code ec;
+  const uint64_t bundle_bytes = fs::file_size(paths[0], ec);
+  ASSERT_FALSE(ec);
+  ASSERT_GT(bundle_bytes, 0u);
+
+  ServeOptions options;
+  options.num_workers = 1;
+  // Budget fits one bundle, never two: every tenant switch must evict the
+  // idle neighbor and reload from the artifact store.
+  options.max_resident_bundle_bytes = bundle_bytes + bundle_bytes / 2;
+  SynthesisServer server(options);
+  ASSERT_TRUE(server.LoadTenant("alpha", paths[0]).ok());
+  ASSERT_TRUE(server.LoadTenant("beta", paths[1]).ok());
+  ASSERT_TRUE(server.Start().ok());
+
+  const std::string tenants[] = {"alpha", "beta"};
+  for (uint64_t round = 0; round < 3; ++round) {
+    for (size_t t = 0; t < 2; ++t) {
+      const uint64_t seed = 40 + round * 2 + t;
+      auto ticket = server.Submit({tenants[t], 7, seed});
+      const Result<Table>& served = ticket->Wait();
+      ASSERT_TRUE(served.ok()) << served.status();
+      // Direct reference against a fresh load of the same artifact.
+      GreatSynthesizer direct_model;
+      ASSERT_TRUE(direct_model.Load(paths[t]).ok());
+      Rng rng(seed);
+      Table direct = direct_model.Sample(7, &rng).ValueOrDie();
+      ExpectTablesEqual(direct, served.ValueOrDie());
+    }
+  }
+  EXPECT_GE(registry.GetCounter("serve.evictions").Value() - evictions_before,
+            2u);
+  EXPECT_GE(registry.GetCounter("serve.reloads").Value() - reloads_before, 2u);
+  // The resident estimate respects the budget once everything is idle.
+  EXPECT_LE(registry.GetGauge("serve.resident_bundle_bytes").Value(),
+            static_cast<double>(options.max_resident_bundle_bytes));
+
+  // Reload fault: the submit that needs the evicted bundle fails typed;
+  // the server (and the other tenant) keep serving.
+  {
+    // The last round left beta resident and alpha evicted.
+    FaultSpec spec;
+    spec.code = StatusCode::kDataLoss;
+    spec.max_fires = 1;
+    ScopedFault fault("serve.reload", spec);
+    auto doomed = server.Submit({"alpha", 4, 99});
+    ASSERT_TRUE(doomed->done());
+    EXPECT_EQ(doomed->Wait().status().code(), StatusCode::kDataLoss);
+    EXPECT_NE(doomed->Wait().status().ToString().find(
+                  "reloading evicted tenant"),
+              std::string::npos);
+    EXPECT_EQ(FaultRegistry::Global().fires("serve.reload"), 1u);
+  }
+  auto recovered = server.Submit({"alpha", 4, 99});
+  ASSERT_TRUE(recovered->Wait().ok()) << recovered->Wait().status();
+  {
+    GreatSynthesizer direct_model;
+    ASSERT_TRUE(direct_model.Load(paths[0]).ok());
+    Rng rng(99);
+    Table direct = direct_model.Sample(4, &rng).ValueOrDie();
+    ExpectTablesEqual(direct, recovered->Wait().ValueOrDie());
+  }
+
+  // Evict fault: an armed serve.evict pins the resident set — switching
+  // tenants reloads without evicting, and the byte estimate runs over
+  // budget instead of dropping a bundle.
+  {
+    ScopedFault fault("serve.evict", FaultSpec{});
+    auto pinned = server.Submit({"beta", 3, 123});
+    ASSERT_TRUE(pinned->Wait().ok()) << pinned->Wait().status();
+    EXPECT_GE(FaultRegistry::Global().fires("serve.evict"), 0u);
+    EXPECT_GT(registry.GetGauge("serve.resident_bundle_bytes").Value(),
+              static_cast<double>(options.max_resident_bundle_bytes));
+  }
+  ASSERT_TRUE(server.Shutdown().ok());
+}
+
+// Brownout hysteresis: one overload episode with repeated high-watermark
+// crossings enters degraded mode exactly once, holds it for the dwell,
+// and exits exactly once after the pressure clears — no flapping.
+TEST(SynthesisServerTest, BrownoutEntersOnceAndExitsAfterDwell) {
+  MetricsRegistry& registry = MetricsRegistry::Global();
+  Counter& entered = registry.GetCounter("serve.brownout_entered");
+  Counter& exited = registry.GetCounter("serve.brownout_exited");
+  Gauge& mode = registry.GetGauge("serve.brownout");
+  uint64_t entered_before = entered.Value();
+  uint64_t exited_before = exited.Value();
+
+  TenantSet set = MakeTenants(1);
+  ServeOptions options;
+  options.num_workers = 1;
+  options.max_open_requests = 1;  // the flood stays queued
+  options.max_lanes_per_batch = 4;
+  options.brownout_lanes_divisor = 4;  // browned-out bundles carry 1 lane
+  options.brownout_queue_high = 4;
+  options.brownout_queue_low = 1;
+  // The dwell outlasts the whole storm phase, so an exit (and thus any
+  // chance of a second entry) is impossible until the flood has drained.
+  options.brownout_min_dwell_ms = 500;
+  SynthesisServer server(options);
+  AddAll(&server, set);
+  ASSERT_TRUE(server.Start().ok());
+
+  auto pin = server.Submit({set.names[0], 150, 3});
+  std::vector<std::shared_ptr<RequestTicket>> waves;
+  for (int wave = 0; wave < 3; ++wave) {
+    // Each wave re-crosses the high watermark; within one episode that
+    // must never count as a new entry.
+    for (uint64_t i = 0; i < 8; ++i) {
+      waves.push_back(
+          server.Submit({set.names[0], 2, 700 + wave * 10 + i}));
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    EXPECT_EQ(entered.Value() - entered_before, 1u);
+  }
+  EXPECT_EQ(mode.Value(), 1.0);
+  EXPECT_EQ(exited.Value() - exited_before, 0u);
+
+  ASSERT_TRUE(pin->Wait().ok()) << pin->Wait().status();
+  for (auto& ticket : waves) {
+    ASSERT_TRUE(ticket->Wait().ok()) << ticket->Wait().status();
+  }
+  // Pressure is gone; once the dwell elapses the admitter's next pressure
+  // sweep exits brownout.
+  for (int i = 0; i < 600 && mode.Value() != 0.0; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  EXPECT_EQ(mode.Value(), 0.0);
+  EXPECT_EQ(entered.Value() - entered_before, 1u);
+  EXPECT_EQ(exited.Value() - exited_before, 1u);
+  ASSERT_TRUE(server.Shutdown().ok());
+}
+
+// Priority scheduling inside the packing window: with batch/background
+// work already queued, a later interactive request is admitted and packed
+// ahead of it (weighted admission + priority-ordered window), so its
+// latency does not hide behind the backlog.
+TEST(SynthesisServerTest, InteractiveOvertakesQueuedBackground) {
+  TenantSet set = MakeTenants(1);
+  ServeOptions options;
+  options.num_workers = 1;
+  options.max_open_requests = 4;
+  options.max_lanes_per_batch = 4;
+  SynthesisServer server(options);
+  AddAll(&server, set);
+  ASSERT_TRUE(server.Start().ok());
+
+  auto pin = server.Submit({set.names[0], 100, 3});
+  std::vector<std::shared_ptr<RequestTicket>> backlog;
+  for (uint64_t i = 0; i < 10; ++i) {
+    SampleRequest low;
+    low.tenant = set.names[0];
+    low.rows = 20;
+    low.seed = 300 + i;
+    low.priority = RequestPriority::kBackground;
+    backlog.push_back(server.Submit(low));
+  }
+  SampleRequest high;
+  high.tenant = set.names[0];
+  high.rows = 2;
+  high.seed = 901;
+  high.priority = RequestPriority::kInteractive;
+  auto urgent = server.Submit(high);
+  ASSERT_TRUE(urgent->Wait().ok()) << urgent->Wait().status();
+
+  // The interactive request finished while most of the backlog was still
+  // in flight — it did not wait for 200 queued background rows.
+  size_t backlog_pending = 0;
+  for (auto& ticket : backlog) {
+    if (!ticket->done()) ++backlog_pending;
+  }
+  EXPECT_GE(backlog_pending, 1u);
+  for (auto& ticket : backlog) {
+    ASSERT_TRUE(ticket->Wait().ok()) << ticket->Wait().status();
+  }
+  ASSERT_TRUE(pin->Wait().ok()) << pin->Wait().status();
+  ASSERT_TRUE(server.Shutdown().ok());
+}
+
 // ---------- Workload generator ----------
 
 TEST(WorkloadGeneratorTest, DeterministicAndSkewed) {
@@ -548,6 +946,20 @@ TEST(WorkloadGeneratorTest, DeterministicAndSkewed) {
   EXPECT_GT(hits["t3"], 0);
   EXPECT_GT(conditioned, kDraws / 5);
   EXPECT_LT(conditioned, 4 * kDraws / 5);
+
+  // A priority mix tags roughly the configured fractions; the default
+  // (all-interactive) replay above consumed no extra draws.
+  WorkloadOptions mixed = wl;
+  mixed.batch_fraction = 0.2;
+  mixed.background_fraction = 0.5;
+  WorkloadGenerator c(mixed, profiles, 99);
+  int counts[3] = {0, 0, 0};
+  for (int i = 0; i < kDraws; ++i) {
+    ++counts[static_cast<int>(c.Next().priority)];
+  }
+  EXPECT_GT(counts[0], kDraws / 5);  // ~30% interactive
+  EXPECT_GT(counts[1], kDraws / 10);
+  EXPECT_GT(counts[2], 2 * kDraws / 5);
 }
 
 TEST(WorkloadGeneratorTest, SkewKindsCoverTheKeySpace) {
